@@ -1,0 +1,141 @@
+// Ablation for the paper's Section IV-A implementation choices: the loops
+// over the squares matrix S use OpenMP "dynamic" scheduling with a chunk
+// size of 1000 because the rows of S are highly imbalanced ("some rows are
+// empty and others have many non-zeros"). This bench times the BP
+// compute_F + compute_d kernel pair over S under static, dynamic and
+// guided schedules and several chunk sizes.
+//
+// On a single hardware core the schedules tie; on a multicore host the
+// dynamic/1000 configuration should win, reproducing the paper's finding.
+#include <algorithm>
+#include <exception>
+#include <vector>
+
+#include "common.hpp"
+
+using namespace netalign;
+using namespace netalign::bench;
+
+namespace {
+
+enum class Sched { kStatic, kDynamic, kGuided };
+
+/// The compute_F / compute_d kernel pair from BP under a chosen schedule.
+/// Reads sk through the transpose permutation and accumulates row sums --
+/// the same memory access pattern as the real iteration.
+double time_kernel(const SquaresMatrix& S, const BipartiteGraph&,
+                   Sched sched, int chunk, int repeats,
+                   std::vector<weight_t>& f, std::vector<weight_t>& sk,
+                   std::vector<weight_t>& d) {
+  const auto perm = S.trans_perm();
+  const auto nrows = S.num_rows();
+  const double beta = 2.0;
+  WallTimer t;
+  for (int rep = 0; rep < repeats; ++rep) {
+    switch (sched) {
+      case Sched::kStatic:
+#pragma omp parallel for schedule(static)
+        for (vid_t e = 0; e < nrows; ++e) {
+          weight_t sum = 0.0;
+          for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) {
+            f[k] = std::clamp(beta + sk[perm[k]], 0.0, beta);
+            sum += f[k];
+          }
+          d[e] = sum;
+        }
+        break;
+      case Sched::kDynamic:
+#pragma omp parallel for schedule(dynamic, chunk)
+        for (vid_t e = 0; e < nrows; ++e) {
+          weight_t sum = 0.0;
+          for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) {
+            f[k] = std::clamp(beta + sk[perm[k]], 0.0, beta);
+            sum += f[k];
+          }
+          d[e] = sum;
+        }
+        break;
+      case Sched::kGuided:
+#pragma omp parallel for schedule(guided, chunk)
+        for (vid_t e = 0; e < nrows; ++e) {
+          weight_t sum = 0.0;
+          for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) {
+            f[k] = std::clamp(beta + sk[perm[k]], 0.0, beta);
+            sum += f[k];
+          }
+          d[e] = sum;
+        }
+        break;
+    }
+  }
+  return t.seconds() / repeats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  CliParser cli("Ablation: OpenMP schedule and chunk size for S-loops.");
+  auto& scale = cli.add_double("scale", 0.05, "lcsh-wiki stand-in scale");
+  auto& repeats = cli.add_int("repeats", 20, "kernel repetitions per cell");
+  auto& seed = cli.add_int("seed", 909, "generator seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  auto spec = spec_by_name("lcsh-wiki");
+  spec.seed = static_cast<std::uint64_t>(seed);
+  const auto prep = prepare(spec, scale);
+  const auto& S = prep.squares;
+
+  std::vector<weight_t> f(static_cast<std::size_t>(S.num_nonzeros()), 0.0);
+  std::vector<weight_t> sk(static_cast<std::size_t>(S.num_nonzeros()), 0.5);
+  std::vector<weight_t> d(static_cast<std::size_t>(S.num_rows()), 0.0);
+
+  // Row-imbalance statistics that motivate the dynamic schedule.
+  {
+    eid_t max_row = 0, empty = 0;
+    for (vid_t e = 0; e < S.num_rows(); ++e) {
+      const eid_t len = S.row_end(e) - S.row_begin(e);
+      max_row = std::max(max_row, len);
+      if (len == 0) ++empty;
+    }
+    std::printf("# S row imbalance: %lld rows, %lld empty, widest row %lld, "
+                "mean %.2f\n",
+                static_cast<long long>(S.num_rows()),
+                static_cast<long long>(empty), static_cast<long long>(max_row),
+                static_cast<double>(S.num_nonzeros()) /
+                    static_cast<double>(S.num_rows()));
+  }
+
+  std::printf("== Ablation: schedule x chunk for the S-shaped kernels "
+              "(threads=%d) ==\n", max_threads());
+  TextTable table({"schedule", "chunk", "ms per sweep"});
+  table.add_row({"static", "-",
+                 TextTable::fixed(1e3 * time_kernel(S, prep.problem.L,
+                                                    Sched::kStatic, 0,
+                                                    static_cast<int>(repeats),
+                                                    f, sk, d),
+                                  3)});
+  for (const int chunk : {100, 1000, 10000}) {
+    table.add_row(
+        {"dynamic", TextTable::num(chunk),
+         TextTable::fixed(1e3 * time_kernel(S, prep.problem.L, Sched::kDynamic,
+                                            chunk, static_cast<int>(repeats),
+                                            f, sk, d),
+                          3)});
+  }
+  for (const int chunk : {100, 1000}) {
+    table.add_row(
+        {"guided", TextTable::num(chunk),
+         TextTable::fixed(1e3 * time_kernel(S, prep.problem.L, Sched::kGuided,
+                                            chunk, static_cast<int>(repeats),
+                                            f, sk, d),
+                          3)});
+  }
+  table.print();
+  std::printf("\nPaper Section IV-A: dynamic scheduling with chunk 1000 was\n"
+              "fastest for all operations involving S on their 80-thread\n"
+              "host; with one core all schedules should roughly tie.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,152 @@
+// Figure 2 of the paper: solution quality on 400-node synthetic power-law
+// alignment problems as the expected degree dbar of random L-edges sweeps
+// 2..20, for four method configurations:
+//   MR/exact, MR/approx, BP/exact, BP/approx
+// Top panel: fraction of the identity alignment's objective achieved.
+// Bottom panel: fraction of correct (identity) matches.
+//
+// The paper's headline: BP is insensitive to approximate rounding, MR
+// degrades badly (>50% error at high dbar) because the approximate
+// matching feeds back into the multiplier update.
+//
+// Paper parameters: alpha=1, beta=2, 1000 iterations. Default here is 100
+// iterations and 2 seeds per point (pass --iters 1000 --seeds 5 for the
+// full run).
+#include <exception>
+#include <vector>
+
+#include "common.hpp"
+#include "netalign/belief_prop.hpp"
+#include "netalign/klau_mr.hpp"
+#include "netalign/objective.hpp"
+#include "util/stats.hpp"
+
+using namespace netalign;
+using namespace netalign::bench;
+
+namespace {
+
+struct MethodConfig {
+  const char* name;
+  bool is_mr;
+  MatcherKind matcher;
+};
+
+struct QualityPoint {
+  double objective_fraction = 0.0;
+  double correct_fraction = 0.0;
+};
+
+QualityPoint run_one(const SyntheticInstance& inst, const SquaresMatrix& S,
+                     const MethodConfig& cfg, int iters) {
+  AlignResult result;
+  if (cfg.is_mr) {
+    KlauMrOptions opt;
+    opt.max_iterations = iters;
+    opt.matcher = cfg.matcher;
+    // Match the paper's experimental setup: the rounding choice under
+    // study is the *per-iteration* one; no final exact cleanup.
+    opt.final_exact_round = false;
+    opt.record_history = false;
+    result = klau_mr_align(inst.problem, S, opt);
+  } else {
+    BeliefPropOptions opt;
+    opt.max_iterations = iters;
+    opt.matcher = cfg.matcher;
+    opt.final_exact_round = false;
+    opt.record_history = false;
+    result = belief_prop_align(inst.problem, S, opt);
+  }
+
+  // Identity alignment reference.
+  const auto& p = inst.problem;
+  BipartiteMatching identity;
+  identity.mate_a.resize(p.A.num_vertices());
+  identity.mate_b.resize(p.B.num_vertices());
+  for (vid_t i = 0; i < p.A.num_vertices(); ++i) {
+    identity.mate_a[i] = i;
+    identity.mate_b[i] = i;
+  }
+  identity.cardinality = p.A.num_vertices();
+  const auto id_value = evaluate_objective(p, S, identity);
+
+  QualityPoint q;
+  q.objective_fraction = id_value.objective > 0.0
+                             ? result.value.objective / id_value.objective
+                             : 0.0;
+  q.correct_fraction = fraction_correct(result.matching, inst.reference);
+  return q;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  CliParser cli("Reproduce Figure 2: quality vs expected degree dbar.");
+  auto& n = cli.add_int("n", 400, "vertices of the base power-law graph");
+  auto& iters = cli.add_int("iters", 100, "iterations (paper: 1000)");
+  auto& seeds = cli.add_int("seeds", 2, "instances per dbar value");
+  auto& dmax = cli.add_int("dmax", 20, "largest expected degree");
+  auto& dstep = cli.add_int("dstep", 2, "expected degree step");
+  auto& csv = cli.add_string("csv", "", "also write the table to this CSV");
+  auto& family = cli.add_string(
+      "family", "powerlaw",
+      "instance family: powerlaw (paper Fig. 2) | ontology (Section VI-C "
+      "style: shared tree core + independent cross edges)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const MethodConfig configs[] = {
+      {"MR/exact", true, MatcherKind::kExact},
+      {"MR/approx", true, MatcherKind::kLocallyDominant},
+      {"BP/exact", false, MatcherKind::kExact},
+      {"BP/approx", false, MatcherKind::kLocallyDominant},
+  };
+
+  std::printf("== Figure 2: quality vs dbar on %lld-node power-law "
+              "instances (alpha=1, beta=2, %lld iters, %lld seeds) ==\n",
+              static_cast<long long>(n), static_cast<long long>(iters),
+              static_cast<long long>(seeds));
+  TextTable table({"dbar", "method", "objective fraction",
+                   "fraction correct"});
+  for (int64_t d = 2; d <= dmax; d += dstep) {
+    for (const auto& cfg : configs) {
+      std::vector<double> obj_frac, corr_frac;
+      for (int64_t s = 0; s < seeds; ++s) {
+        SyntheticInstance inst;
+        if (family == "ontology") {
+          OntologyInstanceOptions opt;
+          opt.n = static_cast<vid_t>(n);
+          opt.expected_degree = static_cast<double>(d);
+          opt.seed = 10000 + static_cast<std::uint64_t>(100 * d + s);
+          opt.alpha = 1.0;
+          opt.beta = 2.0;
+          inst = make_ontology_instance(opt);
+        } else {
+          PowerLawInstanceOptions opt;
+          opt.n = static_cast<vid_t>(n);
+          opt.expected_degree = static_cast<double>(d);
+          opt.seed = 10000 + static_cast<std::uint64_t>(100 * d + s);
+          opt.alpha = 1.0;
+          opt.beta = 2.0;
+          inst = make_power_law_instance(opt);
+        }
+        const auto S = SquaresMatrix::build(inst.problem);
+        const auto q = run_one(inst, S, cfg, static_cast<int>(iters));
+        obj_frac.push_back(q.objective_fraction);
+        corr_frac.push_back(q.correct_fraction);
+      }
+      table.add_row({TextTable::num(d), cfg.name,
+                     TextTable::fixed(summarize(obj_frac).mean, 3),
+                     TextTable::fixed(summarize(corr_frac).mean, 3)});
+    }
+  }
+  table.print();
+  table.write_csv(csv);
+  std::printf(
+      "\nExpected shape (paper Fig. 2): BP/exact and BP/approx nearly\n"
+      "identical; MR/exact recovers the identity; MR/approx loses a large\n"
+      "fraction of correct matches as dbar grows.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,90 @@
+// Figure 3 of the paper: the (matching weight, overlap) plane. Each
+// point is one (method, matcher, objective parameters) run on a
+// bioinformatics problem (dmela-scere, top panel) and an ontology problem
+// (lcsh-wiki, bottom panel); the question is whether the cloud of
+// solutions produced with approximate rounding deviates from the exact
+// cloud. The paper finds almost no deviation for BP and a modest one for
+// MR.
+//
+// We sweep beta (the overlap term weight) and the damping/step parameter
+// gamma, as [13] does.
+#include <exception>
+
+#include "common.hpp"
+#include "netalign/belief_prop.hpp"
+#include "netalign/klau_mr.hpp"
+
+using namespace netalign;
+using namespace netalign::bench;
+
+int main(int argc, char** argv) try {
+  CliParser cli("Reproduce Figure 3: weight vs overlap solution clouds.");
+  auto& scale_bio = cli.add_double("scale-bio", 0.5, "dmela-scere scale");
+  auto& scale_ont = cli.add_double("scale-ontology", 0.02, "lcsh-wiki scale");
+  auto& iters = cli.add_int("iters", 50, "iterations per run");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const double betas[] = {0.5, 1.0, 2.0, 4.0, 8.0};
+  const double bp_gammas[] = {0.9, 0.99};
+  const double mr_gammas[] = {0.3, 0.5};
+
+  struct Target {
+    const char* dataset;
+    double scale;
+  };
+  const Target targets[] = {{"dmela-scere", scale_bio},
+                            {"lcsh-wiki", scale_ont}};
+
+  for (const auto& target : targets) {
+    auto spec = spec_by_name(target.dataset);
+    auto prep = prepare(spec, target.scale);
+    std::printf("== Figure 3 (%s): each row is one solution; compare the "
+                "exact and approx clouds ==\n",
+                target.dataset);
+    TextTable table({"method", "matcher", "beta", "gamma", "weight",
+                     "overlap", "objective"});
+    for (const double beta : betas) {
+      prep.problem.beta = beta;
+      for (const MatcherKind matcher :
+           {MatcherKind::kExact, MatcherKind::kLocallyDominant}) {
+        for (const double gamma : bp_gammas) {
+          BeliefPropOptions opt;
+          opt.max_iterations = static_cast<int>(iters);
+          opt.matcher = matcher;
+          opt.gamma = gamma;
+          opt.final_exact_round = false;
+          opt.record_history = false;
+          const auto r = belief_prop_align(prep.problem, prep.squares, opt);
+          table.add_row({"BP", to_string(matcher), TextTable::fixed(beta, 2),
+                         TextTable::fixed(gamma, 2),
+                         TextTable::fixed(r.value.weight, 1),
+                         TextTable::fixed(r.value.overlap, 0),
+                         TextTable::fixed(r.value.objective, 1)});
+        }
+        for (const double gamma : mr_gammas) {
+          KlauMrOptions opt;
+          opt.max_iterations = static_cast<int>(iters);
+          opt.matcher = matcher;
+          opt.gamma = gamma;
+          opt.final_exact_round = false;
+          opt.record_history = false;
+          const auto r = klau_mr_align(prep.problem, prep.squares, opt);
+          table.add_row({"MR", to_string(matcher), TextTable::fixed(beta, 2),
+                         TextTable::fixed(gamma, 2),
+                         TextTable::fixed(r.value.weight, 1),
+                         TextTable::fixed(r.value.overlap, 0),
+                         TextTable::fixed(r.value.objective, 1)});
+        }
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf("Expected shape (paper Fig. 3): for each (beta, gamma), the\n"
+              "BP exact and approx rows nearly coincide; MR approx rows sit\n"
+              "below their exact counterparts.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,153 @@
+// google-benchmark microbenchmarks for the matching kernels: the exact
+// solver vs the three 1/2-approximations across graph sizes, plus the
+// one- vs two-sided initialization ablation from paper Section V. The
+// approximation quality (fraction of the exact weight) is reported as a
+// counter next to the timing.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "graph/bipartite.hpp"
+#include "matching/auction.hpp"
+#include "matching/exact_mwm.hpp"
+#include "matching/greedy.hpp"
+#include "matching/locally_dominant.hpp"
+#include "matching/path_growing.hpp"
+#include "matching/suitor.hpp"
+#include "util/prng.hpp"
+
+namespace netalign {
+namespace {
+
+struct Instance {
+  BipartiteGraph graph;
+  std::vector<weight_t> weights;
+  weight_t exact_weight = 0.0;
+};
+
+/// Build (and cache) a random instance keyed by edge count.
+const Instance& instance_for(int64_t edges) {
+  static std::map<int64_t, Instance> cache;
+  auto it = cache.find(edges);
+  if (it == cache.end()) {
+    const auto n = static_cast<vid_t>(edges / 10);  // average degree ~10
+    Xoshiro256 rng(static_cast<std::uint64_t>(edges));
+    std::vector<LEdge> el;
+    el.reserve(static_cast<std::size_t>(edges));
+    for (int64_t i = 0; i < edges; ++i) {
+      el.push_back(LEdge{static_cast<vid_t>(rng.uniform_int(n)),
+                         static_cast<vid_t>(rng.uniform_int(n)),
+                         rng.uniform(0.01, 1.0)});
+    }
+    Instance inst;
+    inst.graph = BipartiteGraph::from_edges(n, n, el);
+    inst.weights.assign(inst.graph.weights().begin(),
+                        inst.graph.weights().end());
+    inst.exact_weight =
+        max_weight_matching_exact(inst.graph, inst.weights).weight;
+    it = cache.emplace(edges, std::move(inst)).first;
+  }
+  return it->second;
+}
+
+void report(benchmark::State& state, const Instance& inst,
+            const BipartiteMatching& m) {
+  state.counters["weight_ratio"] = m.weight / inst.exact_weight;
+  state.counters["edges_per_s"] = benchmark::Counter(
+      static_cast<double>(inst.graph.num_edges()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_ExactMwm(benchmark::State& state) {
+  const auto& inst = instance_for(state.range(0));
+  BipartiteMatching m;
+  for (auto _ : state) {
+    m = max_weight_matching_exact(inst.graph, inst.weights);
+    benchmark::DoNotOptimize(m.weight);
+  }
+  report(state, inst, m);
+}
+
+void BM_LocallyDominant(benchmark::State& state) {
+  const auto& inst = instance_for(state.range(0));
+  BipartiteMatching m;
+  for (auto _ : state) {
+    m = locally_dominant_matching(inst.graph, inst.weights);
+    benchmark::DoNotOptimize(m.weight);
+  }
+  report(state, inst, m);
+}
+
+void BM_LocallyDominantOneSided(benchmark::State& state) {
+  const auto& inst = instance_for(state.range(0));
+  LdOptions opt;
+  opt.init = LdInit::kOneSided;
+  BipartiteMatching m;
+  for (auto _ : state) {
+    m = locally_dominant_matching(inst.graph, inst.weights, opt);
+    benchmark::DoNotOptimize(m.weight);
+  }
+  report(state, inst, m);
+}
+
+void BM_Greedy(benchmark::State& state) {
+  const auto& inst = instance_for(state.range(0));
+  BipartiteMatching m;
+  for (auto _ : state) {
+    m = greedy_matching(inst.graph, inst.weights);
+    benchmark::DoNotOptimize(m.weight);
+  }
+  report(state, inst, m);
+}
+
+void BM_Suitor(benchmark::State& state) {
+  const auto& inst = instance_for(state.range(0));
+  BipartiteMatching m;
+  for (auto _ : state) {
+    m = suitor_matching(inst.graph, inst.weights);
+    benchmark::DoNotOptimize(m.weight);
+  }
+  report(state, inst, m);
+}
+
+void BM_Auction(benchmark::State& state) {
+  const auto& inst = instance_for(state.range(0));
+  BipartiteMatching m;
+  for (auto _ : state) {
+    m = auction_matching(inst.graph, inst.weights);
+    benchmark::DoNotOptimize(m.weight);
+  }
+  report(state, inst, m);
+}
+
+void BM_PathGrowing(benchmark::State& state) {
+  const auto& inst = instance_for(state.range(0));
+  BipartiteMatching m;
+  for (auto _ : state) {
+    m = path_growing_matching(inst.graph, inst.weights);
+    benchmark::DoNotOptimize(m.weight);
+  }
+  report(state, inst, m);
+}
+
+BENCHMARK(BM_ExactMwm)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Auction)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PathGrowing)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LocallyDominant)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LocallyDominantOneSided)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Greedy)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Suitor)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace netalign
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// The paper's headline runtime claim (Abstract / Section IX): replacing
+// the exact bipartite matching with the parallel 1/2-approximation turns a
+// ~10-minute run into ~36 seconds on real ontology problems, because the
+// matching step dominates each iteration.
+//
+// Three views of the claim on an lcsh-wiki stand-in:
+//  1. per-rounding matcher cost on the similarity weights (all positive,
+//     full problem size -- what MR's Step 3 and the paper's exact solver
+//     face every iteration), across problem scales: the exact/approx
+//     ratio grows with size while the approximation keeps ~99% of the
+//     weight;
+//  2. end-to-end Klau MR with exact vs approximate Step 3;
+//  3. end-to-end BP with exact vs approximate rounding (here the message
+//     vectors are sparse-positive, so the exact solver sees a smaller
+//     effective problem and the gap is milder).
+#include <exception>
+
+#include "common.hpp"
+#include "netalign/belief_prop.hpp"
+#include "netalign/klau_mr.hpp"
+
+using namespace netalign;
+using namespace netalign::bench;
+
+int main(int argc, char** argv) try {
+  CliParser cli("Reproduce the exact-vs-approx runtime claim.");
+  auto& scale = cli.add_double("scale", 0.05, "lcsh-wiki stand-in scale");
+  auto& iters = cli.add_int("iters", 5, "iterations for end-to-end runs");
+  auto& seed = cli.add_int("seed", 808, "generator seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  auto base_spec = spec_by_name("lcsh-wiki");
+  base_spec.seed = static_cast<std::uint64_t>(seed);
+
+  // --- View 1: single-rounding cost across scales -----------------------
+  std::printf("== Runtime claim 1/3: one max-weight matching on the "
+              "similarity weights ==\n");
+  TextTable t1({"scale", "|E_L|", "exact s", "approx s", "ratio",
+                "approx weight share"});
+  for (const double s : {scale * 0.5, scale, scale * 2.0}) {
+    const auto p = make_standin_problem(base_spec, s);
+    const std::vector<weight_t> w(p.L.weights().begin(),
+                                  p.L.weights().end());
+    WallTimer timer;
+    const auto exact = run_matcher(p.L, w, MatcherKind::kExact);
+    const double exact_s = timer.seconds();
+    timer.reset();
+    const auto approx = run_matcher(p.L, w, MatcherKind::kLocallyDominant);
+    const double approx_s = timer.seconds();
+    t1.add_row({TextTable::fixed(s, 3), TextTable::num(p.L.num_edges()),
+                TextTable::fixed(exact_s, 3), TextTable::fixed(approx_s, 3),
+                TextTable::fixed(exact_s / approx_s, 1),
+                TextTable::pct(approx.weight / exact.weight)});
+  }
+  t1.print();
+
+  // --- Views 2 and 3: end-to-end methods --------------------------------
+  auto prep = prepare(base_spec, scale);
+  prep.problem.alpha = 1.0;
+  prep.problem.beta = 2.0;
+
+  std::printf("\n== Runtime claim 2/3: Klau MR end-to-end (%lld iters) ==\n",
+              static_cast<long long>(iters));
+  TextTable t2({"matcher", "total s", "match-step s", "objective"});
+  double mr_exact_s = 0.0, mr_approx_s = 0.0;
+  for (const MatcherKind matcher :
+       {MatcherKind::kExact, MatcherKind::kLocallyDominant}) {
+    KlauMrOptions opt;
+    opt.max_iterations = static_cast<int>(iters);
+    opt.matcher = matcher;
+    opt.final_exact_round = false;
+    opt.record_history = false;
+    const auto r = klau_mr_align(prep.problem, prep.squares, opt);
+    t2.add_row({to_string(matcher), TextTable::fixed(r.total_seconds, 2),
+                TextTable::fixed(r.timers.total("match"), 2),
+                TextTable::fixed(r.value.objective, 1)});
+    (matcher == MatcherKind::kExact ? mr_exact_s : mr_approx_s) =
+        r.total_seconds;
+  }
+  t2.print();
+  std::printf("MR end-to-end speedup from approximate matching: %.1fx\n",
+              mr_exact_s / mr_approx_s);
+
+  std::printf("\n== Runtime claim 3/3: BP end-to-end (%lld iters) ==\n",
+              static_cast<long long>(iters));
+  TextTable t3({"matcher", "total s", "matching-step s", "objective"});
+  double bp_exact_s = 0.0, bp_approx_s = 0.0;
+  for (const MatcherKind matcher :
+       {MatcherKind::kExact, MatcherKind::kLocallyDominant}) {
+    BeliefPropOptions opt;
+    opt.max_iterations = static_cast<int>(iters);
+    opt.matcher = matcher;
+    opt.final_exact_round = false;
+    opt.record_history = false;
+    const auto r = belief_prop_align(prep.problem, prep.squares, opt);
+    t3.add_row({to_string(matcher), TextTable::fixed(r.total_seconds, 2),
+                TextTable::fixed(r.timers.total("matching"), 2),
+                TextTable::fixed(r.value.objective, 1)});
+    (matcher == MatcherKind::kExact ? bp_exact_s : bp_approx_s) =
+        r.total_seconds;
+  }
+  t3.print();
+  std::printf("BP end-to-end speedup from approximate rounding: %.1fx\n",
+              bp_exact_s / bp_approx_s);
+  std::printf("\n(Paper: 10 minutes -> 36 seconds, ~17x, combining this\n"
+              "algorithmic swap with 40-thread parallel execution.)\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,56 @@
+#include "common.hpp"
+
+#include <map>
+#include <thread>
+
+#include "netalign/belief_prop.hpp"
+#include "netalign/klau_mr.hpp"
+
+namespace netalign::bench {
+
+void run_scaling_bench(const NetAlignProblem& problem,
+                       const SquaresMatrix& squares,
+                       const std::vector<ScalingMethod>& methods,
+                       const std::vector<int>& threads, int iters,
+                       double gamma_bp, double gamma_mr, int mstep) {
+  std::printf("# NOTE: hardware reports %u concurrent threads; speedup "
+              "beyond that count reflects oversubscription, not scaling.\n",
+              std::thread::hardware_concurrency());
+  TextTable table({"method", "threads", "seconds", "speedup", "objective"});
+  std::map<std::string, double> base_time;
+  for (const auto& method : methods) {
+    for (const int t : threads) {
+      ThreadCountGuard guard(t);
+      AlignResult r;
+      if (method.is_mr) {
+        KlauMrOptions opt;
+        opt.max_iterations = iters;
+        opt.matcher = MatcherKind::kLocallyDominant;
+        opt.gamma = gamma_mr;
+        opt.mstep = mstep;
+        opt.final_exact_round = false;
+        opt.record_history = false;
+        r = klau_mr_align(problem, squares, opt);
+      } else {
+        BeliefPropOptions opt;
+        opt.max_iterations = iters;
+        opt.matcher = MatcherKind::kLocallyDominant;
+        opt.gamma = gamma_bp;
+        opt.batch_size = method.batch;
+        opt.final_exact_round = false;
+        opt.record_history = false;
+        r = belief_prop_align(problem, squares, opt);
+      }
+      auto [it, inserted] =
+          base_time.try_emplace(method.label, r.total_seconds);
+      const double speedup = it->second / r.total_seconds;
+      table.add_row({method.label, TextTable::num(t),
+                     TextTable::fixed(r.total_seconds, 2),
+                     TextTable::fixed(speedup, 2),
+                     TextTable::fixed(r.value.objective, 1)});
+    }
+  }
+  table.print();
+}
+
+}  // namespace netalign::bench

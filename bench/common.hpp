@@ -1,0 +1,82 @@
+// Shared helpers for the bench binaries.
+//
+// Each bench binary regenerates one table or figure of the paper (see
+// DESIGN.md section 4 for the experiment index). Default parameters are
+// sized so the full `for b in build/bench/*; do $b; done` sweep finishes
+// in minutes on a small machine; every bench accepts flags to run at the
+// paper's full scale.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "netalign/squares.hpp"
+#include "netalign/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace netalign::bench {
+
+/// Look up one of the paper's Table II datasets by name.
+inline StandInSpec spec_by_name(const std::string& name) {
+  for (const auto& s : paper_table2_specs()) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("unknown dataset: " + name);
+}
+
+/// Generate the stand-in and its squares matrix, reporting generation cost.
+struct PreparedProblem {
+  NetAlignProblem problem;
+  SquaresMatrix squares;
+};
+
+inline PreparedProblem prepare(const StandInSpec& spec, double scale,
+                               bool verbose = true) {
+  PreparedProblem out;
+  WallTimer t;
+  out.problem = make_standin_problem(spec, scale);
+  const double gen_s = t.seconds();
+  t.reset();
+  out.squares = SquaresMatrix::build(out.problem);
+  if (verbose) {
+    std::printf(
+        "# %s: |V_A|=%d |V_B|=%d |E_L|=%lld nnz(S)=%lld "
+        "(generated in %.1fs, squares in %.1fs)\n",
+        out.problem.name.c_str(), out.problem.A.num_vertices(),
+        out.problem.B.num_vertices(),
+        static_cast<long long>(out.problem.L.num_edges()),
+        static_cast<long long>(out.squares.num_nonzeros()), gen_s,
+        t.seconds());
+  }
+  return out;
+}
+
+/// Thread counts for a strong-scaling sweep: 1, 2, 4, ... up to max.
+inline std::vector<int> thread_sweep(int max_t) {
+  std::vector<int> out;
+  for (int t = 1; t <= max_t; t *= 2) out.push_back(t);
+  if (out.empty() || out.back() != max_t) out.push_back(max_t);
+  return out;
+}
+
+/// One method configuration of the scaling study (Figures 4 and 5).
+struct ScalingMethod {
+  std::string label;
+  bool is_mr = false;
+  int batch = 1;
+};
+
+/// Strong-scaling run: execute each method at each thread count and print
+/// time plus speedup relative to that method's 1-thread run -- the series
+/// of the paper's Figures 4 and 5. Also prints a NOTE with the hardware
+/// context, since speedups are only meaningful with real cores.
+void run_scaling_bench(const NetAlignProblem& problem_in,
+                       const SquaresMatrix& squares,
+                       const std::vector<ScalingMethod>& methods,
+                       const std::vector<int>& threads, int iters,
+                       double gamma_bp, double gamma_mr, int mstep);
+
+}  // namespace netalign::bench

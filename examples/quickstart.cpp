@@ -1,0 +1,84 @@
+// Quickstart: align two tiny hand-built graphs.
+//
+// Builds the guiding example of the paper's Figure 1 in a few lines: two
+// small graphs A and B, a bipartite candidate graph L with similarity
+// weights, and a run of both alignment methods. Start here to learn the
+// API; the other examples show realistic scales.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "netalign/belief_prop.hpp"
+#include "netalign/klau_mr.hpp"
+#include "netalign/squares.hpp"
+
+using namespace netalign;
+
+int main() {
+  // Graph A: a 4-cycle 0-1-2-3. Graph B: a path 0-1-2-3 (one edge
+  // missing). The best alignment maps each i to i and overlaps the three
+  // path edges.
+  NetAlignProblem problem;
+  const std::vector<std::pair<vid_t, vid_t>> ea = {{0, 1}, {1, 2}, {2, 3},
+                                                   {3, 0}};
+  const std::vector<std::pair<vid_t, vid_t>> eb = {{0, 1}, {1, 2}, {2, 3}};
+  problem.A = Graph::from_edges(4, ea);
+  problem.B = Graph::from_edges(4, eb);
+
+  // L: candidate pairs with similarity weights. The diagonal is the right
+  // answer but we also offer tempting wrong pairs.
+  const std::vector<LEdge> el = {
+      {0, 0, 1.0}, {1, 1, 1.0}, {2, 2, 1.0}, {3, 3, 1.0},
+      {0, 2, 1.5}, {1, 3, 1.5},  // heavier decoys with no edge overlap
+  };
+  problem.L = BipartiteGraph::from_edges(4, 4, el);
+  problem.alpha = 1.0;  // weight of the similarity term
+  problem.beta = 2.0;   // weight of each overlapped edge
+  problem.name = "quickstart";
+
+  // The squares matrix S encodes which L-edge pairs overlap an edge of A
+  // with an edge of B. Build it once per problem.
+  const SquaresMatrix S = SquaresMatrix::build(problem);
+  std::printf("problem: |V_A|=%d |V_B|=%d |E_L|=%lld squares=%lld\n",
+              problem.A.num_vertices(), problem.B.num_vertices(),
+              static_cast<long long>(problem.L.num_edges()),
+              static_cast<long long>(S.num_squares()));
+
+  // Belief propagation with the parallel approximate rounding (the paper's
+  // recommended configuration).
+  BeliefPropOptions bp;
+  bp.max_iterations = 50;
+  bp.matcher = MatcherKind::kLocallyDominant;
+  const AlignResult bp_result = belief_prop_align(problem, S, bp);
+
+  // Klau's matching relaxation with exact rounding for comparison.
+  KlauMrOptions mr;
+  mr.max_iterations = 50;
+  mr.matcher = MatcherKind::kExact;
+  const AlignResult mr_result = klau_mr_align(problem, S, mr);
+
+  auto report = [&](const char* name, const AlignResult& r) {
+    std::printf("%s: objective=%.2f (weight=%.2f, overlap=%.0f), found at "
+                "iteration %d\n",
+                name, r.value.objective, r.value.weight, r.value.overlap,
+                r.best_iteration);
+    std::printf("  matching:");
+    for (vid_t a = 0; a < problem.A.num_vertices(); ++a) {
+      if (r.matching.mate_a[a] != kInvalidVid) {
+        std::printf(" %d->%d", a, r.matching.mate_a[a]);
+      }
+    }
+    std::printf("\n");
+  };
+  report("BP (approx rounding)", bp_result);
+  report("MR (exact rounding) ", mr_result);
+
+  // With beta = 2 the three overlapped edges are worth more than the two
+  // heavy decoy pairs, so both methods should return the diagonal.
+  const bool diagonal =
+      bp_result.matching.mate_a[0] == 0 && bp_result.matching.mate_a[1] == 1 &&
+      bp_result.matching.mate_a[2] == 2 && bp_result.matching.mate_a[3] == 3;
+  std::printf("BP recovered the planted alignment: %s\n",
+              diagonal ? "yes" : "no");
+  return diagonal ? 0 : 1;
+}

@@ -1,0 +1,133 @@
+// Computational steering (paper Section IX).
+//
+// The paper argues the ~36-second runtime makes alignment fast enough for
+// a human-in-the-loop workflow: "given the result of a network alignment
+// problem, users may want to fix certain problematic alignments by
+// removing potential matches from L and recompute". This example plays
+// one round of that loop automatically:
+//
+//  1. align with BP and report the solution;
+//  2. flag "problematic" matched pairs -- matched edges that contribute
+//     no overlap and carry low similarity (the ones a human would veto);
+//  3. remove them from L and re-align;
+//  4. report how the solution changed.
+//
+//   ./steering [--scale 0.3] [--iters 50] [--veto-weight 0.65]
+#include <cstdio>
+#include <exception>
+#include <vector>
+
+#include "netalign/belief_prop.hpp"
+#include "netalign/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace netalign;
+
+namespace {
+
+AlignResult align(const NetAlignProblem& p, const SquaresMatrix& S,
+                  int iters) {
+  BeliefPropOptions opt;
+  opt.max_iterations = iters;
+  opt.matcher = MatcherKind::kLocallyDominant;
+  return belief_prop_align(p, S, opt);
+}
+
+/// Matched edges with zero overlap contribution: no square partner of the
+/// edge is also matched.
+std::vector<eid_t> zero_overlap_matches(const NetAlignProblem& p,
+                                        const SquaresMatrix& S,
+                                        const AlignResult& r) {
+  const auto x = r.matching.indicator(p.L);
+  std::vector<eid_t> flagged;
+  for (const eid_t e : r.matching.matched_edges(p.L)) {
+    bool any_overlap = false;
+    for (eid_t k = S.row_begin(static_cast<vid_t>(e));
+         k < S.row_end(static_cast<vid_t>(e)); ++k) {
+      if (x[S.col(k)]) {
+        any_overlap = true;
+        break;
+      }
+    }
+    if (!any_overlap) flagged.push_back(e);
+  }
+  return flagged;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  CliParser cli("Human-in-the-loop alignment steering demo.");
+  auto& scale = cli.add_double("scale", 0.3, "dmela-scere stand-in scale");
+  auto& iters = cli.add_int("iters", 50, "BP iterations per round");
+  auto& veto_weight = cli.add_double(
+      "veto-weight", 0.65, "veto matched pairs with weight below this and "
+                          "no overlap");
+  auto& seed = cli.add_int("seed", 33, "generator seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  StandInSpec spec;
+  for (const auto& s : paper_table2_specs()) {
+    if (s.name == "dmela-scere") spec = s;
+  }
+  spec.seed = static_cast<std::uint64_t>(seed);
+  NetAlignProblem problem = make_standin_problem(spec, scale);
+  SquaresMatrix S = SquaresMatrix::build(problem);
+
+  std::printf("round 1: aligning %s (|E_L|=%lld)\n", problem.name.c_str(),
+              static_cast<long long>(problem.L.num_edges()));
+  const AlignResult first = align(problem, S, static_cast<int>(iters));
+
+  // A human reviewer would veto low-confidence pairs; we flag matched
+  // pairs with no structural support and weak similarity.
+  const auto flagged = zero_overlap_matches(problem, S, first);
+  std::vector<eid_t> vetoed;
+  for (const eid_t e : flagged) {
+    if (problem.L.edge_weight(e) < veto_weight) vetoed.push_back(e);
+  }
+  std::printf("flagged %zu zero-overlap matches, vetoing the %zu with "
+              "weight < %.2f\n",
+              flagged.size(), vetoed.size(), static_cast<double>(veto_weight));
+
+  // Rebuild L without the vetoed candidate pairs and re-align.
+  std::vector<std::uint8_t> drop(static_cast<std::size_t>(
+                                     problem.L.num_edges()),
+                                 0);
+  for (const eid_t e : vetoed) drop[e] = 1;
+  std::vector<LEdge> kept;
+  kept.reserve(static_cast<std::size_t>(problem.L.num_edges()));
+  for (eid_t e = 0; e < problem.L.num_edges(); ++e) {
+    if (!drop[e]) {
+      kept.push_back(LEdge{problem.L.edge_a(e), problem.L.edge_b(e),
+                           problem.L.edge_weight(e)});
+    }
+  }
+  problem.L =
+      BipartiteGraph::from_edges(problem.L.num_a(), problem.L.num_b(), kept);
+  S = SquaresMatrix::build(problem);
+
+  std::printf("round 2: re-aligning with %lld candidates\n",
+              static_cast<long long>(problem.L.num_edges()));
+  const AlignResult second = align(problem, S, static_cast<int>(iters));
+
+  TextTable table({"round", "objective", "weight", "overlap", "matches",
+                   "seconds"});
+  auto add = [&](const char* name, const AlignResult& r) {
+    table.add_row({name, TextTable::fixed(r.value.objective, 1),
+                   TextTable::fixed(r.value.weight, 1),
+                   TextTable::fixed(r.value.overlap, 0),
+                   TextTable::num(r.matching.cardinality),
+                   TextTable::fixed(r.total_seconds, 2)});
+  };
+  add("1 (initial)", first);
+  add("2 (after veto)", second);
+  table.print();
+  std::printf("\nThe vetoed pairs were pure-similarity matches; the round-2\n"
+              "solution redirects those vertices (or leaves them unmatched)\n"
+              "without giving up the overlapped core.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

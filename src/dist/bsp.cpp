@@ -1,0 +1,70 @@
+#include "dist/bsp.hpp"
+
+#include <algorithm>
+
+namespace netalign::dist {
+
+int RankContext::num_ranks() const noexcept { return runtime_.num_ranks_; }
+
+const std::vector<Message>& RankContext::inbox() const {
+  return runtime_.current_inbox_[rank_];
+}
+
+void RankContext::vote_halt() { runtime_.halted_[rank_] = 1; }
+
+void RankContext::send_bytes(int to, std::vector<std::byte> bytes) {
+  if (to < 0 || to >= runtime_.num_ranks_) {
+    throw std::out_of_range("RankContext::send: bad destination rank");
+  }
+  runtime_.stats_.messages += 1;
+  if (to != rank_) runtime_.stats_.remote_messages += 1;
+  runtime_.stats_.bytes += bytes.size();
+  runtime_.sent_this_step_[rank_] += 1;
+  runtime_.inflight_ += 1;
+  runtime_.next_inbox_[to].push_back(Message{rank_, std::move(bytes)});
+  // A rank that communicates implicitly revokes its halt vote.
+  runtime_.halted_[rank_] = 0;
+}
+
+BspStats BspRuntime::run(std::vector<std::unique_ptr<RankProgram>>& programs,
+                         std::size_t max_supersteps) {
+  num_ranks_ = static_cast<int>(programs.size());
+  if (num_ranks_ == 0) return {};
+  current_inbox_.assign(num_ranks_, {});
+  next_inbox_.assign(num_ranks_, {});
+  sent_this_step_.assign(num_ranks_, 0);
+  halted_.assign(num_ranks_, 0);
+  inflight_ = 0;
+  stats_ = {};
+
+  while (true) {
+    if (stats_.supersteps >= max_supersteps) {
+      throw std::runtime_error("BspRuntime: superstep limit exceeded");
+    }
+    stats_.supersteps += 1;
+    std::fill(sent_this_step_.begin(), sent_this_step_.end(), 0);
+    inflight_ = 0;
+    for (int r = 0; r < num_ranks_; ++r) {
+      // Default: a rank that neither sends nor explicitly revokes stays
+      // halted only if it votes again; require an explicit vote each step.
+      halted_[r] = 0;
+      RankContext ctx(*this, r);
+      programs[r]->step(ctx);
+    }
+    stats_.max_h_relation = std::max(
+        stats_.max_h_relation,
+        *std::max_element(sent_this_step_.begin(), sent_this_step_.end()));
+    // Deliver.
+    for (int r = 0; r < num_ranks_; ++r) {
+      current_inbox_[r] = std::move(next_inbox_[r]);
+      next_inbox_[r].clear();
+    }
+    const bool all_halted =
+        std::all_of(halted_.begin(), halted_.end(),
+                    [](std::uint8_t h) { return h != 0; });
+    if (all_halted && inflight_ == 0) break;
+  }
+  return stats_;
+}
+
+}  // namespace netalign::dist

@@ -1,0 +1,121 @@
+// Simulated distributed-memory substrate (BSP model).
+//
+// The paper's Section IX sketches a distributed implementation: matrix
+// primitives a la Combinatorial BLAS plus the distributed-memory
+// half-approximate matching of Catalyurek et al. [29], over MPI. This
+// container has no MPI, so -- per DESIGN.md's substitution policy -- we
+// build the closest synthetic equivalent that exercises the same code
+// structure: a bulk-synchronous-parallel simulator where P ranks own
+// disjoint state and interact ONLY through messages delivered at
+// superstep boundaries.
+//
+// The simulation executes ranks sequentially inside each superstep, which
+// makes every run deterministic and lets the benches report the
+// machine-independent costs a real deployment would pay: supersteps
+// (latency), messages and bytes (bandwidth), and per-rank imbalance.
+//
+// Usage: derive from RankProgram, implement step(), send typed messages
+// through the context; run_bsp() loops supersteps until every rank votes
+// to halt.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <stdexcept>
+#include <vector>
+
+namespace netalign::dist {
+
+/// One untyped message; payload is a plain byte copy of a trivially
+/// copyable record (mirroring MPI's typed buffers).
+struct Message {
+  int from = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Communication statistics accumulated over a run.
+struct BspStats {
+  std::size_t supersteps = 0;
+  std::size_t messages = 0;        ///< all messages, including rank-local
+  std::size_t remote_messages = 0; ///< messages crossing rank boundaries
+  std::size_t bytes = 0;
+  /// Maximum messages sent by any single rank in any superstep -- the
+  /// h-relation that bounds a BSP superstep's communication time.
+  std::size_t max_h_relation = 0;
+};
+
+class BspRuntime;
+
+/// Per-rank view handed to RankProgram::step.
+class RankContext {
+ public:
+  RankContext(BspRuntime& runtime, int rank) : runtime_(runtime), rank_(rank) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int num_ranks() const noexcept;
+
+  /// Send a trivially copyable record to `to`, delivered next superstep.
+  template <typename T>
+  void send(int to, const T& record) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes(sizeof(T));
+    std::memcpy(bytes.data(), &record, sizeof(T));
+    send_bytes(to, std::move(bytes));
+  }
+
+  /// Messages delivered to this rank for the current superstep.
+  [[nodiscard]] const std::vector<Message>& inbox() const;
+
+  /// Decode a message's payload (size-checked).
+  template <typename T>
+  static T decode(const Message& msg) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (msg.payload.size() != sizeof(T)) {
+      throw std::runtime_error("RankContext::decode: size mismatch");
+    }
+    T out;
+    std::memcpy(&out, msg.payload.data(), sizeof(T));
+    return out;
+  }
+
+  /// Vote to halt; the run ends after a superstep in which every rank
+  /// voted to halt and no messages are in flight.
+  void vote_halt();
+
+ private:
+  void send_bytes(int to, std::vector<std::byte> bytes);
+
+  BspRuntime& runtime_;
+  int rank_;
+};
+
+/// A rank's program: step() is called once per superstep.
+class RankProgram {
+ public:
+  virtual ~RankProgram() = default;
+  virtual void step(RankContext& ctx) = 0;
+};
+
+class BspRuntime {
+ public:
+  /// Run the programs (one per rank) until quiescence or `max_supersteps`
+  /// (throws std::runtime_error on exceeding it -- a deadlock guard).
+  BspStats run(std::vector<std::unique_ptr<RankProgram>>& programs,
+               std::size_t max_supersteps = 1000000);
+
+ private:
+  friend class RankContext;
+
+  int num_ranks_ = 0;
+  std::vector<std::vector<Message>> current_inbox_;
+  std::vector<std::vector<Message>> next_inbox_;
+  std::vector<std::size_t> sent_this_step_;
+  std::vector<std::uint8_t> halted_;
+  std::size_t inflight_ = 0;
+  BspStats stats_;
+};
+
+}  // namespace netalign::dist

@@ -1,0 +1,342 @@
+#include "dist/dist_bp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "dist/dist_matching.hpp"
+#include "dist/mailbox.hpp"
+#include "netalign/rounding.hpp"
+
+namespace netalign::dist {
+
+namespace {
+
+/// Transpose-gather message: the value of one squares-matrix nonzero,
+/// addressed to the (global) slot that reads it through the permutation.
+struct TransMsg {
+  eid_t dest_slot;
+  weight_t value;
+};
+
+/// Per-column (max, argmax, second-max) partial / combined triple.
+struct ColTriple {
+  vid_t b;
+  weight_t m1;
+  eid_t a1;
+  weight_t m2;
+  std::int32_t from_rank;  ///< partials: contributor; results: unused
+};
+
+/// Merge a partial into an accumulator, preserving the global CSC scan
+/// semantics (strict improvement keeps the earliest argmax; an equal
+/// maximum becomes the second maximum).
+void merge_triple(weight_t m1, eid_t a1, weight_t m2, weight_t& acc_m1,
+                  eid_t& acc_a1, weight_t& acc_m2) {
+  if (m1 > acc_m1) {
+    acc_m2 = std::max(acc_m1, m2);
+    acc_m1 = m1;
+    acc_a1 = a1;
+  } else {
+    acc_m2 = std::max(acc_m2, m1);
+  }
+}
+
+struct RankState {
+  vid_t alo = 0, ahi = 0;   // owned A vertices
+  eid_t elo = 0, ehi = 0;   // owned L edges (contiguous, row-major)
+  eid_t slo = 0, shi = 0;   // owned squares-matrix nonzeros
+
+  // Edge-indexed state (local offset elo).
+  std::vector<weight_t> y, z, y_prev, z_prev, d, om_row, om_col;
+  // Nonzero-indexed state (local offset slo).
+  std::vector<weight_t> sk, sk_prev, F, trans_vals;
+
+  // othermax-col scratch: per-B-vertex accumulators plus touched lists.
+  std::vector<weight_t> col_m1, col_m2;
+  std::vector<eid_t> col_a1;
+  std::vector<vid_t> touched;
+};
+
+}  // namespace
+
+AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
+                                          const SquaresMatrix& S,
+                                          const DistBpOptions& options,
+                                          DistBpStats* stats) {
+  if (!p.is_consistent()) {
+    throw std::invalid_argument("distributed_belief_prop_align: problem");
+  }
+  if (options.num_ranks < 1 || options.max_iterations < 1 ||
+      options.gamma <= 0.0 || options.gamma > 1.0) {
+    throw std::invalid_argument("distributed_belief_prop_align: options");
+  }
+  if (stats) *stats = DistBpStats{};
+
+  const BipartiteGraph& L = p.L;
+  const eid_t m = L.num_edges();
+  const vid_t na = L.num_a();
+  const vid_t nb = L.num_b();
+  const int P = options.num_ranks;
+  const auto sptr = S.pattern().row_ptr();
+  const auto scol = S.pattern().col_idx();
+  const auto perm = S.trans_perm();
+  const auto w = L.weights();
+
+  // 1-D partitions.
+  const vid_t ablock = std::max<vid_t>(1, (na + P - 1) / P);
+  const vid_t bblock = std::max<vid_t>(1, (nb + P - 1) / P);
+  auto owner_a = [&](vid_t a) { return static_cast<int>(a / ablock); };
+  auto owner_b = [&](vid_t b) { return static_cast<int>(b / bblock); };
+  auto owner_edge = [&](eid_t e) { return owner_a(L.edge_a(e)); };
+
+  std::vector<RankState> ranks(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) {
+    RankState& st = ranks[r];
+    st.alo = std::min<vid_t>(na, static_cast<vid_t>(r) * ablock);
+    st.ahi = std::min<vid_t>(na, static_cast<vid_t>(r + 1) * ablock);
+    st.elo = st.alo < na ? L.row_begin(st.alo) : m;
+    st.ehi = st.ahi < na ? L.row_begin(st.ahi) : m;
+    st.slo = sptr[st.elo];
+    st.shi = sptr[st.ehi];
+    const auto ne = static_cast<std::size_t>(st.ehi - st.elo);
+    const auto ns = static_cast<std::size_t>(st.shi - st.slo);
+    st.y.assign(ne, 0.0);
+    st.z.assign(ne, 0.0);
+    st.y_prev.assign(ne, 0.0);
+    st.z_prev.assign(ne, 0.0);
+    st.d.assign(ne, 0.0);
+    st.om_row.assign(ne, 0.0);
+    st.om_col.assign(ne, 0.0);
+    st.sk.assign(ns, 0.0);
+    st.sk_prev.assign(ns, 0.0);
+    st.F.assign(ns, 0.0);
+    st.trans_vals.assign(ns, 0.0);
+    st.col_m1.assign(static_cast<std::size_t>(nb), kNegInf);
+    st.col_m2.assign(static_cast<std::size_t>(nb), kNegInf);
+    st.col_a1.assign(static_cast<std::size_t>(nb), kInvalidEid);
+  }
+
+  BspStats bsp;
+  Mailbox<TransMsg> trans_mail(P);
+  Mailbox<ColTriple> col_mail(P);
+  // Column owners remember who contributed to each column this iteration.
+  std::vector<std::unordered_map<vid_t, std::vector<std::int32_t>>>
+      contributors(static_cast<std::size_t>(P));
+
+  WallTimer total_timer;
+  AlignResult result;
+  BestSolutionTracker tracker;
+  std::vector<weight_t> gathered(static_cast<std::size_t>(m), 0.0);
+
+  // Round a gathered heuristic vector; uses the distributed matcher when
+  // the configured matcher is the locally-dominant one.
+  auto round_gathered = [&](int iter) {
+    if (stats) {
+      stats->gather_bytes += static_cast<std::size_t>(m) * sizeof(weight_t);
+    }
+    RoundOutcome outcome;
+    if (options.matcher == MatcherKind::kLocallyDominant) {
+      DistMatchOptions mopt;
+      mopt.num_ranks = P;
+      DistMatchStats mstats;
+      outcome.matching = distributed_locally_dominant_matching(
+          L, gathered, mopt, &mstats);
+      bsp.supersteps += mstats.bsp.supersteps;
+      bsp.messages += mstats.bsp.messages;
+      bsp.remote_messages += mstats.bsp.remote_messages;
+      bsp.bytes += mstats.bsp.bytes;
+      bsp.max_h_relation =
+          std::max(bsp.max_h_relation, mstats.bsp.max_h_relation);
+    } else {
+      outcome.matching = run_matcher(L, gathered, options.matcher);
+    }
+    outcome.value = evaluate_objective(p, S, outcome.matching);
+    tracker.offer(outcome, gathered, iter);
+    if (options.record_history) {
+      result.objective_history.push_back(outcome.value.objective);
+    }
+  };
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    // --- Phase 1: transpose gather for F --------------------------------
+    // Owner of nonzero s ships sk_prev[s] to the owner of perm[s], which
+    // lives in the row of s's column edge.
+    for (int r = 0; r < P; ++r) {
+      RankState& st = ranks[r];
+      for (eid_t s = st.slo; s < st.shi; ++s) {
+        trans_mail.send(r, owner_edge(scol[s]),
+                        TransMsg{perm[s], st.sk_prev[s - st.slo]});
+      }
+    }
+    trans_mail.deliver(bsp);
+    for (int r = 0; r < P; ++r) {
+      RankState& st = ranks[r];
+      for (const TransMsg& msg : trans_mail.inbox(r)) {
+        st.trans_vals[msg.dest_slot - st.slo] = msg.value;
+      }
+      // F, d and the row othermax are local to the rank.
+      for (eid_t e = st.elo; e < st.ehi; ++e) {
+        weight_t sum = 0.0;
+        for (eid_t s = sptr[e]; s < sptr[e + 1]; ++s) {
+          const weight_t f =
+              std::clamp(p.beta + st.trans_vals[s - st.slo], 0.0, p.beta);
+          st.F[s - st.slo] = f;
+          sum += f;
+        }
+        st.d[e - st.elo] = p.alpha * w[e] + sum;
+      }
+      for (vid_t a = st.alo; a < st.ahi; ++a) {
+        weight_t max1 = kNegInf, max2 = kNegInf;
+        eid_t arg1 = kInvalidEid;
+        for (eid_t e = L.row_begin(a); e < L.row_end(a); ++e) {
+          const weight_t v = st.y_prev[e - st.elo];
+          if (v > max1) {
+            max2 = max1;
+            max1 = v;
+            arg1 = e;
+          } else if (v > max2) {
+            max2 = v;
+          }
+        }
+        for (eid_t e = L.row_begin(a); e < L.row_end(a); ++e) {
+          st.om_row[e - st.elo] = std::max(e == arg1 ? max2 : max1, 0.0);
+        }
+      }
+    }
+
+    // --- Phase 2: column partials to the column owners ------------------
+    for (int r = 0; r < P; ++r) {
+      RankState& st = ranks[r];
+      st.touched.clear();
+      for (eid_t e = st.elo; e < st.ehi; ++e) {
+        const vid_t b = L.edge_b(e);
+        const weight_t v = st.z_prev[e - st.elo];
+        if (st.col_a1[b] == kInvalidEid && st.col_m1[b] == kNegInf) {
+          st.touched.push_back(b);
+        }
+        if (v > st.col_m1[b]) {
+          st.col_m2[b] = st.col_m1[b];
+          st.col_m1[b] = v;
+          st.col_a1[b] = e;
+        } else if (v > st.col_m2[b]) {
+          st.col_m2[b] = v;
+        }
+      }
+      for (const vid_t b : st.touched) {
+        col_mail.send(r, owner_b(b),
+                      ColTriple{b, st.col_m1[b], st.col_a1[b], st.col_m2[b],
+                                static_cast<std::int32_t>(r)});
+        st.col_m1[b] = kNegInf;
+        st.col_m2[b] = kNegInf;
+        st.col_a1[b] = kInvalidEid;
+      }
+    }
+    col_mail.deliver(bsp);
+
+    // --- Phase 3: combine per column, reply to contributors -------------
+    for (int r = 0; r < P; ++r) {
+      RankState& st = ranks[r];
+      auto& contrib = contributors[r];
+      contrib.clear();
+      st.touched.clear();
+      for (const ColTriple& t : col_mail.inbox(r)) {
+        if (st.col_a1[t.b] == kInvalidEid && st.col_m1[t.b] == kNegInf) {
+          st.touched.push_back(t.b);
+        }
+        merge_triple(t.m1, t.a1, t.m2, st.col_m1[t.b], st.col_a1[t.b],
+                     st.col_m2[t.b]);
+        contrib[t.b].push_back(t.from_rank);
+      }
+      for (const vid_t b : st.touched) {
+        for (const std::int32_t dest : contrib[b]) {
+          col_mail.send(r, dest,
+                        ColTriple{b, st.col_m1[b], st.col_a1[b],
+                                  st.col_m2[b], -1});
+        }
+        st.col_m1[b] = kNegInf;
+        st.col_m2[b] = kNegInf;
+        st.col_a1[b] = kInvalidEid;
+      }
+    }
+    col_mail.deliver(bsp);
+
+    // --- Phase 4: finish othermax-col, update messages, damp ------------
+    const weight_t g = std::pow(options.gamma, iter);
+    const weight_t omg = 1.0 - g;
+    for (int r = 0; r < P; ++r) {
+      RankState& st = ranks[r];
+      st.touched.clear();
+      for (const ColTriple& t : col_mail.inbox(r)) {
+        st.col_m1[t.b] = t.m1;
+        st.col_a1[t.b] = t.a1;
+        st.col_m2[t.b] = t.m2;
+        st.touched.push_back(t.b);
+      }
+      for (eid_t e = st.elo; e < st.ehi; ++e) {
+        const vid_t b = L.edge_b(e);
+        const weight_t other =
+            e == st.col_a1[b] ? st.col_m2[b] : st.col_m1[b];
+        st.om_col[e - st.elo] = std::max(other, 0.0);
+      }
+      for (const vid_t b : st.touched) {
+        st.col_m1[b] = kNegInf;
+        st.col_m2[b] = kNegInf;
+        st.col_a1[b] = kInvalidEid;
+      }
+      for (eid_t e = st.elo; e < st.ehi; ++e) {
+        const eid_t i = e - st.elo;
+        st.y[i] = st.d[i] - st.om_col[i];
+        st.z[i] = st.d[i] - st.om_row[i];
+      }
+      for (eid_t e = st.elo; e < st.ehi; ++e) {
+        const eid_t i = e - st.elo;
+        const weight_t scale = st.y[i] + st.z[i] - st.d[i];
+        for (eid_t s = sptr[e]; s < sptr[e + 1]; ++s) {
+          st.sk[s - st.slo] = scale - st.F[s - st.slo];
+        }
+      }
+      for (eid_t i = 0; i < st.ehi - st.elo; ++i) {
+        st.y[i] = g * st.y[i] + omg * st.y_prev[i];
+        st.z[i] = g * st.z[i] + omg * st.z_prev[i];
+        st.y_prev[i] = st.y[i];
+        st.z_prev[i] = st.z[i];
+      }
+      for (eid_t i = 0; i < st.shi - st.slo; ++i) {
+        st.sk[i] = g * st.sk[i] + omg * st.sk_prev[i];
+        st.sk_prev[i] = st.sk[i];
+      }
+    }
+
+    // --- Rounding (allgather + distributed matcher) ----------------------
+    for (int r = 0; r < P; ++r) {
+      const RankState& st = ranks[r];
+      std::copy(st.y.begin(), st.y.end(), gathered.begin() + st.elo);
+    }
+    round_gathered(iter);
+    for (int r = 0; r < P; ++r) {
+      const RankState& st = ranks[r];
+      std::copy(st.z.begin(), st.z.end(), gathered.begin() + st.elo);
+    }
+    round_gathered(iter);
+  }
+
+  result.best_iteration = tracker.best_iteration();
+  result.matching = tracker.best().matching;
+  result.value = tracker.best().value;
+  if (options.final_exact_round && options.matcher != MatcherKind::kExact &&
+      tracker.has_solution()) {
+    const RoundOutcome rerounded =
+        round_heuristic(p, S, tracker.best_heuristic(), MatcherKind::kExact);
+    if (rerounded.value.objective > result.value.objective) {
+      result.matching = rerounded.matching;
+      result.value = rerounded.value;
+    }
+  }
+  result.total_seconds = total_timer.seconds();
+  if (stats) stats->bsp = bsp;
+  return result;
+}
+
+}  // namespace netalign::dist

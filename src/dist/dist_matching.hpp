@@ -1,0 +1,51 @@
+// Distributed-memory locally-dominant 1/2-approximate matching over the
+// simulated BSP substrate (dist/bsp.hpp).
+//
+// This realizes the paper's Section IX outlook -- "a distributed
+// half-approximation matching algorithm [29]" (Catalyurek, Dobrian,
+// Gebremedhin, Halappanavar, Pothen) -- in the message-passing style that
+// a real MPI deployment would use:
+//
+//  - vertices (both sides of L, in the same global id space as the
+//    shared-memory matcher) are block-partitioned across ranks, each rank
+//    owning its vertices' adjacency;
+//  - supersteps alternate between a PROPOSE phase (recompute candidates
+//    against the rank's view of who is matched, send a proposal to the
+//    owner of the chosen neighbor) and a RESOLVE phase (mutual proposals
+//    = a locally dominant edge: match it and notify the owners of all
+//    neighbors so their views update);
+//  - a rank votes to halt when none of its unmatched vertices has an
+//    eligible neighbor; the run ends at global quiescence.
+//
+// Determinism: the BSP simulator executes ranks sequentially, and all
+// decisions depend only on (weights, ids, phase), so the result is
+// independent of the rank count -- a property the tests check, along with
+// maximality and the 1/2 weight bound. The BSP statistics (supersteps,
+// message and byte volumes, max h-relation) are the machine-independent
+// communication costs a real cluster run would pay.
+#pragma once
+
+#include <span>
+
+#include "dist/bsp.hpp"
+#include "matching/matching.hpp"
+
+namespace netalign::dist {
+
+struct DistMatchOptions {
+  int num_ranks = 4;
+};
+
+struct DistMatchStats {
+  BspStats bsp;
+  eid_t proposals = 0;  ///< proposal messages sent
+  eid_t notices = 0;    ///< matched-notification messages sent
+};
+
+/// Distributed locally-dominant matching on L under external weights
+/// (w <= 0 edges ignored), simulated with `num_ranks` ranks.
+BipartiteMatching distributed_locally_dominant_matching(
+    const BipartiteGraph& L, std::span<const weight_t> w,
+    const DistMatchOptions& options = {}, DistMatchStats* stats = nullptr);
+
+}  // namespace netalign::dist

@@ -1,0 +1,242 @@
+#include "dist/dist_mr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dist/dist_matching.hpp"
+#include "dist/mailbox.hpp"
+#include "matching/small_mwm.hpp"
+#include "netalign/rounding.hpp"
+
+namespace netalign::dist {
+
+namespace {
+
+/// Transpose exchange payload: a value addressed to a global S slot.
+struct SlotMsg {
+  eid_t dest_slot;
+  weight_t value;
+};
+
+struct MrRankState {
+  vid_t alo = 0, ahi = 0;
+  eid_t elo = 0, ehi = 0;
+  eid_t slo = 0, shi = 0;
+
+  std::vector<weight_t> u;          // owned slots (upper triangle nonzero)
+  std::vector<weight_t> u_trans;    // gathered U^T values per owned slot
+  std::vector<std::uint8_t> sl;     // owned row-matching indicators
+  std::vector<weight_t> sl_trans;   // gathered S_L^T flags per owned slot
+  std::vector<weight_t> d;          // owned edges
+  std::vector<weight_t> wbar;       // owned edges
+
+  SmallMwmSolver solver;
+  std::vector<SmallMwmSolver::Edge> row_edges;
+  std::vector<std::uint8_t> row_chosen;
+};
+
+}  // namespace
+
+AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
+                                      const SquaresMatrix& S,
+                                      const DistMrOptions& options,
+                                      DistMrStats* stats) {
+  if (!p.is_consistent()) {
+    throw std::invalid_argument("distributed_klau_mr_align: problem");
+  }
+  if (options.num_ranks < 1 || options.max_iterations < 1 ||
+      options.gamma <= 0.0 || options.mstep < 1) {
+    throw std::invalid_argument("distributed_klau_mr_align: options");
+  }
+  if (stats) *stats = DistMrStats{};
+
+  const BipartiteGraph& L = p.L;
+  const eid_t m = L.num_edges();
+  const vid_t na = L.num_a();
+  const int P = options.num_ranks;
+  const auto sptr = S.pattern().row_ptr();
+  const auto scol = S.pattern().col_idx();
+  const auto perm = S.trans_perm();
+  const auto w = L.weights();
+  const weight_t half_beta = p.beta / 2.0;
+  const weight_t u_bound = options.bound_scale * half_beta;
+
+  const vid_t ablock = std::max<vid_t>(1, (na + P - 1) / P);
+  auto owner_a = [&](vid_t a) { return static_cast<int>(a / ablock); };
+  auto owner_edge = [&](eid_t e) { return owner_a(L.edge_a(e)); };
+
+  std::vector<MrRankState> ranks(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) {
+    MrRankState& st = ranks[r];
+    st.alo = std::min<vid_t>(na, static_cast<vid_t>(r) * ablock);
+    st.ahi = std::min<vid_t>(na, static_cast<vid_t>(r + 1) * ablock);
+    st.elo = st.alo < na ? L.row_begin(st.alo) : m;
+    st.ehi = st.ahi < na ? L.row_begin(st.ahi) : m;
+    st.slo = sptr[st.elo];
+    st.shi = sptr[st.ehi];
+    st.u.assign(static_cast<std::size_t>(st.shi - st.slo), 0.0);
+    st.u_trans.assign(st.u.size(), 0.0);
+    st.sl.assign(st.u.size(), 0);
+    st.sl_trans.assign(st.u.size(), 0.0);
+    st.d.assign(static_cast<std::size_t>(st.ehi - st.elo), 0.0);
+    st.wbar.assign(st.d.size(), 0.0);
+    eid_t max_row = 0;
+    for (eid_t e = st.elo; e < st.ehi; ++e) {
+      max_row = std::max(max_row, sptr[e + 1] - sptr[e]);
+    }
+    st.row_edges.reserve(static_cast<std::size_t>(max_row));
+    st.row_chosen.resize(static_cast<std::size_t>(max_row));
+  }
+
+  BspStats bsp;
+  Mailbox<SlotMsg> mail(P);
+  auto transpose_exchange = [&](auto get_value, auto set_value) {
+    for (int r = 0; r < P; ++r) {
+      MrRankState& st = ranks[r];
+      for (eid_t s = st.slo; s < st.shi; ++s) {
+        mail.send(r, owner_edge(scol[s]),
+                  SlotMsg{perm[s], get_value(st, s - st.slo)});
+      }
+    }
+    mail.deliver(bsp);
+    for (int r = 0; r < P; ++r) {
+      MrRankState& st = ranks[r];
+      for (const SlotMsg& msg : mail.inbox(r)) {
+        set_value(st, msg.dest_slot - st.slo, msg.value);
+      }
+    }
+  };
+
+  WallTimer total_timer;
+  AlignResult result;
+  BestSolutionTracker tracker;
+  std::vector<weight_t> gathered(static_cast<std::size_t>(m), 0.0);
+  std::vector<std::uint8_t> x(static_cast<std::size_t>(m), 0);
+  weight_t gamma = options.gamma;
+  weight_t best_upper = kPosInf;
+  int since_upper_improved = 0;
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    // --- Step 1: transpose-gather U, then local exact row matchings -----
+    transpose_exchange(
+        [](const MrRankState& st, eid_t i) { return st.u[i]; },
+        [](MrRankState& st, eid_t i, weight_t v) { st.u_trans[i] = v; });
+    for (int r = 0; r < P; ++r) {
+      MrRankState& st = ranks[r];
+      for (eid_t e = st.elo; e < st.ehi; ++e) {
+        const eid_t lo = sptr[e], hi = sptr[e + 1];
+        if (lo == hi) {
+          st.d[e - st.elo] = 0.0;
+          continue;
+        }
+        st.row_edges.clear();
+        for (eid_t s = lo; s < hi; ++s) {
+          const eid_t f = scol[s];
+          st.row_edges.push_back(SmallMwmSolver::Edge{
+              L.edge_a(f), L.edge_b(f),
+              half_beta + st.u[s - st.slo] - st.u_trans[s - st.slo]});
+        }
+        const std::size_t len = st.row_edges.size();
+        st.d[e - st.elo] = st.solver.solve(
+            st.row_edges, std::span(st.row_chosen.data(), len));
+        for (eid_t s = lo; s < hi; ++s) {
+          st.sl[s - st.slo] = st.row_chosen[s - lo];
+        }
+      }
+      // --- Step 2: wbar, local ------------------------------------------
+      for (eid_t e = st.elo; e < st.ehi; ++e) {
+        st.wbar[e - st.elo] = p.alpha * w[e] + st.d[e - st.elo];
+      }
+      std::copy(st.wbar.begin(), st.wbar.end(), gathered.begin() + st.elo);
+    }
+
+    // --- Step 3: global matching on the distributed matcher -------------
+    if (stats) {
+      // w-bar allgather plus the indicator broadcast back.
+      stats->gather_bytes +=
+          static_cast<std::size_t>(m) * (sizeof(weight_t) + 1);
+    }
+    DistMatchOptions mopt;
+    mopt.num_ranks = P;
+    DistMatchStats mstats;
+    const BipartiteMatching matching =
+        distributed_locally_dominant_matching(L, gathered, mopt, &mstats);
+    bsp.supersteps += mstats.bsp.supersteps;
+    bsp.messages += mstats.bsp.messages;
+    bsp.remote_messages += mstats.bsp.remote_messages;
+    bsp.bytes += mstats.bsp.bytes;
+    bsp.max_h_relation =
+        std::max(bsp.max_h_relation, mstats.bsp.max_h_relation);
+    std::fill(x.begin(), x.end(), std::uint8_t{0});
+    for (vid_t a = 0; a < na; ++a) {
+      if (matching.mate_a[a] != kInvalidVid) {
+        x[L.find_edge(a, matching.mate_a[a])] = 1;
+      }
+    }
+
+    // --- Step 4: objective and upper bound (sum reduction) --------------
+    RoundOutcome outcome;
+    outcome.matching = matching;
+    outcome.value = evaluate_objective(p, S, x);
+    weight_t upper = 0.0;
+    for (int r = 0; r < P; ++r) {
+      const MrRankState& st = ranks[r];
+      for (eid_t e = st.elo; e < st.ehi; ++e) {
+        if (x[e]) upper += st.wbar[e - st.elo];
+      }
+    }
+    tracker.offer(outcome, gathered, iter);
+    if (options.record_history) {
+      result.objective_history.push_back(outcome.value.objective);
+      result.upper_history.push_back(upper);
+    }
+    if (upper < best_upper - 1e-12) {
+      best_upper = upper;
+      since_upper_improved = 0;
+    } else {
+      ++since_upper_improved;
+    }
+
+    // --- Step 5: transpose-gather S_L, local multiplier update ----------
+    transpose_exchange(
+        [](const MrRankState& st, eid_t i) {
+          return static_cast<weight_t>(st.sl[i]);
+        },
+        [](MrRankState& st, eid_t i, weight_t v) { st.sl_trans[i] = v; });
+    for (int r = 0; r < P; ++r) {
+      MrRankState& st = ranks[r];
+      for (eid_t e = st.elo; e < st.ehi; ++e) {
+        for (eid_t s = sptr[e]; s < sptr[e + 1]; ++s) {
+          const vid_t f = scol[s];
+          if (static_cast<eid_t>(e) >= static_cast<eid_t>(f)) continue;
+          weight_t u = st.u[s - st.slo];
+          if (x[e] && st.sl[s - st.slo]) u -= gamma;
+          if (x[f] && st.sl_trans[s - st.slo] > 0.5) u += gamma;
+          st.u[s - st.slo] = std::clamp(u, -u_bound, u_bound);
+        }
+      }
+    }
+    if (since_upper_improved >= options.mstep) {
+      gamma /= 2.0;
+      since_upper_improved = 0;
+    }
+  }
+
+  result.best_upper_bound = best_upper;
+  result.best_iteration = tracker.best_iteration();
+  result.matching = tracker.best().matching;
+  result.value = tracker.best().value;
+  if (options.final_exact_round && tracker.has_solution()) {
+    const RoundOutcome rerounded =
+        round_heuristic(p, S, tracker.best_heuristic(), MatcherKind::kExact);
+    if (rerounded.value.objective > result.value.objective) {
+      result.matching = rerounded.matching;
+      result.value = rerounded.value;
+    }
+  }
+  result.total_seconds = total_timer.seconds();
+  if (stats) stats->bsp = bsp;
+  return result;
+}
+
+}  // namespace netalign::dist

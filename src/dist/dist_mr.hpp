@@ -1,0 +1,48 @@
+// Distributed-memory Klau matching relaxation over the simulated BSP
+// substrate -- the MR half of the paper's Section IX distributed outlook
+// (dist_bp.hpp is the BP half; both share the 1-D data distribution).
+//
+// Listing 1's nonlocal structure per iteration:
+//  1. the Step-1 row weights beta/2 S + U - U^T read the multipliers
+//     through the transpose permutation: the owner of nonzero s ships
+//     U[s] to the owner of perm[s] (the same static exchange pattern as
+//     distributed BP's F step); the tiny exact row matchings themselves
+//     are embarrassingly local, exactly as the paper parallelizes them
+//     over threads;
+//  2. Step 3's global matching runs on the distributed locally-dominant
+//     matcher after an allgather of w-bar (volume charged to the stats);
+//     the resulting indicator is broadcast back (also charged);
+//  3. Step 5's multiplier update reads x[f] (known from the broadcast
+//     indicator) and the row-matching indicators S_L through the
+//     transpose, requiring a second static exchange of S_L flags.
+// Steps 2 and 4 are local (the upper bound is a sum reduction).
+#pragma once
+
+#include "dist/bsp.hpp"
+#include "netalign/klau_mr.hpp"
+#include "netalign/result.hpp"
+#include "netalign/squares.hpp"
+
+namespace netalign::dist {
+
+struct DistMrOptions {
+  int num_ranks = 4;
+  int max_iterations = 100;
+  weight_t gamma = 0.4;
+  int mstep = 10;
+  weight_t bound_scale = 0.5;
+  bool final_exact_round = true;
+  bool record_history = true;
+};
+
+struct DistMrStats {
+  BspStats bsp;
+  std::size_t gather_bytes = 0;  ///< w-bar allgather + indicator broadcast
+};
+
+AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
+                                      const SquaresMatrix& S,
+                                      const DistMrOptions& options = {},
+                                      DistMrStats* stats = nullptr);
+
+}  // namespace netalign::dist

@@ -1,0 +1,66 @@
+// Typed phase-exchange helper for straight-line BSP-style algorithms.
+//
+// The generic BspRuntime (bsp.hpp) drives RankProgram state machines; for
+// algorithms with many heterogeneous phases per iteration (distributed BP
+// has four), writing the phases as straight-line code with explicit
+// mailboxes is clearer and equally faithful: ranks only read their own
+// state plus messages delivered at the previous phase boundary, and the
+// same BspStats (supersteps, messages, remote share, bytes, h-relation)
+// are accumulated.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "dist/bsp.hpp"
+
+namespace netalign::dist {
+
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(int num_ranks)
+      : num_ranks_(num_ranks),
+        inbox_(static_cast<std::size_t>(num_ranks)),
+        outbox_(static_cast<std::size_t>(num_ranks)),
+        sent_(static_cast<std::size_t>(num_ranks), 0) {}
+
+  void send(int from, int to, const T& msg) {
+    outbox_[to].push_back(msg);
+    sent_[from] += 1;
+    messages_ += 1;
+    if (from != to) remote_ += 1;
+  }
+
+  /// Phase boundary: everything sent becomes visible, one superstep is
+  /// charged to `stats`.
+  void deliver(BspStats& stats) {
+    stats.supersteps += 1;
+    stats.messages += messages_;
+    stats.remote_messages += remote_;
+    stats.bytes += messages_ * sizeof(T);
+    stats.max_h_relation = std::max(
+        stats.max_h_relation, *std::max_element(sent_.begin(), sent_.end()));
+    for (int r = 0; r < num_ranks_; ++r) {
+      inbox_[r] = std::move(outbox_[r]);
+      outbox_[r].clear();
+    }
+    std::fill(sent_.begin(), sent_.end(), std::size_t{0});
+    messages_ = 0;
+    remote_ = 0;
+  }
+
+  [[nodiscard]] const std::vector<T>& inbox(int rank) const {
+    return inbox_[rank];
+  }
+
+ private:
+  int num_ranks_;
+  std::vector<std::vector<T>> inbox_;
+  std::vector<std::vector<T>> outbox_;
+  std::vector<std::size_t> sent_;
+  std::size_t messages_ = 0;
+  std::size_t remote_ = 0;
+};
+
+}  // namespace netalign::dist

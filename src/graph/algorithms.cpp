@@ -1,0 +1,82 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netalign {
+
+vid_t Components::largest() const {
+  if (sizes.empty()) return 0;
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+Components connected_components(const Graph& g) {
+  const vid_t n = g.num_vertices();
+  Components out;
+  out.comp.assign(static_cast<std::size_t>(n), kInvalidVid);
+  std::vector<vid_t> stack;
+  for (vid_t start = 0; start < n; ++start) {
+    if (out.comp[start] != kInvalidVid) continue;
+    const vid_t id = out.count++;
+    out.sizes.push_back(0);
+    stack.push_back(start);
+    out.comp[start] = id;
+    while (!stack.empty()) {
+      const vid_t v = stack.back();
+      stack.pop_back();
+      out.sizes[id]++;
+      for (const vid_t u : g.neighbors(v)) {
+        if (out.comp[u] == kInvalidVid) {
+          out.comp[u] = id;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<vid_t> bfs_distances(const Graph& g, vid_t source) {
+  if (source < 0 || source >= g.num_vertices()) {
+    throw std::out_of_range("bfs_distances: source out of range");
+  }
+  std::vector<vid_t> dist(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::vector<vid_t> queue;
+  queue.push_back(source);
+  dist[source] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const vid_t v = queue[head];
+    for (const vid_t u : g.neighbors(v)) {
+      if (dist[u] == -1) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<eid_t> degree_histogram(const Graph& g) {
+  std::vector<eid_t> hist(static_cast<std::size_t>(g.max_degree()) + 1, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) hist[g.degree(v)]++;
+  return hist;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  const vid_t n = g.num_vertices();
+  if (n == 0) return s;
+  double sum = 0.0, sq = 0.0;
+  for (vid_t v = 0; v < n; ++v) {
+    const auto d = static_cast<double>(g.degree(v));
+    sum += d;
+    sq += d * d;
+    s.max = std::max(s.max, g.degree(v));
+    if (g.degree(v) == 0) s.isolated++;
+  }
+  s.mean = sum / static_cast<double>(n);
+  s.second_moment = sq / static_cast<double>(n);
+  return s;
+}
+
+}  // namespace netalign

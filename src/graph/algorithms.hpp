@@ -1,0 +1,44 @@
+// Basic graph algorithms over the undirected Graph type: connectivity,
+// BFS distances, and degree statistics. Used by the examples and benches
+// to characterize generated instances (the paper's Section VI describes
+// its inputs by exactly these statistics) and by tests as structural
+// oracles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace netalign {
+
+/// Connected components: comp[v] in [0, count) with components numbered
+/// by order of their smallest vertex.
+struct Components {
+  std::vector<vid_t> comp;
+  vid_t count = 0;
+  /// Size of each component.
+  std::vector<vid_t> sizes;
+  [[nodiscard]] vid_t largest() const;
+};
+
+Components connected_components(const Graph& g);
+
+/// BFS hop distances from `source`; unreachable vertices get -1.
+std::vector<vid_t> bfs_distances(const Graph& g, vid_t source);
+
+/// Histogram of vertex degrees: bucket d counts vertices of degree d.
+std::vector<eid_t> degree_histogram(const Graph& g);
+
+/// Summary statistics of the degree sequence.
+struct DegreeStats {
+  double mean = 0.0;
+  double second_moment = 0.0;  ///< mean of squared degrees
+  vid_t max = 0;
+  vid_t isolated = 0;  ///< degree-0 vertices
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+}  // namespace netalign

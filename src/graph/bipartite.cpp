@@ -1,0 +1,81 @@
+#include "graph/bipartite.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netalign {
+
+BipartiteGraph BipartiteGraph::from_edges(vid_t num_a, vid_t num_b,
+                                          std::span<const LEdge> edges) {
+  if (num_a < 0 || num_b < 0) {
+    throw std::invalid_argument("BipartiteGraph: negative dimension");
+  }
+  std::vector<LEdge> sorted(edges.begin(), edges.end());
+  for (const auto& e : sorted) {
+    if (e.a < 0 || e.a >= num_a || e.b < 0 || e.b >= num_b) {
+      throw std::out_of_range("BipartiteGraph: edge endpoint out of range");
+    }
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const LEdge& x, const LEdge& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  // Fold duplicates, keeping the max weight.
+  std::vector<LEdge> unique;
+  unique.reserve(sorted.size());
+  for (const auto& e : sorted) {
+    if (!unique.empty() && unique.back().a == e.a && unique.back().b == e.b) {
+      unique.back().w = std::max(unique.back().w, e.w);
+    } else {
+      unique.push_back(e);
+    }
+  }
+
+  BipartiteGraph g;
+  g.na_ = num_a;
+  g.nb_ = num_b;
+  g.aptr_.assign(static_cast<std::size_t>(num_a) + 1, 0);
+  for (const auto& e : unique) g.aptr_[e.a + 1]++;
+  for (vid_t a = 0; a < num_a; ++a) g.aptr_[a + 1] += g.aptr_[a];
+  g.bcol_.reserve(unique.size());
+  g.w_.reserve(unique.size());
+  g.arow_of_.reserve(unique.size());
+  for (const auto& e : unique) {
+    g.bcol_.push_back(e.b);
+    g.w_.push_back(e.w);
+    g.arow_of_.push_back(e.a);
+  }
+
+  // Build the CSC view with edge-id backpointers.
+  g.bptr_.assign(static_cast<std::size_t>(num_b) + 1, 0);
+  for (const auto& e : unique) g.bptr_[e.b + 1]++;
+  for (vid_t b = 0; b < num_b; ++b) g.bptr_[b + 1] += g.bptr_[b];
+  g.acol_.resize(unique.size());
+  g.cedge_.resize(unique.size());
+  std::vector<eid_t> cursor(g.bptr_.begin(), g.bptr_.end() - 1);
+  for (eid_t e = 0; e < static_cast<eid_t>(unique.size()); ++e) {
+    const vid_t b = g.bcol_[e];
+    const eid_t pos = cursor[b]++;
+    g.acol_[pos] = g.arow_of_[e];
+    g.cedge_[pos] = e;
+  }
+  return g;
+}
+
+eid_t BipartiteGraph::find_edge(vid_t a, vid_t b) const noexcept {
+  const auto first = bcol_.begin() + row_begin(a);
+  const auto last = bcol_.begin() + row_end(a);
+  const auto it = std::lower_bound(first, last, b);
+  if (it == last || *it != b) return kInvalidEid;
+  return static_cast<eid_t>(it - bcol_.begin());
+}
+
+std::vector<LEdge> BipartiteGraph::edge_list() const {
+  std::vector<LEdge> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges()));
+  for (eid_t e = 0; e < num_edges(); ++e) {
+    edges.push_back(LEdge{edge_a(e), edge_b(e), edge_weight(e)});
+  }
+  return edges;
+}
+
+}  // namespace netalign

@@ -1,0 +1,94 @@
+// The weighted bipartite graph L between the vertex sets of A and B.
+//
+// Every heuristic weight vector the alignment methods manipulate (w, y, z,
+// d, w-bar) is indexed by the *edges* of L, so L assigns each edge a stable
+// id equal to its position in row-major (CSR) order. Column-major traversal
+// -- needed by othermaxcol and by matching initialization from the B side --
+// goes through a CSC view that stores, for each CSC slot, the CSR edge id it
+// corresponds to. This is the same one-time permutation idea the paper uses
+// for transposes of S (Section IV-A).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace netalign {
+
+/// One edge of L during assembly.
+struct LEdge {
+  vid_t a = 0;        ///< endpoint in V_A
+  vid_t b = 0;        ///< endpoint in V_B
+  weight_t w = 1.0;   ///< similarity weight
+};
+
+class BipartiteGraph {
+ public:
+  BipartiteGraph() = default;
+
+  /// Build from an edge list; duplicate (a, b) pairs keep the max weight.
+  static BipartiteGraph from_edges(vid_t num_a, vid_t num_b,
+                                   std::span<const LEdge> edges);
+
+  [[nodiscard]] vid_t num_a() const noexcept { return na_; }
+  [[nodiscard]] vid_t num_b() const noexcept { return nb_; }
+  [[nodiscard]] eid_t num_edges() const noexcept {
+    return static_cast<eid_t>(bcol_.size());
+  }
+
+  // --- Row-major (A side) view. Edge id == offset into these arrays. ---
+  [[nodiscard]] eid_t row_begin(vid_t a) const noexcept { return aptr_[a]; }
+  [[nodiscard]] eid_t row_end(vid_t a) const noexcept { return aptr_[a + 1]; }
+  [[nodiscard]] vid_t edge_b(eid_t e) const noexcept { return bcol_[e]; }
+  [[nodiscard]] vid_t edge_a(eid_t e) const noexcept { return arow_of_[e]; }
+  [[nodiscard]] weight_t edge_weight(eid_t e) const noexcept { return w_[e]; }
+  [[nodiscard]] std::span<const weight_t> weights() const noexcept {
+    return w_;
+  }
+
+  // --- Column-major (B side) view; maps back to CSR edge ids. ---
+  [[nodiscard]] eid_t col_begin(vid_t b) const noexcept { return bptr_[b]; }
+  [[nodiscard]] eid_t col_end(vid_t b) const noexcept { return bptr_[b + 1]; }
+  /// A-side endpoint of the k-th CSC slot.
+  [[nodiscard]] vid_t col_a(eid_t k) const noexcept { return acol_[k]; }
+  /// CSR edge id of the k-th CSC slot.
+  [[nodiscard]] eid_t col_edge(eid_t k) const noexcept { return cedge_[k]; }
+
+  [[nodiscard]] vid_t degree_a(vid_t a) const noexcept {
+    return static_cast<vid_t>(aptr_[a + 1] - aptr_[a]);
+  }
+  [[nodiscard]] vid_t degree_b(vid_t b) const noexcept {
+    return static_cast<vid_t>(bptr_[b + 1] - bptr_[b]);
+  }
+
+  /// Edge id of (a, b), or kInvalidEid. O(log degree_a(a)).
+  [[nodiscard]] eid_t find_edge(vid_t a, vid_t b) const noexcept;
+
+  /// Raw CSR arrays (row pointers over A vertices; B endpoints per edge id),
+  /// for solver cores that operate on plain spans.
+  [[nodiscard]] std::span<const eid_t> row_ptr() const noexcept {
+    return aptr_;
+  }
+  [[nodiscard]] std::span<const vid_t> b_cols() const noexcept {
+    return bcol_;
+  }
+
+  /// Materialize the assembly-format edge list (CSR order).
+  [[nodiscard]] std::vector<LEdge> edge_list() const;
+
+ private:
+  vid_t na_ = 0;
+  vid_t nb_ = 0;
+  // CSR (by A vertex): bcol_[e] is the B endpoint of edge e, weight w_[e].
+  std::vector<eid_t> aptr_;
+  std::vector<vid_t> bcol_;
+  std::vector<weight_t> w_;
+  std::vector<vid_t> arow_of_;  // inverse of aptr_: A endpoint per edge id
+  // CSC (by B vertex): acol_[k] is the A endpoint, cedge_[k] the edge id.
+  std::vector<eid_t> bptr_;
+  std::vector<vid_t> acol_;
+  std::vector<eid_t> cedge_;
+};
+
+}  // namespace netalign

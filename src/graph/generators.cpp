@@ -1,0 +1,146 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace netalign {
+
+std::vector<double> power_law_degrees(vid_t n, double exponent,
+                                      double min_degree, double max_degree,
+                                      Xoshiro256& rng) {
+  if (exponent <= 1.0) {
+    throw std::invalid_argument("power_law_degrees: exponent must be > 1");
+  }
+  if (min_degree <= 0.0) {
+    throw std::invalid_argument("power_law_degrees: min_degree must be > 0");
+  }
+  if (max_degree <= 0.0) max_degree = static_cast<double>(n - 1);
+  std::vector<double> degrees(static_cast<std::size_t>(n));
+  // Inverse-CDF sampling from the (continuous) Pareto distribution with
+  // shape exponent-1, truncated above at max_degree.
+  const double shape = exponent - 1.0;
+  for (auto& d : degrees) {
+    const double u = rng.uniform();
+    d = std::min(min_degree * std::pow(1.0 - u, -1.0 / shape), max_degree);
+  }
+  return degrees;
+}
+
+Graph chung_lu(std::span<const double> expected_degrees, Xoshiro256& rng) {
+  const vid_t n = static_cast<vid_t>(expected_degrees.size());
+  const double total =
+      std::accumulate(expected_degrees.begin(), expected_degrees.end(), 0.0);
+  if (n == 0 || total <= 0.0) return Graph::from_edges(n, {});
+
+  // Sort vertices by decreasing weight; within the sorted order the edge
+  // probability is non-increasing in j, which the Miller-Hagberg skipping
+  // scheme requires. `order[i]` maps sorted position back to vertex id.
+  std::vector<vid_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
+    return expected_degrees[a] > expected_degrees[b];
+  });
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (vid_t i = 0; i < n; ++i) w[i] = expected_degrees[order[i]];
+
+  std::vector<std::pair<vid_t, vid_t>> edges;
+  edges.reserve(static_cast<std::size_t>(total / 2.0) + 16);
+  for (vid_t i = 0; i + 1 < n; ++i) {
+    vid_t j = i + 1;
+    double p = std::min(1.0, w[i] * w[j] / total);
+    while (j < n && p > 0.0) {
+      if (p < 1.0) {
+        // Geometric skip: jump over pairs that would all be rejected at
+        // the current (over-estimated) probability p.
+        const double r = rng.uniform();
+        j += static_cast<vid_t>(std::floor(std::log1p(-r) / std::log1p(-p)));
+      }
+      if (j < n) {
+        const double q = std::min(1.0, w[i] * w[j] / total);
+        if (rng.uniform() < q / p) {
+          edges.emplace_back(order[i], order[j]);
+        }
+        p = q;
+        ++j;
+      }
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph erdos_renyi(vid_t n, double p, Xoshiro256& rng) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("erdos_renyi: p out of [0, 1]");
+  }
+  std::vector<std::pair<vid_t, vid_t>> edges;
+  if (p > 0.0 && n > 1) {
+    // Linearize the strictly-upper-triangular pair space and skip through
+    // it with geometric gaps.
+    const double log1mp = std::log1p(-p);
+    std::int64_t v = 1, u = -1;
+    const auto nn = static_cast<std::int64_t>(n);
+    while (v < nn) {
+      const double r = rng.uniform();
+      const auto skip =
+          p < 1.0 ? static_cast<std::int64_t>(std::floor(std::log1p(-r) / log1mp))
+                  : 0;
+      u += 1 + skip;
+      while (u >= v && v < nn) {
+        u -= v;
+        ++v;
+      }
+      if (v < nn) {
+        edges.emplace_back(static_cast<vid_t>(u), static_cast<vid_t>(v));
+      }
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph preferential_attachment(vid_t n, vid_t edges_per_vertex,
+                              Xoshiro256& rng) {
+  if (edges_per_vertex < 1) {
+    throw std::invalid_argument("preferential_attachment: need >= 1 edge");
+  }
+  std::vector<std::pair<vid_t, vid_t>> edges;
+  // `targets` holds one entry per edge endpoint, so uniform sampling from
+  // it is degree-proportional sampling.
+  std::vector<vid_t> endpoints;
+  for (vid_t v = 1; v < n; ++v) {
+    const vid_t m = std::min<vid_t>(edges_per_vertex, v);
+    for (vid_t k = 0; k < m; ++k) {
+      vid_t target;
+      if (endpoints.empty()) {
+        target = 0;
+      } else {
+        target = endpoints[rng.uniform_int(endpoints.size())];
+      }
+      edges.emplace_back(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph add_random_edges(const Graph& g, double p, Xoshiro256& rng) {
+  const vid_t n = g.num_vertices();
+  auto edges = g.edge_list();
+  // Sample candidate pairs from G(n, p); from_edges collapses any that
+  // duplicate existing edges, matching "add edges with probability 0.02":
+  // a pair that is already an edge simply stays an edge.
+  const Graph noise = erdos_renyi(n, p, rng);
+  const auto extra = noise.edge_list();
+  edges.insert(edges.end(), extra.begin(), extra.end());
+  return Graph::from_edges(n, edges);
+}
+
+Graph random_power_law_graph(vid_t n, double exponent, double min_degree,
+                             Xoshiro256& rng) {
+  const auto degrees = power_law_degrees(n, exponent, min_degree, 0.0, rng);
+  return chung_lu(degrees, rng);
+}
+
+}  // namespace netalign

@@ -1,0 +1,51 @@
+// Random graph generators.
+//
+// The paper's synthetic quality experiments (Section VI-A, Figure 2) start
+// from a 400-node random power-law graph: a power-law degree sequence is
+// sampled, a random graph with that prescribed degree distribution is
+// generated, and the graphs A and B are formed by perturbing it with
+// independently added random edges (probability 0.02 per vertex pair).
+//
+// Generators use expected-degree (Chung-Lu) sampling with geometric edge
+// skipping, so they run in O(n + m) and scale to the ontology-sized
+// stand-in instances as well as the 400-node quality instances.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/prng.hpp"
+#include "util/types.hpp"
+
+namespace netalign {
+
+/// Sample n degrees from a discrete power law with the given exponent
+/// (P(d) ~ d^-exponent), truncated to [min_degree, max_degree].
+/// max_degree <= 0 means n - 1.
+std::vector<double> power_law_degrees(vid_t n, double exponent,
+                                      double min_degree, double max_degree,
+                                      Xoshiro256& rng);
+
+/// Chung-Lu random graph with the given expected degrees: edge (i, j)
+/// appears independently with probability min(1, d_i d_j / sum(d)).
+/// Runs in O(n + m) via the Miller-Hagberg edge-skipping method.
+Graph chung_lu(std::span<const double> expected_degrees, Xoshiro256& rng);
+
+/// Erdos-Renyi G(n, p) via geometric edge skipping, O(n + m).
+Graph erdos_renyi(vid_t n, double p, Xoshiro256& rng);
+
+/// Barabasi-Albert preferential attachment: each new vertex attaches to
+/// `edges_per_vertex` existing vertices chosen proportionally to degree.
+Graph preferential_attachment(vid_t n, vid_t edges_per_vertex,
+                              Xoshiro256& rng);
+
+/// Return a copy of g with every non-edge pair added independently with
+/// probability p -- the paper's perturbation step for forming A and B.
+Graph add_random_edges(const Graph& g, double p, Xoshiro256& rng);
+
+/// Convenience: sample a power-law graph in one call (degrees then Chung-Lu).
+Graph random_power_law_graph(vid_t n, double exponent, double min_degree,
+                             Xoshiro256& rng);
+
+}  // namespace netalign

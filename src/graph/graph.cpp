@@ -1,0 +1,56 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netalign {
+
+Graph Graph::from_edges(vid_t n,
+                        std::span<const std::pair<vid_t, vid_t>> edges) {
+  if (n < 0) throw std::invalid_argument("Graph::from_edges: negative n");
+  std::vector<std::pair<vid_t, vid_t>> dir;
+  dir.reserve(edges.size() * 2);
+  for (auto [u, v] : edges) {
+    if (u < 0 || u >= n || v < 0 || v >= n) {
+      throw std::out_of_range("Graph::from_edges: vertex out of range");
+    }
+    if (u == v) continue;  // drop self loops
+    dir.emplace_back(u, v);
+    dir.emplace_back(v, u);
+  }
+  std::sort(dir.begin(), dir.end());
+  dir.erase(std::unique(dir.begin(), dir.end()), dir.end());
+
+  Graph g;
+  g.n_ = n;
+  g.ptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (auto [u, v] : dir) g.ptr_[u + 1]++;
+  for (vid_t v = 0; v < n; ++v) g.ptr_[v + 1] += g.ptr_[v];
+  g.adj_.reserve(dir.size());
+  for (auto [u, v] : dir) g.adj_.push_back(v);  // already sorted per row
+  return g;
+}
+
+bool Graph::has_edge(vid_t u, vid_t v) const noexcept {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+vid_t Graph::max_degree() const noexcept {
+  vid_t best = 0;
+  for (vid_t v = 0; v < n_; ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+std::vector<std::pair<vid_t, vid_t>> Graph::edge_list() const {
+  std::vector<std::pair<vid_t, vid_t>> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges()));
+  for (vid_t u = 0; u < n_; ++u) {
+    for (vid_t v : neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+}  // namespace netalign

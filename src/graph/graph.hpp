@@ -1,0 +1,54 @@
+// Undirected simple graph with sorted CSR adjacency.
+//
+// The alignment inputs A and B are undirected graphs; the squares-matrix
+// construction needs fast "is (j, j') an edge of B?" queries, so neighbor
+// lists are kept sorted and queried by binary search.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace netalign {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Build from an edge list. Self loops are dropped and duplicate edges
+  /// (in either orientation) are collapsed; both are common in raw data.
+  static Graph from_edges(vid_t n,
+                          std::span<const std::pair<vid_t, vid_t>> edges);
+
+  [[nodiscard]] vid_t num_vertices() const noexcept { return n_; }
+  /// Number of undirected edges (each counted once).
+  [[nodiscard]] eid_t num_edges() const noexcept {
+    return static_cast<eid_t>(adj_.size()) / 2;
+  }
+
+  [[nodiscard]] vid_t degree(vid_t v) const noexcept {
+    return static_cast<vid_t>(ptr_[v + 1] - ptr_[v]);
+  }
+
+  /// Sorted neighbors of v.
+  [[nodiscard]] std::span<const vid_t> neighbors(vid_t v) const noexcept {
+    return {adj_.data() + ptr_[v], static_cast<std::size_t>(ptr_[v + 1] - ptr_[v])};
+  }
+
+  /// O(log degree) membership test.
+  [[nodiscard]] bool has_edge(vid_t u, vid_t v) const noexcept;
+
+  [[nodiscard]] vid_t max_degree() const noexcept;
+
+  /// Unique undirected edge list (u < v), in lexicographic order.
+  [[nodiscard]] std::vector<std::pair<vid_t, vid_t>> edge_list() const;
+
+ private:
+  vid_t n_ = 0;
+  std::vector<eid_t> ptr_;
+  std::vector<vid_t> adj_;
+};
+
+}  // namespace netalign

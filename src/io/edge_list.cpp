@@ -1,0 +1,61 @@
+#include "io/edge_list.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace netalign {
+
+Graph read_edge_list(std::istream& in, vid_t num_vertices) {
+  std::vector<std::pair<vid_t, vid_t>> edges;
+  vid_t max_id = -1;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    vid_t u, v;
+    if (!(ls >> u >> v)) {
+      throw std::runtime_error("read_edge_list: malformed line " +
+                               std::to_string(lineno));
+    }
+    if (u < 0 || v < 0) {
+      throw std::runtime_error("read_edge_list: negative id on line " +
+                               std::to_string(lineno));
+    }
+    edges.emplace_back(u, v);
+    max_id = std::max({max_id, u, v});
+  }
+  const vid_t n = num_vertices >= 0 ? num_vertices : max_id + 1;
+  return Graph::from_edges(n, edges);
+}
+
+Graph read_edge_list_file(const std::string& path, vid_t num_vertices) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_edge_list_file: cannot open " + path);
+  }
+  return read_edge_list(in, num_vertices);
+}
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << "# vertices " << g.num_vertices() << " edges " << g.num_edges()
+      << '\n';
+  for (const auto& [u, v] : g.edge_list()) {
+    out << u << ' ' << v << '\n';
+  }
+}
+
+void write_edge_list_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_edge_list_file: cannot open " + path);
+  }
+  write_edge_list(out, g);
+}
+
+}  // namespace netalign

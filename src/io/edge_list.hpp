@@ -1,0 +1,21 @@
+// Plain edge-list I/O for graphs: one "u v" pair per line, zero-based,
+// '#' comment lines and blank lines skipped -- the format of most public
+// network repositories (SNAP et al.).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace netalign {
+
+/// Read an undirected edge list. If `num_vertices` < 0 the vertex count is
+/// 1 + the largest id seen.
+Graph read_edge_list(std::istream& in, vid_t num_vertices = -1);
+Graph read_edge_list_file(const std::string& path, vid_t num_vertices = -1);
+
+void write_edge_list(std::ostream& out, const Graph& g);
+void write_edge_list_file(const std::string& path, const Graph& g);
+
+}  // namespace netalign

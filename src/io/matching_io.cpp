@@ -1,0 +1,73 @@
+#include "io/matching_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace netalign {
+
+void write_matching(std::ostream& out, const BipartiteMatching& m) {
+  out << "NETALIGN-MATCHING 1\n";
+  out << m.cardinality << '\n';
+  for (std::size_t a = 0; a < m.mate_a.size(); ++a) {
+    if (m.mate_a[a] != kInvalidVid) {
+      out << a << ' ' << m.mate_a[a] << '\n';
+    }
+  }
+}
+
+void write_matching_file(const std::string& path,
+                         const BipartiteMatching& m) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_matching_file: cannot open " + path);
+  }
+  write_matching(out, m);
+}
+
+BipartiteMatching read_matching(std::istream& in, const BipartiteGraph& L) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "NETALIGN-MATCHING" ||
+      version != 1) {
+    throw std::runtime_error("read_matching: bad header");
+  }
+  eid_t count = 0;
+  if (!(in >> count) || count < 0) {
+    throw std::runtime_error("read_matching: bad count");
+  }
+  BipartiteMatching m;
+  m.mate_a.assign(static_cast<std::size_t>(L.num_a()), kInvalidVid);
+  m.mate_b.assign(static_cast<std::size_t>(L.num_b()), kInvalidVid);
+  for (eid_t i = 0; i < count; ++i) {
+    vid_t a = 0, b = 0;
+    if (!(in >> a >> b)) {
+      throw std::runtime_error("read_matching: truncated pair list");
+    }
+    if (a < 0 || a >= L.num_a() || b < 0 || b >= L.num_b()) {
+      throw std::runtime_error("read_matching: pair out of range");
+    }
+    const eid_t e = L.find_edge(a, b);
+    if (e == kInvalidEid) {
+      throw std::runtime_error("read_matching: pair is not an edge of L");
+    }
+    if (m.mate_a[a] != kInvalidVid || m.mate_b[b] != kInvalidVid) {
+      throw std::runtime_error("read_matching: vertex matched twice");
+    }
+    m.mate_a[a] = b;
+    m.mate_b[b] = a;
+    m.cardinality += 1;
+    m.weight += L.edge_weight(e);
+  }
+  return m;
+}
+
+BipartiteMatching read_matching_file(const std::string& path,
+                                     const BipartiteGraph& L) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_matching_file: cannot open " + path);
+  }
+  return read_matching(in, L);
+}
+
+}  // namespace netalign

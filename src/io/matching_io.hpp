@@ -1,0 +1,24 @@
+// Serialization of alignment results: one "a b" pair per matched edge,
+// with a small header. Lets the steering workflow (paper Section IX) hand
+// a solution to a human reviewer and reload the approved subset.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/bipartite.hpp"
+#include "matching/matching.hpp"
+
+namespace netalign {
+
+void write_matching(std::ostream& out, const BipartiteMatching& m);
+void write_matching_file(const std::string& path, const BipartiteMatching& m);
+
+/// Read a matching and validate it against L (pairs must be L-edges and
+/// form a matching); weight is recomputed from L. Throws
+/// std::runtime_error on malformed input or invalid pairs.
+BipartiteMatching read_matching(std::istream& in, const BipartiteGraph& L);
+BipartiteMatching read_matching_file(const std::string& path,
+                                     const BipartiteGraph& L);
+
+}  // namespace netalign

@@ -1,0 +1,102 @@
+#include "io/problem_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace netalign {
+
+namespace {
+
+void expect_token(std::istream& in, const std::string& expected) {
+  std::string tok;
+  if (!(in >> tok) || tok != expected) {
+    throw std::runtime_error("read_problem: expected token '" + expected +
+                             "', got '" + tok + "'");
+  }
+}
+
+void write_graph(std::ostream& out, const char* tag, const Graph& g) {
+  out << tag << ' ' << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const auto& [u, v] : g.edge_list()) out << u << ' ' << v << '\n';
+}
+
+Graph read_graph(std::istream& in, const char* tag) {
+  expect_token(in, tag);
+  vid_t n = 0;
+  eid_t m = 0;
+  if (!(in >> n >> m)) throw std::runtime_error("read_problem: graph header");
+  std::vector<std::pair<vid_t, vid_t>> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (eid_t i = 0; i < m; ++i) {
+    vid_t u, v;
+    if (!(in >> u >> v)) throw std::runtime_error("read_problem: graph edge");
+    edges.emplace_back(u, v);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace
+
+void write_problem(std::ostream& out, const NetAlignProblem& p) {
+  out << "NETALIGN-PROBLEM 1\n";
+  out << "name " << (p.name.empty() ? "unnamed" : p.name) << '\n';
+  out << "alpha " << p.alpha << " beta " << p.beta << '\n';
+  write_graph(out, "graphA", p.A);
+  write_graph(out, "graphB", p.B);
+  out << "L " << p.L.num_a() << ' ' << p.L.num_b() << ' ' << p.L.num_edges()
+      << '\n';
+  for (eid_t e = 0; e < p.L.num_edges(); ++e) {
+    out << p.L.edge_a(e) << ' ' << p.L.edge_b(e) << ' ' << p.L.edge_weight(e)
+        << '\n';
+  }
+}
+
+void write_problem_file(const std::string& path, const NetAlignProblem& p) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_problem_file: cannot open " + path);
+  write_problem(out, p);
+}
+
+NetAlignProblem read_problem(std::istream& in) {
+  expect_token(in, "NETALIGN-PROBLEM");
+  int version = 0;
+  if (!(in >> version) || version != 1) {
+    throw std::runtime_error("read_problem: unsupported version");
+  }
+  NetAlignProblem p;
+  expect_token(in, "name");
+  if (!(in >> p.name)) throw std::runtime_error("read_problem: name");
+  expect_token(in, "alpha");
+  if (!(in >> p.alpha)) throw std::runtime_error("read_problem: alpha");
+  expect_token(in, "beta");
+  if (!(in >> p.beta)) throw std::runtime_error("read_problem: beta");
+  p.A = read_graph(in, "graphA");
+  p.B = read_graph(in, "graphB");
+  expect_token(in, "L");
+  vid_t na = 0, nb = 0;
+  eid_t ml = 0;
+  if (!(in >> na >> nb >> ml)) throw std::runtime_error("read_problem: L");
+  std::vector<LEdge> edges;
+  edges.reserve(static_cast<std::size_t>(ml));
+  for (eid_t i = 0; i < ml; ++i) {
+    LEdge e;
+    if (!(in >> e.a >> e.b >> e.w)) {
+      throw std::runtime_error("read_problem: L edge");
+    }
+    edges.push_back(e);
+  }
+  p.L = BipartiteGraph::from_edges(na, nb, edges);
+  if (!p.is_consistent()) {
+    throw std::runtime_error("read_problem: inconsistent dimensions");
+  }
+  return p;
+}
+
+NetAlignProblem read_problem_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_problem_file: cannot open " + path);
+  return read_problem(in);
+}
+
+}  // namespace netalign

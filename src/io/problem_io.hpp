@@ -1,0 +1,26 @@
+// Whole-problem serialization, so benches can generate a stand-in instance
+// once and reload it across sweeps, and so users can feed their own data.
+//
+// Text format (version 1):
+//   NETALIGN-PROBLEM 1
+//   name <string without spaces>
+//   alpha <a> beta <b>
+//   graphA <n> <m>         followed by m "u v" lines
+//   graphB <n> <m>         followed by m "u v" lines
+//   L <na> <nb> <mL>       followed by mL "a b w" lines
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netalign/problem.hpp"
+
+namespace netalign {
+
+void write_problem(std::ostream& out, const NetAlignProblem& p);
+void write_problem_file(const std::string& path, const NetAlignProblem& p);
+
+NetAlignProblem read_problem(std::istream& in);
+NetAlignProblem read_problem_file(const std::string& path);
+
+}  // namespace netalign

@@ -1,0 +1,56 @@
+#include "io/smat.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace netalign {
+
+CsrMatrix read_smat(std::istream& in) {
+  vid_t nrows = 0, ncols = 0;
+  eid_t nnz = 0;
+  if (!(in >> nrows >> ncols >> nnz)) {
+    throw std::runtime_error("read_smat: bad header");
+  }
+  if (nrows < 0 || ncols < 0 || nnz < 0) {
+    throw std::runtime_error("read_smat: negative header field");
+  }
+  std::vector<CooEntry> entries;
+  entries.reserve(static_cast<std::size_t>(nnz));
+  for (eid_t i = 0; i < nnz; ++i) {
+    CooEntry e;
+    if (!(in >> e.row >> e.col >> e.value)) {
+      throw std::runtime_error("read_smat: truncated entry list at entry " +
+                               std::to_string(i));
+    }
+    entries.push_back(e);
+  }
+  return CsrMatrix::from_coo(nrows, ncols, entries, DuplicatePolicy::kError);
+}
+
+CsrMatrix read_smat_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_smat_file: cannot open " + path);
+  return read_smat(in);
+}
+
+void write_smat(std::ostream& out, const CsrMatrix& m) {
+  out << m.num_rows() << ' ' << m.num_cols() << ' ' << m.num_nonzeros()
+      << '\n';
+  const auto col = m.col_idx();
+  const auto val = m.values();
+  for (vid_t r = 0; r < m.num_rows(); ++r) {
+    for (eid_t k = m.row_begin(r); k < m.row_end(r); ++k) {
+      out << r << ' ' << col[k] << ' ' << val[k] << '\n';
+    }
+  }
+}
+
+void write_smat_file(const std::string& path, const CsrMatrix& m) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_smat_file: cannot open " + path);
+  write_smat(out, m);
+}
+
+}  // namespace netalign

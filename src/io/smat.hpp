@@ -1,0 +1,20 @@
+// SMAT sparse matrix text format (the format used by the netalign codes
+// the paper published): a header line "nrows ncols nnz" followed by one
+// "row col value" triplet per line, zero-based indices.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace netalign {
+
+/// Parse an SMAT stream. Throws std::runtime_error on malformed input.
+CsrMatrix read_smat(std::istream& in);
+CsrMatrix read_smat_file(const std::string& path);
+
+void write_smat(std::ostream& out, const CsrMatrix& m);
+void write_smat_file(const std::string& path, const CsrMatrix& m);
+
+}  // namespace netalign

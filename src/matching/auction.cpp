@@ -1,0 +1,93 @@
+#include "matching/auction.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace netalign {
+
+BipartiteMatching auction_matching(const BipartiteGraph& L,
+                                   std::span<const weight_t> w,
+                                   const AuctionOptions& options,
+                                   AuctionStats* stats) {
+  if (static_cast<eid_t>(w.size()) != L.num_edges()) {
+    throw std::invalid_argument("auction_matching: weight size mismatch");
+  }
+  const vid_t na = L.num_a();
+  const vid_t nb = L.num_b();
+
+  weight_t max_w = 0.0;
+  for (eid_t e = 0; e < L.num_edges(); ++e) max_w = std::max(max_w, w[e]);
+
+  BipartiteMatching m;
+  m.mate_a.assign(static_cast<std::size_t>(na), kInvalidVid);
+  m.mate_b.assign(static_cast<std::size_t>(nb), kInvalidVid);
+  if (max_w <= 0.0) return m;  // no positive edges: empty matching
+
+  // Reduction to a left-perfect assignment: every person a has a private
+  // zero-weight dummy object (id nb + a); holding the dummy means staying
+  // unmatched. Every person can therefore always place a bid and the
+  // forward auction terminates with all persons assigned.
+  const std::size_t num_objects =
+      static_cast<std::size_t>(nb) + static_cast<std::size_t>(na);
+  std::vector<weight_t> price(num_objects, 0.0);
+  std::vector<vid_t> owner(num_objects, kInvalidVid);
+  std::vector<vid_t> assigned(static_cast<std::size_t>(na), kInvalidVid);
+  std::vector<vid_t> queue;
+  queue.reserve(static_cast<std::size_t>(na));
+  for (vid_t a = 0; a < na; ++a) queue.push_back(a);
+
+  const double eps = std::max(options.epsilon_fraction * max_w, 1e-300);
+  eid_t total_bids = 0;
+
+  while (!queue.empty()) {
+    const vid_t a = queue.back();
+    queue.pop_back();
+    // Best and second-best object values among real positive edges and
+    // the private dummy (value -price[dummy]).
+    vid_t best_obj = static_cast<vid_t>(nb + a);
+    weight_t best_v = -price[best_obj];
+    weight_t second_v = kNegInf;
+    for (eid_t e = L.row_begin(a); e < L.row_end(a); ++e) {
+      if (w[e] <= 0.0) continue;
+      const vid_t b = L.edge_b(e);
+      const weight_t v = w[e] - price[b];
+      if (v > best_v) {
+        second_v = best_v;
+        best_v = v;
+        best_obj = b;
+      } else if (v > second_v) {
+        second_v = v;
+      }
+    }
+    // Bid: raise the target's price to indifference plus eps. With no
+    // competing option (second_v = -inf) a minimal raise suffices.
+    const weight_t raise =
+        (second_v == kNegInf ? 0.0 : best_v - second_v) + eps;
+    price[best_obj] += raise;
+    ++total_bids;
+    const vid_t evicted = owner[best_obj];
+    owner[best_obj] = a;
+    assigned[a] = best_obj;
+    if (evicted != kInvalidVid) {
+      assigned[evicted] = kInvalidVid;
+      queue.push_back(evicted);
+    }
+  }
+
+  for (vid_t a = 0; a < na; ++a) {
+    const vid_t b = assigned[a];
+    if (b == kInvalidVid || b >= nb) continue;  // dummy => unmatched
+    m.mate_a[a] = b;
+    m.mate_b[b] = a;
+    m.cardinality += 1;
+    m.weight += w[L.find_edge(a, b)];
+  }
+  if (stats) {
+    stats->bids = total_bids;
+    stats->epsilon = eps;
+  }
+  return m;
+}
+
+}  // namespace netalign

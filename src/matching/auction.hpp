@@ -1,0 +1,45 @@
+// Auction algorithm for max-weight bipartite matching (Bertsekas).
+//
+// An alternative solver with a very different parallelization profile from
+// the successive-shortest-path Hungarian: persons (A vertices) bid for
+// objects (B vertices), prices rise monotonically until every person holds
+// its best-value object (or its private zero-weight dummy, i.e. stays
+// unmatched). The returned matching satisfies eps-complementary
+// slackness, so its weight is within cardinality * eps of the optimum.
+//
+// This is the plain single-level forward auction: full epsilon *scaling*
+// for the non-perfect (asymmetric) problem requires alternating forward
+// and reverse phases (prices must be able to fall when persons can opt
+// out), which is out of scope -- the default epsilon already gives
+// near-exact results and the worst case (heavily tied weights) degrades
+// to O(max_weight / epsilon) bids per contested object.
+//
+// Included as an extension point (the paper's discussion calls for better
+// matching algorithms) and as an independent cross-check of the exact
+// solver in the test suite.
+#pragma once
+
+#include <span>
+
+#include "matching/matching.hpp"
+
+namespace netalign {
+
+struct AuctionOptions {
+  /// Bid increment as a fraction of the maximum edge weight. The weight
+  /// error bound is cardinality * epsilon_fraction * max_weight.
+  double epsilon_fraction = 1e-7;
+};
+
+struct AuctionStats {
+  eid_t bids = 0;  ///< total bids
+  double epsilon = 0.0;
+};
+
+/// Auction matching on L under external weights (w <= 0 edges ignored).
+BipartiteMatching auction_matching(const BipartiteGraph& L,
+                                   std::span<const weight_t> w,
+                                   const AuctionOptions& options = {},
+                                   AuctionStats* stats = nullptr);
+
+}  // namespace netalign

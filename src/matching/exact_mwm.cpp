@@ -1,0 +1,199 @@
+#include "matching/exact_mwm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netalign {
+
+void MwmWorkspace::resize(vid_t num_left, vid_t num_right) {
+  // Right-side arrays cover the real right vertices plus one dummy per
+  // left vertex (dummy of left l has id num_right + l).
+  const std::size_t nr = static_cast<std::size_t>(num_right) +
+                         static_cast<std::size_t>(num_left);
+  pot_left.assign(static_cast<std::size_t>(num_left), 0.0);
+  pot_right.assign(nr, 0.0);
+  dist.assign(nr, kPosInf);
+  prev_left.assign(nr, kInvalidVid);
+  done.assign(nr, 0);
+  touched.clear();
+  touched.reserve(nr);
+  heap.clear();
+  mate_r_ext.assign(nr, kInvalidVid);
+}
+
+namespace detail {
+
+weight_t solve_mwm_csr(vid_t num_left, vid_t num_right,
+                       std::span<const eid_t> ptr, std::span<const vid_t> col,
+                       std::span<const weight_t> w, MwmWorkspace& ws,
+                       std::span<vid_t> mate_left,
+                       std::span<vid_t> mate_right) {
+  ws.resize(num_left, num_right);
+  std::fill(mate_left.begin(), mate_left.end(), kInvalidVid);
+  std::fill(mate_right.begin(), mate_right.end(), kInvalidVid);
+  // mate over the extended right side (real + dummies); dummies are
+  // tracked here and dropped when writing mate_right back.
+  std::vector<vid_t>& prev = ws.prev_left;
+  auto dummy_of = [&](vid_t l) { return num_right + l; };
+
+  // Working min-cost convention: cost of a real edge is -w (only w > 0
+  // edges participate), dummy edges cost 0. Potentials keep all reduced
+  // costs c - pot_left[l] - pot_right[r] nonnegative.
+  auto edge_cost = [&](eid_t e) { return -w[e]; };
+
+  // Extended mate map for the right side including dummies.
+  std::vector<vid_t>& mate_r_ext = ws.mate_r_ext;
+
+  // Initialize left potentials to the tightest feasible value and greedily
+  // match tight edges -- this removes most Dijkstra phases in practice
+  // (the "heuristic initialization" matching codes rely on, cf. Langguth
+  // et al., which the paper cites as critical for performance).
+  for (vid_t l = 0; l < num_left; ++l) {
+    weight_t best = 0.0;  // dummy edge cost 0 => pot_left <= 0
+    vid_t best_r = dummy_of(l);
+    for (eid_t e = ptr[l]; e < ptr[l + 1]; ++e) {
+      if (w[e] <= 0.0) continue;
+      if (-w[e] < best) {
+        best = -w[e];
+        best_r = col[e];
+      }
+    }
+    ws.pot_left[l] = best;
+    if (mate_r_ext[best_r] == kInvalidVid) {
+      mate_r_ext[best_r] = l;
+      mate_left[l] = best_r;
+    }
+  }
+
+  auto& dist = ws.dist;
+  auto& done = ws.done;
+  auto& heap = ws.heap;
+  const auto heap_greater = [](const std::pair<weight_t, vid_t>& a,
+                               const std::pair<weight_t, vid_t>& b) {
+    return a.first > b.first;
+  };
+
+  for (vid_t s = 0; s < num_left; ++s) {
+    if (mate_left[s] != kInvalidVid) continue;
+
+    // Dijkstra over right vertices in the reduced-cost graph.
+    heap.clear();
+    ws.touched.clear();
+    auto relax = [&](vid_t from_l, vid_t r, weight_t cost, weight_t base) {
+      const weight_t rc = cost - ws.pot_left[from_l] - ws.pot_right[r];
+      const weight_t nd = base + rc;
+      if (nd < dist[r]) {
+        if (dist[r] == kPosInf) ws.touched.push_back(r);
+        dist[r] = nd;
+        prev[r] = from_l;
+        heap.emplace_back(nd, r);
+        std::push_heap(heap.begin(), heap.end(), heap_greater);
+      }
+    };
+    auto scan_left = [&](vid_t l, weight_t base) {
+      for (eid_t e = ptr[l]; e < ptr[l + 1]; ++e) {
+        if (w[e] <= 0.0) continue;
+        if (!done[col[e]]) relax(l, col[e], edge_cost(e), base);
+      }
+      if (!done[dummy_of(l)]) relax(l, dummy_of(l), 0.0, base);
+    };
+    scan_left(s, 0.0);
+
+    vid_t sink = kInvalidVid;
+    weight_t sink_dist = kPosInf;
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), heap_greater);
+      const auto [d, r] = heap.back();
+      heap.pop_back();
+      if (done[r] || d > dist[r]) continue;
+      done[r] = 1;
+      if (mate_r_ext[r] == kInvalidVid) {
+        sink = r;
+        sink_dist = d;
+        break;
+      }
+      scan_left(mate_r_ext[r], d);
+    }
+    if (sink == kInvalidVid) {
+      throw std::logic_error("solve_mwm_csr: no augmenting path (dummies "
+                             "should make this impossible)");
+    }
+
+    // Dual update keeps reduced costs nonnegative and makes the found
+    // path tight.
+    ws.pot_left[s] += sink_dist;
+    for (vid_t r : ws.touched) {
+      if (done[r] && r != sink) {
+        ws.pot_right[r] += dist[r] - sink_dist;
+        const vid_t l = mate_r_ext[r];
+        if (l != kInvalidVid) ws.pot_left[l] += sink_dist - dist[r];
+      }
+    }
+
+    // Augment along the predecessor chain.
+    vid_t r = sink;
+    while (true) {
+      const vid_t l = prev[r];
+      const vid_t next_r = mate_left[l];
+      mate_r_ext[r] = l;
+      mate_left[l] = r;
+      if (l == s) break;
+      r = next_r;
+    }
+
+    // Reset per-phase state (only what was touched).
+    for (vid_t t : ws.touched) {
+      dist[t] = kPosInf;
+      done[t] = 0;
+      prev[t] = kInvalidVid;
+    }
+  }
+
+  // Strip dummies and accumulate the matched weight.
+  weight_t total = 0.0;
+  for (vid_t l = 0; l < num_left; ++l) {
+    const vid_t r = mate_left[l];
+    if (r >= num_right) {
+      mate_left[l] = kInvalidVid;  // matched to its dummy => unmatched
+      continue;
+    }
+    mate_right[r] = l;
+    // Find the edge weight by scanning the row (runs once per matched
+    // vertex). Duplicate (l, r) slots may exist in caller-built CSRs; the
+    // solver effectively used the heaviest one, so take the max.
+    weight_t best = kNegInf;
+    for (eid_t e = ptr[l]; e < ptr[l + 1]; ++e) {
+      if (col[e] == r) best = std::max(best, w[e]);
+    }
+    if (best != kNegInf) total += best;
+  }
+  return total;
+}
+
+}  // namespace detail
+
+BipartiteMatching max_weight_matching_exact(const BipartiteGraph& L,
+                                            std::span<const weight_t> w,
+                                            MwmWorkspace& ws) {
+  if (static_cast<eid_t>(w.size()) != L.num_edges()) {
+    throw std::invalid_argument("max_weight_matching_exact: weight size");
+  }
+  BipartiteMatching m;
+  m.mate_a.assign(static_cast<std::size_t>(L.num_a()), kInvalidVid);
+  m.mate_b.assign(static_cast<std::size_t>(L.num_b()), kInvalidVid);
+  m.weight = detail::solve_mwm_csr(L.num_a(), L.num_b(), L.row_ptr(),
+                                   L.b_cols(), w, ws, m.mate_a, m.mate_b);
+  m.cardinality = 0;
+  for (vid_t b : m.mate_a) {
+    if (b != kInvalidVid) ++m.cardinality;
+  }
+  return m;
+}
+
+BipartiteMatching max_weight_matching_exact(const BipartiteGraph& L,
+                                            std::span<const weight_t> w) {
+  MwmWorkspace ws;
+  return max_weight_matching_exact(L, w, ws);
+}
+
+}  // namespace netalign

@@ -1,0 +1,39 @@
+#include "matching/greedy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace netalign {
+
+BipartiteMatching greedy_matching(const BipartiteGraph& L,
+                                  std::span<const weight_t> w) {
+  if (static_cast<eid_t>(w.size()) != L.num_edges()) {
+    throw std::invalid_argument("greedy_matching: weight size mismatch");
+  }
+  std::vector<eid_t> order;
+  order.reserve(static_cast<std::size_t>(L.num_edges()));
+  for (eid_t e = 0; e < L.num_edges(); ++e) {
+    if (w[e] > 0.0) order.push_back(e);
+  }
+  std::sort(order.begin(), order.end(), [&](eid_t x, eid_t y) {
+    return w[x] != w[y] ? w[x] > w[y] : x < y;
+  });
+
+  BipartiteMatching m;
+  m.mate_a.assign(static_cast<std::size_t>(L.num_a()), kInvalidVid);
+  m.mate_b.assign(static_cast<std::size_t>(L.num_b()), kInvalidVid);
+  for (eid_t e : order) {
+    const vid_t a = L.edge_a(e);
+    const vid_t b = L.edge_b(e);
+    if (m.mate_a[a] == kInvalidVid && m.mate_b[b] == kInvalidVid) {
+      m.mate_a[a] = b;
+      m.mate_b[b] = a;
+      m.weight += w[e];
+      m.cardinality += 1;
+    }
+  }
+  return m;
+}
+
+}  // namespace netalign

@@ -1,0 +1,20 @@
+// Classical greedy 1/2-approximation: sort edges by decreasing weight and
+// take every edge whose endpoints are both free. Serial, O(m log m).
+// Included as the textbook baseline the locally-dominant algorithm is
+// equivalent to in output weight guarantees (both are 1/2-approximations
+// that select locally-dominant edges), and as a reference implementation
+// for the property tests.
+#pragma once
+
+#include <span>
+
+#include "matching/matching.hpp"
+
+namespace netalign {
+
+/// Greedy matching under external weights (w <= 0 edges ignored).
+/// Ties are broken by edge id so results are deterministic.
+BipartiteMatching greedy_matching(const BipartiteGraph& L,
+                                  std::span<const weight_t> w);
+
+}  // namespace netalign

@@ -1,0 +1,90 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace netalign {
+
+namespace {
+constexpr int kInf = std::numeric_limits<int>::max();
+}  // namespace
+
+BipartiteMatching maximum_cardinality_matching(
+    const BipartiteGraph& L, std::span<const std::uint8_t> eligible) {
+  if (!eligible.empty() &&
+      static_cast<eid_t>(eligible.size()) != L.num_edges()) {
+    throw std::invalid_argument(
+        "maximum_cardinality_matching: eligible size mismatch");
+  }
+  const vid_t na = L.num_a();
+  const vid_t nb = L.num_b();
+  auto ok = [&](eid_t e) { return eligible.empty() || eligible[e] != 0; };
+
+  BipartiteMatching m;
+  m.mate_a.assign(static_cast<std::size_t>(na), kInvalidVid);
+  m.mate_b.assign(static_cast<std::size_t>(nb), kInvalidVid);
+
+  std::vector<int> dist(static_cast<std::size_t>(na), kInf);
+  std::vector<vid_t> bfs_queue;
+  bfs_queue.reserve(static_cast<std::size_t>(na));
+
+  // BFS layers from free A vertices; returns true while augmenting paths
+  // exist.
+  auto bfs = [&]() {
+    bfs_queue.clear();
+    int free_layer = kInf;
+    for (vid_t a = 0; a < na; ++a) {
+      if (m.mate_a[a] == kInvalidVid) {
+        dist[a] = 0;
+        bfs_queue.push_back(a);
+      } else {
+        dist[a] = kInf;
+      }
+    }
+    for (std::size_t head = 0; head < bfs_queue.size(); ++head) {
+      const vid_t a = bfs_queue[head];
+      if (dist[a] >= free_layer) continue;
+      for (eid_t e = L.row_begin(a); e < L.row_end(a); ++e) {
+        if (!ok(e)) continue;
+        const vid_t b = L.edge_b(e);
+        const vid_t a2 = m.mate_b[b];
+        if (a2 == kInvalidVid) {
+          free_layer = std::min(free_layer, dist[a] + 1);
+        } else if (dist[a2] == kInf) {
+          dist[a2] = dist[a] + 1;
+          bfs_queue.push_back(a2);
+        }
+      }
+    }
+    return free_layer != kInf;
+  };
+
+  // Layered DFS augmentation.
+  std::function<bool(vid_t)> dfs = [&](vid_t a) {
+    for (eid_t e = L.row_begin(a); e < L.row_end(a); ++e) {
+      if (!ok(e)) continue;
+      const vid_t b = L.edge_b(e);
+      const vid_t a2 = m.mate_b[b];
+      if (a2 == kInvalidVid || (dist[a2] == dist[a] + 1 && dfs(a2))) {
+        m.mate_a[a] = b;
+        m.mate_b[b] = a;
+        return true;
+      }
+    }
+    dist[a] = kInf;  // dead end; prune for this phase
+    return false;
+  };
+
+  while (bfs()) {
+    for (vid_t a = 0; a < na; ++a) {
+      if (m.mate_a[a] == kInvalidVid && dist[a] == 0 && dfs(a)) {
+        m.cardinality += 1;
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace netalign

@@ -1,0 +1,22 @@
+// Hopcroft-Karp maximum-cardinality bipartite matching, O(E sqrt(V)).
+//
+// The weighted matchers only ever need weights, but the *cardinality*
+// half of the locally-dominant algorithm's guarantee ("an approximation
+// ratio of half for the cardinality as well", paper Section V) is stated
+// against the maximum cardinality matching -- this solver is the oracle
+// for that property in the test suite, and a generally useful substrate.
+#pragma once
+
+#include <span>
+
+#include "matching/matching.hpp"
+
+namespace netalign {
+
+/// Maximum-cardinality matching on L (weights ignored). If `eligible` is
+/// non-empty it must have one entry per edge; edges with eligible[e] == 0
+/// are excluded (used to restrict to the positive-weight subgraph).
+BipartiteMatching maximum_cardinality_matching(
+    const BipartiteGraph& L, std::span<const std::uint8_t> eligible = {});
+
+}  // namespace netalign

@@ -1,0 +1,321 @@
+#include "matching/locally_dominant.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace netalign {
+
+namespace {
+
+/// Sentinel for "this vertex has never scanned its neighborhood" -- used by
+/// the one-sided initialization, where B-side vertices start uninitialized
+/// and must be treated as stale when first reached from a matched neighbor.
+constexpr vid_t kNeverScanned = -2;
+/// Sentinel installed while a thread is recomputing a vertex's candidate;
+/// serializes rescans so each vertex has a single candidate writer.
+constexpr vid_t kRescanning = -3;
+
+/// The bipartite graph viewed as a general graph: A vertices are
+/// [0, num_a), B vertices are [num_a, num_a + num_b). This mirrors the
+/// paper's presentation of L to the matcher "by not making a distinction
+/// between the two sets of vertices".
+class GeneralView {
+ public:
+  GeneralView(const BipartiteGraph& L, std::span<const weight_t> w)
+      : L_(L), w_(w), na_(L.num_a()) {}
+
+  [[nodiscard]] vid_t num_vertices() const { return na_ + L_.num_b(); }
+  [[nodiscard]] vid_t num_a() const { return na_; }
+
+  /// Visit (neighbor, weight) pairs of global vertex v.
+  template <typename F>
+  void for_neighbors(vid_t v, F&& f) const {
+    if (v < na_) {
+      for (eid_t e = L_.row_begin(v); e < L_.row_end(v); ++e) {
+        f(static_cast<vid_t>(na_ + L_.edge_b(e)), w_[e]);
+      }
+    } else {
+      const vid_t b = v - na_;
+      for (eid_t k = L_.col_begin(b); k < L_.col_end(b); ++k) {
+        f(L_.col_a(k), w_[L_.col_edge(k)]);
+      }
+    }
+  }
+
+ private:
+  const BipartiteGraph& L_;
+  std::span<const weight_t> w_;
+  vid_t na_;
+};
+
+class LdSolver {
+ public:
+  LdSolver(const BipartiteGraph& L, std::span<const weight_t> w,
+           const LdOptions& options, LdStats* stats)
+      : view_(L, w),
+        options_(options),
+        stats_(stats),
+        n_(view_.num_vertices()),
+        mate_(static_cast<std::size_t>(n_)),
+        candidate_(static_cast<std::size_t>(n_)),
+        lock_(static_cast<std::size_t>(n_)),
+        queue_current_(static_cast<std::size_t>(n_)),
+        queue_next_(static_cast<std::size_t>(n_)) {
+    for (vid_t v = 0; v < n_; ++v) {
+      mate_[v].store(kInvalidVid, std::memory_order_relaxed);
+      candidate_[v].store(kNeverScanned, std::memory_order_relaxed);
+      lock_[v].clear(std::memory_order_relaxed);
+    }
+  }
+
+  void run() {
+    const eid_t seeded = options_.init == LdInit::kOneSided
+                             ? phase1_one_sided()
+                             : phase1_two_sided();
+    phase2(seeded);
+  }
+
+  /// Export the mate map back into bipartite form.
+  void extract(const BipartiteGraph& L, std::span<const weight_t> w,
+               BipartiteMatching& m) const {
+    const vid_t na = view_.num_a();
+    m.mate_a.assign(static_cast<std::size_t>(L.num_a()), kInvalidVid);
+    m.mate_b.assign(static_cast<std::size_t>(L.num_b()), kInvalidVid);
+    m.weight = 0.0;
+    m.cardinality = 0;
+    for (vid_t a = 0; a < na; ++a) {
+      const vid_t g = mate_[a].load(std::memory_order_relaxed);
+      if (g == kInvalidVid) continue;
+      const vid_t b = g - na;
+      m.mate_a[a] = b;
+      m.mate_b[b] = a;
+      m.cardinality += 1;
+      m.weight += w[L.find_edge(a, b)];
+    }
+  }
+
+ private:
+  void acquire(vid_t v) {
+    while (lock_[v].test_and_set(std::memory_order_acquire)) {
+      // Spin; critical sections are a handful of loads and stores.
+    }
+  }
+  void release(vid_t v) { lock_[v].clear(std::memory_order_release); }
+
+  /// FINDMATE (paper Algorithm 2): heaviest unmatched neighbor with a
+  /// positive edge; ties broken toward the smaller vertex id.
+  vid_t findmate(vid_t v) {
+    weight_t max_wt = 0.0;  // only strictly positive edges are eligible
+    vid_t max_id = kInvalidVid;
+    view_.for_neighbors(v, [&](vid_t t, weight_t wt) {
+      if (wt <= 0.0) return;
+      if (mate_[t].load(std::memory_order_acquire) != kInvalidVid) return;
+      if (wt > max_wt ||
+          (wt == max_wt && (max_id == kInvalidVid || t < max_id))) {
+        max_wt = wt;
+        max_id = t;
+      }
+    });
+    if (stats_) findmate_calls_.fetch_add(1, std::memory_order_relaxed);
+    return max_id;
+  }
+
+  /// MATCHVERTEX (paper Algorithm 3): match {v, x} if it is locally
+  /// dominant, i.e. the two candidate pointers agree. Both endpoints (or a
+  /// rescanner and a stale pointer holder) may attempt the same or an
+  /// overlapping pair concurrently, so the decision is made atomically:
+  /// take the two per-vertex locks in id order (deadlock-free) and
+  /// re-verify both mates and both candidates before committing. The
+  /// winner appends both endpoints to the queue with a fetch-and-add on
+  /// the queue length -- the paper's __sync_fetch_and_add append.
+  void try_match(vid_t v, vid_t x, std::vector<vid_t>& queue,
+                 std::atomic<eid_t>& count) {
+    const vid_t lo = v < x ? v : x;
+    const vid_t hi = v < x ? x : v;
+    acquire(lo);
+    acquire(hi);
+    const bool ok =
+        mate_[lo].load(std::memory_order_relaxed) == kInvalidVid &&
+        mate_[hi].load(std::memory_order_relaxed) == kInvalidVid &&
+        candidate_[lo].load(std::memory_order_relaxed) == hi &&
+        candidate_[hi].load(std::memory_order_relaxed) == lo;
+    if (ok) {
+      mate_[lo].store(hi, std::memory_order_release);
+      mate_[hi].store(lo, std::memory_order_release);
+    }
+    release(hi);
+    release(lo);
+    if (ok) {
+      const eid_t pos = count.fetch_add(2, std::memory_order_relaxed);
+      queue[pos] = lo;
+      queue[pos + 1] = hi;
+    }
+  }
+
+  /// Phase 1, two-sided (paper Algorithm 1 lines 4-8): every vertex of
+  /// both sets computes a candidate, then locally-dominant pairs match.
+  /// The two loops are separate parallel regions, so every candidate is
+  /// fixed (and findmate is a pure function of the all-unmatched state)
+  /// before any matching happens.
+  eid_t phase1_two_sided() {
+    std::atomic<eid_t> count{0};
+#pragma omp parallel for schedule(dynamic, kDynamicChunk)
+    for (vid_t v = 0; v < n_; ++v) {
+      candidate_[v].store(findmate(v), std::memory_order_release);
+    }
+#pragma omp parallel for schedule(dynamic, kDynamicChunk)
+    for (vid_t v = 0; v < n_; ++v) {
+      const vid_t t = candidate_[v].load(std::memory_order_acquire);
+      if (t >= 0 && candidate_[t].load(std::memory_order_acquire) == v) {
+        try_match(v, t, queue_current_, count);
+      }
+    }
+    return count.load(std::memory_order_relaxed);
+  }
+
+  /// Phase 1, one-sided bipartite-aware initialization (paper Section V):
+  /// threads spawn only from V_A; a thread handling vertex a also inspects
+  /// the adjacency of its chosen b in V_B to decide local dominance. The
+  /// candidate computation for reached B vertices happens in its own
+  /// parallel region (still against the all-unmatched state, so concurrent
+  /// recomputation is benign), and B vertices that are nobody's best keep
+  /// the kNeverScanned sentinel for lazy initialization in phase 2.
+  eid_t phase1_one_sided() {
+    std::atomic<eid_t> count{0};
+    const vid_t na = view_.num_a();
+#pragma omp parallel for schedule(dynamic, kDynamicChunk)
+    for (vid_t a = 0; a < na; ++a) {
+      candidate_[a].store(findmate(a), std::memory_order_release);
+    }
+#pragma omp parallel for schedule(dynamic, kDynamicChunk)
+    for (vid_t a = 0; a < na; ++a) {
+      const vid_t b = candidate_[a].load(std::memory_order_acquire);
+      if (b == kInvalidVid) continue;
+      if (candidate_[b].load(std::memory_order_acquire) == kNeverScanned) {
+        // Pure function of the all-unmatched state: concurrent writers
+        // compute the same value.
+        candidate_[b].store(findmate(b), std::memory_order_release);
+      }
+    }
+#pragma omp parallel for schedule(dynamic, kDynamicChunk)
+    for (vid_t a = 0; a < na; ++a) {
+      const vid_t b = candidate_[a].load(std::memory_order_acquire);
+      if (b != kInvalidVid &&
+          candidate_[b].load(std::memory_order_acquire) == a) {
+        try_match(a, b, queue_current_, count);
+      }
+    }
+    return count.load(std::memory_order_relaxed);
+  }
+
+  /// Revalidation sweep, run when the queue drains: any unmatched vertex
+  /// whose candidate is missing (one-sided lazy init) or points at a
+  /// matched vertex is rescanned, and newly agreeing pairs are matched and
+  /// queued. With two-sided initialization the wake-up propagation of
+  /// phase 2 makes this a no-op; with one-sided initialization it catches
+  /// B-side vertices that were never anyone's best and never became
+  /// adjacent to a matched vertex, which would otherwise strand an
+  /// augmentable edge and break maximality.
+  eid_t revalidation_sweep(std::vector<vid_t>& queue,
+                           std::atomic<eid_t>& count) {
+#pragma omp parallel for schedule(dynamic, kDynamicChunk)
+    for (vid_t v = 0; v < n_; ++v) {
+      if (mate_[v].load(std::memory_order_acquire) != kInvalidVid) continue;
+      const vid_t cv = candidate_[v].load(std::memory_order_acquire);
+      const bool dead =
+          cv == kNeverScanned || cv == kInvalidVid ||
+          (cv >= 0 && mate_[cv].load(std::memory_order_acquire) != kInvalidVid);
+      if (dead) {
+        candidate_[v].store(findmate(v), std::memory_order_release);
+      }
+    }
+#pragma omp parallel for schedule(dynamic, kDynamicChunk)
+    for (vid_t v = 0; v < n_; ++v) {
+      if (mate_[v].load(std::memory_order_acquire) != kInvalidVid) continue;
+      const vid_t t = candidate_[v].load(std::memory_order_acquire);
+      if (t >= 0 && candidate_[t].load(std::memory_order_acquire) == v) {
+        try_match(v, t, queue, count);
+      }
+    }
+    return count.load(std::memory_order_relaxed);
+  }
+
+  /// Phase 2 (paper Algorithm 1 lines 9-16): drain Q_C, reactivating
+  /// unmatched neighbors whose candidate died, until no vertices were
+  /// matched in a round. The queues swap by pointer at the barrier.
+  void phase2(eid_t initial_size) {
+    std::atomic<eid_t> next_count{0};
+    eid_t current_size = initial_size;
+    while (current_size > 0) {
+      if (stats_) {
+        stats_->queue_sizes.push_back(current_size);
+        stats_->rounds += 1;
+      }
+#pragma omp parallel for schedule(dynamic, 64)
+      for (eid_t idx = 0; idx < current_size; ++idx) {
+        const vid_t u = queue_current_[idx];
+        view_.for_neighbors(u, [&](vid_t v, weight_t) {
+          if (mate_[v].load(std::memory_order_acquire) != kInvalidVid) return;
+          // Claim the rescan: CAS from the expected stale value to the
+          // in-progress marker, so v has exactly one candidate writer even
+          // when several matched neighbors reach it in the same round.
+          vid_t cv = candidate_[v].load(std::memory_order_acquire);
+          if (cv != u && cv != kNeverScanned) return;
+          if (!candidate_[v].compare_exchange_strong(
+                  cv, kRescanning, std::memory_order_acq_rel)) {
+            return;
+          }
+          const vid_t nv = findmate(v);
+          candidate_[v].store(nv, std::memory_order_release);
+          if (nv != kInvalidVid &&
+              candidate_[nv].load(std::memory_order_acquire) == v) {
+            try_match(v, nv, queue_next_, next_count);
+          }
+        });
+      }
+      std::swap(queue_current_, queue_next_);  // the paper's pointer swap
+      current_size = next_count.exchange(0, std::memory_order_acq_rel);
+      if (current_size == 0) {
+        // Queue drained: one revalidation sweep, then continue if it
+        // matched anything (see revalidation_sweep).
+        current_size = revalidation_sweep(queue_current_, next_count);
+        next_count.store(0, std::memory_order_relaxed);
+      }
+    }
+    if (stats_) {
+      stats_->findmate_calls = findmate_calls_.load(std::memory_order_relaxed);
+    }
+  }
+
+  GeneralView view_;
+  LdOptions options_;
+  LdStats* stats_;
+  vid_t n_;
+  std::vector<std::atomic<vid_t>> mate_;
+  std::vector<std::atomic<vid_t>> candidate_;
+  std::vector<std::atomic_flag> lock_;
+  std::vector<vid_t> queue_current_;
+  std::vector<vid_t> queue_next_;
+  std::atomic<eid_t> findmate_calls_{0};
+};
+
+}  // namespace
+
+BipartiteMatching locally_dominant_matching(const BipartiteGraph& L,
+                                            std::span<const weight_t> w,
+                                            const LdOptions& options,
+                                            LdStats* stats) {
+  if (static_cast<eid_t>(w.size()) != L.num_edges()) {
+    throw std::invalid_argument("locally_dominant_matching: weight size");
+  }
+  if (stats) *stats = LdStats{};
+  LdSolver solver(L, w, options, stats);
+  solver.run();
+  BipartiteMatching m;
+  solver.extract(L, w, m);
+  return m;
+}
+
+}  // namespace netalign

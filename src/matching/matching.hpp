@@ -1,0 +1,39 @@
+// Common result type and entry points for bipartite matching.
+//
+// All matchers take the bipartite graph L plus an *external* weight vector
+// indexed by L's edge ids -- the alignment methods repeatedly re-match the
+// same graph under different heuristic weights (y, z, w-bar), so weights are
+// never read from L itself. Edges with weight <= 0 are ignored by every
+// matcher: an optimal max-weight matching never uses them, and the 1/2
+// guarantee of the approximate matchers is stated for positive weights.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/bipartite.hpp"
+#include "util/types.hpp"
+
+namespace netalign {
+
+/// A matching in a bipartite graph, as mate maps on both sides.
+struct BipartiteMatching {
+  std::vector<vid_t> mate_a;  ///< size num_a; matched B vertex or kInvalidVid
+  std::vector<vid_t> mate_b;  ///< size num_b; matched A vertex or kInvalidVid
+  weight_t weight = 0.0;      ///< total weight of matched edges
+  eid_t cardinality = 0;      ///< number of matched edges
+
+  /// True if edge id e of L is matched (both endpoints point at each other).
+  [[nodiscard]] bool contains(const BipartiteGraph& L, eid_t e) const {
+    return mate_a[L.edge_a(e)] == L.edge_b(e);
+  }
+
+  /// Matched edge ids in increasing order.
+  [[nodiscard]] std::vector<eid_t> matched_edges(const BipartiteGraph& L) const;
+
+  /// 0/1 indicator vector over L's edges (the x of the integer program).
+  [[nodiscard]] std::vector<std::uint8_t> indicator(const BipartiteGraph& L) const;
+};
+
+}  // namespace netalign

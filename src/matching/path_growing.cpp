@@ -1,0 +1,133 @@
+#include "matching/path_growing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace netalign {
+
+namespace {
+
+/// Optimal matching of a path given its edge weights: classic DP where
+/// take[i] = best using edge i, skip[i] = best without it. Marks chosen
+/// edges in `chosen` (resized by the caller).
+void path_dp(const std::vector<weight_t>& weights,
+             std::vector<std::uint8_t>& chosen) {
+  const std::size_t k = weights.size();
+  chosen.assign(k, 0);
+  if (k == 0) return;
+  // best[i]: optimal value for the prefix of the first i edges; took[i]
+  // records whether edge i-1 is in that optimum (robust traceback, no
+  // floating-point equality tests).
+  std::vector<weight_t> best(k + 1, 0.0);
+  std::vector<std::uint8_t> took(k + 1, 0);
+  for (std::size_t i = 1; i <= k; ++i) {
+    const weight_t with =
+        (i >= 2 ? best[i - 2] : 0.0) + std::max(weights[i - 1], 0.0);
+    if (with > best[i - 1] && weights[i - 1] > 0.0) {
+      best[i] = with;
+      took[i] = 1;
+    } else {
+      best[i] = best[i - 1];
+    }
+  }
+  std::size_t i = k;
+  while (i >= 1) {
+    if (took[i]) {
+      chosen[i - 1] = 1;
+      i = i >= 2 ? i - 2 : 0;
+    } else {
+      i -= 1;
+    }
+  }
+}
+
+}  // namespace
+
+BipartiteMatching path_growing_matching(const BipartiteGraph& L,
+                                        std::span<const weight_t> w,
+                                        PathGrowingStats* stats) {
+  if (static_cast<eid_t>(w.size()) != L.num_edges()) {
+    throw std::invalid_argument("path_growing_matching: weight size");
+  }
+  const vid_t na = L.num_a();
+  const vid_t n = na + L.num_b();
+
+  // removed[v]: vertex already belongs to a grown path.
+  std::vector<std::uint8_t> removed(static_cast<std::size_t>(n), 0);
+
+  auto heaviest_edge = [&](vid_t v, vid_t& other, eid_t& edge) {
+    weight_t best = 0.0;
+    other = kInvalidVid;
+    edge = kInvalidEid;
+    if (v < na) {
+      for (eid_t e = L.row_begin(v); e < L.row_end(v); ++e) {
+        const vid_t t = na + L.edge_b(e);
+        if (removed[t] || w[e] <= 0.0) continue;
+        if (w[e] > best || (w[e] == best && t < other)) {
+          best = w[e];
+          other = t;
+          edge = e;
+        }
+      }
+    } else {
+      const vid_t b = v - na;
+      for (eid_t k = L.col_begin(b); k < L.col_end(b); ++k) {
+        const eid_t e = L.col_edge(k);
+        const vid_t t = L.col_a(k);
+        if (removed[t] || w[e] <= 0.0) continue;
+        if (w[e] > best || (w[e] == best && t < other)) {
+          best = w[e];
+          other = t;
+          edge = e;
+        }
+      }
+    }
+    return best;
+  };
+
+  BipartiteMatching m;
+  m.mate_a.assign(static_cast<std::size_t>(L.num_a()), kInvalidVid);
+  m.mate_b.assign(static_cast<std::size_t>(L.num_b()), kInvalidVid);
+
+  std::vector<eid_t> path_edges;
+  std::vector<weight_t> path_weights;
+  std::vector<std::uint8_t> chosen;
+  for (vid_t start = 0; start < n; ++start) {
+    if (removed[start]) continue;
+    // Grow a path from `start`, removing each visited vertex.
+    path_edges.clear();
+    path_weights.clear();
+    vid_t v = start;
+    while (true) {
+      vid_t other;
+      eid_t edge;
+      const weight_t best = heaviest_edge(v, other, edge);
+      removed[v] = 1;
+      if (best <= 0.0 || other == kInvalidVid) break;
+      path_edges.push_back(edge);
+      path_weights.push_back(best);
+      v = other;
+    }
+    if (path_edges.empty()) continue;
+    if (stats) {
+      stats->paths += 1;
+      stats->longest_path =
+          std::max(stats->longest_path,
+                   static_cast<eid_t>(path_edges.size()));
+    }
+    // Optimal matching within the path via DP.
+    path_dp(path_weights, chosen);
+    for (std::size_t i = 0; i < path_edges.size(); ++i) {
+      if (!chosen[i]) continue;
+      const eid_t e = path_edges[i];
+      m.mate_a[L.edge_a(e)] = L.edge_b(e);
+      m.mate_b[L.edge_b(e)] = L.edge_a(e);
+      m.cardinality += 1;
+      m.weight += w[e];
+    }
+  }
+  return m;
+}
+
+}  // namespace netalign

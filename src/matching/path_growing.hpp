@@ -1,0 +1,32 @@
+// Path-growing 1/2-approximate max-weight matching (Drake and Hougardy),
+// with the dynamic-programming refinement.
+//
+// Grow vertex-disjoint paths by repeatedly leaving a vertex over its
+// heaviest remaining edge; the edges of each path alternate between two
+// tentative matchings. The classic analysis gives a 1/2 guarantee for the
+// heavier of the two; the DP variant instead computes the *optimal*
+// matching within each grown path (paths admit linear-time DP), which is
+// never worse and usually noticeably better.
+//
+// A third 1/2-approximation family next to locally-dominant and Suitor:
+// used by the matching ablation bench and as extra cross-checks in the
+// property tests.
+#pragma once
+
+#include <span>
+
+#include "matching/matching.hpp"
+
+namespace netalign {
+
+struct PathGrowingStats {
+  eid_t paths = 0;         ///< number of non-empty paths grown
+  eid_t longest_path = 0;  ///< edges in the longest path
+};
+
+/// Path-growing matching with per-path DP (w <= 0 edges ignored). Serial.
+BipartiteMatching path_growing_matching(const BipartiteGraph& L,
+                                        std::span<const weight_t> w,
+                                        PathGrowingStats* stats = nullptr);
+
+}  // namespace netalign

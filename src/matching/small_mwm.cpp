@@ -1,0 +1,84 @@
+#include "matching/small_mwm.hpp"
+
+#include <algorithm>
+
+namespace netalign {
+
+weight_t SmallMwmSolver::solve(std::span<const Edge> edges,
+                               std::span<std::uint8_t> chosen) {
+  std::fill(chosen.begin(), chosen.end(), std::uint8_t{0});
+  if (edges.empty()) return 0.0;
+
+  // Compress endpoint ids to dense local ranges.
+  uniq_a_.clear();
+  uniq_b_.clear();
+  for (const auto& e : edges) {
+    uniq_a_.push_back(e.a);
+    uniq_b_.push_back(e.b);
+  }
+  std::sort(uniq_a_.begin(), uniq_a_.end());
+  uniq_a_.erase(std::unique(uniq_a_.begin(), uniq_a_.end()), uniq_a_.end());
+  std::sort(uniq_b_.begin(), uniq_b_.end());
+  uniq_b_.erase(std::unique(uniq_b_.begin(), uniq_b_.end()), uniq_b_.end());
+  const vid_t nl = static_cast<vid_t>(uniq_a_.size());
+  const vid_t nr = static_cast<vid_t>(uniq_b_.size());
+
+  local_a_.resize(edges.size());
+  local_b_.resize(edges.size());
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    local_a_[k] = static_cast<vid_t>(
+        std::lower_bound(uniq_a_.begin(), uniq_a_.end(), edges[k].a) -
+        uniq_a_.begin());
+    local_b_[k] = static_cast<vid_t>(
+        std::lower_bound(uniq_b_.begin(), uniq_b_.end(), edges[k].b) -
+        uniq_b_.begin());
+  }
+
+  // Tiny CSR, rows sorted by (a, b); remember which input edge each slot is.
+  order_.resize(edges.size());
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    order_[k] = static_cast<eid_t>(k);
+  }
+  std::sort(order_.begin(), order_.end(), [&](eid_t x, eid_t y) {
+    return local_a_[x] != local_a_[y] ? local_a_[x] < local_a_[y]
+                                      : local_b_[x] < local_b_[y];
+  });
+  ptr_.assign(static_cast<std::size_t>(nl) + 1, 0);
+  for (std::size_t k = 0; k < edges.size(); ++k) ptr_[local_a_[k] + 1]++;
+  for (vid_t l = 0; l < nl; ++l) ptr_[l + 1] += ptr_[l];
+  col_.resize(edges.size());
+  wgt_.resize(edges.size());
+  edge_of_slot_.resize(edges.size());
+  for (std::size_t slot = 0; slot < order_.size(); ++slot) {
+    const eid_t k = order_[slot];
+    col_[slot] = local_b_[k];
+    wgt_[slot] = edges[k].w;
+    edge_of_slot_[slot] = k;
+  }
+
+  mate_l_.assign(static_cast<std::size_t>(nl), kInvalidVid);
+  mate_r_.assign(static_cast<std::size_t>(nr), kInvalidVid);
+  const weight_t value = detail::solve_mwm_csr(nl, nr, ptr_, col_, wgt_, ws_,
+                                               mate_l_, mate_r_);
+
+  // Report the chosen slots back in input-edge indexing. Duplicate (a, b)
+  // pairs can reach here (distinct squares can share an L-edge pair); mark
+  // only the heaviest duplicate as chosen, matching what the solver used.
+  for (vid_t l = 0; l < nl; ++l) {
+    const vid_t r = mate_l_[l];
+    if (r == kInvalidVid) continue;
+    eid_t best_slot = kInvalidEid;
+    for (eid_t slot = ptr_[l]; slot < ptr_[l + 1]; ++slot) {
+      if (col_[slot] == r &&
+          (best_slot == kInvalidEid || wgt_[slot] > wgt_[best_slot])) {
+        best_slot = slot;
+      }
+    }
+    if (best_slot != kInvalidEid) {
+      chosen[edge_of_slot_[best_slot]] = 1;
+    }
+  }
+  return value;
+}
+
+}  // namespace netalign

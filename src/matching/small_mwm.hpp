@@ -1,0 +1,47 @@
+// Exact max-weight matching on tiny bipartite subproblems.
+//
+// Step 1 of Klau's method solves one exact matching *per row of S*, on the
+// handful of L-edges that share a square with that row's edge (paper
+// Section IV-B). The paper pre-allocates the maximum memory p threads need
+// and never allocates inside the iteration; this class is that per-thread
+// scratch. It compresses the arbitrary (a, b) endpoint ids of the row's
+// edges into dense local ids and runs the same successive-shortest-path
+// core as the full-size exact solver.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matching/exact_mwm.hpp"
+#include "util/types.hpp"
+
+namespace netalign {
+
+class SmallMwmSolver {
+ public:
+  /// One candidate edge of the subproblem: global endpoint ids plus weight.
+  struct Edge {
+    vid_t a;
+    vid_t b;
+    weight_t w;
+  };
+
+  /// Solve max-weight matching over `edges` (weights <= 0 ignored).
+  /// Returns the matched weight; `chosen[k]` is set to 1 iff edges[k] is
+  /// in the matching (chosen must have edges.size() entries).
+  weight_t solve(std::span<const Edge> edges, std::span<std::uint8_t> chosen);
+
+ private:
+  // Endpoint-id compression scratch, reused across calls.
+  std::vector<vid_t> local_a_, local_b_;      // per input edge
+  std::vector<vid_t> uniq_a_, uniq_b_;        // sorted unique endpoint ids
+  std::vector<eid_t> ptr_;
+  std::vector<vid_t> col_;
+  std::vector<weight_t> wgt_;
+  std::vector<eid_t> edge_of_slot_;           // CSR slot -> input edge index
+  std::vector<vid_t> mate_l_, mate_r_;
+  std::vector<eid_t> order_;
+  MwmWorkspace ws_;
+};
+
+}  // namespace netalign

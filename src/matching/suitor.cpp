@@ -1,0 +1,117 @@
+#include "matching/suitor.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace netalign {
+
+namespace {
+
+/// Proposal by u with weight wu beats the standing proposal (ws, s) at a
+/// vertex when it is strictly heavier, or equally heavy from a smaller id.
+/// The strict lexicographic order is what makes displacement chains finite.
+bool beats(weight_t wu, vid_t u, weight_t ws, vid_t s) {
+  return wu > ws || (wu == ws && (s == kInvalidVid || u < s));
+}
+
+}  // namespace
+
+BipartiteMatching suitor_matching(const BipartiteGraph& L,
+                                  std::span<const weight_t> w,
+                                  SuitorStats* stats) {
+  if (static_cast<eid_t>(w.size()) != L.num_edges()) {
+    throw std::invalid_argument("suitor_matching: weight size mismatch");
+  }
+  const vid_t na = L.num_a();
+  const vid_t n = na + L.num_b();
+
+  std::vector<std::atomic<vid_t>> suitor(static_cast<std::size_t>(n));
+  std::vector<weight_t> suitor_w(static_cast<std::size_t>(n), 0.0);
+  std::vector<std::atomic_flag> lock(static_cast<std::size_t>(n));
+  for (vid_t v = 0; v < n; ++v) {
+    suitor[v].store(kInvalidVid, std::memory_order_relaxed);
+    lock[v].clear(std::memory_order_relaxed);
+  }
+  std::atomic<eid_t> proposals{0};
+  std::atomic<eid_t> displaced{0};
+
+  auto for_neighbors = [&](vid_t v, auto&& f) {
+    if (v < na) {
+      for (eid_t e = L.row_begin(v); e < L.row_end(v); ++e) {
+        f(static_cast<vid_t>(na + L.edge_b(e)), w[e]);
+      }
+    } else {
+      const vid_t b = v - na;
+      for (eid_t k = L.col_begin(b); k < L.col_end(b); ++k) {
+        f(L.col_a(k), w[L.col_edge(k)]);
+      }
+    }
+  };
+
+#pragma omp parallel for schedule(dynamic, kDynamicChunk)
+  for (vid_t start = 0; start < n; ++start) {
+    vid_t current = start;
+    while (current != kInvalidVid) {
+      // Pick the heaviest neighbor whose standing proposal we can beat.
+      vid_t target = kInvalidVid;
+      weight_t target_w = 0.0;
+      for_neighbors(current, [&](vid_t t, weight_t wt) {
+        if (wt <= 0.0) return;
+        if (!beats(wt, current, suitor_w[t],
+                   suitor[t].load(std::memory_order_acquire))) {
+          return;
+        }
+        if (wt > target_w ||
+            (wt == target_w && (target == kInvalidVid || t < target))) {
+          target = t;
+          target_w = wt;
+        }
+      });
+      if (target == kInvalidVid) break;
+
+      // Commit under the target's lock; the standing proposal may have
+      // improved since the scan, in which case rescan from `current`.
+      vid_t next = current;
+      while (lock[target].test_and_set(std::memory_order_acquire)) {
+      }
+      const vid_t standing = suitor[target].load(std::memory_order_relaxed);
+      if (beats(target_w, current, suitor_w[target], standing)) {
+        suitor[target].store(current, std::memory_order_relaxed);
+        suitor_w[target] = target_w;
+        next = standing;  // displaced suitor re-proposes (or kInvalidVid)
+        if (stats) {
+          proposals.fetch_add(1, std::memory_order_relaxed);
+          if (standing != kInvalidVid) {
+            displaced.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      lock[target].clear(std::memory_order_release);
+      current = next;
+    }
+  }
+
+  BipartiteMatching m;
+  m.mate_a.assign(static_cast<std::size_t>(L.num_a()), kInvalidVid);
+  m.mate_b.assign(static_cast<std::size_t>(L.num_b()), kInvalidVid);
+  for (vid_t a = 0; a < na; ++a) {
+    const vid_t g = suitor[a].load(std::memory_order_relaxed);
+    if (g == kInvalidVid) continue;
+    if (suitor[g].load(std::memory_order_relaxed) != a) continue;
+    const vid_t b = g - na;
+    m.mate_a[a] = b;
+    m.mate_b[b] = a;
+    m.cardinality += 1;
+    m.weight += w[L.find_edge(a, b)];
+  }
+  if (stats) {
+    stats->proposals = proposals.load(std::memory_order_relaxed);
+    stats->displaced = displaced.load(std::memory_order_relaxed);
+  }
+  return m;
+}
+
+}  // namespace netalign

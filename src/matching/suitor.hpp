@@ -1,0 +1,33 @@
+// Suitor 1/2-approximate max-weight matching.
+//
+// The paper's future-work section points at better approximate matching
+// algorithms for bipartite graphs; the Suitor algorithm (Manne and
+// Halappanavar, IPDPS 2014) is the successor to the locally-dominant
+// algorithm used in the paper and typically performs far fewer neighborhood
+// scans. We include it as the extension module so the matching ablation
+// bench can compare all three 1/2-approximation strategies (greedy,
+// locally-dominant, suitor) for quality and scan counts.
+//
+// Each vertex proposes to the heaviest neighbor whose current best proposal
+// it can beat; a displaced suitor re-proposes. The fixed point assigns each
+// matched pair mutually-best proposals and yields the same matching as the
+// greedy algorithm under consistent tie-breaking.
+#pragma once
+
+#include <span>
+
+#include "matching/matching.hpp"
+
+namespace netalign {
+
+struct SuitorStats {
+  eid_t proposals = 0;   ///< number of proposal operations performed
+  eid_t displaced = 0;   ///< proposals that displaced a previous suitor
+};
+
+/// Suitor matching on L under external weights (w <= 0 edges ignored).
+BipartiteMatching suitor_matching(const BipartiteGraph& L,
+                                  std::span<const weight_t> w,
+                                  SuitorStats* stats = nullptr);
+
+}  // namespace netalign

@@ -1,0 +1,102 @@
+#include "matching/verify.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace netalign {
+
+std::vector<eid_t> BipartiteMatching::matched_edges(
+    const BipartiteGraph& L) const {
+  std::vector<eid_t> edges;
+  edges.reserve(static_cast<std::size_t>(cardinality));
+  for (vid_t a = 0; a < L.num_a(); ++a) {
+    if (mate_a[a] == kInvalidVid) continue;
+    const eid_t e = L.find_edge(a, mate_a[a]);
+    if (e != kInvalidEid) edges.push_back(e);
+  }
+  return edges;
+}
+
+std::vector<std::uint8_t> BipartiteMatching::indicator(
+    const BipartiteGraph& L) const {
+  std::vector<std::uint8_t> x(static_cast<std::size_t>(L.num_edges()), 0);
+  for (const eid_t e : matched_edges(L)) x[e] = 1;
+  return x;
+}
+
+bool is_valid_matching(const BipartiteGraph& L, const BipartiteMatching& m) {
+  if (static_cast<vid_t>(m.mate_a.size()) != L.num_a() ||
+      static_cast<vid_t>(m.mate_b.size()) != L.num_b()) {
+    return false;
+  }
+  eid_t count = 0;
+  for (vid_t a = 0; a < L.num_a(); ++a) {
+    const vid_t b = m.mate_a[a];
+    if (b == kInvalidVid) continue;
+    if (b < 0 || b >= L.num_b()) return false;
+    if (m.mate_b[b] != a) return false;
+    if (L.find_edge(a, b) == kInvalidEid) return false;
+    ++count;
+  }
+  for (vid_t b = 0; b < L.num_b(); ++b) {
+    const vid_t a = m.mate_b[b];
+    if (a == kInvalidVid) continue;
+    if (a < 0 || a >= L.num_a()) return false;
+    if (m.mate_a[a] != b) return false;
+  }
+  return count == m.cardinality;
+}
+
+bool is_maximal_matching(const BipartiteGraph& L,
+                         std::span<const weight_t> w,
+                         const BipartiteMatching& m) {
+  for (eid_t e = 0; e < L.num_edges(); ++e) {
+    if (w[e] <= 0.0) continue;
+    if (m.mate_a[L.edge_a(e)] == kInvalidVid &&
+        m.mate_b[L.edge_b(e)] == kInvalidVid) {
+      return false;
+    }
+  }
+  return true;
+}
+
+weight_t matching_weight(const BipartiteGraph& L, std::span<const weight_t> w,
+                         const BipartiteMatching& m) {
+  weight_t total = 0.0;
+  for (vid_t a = 0; a < L.num_a(); ++a) {
+    if (m.mate_a[a] == kInvalidVid) continue;
+    const eid_t e = L.find_edge(a, m.mate_a[a]);
+    if (e == kInvalidEid) {
+      throw std::logic_error("matching_weight: matched non-edge");
+    }
+    total += w[e];
+  }
+  return total;
+}
+
+weight_t brute_force_mwm_value(const BipartiteGraph& L,
+                               std::span<const weight_t> w) {
+  if (L.num_edges() > 24) {
+    throw std::invalid_argument("brute_force_mwm_value: graph too large");
+  }
+  std::vector<std::uint8_t> used_a(static_cast<std::size_t>(L.num_a()), 0);
+  std::vector<std::uint8_t> used_b(static_cast<std::size_t>(L.num_b()), 0);
+  weight_t best = 0.0;
+  std::function<void(eid_t, weight_t)> dfs = [&](eid_t e, weight_t acc) {
+    best = std::max(best, acc);
+    for (eid_t f = e; f < L.num_edges(); ++f) {
+      if (w[f] <= 0.0) continue;
+      const vid_t a = L.edge_a(f);
+      const vid_t b = L.edge_b(f);
+      if (used_a[a] || used_b[b]) continue;
+      used_a[a] = used_b[b] = 1;
+      dfs(f + 1, acc + w[f]);
+      used_a[a] = used_b[b] = 0;
+    }
+  };
+  dfs(0, 0.0);
+  return best;
+}
+
+}  // namespace netalign

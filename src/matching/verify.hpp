@@ -1,0 +1,32 @@
+// Matching verification predicates, used by the test suite's property
+// checks and by assertion-heavy debug paths in the benches.
+#pragma once
+
+#include <span>
+
+#include "matching/matching.hpp"
+
+namespace netalign {
+
+/// Structural validity: mate maps are mutually consistent, every matched
+/// pair is an actual edge of L, and no vertex appears twice.
+bool is_valid_matching(const BipartiteGraph& L, const BipartiteMatching& m);
+
+/// Maximality w.r.t. positive-weight edges: no edge with w > 0 has both
+/// endpoints unmatched. Half-approximation of *cardinality* follows from
+/// this (paper Section V: the algorithm "computes a maximal matching").
+bool is_maximal_matching(const BipartiteGraph& L,
+                         std::span<const weight_t> w,
+                         const BipartiteMatching& m);
+
+/// Recompute the matched weight under w from the mate maps.
+weight_t matching_weight(const BipartiteGraph& L, std::span<const weight_t> w,
+                         const BipartiteMatching& m);
+
+/// Brute-force exact max-weight matching by edge-subset enumeration over
+/// DFS on the edge list. Exponential; only for tiny test graphs (the
+/// oracle for property tests of the real solvers).
+weight_t brute_force_mwm_value(const BipartiteGraph& L,
+                               std::span<const weight_t> w);
+
+}  // namespace netalign

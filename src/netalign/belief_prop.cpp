@@ -1,0 +1,199 @@
+#include "netalign/belief_prop.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "netalign/othermax.hpp"
+#include "util/parallel.hpp"
+
+namespace netalign {
+
+namespace {
+
+/// One stored message vector waiting for (possibly batched) rounding.
+struct PendingRound {
+  std::vector<weight_t> g;
+  int iter = 0;
+};
+
+}  // namespace
+
+AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
+                              const BeliefPropOptions& options) {
+  if (!p.is_consistent()) {
+    throw std::invalid_argument("belief_prop_align: inconsistent problem");
+  }
+  if (options.max_iterations < 1 || options.batch_size < 1 ||
+      options.gamma <= 0.0 || options.gamma > 1.0) {
+    throw std::invalid_argument("belief_prop_align: bad options");
+  }
+
+  const BipartiteGraph& L = p.L;
+  const eid_t m = L.num_edges();
+  const eid_t nnz = S.num_nonzeros();
+  const auto perm = S.trans_perm();
+  const auto w = L.weights();
+
+  WallTimer total_timer;
+  AlignResult result;
+  BestSolutionTracker tracker;
+
+  // Message state, preallocated once (paper Section IV). *_prev holds the
+  // damped iterate from the previous iteration.
+  std::vector<weight_t> y(static_cast<std::size_t>(m), 0.0);
+  std::vector<weight_t> z(static_cast<std::size_t>(m), 0.0);
+  std::vector<weight_t> y_prev(static_cast<std::size_t>(m), 0.0);
+  std::vector<weight_t> z_prev(static_cast<std::size_t>(m), 0.0);
+  std::vector<weight_t> sk(static_cast<std::size_t>(nnz), 0.0);
+  std::vector<weight_t> sk_prev(static_cast<std::size_t>(nnz), 0.0);
+  std::vector<weight_t> F(static_cast<std::size_t>(nnz), 0.0);
+  std::vector<weight_t> d(static_cast<std::size_t>(m), 0.0);
+  std::vector<weight_t> om_col(static_cast<std::size_t>(m), 0.0);
+  std::vector<weight_t> om_row(static_cast<std::size_t>(m), 0.0);
+
+  // Rounding batch: `batch_size` message vectors are stored and rounded
+  // together as OpenMP tasks (two vectors, y and z, accrue per iteration).
+  std::vector<PendingRound> batch(static_cast<std::size_t>(options.batch_size));
+  for (auto& pr : batch) pr.g.resize(static_cast<std::size_t>(m));
+  std::size_t batch_fill = 0;
+  std::vector<RoundOutcome> batch_out(batch.size());
+
+  auto flush_batch = [&]() {
+    if (batch_fill == 0) return;
+    ScopedStepTimer st(result.timers, "matching");
+    // The paper runs the batched matchings as OpenMP tasks with nested
+    // parallelism inside each task; the matchers themselves contain
+    // parallel loops, so with one batch entry per available thread each
+    // matching runs serially, and with fewer entries the inner loops can
+    // fan out when nested parallelism is enabled.
+#pragma omp parallel
+#pragma omp single
+    {
+      for (std::size_t i = 0; i < batch_fill; ++i) {
+#pragma omp task firstprivate(i) default(shared)
+        batch_out[i] = round_heuristic(p, S, batch[i].g, options.matcher);
+      }
+    }
+    for (std::size_t i = 0; i < batch_fill; ++i) {
+      tracker.offer(batch_out[i], batch[i].g, batch[i].iter);
+      if (options.record_history) {
+        result.objective_history.push_back(batch_out[i].value.objective);
+      }
+    }
+    batch_fill = 0;
+  };
+  auto enqueue_round = [&](std::span<const weight_t> g, int iter) {
+    std::copy(g.begin(), g.end(), batch[batch_fill].g.begin());
+    batch[batch_fill].iter = iter;
+    if (++batch_fill == batch.size()) flush_batch();
+  };
+
+  const auto scol = S.pattern().col_idx();
+  const auto nrows = static_cast<vid_t>(m);
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    // --- Step 1: F = bound_{0,beta}[beta S + S^(k)T] ---------------------
+    {
+      ScopedStepTimer st(result.timers, "compute_F");
+#pragma omp parallel for schedule(dynamic, kDynamicChunk)
+      for (vid_t e = 0; e < nrows; ++e) {
+        for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) {
+          F[k] = std::clamp(p.beta + sk_prev[perm[k]], 0.0, p.beta);
+        }
+      }
+    }
+
+    // --- Step 2: d = alpha w + F e ---------------------------------------
+    {
+      ScopedStepTimer st(result.timers, "compute_d");
+#pragma omp parallel for schedule(dynamic, kDynamicChunk)
+      for (vid_t e = 0; e < nrows; ++e) {
+        weight_t sum = 0.0;
+        for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) sum += F[k];
+        d[e] = p.alpha * w[e] + sum;
+      }
+    }
+
+    // --- Step 3: othermax -------------------------------------------------
+    {
+      ScopedStepTimer st(result.timers, "othermax");
+      if (options.independent_othermax_tasks) {
+        // The two othermax sweeps touch disjoint outputs and only read
+        // the previous iterates, so they can run as independent tasks
+        // (paper Section IX's first future-work item).
+#pragma omp parallel sections
+        {
+#pragma omp section
+          othermax_col(L, z_prev, om_col);
+#pragma omp section
+          othermax_row(L, y_prev, om_row);
+        }
+      } else {
+        othermax_col(L, z_prev, om_col);
+        othermax_row(L, y_prev, om_row);
+      }
+#pragma omp parallel for schedule(static)
+      for (eid_t e = 0; e < m; ++e) {
+        y[e] = d[e] - om_col[e];
+        z[e] = d[e] - om_row[e];
+      }
+    }
+
+    // --- Step 4: S^(k) = diag(y + z - d) S - F ----------------------------
+    {
+      ScopedStepTimer st(result.timers, "update_S");
+#pragma omp parallel for schedule(dynamic, kDynamicChunk)
+      for (vid_t e = 0; e < nrows; ++e) {
+        const weight_t scale = y[e] + z[e] - d[e];
+        for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) {
+          sk[k] = scale - F[k];
+        }
+      }
+    }
+
+    // --- Step 5: damping --------------------------------------------------
+    {
+      ScopedStepTimer st(result.timers, "damping");
+      const weight_t g = std::pow(options.gamma, iter);
+      const weight_t omg = 1.0 - g;
+#pragma omp parallel for schedule(static)
+      for (eid_t e = 0; e < m; ++e) {
+        y[e] = g * y[e] + omg * y_prev[e];
+        z[e] = g * z[e] + omg * z_prev[e];
+        y_prev[e] = y[e];
+        z_prev[e] = z[e];
+      }
+#pragma omp parallel for schedule(static)
+      for (eid_t k = 0; k < nnz; ++k) {
+        sk[k] = g * sk[k] + omg * sk_prev[k];
+        sk_prev[k] = sk[k];
+      }
+    }
+
+    // --- Step 6: round y and z --------------------------------------------
+    enqueue_round(y, iter);
+    enqueue_round(z, iter);
+  }
+  flush_batch();
+
+  result.best_iteration = tracker.best_iteration();
+  result.matching = tracker.best().matching;
+  result.value = tracker.best().value;
+
+  if (options.final_exact_round && options.matcher != MatcherKind::kExact &&
+      tracker.has_solution()) {
+    ScopedStepTimer st(result.timers, "final_exact_round");
+    const RoundOutcome rerounded =
+        round_heuristic(p, S, tracker.best_heuristic(), MatcherKind::kExact);
+    if (rerounded.value.objective > result.value.objective) {
+      result.matching = rerounded.matching;
+      result.value = rerounded.value;
+    }
+  }
+
+  result.total_seconds = total_timer.seconds();
+  return result;
+}
+
+}  // namespace netalign

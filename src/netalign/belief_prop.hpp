@@ -1,0 +1,44 @@
+// Belief propagation for network alignment -- Listing 2 of the paper
+// (Bayati, Gleich, et al.'s message-passing method).
+//
+// Three message arrays evolve: y and z over the edges of L (the
+// log-likelihood of an edge being matched given the degree constraint on
+// the A side, resp. the B side) and S^(k) over the nonzeros of S (the
+// overlap messages). Each iteration:
+//   1. F = bound_{0,beta}[ beta S + S^(k)^T ]    (gather via trans perm)
+//   2. d = alpha w + F e                         (row sums)
+//   3. y = d - othermaxcol(z_prev); z = d - othermaxrow(y_prev)
+//   4. S^(k) = diag(y + z - d) S - F             (row scaling minus F)
+//   5. damping by gamma^k toward the previous iterate
+//   6. round y and z to matchings and score them
+//
+// The iterates are independent of the rounding results, so rounding can be
+// *batched* (paper Section IV-C): store `batch_size` message vectors and
+// round them concurrently as OpenMP tasks. BP(batch=1) rounds immediately;
+// the paper reports batch sizes 1, 10 and 20 in its scaling study.
+#pragma once
+
+#include "netalign/result.hpp"
+#include "netalign/rounding.hpp"
+#include "netalign/squares.hpp"
+
+namespace netalign {
+
+struct BeliefPropOptions {
+  int max_iterations = 500;
+  weight_t gamma = 0.99;  ///< damping base; iteration k damps by gamma^k
+  int batch_size = 1;     ///< number of message vectors rounded together
+  MatcherKind matcher = MatcherKind::kLocallyDominant;
+  /// Re-round the best heuristic vector exactly at the end (Section VII).
+  bool final_exact_round = true;
+  bool record_history = true;
+  /// Paper Section IX (future work): "the othermax functions could be
+  /// computed independently" -- run the row and column othermax as two
+  /// concurrent OpenMP sections instead of back to back.
+  bool independent_othermax_tasks = false;
+};
+
+AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
+                              const BeliefPropOptions& options = {});
+
+}  // namespace netalign

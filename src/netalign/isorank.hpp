@@ -1,0 +1,40 @@
+// IsoRank-style similarity propagation baseline.
+//
+// The paper's Section I cites Singh et al.'s IsoRank as the method behind
+// one of its bioinformatics datasets, and the companion study [13] uses a
+// sparse IsoRank as the third comparison method next to MR and BP. The
+// idea: two vertices are similar when their neighbors are similar. On the
+// sparsity pattern of L this is a PageRank-like fixed point over L-edges:
+//
+//   x_(i,i') = gamma * sum over squares ((i,i'),(j,j')) of
+//                x_(j,j') / (deg_A(j) * deg_B(j'))
+//              + (1 - gamma) * v_(i,i')
+//
+// where v is the normalized similarity prior from L's weights. The sum
+// over squares is exactly a product with our squares matrix S, so the
+// whole method is a few lines on top of the existing substrate. The
+// fixed point is rounded to a matching with any of the library's
+// matchers, like every other heuristic vector.
+//
+// This is a *baseline*: it uses only local consistency and typically
+// trails MR and BP on overlap (which bench_baselines demonstrates).
+#pragma once
+
+#include "netalign/result.hpp"
+#include "netalign/rounding.hpp"
+#include "netalign/squares.hpp"
+
+namespace netalign {
+
+struct IsoRankOptions {
+  int max_iterations = 100;
+  weight_t gamma = 0.85;     ///< propagation weight vs the prior
+  weight_t tolerance = 1e-9; ///< stop when the iterate moves less than this
+  MatcherKind matcher = MatcherKind::kExact;
+  bool record_history = true;
+};
+
+AlignResult isorank_align(const NetAlignProblem& p, const SquaresMatrix& S,
+                          const IsoRankOptions& options = {});
+
+}  // namespace netalign

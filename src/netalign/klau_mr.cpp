@@ -1,0 +1,233 @@
+#include "netalign/klau_mr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "matching/small_mwm.hpp"
+#include "util/parallel.hpp"
+
+namespace netalign {
+
+namespace {
+
+/// Per-thread scratch for the row matchings of Step 1, allocated once
+/// before the first iteration (paper Section IV-B: "We precompute the
+/// maximum memory required for p threads to run matching problems on the
+/// rows of S and preallocate this memory outside of the iteration").
+struct RowMatchScratch {
+  SmallMwmSolver solver;
+  std::vector<SmallMwmSolver::Edge> edges;
+  std::vector<std::uint8_t> chosen;
+  std::vector<std::size_t> order;       // greedy row matcher scratch
+  std::vector<vid_t> used_a, used_b;    // endpoints taken by greedy
+};
+
+/// Greedy 1/2-approximate matching on one row's edge set; the ablation
+/// counterpart of SmallMwmSolver (see KlauMrOptions::row_matcher).
+weight_t greedy_row_match(RowMatchScratch& sc,
+                          std::span<std::uint8_t> chosen) {
+  const auto& edges = sc.edges;
+  sc.order.resize(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) sc.order[i] = i;
+  std::sort(sc.order.begin(), sc.order.end(),
+            [&](std::size_t x, std::size_t y) {
+              return edges[x].w != edges[y].w ? edges[x].w > edges[y].w
+                                              : x < y;
+            });
+  std::fill(chosen.begin(), chosen.end(), std::uint8_t{0});
+  sc.used_a.clear();
+  sc.used_b.clear();
+  weight_t total = 0.0;
+  auto taken = [](const std::vector<vid_t>& v, vid_t x) {
+    return std::find(v.begin(), v.end(), x) != v.end();
+  };
+  for (const std::size_t i : sc.order) {
+    if (edges[i].w <= 0.0) break;
+    if (taken(sc.used_a, edges[i].a) || taken(sc.used_b, edges[i].b)) {
+      continue;
+    }
+    sc.used_a.push_back(edges[i].a);
+    sc.used_b.push_back(edges[i].b);
+    chosen[i] = 1;
+    total += edges[i].w;
+  }
+  return total;
+}
+
+}  // namespace
+
+AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
+                          const KlauMrOptions& options) {
+  if (!p.is_consistent()) {
+    throw std::invalid_argument("klau_mr_align: inconsistent problem");
+  }
+  if (options.max_iterations < 1 || options.gamma <= 0.0 ||
+      options.mstep < 1) {
+    throw std::invalid_argument("klau_mr_align: bad options");
+  }
+
+  const BipartiteGraph& L = p.L;
+  const eid_t m = L.num_edges();
+  const eid_t nnz = S.num_nonzeros();
+  const auto perm = S.trans_perm();
+  const auto scol = S.pattern().col_idx();
+
+  WallTimer total_timer;
+  AlignResult result;
+
+  // All iteration state, preallocated up front; no allocations inside the
+  // iteration (paper Section IV).
+  std::vector<weight_t> U(static_cast<std::size_t>(nnz), 0.0);
+  std::vector<std::uint8_t> SL(static_cast<std::size_t>(nnz), 0);
+  std::vector<weight_t> d(static_cast<std::size_t>(m), 0.0);
+  std::vector<weight_t> wbar(static_cast<std::size_t>(m), 0.0);
+  std::vector<std::uint8_t> x(static_cast<std::size_t>(m), 0);
+  std::vector<RowMatchScratch> scratch(
+      static_cast<std::size_t>(max_threads()));
+  {
+    // Size each thread's buffers for the widest row of S.
+    eid_t max_row = 0;
+    for (vid_t e = 0; e < static_cast<vid_t>(m); ++e) {
+      max_row = std::max(max_row, S.row_end(e) - S.row_begin(e));
+    }
+    for (auto& sc : scratch) {
+      sc.edges.reserve(static_cast<std::size_t>(max_row));
+      sc.chosen.resize(static_cast<std::size_t>(max_row));
+    }
+  }
+
+  const weight_t half_beta = p.beta / 2.0;
+  const weight_t u_bound = options.bound_scale * half_beta;
+  weight_t gamma = options.gamma;
+  weight_t best_upper = kPosInf;
+  int since_upper_improved = 0;
+  BestSolutionTracker tracker;
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    // --- Step 1: row match ---------------------------------------------
+    // For each row e of S, an exact max-weight matching over the L-edges f
+    // in that row, with weights beta/2 * S + U - U^T read through the
+    // transpose permutation.
+    {
+      ScopedStepTimer st(result.timers, "row_match");
+#pragma omp parallel
+      {
+        RowMatchScratch& sc = scratch[omp_get_thread_num()];
+#pragma omp for schedule(dynamic, kDynamicChunk)
+        for (vid_t e = 0; e < static_cast<vid_t>(m); ++e) {
+          const eid_t lo = S.row_begin(e), hi = S.row_end(e);
+          if (lo == hi) {
+            d[e] = 0.0;
+            continue;
+          }
+          sc.edges.clear();
+          for (eid_t k = lo; k < hi; ++k) {
+            const eid_t f = scol[k];
+            sc.edges.push_back(SmallMwmSolver::Edge{
+                L.edge_a(f), L.edge_b(f), half_beta + U[k] - U[perm[k]]});
+          }
+          const std::size_t row_len = sc.edges.size();
+          const auto chosen_span = std::span(sc.chosen.data(), row_len);
+          d[e] = options.row_matcher == RowMatcher::kExact
+                     ? sc.solver.solve(sc.edges, chosen_span)
+                     : greedy_row_match(sc, chosen_span);
+          for (eid_t k = lo; k < hi; ++k) {
+            SL[k] = sc.chosen[k - lo];
+          }
+        }
+      }
+    }
+
+    // --- Step 2: daxpy ---------------------------------------------------
+    {
+      ScopedStepTimer st(result.timers, "daxpy");
+      const auto w = L.weights();
+#pragma omp parallel for schedule(static)
+      for (eid_t e = 0; e < m; ++e) {
+        wbar[e] = p.alpha * w[e] + d[e];
+      }
+    }
+
+    // --- Step 3: match ---------------------------------------------------
+    BipartiteMatching matching;
+    {
+      ScopedStepTimer st(result.timers, "match");
+      matching = run_matcher(L, wbar, options.matcher);
+      std::fill(x.begin(), x.end(), std::uint8_t{0});
+      for (vid_t a = 0; a < L.num_a(); ++a) {
+        if (matching.mate_a[a] == kInvalidVid) continue;
+        x[L.find_edge(a, matching.mate_a[a])] = 1;
+      }
+    }
+
+    // --- Step 4: objective and upper bound -------------------------------
+    {
+      ScopedStepTimer st(result.timers, "objective");
+      RoundOutcome outcome;
+      outcome.matching = matching;
+      outcome.value = evaluate_objective(p, S, x);
+      weight_t upper = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : upper)
+      for (eid_t e = 0; e < m; ++e) {
+        if (x[e]) upper += wbar[e];
+      }
+      tracker.offer(outcome, wbar, iter);
+      if (options.record_history) {
+        result.objective_history.push_back(outcome.value.objective);
+        result.upper_history.push_back(upper);
+      }
+      if (upper < best_upper - 1e-12) {
+        best_upper = upper;
+        since_upper_improved = 0;
+      } else {
+        ++since_upper_improved;
+      }
+    }
+
+    // --- Step 5: update U -------------------------------------------------
+    // F = U - gamma * X * triu(S_L) + gamma * tril(S_L)^T * X restricted to
+    // the upper triangle (the lower triangle of U stays 0; U - U^T supplies
+    // the antisymmetric part). Row scaling by x[e], column scaling by x[f],
+    // and the tril^T read is a gather through the transpose permutation.
+    {
+      ScopedStepTimer st(result.timers, "update_u");
+#pragma omp parallel for schedule(dynamic, kDynamicChunk)
+      for (vid_t e = 0; e < static_cast<vid_t>(m); ++e) {
+        for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) {
+          const vid_t f = scol[k];
+          if (e >= f) continue;  // upper triangle only
+          weight_t u = U[k];
+          if (x[e] && SL[k]) u -= gamma;
+          if (x[f] && SL[perm[k]]) u += gamma;
+          U[k] = std::clamp(u, -u_bound, u_bound);
+        }
+      }
+      if (since_upper_improved >= options.mstep) {
+        gamma /= 2.0;
+        since_upper_improved = 0;
+      }
+    }
+  }
+
+  result.best_upper_bound = best_upper;
+  result.best_iteration = tracker.best_iteration();
+  result.matching = tracker.best().matching;
+  result.value = tracker.best().value;
+
+  // Final exact rounding of the best heuristic vector (paper Section VII).
+  if (options.final_exact_round && options.matcher != MatcherKind::kExact &&
+      tracker.has_solution()) {
+    ScopedStepTimer st(result.timers, "final_exact_round");
+    const RoundOutcome rerounded =
+        round_heuristic(p, S, tracker.best_heuristic(), MatcherKind::kExact);
+    if (rerounded.value.objective > result.value.objective) {
+      result.matching = rerounded.matching;
+      result.value = rerounded.value;
+    }
+  }
+
+  result.total_seconds = total_timer.seconds();
+  return result;
+}
+
+}  // namespace netalign

@@ -1,0 +1,72 @@
+#include "netalign/objective.hpp"
+
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace netalign {
+
+ObjectiveValue evaluate_objective(const NetAlignProblem& p,
+                                  const SquaresMatrix& S,
+                                  std::span<const std::uint8_t> x) {
+  const eid_t m = p.L.num_edges();
+  if (static_cast<eid_t>(x.size()) != m) {
+    throw std::invalid_argument("evaluate_objective: indicator size");
+  }
+  weight_t weight = 0.0;
+  weight_t xsx = 0.0;
+#pragma omp parallel for schedule(dynamic, kDynamicChunk) \
+    reduction(+ : weight, xsx)
+  for (eid_t e = 0; e < m; ++e) {
+    if (!x[e]) continue;
+    weight += p.L.edge_weight(e);
+    weight_t row = 0.0;
+    for (eid_t k = S.row_begin(static_cast<vid_t>(e));
+         k < S.row_end(static_cast<vid_t>(e)); ++k) {
+      if (x[S.col(k)]) row += 1.0;
+    }
+    xsx += row;
+  }
+  ObjectiveValue v;
+  v.weight = weight;
+  v.overlap = xsx / 2.0;
+  v.objective = p.alpha * v.weight + p.beta * v.overlap;
+  return v;
+}
+
+ObjectiveValue evaluate_objective(const NetAlignProblem& p,
+                                  const SquaresMatrix& S,
+                                  const BipartiteMatching& m) {
+  return evaluate_objective(p, S, m.indicator(p.L));
+}
+
+weight_t brute_force_overlap(const NetAlignProblem& p,
+                             const BipartiteMatching& m) {
+  const auto edges = m.matched_edges(p.L);
+  weight_t overlap = 0.0;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    for (std::size_t j = i + 1; j < edges.size(); ++j) {
+      const vid_t ai = p.L.edge_a(edges[i]);
+      const vid_t bi = p.L.edge_b(edges[i]);
+      const vid_t aj = p.L.edge_a(edges[j]);
+      const vid_t bj = p.L.edge_b(edges[j]);
+      if (p.A.has_edge(ai, aj) && p.B.has_edge(bi, bj)) overlap += 1.0;
+    }
+  }
+  return overlap;
+}
+
+double fraction_correct(const BipartiteMatching& m,
+                        std::span<const vid_t> reference) {
+  std::size_t total = 0;
+  std::size_t correct = 0;
+  for (std::size_t a = 0; a < reference.size(); ++a) {
+    if (reference[a] == kInvalidVid) continue;
+    ++total;
+    if (a < m.mate_a.size() && m.mate_a[a] == reference[a]) ++correct;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace netalign

@@ -1,0 +1,45 @@
+// Objective evaluation for alignment solutions.
+//
+// For a matching indicator x over the edges of L:
+//   weight  = x'w                 (the matching-weight term)
+//   overlap = x'Sx / 2            (number of overlapped edge pairs)
+//   objective = alpha * weight + beta * overlap
+// (the paper's alpha x'w + (beta/2) x'Sx).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "matching/matching.hpp"
+#include "netalign/squares.hpp"
+
+namespace netalign {
+
+struct ObjectiveValue {
+  weight_t weight = 0.0;
+  weight_t overlap = 0.0;
+  weight_t objective = 0.0;
+};
+
+/// Evaluate from a 0/1 indicator over L's edges.
+ObjectiveValue evaluate_objective(const NetAlignProblem& p,
+                                  const SquaresMatrix& S,
+                                  std::span<const std::uint8_t> x);
+
+/// Evaluate from a matching (converts to an indicator internally).
+ObjectiveValue evaluate_objective(const NetAlignProblem& p,
+                                  const SquaresMatrix& S,
+                                  const BipartiteMatching& m);
+
+/// Overlap by brute-force double loop over matched edge pairs and the
+/// adjacency of A and B; O(card^2). Test oracle for x'Sx / 2.
+weight_t brute_force_overlap(const NetAlignProblem& p,
+                             const BipartiteMatching& m);
+
+/// Fraction of vertices of A matched to their counterpart under a
+/// reference alignment (`reference[a]` = expected B vertex or kInvalidVid).
+/// This is the "fraction of correct matches" of the paper's Figure 2.
+double fraction_correct(const BipartiteMatching& m,
+                        std::span<const vid_t> reference);
+
+}  // namespace netalign

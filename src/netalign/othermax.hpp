@@ -1,0 +1,31 @@
+// The othermax operators of the BP method (paper Section III-B).
+//
+// For a weight vector g over the edges of L,
+//   [othermaxrow(g)]_(i,i') = bound_{0,inf} max_{(i,k') in E_L, k' != i'} g_(i,k')
+// i.e. every edge receives the maximum of the *other* edges sharing its A
+// vertex (the edge holding the row maximum receives the second maximum),
+// clamped below at zero. othermaxcol does the same over shared B vertices.
+//
+// Rows are computed from L's CSR view and columns from the CSC view via the
+// edge-id permutation; both parallelize with the dynamic schedule / chunk
+// 1000 configuration the paper reports as fastest (Section IV-C).
+#pragma once
+
+#include <span>
+
+#include "graph/bipartite.hpp"
+#include "util/types.hpp"
+
+namespace netalign {
+
+/// out[e] = max over edges sharing e's A-side vertex, excluding e itself,
+/// clamped at 0. `out` and `g` must both have L.num_edges() entries and
+/// may not alias.
+void othermax_row(const BipartiteGraph& L, std::span<const weight_t> g,
+                  std::span<weight_t> out);
+
+/// Same over shared B-side vertices.
+void othermax_col(const BipartiteGraph& L, std::span<const weight_t> g,
+                  std::span<weight_t> out);
+
+}  // namespace netalign

@@ -1,0 +1,15 @@
+#include "netalign/problem.hpp"
+
+namespace netalign {
+
+ProblemStats problem_stats(const NetAlignProblem& p) {
+  ProblemStats s;
+  s.num_va = p.A.num_vertices();
+  s.num_vb = p.B.num_vertices();
+  s.num_ea = p.A.num_edges();
+  s.num_eb = p.B.num_edges();
+  s.num_el = p.L.num_edges();
+  return s;
+}
+
+}  // namespace netalign

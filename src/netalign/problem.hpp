@@ -1,0 +1,45 @@
+// The network alignment problem instance.
+//
+// Inputs exactly as the paper defines them (Section II): two undirected
+// graphs A and B, a weighted bipartite graph L between their vertex sets,
+// and the objective constants alpha (matching-weight term) and beta
+// (overlap term). The objective for a matching indicator x over E_L is
+//     alpha * x'w + (beta / 2) * x'Sx,
+// where S is the squares matrix built by squares.hpp.
+#pragma once
+
+#include <string>
+
+#include "graph/bipartite.hpp"
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace netalign {
+
+struct NetAlignProblem {
+  Graph A;
+  Graph B;
+  BipartiteGraph L;
+  weight_t alpha = 1.0;
+  weight_t beta = 2.0;  ///< the paper's default experimental setting
+  std::string name = "unnamed";
+
+  /// Consistency checks: L's sides match A's and B's vertex counts.
+  [[nodiscard]] bool is_consistent() const {
+    return L.num_a() == A.num_vertices() && L.num_b() == B.num_vertices();
+  }
+};
+
+/// Summary statistics in the form of the paper's Table II.
+struct ProblemStats {
+  vid_t num_va = 0;
+  vid_t num_vb = 0;
+  eid_t num_ea = 0;
+  eid_t num_eb = 0;
+  eid_t num_el = 0;
+  eid_t nnz_s = 0;  ///< filled by the caller once S is built
+};
+
+ProblemStats problem_stats(const NetAlignProblem& p);
+
+}  // namespace netalign

@@ -1,0 +1,91 @@
+#include "netalign/prune.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace netalign {
+
+namespace {
+
+/// Mark the top-k edges of each row (or column) of L in `keep`.
+void mark_top_k_rows(const BipartiteGraph& L, vid_t k,
+                     std::vector<std::uint8_t>& keep) {
+  std::vector<eid_t> row;
+  for (vid_t a = 0; a < L.num_a(); ++a) {
+    row.clear();
+    for (eid_t e = L.row_begin(a); e < L.row_end(a); ++e) row.push_back(e);
+    if (static_cast<vid_t>(row.size()) > k) {
+      std::nth_element(row.begin(), row.begin() + (k - 1), row.end(),
+                       [&](eid_t x, eid_t y) {
+                         const weight_t wx = L.edge_weight(x);
+                         const weight_t wy = L.edge_weight(y);
+                         return wx != wy ? wx > wy
+                                         : L.edge_b(x) < L.edge_b(y);
+                       });
+      row.resize(static_cast<std::size_t>(k));
+    }
+    for (const eid_t e : row) keep[e] = 1;
+  }
+}
+
+void mark_top_k_cols(const BipartiteGraph& L, vid_t k,
+                     std::vector<std::uint8_t>& keep) {
+  std::vector<eid_t> col;
+  for (vid_t b = 0; b < L.num_b(); ++b) {
+    col.clear();
+    for (eid_t s = L.col_begin(b); s < L.col_end(b); ++s) {
+      col.push_back(L.col_edge(s));
+    }
+    if (static_cast<vid_t>(col.size()) > k) {
+      std::nth_element(col.begin(), col.begin() + (k - 1), col.end(),
+                       [&](eid_t x, eid_t y) {
+                         const weight_t wx = L.edge_weight(x);
+                         const weight_t wy = L.edge_weight(y);
+                         return wx != wy ? wx > wy
+                                         : L.edge_a(x) < L.edge_a(y);
+                       });
+      col.resize(static_cast<std::size_t>(k));
+    }
+    for (const eid_t e : col) keep[e] = 1;
+  }
+}
+
+BipartiteGraph rebuild(const BipartiteGraph& L,
+                       const std::vector<std::uint8_t>& keep) {
+  std::vector<LEdge> edges;
+  for (eid_t e = 0; e < L.num_edges(); ++e) {
+    if (keep[e]) {
+      edges.push_back(LEdge{L.edge_a(e), L.edge_b(e), L.edge_weight(e)});
+    }
+  }
+  return BipartiteGraph::from_edges(L.num_a(), L.num_b(), edges);
+}
+
+}  // namespace
+
+BipartiteGraph prune_top_k(const BipartiteGraph& L, vid_t k, PruneMode mode) {
+  if (k < 1) throw std::invalid_argument("prune_top_k: k must be >= 1");
+  std::vector<std::uint8_t> keep_rows(
+      static_cast<std::size_t>(L.num_edges()), 0);
+  std::vector<std::uint8_t> keep_cols(
+      static_cast<std::size_t>(L.num_edges()), 0);
+  mark_top_k_rows(L, k, keep_rows);
+  mark_top_k_cols(L, k, keep_cols);
+  std::vector<std::uint8_t> keep(static_cast<std::size_t>(L.num_edges()), 0);
+  for (eid_t e = 0; e < L.num_edges(); ++e) {
+    keep[e] = mode == PruneMode::kUnion ? (keep_rows[e] || keep_cols[e])
+                                        : (keep_rows[e] && keep_cols[e]);
+  }
+  return rebuild(L, keep);
+}
+
+BipartiteGraph prune_threshold(const BipartiteGraph& L, weight_t min_weight) {
+  std::vector<std::uint8_t> keep(static_cast<std::size_t>(L.num_edges()), 0);
+  for (eid_t e = 0; e < L.num_edges(); ++e) {
+    keep[e] = L.edge_weight(e) >= min_weight;
+  }
+  return rebuild(L, keep);
+}
+
+}  // namespace netalign

@@ -1,0 +1,32 @@
+// Candidate pruning for the bipartite graph L.
+//
+// Real alignment pipelines rarely feed the full text-similarity graph to
+// the solver: the ontology problems in the paper's Table II are already
+// the result of candidate generation, and the Section IX steering loop
+// removes candidates between runs. These transforms produce a smaller L
+// while keeping edge weights intact; edge ids are renumbered (they are
+// positions in the new graph), so prune before building S.
+#pragma once
+
+#include "graph/bipartite.hpp"
+
+namespace netalign {
+
+enum class PruneMode {
+  /// Keep an edge if it is among the top-k of *either* endpoint
+  /// (preserves more edges; never strands a vertex that had candidates).
+  kUnion,
+  /// Keep an edge only if it is among the top-k of *both* endpoints
+  /// (aggressive; can empty a vertex's candidate list).
+  kIntersection,
+};
+
+/// Keep only the k heaviest candidates per vertex, ties broken by the
+/// partner id (smaller id wins). k < 1 throws.
+BipartiteGraph prune_top_k(const BipartiteGraph& L, vid_t k,
+                           PruneMode mode = PruneMode::kUnion);
+
+/// Drop all edges with weight strictly below `min_weight`.
+BipartiteGraph prune_threshold(const BipartiteGraph& L, weight_t min_weight);
+
+}  // namespace netalign

@@ -1,0 +1,32 @@
+// Common result type for the alignment algorithms.
+#pragma once
+
+#include <vector>
+
+#include "matching/matching.hpp"
+#include "netalign/objective.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace netalign {
+
+struct AlignResult {
+  BipartiteMatching matching;     ///< the returned alignment
+  ObjectiveValue value;           ///< its objective decomposition
+  int best_iteration = -1;        ///< iteration that produced it
+
+  /// Objective value of each rounding event, in order. For BP with
+  /// batching, two entries (y and z) appear per iteration.
+  std::vector<weight_t> objective_history;
+  /// MR only: the Lagrangian upper bound per iteration.
+  std::vector<weight_t> upper_history;
+  /// MR only: the best (smallest) upper bound seen, an a-posteriori
+  /// optimality certificate when exact matching is used.
+  weight_t best_upper_bound = 0.0;
+
+  /// Per-step wall-clock accumulation (Figures 6 and 7 of the paper).
+  StepTimers timers;
+  double total_seconds = 0.0;
+};
+
+}  // namespace netalign

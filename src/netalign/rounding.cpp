@@ -1,0 +1,92 @@
+#include "netalign/rounding.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "matching/auction.hpp"
+#include "matching/greedy.hpp"
+#include "matching/locally_dominant.hpp"
+#include "matching/path_growing.hpp"
+#include "matching/suitor.hpp"
+
+namespace netalign {
+
+std::string to_string(MatcherKind k) {
+  switch (k) {
+    case MatcherKind::kExact:
+      return "exact";
+    case MatcherKind::kLocallyDominant:
+      return "approx";
+    case MatcherKind::kGreedy:
+      return "greedy";
+    case MatcherKind::kSuitor:
+      return "suitor";
+    case MatcherKind::kAuction:
+      return "auction";
+    case MatcherKind::kPathGrowing:
+      return "path_growing";
+  }
+  return "?";
+}
+
+MatcherKind matcher_from_string(const std::string& name) {
+  if (name == "exact") return MatcherKind::kExact;
+  if (name == "approx" || name == "locally-dominant" || name == "ld") {
+    return MatcherKind::kLocallyDominant;
+  }
+  if (name == "greedy") return MatcherKind::kGreedy;
+  if (name == "suitor") return MatcherKind::kSuitor;
+  if (name == "auction") return MatcherKind::kAuction;
+  if (name == "path_growing" || name == "pga") {
+    return MatcherKind::kPathGrowing;
+  }
+  throw std::invalid_argument("unknown matcher: " + name);
+}
+
+BipartiteMatching run_matcher(const BipartiteGraph& L,
+                              std::span<const weight_t> g, MatcherKind kind) {
+  // Non-finite weights poison every matcher differently (the Hungarian
+  // duals diverge, the auction never terminates); fail loudly instead.
+  for (const weight_t v : g) {
+    if (!std::isfinite(v)) {
+      throw std::invalid_argument(
+          "run_matcher: weight vector contains a non-finite value");
+    }
+  }
+  switch (kind) {
+    case MatcherKind::kExact:
+      return max_weight_matching_exact(L, g);
+    case MatcherKind::kLocallyDominant:
+      return locally_dominant_matching(L, g);
+    case MatcherKind::kGreedy:
+      return greedy_matching(L, g);
+    case MatcherKind::kSuitor:
+      return suitor_matching(L, g);
+    case MatcherKind::kAuction:
+      return auction_matching(L, g);
+    case MatcherKind::kPathGrowing:
+      return path_growing_matching(L, g);
+  }
+  throw std::logic_error("run_matcher: unreachable");
+}
+
+RoundOutcome round_heuristic(const NetAlignProblem& p, const SquaresMatrix& S,
+                             std::span<const weight_t> g, MatcherKind kind) {
+  RoundOutcome out;
+  out.matching = run_matcher(p.L, g, kind);
+  out.value = evaluate_objective(p, S, out.matching);
+  return out;
+}
+
+bool BestSolutionTracker::offer(const RoundOutcome& outcome,
+                                std::span<const weight_t> g, int iter) {
+  if (has_solution() && outcome.value.objective <= best_.value.objective) {
+    return false;
+  }
+  best_ = outcome;
+  best_g_.assign(g.begin(), g.end());
+  best_iter_ = iter;
+  return true;
+}
+
+}  // namespace netalign

@@ -1,0 +1,69 @@
+// round_heuristic (paper Table I): turn a real-valued heuristic weight
+// vector over E_L into a matching with a pluggable bipartite matcher, then
+// evaluate the alignment objective of that matching. The choice between
+// the exact solver and the parallel 1/2-approximation is the paper's
+// central experimental knob.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "matching/exact_mwm.hpp"
+#include "matching/matching.hpp"
+#include "netalign/objective.hpp"
+#include "netalign/squares.hpp"
+
+namespace netalign {
+
+enum class MatcherKind {
+  kExact,            ///< sparse Hungarian (Section V's "exact" baseline)
+  kLocallyDominant,  ///< the paper's parallel 1/2-approximation
+  kGreedy,           ///< sorted greedy 1/2-approximation
+  kSuitor,           ///< extension: Suitor 1/2-approximation
+  kAuction,          ///< extension: epsilon-scaling auction (near-exact)
+  kPathGrowing,      ///< extension: path-growing with per-path DP
+};
+
+[[nodiscard]] std::string to_string(MatcherKind k);
+/// Parse "exact" / "approx" (alias of locally-dominant) / "greedy" /
+/// "suitor"; throws std::invalid_argument otherwise.
+[[nodiscard]] MatcherKind matcher_from_string(const std::string& name);
+
+/// Run the selected matcher on L under weights g.
+BipartiteMatching run_matcher(const BipartiteGraph& L,
+                              std::span<const weight_t> g, MatcherKind kind);
+
+struct RoundOutcome {
+  BipartiteMatching matching;
+  ObjectiveValue value;
+};
+
+/// Match under g, then score against the *problem's* objective (alpha x'w
+/// + beta/2 x'Sx -- with L's own weights w, not g).
+RoundOutcome round_heuristic(const NetAlignProblem& p, const SquaresMatrix& S,
+                             std::span<const weight_t> g, MatcherKind kind);
+
+/// Tracks the best rounded solution across iterations, plus the heuristic
+/// vector that produced it (the methods return "the x with the largest
+/// objective", and the final exact re-rounding needs the producing g).
+class BestSolutionTracker {
+ public:
+  /// Record a rounding outcome from iteration `iter` produced by heuristic
+  /// vector g. Returns true if it became the new best.
+  bool offer(const RoundOutcome& outcome, std::span<const weight_t> g,
+             int iter);
+
+  [[nodiscard]] bool has_solution() const { return best_iter_ >= 0; }
+  [[nodiscard]] const RoundOutcome& best() const { return best_; }
+  [[nodiscard]] const std::vector<weight_t>& best_heuristic() const {
+    return best_g_;
+  }
+  [[nodiscard]] int best_iteration() const { return best_iter_; }
+
+ private:
+  RoundOutcome best_;
+  std::vector<weight_t> best_g_;
+  int best_iter_ = -1;
+};
+
+}  // namespace netalign

@@ -1,0 +1,66 @@
+// The squares matrix S.
+//
+// S is |E_L|-by-|E_L|; S[(i,i'),(j,j')] = 1 iff (i,j) is an edge of A and
+// (i',j') is an edge of B -- i.e. the two L-edges close a "square" across
+// the two graphs, and matching both of them overlaps one edge pair. The
+// number of overlapped edges of a matching x is x'Sx / 2 because every
+// square appears symmetrically twice.
+//
+// S never changes during the iterations, so we build it once and precompute
+// the symmetric transpose permutation (paper Section IV-A): any transposed
+// access to a value array laid out in S's nonzero order is a gather through
+// that permutation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "netalign/problem.hpp"
+#include "util/types.hpp"
+
+namespace netalign {
+
+class SquaresMatrix {
+ public:
+  /// Enumerate all squares of (A, B, L). Parallelized over the edges of L
+  /// with the dynamic schedule the paper selects for S-shaped loops.
+  static SquaresMatrix build(const NetAlignProblem& p);
+
+  /// Pattern accessors; row/col indices are L edge ids.
+  [[nodiscard]] const CsrMatrix& pattern() const noexcept { return s_; }
+  [[nodiscard]] eid_t num_nonzeros() const noexcept {
+    return s_.num_nonzeros();
+  }
+  [[nodiscard]] vid_t num_rows() const noexcept { return s_.num_rows(); }
+  /// Number of distinct squares (each contributes two symmetric nonzeros).
+  [[nodiscard]] eid_t num_squares() const noexcept {
+    return s_.num_nonzeros() / 2;
+  }
+
+  /// The one-time transpose permutation: for a value array v in nonzero
+  /// order, the transpose's values are v[trans_perm()[k]].
+  [[nodiscard]] std::span<const eid_t> trans_perm() const noexcept {
+    return trans_perm_;
+  }
+
+  /// Row r's nonzero offsets / column edge ids.
+  [[nodiscard]] eid_t row_begin(vid_t r) const noexcept {
+    return s_.row_begin(r);
+  }
+  [[nodiscard]] eid_t row_end(vid_t r) const noexcept { return s_.row_end(r); }
+  [[nodiscard]] vid_t col(eid_t k) const noexcept { return s_.col_idx()[k]; }
+
+  /// True if nonzero k is strictly above the diagonal (row < col). The MR
+  /// multipliers live on the upper triangle only.
+  [[nodiscard]] bool is_upper(eid_t k, vid_t row) const noexcept {
+    return row < s_.col_idx()[k];
+  }
+
+ private:
+  CsrMatrix s_;
+  std::vector<eid_t> trans_perm_;
+};
+
+}  // namespace netalign

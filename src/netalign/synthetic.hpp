@@ -1,0 +1,91 @@
+// Synthetic alignment instances.
+//
+// Two families:
+//
+// 1. The paper's Section VI-A quality instances: a 400-node random
+//    power-law graph G; A and B are independent perturbations of G (every
+//    non-edge added with probability 0.02); L contains the identity edges
+//    plus uniformly random pairs with probability p = dbar / |V_A| (the
+//    expected number of random edges per vertex). The identity alignment
+//    is the quality reference for Figure 2.
+//
+// 2. Stand-ins for the paper's real datasets (Table II): we do not have
+//    the PPI / ontology data files, so a factory generates instances that
+//    match each row's statistics (|V_A|, |V_B|, |E_L|, nnz(S)). A common
+//    power-law base graph embedded in both A and B plus identity L edges
+//    drives nnz(S) (each shared base edge contributes one square through
+//    the identity pair); random L edges fill |E_L|. The achieved counts
+//    are reported next to the targets by bench_table2. See DESIGN.md,
+//    "Data substitutions".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netalign/problem.hpp"
+
+namespace netalign {
+
+struct PowerLawInstanceOptions {
+  vid_t n = 400;              ///< vertices of the base graph G
+  double exponent = 2.5;      ///< power-law degree exponent
+  double min_degree = 3.0;
+  double perturb_p = 0.02;    ///< paper's edge-addition probability
+  double expected_degree = 4.0;  ///< dbar: expected random L-edges per vertex
+  std::uint64_t seed = 42;
+  weight_t alpha = 1.0;
+  weight_t beta = 2.0;
+};
+
+struct SyntheticInstance {
+  NetAlignProblem problem;
+  /// reference[a] = the B vertex a maps to under the planted identity.
+  std::vector<vid_t> reference;
+};
+
+SyntheticInstance make_power_law_instance(const PowerLawInstanceOptions& opt);
+
+/// Ontology-style instance (paper Section VI-C: "both ontologies have a
+/// core hierarchical tree, they also have many cross edges for other
+/// types of relationships"). A random attachment tree is the shared
+/// core; A and B add independent cross edges; L holds the identity pairs
+/// (strong text matches) plus random candidate pairs (spurious text
+/// matches) with lower weights.
+struct OntologyInstanceOptions {
+  vid_t n = 400;
+  /// Expected cross (non-tree) edges per vertex in each of A and B.
+  double cross_degree = 2.0;
+  /// Preferential attachment skews the tree toward LCSH-like broad
+  /// categories; false gives uniform random attachment.
+  bool preferential = true;
+  double expected_degree = 4.0;  ///< dbar of random L candidates per vertex
+  std::uint64_t seed = 42;
+  weight_t alpha = 1.0;
+  weight_t beta = 2.0;
+};
+
+SyntheticInstance make_ontology_instance(const OntologyInstanceOptions& opt);
+
+/// Target statistics for a Table II stand-in.
+struct StandInSpec {
+  std::string name;
+  vid_t num_a = 0;
+  vid_t num_b = 0;
+  eid_t target_el = 0;
+  eid_t target_nnz_s = 0;
+  std::uint64_t seed = 7;
+  weight_t alpha = 1.0;
+  weight_t beta = 2.0;
+};
+
+/// Generate a stand-in problem approximating the spec's statistics.
+/// `scale` in (0, 1] shrinks every count linearly (the scaling benches
+/// default below full size on small machines; pass 1.0 for paper scale).
+NetAlignProblem make_standin_problem(const StandInSpec& spec,
+                                     double scale = 1.0);
+
+/// The four rows of the paper's Table II.
+std::vector<StandInSpec> paper_table2_specs();
+
+}  // namespace netalign

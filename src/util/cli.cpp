@@ -1,0 +1,142 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace netalign {
+
+namespace {
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+CliParser::CliParser(std::string program_help)
+    : program_help_(std::move(program_help)) {}
+
+int64_t& CliParser::add_int(const std::string& name, int64_t default_value,
+                            const std::string& help) {
+  ints_.push_back(std::make_unique<int64_t>(default_value));
+  flags_[name] = Flag{Kind::kInt, ints_.size() - 1, help,
+                      std::to_string(default_value)};
+  order_.push_back(name);
+  return *ints_.back();
+}
+
+double& CliParser::add_double(const std::string& name, double default_value,
+                              const std::string& help) {
+  doubles_.push_back(std::make_unique<double>(default_value));
+  flags_[name] = Flag{Kind::kDouble, doubles_.size() - 1, help,
+                      std::to_string(default_value)};
+  order_.push_back(name);
+  return *doubles_.back();
+}
+
+bool& CliParser::add_bool(const std::string& name, bool default_value,
+                          const std::string& help) {
+  bools_.push_back(std::make_unique<bool>(default_value));
+  flags_[name] = Flag{Kind::kBool, bools_.size() - 1, help,
+                      default_value ? "true" : "false"};
+  order_.push_back(name);
+  return *bools_.back();
+}
+
+std::string& CliParser::add_string(const std::string& name,
+                                   const std::string& default_value,
+                                   const std::string& help) {
+  strings_.push_back(std::make_unique<std::string>(default_value));
+  flags_[name] = Flag{Kind::kString, strings_.size() - 1, help, default_value};
+  order_.push_back(name);
+  return *strings_.back();
+}
+
+void CliParser::set_value(const std::string& name, Flag& flag,
+                          const std::string& value) {
+  try {
+    switch (flag.kind) {
+      case Kind::kInt:
+        *ints_[flag.index] = std::stoll(value);
+        break;
+      case Kind::kDouble:
+        *doubles_[flag.index] = std::stod(value);
+        break;
+      case Kind::kBool:
+        if (value == "true" || value == "1") {
+          *bools_[flag.index] = true;
+        } else if (value == "false" || value == "0") {
+          *bools_[flag.index] = false;
+        } else {
+          throw std::invalid_argument(value);
+        }
+        break;
+      case Kind::kString:
+        *strings_[flag.index] = value;
+        break;
+    }
+  } catch (const std::logic_error&) {
+    throw std::runtime_error("bad value for --" + name + ": '" + value + "'");
+  }
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help_text().c_str(), stdout);
+      return false;
+    }
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool have_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      have_value = true;
+    }
+    // --no-name for booleans.
+    if (!have_value && starts_with(arg, "no-")) {
+      auto it = flags_.find(arg.substr(3));
+      if (it != flags_.end() && it->second.kind == Kind::kBool) {
+        *bools_[it->second.index] = false;
+        continue;
+      }
+    }
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      throw std::runtime_error("unknown flag --" + arg + "\n" + help_text());
+    }
+    Flag& flag = it->second;
+    if (!have_value) {
+      if (flag.kind == Kind::kBool) {
+        *bools_[flag.index] = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        throw std::runtime_error("missing value for --" + arg);
+      }
+      value = argv[++i];
+    }
+    set_value(arg, flag, value);
+  }
+  return true;
+}
+
+std::string CliParser::help_text() const {
+  std::string out = program_help_;
+  if (!out.empty() && out.back() != '\n') out.push_back('\n');
+  out += "Flags:\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    out += "  --" + name + " (default " + f.default_repr + ")\n      " +
+           f.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace netalign

@@ -1,0 +1,69 @@
+// Minimal command-line flag parser used by every bench and example binary.
+//
+// Supports `--name value`, `--name=value`, and boolean `--name` /
+// `--no-name` forms. Unknown flags are an error so that typos in experiment
+// sweeps fail loudly instead of silently running the wrong configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace netalign {
+
+class CliParser {
+ public:
+  /// `program_help` is printed by --help above the flag list.
+  explicit CliParser(std::string program_help = {});
+
+  /// Register flags before calling parse(). The returned reference stays
+  /// valid for the parser's lifetime; read it after parse().
+  int64_t& add_int(const std::string& name, int64_t default_value,
+                   const std::string& help);
+  double& add_double(const std::string& name, double default_value,
+                     const std::string& help);
+  bool& add_bool(const std::string& name, bool default_value,
+                 const std::string& help);
+  std::string& add_string(const std::string& name,
+                          const std::string& default_value,
+                          const std::string& help);
+
+  /// Parse argv. Returns false (after printing help) if --help was given.
+  /// Throws std::runtime_error on unknown flags or malformed values.
+  bool parse(int argc, const char* const* argv);
+
+  /// Positional arguments remaining after flag parsing.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Render the help text (also printed on --help).
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Kind kind;
+    std::size_t index;  // index into the matching storage vector
+    std::string help;
+    std::string default_repr;
+  };
+
+  void set_value(const std::string& name, Flag& flag,
+                 const std::string& value);
+
+  std::string program_help_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  // Deques of storage so references handed out by add_* stay stable.
+  std::vector<std::unique_ptr<int64_t>> ints_;
+  std::vector<std::unique_ptr<double>> doubles_;
+  std::vector<std::unique_ptr<bool>> bools_;
+  std::vector<std::unique_ptr<std::string>> strings_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace netalign

@@ -1,0 +1,113 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components of the library (graph generators, synthetic
+// alignment instances, test harnesses) take an explicit 64-bit seed and use
+// these generators, so every experiment in the repository is exactly
+// reproducible from its command line. We implement xoshiro256** seeded via
+// splitmix64 -- the recommended seeding procedure from the xoshiro authors --
+// rather than std::mt19937 because the state is small enough to keep one
+// generator per thread without cache pressure, and because the stream is
+// identical across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace netalign {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state.
+/// Passes BigCrush as a standalone generator; advance-by-golden-ratio.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 256-bit-state generator.
+/// Satisfies the C++ UniformRandomBitGenerator concept so it can be used
+/// with <random> distributions, though the library supplies its own
+/// distribution helpers for cross-platform determinism.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1): 53 high bits scaled by 2^-53.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Uses Lemire's multiply-shift rejection
+  /// method: unbiased and branch-light.
+  std::uint64_t uniform_int(std::uint64_t n) noexcept {
+    if (n == 0) return 0;
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      const std::uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Create a statistically independent child stream (for per-thread or
+  /// per-component generators) without correlating with this stream.
+  Xoshiro256 fork() noexcept {
+    // Mixing two outputs through splitmix gives a decorrelated seed.
+    SplitMix64 sm((*this)() ^ 0xd1b54a32d192ed03ULL);
+    (void)sm.next();
+    return Xoshiro256(sm.next());
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace netalign

@@ -1,0 +1,31 @@
+// Small descriptive-statistics helpers used by the bench harness
+// (reporting medians over repetitions, degree-distribution summaries, the
+// queue-size decay series from the matching algorithm, ...).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace netalign {
+
+/// Summary of a sample of doubles.
+struct Summary {
+  std::size_t n = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double median = 0.0;
+};
+
+/// Compute a Summary; an empty input yields an all-zero Summary.
+Summary summarize(const std::vector<double>& values);
+
+/// p-th percentile (0 <= p <= 100) by linear interpolation between order
+/// statistics. Empty input yields 0.
+double percentile(std::vector<double> values, double p);
+
+/// Geometric mean; values must be positive. Empty input yields 0.
+double geometric_mean(const std::vector<double>& values);
+
+}  // namespace netalign

@@ -1,0 +1,157 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace netalign {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable row has wrong cell count");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(std::int64_t v) {
+  // Thousands separators match the paper's table style (e.g. 4,971,629).
+  std::string digits = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (v < 0) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string TextTable::fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != 'e' && c != 'E' && c != ',' && c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TextTable::to_string() const {
+  const std::size_t ncols = headers_.size();
+  std::vector<std::size_t> width(ncols);
+  for (std::size_t c = 0; c < ncols; ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  // Right-align a column if every non-empty body cell looks numeric.
+  std::vector<bool> right(ncols, true);
+  for (std::size_t c = 0; c < ncols; ++c) {
+    for (const auto& row : rows_) {
+      if (!row[c].empty() && !looks_numeric(row[c])) {
+        right[c] = false;
+        break;
+      }
+    }
+    if (rows_.empty()) right[c] = false;
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      os << (c == 0 ? "| " : " ");
+      const auto pad = width[c] - cells[c].size();
+      if (right[c]) os << std::string(pad, ' ') << cells[c];
+      else os << cells[c] << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+  auto emit_rule = [&] {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      os << (c == 0 ? "|" : "") << std::string(width[c] + 2, '-') << "|";
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (const char c : cell) {
+      if (c == '"') out += "\"\"";
+      else out += c;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      // Strip the display-only thousands separators from numeric cells.
+      std::string cell = cells[c];
+      if (looks_numeric(cell)) {
+        cell.erase(std::remove(cell.begin(), cell.end(), ','), cell.end());
+      }
+      os << quote(cell);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void TextTable::write_csv(const std::string& path) const {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("TextTable::write_csv: cannot open " + path);
+  }
+  out << to_csv();
+}
+
+void TextTable::print(std::ostream& os) const { os << to_string(); }
+
+void TextTable::print() const { std::cout << to_string() << std::flush; }
+
+}  // namespace netalign

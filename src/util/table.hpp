@@ -1,0 +1,47 @@
+// ASCII table printer. Every bench binary prints its results as one of these
+// tables so that the rows the paper reports (Table II statistics, the Figure
+// 2 quality series, the Figure 4/5 scaling series, ...) come out in a stable,
+// grep-able format that EXPERIMENTS.md can quote directly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace netalign {
+
+class TextTable {
+ public:
+  /// Column headers; fixes the column count for all subsequent rows.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Format helpers for the common cell types.
+  static std::string num(std::int64_t v);
+  static std::string fixed(double v, int precision = 3);
+  static std::string sci(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Render with aligned columns; numbers right-aligned heuristically.
+  [[nodiscard]] std::string to_string() const;
+
+  /// CSV rendering (RFC-4180 quoting); header row first. Lets benches
+  /// export series for plotting with --csv.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Write the CSV rendering to `path` ("" is a no-op). Throws
+  /// std::runtime_error if the file cannot be opened.
+  void write_csv(const std::string& path) const;
+
+  void print(std::ostream& os) const;
+  void print() const;  ///< to stdout
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace netalign

@@ -1,0 +1,48 @@
+#include "util/timer.hpp"
+
+namespace netalign {
+
+void StepTimers::add(const std::string& name, double seconds) {
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) order_.push_back(name);
+  it->second.total += seconds;
+  it->second.count += 1;
+}
+
+double StepTimers::total(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0.0 : it->second.total;
+}
+
+std::size_t StepTimers::count(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.count;
+}
+
+double StepTimers::grand_total() const {
+  double sum = 0.0;
+  for (const auto& [name, e] : entries_) sum += e.total;
+  return sum;
+}
+
+double StepTimers::fraction(const std::string& name) const {
+  const double all = grand_total();
+  return all > 0.0 ? total(name) / all : 0.0;
+}
+
+void StepTimers::clear() {
+  entries_.clear();
+  order_.clear();
+}
+
+void StepTimers::merge(const StepTimers& other) {
+  for (const auto& name : other.order_) {
+    const auto& e = other.entries_.at(name);
+    auto [it, inserted] = entries_.try_emplace(name);
+    if (inserted) order_.push_back(name);
+    it->second.total += e.total;
+    it->second.count += e.count;
+  }
+}
+
+}  // namespace netalign

@@ -1,0 +1,84 @@
+// Wall-clock timing utilities for the per-step instrumentation the paper's
+// Figures 6 and 7 require (strong scaling of the individual algorithm steps).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace netalign {
+
+/// Simple monotonic wall-clock timer.
+class WallTimer {
+ public:
+  WallTimer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named step timings across iterations. The alignment
+/// algorithms register one entry per pseudo-code step ("row_match",
+/// "othermax", "damping", ...) so benches can print the per-step breakdown
+/// that the paper reports ("matching took 58% of the runtime").
+class StepTimers {
+ public:
+  /// Add `seconds` to step `name`, creating it on first use.
+  void add(const std::string& name, double seconds);
+
+  /// Total seconds recorded for step `name` (0 if never recorded).
+  [[nodiscard]] double total(const std::string& name) const;
+
+  /// Number of times step `name` was recorded.
+  [[nodiscard]] std::size_t count(const std::string& name) const;
+
+  /// Sum over all steps.
+  [[nodiscard]] double grand_total() const;
+
+  /// Steps in first-registration order, for stable report layout.
+  [[nodiscard]] const std::vector<std::string>& names() const { return order_; }
+
+  /// Fraction of grand_total() spent in `name`; 0 when nothing recorded.
+  [[nodiscard]] double fraction(const std::string& name) const;
+
+  void clear();
+
+  /// Merge another StepTimers into this one (used when joining per-thread
+  /// instrumentation).
+  void merge(const StepTimers& other);
+
+ private:
+  struct Entry {
+    double total = 0.0;
+    std::size_t count = 0;
+  };
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;
+};
+
+/// RAII helper: records the lifetime of the scope into a StepTimers entry.
+class ScopedStepTimer {
+ public:
+  ScopedStepTimer(StepTimers& timers, std::string name)
+      : timers_(timers), name_(std::move(name)) {}
+  ScopedStepTimer(const ScopedStepTimer&) = delete;
+  ScopedStepTimer& operator=(const ScopedStepTimer&) = delete;
+  ~ScopedStepTimer() { timers_.add(name_, timer_.seconds()); }
+
+ private:
+  StepTimers& timers_;
+  std::string name_;
+  WallTimer timer_;
+};
+
+}  // namespace netalign

@@ -1,0 +1,23 @@
+// Fundamental index and weight types shared across the library.
+//
+// Vertex ids fit in 32 bits for every problem in the paper (the largest,
+// lcsh-rameau, has ~500k vertices); edge ids and CSR offsets use 64 bits so
+// that |E_L| ~ 21M and nnz(S) ~ 5M problems have headroom without overflow
+// anywhere in intermediate arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace netalign {
+
+using vid_t = std::int32_t;  ///< vertex id within one vertex set
+using eid_t = std::int64_t;  ///< edge id / CSR offset
+using weight_t = double;     ///< edge weight / objective value
+
+inline constexpr vid_t kInvalidVid = -1;
+inline constexpr eid_t kInvalidEid = -1;
+inline constexpr weight_t kNegInf = -std::numeric_limits<weight_t>::infinity();
+inline constexpr weight_t kPosInf = std::numeric_limits<weight_t>::infinity();
+
+}  // namespace netalign

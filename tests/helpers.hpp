@@ -1,0 +1,34 @@
+// Shared helpers for the matching and alignment tests.
+#pragma once
+
+#include <vector>
+
+#include "graph/bipartite.hpp"
+#include "util/prng.hpp"
+#include "util/types.hpp"
+
+namespace netalign::testing {
+
+/// Random bipartite graph with `count` distinct edges and weights in
+/// (lo, hi). Duplicate (a, b) draws collapse, so the edge count may come
+/// out slightly lower than requested.
+inline BipartiteGraph random_bipartite(vid_t na, vid_t nb, int count,
+                                       Xoshiro256& rng, double lo = 0.05,
+                                       double hi = 1.0) {
+  std::vector<LEdge> edges;
+  edges.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    edges.push_back(LEdge{static_cast<vid_t>(rng.uniform_int(na)),
+                          static_cast<vid_t>(rng.uniform_int(nb)),
+                          rng.uniform(lo, hi)});
+  }
+  return BipartiteGraph::from_edges(na, nb, edges);
+}
+
+/// The graph's own weights as a plain vector (the matchers take external
+/// weight spans).
+inline std::vector<weight_t> own_weights(const BipartiteGraph& g) {
+  return {g.weights().begin(), g.weights().end()};
+}
+
+}  // namespace netalign::testing

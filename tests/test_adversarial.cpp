@@ -1,0 +1,132 @@
+// Adversarial matcher inputs: families engineered to sit exactly at the
+// 1/2-approximation boundary, plus stress shapes (long augmenting chains,
+// heavy hubs, near-tie weights) that historically break matching codes.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "matching/exact_mwm.hpp"
+#include "matching/verify.hpp"
+#include "netalign/rounding.hpp"
+
+namespace netalign {
+namespace {
+
+/// The classic tight instance for locally-dominant/greedy matching: a path
+/// a0-b0-a1-b1-...; the middle edges weigh 1+eps and block two edges of
+/// weight 1 each. Greedy-style matchers collect every other edge; the
+/// optimum takes the complement.
+BipartiteGraph tight_chain(vid_t pairs, weight_t eps) {
+  std::vector<LEdge> edges;
+  for (vid_t i = 0; i < pairs; ++i) {
+    edges.push_back(LEdge{i, i, 1.0});                    // light
+    if (i + 1 < pairs) {
+      edges.push_back(LEdge{i, i + 1, 1.0 + eps});        // heavy blocker
+    }
+  }
+  return BipartiteGraph::from_edges(pairs, pairs, edges);
+}
+
+TEST(Adversarial, TightChainStaysAboveHalf) {
+  const auto g = tight_chain(40, 1e-6);
+  const std::vector<weight_t> w(g.weights().begin(), g.weights().end());
+  const auto exact = max_weight_matching_exact(g, w);
+  for (const MatcherKind kind :
+       {MatcherKind::kLocallyDominant, MatcherKind::kGreedy,
+        MatcherKind::kSuitor, MatcherKind::kPathGrowing}) {
+    const auto m = run_matcher(g, w, kind);
+    ASSERT_TRUE(is_valid_matching(g, m)) << to_string(kind);
+    EXPECT_GE(m.weight, 0.5 * exact.weight - 1e-9) << to_string(kind);
+  }
+  // Exact must find all the light edges: weight ~= pairs.
+  EXPECT_NEAR(exact.weight, 40.0, 1e-3);
+}
+
+TEST(Adversarial, LongAugmentingChainIsSolvedExactly) {
+  // Exact solver needs a length-2k alternating path to reach optimality;
+  // shallow solvers plateau. Weights increase along the chain so greedy
+  // starts from the wrong end.
+  const vid_t k = 60;
+  std::vector<LEdge> edges;
+  for (vid_t i = 0; i < k; ++i) {
+    edges.push_back(LEdge{i, i, 1.0 + 0.01 * i});
+    if (i + 1 < k) edges.push_back(LEdge{i + 1, i, 1.0 + 0.01 * i + 0.005});
+  }
+  const auto g = BipartiteGraph::from_edges(k, k, edges);
+  const std::vector<weight_t> w(g.weights().begin(), g.weights().end());
+  const auto exact = max_weight_matching_exact(g, w);
+  // The diagonal is a perfect matching; the off-diagonal chain is not.
+  weight_t diag = 0.0;
+  for (vid_t i = 0; i < k; ++i) diag += 1.0 + 0.01 * i;
+  EXPECT_GE(exact.weight, diag - 1e-9);
+  EXPECT_EQ(exact.cardinality, k);
+}
+
+TEST(Adversarial, HeavyHubDoesNotStarveLeaves) {
+  // One A-hub adjacent to every B vertex with large weights, plus leaf
+  // A-vertices each with one light edge. Maximality must still match all
+  // the leaves that remain feasible.
+  const vid_t n = 30;
+  std::vector<LEdge> edges;
+  for (vid_t b = 0; b < n; ++b) edges.push_back(LEdge{0, b, 10.0});
+  for (vid_t a = 1; a < n; ++a) edges.push_back(LEdge{a, a, 0.1});
+  const auto g = BipartiteGraph::from_edges(n, n, edges);
+  const std::vector<weight_t> w(g.weights().begin(), g.weights().end());
+  for (const MatcherKind kind :
+       {MatcherKind::kExact, MatcherKind::kLocallyDominant,
+        MatcherKind::kSuitor}) {
+    const auto m = run_matcher(g, w, kind);
+    // Hub takes one b; every leaf a != 0 with b = a still free must match.
+    EXPECT_GE(m.cardinality, n - 1) << to_string(kind);
+  }
+}
+
+TEST(Adversarial, NearTieWeightsStayConsistent) {
+  // Weights differing at the 1e-15 level: tie-breaking must stay
+  // deterministic and results valid.
+  Xoshiro256 rng(777);
+  std::vector<LEdge> edges;
+  for (int i = 0; i < 200; ++i) {
+    edges.push_back(LEdge{static_cast<vid_t>(rng.uniform_int(20)),
+                          static_cast<vid_t>(rng.uniform_int(20)),
+                          1.0 + 1e-15 * static_cast<double>(i % 7)});
+  }
+  const auto g = BipartiteGraph::from_edges(20, 20, edges);
+  const std::vector<weight_t> w(g.weights().begin(), g.weights().end());
+  for (const MatcherKind kind :
+       {MatcherKind::kExact, MatcherKind::kLocallyDominant,
+        MatcherKind::kGreedy, MatcherKind::kSuitor,
+        MatcherKind::kPathGrowing}) {
+    const auto a = run_matcher(g, w, kind);
+    const auto b = run_matcher(g, w, kind);
+    ASSERT_TRUE(is_valid_matching(g, a)) << to_string(kind);
+    EXPECT_EQ(a.mate_a, b.mate_a) << to_string(kind);
+  }
+}
+
+TEST(Adversarial, LargeSparseSmoke) {
+  // 300k-edge graph through the fast matchers: sanity at bench scale
+  // inside the unit-test budget.
+  Xoshiro256 rng(4242);
+  const vid_t n = 30000;
+  std::vector<LEdge> edges;
+  edges.reserve(300000);
+  for (int i = 0; i < 300000; ++i) {
+    edges.push_back(LEdge{static_cast<vid_t>(rng.uniform_int(n)),
+                          static_cast<vid_t>(rng.uniform_int(n)),
+                          rng.uniform(0.01, 1.0)});
+  }
+  const auto g = BipartiteGraph::from_edges(n, n, edges);
+  const std::vector<weight_t> w(g.weights().begin(), g.weights().end());
+  const auto ld = run_matcher(g, w, MatcherKind::kLocallyDominant);
+  const auto su = run_matcher(g, w, MatcherKind::kSuitor);
+  ASSERT_TRUE(is_valid_matching(g, ld));
+  ASSERT_TRUE(is_valid_matching(g, su));
+  EXPECT_TRUE(is_maximal_matching(g, w, ld));
+  // Both are 1/2-approximations of the same optimum; they can't differ by
+  // more than 2x from each other.
+  EXPECT_GE(ld.weight, 0.5 * su.weight);
+  EXPECT_GE(su.weight, 0.5 * ld.weight);
+}
+
+}  // namespace
+}  // namespace netalign

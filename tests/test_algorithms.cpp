@@ -1,0 +1,113 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/prng.hpp"
+
+namespace netalign {
+namespace {
+
+using Edges = std::vector<std::pair<vid_t, vid_t>>;
+
+TEST(ConnectedComponents, EmptyGraphIsAllSingletons) {
+  const Graph g = Graph::from_edges(4, {});
+  const auto cc = connected_components(g);
+  EXPECT_EQ(cc.count, 4);
+  EXPECT_EQ(cc.largest(), 1);
+}
+
+TEST(ConnectedComponents, TwoComponents) {
+  const Edges edges = {{0, 1}, {1, 2}, {3, 4}};
+  const Graph g = Graph::from_edges(5, edges);
+  const auto cc = connected_components(g);
+  EXPECT_EQ(cc.count, 2);
+  EXPECT_EQ(cc.comp[0], cc.comp[1]);
+  EXPECT_EQ(cc.comp[1], cc.comp[2]);
+  EXPECT_EQ(cc.comp[3], cc.comp[4]);
+  EXPECT_NE(cc.comp[0], cc.comp[3]);
+  EXPECT_EQ(cc.largest(), 3);
+  EXPECT_EQ(cc.sizes[cc.comp[0]], 3);
+}
+
+TEST(ConnectedComponents, SizesSumToVertexCount) {
+  Xoshiro256 rng(5);
+  const Graph g = erdos_renyi(200, 0.008, rng);
+  const auto cc = connected_components(g);
+  vid_t total = 0;
+  for (const vid_t s : cc.sizes) total += s;
+  EXPECT_EQ(total, 200);
+}
+
+TEST(BfsDistances, PathGraph) {
+  const Edges edges = {{0, 1}, {1, 2}, {2, 3}};
+  const Graph g = Graph::from_edges(4, edges);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], 2);
+  EXPECT_EQ(d[3], 3);
+}
+
+TEST(BfsDistances, UnreachableIsMinusOne) {
+  const Edges edges = {{0, 1}};
+  const Graph g = Graph::from_edges(3, edges);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], -1);
+}
+
+TEST(BfsDistances, OutOfRangeSourceThrows) {
+  const Graph g = Graph::from_edges(2, {});
+  EXPECT_THROW(bfs_distances(g, 7), std::out_of_range);
+}
+
+TEST(BfsDistances, TriangleInequalityOnRandomGraph) {
+  Xoshiro256 rng(9);
+  const Graph g = erdos_renyi(100, 0.05, rng);
+  const auto d = bfs_distances(g, 0);
+  for (vid_t v = 0; v < 100; ++v) {
+    if (d[v] < 0) continue;
+    for (const vid_t u : g.neighbors(v)) {
+      ASSERT_GE(d[u], 0);  // neighbors of reachable vertices are reachable
+      EXPECT_LE(std::abs(d[u] - d[v]), 1);
+    }
+  }
+}
+
+TEST(DegreeHistogram, CountsMatch) {
+  const Edges edges = {{0, 1}, {0, 2}, {0, 3}};
+  const Graph g = Graph::from_edges(5, edges);
+  const auto hist = degree_histogram(g);
+  ASSERT_EQ(hist.size(), 4u);  // max degree 3
+  EXPECT_EQ(hist[0], 1);       // vertex 4
+  EXPECT_EQ(hist[1], 3);       // vertices 1, 2, 3
+  EXPECT_EQ(hist[3], 1);       // vertex 0
+}
+
+TEST(DegreeStats, KnownGraph) {
+  const Edges edges = {{0, 1}, {0, 2}};
+  const Graph g = Graph::from_edges(4, edges);
+  const auto s = degree_stats(g);
+  EXPECT_DOUBLE_EQ(s.mean, 1.0);                     // degrees 2,1,1,0
+  EXPECT_DOUBLE_EQ(s.second_moment, 6.0 / 4.0);      // 4+1+1+0 over 4
+  EXPECT_EQ(s.max, 2);
+  EXPECT_EQ(s.isolated, 1);
+}
+
+TEST(DegreeStats, EmptyGraph) {
+  const Graph g = Graph::from_edges(0, {});
+  const auto s = degree_stats(g);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.max, 0);
+}
+
+TEST(DegreeStats, PowerLawHasHighSecondMoment) {
+  Xoshiro256 rng(11);
+  const Graph g = random_power_law_graph(2000, 2.2, 1.5, rng);
+  const auto s = degree_stats(g);
+  // Heavy tails: second moment well above mean^2.
+  EXPECT_GT(s.second_moment, 3.0 * s.mean * s.mean);
+}
+
+}  // namespace
+}  // namespace netalign

@@ -1,0 +1,115 @@
+#include "matching/auction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "helpers.hpp"
+#include "matching/exact_mwm.hpp"
+#include "matching/verify.hpp"
+
+namespace netalign {
+namespace {
+
+using testing::own_weights;
+using testing::random_bipartite;
+
+TEST(Auction, EmptyGraph) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(3, 3, {});
+  const auto m = auction_matching(g, own_weights(g));
+  EXPECT_EQ(m.cardinality, 0);
+  EXPECT_TRUE(is_valid_matching(g, m));
+}
+
+TEST(Auction, SingleEdge) {
+  const std::vector<LEdge> edges = {{0, 1, 3.0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(1, 2, edges);
+  const auto m = auction_matching(g, own_weights(g));
+  EXPECT_EQ(m.cardinality, 1);
+  EXPECT_DOUBLE_EQ(m.weight, 3.0);
+}
+
+TEST(Auction, ResolvesBiddingConflict) {
+  const std::vector<LEdge> edges = {{0, 0, 1.0}, {0, 1, 0.9}, {1, 0, 0.9}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, edges);
+  const auto m = auction_matching(g, own_weights(g));
+  // The assignment-optimal answer uses both 0.9 edges.
+  EXPECT_NEAR(m.weight, 1.8, 1e-6);
+  EXPECT_EQ(m.cardinality, 2);
+}
+
+TEST(Auction, NearOptimalOnRandomGraphs) {
+  Xoshiro256 rng(4242);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto g = random_bipartite(8, 8, 25, rng);
+    const auto w = own_weights(g);
+    const auto exact = max_weight_matching_exact(g, w);
+    const auto m = auction_matching(g, w);
+    ASSERT_TRUE(is_valid_matching(g, m)) << "trial " << trial;
+    // The eps-complementary-slackness bound: within cardinality * eps of
+    // optimal; the default final eps is ~1e-9 * max weight.
+    EXPECT_NEAR(m.weight, exact.weight, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(Auction, NearOptimalOnLargerGraph) {
+  Xoshiro256 rng(555);
+  const auto g = random_bipartite(200, 180, 2400, rng);
+  const auto w = own_weights(g);
+  const auto exact = max_weight_matching_exact(g, w);
+  const auto m = auction_matching(g, w);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  EXPECT_NEAR(m.weight, exact.weight, 1e-5 * exact.weight);
+}
+
+TEST(Auction, IgnoresNonPositiveEdges) {
+  const std::vector<LEdge> edges = {{0, 0, -1.0}, {1, 1, 0.0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, edges);
+  const auto m = auction_matching(g, own_weights(g));
+  EXPECT_EQ(m.cardinality, 0);
+}
+
+TEST(Auction, StatsAreFilled) {
+  Xoshiro256 rng(77);
+  const auto g = random_bipartite(30, 30, 200, rng);
+  AuctionStats stats;
+  const auto m = auction_matching(g, own_weights(g), {}, &stats);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  EXPECT_GE(stats.bids, 30);  // every person bids at least once
+  EXPECT_GT(stats.epsilon, 0.0);
+}
+
+TEST(Auction, CoarseEpsilonDegradesGracefully) {
+  Xoshiro256 rng(88);
+  const auto g = random_bipartite(20, 20, 120, rng);
+  const auto w = own_weights(g);
+  const auto exact = max_weight_matching_exact(g, w);
+  AuctionOptions coarse;
+  coarse.epsilon_fraction = 0.01;  // deliberately imprecise
+  const auto m = auction_matching(g, w, coarse);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  // Error bound: cardinality * eps = card * 0.01 * max_w <= n * 0.01.
+  EXPECT_GE(m.weight, exact.weight - 20 * 0.01 - 1e-9);
+}
+
+TEST(Auction, SurvivesHeavilyTiedWeights) {
+  // Uniform weights are the auction's worst case (bid increments collapse
+  // to eps); it must still terminate and return a perfect matching here.
+  std::vector<LEdge> edges;
+  for (vid_t a = 0; a < 8; ++a) {
+    for (vid_t b = 0; b < 8; ++b) edges.push_back(LEdge{a, b, 1.0});
+  }
+  const BipartiteGraph g = BipartiteGraph::from_edges(8, 8, edges);
+  const auto m = auction_matching(g, own_weights(g));
+  EXPECT_EQ(m.cardinality, 8);
+  EXPECT_DOUBLE_EQ(m.weight, 8.0);
+}
+
+TEST(Auction, WeightSizeMismatchThrows) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, {});
+  std::vector<weight_t> wrong(7, 1.0);
+  EXPECT_THROW(auction_matching(g, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netalign

@@ -1,0 +1,190 @@
+#include "netalign/belief_prop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matching/verify.hpp"
+#include "netalign/synthetic.hpp"
+
+namespace netalign {
+namespace {
+
+SyntheticInstance easy_instance(std::uint64_t seed, vid_t n = 60,
+                                double dbar = 2.0) {
+  PowerLawInstanceOptions opt;
+  opt.n = n;
+  opt.seed = seed;
+  opt.expected_degree = dbar;
+  return make_power_law_instance(opt);
+}
+
+TEST(BeliefProp, ProducesValidMatching) {
+  const auto inst = easy_instance(1);
+  const auto S = SquaresMatrix::build(inst.problem);
+  BeliefPropOptions opt;
+  opt.max_iterations = 30;
+  const auto result = belief_prop_align(inst.problem, S, opt);
+  EXPECT_TRUE(is_valid_matching(inst.problem.L, result.matching));
+  EXPECT_GT(result.value.objective, 0.0);
+}
+
+TEST(BeliefProp, RecoversIdentityOnEasyInstances) {
+  const auto inst = easy_instance(2, 50, 2.0);
+  const auto& p = inst.problem;
+  const auto S = SquaresMatrix::build(p);
+  BeliefPropOptions opt;
+  opt.max_iterations = 100;
+  opt.matcher = MatcherKind::kExact;
+  const auto result = belief_prop_align(p, S, opt);
+  // The perturbations can make the planted identity slightly suboptimal
+  // (the paper observes objectives above the identity's); require most of
+  // the identity back AND an objective at least as good as the identity's.
+  EXPECT_GE(fraction_correct(result.matching, inst.reference), 0.85);
+  BipartiteMatching identity;
+  identity.mate_a.resize(p.A.num_vertices());
+  identity.mate_b.resize(p.B.num_vertices());
+  for (vid_t i = 0; i < p.A.num_vertices(); ++i) {
+    identity.mate_a[i] = i;
+    identity.mate_b[i] = i;
+  }
+  identity.cardinality = p.A.num_vertices();
+  const auto id_value = evaluate_objective(p, S, identity);
+  EXPECT_GE(result.value.objective, id_value.objective - 1e-9);
+}
+
+TEST(BeliefProp, ApproxRoundingTracksExactRounding) {
+  // The paper's core claim (Figure 2): BP with approximate rounding is
+  // nearly indistinguishable from BP with exact rounding, because the
+  // iterates don't depend on the rounding at all.
+  const auto inst = easy_instance(3, 80, 4.0);
+  const auto S = SquaresMatrix::build(inst.problem);
+  BeliefPropOptions exact, approx;
+  exact.max_iterations = approx.max_iterations = 60;
+  exact.matcher = MatcherKind::kExact;
+  approx.matcher = MatcherKind::kLocallyDominant;
+  exact.final_exact_round = approx.final_exact_round = true;
+  const auto re = belief_prop_align(inst.problem, S, exact);
+  const auto ra = belief_prop_align(inst.problem, S, approx);
+  EXPECT_GE(ra.value.objective, 0.8 * re.value.objective);
+}
+
+TEST(BeliefProp, BatchedRoundingMatchesUnbatchedScores) {
+  // Batching only changes *when* matchings are computed, not the iterates:
+  // the per-iteration objective sequences must be identical when the
+  // matcher is deterministic.
+  const auto inst = easy_instance(4);
+  const auto S = SquaresMatrix::build(inst.problem);
+  BeliefPropOptions b1, b10;
+  b1.max_iterations = b10.max_iterations = 20;
+  b1.matcher = b10.matcher = MatcherKind::kGreedy;  // deterministic
+  b1.batch_size = 1;
+  b10.batch_size = 10;
+  const auto r1 = belief_prop_align(inst.problem, S, b1);
+  const auto r10 = belief_prop_align(inst.problem, S, b10);
+  ASSERT_EQ(r1.objective_history.size(), r10.objective_history.size());
+  for (std::size_t i = 0; i < r1.objective_history.size(); ++i) {
+    EXPECT_NEAR(r1.objective_history[i], r10.objective_history[i], 1e-9)
+        << "rounding event " << i;
+  }
+  EXPECT_NEAR(r1.value.objective, r10.value.objective, 1e-9);
+}
+
+TEST(BeliefProp, PartialFinalBatchIsFlushed) {
+  const auto inst = easy_instance(5);
+  const auto S = SquaresMatrix::build(inst.problem);
+  BeliefPropOptions opt;
+  opt.max_iterations = 7;  // 14 rounding events, batch 4 => partial flush
+  opt.batch_size = 4;
+  const auto result = belief_prop_align(inst.problem, S, opt);
+  EXPECT_EQ(result.objective_history.size(), 14u);
+}
+
+TEST(BeliefProp, HistoryRecordsTwoEventsPerIteration) {
+  const auto inst = easy_instance(6);
+  const auto S = SquaresMatrix::build(inst.problem);
+  BeliefPropOptions opt;
+  opt.max_iterations = 12;
+  const auto result = belief_prop_align(inst.problem, S, opt);
+  EXPECT_EQ(result.objective_history.size(), 24u);
+}
+
+TEST(BeliefProp, StepTimersCoverAllSteps) {
+  const auto inst = easy_instance(7);
+  const auto S = SquaresMatrix::build(inst.problem);
+  BeliefPropOptions opt;
+  opt.max_iterations = 5;
+  const auto result = belief_prop_align(inst.problem, S, opt);
+  for (const char* step :
+       {"compute_F", "compute_d", "othermax", "update_S", "damping"}) {
+    EXPECT_EQ(result.timers.count(step), 5u) << step;
+  }
+  EXPECT_GT(result.timers.count("matching"), 0u);
+}
+
+TEST(BeliefProp, DampingFreezesMessagesEventually) {
+  // With a small gamma the damping factor gamma^k collapses quickly and
+  // late iterations repeat the same matching score.
+  const auto inst = easy_instance(8);
+  const auto S = SquaresMatrix::build(inst.problem);
+  BeliefPropOptions opt;
+  opt.max_iterations = 40;
+  opt.gamma = 0.5;
+  opt.matcher = MatcherKind::kGreedy;
+  const auto result = belief_prop_align(inst.problem, S, opt);
+  const auto n = result.objective_history.size();
+  ASSERT_GE(n, 4u);
+  EXPECT_NEAR(result.objective_history[n - 1],
+              result.objective_history[n - 3], 1e-9);
+  EXPECT_NEAR(result.objective_history[n - 2],
+              result.objective_history[n - 4], 1e-9);
+}
+
+TEST(BeliefProp, IndependentOthermaxTasksGiveIdenticalResults) {
+  // The Section IX task decomposition only changes scheduling; the
+  // iterates (and with a deterministic matcher, the whole history) must
+  // be identical.
+  const auto inst = easy_instance(11);
+  const auto S = SquaresMatrix::build(inst.problem);
+  BeliefPropOptions serial, tasks;
+  serial.max_iterations = tasks.max_iterations = 20;
+  serial.matcher = tasks.matcher = MatcherKind::kGreedy;
+  tasks.independent_othermax_tasks = true;
+  const auto a = belief_prop_align(inst.problem, S, serial);
+  const auto b = belief_prop_align(inst.problem, S, tasks);
+  ASSERT_EQ(a.objective_history.size(), b.objective_history.size());
+  for (std::size_t i = 0; i < a.objective_history.size(); ++i) {
+    EXPECT_EQ(a.objective_history[i], b.objective_history[i]);
+  }
+  EXPECT_EQ(a.value.objective, b.value.objective);
+}
+
+TEST(BeliefProp, RejectsBadOptions) {
+  const auto inst = easy_instance(9);
+  const auto S = SquaresMatrix::build(inst.problem);
+  BeliefPropOptions opt;
+  opt.max_iterations = 0;
+  EXPECT_THROW(belief_prop_align(inst.problem, S, opt),
+               std::invalid_argument);
+  opt.max_iterations = 5;
+  opt.batch_size = 0;
+  EXPECT_THROW(belief_prop_align(inst.problem, S, opt),
+               std::invalid_argument);
+  opt.batch_size = 1;
+  opt.gamma = 1.5;
+  EXPECT_THROW(belief_prop_align(inst.problem, S, opt),
+               std::invalid_argument);
+}
+
+TEST(BeliefProp, DeterministicAcrossRuns) {
+  const auto inst = easy_instance(10);
+  const auto S = SquaresMatrix::build(inst.problem);
+  BeliefPropOptions opt;
+  opt.max_iterations = 15;
+  opt.matcher = MatcherKind::kGreedy;
+  const auto a = belief_prop_align(inst.problem, S, opt);
+  const auto b = belief_prop_align(inst.problem, S, opt);
+  EXPECT_EQ(a.value.objective, b.value.objective);
+  EXPECT_EQ(a.objective_history, b.objective_history);
+}
+
+}  // namespace
+}  // namespace netalign

@@ -1,0 +1,116 @@
+#include "graph/bipartite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace netalign {
+namespace {
+
+TEST(BipartiteGraph, EmptyGraph) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(3, 4, {});
+  EXPECT_EQ(g.num_a(), 3);
+  EXPECT_EQ(g.num_b(), 4);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.find_edge(0, 0), kInvalidEid);
+}
+
+TEST(BipartiteGraph, EdgeIdsFollowRowMajorOrder) {
+  const std::vector<LEdge> edges = {{1, 0, 0.5}, {0, 1, 0.25}, {0, 0, 1.0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, edges);
+  ASSERT_EQ(g.num_edges(), 3);
+  // Row 0 first (cols sorted), then row 1.
+  EXPECT_EQ(g.edge_a(0), 0);
+  EXPECT_EQ(g.edge_b(0), 0);
+  EXPECT_EQ(g.edge_weight(0), 1.0);
+  EXPECT_EQ(g.edge_a(1), 0);
+  EXPECT_EQ(g.edge_b(1), 1);
+  EXPECT_EQ(g.edge_a(2), 1);
+  EXPECT_EQ(g.edge_b(2), 0);
+}
+
+TEST(BipartiteGraph, DuplicateEdgesKeepMaxWeight) {
+  const std::vector<LEdge> edges = {{0, 0, 0.25}, {0, 0, 0.75}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(1, 1, edges);
+  ASSERT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.edge_weight(0), 0.75);
+}
+
+TEST(BipartiteGraph, OutOfRangeEndpointThrows) {
+  const std::vector<LEdge> edges = {{0, 9, 1.0}};
+  EXPECT_THROW(BipartiteGraph::from_edges(2, 2, edges), std::out_of_range);
+}
+
+TEST(BipartiteGraph, FindEdgeLocatesAll) {
+  const std::vector<LEdge> edges = {{0, 2, 1.0}, {1, 0, 1.0}, {1, 2, 1.0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 3, edges);
+  for (eid_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(g.find_edge(g.edge_a(e), g.edge_b(e)), e);
+  }
+  EXPECT_EQ(g.find_edge(0, 0), kInvalidEid);
+}
+
+TEST(BipartiteGraph, CscViewIsConsistentWithCsr) {
+  Xoshiro256 rng(31);
+  std::vector<LEdge> edges;
+  for (int i = 0; i < 60; ++i) {
+    edges.push_back(LEdge{static_cast<vid_t>(rng.uniform_int(8)),
+                          static_cast<vid_t>(rng.uniform_int(9)),
+                          rng.uniform(0.1, 1.0)});
+  }
+  const BipartiteGraph g = BipartiteGraph::from_edges(8, 9, edges);
+
+  // Every CSC slot maps back to the CSR edge it mirrors.
+  eid_t seen = 0;
+  for (vid_t b = 0; b < g.num_b(); ++b) {
+    for (eid_t k = g.col_begin(b); k < g.col_end(b); ++k) {
+      const eid_t e = g.col_edge(k);
+      EXPECT_EQ(g.edge_b(e), b);
+      EXPECT_EQ(g.edge_a(e), g.col_a(k));
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, g.num_edges());
+}
+
+TEST(BipartiteGraph, DegreesSumToEdgeCount) {
+  const std::vector<LEdge> edges = {
+      {0, 0, 1.0}, {0, 1, 1.0}, {1, 1, 1.0}, {2, 0, 1.0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(3, 2, edges);
+  eid_t sum_a = 0, sum_b = 0;
+  for (vid_t a = 0; a < g.num_a(); ++a) sum_a += g.degree_a(a);
+  for (vid_t b = 0; b < g.num_b(); ++b) sum_b += g.degree_b(b);
+  EXPECT_EQ(sum_a, g.num_edges());
+  EXPECT_EQ(sum_b, g.num_edges());
+  EXPECT_EQ(g.degree_a(0), 2);
+  EXPECT_EQ(g.degree_b(1), 2);
+}
+
+TEST(BipartiteGraph, EdgeListRoundTrips) {
+  const std::vector<LEdge> edges = {{1, 1, 0.5}, {0, 0, 0.75}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, edges);
+  const auto out = g.edge_list();
+  const BipartiteGraph g2 = BipartiteGraph::from_edges(2, 2, out);
+  ASSERT_EQ(g2.num_edges(), g.num_edges());
+  for (eid_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(g2.edge_a(e), g.edge_a(e));
+    EXPECT_EQ(g2.edge_b(e), g.edge_b(e));
+    EXPECT_EQ(g2.edge_weight(e), g.edge_weight(e));
+  }
+}
+
+TEST(BipartiteGraph, WeightsSpanMatchesEdgeWeight) {
+  const std::vector<LEdge> edges = {{0, 0, 0.5}, {0, 1, 0.25}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(1, 2, edges);
+  const auto w = g.weights();
+  ASSERT_EQ(static_cast<eid_t>(w.size()), g.num_edges());
+  for (eid_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(w[e], g.edge_weight(e));
+  }
+}
+
+}  // namespace
+}  // namespace netalign

@@ -1,0 +1,138 @@
+#include "dist/bsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace netalign::dist {
+namespace {
+
+/// Each rank sends its id to rank 0 once, then halts; rank 0 sums.
+class SumProgram : public RankProgram {
+ public:
+  explicit SumProgram(int* result) : result_(result) {}
+
+  void step(RankContext& ctx) override {
+    if (!sent_) {
+      ctx.send(0, ctx.rank());
+      sent_ = true;
+      return;
+    }
+    if (ctx.rank() == 0 && result_) {
+      for (const Message& msg : ctx.inbox()) {
+        *result_ += RankContext::decode<int>(msg);
+      }
+    }
+    ctx.vote_halt();
+  }
+
+ private:
+  int* result_;
+  bool sent_ = false;
+};
+
+TEST(Bsp, GatherSumsRankIds) {
+  int result = 0;
+  std::vector<std::unique_ptr<RankProgram>> programs;
+  const int p = 5;
+  for (int r = 0; r < p; ++r) {
+    programs.push_back(std::make_unique<SumProgram>(r == 0 ? &result : nullptr));
+  }
+  BspRuntime runtime;
+  const BspStats stats = runtime.run(programs);
+  EXPECT_EQ(result, 0 + 1 + 2 + 3 + 4);
+  EXPECT_GE(stats.supersteps, 2u);
+  EXPECT_EQ(stats.messages, 5u);
+  EXPECT_EQ(stats.bytes, 5 * sizeof(int));
+}
+
+/// Token ring: rank r forwards an incrementing counter to r+1; stops
+/// after `laps` full laps.
+class RingProgram : public RankProgram {
+ public:
+  RingProgram(int laps, int* final_value)
+      : laps_(laps), final_value_(final_value) {}
+
+  void step(RankContext& ctx) override {
+    const int p = ctx.num_ranks();
+    if (ctx.rank() == 0 && !started_) {
+      started_ = true;
+      ctx.send(1 % p, 1);
+      return;
+    }
+    for (const Message& msg : ctx.inbox()) {
+      const int value = RankContext::decode<int>(msg);
+      if (ctx.rank() == 0 && value >= laps_ * p) {
+        if (final_value_) *final_value_ = value;
+        break;  // stop forwarding: ring drains
+      }
+      ctx.send((ctx.rank() + 1) % p, value + 1);
+    }
+    // Always vote; a send in this superstep revokes the vote, so the run
+    // continues exactly while the token is still circulating.
+    ctx.vote_halt();
+  }
+
+ private:
+  int laps_;
+  int* final_value_;
+  bool started_ = false;
+};
+
+TEST(Bsp, TokenRingCirculates) {
+  int final_value = 0;
+  std::vector<std::unique_ptr<RankProgram>> programs;
+  const int p = 4;
+  for (int r = 0; r < p; ++r) {
+    programs.push_back(
+        std::make_unique<RingProgram>(3, r == 0 ? &final_value : nullptr));
+  }
+  BspRuntime runtime;
+  const BspStats stats = runtime.run(programs);
+  EXPECT_GE(final_value, 3 * p);
+  // One message per superstep while the token circulates.
+  EXPECT_EQ(stats.max_h_relation, 1u);
+}
+
+/// A program that never halts: the superstep guard must fire.
+class Livelock : public RankProgram {
+ public:
+  void step(RankContext& ctx) override { ctx.send(ctx.rank(), 1); }
+};
+
+TEST(Bsp, SuperstepLimitGuardsAgainstLivelock) {
+  std::vector<std::unique_ptr<RankProgram>> programs;
+  programs.push_back(std::make_unique<Livelock>());
+  BspRuntime runtime;
+  EXPECT_THROW(runtime.run(programs, 50), std::runtime_error);
+}
+
+TEST(Bsp, EmptyProgramListIsNoOp) {
+  std::vector<std::unique_ptr<RankProgram>> programs;
+  BspRuntime runtime;
+  const BspStats stats = runtime.run(programs);
+  EXPECT_EQ(stats.supersteps, 0u);
+}
+
+TEST(Bsp, DecodeRejectsWrongSize) {
+  Message msg;
+  msg.payload.resize(3);
+  EXPECT_THROW(RankContext::decode<int>(msg), std::runtime_error);
+}
+
+TEST(Bsp, SendToInvalidRankThrows) {
+  class BadSender : public RankProgram {
+   public:
+    void step(RankContext& ctx) override {
+      ctx.send(99, 1);
+      ctx.vote_halt();
+    }
+  };
+  std::vector<std::unique_ptr<RankProgram>> programs;
+  programs.push_back(std::make_unique<BadSender>());
+  BspRuntime runtime;
+  EXPECT_THROW(runtime.run(programs), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace netalign::dist

@@ -1,0 +1,112 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+namespace netalign {
+namespace {
+
+TEST(CliParser, DefaultsSurviveEmptyArgv) {
+  CliParser cli("test");
+  auto& n = cli.add_int("n", 42, "count");
+  auto& x = cli.add_double("x", 1.5, "factor");
+  auto& flag = cli.add_bool("flag", false, "toggle");
+  auto& s = cli.add_string("s", "hello", "text");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(n, 42);
+  EXPECT_EQ(x, 1.5);
+  EXPECT_FALSE(flag);
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(CliParser, ParsesSpaceSeparatedValues) {
+  CliParser cli;
+  auto& n = cli.add_int("n", 0, "count");
+  const char* argv[] = {"prog", "--n", "17"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(n, 17);
+}
+
+TEST(CliParser, ParsesEqualsSyntax) {
+  CliParser cli;
+  auto& x = cli.add_double("x", 0.0, "factor");
+  const char* argv[] = {"prog", "--x=2.25"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(x, 2.25);
+}
+
+TEST(CliParser, BoolFlagWithoutValue) {
+  CliParser cli;
+  auto& f = cli.add_bool("verbose", false, "chatty");
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(f);
+}
+
+TEST(CliParser, NoPrefixDisablesBool) {
+  CliParser cli;
+  auto& f = cli.add_bool("verbose", true, "chatty");
+  const char* argv[] = {"prog", "--no-verbose"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_FALSE(f);
+}
+
+TEST(CliParser, BoolAcceptsExplicitValue) {
+  CliParser cli;
+  auto& f = cli.add_bool("verbose", false, "chatty");
+  const char* argv[] = {"prog", "--verbose=true"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(f);
+}
+
+TEST(CliParser, UnknownFlagThrows) {
+  CliParser cli;
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_THROW(cli.parse(3, argv), std::runtime_error);
+}
+
+TEST(CliParser, MalformedIntThrows) {
+  CliParser cli;
+  cli.add_int("n", 0, "count");
+  const char* argv[] = {"prog", "--n", "xyz"};
+  EXPECT_THROW(cli.parse(3, argv), std::runtime_error);
+}
+
+TEST(CliParser, MissingValueThrows) {
+  CliParser cli;
+  cli.add_int("n", 0, "count");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(cli.parse(2, argv), std::runtime_error);
+}
+
+TEST(CliParser, PositionalArgumentsCollected) {
+  CliParser cli;
+  cli.add_int("n", 0, "count");
+  const char* argv[] = {"prog", "input.txt", "--n", "3", "output.txt"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+  EXPECT_EQ(cli.positional()[1], "output.txt");
+}
+
+TEST(CliParser, HelpReturnsFalse) {
+  CliParser cli("my tool");
+  cli.add_int("n", 1, "count");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliParser, HelpTextMentionsFlagsAndDefaults) {
+  CliParser cli("my tool");
+  cli.add_int("iters", 400, "iteration count");
+  const std::string h = cli.help_text();
+  EXPECT_NE(h.find("--iters"), std::string::npos);
+  EXPECT_NE(h.find("400"), std::string::npos);
+  EXPECT_NE(h.find("iteration count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netalign

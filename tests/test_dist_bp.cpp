@@ -1,0 +1,133 @@
+#include "dist/dist_bp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matching/verify.hpp"
+#include "netalign/belief_prop.hpp"
+#include "netalign/synthetic.hpp"
+
+namespace netalign {
+namespace {
+
+using dist::DistBpOptions;
+using dist::DistBpStats;
+using dist::distributed_belief_prop_align;
+
+SyntheticInstance make_instance(std::uint64_t seed, vid_t n = 60,
+                                double dbar = 3.0) {
+  PowerLawInstanceOptions opt;
+  opt.n = n;
+  opt.seed = seed;
+  opt.expected_degree = dbar;
+  return make_power_law_instance(opt);
+}
+
+TEST(DistBp, ProducesValidMatching) {
+  const auto inst = make_instance(1);
+  const auto S = SquaresMatrix::build(inst.problem);
+  DistBpOptions opt;
+  opt.max_iterations = 20;
+  const auto r = distributed_belief_prop_align(inst.problem, S, opt);
+  EXPECT_TRUE(is_valid_matching(inst.problem.L, r.matching));
+  EXPECT_GT(r.value.objective, 0.0);
+}
+
+TEST(DistBp, MatchesSharedMemoryBpExactly) {
+  // The distributed implementation computes the same iterates in the same
+  // floating-point order (row sums in slot order, column merges in CSC
+  // order), so with a deterministic matcher the entire objective history
+  // must coincide with the shared-memory BP.
+  const auto inst = make_instance(2, 70, 5.0);
+  const auto S = SquaresMatrix::build(inst.problem);
+
+  BeliefPropOptions shared;
+  shared.max_iterations = 25;
+  shared.matcher = MatcherKind::kGreedy;
+  shared.final_exact_round = false;
+  const auto rs = belief_prop_align(inst.problem, S, shared);
+
+  for (int ranks : {1, 3, 8}) {
+    DistBpOptions opt;
+    opt.num_ranks = ranks;
+    opt.max_iterations = 25;
+    opt.matcher = MatcherKind::kGreedy;
+    opt.final_exact_round = false;
+    const auto rd = distributed_belief_prop_align(inst.problem, S, opt);
+    ASSERT_EQ(rd.objective_history.size(), rs.objective_history.size())
+        << "ranks=" << ranks;
+    for (std::size_t i = 0; i < rs.objective_history.size(); ++i) {
+      EXPECT_NEAR(rd.objective_history[i], rs.objective_history[i], 1e-9)
+          << "ranks=" << ranks << " event " << i;
+    }
+    EXPECT_NEAR(rd.value.objective, rs.value.objective, 1e-9);
+  }
+}
+
+TEST(DistBp, ResultIndependentOfRankCount) {
+  const auto inst = make_instance(3);
+  const auto S = SquaresMatrix::build(inst.problem);
+  weight_t reference = 0.0;
+  for (int ranks : {1, 2, 5, 13}) {
+    DistBpOptions opt;
+    opt.num_ranks = ranks;
+    opt.max_iterations = 15;
+    const auto r = distributed_belief_prop_align(inst.problem, S, opt);
+    if (ranks == 1) {
+      reference = r.value.objective;
+    } else {
+      EXPECT_NEAR(r.value.objective, reference, 1e-9) << "ranks=" << ranks;
+    }
+  }
+}
+
+TEST(DistBp, StatsAccountForCommunication) {
+  const auto inst = make_instance(4);
+  const auto S = SquaresMatrix::build(inst.problem);
+  DistBpOptions opt;
+  opt.num_ranks = 4;
+  opt.max_iterations = 10;
+  DistBpStats stats;
+  const auto r = distributed_belief_prop_align(inst.problem, S, opt, &stats);
+  EXPECT_TRUE(is_valid_matching(inst.problem.L, r.matching));
+  // 3 mailbox deliveries per iteration plus the distributed matcher runs.
+  EXPECT_GE(stats.bsp.supersteps, 30u);
+  EXPECT_GT(stats.bsp.messages, 0u);
+  // Two gathers per iteration (y and z).
+  EXPECT_EQ(stats.gather_bytes,
+            2u * 10u * static_cast<std::size_t>(inst.problem.L.num_edges()) *
+                sizeof(weight_t));
+}
+
+TEST(DistBp, RemoteTrafficGrowsWithRanks) {
+  const auto inst = make_instance(5, 80, 4.0);
+  const auto S = SquaresMatrix::build(inst.problem);
+  std::size_t remote_p2 = 0;
+  for (int ranks : {2, 8}) {
+    DistBpOptions opt;
+    opt.num_ranks = ranks;
+    opt.max_iterations = 5;
+    DistBpStats stats;
+    (void)distributed_belief_prop_align(inst.problem, S, opt, &stats);
+    if (ranks == 2) {
+      remote_p2 = stats.bsp.remote_messages;
+    } else {
+      EXPECT_GE(stats.bsp.remote_messages, remote_p2);
+    }
+  }
+}
+
+TEST(DistBp, RejectsBadOptions) {
+  const auto inst = make_instance(6);
+  const auto S = SquaresMatrix::build(inst.problem);
+  DistBpOptions opt;
+  opt.num_ranks = 0;
+  EXPECT_THROW(distributed_belief_prop_align(inst.problem, S, opt),
+               std::invalid_argument);
+  opt.num_ranks = 2;
+  opt.max_iterations = 0;
+  EXPECT_THROW(distributed_belief_prop_align(inst.problem, S, opt),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netalign

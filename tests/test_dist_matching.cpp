@@ -1,0 +1,131 @@
+#include "dist/dist_matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "matching/exact_mwm.hpp"
+#include "matching/locally_dominant.hpp"
+#include "matching/verify.hpp"
+
+namespace netalign {
+namespace {
+
+using dist::DistMatchOptions;
+using dist::DistMatchStats;
+using dist::distributed_locally_dominant_matching;
+using testing::own_weights;
+using testing::random_bipartite;
+
+TEST(DistMatching, EmptyGraph) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(4, 4, {});
+  const auto m = distributed_locally_dominant_matching(g, own_weights(g));
+  EXPECT_EQ(m.cardinality, 0);
+  EXPECT_TRUE(is_valid_matching(g, m));
+}
+
+TEST(DistMatching, SingleEdgeAcrossRanks) {
+  // With 4 ranks on a 1+2-vertex graph the endpoints live on different
+  // ranks; the proposal round-trip must still match them.
+  const std::vector<LEdge> edges = {{0, 1, 2.0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(1, 2, edges);
+  DistMatchOptions opt;
+  opt.num_ranks = 3;
+  const auto m = distributed_locally_dominant_matching(g, own_weights(g), opt);
+  EXPECT_EQ(m.cardinality, 1);
+  EXPECT_DOUBLE_EQ(m.weight, 2.0);
+}
+
+TEST(DistMatching, HalfApproximationAndMaximality) {
+  Xoshiro256 rng(1212);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto g = random_bipartite(10, 10, 32, rng);
+    const auto w = own_weights(g);
+    DistMatchOptions opt;
+    opt.num_ranks = 4;
+    const auto m = distributed_locally_dominant_matching(g, w, opt);
+    const auto exact = max_weight_matching_exact(g, w);
+    ASSERT_TRUE(is_valid_matching(g, m)) << "trial " << trial;
+    EXPECT_TRUE(is_maximal_matching(g, w, m)) << "trial " << trial;
+    EXPECT_LE(m.weight, exact.weight + 1e-9);
+    EXPECT_GE(m.weight, 0.5 * exact.weight - 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(DistMatching, ResultIndependentOfRankCount) {
+  Xoshiro256 rng(3434);
+  const auto g = random_bipartite(40, 40, 240, rng);
+  const auto w = own_weights(g);
+  DistMatchOptions one;
+  one.num_ranks = 1;
+  const auto reference = distributed_locally_dominant_matching(g, w, one);
+  for (int ranks : {2, 3, 7, 16}) {
+    DistMatchOptions opt;
+    opt.num_ranks = ranks;
+    const auto m = distributed_locally_dominant_matching(g, w, opt);
+    EXPECT_EQ(m.mate_a, reference.mate_a) << "ranks=" << ranks;
+    EXPECT_NEAR(m.weight, reference.weight, 1e-12) << "ranks=" << ranks;
+  }
+}
+
+TEST(DistMatching, AgreesWithSharedMemoryMatcherOnDistinctWeights) {
+  // Distinct weights => the locally-dominant matching is unique, so the
+  // distributed and shared-memory algorithms must return the same edges.
+  Xoshiro256 rng(5656);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto g = random_bipartite(15, 15, 70, rng);
+    const auto w = own_weights(g);
+    DistMatchOptions opt;
+    opt.num_ranks = 4;
+    const auto md = distributed_locally_dominant_matching(g, w, opt);
+    const auto ms = locally_dominant_matching(g, w);
+    EXPECT_EQ(md.mate_a, ms.mate_a) << "trial " << trial;
+  }
+}
+
+TEST(DistMatching, StatsReportCommunication) {
+  Xoshiro256 rng(7878);
+  const auto g = random_bipartite(50, 50, 400, rng);
+  const auto w = own_weights(g);
+  DistMatchOptions opt;
+  opt.num_ranks = 8;
+  DistMatchStats stats;
+  const auto m = distributed_locally_dominant_matching(g, w, opt, &stats);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  EXPECT_GT(stats.bsp.supersteps, 1u);
+  EXPECT_GT(stats.proposals, 0);
+  EXPECT_GT(stats.notices, 0);
+  EXPECT_EQ(stats.bsp.messages,
+            static_cast<std::size_t>(stats.proposals + stats.notices));
+}
+
+TEST(DistMatching, IgnoresNonPositiveEdges) {
+  const std::vector<LEdge> edges = {{0, 0, -1.0}, {1, 1, 0.0}, {0, 1, 3.0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, edges);
+  const auto m = distributed_locally_dominant_matching(g, own_weights(g));
+  EXPECT_EQ(m.cardinality, 1);
+  EXPECT_EQ(m.mate_a[0], 1);
+}
+
+TEST(DistMatching, RejectsBadArguments) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, {});
+  std::vector<weight_t> wrong(5, 1.0);
+  EXPECT_THROW(distributed_locally_dominant_matching(g, wrong),
+               std::invalid_argument);
+  DistMatchOptions opt;
+  opt.num_ranks = 0;
+  EXPECT_THROW(
+      distributed_locally_dominant_matching(g, own_weights(g), opt),
+      std::invalid_argument);
+}
+
+TEST(DistMatching, MoreRanksThanVerticesStillWorks) {
+  const std::vector<LEdge> edges = {{0, 0, 1.0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(1, 1, edges);
+  DistMatchOptions opt;
+  opt.num_ranks = 50;
+  const auto m = distributed_locally_dominant_matching(g, own_weights(g), opt);
+  EXPECT_EQ(m.cardinality, 1);
+}
+
+}  // namespace
+}  // namespace netalign

@@ -1,0 +1,116 @@
+#include "dist/dist_mr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matching/verify.hpp"
+#include "netalign/klau_mr.hpp"
+#include "netalign/synthetic.hpp"
+
+namespace netalign {
+namespace {
+
+using dist::DistMrOptions;
+using dist::DistMrStats;
+using dist::distributed_klau_mr_align;
+
+SyntheticInstance make_instance(std::uint64_t seed, vid_t n = 60,
+                                double dbar = 3.0) {
+  PowerLawInstanceOptions opt;
+  opt.n = n;
+  opt.seed = seed;
+  opt.expected_degree = dbar;
+  return make_power_law_instance(opt);
+}
+
+TEST(DistMr, ProducesValidMatching) {
+  const auto inst = make_instance(1);
+  const auto S = SquaresMatrix::build(inst.problem);
+  DistMrOptions opt;
+  opt.max_iterations = 20;
+  const auto r = distributed_klau_mr_align(inst.problem, S, opt);
+  EXPECT_TRUE(is_valid_matching(inst.problem.L, r.matching));
+  EXPECT_GT(r.value.objective, 0.0);
+}
+
+TEST(DistMr, MatchesSharedMemoryMrExactly) {
+  // Same data, same exact row matchings, and the distributed matcher is
+  // the deterministic locally-dominant algorithm: the trajectories must
+  // coincide with shared-memory MR configured with the same matcher.
+  const auto inst = make_instance(2, 70, 5.0);
+  const auto S = SquaresMatrix::build(inst.problem);
+
+  KlauMrOptions shared;
+  shared.max_iterations = 25;
+  shared.matcher = MatcherKind::kLocallyDominant;
+  shared.final_exact_round = false;
+  const auto rs = klau_mr_align(inst.problem, S, shared);
+
+  for (int ranks : {1, 4, 9}) {
+    DistMrOptions opt;
+    opt.num_ranks = ranks;
+    opt.max_iterations = 25;
+    opt.gamma = shared.gamma;
+    opt.mstep = shared.mstep;
+    opt.bound_scale = shared.bound_scale;
+    opt.final_exact_round = false;
+    const auto rd = distributed_klau_mr_align(inst.problem, S, opt);
+    ASSERT_EQ(rd.objective_history.size(), rs.objective_history.size());
+    for (std::size_t i = 0; i < rs.objective_history.size(); ++i) {
+      EXPECT_NEAR(rd.objective_history[i], rs.objective_history[i], 1e-9)
+          << "ranks=" << ranks << " iteration " << i;
+      EXPECT_NEAR(rd.upper_history[i], rs.upper_history[i], 1e-9)
+          << "ranks=" << ranks << " iteration " << i;
+    }
+    EXPECT_NEAR(rd.value.objective, rs.value.objective, 1e-9);
+  }
+}
+
+TEST(DistMr, ResultIndependentOfRankCount) {
+  const auto inst = make_instance(3);
+  const auto S = SquaresMatrix::build(inst.problem);
+  weight_t reference = 0.0;
+  for (int ranks : {1, 2, 6}) {
+    DistMrOptions opt;
+    opt.num_ranks = ranks;
+    opt.max_iterations = 15;
+    const auto r = distributed_klau_mr_align(inst.problem, S, opt);
+    if (ranks == 1) {
+      reference = r.value.objective;
+    } else {
+      EXPECT_NEAR(r.value.objective, reference, 1e-9) << "ranks=" << ranks;
+    }
+  }
+}
+
+TEST(DistMr, StatsAccountForCommunication) {
+  const auto inst = make_instance(4);
+  const auto S = SquaresMatrix::build(inst.problem);
+  DistMrOptions opt;
+  opt.num_ranks = 4;
+  opt.max_iterations = 8;
+  DistMrStats stats;
+  const auto r = distributed_klau_mr_align(inst.problem, S, opt, &stats);
+  EXPECT_TRUE(is_valid_matching(inst.problem.L, r.matching));
+  // Two transpose exchanges per iteration plus the matcher's supersteps.
+  EXPECT_GE(stats.bsp.supersteps, 16u);
+  EXPECT_GT(stats.bsp.messages, 0u);
+  EXPECT_EQ(stats.gather_bytes,
+            8u * static_cast<std::size_t>(inst.problem.L.num_edges()) *
+                (sizeof(weight_t) + 1));
+}
+
+TEST(DistMr, RejectsBadOptions) {
+  const auto inst = make_instance(5);
+  const auto S = SquaresMatrix::build(inst.problem);
+  DistMrOptions opt;
+  opt.num_ranks = 0;
+  EXPECT_THROW(distributed_klau_mr_align(inst.problem, S, opt),
+               std::invalid_argument);
+  opt.num_ranks = 2;
+  opt.mstep = 0;
+  EXPECT_THROW(distributed_klau_mr_align(inst.problem, S, opt),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netalign

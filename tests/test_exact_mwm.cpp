@@ -1,0 +1,148 @@
+#include "matching/exact_mwm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "helpers.hpp"
+#include "matching/verify.hpp"
+
+namespace netalign {
+namespace {
+
+using testing::own_weights;
+using testing::random_bipartite;
+
+TEST(ExactMwm, EmptyGraph) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(3, 3, {});
+  const auto m = max_weight_matching_exact(g, own_weights(g));
+  EXPECT_EQ(m.cardinality, 0);
+  EXPECT_EQ(m.weight, 0.0);
+  EXPECT_TRUE(is_valid_matching(g, m));
+}
+
+TEST(ExactMwm, SingleEdge) {
+  const std::vector<LEdge> edges = {{0, 1, 2.5}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(1, 2, edges);
+  const auto m = max_weight_matching_exact(g, own_weights(g));
+  EXPECT_EQ(m.cardinality, 1);
+  EXPECT_DOUBLE_EQ(m.weight, 2.5);
+  EXPECT_EQ(m.mate_a[0], 1);
+}
+
+TEST(ExactMwm, PrefersHeavyEdgeOverTwoLight) {
+  // a0-b0 (10) conflicts with a0-b1 (1) + ... a heavy middle edge should
+  // win over being greedy elsewhere when the sums favor it.
+  const std::vector<LEdge> edges = {
+      {0, 0, 3.0}, {0, 1, 2.0}, {1, 0, 2.0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, edges);
+  const auto m = max_weight_matching_exact(g, own_weights(g));
+  // Optimal: a0-b1 (2) + a1-b0 (2) = 4 > a0-b0 (3).
+  EXPECT_DOUBLE_EQ(m.weight, 4.0);
+  EXPECT_EQ(m.cardinality, 2);
+}
+
+TEST(ExactMwm, GreedyIsSuboptimalHere) {
+  // The classic half-approximation worst case: the greedy/locally-dominant
+  // answer is w, the optimum is 2 * (w - eps).
+  const std::vector<LEdge> edges = {
+      {0, 0, 1.0}, {0, 1, 0.9}, {1, 0, 0.9}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, edges);
+  const auto m = max_weight_matching_exact(g, own_weights(g));
+  EXPECT_NEAR(m.weight, 1.8, 1e-12);
+}
+
+TEST(ExactMwm, IgnoresNonPositiveEdges) {
+  const std::vector<LEdge> edges = {{0, 0, -1.0}, {0, 1, 0.0}, {1, 1, 2.0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, edges);
+  const auto m = max_weight_matching_exact(g, own_weights(g));
+  EXPECT_EQ(m.cardinality, 1);
+  EXPECT_DOUBLE_EQ(m.weight, 2.0);
+  EXPECT_EQ(m.mate_a[0], kInvalidVid);
+}
+
+TEST(ExactMwm, MatchesBruteForceOnSmallRandomGraphs) {
+  Xoshiro256 rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto g = random_bipartite(4, 4, 8, rng);
+    const auto w = own_weights(g);
+    const auto m = max_weight_matching_exact(g, w);
+    ASSERT_TRUE(is_valid_matching(g, m));
+    EXPECT_NEAR(m.weight, brute_force_mwm_value(g, w), 1e-9)
+        << "trial " << trial;
+    EXPECT_NEAR(m.weight, matching_weight(g, w, m), 1e-9);
+  }
+}
+
+TEST(ExactMwm, MatchesBruteForceOnRectangularGraphs) {
+  Xoshiro256 rng(202);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto g = random_bipartite(3, 7, 10, rng);
+    const auto w = own_weights(g);
+    const auto m = max_weight_matching_exact(g, w);
+    ASSERT_TRUE(is_valid_matching(g, m));
+    EXPECT_NEAR(m.weight, brute_force_mwm_value(g, w), 1e-9);
+  }
+}
+
+TEST(ExactMwm, HandlesMixedSignWeights) {
+  Xoshiro256 rng(303);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto g = random_bipartite(4, 4, 9, rng, -0.5, 1.0);
+    const auto w = own_weights(g);
+    const auto m = max_weight_matching_exact(g, w);
+    ASSERT_TRUE(is_valid_matching(g, m));
+    EXPECT_NEAR(m.weight, brute_force_mwm_value(g, w), 1e-9);
+    // Never match a non-positive edge.
+    for (vid_t a = 0; a < g.num_a(); ++a) {
+      if (m.mate_a[a] == kInvalidVid) continue;
+      EXPECT_GT(w[g.find_edge(a, m.mate_a[a])], 0.0);
+    }
+  }
+}
+
+TEST(ExactMwm, PerfectMatchingOnDiagonalGraph) {
+  std::vector<LEdge> edges;
+  const vid_t n = 50;
+  for (vid_t i = 0; i < n; ++i) edges.push_back(LEdge{i, i, 1.0});
+  const BipartiteGraph g = BipartiteGraph::from_edges(n, n, edges);
+  const auto m = max_weight_matching_exact(g, own_weights(g));
+  EXPECT_EQ(m.cardinality, n);
+  EXPECT_DOUBLE_EQ(m.weight, static_cast<double>(n));
+}
+
+TEST(ExactMwm, WorkspaceReuseGivesSameAnswers) {
+  Xoshiro256 rng(404);
+  MwmWorkspace ws;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto g = random_bipartite(6, 5, 14, rng);
+    const auto w = own_weights(g);
+    const auto fresh = max_weight_matching_exact(g, w);
+    const auto reused = max_weight_matching_exact(g, w, ws);
+    EXPECT_NEAR(fresh.weight, reused.weight, 1e-9);
+    EXPECT_EQ(fresh.cardinality, reused.cardinality);
+  }
+}
+
+TEST(ExactMwm, WeightVectorSizeMismatchThrows) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, {});
+  std::vector<weight_t> wrong(3, 1.0);
+  EXPECT_THROW(max_weight_matching_exact(g, wrong), std::invalid_argument);
+}
+
+TEST(ExactMwm, LargerRandomInstanceIsConsistent) {
+  Xoshiro256 rng(505);
+  const auto g = random_bipartite(300, 280, 3000, rng);
+  const auto w = own_weights(g);
+  const auto m = max_weight_matching_exact(g, w);
+  ASSERT_TRUE(is_valid_matching(g, m));
+  EXPECT_NEAR(m.weight, matching_weight(g, w, m), 1e-9);
+  // The exact optimum is at least any greedy run; sanity lower bound:
+  EXPECT_GT(m.weight, 0.0);
+  // Exact MWM under positive weights is maximal (otherwise adding the free
+  // edge would improve it).
+  EXPECT_TRUE(is_maximal_matching(g, w, m));
+}
+
+}  // namespace
+}  // namespace netalign

@@ -1,0 +1,136 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+namespace netalign {
+namespace {
+
+TEST(PowerLawDegrees, RespectsBounds) {
+  Xoshiro256 rng(1);
+  const auto d = power_law_degrees(1000, 2.5, 2.0, 50.0, rng);
+  ASSERT_EQ(d.size(), 1000u);
+  for (double v : d) {
+    EXPECT_GE(v, 2.0);
+    EXPECT_LE(v, 50.0);
+  }
+}
+
+TEST(PowerLawDegrees, DefaultMaxIsNMinusOne) {
+  Xoshiro256 rng(2);
+  const auto d = power_law_degrees(100, 2.0, 1.0, 0.0, rng);
+  for (double v : d) EXPECT_LE(v, 99.0);
+}
+
+TEST(PowerLawDegrees, HeavyTailExists) {
+  Xoshiro256 rng(3);
+  const auto d = power_law_degrees(5000, 2.1, 1.0, 0.0, rng);
+  const double max = *std::max_element(d.begin(), d.end());
+  const double mean = std::accumulate(d.begin(), d.end(), 0.0) / 5000.0;
+  // A power law with exponent 2.1 should produce a max far above the mean.
+  EXPECT_GT(max, 10.0 * mean);
+}
+
+TEST(PowerLawDegrees, RejectsBadParameters) {
+  Xoshiro256 rng(4);
+  EXPECT_THROW(power_law_degrees(10, 1.0, 1.0, 0.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(power_law_degrees(10, 2.5, 0.0, 0.0, rng),
+               std::invalid_argument);
+}
+
+TEST(ChungLu, MatchesExpectedDegreesApproximately) {
+  Xoshiro256 rng(5);
+  const vid_t n = 2000;
+  std::vector<double> degrees(n, 6.0);
+  const Graph g = chung_lu(degrees, rng);
+  const double target_edges = n * 6.0 / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), target_edges,
+              0.15 * target_edges);
+}
+
+TEST(ChungLu, EmptyWeightsGiveEmptyGraph) {
+  Xoshiro256 rng(6);
+  const Graph g = chung_lu(std::vector<double>{}, rng);
+  EXPECT_EQ(g.num_vertices(), 0);
+  const Graph g2 = chung_lu(std::vector<double>(5, 0.0), rng);
+  EXPECT_EQ(g2.num_edges(), 0);
+}
+
+TEST(ChungLu, IsDeterministicPerSeed) {
+  std::vector<double> degrees(300, 4.0);
+  Xoshiro256 a(7), b(7);
+  const Graph ga = chung_lu(degrees, a);
+  const Graph gb = chung_lu(degrees, b);
+  EXPECT_EQ(ga.edge_list(), gb.edge_list());
+}
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  Xoshiro256 rng(8);
+  const vid_t n = 500;
+  const double p = 0.02;
+  const Graph g = erdos_renyi(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 0.15 * expected);
+}
+
+TEST(ErdosRenyi, ZeroProbabilityGivesNoEdges) {
+  Xoshiro256 rng(9);
+  EXPECT_EQ(erdos_renyi(100, 0.0, rng).num_edges(), 0);
+}
+
+TEST(ErdosRenyi, FullProbabilityGivesCompleteGraph) {
+  Xoshiro256 rng(10);
+  const Graph g = erdos_renyi(20, 1.0, rng);
+  EXPECT_EQ(g.num_edges(), 20 * 19 / 2);
+}
+
+TEST(ErdosRenyi, RejectsBadProbability) {
+  Xoshiro256 rng(11);
+  EXPECT_THROW(erdos_renyi(10, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW(erdos_renyi(10, 1.5, rng), std::invalid_argument);
+}
+
+TEST(PreferentialAttachment, ProducesConnectedCore) {
+  Xoshiro256 rng(12);
+  const Graph g = preferential_attachment(200, 2, rng);
+  EXPECT_EQ(g.num_vertices(), 200);
+  // Every non-seed vertex attaches with >= 1 edge.
+  for (vid_t v = 1; v < 200; ++v) EXPECT_GE(g.degree(v), 1);
+}
+
+TEST(PreferentialAttachment, RejectsZeroEdges) {
+  Xoshiro256 rng(13);
+  EXPECT_THROW(preferential_attachment(10, 0, rng), std::invalid_argument);
+}
+
+TEST(AddRandomEdges, PreservesExistingEdges) {
+  Xoshiro256 rng(14);
+  const Graph g = erdos_renyi(100, 0.05, rng);
+  const Graph h = add_random_edges(g, 0.02, rng);
+  for (const auto& [u, v] : g.edge_list()) {
+    EXPECT_TRUE(h.has_edge(u, v));
+  }
+  EXPECT_GE(h.num_edges(), g.num_edges());
+}
+
+TEST(AddRandomEdges, AddsRoughlyExpectedCount) {
+  Xoshiro256 rng(15);
+  const vid_t n = 400;
+  const Graph empty = Graph::from_edges(n, {});
+  const Graph h = add_random_edges(empty, 0.02, rng);
+  const double expected = 0.02 * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(h.num_edges()), expected, 0.2 * expected);
+}
+
+TEST(RandomPowerLawGraph, ProducesSkewedDegrees) {
+  Xoshiro256 rng(16);
+  const Graph g = random_power_law_graph(2000, 2.3, 1.5, rng);
+  EXPECT_GT(g.num_edges(), 0);
+  EXPECT_GT(g.max_degree(), 5 * (2 * g.num_edges() / g.num_vertices()));
+}
+
+}  // namespace
+}  // namespace netalign

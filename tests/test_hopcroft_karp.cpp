@@ -1,0 +1,99 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "matching/locally_dominant.hpp"
+#include "matching/verify.hpp"
+
+namespace netalign {
+namespace {
+
+using testing::own_weights;
+using testing::random_bipartite;
+
+/// Brute-force maximum cardinality by DFS over edge subsets (tiny only).
+eid_t brute_force_cardinality(const BipartiteGraph& L) {
+  std::vector<weight_t> unit(static_cast<std::size_t>(L.num_edges()), 1.0);
+  // With unit weights, max weight == max cardinality.
+  return static_cast<eid_t>(brute_force_mwm_value(L, unit) + 0.5);
+}
+
+TEST(HopcroftKarp, EmptyGraph) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(3, 5, {});
+  const auto m = maximum_cardinality_matching(g);
+  EXPECT_EQ(m.cardinality, 0);
+  EXPECT_TRUE(is_valid_matching(g, m));
+}
+
+TEST(HopcroftKarp, PerfectMatchingOnDiagonal) {
+  std::vector<LEdge> edges;
+  for (vid_t i = 0; i < 40; ++i) edges.push_back(LEdge{i, i, 1.0});
+  const BipartiteGraph g = BipartiteGraph::from_edges(40, 40, edges);
+  EXPECT_EQ(maximum_cardinality_matching(g).cardinality, 40);
+}
+
+TEST(HopcroftKarp, AugmentingPathsAreFound) {
+  // Greedy would match a0-b0 and strand a1; HK must find the size-2
+  // matching via the augmenting path.
+  const std::vector<LEdge> edges = {{0, 0, 1.0}, {0, 1, 1.0}, {1, 0, 1.0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, edges);
+  EXPECT_EQ(maximum_cardinality_matching(g).cardinality, 2);
+}
+
+TEST(HopcroftKarp, MatchesBruteForceOnSmallGraphs) {
+  Xoshiro256 rng(161);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto g = random_bipartite(5, 5, 10, rng);
+    const auto m = maximum_cardinality_matching(g);
+    ASSERT_TRUE(is_valid_matching(g, m));
+    EXPECT_EQ(m.cardinality, brute_force_cardinality(g)) << "trial " << trial;
+  }
+}
+
+TEST(HopcroftKarp, EligibleMaskRestrictsEdges) {
+  const std::vector<LEdge> edges = {{0, 0, 1.0}, {1, 1, 1.0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, edges);
+  const std::vector<std::uint8_t> mask = {1, 0};
+  const auto m = maximum_cardinality_matching(g, mask);
+  EXPECT_EQ(m.cardinality, 1);
+  EXPECT_EQ(m.mate_a[0], 0);
+  EXPECT_EQ(m.mate_a[1], kInvalidVid);
+}
+
+TEST(HopcroftKarp, EligibleMaskSizeMismatchThrows) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(
+      1, 1, std::vector<LEdge>{{0, 0, 1.0}});
+  const std::vector<std::uint8_t> wrong = {1, 1};
+  EXPECT_THROW(maximum_cardinality_matching(g, wrong), std::invalid_argument);
+}
+
+TEST(HopcroftKarp, LocallyDominantCardinalityIsHalfOfMaximum) {
+  // The full statement of the paper's Section V cardinality guarantee,
+  // tested against the true maximum (not just the max-weight matching).
+  Xoshiro256 rng(262);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto g = random_bipartite(12, 12, 30, rng);
+    const auto w = own_weights(g);
+    const auto ld = locally_dominant_matching(g, w);
+    std::vector<std::uint8_t> positive(
+        static_cast<std::size_t>(g.num_edges()));
+    for (eid_t e = 0; e < g.num_edges(); ++e) positive[e] = w[e] > 0.0;
+    const auto max_card = maximum_cardinality_matching(g, positive);
+    EXPECT_GE(ld.cardinality * 2, max_card.cardinality) << "trial " << trial;
+  }
+}
+
+TEST(HopcroftKarp, LargerRandomGraphIsConsistent) {
+  Xoshiro256 rng(363);
+  const auto g = random_bipartite(300, 300, 2000, rng);
+  const auto m = maximum_cardinality_matching(g);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  // Koenig bound sanity: cannot exceed either side.
+  EXPECT_LE(m.cardinality, 300);
+  // Random graphs this dense have near-perfect matchings.
+  EXPECT_GE(m.cardinality, 280);
+}
+
+}  // namespace
+}  // namespace netalign

@@ -1,0 +1,143 @@
+// End-to-end tests across the full pipeline: generate an instance, build
+// S, run both alignment methods with both matchers, compare to references.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/problem_io.hpp"
+#include "matching/verify.hpp"
+#include "netalign/belief_prop.hpp"
+#include "netalign/klau_mr.hpp"
+#include "netalign/synthetic.hpp"
+#include "util/parallel.hpp"
+
+namespace netalign {
+namespace {
+
+TEST(Integration, BothMethodsBeatTheNaiveRounding) {
+  // The baseline from Section III: match L's raw weights directly. Both
+  // iterative methods must reach at least that objective (they see it at
+  // iteration 1 modulo the overlap bonus) on an overlap-rich instance.
+  PowerLawInstanceOptions opt;
+  opt.n = 80;
+  opt.seed = 21;
+  opt.expected_degree = 4.0;
+  const auto inst = make_power_law_instance(opt);
+  const auto S = SquaresMatrix::build(inst.problem);
+
+  const auto w = std::vector<weight_t>(inst.problem.L.weights().begin(),
+                                       inst.problem.L.weights().end());
+  const auto naive = round_heuristic(inst.problem, S, w, MatcherKind::kExact);
+
+  KlauMrOptions mr;
+  mr.max_iterations = 60;
+  const auto r_mr = klau_mr_align(inst.problem, S, mr);
+  BeliefPropOptions bp;
+  bp.max_iterations = 60;
+  const auto r_bp = belief_prop_align(inst.problem, S, bp);
+
+  EXPECT_GE(r_mr.value.objective, naive.value.objective - 1e-9);
+  EXPECT_GE(r_bp.value.objective, naive.value.objective - 1e-9);
+}
+
+TEST(Integration, MethodsRecoverPlantedAlignmentAtLowNoise) {
+  PowerLawInstanceOptions opt;
+  opt.n = 60;
+  opt.seed = 22;
+  opt.expected_degree = 2.0;
+  const auto inst = make_power_law_instance(opt);
+  const auto S = SquaresMatrix::build(inst.problem);
+
+  KlauMrOptions mr;
+  mr.max_iterations = 100;
+  mr.matcher = MatcherKind::kExact;
+  BeliefPropOptions bp;
+  bp.max_iterations = 100;
+  bp.matcher = MatcherKind::kExact;
+
+  const auto r_mr = klau_mr_align(inst.problem, S, mr);
+  const auto r_bp = belief_prop_align(inst.problem, S, bp);
+  EXPECT_GE(fraction_correct(r_mr.matching, inst.reference), 0.85);
+  EXPECT_GE(fraction_correct(r_bp.matching, inst.reference), 0.85);
+}
+
+TEST(Integration, RoundTrippedProblemGivesIdenticalResults) {
+  PowerLawInstanceOptions opt;
+  opt.n = 50;
+  opt.seed = 23;
+  const auto inst = make_power_law_instance(opt);
+  std::stringstream ss;
+  write_problem(ss, inst.problem);
+  const auto reloaded = read_problem(ss);
+
+  const auto s1 = SquaresMatrix::build(inst.problem);
+  const auto s2 = SquaresMatrix::build(reloaded);
+  EXPECT_EQ(s1.num_nonzeros(), s2.num_nonzeros());
+
+  BeliefPropOptions bp;
+  bp.max_iterations = 20;
+  bp.matcher = MatcherKind::kGreedy;
+  const auto r1 = belief_prop_align(inst.problem, s1, bp);
+  const auto r2 = belief_prop_align(reloaded, s2, bp);
+  EXPECT_EQ(r1.value.objective, r2.value.objective);
+}
+
+TEST(Integration, StandInPipelineRunsEndToEnd) {
+  // A miniature ontology-style stand-in through the full BP pipeline.
+  auto spec = paper_table2_specs()[0];
+  spec.seed = 99;
+  const auto p = make_standin_problem(spec, 0.05);
+  const auto S = SquaresMatrix::build(p);
+  BeliefPropOptions bp;
+  bp.max_iterations = 15;
+  bp.batch_size = 4;
+  const auto r = belief_prop_align(p, S, bp);
+  EXPECT_TRUE(is_valid_matching(p.L, r.matching));
+  EXPECT_GT(r.value.objective, 0.0);
+}
+
+TEST(Integration, ThreadCountDoesNotChangeKlauExact) {
+  // Klau's method with exact matching everywhere is deterministic
+  // regardless of thread count: every parallel reduction is over disjoint
+  // writes and the matchings are exact.
+  PowerLawInstanceOptions opt;
+  opt.n = 40;
+  opt.seed = 24;
+  const auto inst = make_power_law_instance(opt);
+  const auto S = SquaresMatrix::build(inst.problem);
+  KlauMrOptions mr;
+  mr.max_iterations = 20;
+  mr.matcher = MatcherKind::kExact;
+
+  weight_t reference = 0.0;
+  for (int threads : {1, 2, 4}) {
+    ThreadCountGuard guard(threads);
+    const auto r = klau_mr_align(inst.problem, S, mr);
+    if (threads == 1) {
+      reference = r.value.objective;
+    } else {
+      EXPECT_EQ(r.value.objective, reference) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(Integration, BpApproxVsExactQualityGapIsSmall) {
+  // Miniature of the paper's Figure 3 conclusion on a harder instance.
+  PowerLawInstanceOptions opt;
+  opt.n = 100;
+  opt.seed = 25;
+  opt.expected_degree = 8.0;
+  const auto inst = make_power_law_instance(opt);
+  const auto S = SquaresMatrix::build(inst.problem);
+
+  BeliefPropOptions exact, approx;
+  exact.max_iterations = approx.max_iterations = 80;
+  exact.matcher = MatcherKind::kExact;
+  approx.matcher = MatcherKind::kLocallyDominant;
+  const auto re = belief_prop_align(inst.problem, S, exact);
+  const auto ra = belief_prop_align(inst.problem, S, approx);
+  EXPECT_GE(ra.value.objective, 0.75 * re.value.objective);
+}
+
+}  // namespace
+}  // namespace netalign

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "io/edge_list.hpp"
+#include "io/problem_io.hpp"
+#include "io/smat.hpp"
+#include "netalign/synthetic.hpp"
+#include "util/prng.hpp"
+
+namespace netalign {
+namespace {
+
+TEST(Smat, RoundTripsThroughText) {
+  const std::vector<CooEntry> entries = {
+      {0, 1, 1.5}, {2, 0, -2.0}, {2, 2, 0.25}};
+  const CsrMatrix m = CsrMatrix::from_coo(3, 3, entries);
+  std::stringstream ss;
+  write_smat(ss, m);
+  const CsrMatrix r = read_smat(ss);
+  EXPECT_EQ(r.num_rows(), 3);
+  EXPECT_EQ(r.num_cols(), 3);
+  ASSERT_EQ(r.num_nonzeros(), 3);
+  for (vid_t row = 0; row < 3; ++row) {
+    for (eid_t k = m.row_begin(row); k < m.row_end(row); ++k) {
+      const eid_t k2 = r.find(row, m.col_idx()[k]);
+      ASSERT_NE(k2, kInvalidEid);
+      EXPECT_DOUBLE_EQ(r.values()[k2], m.values()[k]);
+    }
+  }
+}
+
+TEST(Smat, HeaderParses) {
+  std::stringstream ss("2 3 1\n0 2 4.5\n");
+  const CsrMatrix m = read_smat(ss);
+  EXPECT_EQ(m.num_rows(), 2);
+  EXPECT_EQ(m.num_cols(), 3);
+  EXPECT_EQ(m.values()[0], 4.5);
+}
+
+TEST(Smat, TruncatedInputThrows) {
+  std::stringstream ss("2 2 2\n0 0 1.0\n");
+  EXPECT_THROW(read_smat(ss), std::runtime_error);
+}
+
+TEST(Smat, BadHeaderThrows) {
+  std::stringstream ss("hello\n");
+  EXPECT_THROW(read_smat(ss), std::runtime_error);
+}
+
+TEST(Smat, MissingFileThrows) {
+  EXPECT_THROW(read_smat_file("/nonexistent/path.smat"), std::runtime_error);
+}
+
+TEST(EdgeList, RoundTripsThroughText) {
+  Xoshiro256 rng(3);
+  const Graph g = erdos_renyi(50, 0.1, rng);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph r = read_edge_list(ss, 50);
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  for (const auto& [u, v] : g.edge_list()) EXPECT_TRUE(r.has_edge(u, v));
+}
+
+TEST(EdgeList, SkipsCommentsAndBlankLines) {
+  std::stringstream ss("# comment\n\n0 1\n  # indented comment\n1 2\n");
+  const Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(EdgeList, InfersVertexCount) {
+  std::stringstream ss("0 7\n");
+  const Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_vertices(), 8);
+}
+
+TEST(EdgeList, MalformedLineThrows) {
+  std::stringstream ss("0 not-a-number\n");
+  EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+}
+
+TEST(EdgeList, NegativeIdThrows) {
+  std::stringstream ss("0 -3\n");
+  EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+}
+
+TEST(ProblemIo, RoundTripsSyntheticInstance) {
+  PowerLawInstanceOptions opt;
+  opt.n = 60;
+  opt.seed = 77;
+  const auto inst = make_power_law_instance(opt);
+  std::stringstream ss;
+  write_problem(ss, inst.problem);
+  const NetAlignProblem r = read_problem(ss);
+
+  EXPECT_EQ(r.name, inst.problem.name);
+  EXPECT_EQ(r.alpha, inst.problem.alpha);
+  EXPECT_EQ(r.beta, inst.problem.beta);
+  EXPECT_EQ(r.A.num_edges(), inst.problem.A.num_edges());
+  EXPECT_EQ(r.B.num_edges(), inst.problem.B.num_edges());
+  ASSERT_EQ(r.L.num_edges(), inst.problem.L.num_edges());
+  for (eid_t e = 0; e < r.L.num_edges(); ++e) {
+    EXPECT_EQ(r.L.edge_a(e), inst.problem.L.edge_a(e));
+    EXPECT_EQ(r.L.edge_b(e), inst.problem.L.edge_b(e));
+    EXPECT_DOUBLE_EQ(r.L.edge_weight(e), inst.problem.L.edge_weight(e));
+  }
+}
+
+TEST(ProblemIo, RejectsWrongMagic) {
+  std::stringstream ss("NOT-A-PROBLEM 1\n");
+  EXPECT_THROW(read_problem(ss), std::runtime_error);
+}
+
+TEST(ProblemIo, RejectsWrongVersion) {
+  std::stringstream ss("NETALIGN-PROBLEM 99\n");
+  EXPECT_THROW(read_problem(ss), std::runtime_error);
+}
+
+TEST(ProblemIo, RejectsTruncatedBody) {
+  std::stringstream ss("NETALIGN-PROBLEM 1\nname x\nalpha 1 beta 2\n"
+                       "graphA 3 5\n0 1\n");
+  EXPECT_THROW(read_problem(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace netalign

@@ -1,0 +1,105 @@
+#include "netalign/isorank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matching/verify.hpp"
+#include "netalign/belief_prop.hpp"
+#include "netalign/synthetic.hpp"
+
+namespace netalign {
+namespace {
+
+SyntheticInstance make_instance(std::uint64_t seed, double dbar = 2.0) {
+  PowerLawInstanceOptions opt;
+  opt.n = 60;
+  opt.seed = seed;
+  opt.expected_degree = dbar;
+  return make_power_law_instance(opt);
+}
+
+TEST(IsoRank, ProducesValidMatching) {
+  const auto inst = make_instance(1);
+  const auto S = SquaresMatrix::build(inst.problem);
+  const auto r = isorank_align(inst.problem, S);
+  EXPECT_TRUE(is_valid_matching(inst.problem.L, r.matching));
+  EXPECT_GT(r.value.objective, 0.0);
+  EXPECT_GE(r.best_iteration, 1);
+}
+
+TEST(IsoRank, ConvergesUnderTolerance) {
+  const auto inst = make_instance(2);
+  const auto S = SquaresMatrix::build(inst.problem);
+  IsoRankOptions opt;
+  opt.max_iterations = 200;
+  opt.tolerance = 1e-10;
+  const auto r = isorank_align(inst.problem, S, opt);
+  ASSERT_FALSE(r.objective_history.empty());
+  // The recorded series is the iterate movement; it must shrink.
+  EXPECT_LT(r.objective_history.back(), r.objective_history.front());
+  EXPECT_LT(r.objective_history.back(), 1e-10);
+}
+
+TEST(IsoRank, RecoversIdentityOnEasyInstances) {
+  const auto inst = make_instance(3, 2.0);
+  const auto S = SquaresMatrix::build(inst.problem);
+  const auto r = isorank_align(inst.problem, S);
+  EXPECT_GE(fraction_correct(r.matching, inst.reference), 0.8);
+}
+
+TEST(IsoRank, TrailsBpOnOverlapObjective) {
+  // IsoRank is the baseline: on harder instances BP's objective should be
+  // at least as good (usually better).
+  const auto inst = make_instance(4, 10.0);
+  const auto S = SquaresMatrix::build(inst.problem);
+  const auto iso = isorank_align(inst.problem, S);
+  BeliefPropOptions bp;
+  bp.max_iterations = 100;
+  const auto r_bp = belief_prop_align(inst.problem, S, bp);
+  EXPECT_GE(r_bp.value.objective, iso.value.objective - 1e-9);
+}
+
+TEST(IsoRank, GammaZeroReturnsPriorRounding) {
+  // With gamma = 0 the fixed point is the prior itself: matching L's raw
+  // (normalized) weights.
+  const auto inst = make_instance(5);
+  const auto S = SquaresMatrix::build(inst.problem);
+  IsoRankOptions opt;
+  opt.gamma = 0.0;
+  opt.max_iterations = 3;
+  const auto r = isorank_align(inst.problem, S, opt);
+  EXPECT_TRUE(is_valid_matching(inst.problem.L, r.matching));
+  // All-unit weights: prior is uniform, so any maximum matching of the
+  // uniform vector is fine; validity and nonzero cardinality suffice.
+  EXPECT_GT(r.matching.cardinality, 0);
+}
+
+TEST(IsoRank, RejectsBadOptions) {
+  const auto inst = make_instance(6);
+  const auto S = SquaresMatrix::build(inst.problem);
+  IsoRankOptions opt;
+  opt.gamma = 1.0;
+  EXPECT_THROW(isorank_align(inst.problem, S, opt), std::invalid_argument);
+  opt.gamma = 0.85;
+  opt.max_iterations = 0;
+  EXPECT_THROW(isorank_align(inst.problem, S, opt), std::invalid_argument);
+}
+
+TEST(IsoRank, DeterministicAcrossRuns) {
+  const auto inst = make_instance(7);
+  const auto S = SquaresMatrix::build(inst.problem);
+  const auto a = isorank_align(inst.problem, S);
+  const auto b = isorank_align(inst.problem, S);
+  EXPECT_EQ(a.value.objective, b.value.objective);
+  EXPECT_EQ(a.matching.mate_a, b.matching.mate_a);
+}
+
+TEST(IsoRank, StepTimersAreRecorded) {
+  const auto inst = make_instance(8);
+  const auto S = SquaresMatrix::build(inst.problem);
+  const auto r = isorank_align(inst.problem, S);
+  EXPECT_GT(r.timers.count("propagate"), 0u);
+  EXPECT_EQ(r.timers.count("matching"), 1u);
+}
+
+}  // namespace
+}  // namespace netalign

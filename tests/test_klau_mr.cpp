@@ -1,0 +1,177 @@
+#include "netalign/klau_mr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matching/verify.hpp"
+#include "netalign/synthetic.hpp"
+
+namespace netalign {
+namespace {
+
+SyntheticInstance easy_instance(std::uint64_t seed, vid_t n = 60,
+                                double dbar = 2.0) {
+  PowerLawInstanceOptions opt;
+  opt.n = n;
+  opt.seed = seed;
+  opt.expected_degree = dbar;
+  return make_power_law_instance(opt);
+}
+
+TEST(KlauMr, ProducesValidMatching) {
+  const auto inst = easy_instance(1);
+  const auto S = SquaresMatrix::build(inst.problem);
+  KlauMrOptions opt;
+  opt.max_iterations = 30;
+  const auto result = klau_mr_align(inst.problem, S, opt);
+  EXPECT_TRUE(is_valid_matching(inst.problem.L, result.matching));
+  EXPECT_GT(result.value.objective, 0.0);
+  EXPECT_GE(result.best_iteration, 1);
+}
+
+TEST(KlauMr, ObjectiveDecompositionIsConsistent) {
+  const auto inst = easy_instance(2);
+  const auto S = SquaresMatrix::build(inst.problem);
+  KlauMrOptions opt;
+  opt.max_iterations = 20;
+  const auto result = klau_mr_align(inst.problem, S, opt);
+  EXPECT_NEAR(result.value.objective,
+              inst.problem.alpha * result.value.weight +
+                  inst.problem.beta * result.value.overlap,
+              1e-9);
+}
+
+TEST(KlauMr, UpperBoundDominatesObjectiveWithExactMatching) {
+  // With exact row matches and exact global matching, every iteration's
+  // upper bound is a genuine bound on the best objective.
+  const auto inst = easy_instance(3);
+  const auto S = SquaresMatrix::build(inst.problem);
+  KlauMrOptions opt;
+  opt.max_iterations = 25;
+  opt.matcher = MatcherKind::kExact;
+  const auto result = klau_mr_align(inst.problem, S, opt);
+  ASSERT_EQ(result.objective_history.size(), 25u);
+  ASSERT_EQ(result.upper_history.size(), 25u);
+  for (std::size_t i = 0; i < result.upper_history.size(); ++i) {
+    EXPECT_GE(result.upper_history[i] + 1e-9, result.objective_history[i])
+        << "iteration " << i;
+  }
+  EXPECT_GE(result.best_upper_bound + 1e-9, result.value.objective);
+}
+
+TEST(KlauMr, RecoversIdentityOnEasyInstances) {
+  // Figure 2 bottom: with exact rounding, MR finds the identity matching
+  // on low-noise instances.
+  const auto inst = easy_instance(4, 50, 2.0);
+  const auto S = SquaresMatrix::build(inst.problem);
+  KlauMrOptions opt;
+  opt.max_iterations = 120;
+  opt.matcher = MatcherKind::kExact;
+  const auto result = klau_mr_align(inst.problem, S, opt);
+  EXPECT_GE(fraction_correct(result.matching, inst.reference), 0.9);
+}
+
+TEST(KlauMr, ApproxMatcherStillProducesValidResults) {
+  const auto inst = easy_instance(5);
+  const auto S = SquaresMatrix::build(inst.problem);
+  KlauMrOptions opt;
+  opt.max_iterations = 30;
+  opt.matcher = MatcherKind::kLocallyDominant;
+  const auto result = klau_mr_align(inst.problem, S, opt);
+  EXPECT_TRUE(is_valid_matching(inst.problem.L, result.matching));
+  EXPECT_GT(result.value.objective, 0.0);
+}
+
+TEST(KlauMr, FinalExactRoundNeverHurts) {
+  const auto inst = easy_instance(6);
+  const auto S = SquaresMatrix::build(inst.problem);
+  KlauMrOptions with, without;
+  with.max_iterations = without.max_iterations = 25;
+  with.matcher = without.matcher = MatcherKind::kLocallyDominant;
+  with.final_exact_round = true;
+  without.final_exact_round = false;
+  const auto rw = klau_mr_align(inst.problem, S, with);
+  const auto ro = klau_mr_align(inst.problem, S, without);
+  EXPECT_GE(rw.value.objective, ro.value.objective - 1e-9);
+}
+
+TEST(KlauMr, StepTimersCoverAllSteps) {
+  const auto inst = easy_instance(7);
+  const auto S = SquaresMatrix::build(inst.problem);
+  KlauMrOptions opt;
+  opt.max_iterations = 5;
+  const auto result = klau_mr_align(inst.problem, S, opt);
+  for (const char* step :
+       {"row_match", "daxpy", "match", "objective", "update_u"}) {
+    EXPECT_EQ(result.timers.count(step), 5u) << step;
+  }
+  EXPECT_GT(result.total_seconds, 0.0);
+}
+
+TEST(KlauMr, HistoryCanBeDisabled) {
+  const auto inst = easy_instance(8);
+  const auto S = SquaresMatrix::build(inst.problem);
+  KlauMrOptions opt;
+  opt.max_iterations = 5;
+  opt.record_history = false;
+  const auto result = klau_mr_align(inst.problem, S, opt);
+  EXPECT_TRUE(result.objective_history.empty());
+  EXPECT_TRUE(result.upper_history.empty());
+}
+
+TEST(KlauMr, RejectsBadOptions) {
+  const auto inst = easy_instance(9);
+  const auto S = SquaresMatrix::build(inst.problem);
+  KlauMrOptions opt;
+  opt.max_iterations = 0;
+  EXPECT_THROW(klau_mr_align(inst.problem, S, opt), std::invalid_argument);
+  opt.max_iterations = 10;
+  opt.gamma = 0.0;
+  EXPECT_THROW(klau_mr_align(inst.problem, S, opt), std::invalid_argument);
+  opt.gamma = 0.4;
+  opt.mstep = 0;
+  EXPECT_THROW(klau_mr_align(inst.problem, S, opt), std::invalid_argument);
+}
+
+TEST(KlauMr, GreedyRowMatcherStillProducesValidResults) {
+  // The ablation of the paper's "always exact row matches" choice: the
+  // greedy row matcher must stay correct (valid matchings, consistent
+  // objective) even though the relaxation quality drops.
+  const auto inst = easy_instance(11);
+  const auto S = SquaresMatrix::build(inst.problem);
+  KlauMrOptions opt;
+  opt.max_iterations = 30;
+  opt.row_matcher = RowMatcher::kGreedy;
+  const auto r = klau_mr_align(inst.problem, S, opt);
+  EXPECT_TRUE(is_valid_matching(inst.problem.L, r.matching));
+  EXPECT_GT(r.value.objective, 0.0);
+}
+
+TEST(KlauMr, ExactRowsGiveTighterUpperBoundThanGreedyRows) {
+  // Greedy row values under-estimate each row's matching value, so the
+  // Lagrangian "upper bound" they imply is not larger than the exact one
+  // at iteration 1 (U = 0: d_greedy <= d_exact elementwise).
+  const auto inst = easy_instance(12, 80, 6.0);
+  const auto S = SquaresMatrix::build(inst.problem);
+  KlauMrOptions exact_rows, greedy_rows;
+  exact_rows.max_iterations = greedy_rows.max_iterations = 1;
+  greedy_rows.row_matcher = RowMatcher::kGreedy;
+  const auto re = klau_mr_align(inst.problem, S, exact_rows);
+  const auto rg = klau_mr_align(inst.problem, S, greedy_rows);
+  ASSERT_EQ(re.upper_history.size(), 1u);
+  ASSERT_EQ(rg.upper_history.size(), 1u);
+  EXPECT_GE(re.upper_history[0], rg.upper_history[0] - 1e-9);
+}
+
+TEST(KlauMr, DeterministicAcrossRuns) {
+  const auto inst = easy_instance(10);
+  const auto S = SquaresMatrix::build(inst.problem);
+  KlauMrOptions opt;
+  opt.max_iterations = 15;
+  const auto a = klau_mr_align(inst.problem, S, opt);
+  const auto b = klau_mr_align(inst.problem, S, opt);
+  EXPECT_EQ(a.value.objective, b.value.objective);
+  EXPECT_EQ(a.objective_history, b.objective_history);
+}
+
+}  // namespace
+}  // namespace netalign

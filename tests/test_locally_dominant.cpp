@@ -1,0 +1,190 @@
+#include "matching/locally_dominant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "helpers.hpp"
+#include "matching/exact_mwm.hpp"
+#include "matching/greedy.hpp"
+#include "matching/verify.hpp"
+#include "util/parallel.hpp"
+
+namespace netalign {
+namespace {
+
+using testing::own_weights;
+using testing::random_bipartite;
+
+TEST(LocallyDominant, EmptyGraph) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(4, 4, {});
+  const auto m = locally_dominant_matching(g, own_weights(g));
+  EXPECT_EQ(m.cardinality, 0);
+  EXPECT_TRUE(is_valid_matching(g, m));
+}
+
+TEST(LocallyDominant, SingleEdge) {
+  const std::vector<LEdge> edges = {{0, 1, 2.0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(1, 2, edges);
+  const auto m = locally_dominant_matching(g, own_weights(g));
+  EXPECT_EQ(m.cardinality, 1);
+  EXPECT_DOUBLE_EQ(m.weight, 2.0);
+}
+
+TEST(LocallyDominant, PicksLocallyDominantEdge) {
+  // Path a0 - b0 - a1 with weights 1.0 and 3.0: the 3.0 edge dominates.
+  const std::vector<LEdge> edges = {{0, 0, 1.0}, {1, 0, 3.0}, {1, 1, 2.0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, edges);
+  const auto m = locally_dominant_matching(g, own_weights(g));
+  EXPECT_EQ(m.mate_a[1], 0);
+  // After (a1, b0) matches, phase 2 must still match a0's remaining... a0
+  // only neighbors b0, so a0 stays single; b1 likewise.
+  EXPECT_EQ(m.cardinality, 1);
+  EXPECT_DOUBLE_EQ(m.weight, 3.0);
+}
+
+TEST(LocallyDominant, Phase2RematchesAfterCandidateDies) {
+  // Chain a0-b0 (3), a0-b1 (2), a1-b1 (1): first (a0, b0)? No -- a0's best
+  // is b0 (3) and b0's best is a0, they match; then b1's candidate a0 is
+  // matched, so phase 2 re-points b1 to a1 and matches (a1, b1).
+  const std::vector<LEdge> edges = {{0, 0, 3.0}, {0, 1, 2.0}, {1, 1, 1.0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, edges);
+  const auto m = locally_dominant_matching(g, own_weights(g));
+  EXPECT_EQ(m.cardinality, 2);
+  EXPECT_EQ(m.mate_a[0], 0);
+  EXPECT_EQ(m.mate_a[1], 1);
+  EXPECT_DOUBLE_EQ(m.weight, 4.0);
+}
+
+TEST(LocallyDominant, IgnoresNonPositiveEdges) {
+  const std::vector<LEdge> edges = {{0, 0, -1.0}, {1, 1, 0.0}, {0, 1, 2.0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, edges);
+  const auto m = locally_dominant_matching(g, own_weights(g));
+  EXPECT_EQ(m.cardinality, 1);
+  EXPECT_EQ(m.mate_a[0], 1);
+}
+
+TEST(LocallyDominant, HalfApproximationHoldsOnRandomGraphs) {
+  Xoshiro256 rng(1234);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto g = random_bipartite(8, 8, 24, rng);
+    const auto w = own_weights(g);
+    const auto approx = locally_dominant_matching(g, w);
+    const auto exact = max_weight_matching_exact(g, w);
+    ASSERT_TRUE(is_valid_matching(g, approx)) << "trial " << trial;
+    EXPECT_TRUE(is_maximal_matching(g, w, approx)) << "trial " << trial;
+    EXPECT_LE(approx.weight, exact.weight + 1e-9);
+    EXPECT_GE(approx.weight, 0.5 * exact.weight - 1e-9) << "trial " << trial;
+    EXPECT_GE(approx.cardinality * 2, exact.cardinality) << "trial " << trial;
+  }
+}
+
+TEST(LocallyDominant, AgreesWithGreedyUnderDistinctWeights) {
+  // With all-distinct weights the locally-dominant matching is unique and
+  // equals the greedy matching (both pick exactly the locally dominant
+  // edges).
+  Xoshiro256 rng(555);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto g = random_bipartite(10, 10, 35, rng);
+    const auto w = own_weights(g);
+    const auto ld = locally_dominant_matching(g, w);
+    const auto gr = greedy_matching(g, w);
+    EXPECT_NEAR(ld.weight, gr.weight, 1e-9) << "trial " << trial;
+    EXPECT_EQ(ld.cardinality, gr.cardinality);
+    for (vid_t a = 0; a < g.num_a(); ++a) {
+      EXPECT_EQ(ld.mate_a[a], gr.mate_a[a]) << "trial " << trial;
+    }
+  }
+}
+
+TEST(LocallyDominant, OneSidedInitMatchesTwoSidedWeightClass) {
+  Xoshiro256 rng(777);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto g = random_bipartite(9, 7, 28, rng);
+    const auto w = own_weights(g);
+    LdOptions one;
+    one.init = LdInit::kOneSided;
+    const auto m1 = locally_dominant_matching(g, w, one);
+    const auto m2 = locally_dominant_matching(g, w);
+    ASSERT_TRUE(is_valid_matching(g, m1));
+    EXPECT_TRUE(is_maximal_matching(g, w, m1)) << "trial " << trial;
+    // Distinct weights => unique locally-dominant matching, so the two
+    // initializations converge to the same answer.
+    EXPECT_NEAR(m1.weight, m2.weight, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(LocallyDominant, StatsRecordQueueDecay) {
+  Xoshiro256 rng(888);
+  const auto g = random_bipartite(400, 400, 3000, rng);
+  const auto w = own_weights(g);
+  LdStats stats;
+  const auto m = locally_dominant_matching(g, w, {}, &stats);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  ASSERT_GE(stats.rounds, 1);
+  ASSERT_EQ(stats.queue_sizes.size(), static_cast<std::size_t>(stats.rounds));
+  EXPECT_GT(stats.findmate_calls, 0);
+  // The first round's queue covers the phase-1 matches (2 entries per
+  // matched pair); sizes are positive and the series terminates.
+  for (const eid_t q : stats.queue_sizes) EXPECT_GT(q, 0);
+}
+
+TEST(LocallyDominant, TieBreakingIsById) {
+  // Two equal-weight edges at a0: candidate must be the smaller B id
+  // (global id na + b, so b0 over b1).
+  const std::vector<LEdge> edges = {{0, 0, 1.0}, {0, 1, 1.0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(1, 2, edges);
+  const auto m = locally_dominant_matching(g, own_weights(g));
+  EXPECT_EQ(m.mate_a[0], 0);
+}
+
+TEST(LocallyDominant, WeightSizeMismatchThrows) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, {});
+  std::vector<weight_t> wrong(1, 1.0);
+  EXPECT_THROW(locally_dominant_matching(g, wrong), std::invalid_argument);
+}
+
+TEST(LocallyDominant, RepeatedRunsAreIdentical) {
+  Xoshiro256 rng(999);
+  const auto g = random_bipartite(50, 50, 300, rng);
+  const auto w = own_weights(g);
+  const auto m1 = locally_dominant_matching(g, w);
+  const auto m2 = locally_dominant_matching(g, w);
+  EXPECT_EQ(m1.mate_a, m2.mate_a);
+  EXPECT_EQ(m1.mate_b, m2.mate_b);
+}
+
+TEST(LocallyDominant, PerfectDiagonalIsFound) {
+  std::vector<LEdge> edges;
+  const vid_t n = 100;
+  for (vid_t i = 0; i < n; ++i) edges.push_back(LEdge{i, i, 2.0});
+  // Add light distractor edges.
+  for (vid_t i = 0; i + 1 < n; ++i) edges.push_back(LEdge{i, i + 1, 1.0});
+  const BipartiteGraph g = BipartiteGraph::from_edges(n, n, edges);
+  const auto m = locally_dominant_matching(g, own_weights(g));
+  EXPECT_EQ(m.cardinality, n);
+  for (vid_t i = 0; i < n; ++i) EXPECT_EQ(m.mate_a[i], i);
+}
+
+TEST(LocallyDominant, MultiThreadRunsRemainValidAndHalfApprox) {
+  Xoshiro256 rng(2024);
+  const auto g = random_bipartite(200, 200, 1500, rng);
+  const auto w = own_weights(g);
+  const auto exact = max_weight_matching_exact(g, w);
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadCountGuard guard(threads);
+    for (auto init : {LdInit::kTwoSided, LdInit::kOneSided}) {
+      LdOptions opt;
+      opt.init = init;
+      const auto m = locally_dominant_matching(g, w, opt);
+      ASSERT_TRUE(is_valid_matching(g, m));
+      EXPECT_TRUE(is_maximal_matching(g, w, m));
+      EXPECT_GE(m.weight, 0.5 * exact.weight - 1e-9)
+          << "threads=" << threads;
+      EXPECT_LE(m.weight, exact.weight + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netalign

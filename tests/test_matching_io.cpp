@@ -1,0 +1,85 @@
+#include "io/matching_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "helpers.hpp"
+#include "matching/exact_mwm.hpp"
+#include "matching/verify.hpp"
+
+namespace netalign {
+namespace {
+
+using testing::own_weights;
+using testing::random_bipartite;
+
+TEST(MatchingIo, RoundTrips) {
+  Xoshiro256 rng(1);
+  const auto L = random_bipartite(20, 20, 100, rng);
+  const auto w = own_weights(L);
+  const auto m = max_weight_matching_exact(L, w);
+
+  std::stringstream ss;
+  write_matching(ss, m);
+  const auto r = read_matching(ss, L);
+  EXPECT_EQ(r.mate_a, m.mate_a);
+  EXPECT_EQ(r.mate_b, m.mate_b);
+  EXPECT_EQ(r.cardinality, m.cardinality);
+  EXPECT_NEAR(r.weight, m.weight, 1e-9);
+  EXPECT_TRUE(is_valid_matching(L, r));
+}
+
+TEST(MatchingIo, EmptyMatchingRoundTrips) {
+  const BipartiteGraph L = BipartiteGraph::from_edges(3, 3, {});
+  BipartiteMatching m;
+  m.mate_a.assign(3, kInvalidVid);
+  m.mate_b.assign(3, kInvalidVid);
+  std::stringstream ss;
+  write_matching(ss, m);
+  const auto r = read_matching(ss, L);
+  EXPECT_EQ(r.cardinality, 0);
+}
+
+TEST(MatchingIo, RejectsBadHeader) {
+  const BipartiteGraph L = BipartiteGraph::from_edges(1, 1, {});
+  std::stringstream ss("WRONG 1\n0\n");
+  EXPECT_THROW(read_matching(ss, L), std::runtime_error);
+}
+
+TEST(MatchingIo, RejectsNonEdgePairs) {
+  const BipartiteGraph L = BipartiteGraph::from_edges(
+      2, 2, std::vector<LEdge>{{0, 0, 1.0}});
+  std::stringstream ss("NETALIGN-MATCHING 1\n1\n1 1\n");
+  EXPECT_THROW(read_matching(ss, L), std::runtime_error);
+}
+
+TEST(MatchingIo, RejectsDoubleMatchedVertex) {
+  const BipartiteGraph L = BipartiteGraph::from_edges(
+      1, 2, std::vector<LEdge>{{0, 0, 1.0}, {0, 1, 1.0}});
+  std::stringstream ss("NETALIGN-MATCHING 1\n2\n0 0\n0 1\n");
+  EXPECT_THROW(read_matching(ss, L), std::runtime_error);
+}
+
+TEST(MatchingIo, RejectsTruncatedInput) {
+  const BipartiteGraph L = BipartiteGraph::from_edges(
+      1, 1, std::vector<LEdge>{{0, 0, 1.0}});
+  std::stringstream ss("NETALIGN-MATCHING 1\n2\n0 0\n");
+  EXPECT_THROW(read_matching(ss, L), std::runtime_error);
+}
+
+TEST(MatchingIo, RejectsOutOfRangePair) {
+  const BipartiteGraph L = BipartiteGraph::from_edges(
+      1, 1, std::vector<LEdge>{{0, 0, 1.0}});
+  std::stringstream ss("NETALIGN-MATCHING 1\n1\n5 0\n");
+  EXPECT_THROW(read_matching(ss, L), std::runtime_error);
+}
+
+TEST(MatchingIo, MissingFileThrows) {
+  const BipartiteGraph L = BipartiteGraph::from_edges(1, 1, {});
+  EXPECT_THROW(read_matching_file("/no/such/file.mat", L),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace netalign

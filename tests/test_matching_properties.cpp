@@ -1,0 +1,124 @@
+// Parameterized property sweep over all matchers and a family of graph
+// shapes: the invariants from DESIGN.md Section 6 must hold for every
+// (matcher, shape, seed) combination.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "helpers.hpp"
+#include "matching/exact_mwm.hpp"
+#include "matching/verify.hpp"
+#include "netalign/rounding.hpp"
+
+namespace netalign {
+namespace {
+
+using testing::own_weights;
+using testing::random_bipartite;
+
+struct GraphShape {
+  vid_t na;
+  vid_t nb;
+  int edges;
+  const char* label;
+};
+
+class MatcherProperty
+    : public ::testing::TestWithParam<
+          std::tuple<MatcherKind, GraphShape, std::uint64_t>> {};
+
+TEST_P(MatcherProperty, InvariantsHold) {
+  const auto [kind, shape, seed] = GetParam();
+  Xoshiro256 rng(seed);
+  const auto g = random_bipartite(shape.na, shape.nb, shape.edges, rng);
+  const auto w = own_weights(g);
+
+  const auto m = run_matcher(g, w, kind);
+  ASSERT_TRUE(is_valid_matching(g, m));
+  EXPECT_NEAR(m.weight, matching_weight(g, w, m), 1e-9);
+
+  const auto exact = max_weight_matching_exact(g, w);
+  EXPECT_LE(m.weight, exact.weight + 1e-6);
+  if (kind == MatcherKind::kExact) {
+    EXPECT_NEAR(m.weight, exact.weight, 1e-9);
+  } else if (kind == MatcherKind::kAuction) {
+    // eps-optimal, not 1/2-approximate-by-design; eps is tiny by default.
+    EXPECT_NEAR(m.weight, exact.weight, 1e-6);
+  } else {
+    // All other approximations in this library are 1/2-approximations in
+    // weight.
+    EXPECT_GE(m.weight, 0.5 * exact.weight - 1e-9);
+    if (kind != MatcherKind::kPathGrowing) {
+      // Locally-dominant, greedy and suitor additionally return *maximal*
+      // matchings, which implies the 1/2 cardinality bound; path-growing
+      // does not (a path's DP may skip an extendable edge).
+      EXPECT_TRUE(is_maximal_matching(g, w, m));
+      EXPECT_GE(m.cardinality * 2, exact.cardinality);
+    }
+  }
+}
+
+const GraphShape kShapes[] = {
+    {6, 6, 12, "square_sparse"},
+    {6, 6, 30, "square_dense"},
+    {3, 12, 20, "wide"},
+    {12, 3, 20, "tall"},
+    {1, 8, 8, "star"},
+    {20, 20, 60, "medium"},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMatchersAllShapes, MatcherProperty,
+    ::testing::Combine(
+        ::testing::Values(MatcherKind::kExact, MatcherKind::kLocallyDominant,
+                          MatcherKind::kGreedy, MatcherKind::kSuitor,
+                          MatcherKind::kAuction, MatcherKind::kPathGrowing),
+        ::testing::ValuesIn(kShapes),
+        ::testing::Values(11ULL, 222ULL, 3333ULL, 44444ULL)),
+    [](const ::testing::TestParamInfo<MatcherProperty::ParamType>& pinfo) {
+      return to_string(std::get<0>(pinfo.param)) + "_" +
+             std::get<1>(pinfo.param).label + "_s" +
+             std::to_string(std::get<2>(pinfo.param));
+    });
+
+// Degenerate inputs every matcher must survive.
+class MatcherDegenerate : public ::testing::TestWithParam<MatcherKind> {};
+
+TEST_P(MatcherDegenerate, EmptyGraph) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(4, 5, {});
+  const auto m = run_matcher(g, own_weights(g), GetParam());
+  EXPECT_EQ(m.cardinality, 0);
+  EXPECT_EQ(m.weight, 0.0);
+}
+
+TEST_P(MatcherDegenerate, AllNonPositiveWeights) {
+  const std::vector<LEdge> edges = {{0, 0, -1.0}, {1, 1, 0.0}, {0, 1, -0.5}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, edges);
+  const auto m = run_matcher(g, own_weights(g), GetParam());
+  EXPECT_EQ(m.cardinality, 0);
+}
+
+TEST_P(MatcherDegenerate, UniformWeightsProduceMaximumCardinality) {
+  // Complete 3x3 bipartite graph with equal weights: every maximal
+  // matching is perfect.
+  std::vector<LEdge> edges;
+  for (vid_t a = 0; a < 3; ++a) {
+    for (vid_t b = 0; b < 3; ++b) edges.push_back(LEdge{a, b, 1.0});
+  }
+  const BipartiteGraph g = BipartiteGraph::from_edges(3, 3, edges);
+  const auto m = run_matcher(g, own_weights(g), GetParam());
+  EXPECT_EQ(m.cardinality, 3);
+  EXPECT_DOUBLE_EQ(m.weight, 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMatchers, MatcherDegenerate,
+    ::testing::Values(MatcherKind::kExact, MatcherKind::kLocallyDominant,
+                      MatcherKind::kGreedy, MatcherKind::kSuitor,
+                      MatcherKind::kAuction, MatcherKind::kPathGrowing),
+    [](const ::testing::TestParamInfo<MatcherKind>& pinfo) {
+      return to_string(pinfo.param);
+    });
+
+}  // namespace
+}  // namespace netalign

@@ -1,0 +1,119 @@
+#include "netalign/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matching/exact_mwm.hpp"
+#include "netalign/synthetic.hpp"
+#include "util/prng.hpp"
+
+namespace netalign {
+namespace {
+
+SyntheticInstance make_instance(std::uint64_t seed, vid_t n = 60) {
+  PowerLawInstanceOptions opt;
+  opt.n = n;
+  opt.seed = seed;
+  opt.expected_degree = 3.0;
+  return make_power_law_instance(opt);
+}
+
+TEST(Objective, EmptyIndicatorIsZero) {
+  const auto inst = make_instance(1);
+  const auto S = SquaresMatrix::build(inst.problem);
+  std::vector<std::uint8_t> x(inst.problem.L.num_edges(), 0);
+  const auto v = evaluate_objective(inst.problem, S, x);
+  EXPECT_EQ(v.weight, 0.0);
+  EXPECT_EQ(v.overlap, 0.0);
+  EXPECT_EQ(v.objective, 0.0);
+}
+
+TEST(Objective, IdentityMatchingOverlapMatchesBruteForce) {
+  const auto inst = make_instance(2);
+  const auto& p = inst.problem;
+  const auto S = SquaresMatrix::build(p);
+
+  BipartiteMatching identity;
+  identity.mate_a.resize(p.A.num_vertices());
+  identity.mate_b.resize(p.B.num_vertices());
+  for (vid_t i = 0; i < p.A.num_vertices(); ++i) {
+    identity.mate_a[i] = i;
+    identity.mate_b[i] = i;
+  }
+  identity.cardinality = p.A.num_vertices();
+
+  const auto v = evaluate_objective(p, S, identity);
+  EXPECT_DOUBLE_EQ(v.overlap, brute_force_overlap(p, identity));
+  // The identity matches every vertex with unit weights.
+  EXPECT_DOUBLE_EQ(v.weight, static_cast<double>(p.A.num_vertices()));
+  EXPECT_DOUBLE_EQ(v.objective, p.alpha * v.weight + p.beta * v.overlap);
+}
+
+TEST(Objective, IdentityOverlapCountsSharedBaseEdges) {
+  // The identity alignment overlaps exactly the edges common to A and B.
+  const auto inst = make_instance(3);
+  const auto& p = inst.problem;
+  const auto S = SquaresMatrix::build(p);
+  BipartiteMatching identity;
+  identity.mate_a.resize(p.A.num_vertices());
+  identity.mate_b.resize(p.B.num_vertices());
+  for (vid_t i = 0; i < p.A.num_vertices(); ++i) {
+    identity.mate_a[i] = i;
+    identity.mate_b[i] = i;
+  }
+  identity.cardinality = p.A.num_vertices();
+  eid_t shared = 0;
+  for (const auto& [u, v] : p.A.edge_list()) {
+    if (p.B.has_edge(u, v)) ++shared;
+  }
+  const auto v = evaluate_objective(p, S, identity);
+  EXPECT_DOUBLE_EQ(v.overlap, static_cast<double>(shared));
+}
+
+TEST(Objective, ArbitraryMatchingAgreesWithBruteForce) {
+  const auto inst = make_instance(4);
+  const auto& p = inst.problem;
+  const auto S = SquaresMatrix::build(p);
+  const auto w = std::vector<weight_t>(p.L.weights().begin(),
+                                       p.L.weights().end());
+  const auto m = max_weight_matching_exact(p.L, w);
+  const auto v = evaluate_objective(p, S, m);
+  EXPECT_DOUBLE_EQ(v.overlap, brute_force_overlap(p, m));
+  EXPECT_NEAR(v.weight, m.weight, 1e-9);
+}
+
+TEST(Objective, IndicatorSizeMismatchThrows) {
+  const auto inst = make_instance(5);
+  const auto S = SquaresMatrix::build(inst.problem);
+  std::vector<std::uint8_t> wrong(3, 0);
+  EXPECT_THROW(evaluate_objective(inst.problem, S, wrong),
+               std::invalid_argument);
+}
+
+TEST(FractionCorrect, FullIdentityIsOne) {
+  BipartiteMatching m;
+  m.mate_a = {0, 1, 2};
+  std::vector<vid_t> ref = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(fraction_correct(m, ref), 1.0);
+}
+
+TEST(FractionCorrect, PartialCredit) {
+  BipartiteMatching m;
+  m.mate_a = {0, 2, kInvalidVid, 3};
+  std::vector<vid_t> ref = {0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(fraction_correct(m, ref), 0.5);
+}
+
+TEST(FractionCorrect, IgnoresUnreferencedVertices) {
+  BipartiteMatching m;
+  m.mate_a = {0, 5};
+  std::vector<vid_t> ref = {0, kInvalidVid};
+  EXPECT_DOUBLE_EQ(fraction_correct(m, ref), 1.0);
+}
+
+TEST(FractionCorrect, EmptyReferenceIsZero) {
+  BipartiteMatching m;
+  EXPECT_DOUBLE_EQ(fraction_correct(m, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace netalign

@@ -1,0 +1,128 @@
+// Randomized whole-pipeline property battery: for every (instance family,
+// method, seed) combination, the invariants of DESIGN.md Section 6 must
+// hold end to end -- valid matchings, consistent objective decomposition,
+// best-of-history bookkeeping, and the MR upper bound when exact matching
+// is in play.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "matching/verify.hpp"
+#include "netalign/belief_prop.hpp"
+#include "netalign/isorank.hpp"
+#include "netalign/klau_mr.hpp"
+#include "netalign/synthetic.hpp"
+
+namespace netalign {
+namespace {
+
+enum class Family { kPowerLaw, kOntology };
+enum class Method { kMr, kBp, kIsoRank };
+
+const char* to_cstr(Family f) {
+  return f == Family::kPowerLaw ? "powerlaw" : "ontology";
+}
+const char* to_cstr(Method m) {
+  switch (m) {
+    case Method::kMr:
+      return "MR";
+    case Method::kBp:
+      return "BP";
+    case Method::kIsoRank:
+      return "IsoRank";
+  }
+  return "?";
+}
+
+SyntheticInstance make(Family family, std::uint64_t seed) {
+  if (family == Family::kOntology) {
+    OntologyInstanceOptions opt;
+    opt.n = 70;
+    opt.seed = seed;
+    opt.expected_degree = 4.0;
+    return make_ontology_instance(opt);
+  }
+  PowerLawInstanceOptions opt;
+  opt.n = 70;
+  opt.seed = seed;
+  opt.expected_degree = 4.0;
+  return make_power_law_instance(opt);
+}
+
+class PipelineProperty
+    : public ::testing::TestWithParam<
+          std::tuple<Family, Method, std::uint64_t>> {};
+
+TEST_P(PipelineProperty, InvariantsHold) {
+  const auto [family, method, seed] = GetParam();
+  const auto inst = make(family, seed);
+  const auto& p = inst.problem;
+  const auto S = SquaresMatrix::build(p);
+
+  AlignResult r;
+  switch (method) {
+    case Method::kMr: {
+      KlauMrOptions opt;
+      opt.max_iterations = 30;
+      opt.matcher = MatcherKind::kExact;
+      r = klau_mr_align(p, S, opt);
+      break;
+    }
+    case Method::kBp: {
+      BeliefPropOptions opt;
+      opt.max_iterations = 30;
+      opt.matcher = MatcherKind::kLocallyDominant;
+      r = belief_prop_align(p, S, opt);
+      break;
+    }
+    case Method::kIsoRank: {
+      IsoRankOptions opt;
+      opt.max_iterations = 60;
+      r = isorank_align(p, S, opt);
+      break;
+    }
+  }
+
+  // Structural validity and objective decomposition.
+  ASSERT_TRUE(is_valid_matching(p.L, r.matching));
+  const auto recheck = evaluate_objective(p, S, r.matching);
+  EXPECT_NEAR(recheck.objective, r.value.objective, 1e-9);
+  EXPECT_NEAR(r.value.objective,
+              p.alpha * r.value.weight + p.beta * r.value.overlap, 1e-9);
+  EXPECT_NEAR(r.value.overlap, brute_force_overlap(p, r.matching), 1e-9);
+
+  // Best-of-history bookkeeping (IsoRank records residuals, not scores).
+  if (method != Method::kIsoRank && !r.objective_history.empty()) {
+    const double best_seen = *std::max_element(
+        r.objective_history.begin(), r.objective_history.end());
+    EXPECT_GE(r.value.objective + 1e-9, best_seen);
+  }
+
+  // The MR upper bound with exact matching caps every objective.
+  if (method == Method::kMr) {
+    for (std::size_t i = 0; i < r.upper_history.size(); ++i) {
+      EXPECT_GE(r.upper_history[i] + 1e-9, r.objective_history[i])
+          << "iteration " << i;
+    }
+  }
+
+  // Positive progress on every instance family.
+  EXPECT_GT(r.value.objective, 0.0);
+  EXPECT_GT(r.matching.cardinality, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Battery, PipelineProperty,
+    ::testing::Combine(
+        ::testing::Values(Family::kPowerLaw, Family::kOntology),
+        ::testing::Values(Method::kMr, Method::kBp, Method::kIsoRank),
+        ::testing::Values(101ULL, 202ULL, 303ULL, 404ULL, 505ULL)),
+    [](const ::testing::TestParamInfo<PipelineProperty::ParamType>& pinfo) {
+      return std::string(to_cstr(std::get<0>(pinfo.param))) + "_" +
+             to_cstr(std::get<1>(pinfo.param)) + "_s" +
+             std::to_string(std::get<2>(pinfo.param));
+    });
+
+}  // namespace
+}  // namespace netalign

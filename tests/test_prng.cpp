@@ -1,0 +1,106 @@
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace netalign {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DiffersAcrossSeeds) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, IsDeterministicPerSeed) {
+  Xoshiro256 a(999), b(999);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Xoshiro256, UniformMeanIsRoughlyHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, UniformIntStaysBelowBound) {
+  Xoshiro256 rng(13);
+  for (std::uint64_t n : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.uniform_int(n), n);
+    }
+  }
+}
+
+TEST(Xoshiro256, UniformIntZeroReturnsZero) {
+  Xoshiro256 rng(13);
+  EXPECT_EQ(rng.uniform_int(0), 0u);
+}
+
+TEST(Xoshiro256, UniformIntCoversSmallRangeUniformly) {
+  Xoshiro256 rng(17);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) counts[rng.uniform_int(8)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 8.0, 0.05 * n / 8.0);
+  }
+}
+
+TEST(Xoshiro256, BernoulliMatchesProbability) {
+  Xoshiro256 rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Xoshiro256, ForkProducesIndependentStream) {
+  Xoshiro256 a(23);
+  Xoshiro256 child = a.fork();
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a() != child()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~0ULL);
+  Xoshiro256 rng(29);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng());
+  // 100 draws from a 64-bit space should not collide.
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+}  // namespace
+}  // namespace netalign

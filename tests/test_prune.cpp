@@ -1,0 +1,100 @@
+#include "netalign/prune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace netalign {
+namespace {
+
+using testing::random_bipartite;
+
+BipartiteGraph star_with_weights() {
+  // a0 connected to b0..b3 with weights 4, 3, 2, 1.
+  const std::vector<LEdge> edges = {
+      {0, 0, 4.0}, {0, 1, 3.0}, {0, 2, 2.0}, {0, 3, 1.0}};
+  return BipartiteGraph::from_edges(1, 4, edges);
+}
+
+TEST(PruneTopK, KeepsHeaviestPerRow) {
+  const auto L = star_with_weights();
+  const auto pruned = prune_top_k(L, 2, PruneMode::kIntersection);
+  // Each b has only one edge (top-1 of its column), so intersection keeps
+  // the edges that are top-2 of a0's row: weights 4 and 3.
+  ASSERT_EQ(pruned.num_edges(), 2);
+  EXPECT_NE(pruned.find_edge(0, 0), kInvalidEid);
+  EXPECT_NE(pruned.find_edge(0, 1), kInvalidEid);
+}
+
+TEST(PruneTopK, UnionKeepsColumnChampions) {
+  const auto L = star_with_weights();
+  // Union mode: every edge is the top-1 of its B column, so all survive
+  // even with k = 1.
+  const auto pruned = prune_top_k(L, 1, PruneMode::kUnion);
+  EXPECT_EQ(pruned.num_edges(), 4);
+}
+
+TEST(PruneTopK, PreservesWeights) {
+  Xoshiro256 rng(2);
+  const auto L = random_bipartite(20, 20, 150, rng);
+  const auto pruned = prune_top_k(L, 3);
+  for (eid_t e = 0; e < pruned.num_edges(); ++e) {
+    const eid_t orig = L.find_edge(pruned.edge_a(e), pruned.edge_b(e));
+    ASSERT_NE(orig, kInvalidEid);
+    EXPECT_EQ(pruned.edge_weight(e), L.edge_weight(orig));
+  }
+}
+
+TEST(PruneTopK, EveryVertexKeepsAtMostKInIntersectionMode) {
+  Xoshiro256 rng(3);
+  const auto L = random_bipartite(15, 15, 120, rng);
+  const vid_t k = 2;
+  const auto pruned = prune_top_k(L, k, PruneMode::kIntersection);
+  for (vid_t a = 0; a < pruned.num_a(); ++a) EXPECT_LE(pruned.degree_a(a), k);
+  for (vid_t b = 0; b < pruned.num_b(); ++b) EXPECT_LE(pruned.degree_b(b), k);
+}
+
+TEST(PruneTopK, UnionNeverStrandsAVertexWithCandidates) {
+  Xoshiro256 rng(4);
+  const auto L = random_bipartite(15, 15, 120, rng);
+  const auto pruned = prune_top_k(L, 1, PruneMode::kUnion);
+  for (vid_t a = 0; a < L.num_a(); ++a) {
+    if (L.degree_a(a) > 0) {
+      EXPECT_GE(pruned.degree_a(a), 1);
+    }
+  }
+  for (vid_t b = 0; b < L.num_b(); ++b) {
+    if (L.degree_b(b) > 0) {
+      EXPECT_GE(pruned.degree_b(b), 1);
+    }
+  }
+}
+
+TEST(PruneTopK, LargeKIsIdentity) {
+  Xoshiro256 rng(5);
+  const auto L = random_bipartite(10, 10, 60, rng);
+  const auto pruned = prune_top_k(L, 100, PruneMode::kIntersection);
+  EXPECT_EQ(pruned.num_edges(), L.num_edges());
+}
+
+TEST(PruneTopK, RejectsZeroK) {
+  const auto L = star_with_weights();
+  EXPECT_THROW(prune_top_k(L, 0), std::invalid_argument);
+}
+
+TEST(PruneThreshold, DropsLightEdges) {
+  const auto L = star_with_weights();
+  const auto pruned = prune_threshold(L, 2.5);
+  ASSERT_EQ(pruned.num_edges(), 2);
+  EXPECT_NE(pruned.find_edge(0, 0), kInvalidEid);
+  EXPECT_NE(pruned.find_edge(0, 1), kInvalidEid);
+}
+
+TEST(PruneThreshold, ZeroThresholdKeepsEverything) {
+  Xoshiro256 rng(6);
+  const auto L = random_bipartite(10, 10, 50, rng);
+  EXPECT_EQ(prune_threshold(L, 0.0).num_edges(), L.num_edges());
+}
+
+}  // namespace
+}  // namespace netalign

@@ -1,0 +1,123 @@
+#include "netalign/rounding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "netalign/synthetic.hpp"
+#include "util/prng.hpp"
+
+namespace netalign {
+namespace {
+
+SyntheticInstance make_instance(std::uint64_t seed) {
+  PowerLawInstanceOptions opt;
+  opt.n = 70;
+  opt.seed = seed;
+  opt.expected_degree = 3.0;
+  return make_power_law_instance(opt);
+}
+
+TEST(MatcherKindNames, RoundTrip) {
+  for (auto k : {MatcherKind::kExact, MatcherKind::kLocallyDominant,
+                 MatcherKind::kGreedy, MatcherKind::kSuitor}) {
+    EXPECT_EQ(matcher_from_string(to_string(k)), k);
+  }
+  EXPECT_EQ(matcher_from_string("ld"), MatcherKind::kLocallyDominant);
+  EXPECT_EQ(matcher_from_string("locally-dominant"),
+            MatcherKind::kLocallyDominant);
+  EXPECT_THROW((void)matcher_from_string("bogus"),
+               std::invalid_argument);
+}
+
+TEST(RoundHeuristic, ScoresAgainstProblemWeightsNotHeuristic) {
+  // Rounding weights g differ from L's weights w: the objective must use w.
+  const auto inst = make_instance(10);
+  const auto& p = inst.problem;
+  const auto S = SquaresMatrix::build(p);
+  Xoshiro256 rng(1);
+  std::vector<weight_t> g(static_cast<std::size_t>(p.L.num_edges()));
+  for (auto& v : g) v = rng.uniform(0.0, 10.0);
+
+  const auto out = round_heuristic(p, S, g, MatcherKind::kExact);
+  // Matching weight term counts L's unit weights => equals cardinality.
+  EXPECT_DOUBLE_EQ(out.value.weight,
+                   static_cast<double>(out.matching.cardinality));
+  EXPECT_DOUBLE_EQ(out.value.objective,
+                   p.alpha * out.value.weight + p.beta * out.value.overlap);
+}
+
+TEST(RoundHeuristic, ExactBeatsOrTiesApproxOnHeuristicWeights) {
+  const auto inst = make_instance(11);
+  const auto& p = inst.problem;
+  const auto S = SquaresMatrix::build(p);
+  Xoshiro256 rng(2);
+  std::vector<weight_t> g(static_cast<std::size_t>(p.L.num_edges()));
+  for (auto& v : g) v = rng.uniform(0.0, 1.0);
+  const auto exact = run_matcher(p.L, g, MatcherKind::kExact);
+  const auto approx = run_matcher(p.L, g, MatcherKind::kLocallyDominant);
+  // On the heuristic weights the exact matcher is optimal by definition.
+  weight_t exact_g = 0.0, approx_g = 0.0;
+  for (vid_t a = 0; a < p.L.num_a(); ++a) {
+    if (exact.mate_a[a] != kInvalidVid) {
+      exact_g += g[p.L.find_edge(a, exact.mate_a[a])];
+    }
+    if (approx.mate_a[a] != kInvalidVid) {
+      approx_g += g[p.L.find_edge(a, approx.mate_a[a])];
+    }
+  }
+  EXPECT_GE(exact_g, approx_g - 1e-9);
+  EXPECT_GE(approx_g, 0.5 * exact_g - 1e-9);
+}
+
+TEST(RunMatcher, RejectsNonFiniteWeights) {
+  const auto inst = make_instance(12);
+  std::vector<weight_t> g(
+      static_cast<std::size_t>(inst.problem.L.num_edges()), 1.0);
+  g[0] = std::numeric_limits<weight_t>::quiet_NaN();
+  EXPECT_THROW(run_matcher(inst.problem.L, g, MatcherKind::kExact),
+               std::invalid_argument);
+  g[0] = kPosInf;
+  EXPECT_THROW(run_matcher(inst.problem.L, g, MatcherKind::kLocallyDominant),
+               std::invalid_argument);
+}
+
+TEST(BestSolutionTracker, KeepsTheBestAndItsVector) {
+  BestSolutionTracker tracker;
+  EXPECT_FALSE(tracker.has_solution());
+
+  RoundOutcome a;
+  a.value.objective = 5.0;
+  std::vector<weight_t> ga = {1.0, 2.0};
+  EXPECT_TRUE(tracker.offer(a, ga, 1));
+  EXPECT_TRUE(tracker.has_solution());
+  EXPECT_EQ(tracker.best_iteration(), 1);
+
+  RoundOutcome worse;
+  worse.value.objective = 3.0;
+  std::vector<weight_t> gw = {9.0, 9.0};
+  EXPECT_FALSE(tracker.offer(worse, gw, 2));
+  EXPECT_EQ(tracker.best_iteration(), 1);
+  EXPECT_EQ(tracker.best_heuristic(), ga);
+
+  RoundOutcome better;
+  better.value.objective = 7.0;
+  std::vector<weight_t> gb = {4.0};
+  EXPECT_TRUE(tracker.offer(better, gb, 3));
+  EXPECT_EQ(tracker.best_iteration(), 3);
+  EXPECT_EQ(tracker.best().value.objective, 7.0);
+  EXPECT_EQ(tracker.best_heuristic(), gb);
+}
+
+TEST(BestSolutionTracker, TiesKeepTheEarlierSolution) {
+  BestSolutionTracker tracker;
+  RoundOutcome a;
+  a.value.objective = 5.0;
+  std::vector<weight_t> g = {1.0};
+  EXPECT_TRUE(tracker.offer(a, g, 1));
+  EXPECT_FALSE(tracker.offer(a, g, 2));
+  EXPECT_EQ(tracker.best_iteration(), 1);
+}
+
+}  // namespace
+}  // namespace netalign

@@ -1,0 +1,120 @@
+#include "matching/small_mwm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "helpers.hpp"
+#include "matching/verify.hpp"
+
+namespace netalign {
+namespace {
+
+using Edge = SmallMwmSolver::Edge;
+
+TEST(SmallMwm, EmptyInput) {
+  SmallMwmSolver solver;
+  std::vector<std::uint8_t> chosen;
+  EXPECT_EQ(solver.solve({}, chosen), 0.0);
+}
+
+TEST(SmallMwm, SingleEdge) {
+  SmallMwmSolver solver;
+  const std::vector<Edge> edges = {{10, 20, 1.5}};
+  std::vector<std::uint8_t> chosen(1);
+  EXPECT_DOUBLE_EQ(solver.solve(edges, chosen), 1.5);
+  EXPECT_EQ(chosen[0], 1);
+}
+
+TEST(SmallMwm, ConflictPicksHeavier) {
+  SmallMwmSolver solver;
+  // Two edges sharing the A endpoint 5.
+  const std::vector<Edge> edges = {{5, 1, 1.0}, {5, 2, 3.0}};
+  std::vector<std::uint8_t> chosen(2);
+  EXPECT_DOUBLE_EQ(solver.solve(edges, chosen), 3.0);
+  EXPECT_EQ(chosen[0], 0);
+  EXPECT_EQ(chosen[1], 1);
+}
+
+TEST(SmallMwm, AugmentingPathBeatsGreedy) {
+  SmallMwmSolver solver;
+  const std::vector<Edge> edges = {{0, 0, 1.0}, {0, 1, 0.9}, {1, 0, 0.9}};
+  std::vector<std::uint8_t> chosen(3);
+  EXPECT_NEAR(solver.solve(edges, chosen), 1.8, 1e-12);
+  EXPECT_EQ(chosen[0], 0);
+  EXPECT_EQ(chosen[1], 1);
+  EXPECT_EQ(chosen[2], 1);
+}
+
+TEST(SmallMwm, IgnoresNonPositiveWeights) {
+  SmallMwmSolver solver;
+  const std::vector<Edge> edges = {{0, 0, -2.0}, {1, 1, 0.0}};
+  std::vector<std::uint8_t> chosen(2);
+  EXPECT_DOUBLE_EQ(solver.solve(edges, chosen), 0.0);
+  EXPECT_EQ(chosen[0], 0);
+  EXPECT_EQ(chosen[1], 0);
+}
+
+TEST(SmallMwm, ArbitraryGlobalIdsAreCompressed) {
+  SmallMwmSolver solver;
+  // Endpoint ids far outside any dense range.
+  const std::vector<Edge> edges = {
+      {100000, 999999, 1.0}, {100000, 888888, 2.0}, {200000, 999999, 2.0}};
+  std::vector<std::uint8_t> chosen(3);
+  EXPECT_DOUBLE_EQ(solver.solve(edges, chosen), 4.0);
+}
+
+TEST(SmallMwm, MatchesFullSolverOnRandomSubproblems) {
+  Xoshiro256 rng(606);
+  SmallMwmSolver solver;
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto g = testing::random_bipartite(5, 5, 9, rng);
+    const auto w = testing::own_weights(g);
+    std::vector<Edge> edges;
+    for (eid_t e = 0; e < g.num_edges(); ++e) {
+      edges.push_back(Edge{g.edge_a(e), g.edge_b(e), w[e]});
+    }
+    std::vector<std::uint8_t> chosen(edges.size());
+    const weight_t value = solver.solve(edges, chosen);
+    EXPECT_NEAR(value, brute_force_mwm_value(g, w), 1e-9) << "trial " << trial;
+
+    // The chosen set must itself be a matching with the reported weight.
+    weight_t sum = 0.0;
+    std::vector<int> deg_a(5, 0), deg_b(5, 0);
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      if (!chosen[k]) continue;
+      sum += edges[k].w;
+      deg_a[edges[k].a]++;
+      deg_b[edges[k].b]++;
+    }
+    EXPECT_NEAR(sum, value, 1e-9);
+    for (int d : deg_a) EXPECT_LE(d, 1);
+    for (int d : deg_b) EXPECT_LE(d, 1);
+  }
+}
+
+TEST(SmallMwm, SolverReuseAcrossDifferentSizes) {
+  SmallMwmSolver solver;
+  std::vector<std::uint8_t> chosen(8);
+  const std::vector<Edge> big = {{0, 0, 1.0}, {1, 1, 1.0}, {2, 2, 1.0},
+                                 {3, 3, 1.0}, {0, 1, 0.5}, {1, 2, 0.5},
+                                 {2, 3, 0.5}, {3, 0, 0.5}};
+  EXPECT_DOUBLE_EQ(solver.solve(big, chosen), 4.0);
+  const std::vector<Edge> small = {{7, 7, 2.0}};
+  EXPECT_DOUBLE_EQ(solver.solve(small, std::span(chosen.data(), 1)), 2.0);
+  EXPECT_DOUBLE_EQ(solver.solve(big, chosen), 4.0);
+}
+
+TEST(SmallMwm, DuplicateEdgePairsKeepHeaviest) {
+  SmallMwmSolver solver;
+  // Duplicate (a, b) pairs happen when distinct squares share an edge
+  // pair; the solver must count the pair once at the heaviest weight.
+  const std::vector<Edge> edges = {{0, 0, 1.0}, {0, 0, 3.0}};
+  std::vector<std::uint8_t> chosen(2);
+  EXPECT_DOUBLE_EQ(solver.solve(edges, chosen), 3.0);
+  EXPECT_EQ(chosen[0] + chosen[1], 1);
+  EXPECT_EQ(chosen[1], 1);  // the heavier duplicate is the chosen one
+}
+
+}  // namespace
+}  // namespace netalign

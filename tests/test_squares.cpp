@@ -1,0 +1,139 @@
+#include "netalign/squares.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netalign/synthetic.hpp"
+#include "util/prng.hpp"
+
+namespace netalign {
+namespace {
+
+/// Hand-built problem: A and B are single edges, L is the 2x2 identity
+/// pairing; the unique square is {(0,0'),(1,1')}.
+NetAlignProblem tiny_square_problem() {
+  NetAlignProblem p;
+  const std::vector<std::pair<vid_t, vid_t>> ea = {{0, 1}};
+  const std::vector<std::pair<vid_t, vid_t>> eb = {{0, 1}};
+  p.A = Graph::from_edges(2, ea);
+  p.B = Graph::from_edges(2, eb);
+  const std::vector<LEdge> el = {{0, 0, 1.0}, {1, 1, 1.0}, {0, 1, 1.0}};
+  p.L = BipartiteGraph::from_edges(2, 2, el);
+  return p;
+}
+
+TEST(Squares, FindsTheOneSquare) {
+  const auto p = tiny_square_problem();
+  const auto S = SquaresMatrix::build(p);
+  // Exactly one square: edges (0,0) and (1,1) of L, ids 0 and 2
+  // (row-major: (0,0)=0, (0,1)=1, (1,1)=2).
+  EXPECT_EQ(S.num_squares(), 1);
+  EXPECT_EQ(S.num_nonzeros(), 2);
+  const eid_t e00 = p.L.find_edge(0, 0);
+  const eid_t e11 = p.L.find_edge(1, 1);
+  EXPECT_NE(S.pattern().find(static_cast<vid_t>(e00),
+                             static_cast<vid_t>(e11)),
+            kInvalidEid);
+  EXPECT_NE(S.pattern().find(static_cast<vid_t>(e11),
+                             static_cast<vid_t>(e00)),
+            kInvalidEid);
+}
+
+TEST(Squares, NoSquaresWithoutOverlapStructure) {
+  NetAlignProblem p;
+  p.A = Graph::from_edges(2, std::vector<std::pair<vid_t, vid_t>>{{0, 1}});
+  p.B = Graph::from_edges(2, {});  // B has no edges => no squares
+  const std::vector<LEdge> el = {{0, 0, 1.0}, {1, 1, 1.0}};
+  p.L = BipartiteGraph::from_edges(2, 2, el);
+  const auto S = SquaresMatrix::build(p);
+  EXPECT_EQ(S.num_nonzeros(), 0);
+}
+
+TEST(Squares, DiagonalIsNeverPresent) {
+  PowerLawInstanceOptions opt;
+  opt.n = 80;
+  opt.seed = 5;
+  const auto inst = make_power_law_instance(opt);
+  const auto S = SquaresMatrix::build(inst.problem);
+  for (vid_t e = 0; e < S.num_rows(); ++e) {
+    EXPECT_EQ(S.pattern().find(e, e), kInvalidEid);
+  }
+}
+
+TEST(Squares, PatternIsStructurallySymmetric) {
+  PowerLawInstanceOptions opt;
+  opt.n = 60;
+  opt.seed = 6;
+  const auto inst = make_power_law_instance(opt);
+  const auto S = SquaresMatrix::build(inst.problem);
+  EXPECT_TRUE(S.pattern().is_structurally_symmetric());
+  EXPECT_EQ(S.num_nonzeros() % 2, 0);
+}
+
+TEST(Squares, TransPermIsAnInvolutionMatchingPattern) {
+  PowerLawInstanceOptions opt;
+  opt.n = 50;
+  opt.seed = 7;
+  const auto inst = make_power_law_instance(opt);
+  const auto S = SquaresMatrix::build(inst.problem);
+  const auto perm = S.trans_perm();
+  ASSERT_EQ(static_cast<eid_t>(perm.size()), S.num_nonzeros());
+  const auto& pat = S.pattern();
+  for (vid_t r = 0; r < pat.num_rows(); ++r) {
+    for (eid_t k = pat.row_begin(r); k < pat.row_end(r); ++k) {
+      // perm[k] is the slot of the transposed entry; applying twice
+      // returns to k.
+      EXPECT_EQ(perm[perm[k]], k);
+      EXPECT_EQ(pat.col_idx()[perm[k]], r);
+    }
+  }
+}
+
+TEST(Squares, EverySquareIsAGenuineOverlap) {
+  PowerLawInstanceOptions opt;
+  opt.n = 60;
+  opt.seed = 8;
+  opt.expected_degree = 3.0;
+  const auto inst = make_power_law_instance(opt);
+  const auto& p = inst.problem;
+  const auto S = SquaresMatrix::build(p);
+  const auto& pat = S.pattern();
+  for (vid_t e = 0; e < pat.num_rows(); ++e) {
+    for (eid_t k = pat.row_begin(e); k < pat.row_end(e); ++k) {
+      const vid_t f = pat.col_idx()[k];
+      const eid_t ee = static_cast<eid_t>(e), ff = static_cast<eid_t>(f);
+      EXPECT_TRUE(p.A.has_edge(p.L.edge_a(ee), p.L.edge_a(ff)));
+      EXPECT_TRUE(p.B.has_edge(p.L.edge_b(ee), p.L.edge_b(ff)));
+    }
+  }
+}
+
+TEST(Squares, BruteForceCountMatches) {
+  // Count squares directly by enumerating L-edge pairs.
+  PowerLawInstanceOptions opt;
+  opt.n = 40;
+  opt.seed = 9;
+  const auto inst = make_power_law_instance(opt);
+  const auto& p = inst.problem;
+  const auto S = SquaresMatrix::build(p);
+  eid_t expected = 0;
+  for (eid_t e = 0; e < p.L.num_edges(); ++e) {
+    for (eid_t f = e + 1; f < p.L.num_edges(); ++f) {
+      if (p.A.has_edge(p.L.edge_a(e), p.L.edge_a(f)) &&
+          p.B.has_edge(p.L.edge_b(e), p.L.edge_b(f))) {
+        ++expected;
+      }
+    }
+  }
+  EXPECT_EQ(S.num_squares(), expected);
+}
+
+TEST(Squares, InconsistentProblemThrows) {
+  NetAlignProblem p;
+  p.A = Graph::from_edges(3, {});
+  p.B = Graph::from_edges(3, {});
+  p.L = BipartiteGraph::from_edges(2, 3, {});  // wrong A side
+  EXPECT_THROW(SquaresMatrix::build(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netalign

@@ -1,0 +1,110 @@
+#include "matching/suitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "helpers.hpp"
+#include "matching/exact_mwm.hpp"
+#include "matching/greedy.hpp"
+#include "matching/verify.hpp"
+#include "util/parallel.hpp"
+
+namespace netalign {
+namespace {
+
+using testing::own_weights;
+using testing::random_bipartite;
+
+TEST(Suitor, EmptyGraph) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(3, 3, {});
+  const auto m = suitor_matching(g, own_weights(g));
+  EXPECT_EQ(m.cardinality, 0);
+  EXPECT_TRUE(is_valid_matching(g, m));
+}
+
+TEST(Suitor, SingleEdge) {
+  const std::vector<LEdge> edges = {{0, 0, 1.0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(1, 1, edges);
+  const auto m = suitor_matching(g, own_weights(g));
+  EXPECT_EQ(m.cardinality, 1);
+  EXPECT_DOUBLE_EQ(m.weight, 1.0);
+}
+
+TEST(Suitor, DisplacementChainsResolve) {
+  // a0 proposes to b0; a1 (heavier) displaces it; a0 re-proposes to b1.
+  const std::vector<LEdge> edges = {{0, 0, 2.0}, {1, 0, 3.0}, {0, 1, 1.0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, edges);
+  const auto m = suitor_matching(g, own_weights(g));
+  EXPECT_EQ(m.cardinality, 2);
+  EXPECT_EQ(m.mate_a[1], 0);
+  EXPECT_EQ(m.mate_a[0], 1);
+  EXPECT_DOUBLE_EQ(m.weight, 4.0);
+}
+
+TEST(Suitor, HalfApproximationHolds) {
+  Xoshiro256 rng(321);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto g = random_bipartite(8, 8, 24, rng);
+    const auto w = own_weights(g);
+    const auto m = suitor_matching(g, w);
+    const auto exact = max_weight_matching_exact(g, w);
+    ASSERT_TRUE(is_valid_matching(g, m)) << "trial " << trial;
+    EXPECT_TRUE(is_maximal_matching(g, w, m)) << "trial " << trial;
+    EXPECT_LE(m.weight, exact.weight + 1e-9);
+    EXPECT_GE(m.weight, 0.5 * exact.weight - 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Suitor, AgreesWithGreedyUnderDistinctWeights) {
+  Xoshiro256 rng(654);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto g = random_bipartite(10, 10, 30, rng);
+    const auto w = own_weights(g);
+    const auto su = suitor_matching(g, w);
+    const auto gr = greedy_matching(g, w);
+    EXPECT_NEAR(su.weight, gr.weight, 1e-9) << "trial " << trial;
+    EXPECT_EQ(su.cardinality, gr.cardinality) << "trial " << trial;
+  }
+}
+
+TEST(Suitor, IgnoresNonPositiveEdges) {
+  const std::vector<LEdge> edges = {{0, 0, -5.0}, {1, 1, 0.0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, edges);
+  const auto m = suitor_matching(g, own_weights(g));
+  EXPECT_EQ(m.cardinality, 0);
+}
+
+TEST(Suitor, StatsCountProposals) {
+  Xoshiro256 rng(987);
+  const auto g = random_bipartite(50, 50, 400, rng);
+  const auto w = own_weights(g);
+  SuitorStats stats;
+  const auto m = suitor_matching(g, w, &stats);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  EXPECT_GT(stats.proposals, 0);
+  EXPECT_GE(stats.proposals, stats.displaced);
+}
+
+TEST(Suitor, WeightSizeMismatchThrows) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, {});
+  std::vector<weight_t> wrong(9, 1.0);
+  EXPECT_THROW(suitor_matching(g, wrong), std::invalid_argument);
+}
+
+TEST(Suitor, MultiThreadRunsRemainValid) {
+  Xoshiro256 rng(246);
+  const auto g = random_bipartite(150, 150, 1200, rng);
+  const auto w = own_weights(g);
+  const auto exact = max_weight_matching_exact(g, w);
+  for (int threads : {1, 2, 4}) {
+    ThreadCountGuard guard(threads);
+    const auto m = suitor_matching(g, w);
+    ASSERT_TRUE(is_valid_matching(g, m));
+    EXPECT_TRUE(is_maximal_matching(g, w, m));
+    EXPECT_GE(m.weight, 0.5 * exact.weight - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace netalign

@@ -1,0 +1,226 @@
+#include "netalign/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "netalign/squares.hpp"
+
+namespace netalign {
+namespace {
+
+TEST(PowerLawInstance, BasicShape) {
+  PowerLawInstanceOptions opt;
+  opt.n = 120;
+  opt.seed = 1;
+  opt.expected_degree = 4.0;
+  const auto inst = make_power_law_instance(opt);
+  const auto& p = inst.problem;
+  EXPECT_TRUE(p.is_consistent());
+  EXPECT_EQ(p.A.num_vertices(), 120);
+  EXPECT_EQ(p.B.num_vertices(), 120);
+  EXPECT_EQ(static_cast<vid_t>(inst.reference.size()), 120);
+}
+
+TEST(PowerLawInstance, ContainsIdentityEdges) {
+  PowerLawInstanceOptions opt;
+  opt.n = 90;
+  opt.seed = 2;
+  const auto inst = make_power_law_instance(opt);
+  for (vid_t i = 0; i < 90; ++i) {
+    EXPECT_NE(inst.problem.L.find_edge(i, i), kInvalidEid);
+    EXPECT_EQ(inst.reference[i], i);
+  }
+}
+
+TEST(PowerLawInstance, ExpectedDegreeControlsLSize) {
+  PowerLawInstanceOptions sparse, dense;
+  sparse.n = dense.n = 200;
+  sparse.seed = dense.seed = 3;
+  sparse.expected_degree = 2.0;
+  dense.expected_degree = 12.0;
+  const auto a = make_power_law_instance(sparse);
+  const auto b = make_power_law_instance(dense);
+  EXPECT_GT(b.problem.L.num_edges(), 2 * a.problem.L.num_edges());
+  // |E_L| ~ n * (1 + dbar): random pairs plus the identity diagonal.
+  const double expected = 200.0 * (1.0 + 12.0);
+  EXPECT_NEAR(static_cast<double>(b.problem.L.num_edges()), expected,
+              0.25 * expected);
+}
+
+TEST(PowerLawInstance, PerturbationKeepsBaseEdges) {
+  PowerLawInstanceOptions opt;
+  opt.n = 100;
+  opt.seed = 4;
+  const auto inst = make_power_law_instance(opt);
+  // A and B share the base graph G: every edge of G is in both. We can't
+  // reconstruct G directly, but A intersect B must be substantial --
+  // at least the base edge count minus nothing (perturbation only adds).
+  eid_t shared = 0;
+  for (const auto& [u, v] : inst.problem.A.edge_list()) {
+    if (inst.problem.B.has_edge(u, v)) ++shared;
+  }
+  EXPECT_GT(shared, 0);
+}
+
+TEST(PowerLawInstance, DeterministicPerSeed) {
+  PowerLawInstanceOptions opt;
+  opt.n = 80;
+  opt.seed = 5;
+  const auto a = make_power_law_instance(opt);
+  const auto b = make_power_law_instance(opt);
+  EXPECT_EQ(a.problem.A.edge_list(), b.problem.A.edge_list());
+  EXPECT_EQ(a.problem.B.edge_list(), b.problem.B.edge_list());
+  EXPECT_EQ(a.problem.L.num_edges(), b.problem.L.num_edges());
+}
+
+TEST(PowerLawInstance, DifferentSeedsDiffer) {
+  PowerLawInstanceOptions a, b;
+  a.n = b.n = 80;
+  a.seed = 6;
+  b.seed = 7;
+  const auto ia = make_power_law_instance(a);
+  const auto ib = make_power_law_instance(b);
+  EXPECT_NE(ia.problem.A.edge_list(), ib.problem.A.edge_list());
+}
+
+TEST(PowerLawInstance, RejectsTinyN) {
+  PowerLawInstanceOptions opt;
+  opt.n = 1;
+  EXPECT_THROW(make_power_law_instance(opt), std::invalid_argument);
+}
+
+TEST(OntologyInstance, TreeCoreIsConnected) {
+  OntologyInstanceOptions opt;
+  opt.n = 150;
+  opt.seed = 21;
+  const auto inst = make_ontology_instance(opt);
+  // The shared tree spans both graphs, so each side is connected.
+  const auto cc_a = connected_components(inst.problem.A);
+  const auto cc_b = connected_components(inst.problem.B);
+  EXPECT_EQ(cc_a.count, 1);
+  EXPECT_EQ(cc_b.count, 1);
+  // At least the n-1 tree edges are present on each side.
+  EXPECT_GE(inst.problem.A.num_edges(), 149);
+  EXPECT_GE(inst.problem.B.num_edges(), 149);
+}
+
+TEST(OntologyInstance, SidesShareTheTreeButDifferInCrossEdges) {
+  OntologyInstanceOptions opt;
+  opt.n = 200;
+  opt.seed = 22;
+  opt.cross_degree = 3.0;
+  const auto inst = make_ontology_instance(opt);
+  eid_t shared = 0;
+  for (const auto& [u, v] : inst.problem.A.edge_list()) {
+    if (inst.problem.B.has_edge(u, v)) ++shared;
+  }
+  EXPECT_GE(shared, 199);  // the tree
+  EXPECT_GT(inst.problem.A.num_edges(), shared);  // plus own cross edges
+  EXPECT_NE(inst.problem.A.edge_list(), inst.problem.B.edge_list());
+}
+
+TEST(OntologyInstance, PreferentialTreeIsSkewed) {
+  OntologyInstanceOptions pref, unif;
+  pref.n = unif.n = 600;
+  pref.seed = unif.seed = 23;
+  pref.cross_degree = unif.cross_degree = 0.0;
+  pref.preferential = true;
+  unif.preferential = false;
+  const auto ip = make_ontology_instance(pref);
+  const auto iu = make_ontology_instance(unif);
+  EXPECT_GT(degree_stats(ip.problem.A).max,
+            degree_stats(iu.problem.A).max);
+}
+
+TEST(OntologyInstance, IdentityEdgesAreHeaviestOnAverage) {
+  OntologyInstanceOptions opt;
+  opt.n = 200;
+  opt.seed = 24;
+  const auto inst = make_ontology_instance(opt);
+  double id_sum = 0.0, other_sum = 0.0;
+  eid_t id_count = 0, other_count = 0;
+  const auto& L = inst.problem.L;
+  for (eid_t e = 0; e < L.num_edges(); ++e) {
+    if (L.edge_a(e) == L.edge_b(e)) {
+      id_sum += L.edge_weight(e);
+      ++id_count;
+    } else {
+      other_sum += L.edge_weight(e);
+      ++other_count;
+    }
+  }
+  ASSERT_EQ(id_count, 200);
+  ASSERT_GT(other_count, 0);
+  EXPECT_GT(id_sum / id_count, other_sum / other_count);
+}
+
+TEST(OntologyInstance, DeterministicPerSeed) {
+  OntologyInstanceOptions opt;
+  opt.n = 100;
+  opt.seed = 25;
+  const auto a = make_ontology_instance(opt);
+  const auto b = make_ontology_instance(opt);
+  EXPECT_EQ(a.problem.A.edge_list(), b.problem.A.edge_list());
+  EXPECT_EQ(a.problem.L.num_edges(), b.problem.L.num_edges());
+}
+
+TEST(OntologyInstance, RejectsTinyN) {
+  OntologyInstanceOptions opt;
+  opt.n = 1;
+  EXPECT_THROW(make_ontology_instance(opt), std::invalid_argument);
+}
+
+TEST(StandIn, Table2SpecsMatchPaper) {
+  const auto specs = paper_table2_specs();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].name, "dmela-scere");
+  EXPECT_EQ(specs[0].num_a, 9459);
+  EXPECT_EQ(specs[0].num_b, 5696);
+  EXPECT_EQ(specs[0].target_el, 34582);
+  EXPECT_EQ(specs[0].target_nnz_s, 6860);
+  EXPECT_EQ(specs[3].name, "lcsh-rameau");
+  EXPECT_EQ(specs[3].target_el, 20883500);
+}
+
+TEST(StandIn, ScaledProblemApproximatesTargets) {
+  StandInSpec spec = paper_table2_specs()[0];  // dmela-scere
+  const double scale = 0.2;
+  const auto p = make_standin_problem(spec, scale);
+  EXPECT_TRUE(p.is_consistent());
+  EXPECT_NEAR(static_cast<double>(p.A.num_vertices()), spec.num_a * scale,
+              2.0);
+  EXPECT_NEAR(static_cast<double>(p.B.num_vertices()), spec.num_b * scale,
+              2.0);
+  // |E_L| within 25% of the scaled target (duplicates collapse).
+  EXPECT_NEAR(static_cast<double>(p.L.num_edges()),
+              static_cast<double>(spec.target_el) * scale,
+              0.25 * static_cast<double>(spec.target_el) * scale);
+}
+
+TEST(StandIn, SquaresCountIsInTargetBallpark) {
+  StandInSpec spec = paper_table2_specs()[1];  // homo-musm
+  const double scale = 0.3;
+  const auto p = make_standin_problem(spec, scale);
+  const auto S = SquaresMatrix::build(p);
+  const double target = static_cast<double>(spec.target_nnz_s) * scale;
+  // The construction is calibrated, not exact: within a factor of 3.
+  EXPECT_GT(static_cast<double>(S.num_nonzeros()), target / 3.0);
+  EXPECT_LT(static_cast<double>(S.num_nonzeros()), target * 3.0);
+}
+
+TEST(StandIn, RejectsBadScale) {
+  const auto spec = paper_table2_specs()[0];
+  EXPECT_THROW(make_standin_problem(spec, 0.0), std::invalid_argument);
+  EXPECT_THROW(make_standin_problem(spec, 1.5), std::invalid_argument);
+}
+
+TEST(StandIn, NameEncodesScale) {
+  const auto spec = paper_table2_specs()[0];
+  const auto full = make_standin_problem(spec, 1.0);
+  EXPECT_EQ(full.name, "dmela-scere");
+  const auto scaled = make_standin_problem(spec, 0.5);
+  EXPECT_NE(scaled.name.find("dmela-scere-x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netalign

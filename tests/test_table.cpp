@@ -1,0 +1,97 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace netalign {
+namespace {
+
+TEST(TextTable, FormatsHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongCellCount) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, NumInsertsThousandsSeparators) {
+  EXPECT_EQ(TextTable::num(0), "0");
+  EXPECT_EQ(TextTable::num(999), "999");
+  EXPECT_EQ(TextTable::num(1000), "1,000");
+  EXPECT_EQ(TextTable::num(4971629), "4,971,629");
+  EXPECT_EQ(TextTable::num(-12345), "-12,345");
+}
+
+TEST(TextTable, FixedRespectsPrecision) {
+  EXPECT_EQ(TextTable::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fixed(1.0, 0), "1");
+}
+
+TEST(TextTable, PctScalesFractions) {
+  EXPECT_EQ(TextTable::pct(0.5, 1), "50.0%");
+  EXPECT_EQ(TextTable::pct(0.123, 0), "12%");
+}
+
+TEST(TextTable, SciUsesExponentNotation) {
+  const std::string s = TextTable::sci(12345.0, 2);
+  EXPECT_NE(s.find('e'), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAreAligned) {
+  TextTable t({"k", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2"});
+  std::istringstream rows(t.to_string());
+  std::string line;
+  std::getline(rows, line);
+  const auto width = line.size();
+  while (std::getline(rows, line)) {
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TextTable, CsvRendersHeaderAndRows) {
+  TextTable t({"a", "b"});
+  t.add_row({"x", "1,234"});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv, "a,b\nx,1234\n");  // thousands separators stripped
+}
+
+TEST(TextTable, CsvQuotesSpecialCells) {
+  TextTable t({"name"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTable, WriteCsvEmptyPathIsNoOp) {
+  TextTable t({"a"});
+  EXPECT_NO_THROW(t.write_csv(""));
+}
+
+TEST(TextTable, WriteCsvBadPathThrows) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.write_csv("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+TEST(TextTable, PrintWritesToStream) {
+  TextTable t({"a"});
+  t.add_row({"b"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.to_string());
+}
+
+}  // namespace
+}  // namespace netalign

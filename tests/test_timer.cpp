@@ -1,0 +1,90 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netalign {
+namespace {
+
+TEST(WallTimer, ElapsedIsNonNegativeAndMonotone) {
+  WallTimer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(WallTimer, ResetRestartsClock) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+TEST(StepTimers, AccumulatesAcrossAdds) {
+  StepTimers timers;
+  timers.add("a", 1.0);
+  timers.add("a", 2.0);
+  timers.add("b", 3.0);
+  EXPECT_DOUBLE_EQ(timers.total("a"), 3.0);
+  EXPECT_DOUBLE_EQ(timers.total("b"), 3.0);
+  EXPECT_EQ(timers.count("a"), 2u);
+  EXPECT_EQ(timers.count("b"), 1u);
+  EXPECT_DOUBLE_EQ(timers.grand_total(), 6.0);
+}
+
+TEST(StepTimers, UnknownNameIsZero) {
+  StepTimers timers;
+  EXPECT_EQ(timers.total("missing"), 0.0);
+  EXPECT_EQ(timers.count("missing"), 0u);
+  EXPECT_EQ(timers.fraction("missing"), 0.0);
+}
+
+TEST(StepTimers, FractionSumsToOne) {
+  StepTimers timers;
+  timers.add("x", 1.0);
+  timers.add("y", 3.0);
+  EXPECT_DOUBLE_EQ(timers.fraction("x") + timers.fraction("y"), 1.0);
+  EXPECT_DOUBLE_EQ(timers.fraction("y"), 0.75);
+}
+
+TEST(StepTimers, NamesPreserveFirstUseOrder) {
+  StepTimers timers;
+  timers.add("z", 1.0);
+  timers.add("a", 1.0);
+  timers.add("z", 1.0);
+  ASSERT_EQ(timers.names().size(), 2u);
+  EXPECT_EQ(timers.names()[0], "z");
+  EXPECT_EQ(timers.names()[1], "a");
+}
+
+TEST(StepTimers, MergeCombinesEntries) {
+  StepTimers a, b;
+  a.add("s", 1.0);
+  b.add("s", 2.0);
+  b.add("t", 5.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.total("s"), 3.0);
+  EXPECT_DOUBLE_EQ(a.total("t"), 5.0);
+  EXPECT_EQ(a.count("s"), 2u);
+}
+
+TEST(StepTimers, ClearResets) {
+  StepTimers timers;
+  timers.add("a", 1.0);
+  timers.clear();
+  EXPECT_EQ(timers.grand_total(), 0.0);
+  EXPECT_TRUE(timers.names().empty());
+}
+
+TEST(ScopedStepTimer, RecordsOnDestruction) {
+  StepTimers timers;
+  {
+    ScopedStepTimer t(timers, "scope");
+  }
+  EXPECT_EQ(timers.count("scope"), 1u);
+  EXPECT_GE(timers.total("scope"), 0.0);
+}
+
+}  // namespace
+}  // namespace netalign

@@ -1,0 +1,295 @@
+// netalign command-line driver.
+//
+// Subcommands:
+//   generate   make a synthetic instance / dataset stand-in, save it
+//   stats      report a problem file's statistics (Table-II style)
+//   align      run MR / BP / IsoRank on a problem file, optionally save
+//              the matching
+//   match      max-weight matching of L alone with any matcher
+//
+// Examples:
+//   netalign generate --type powerlaw --n 400 --dbar 8 --out p.nap
+//   netalign generate --type standin --dataset lcsh-wiki --scale 0.05
+//       --out wiki.nap
+//   netalign stats --problem p.nap
+//   netalign align --problem p.nap --method bp --matcher approx
+//       --iters 200 --save-matching out.match
+//   netalign match --problem p.nap --matcher exact
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "dist/dist_bp.hpp"
+#include "dist/dist_mr.hpp"
+#include "graph/algorithms.hpp"
+#include "io/matching_io.hpp"
+#include "io/problem_io.hpp"
+#include "netalign/belief_prop.hpp"
+#include "netalign/isorank.hpp"
+#include "netalign/klau_mr.hpp"
+#include "netalign/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+
+using namespace netalign;
+
+namespace {
+
+int cmd_generate(int argc, char** argv) {
+  CliParser cli("netalign generate: create an alignment problem file.");
+  auto& type = cli.add_string(
+      "type", "powerlaw", "instance family: powerlaw | ontology | standin");
+  auto& n = cli.add_int("n", 400, "vertices (powerlaw/ontology)");
+  auto& dbar = cli.add_double("dbar", 4.0, "expected random L-degree");
+  auto& dataset = cli.add_string("dataset", "dmela-scere",
+                                 "standin dataset (Table II name)");
+  auto& scale = cli.add_double("scale", 1.0, "standin scale (0, 1]");
+  auto& seed = cli.add_int("seed", 42, "random seed");
+  auto& alpha = cli.add_double("alpha", 1.0, "objective alpha");
+  auto& beta = cli.add_double("beta", 2.0, "objective beta");
+  auto& out = cli.add_string("out", "problem.nap", "output path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  NetAlignProblem problem;
+  if (type == "powerlaw") {
+    PowerLawInstanceOptions opt;
+    opt.n = static_cast<vid_t>(n);
+    opt.expected_degree = dbar;
+    opt.seed = static_cast<std::uint64_t>(seed);
+    opt.alpha = alpha;
+    opt.beta = beta;
+    problem = make_power_law_instance(opt).problem;
+  } else if (type == "ontology") {
+    OntologyInstanceOptions opt;
+    opt.n = static_cast<vid_t>(n);
+    opt.expected_degree = dbar;
+    opt.seed = static_cast<std::uint64_t>(seed);
+    opt.alpha = alpha;
+    opt.beta = beta;
+    problem = make_ontology_instance(opt).problem;
+  } else if (type == "standin") {
+    StandInSpec spec;
+    bool found = false;
+    for (const auto& s : paper_table2_specs()) {
+      if (s.name == dataset) {
+        spec = s;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown dataset '%s'\n", dataset.c_str());
+      return 1;
+    }
+    spec.seed = static_cast<std::uint64_t>(seed);
+    spec.alpha = alpha;
+    spec.beta = beta;
+    problem = make_standin_problem(spec, scale);
+  } else {
+    std::fprintf(stderr, "unknown --type '%s'\n", type.c_str());
+    return 1;
+  }
+  write_problem_file(out, problem);
+  std::printf("wrote %s: |V_A|=%d |V_B|=%d |E_L|=%lld\n", out.c_str(),
+              problem.A.num_vertices(), problem.B.num_vertices(),
+              static_cast<long long>(problem.L.num_edges()));
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  CliParser cli("netalign stats: summarize a problem file.");
+  auto& path = cli.add_string("problem", "", "problem file (required)");
+  auto& with_squares =
+      cli.add_bool("squares", true, "also build S and report nnz(S)");
+  if (!cli.parse(argc, argv)) return 0;
+  const NetAlignProblem p = read_problem_file(path);
+
+  TextTable table({"quantity", "value"});
+  table.add_row({"name", p.name});
+  table.add_row({"alpha", TextTable::fixed(p.alpha, 3)});
+  table.add_row({"beta", TextTable::fixed(p.beta, 3)});
+  table.add_row({"|V_A|", TextTable::num(p.A.num_vertices())});
+  table.add_row({"|V_B|", TextTable::num(p.B.num_vertices())});
+  table.add_row({"|E_A|", TextTable::num(p.A.num_edges())});
+  table.add_row({"|E_B|", TextTable::num(p.B.num_edges())});
+  table.add_row({"|E_L|", TextTable::num(p.L.num_edges())});
+  const auto da = degree_stats(p.A);
+  const auto db = degree_stats(p.B);
+  table.add_row({"A mean degree", TextTable::fixed(da.mean, 2)});
+  table.add_row({"B mean degree", TextTable::fixed(db.mean, 2)});
+  table.add_row({"A max degree", TextTable::num(da.max)});
+  table.add_row({"B max degree", TextTable::num(db.max)});
+  table.add_row(
+      {"A components", TextTable::num(connected_components(p.A).count)});
+  table.add_row(
+      {"B components", TextTable::num(connected_components(p.B).count)});
+  if (with_squares) {
+    const auto S = SquaresMatrix::build(p);
+    table.add_row({"nnz(S)", TextTable::num(S.num_nonzeros())});
+    table.add_row({"squares", TextTable::num(S.num_squares())});
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_align(int argc, char** argv) {
+  CliParser cli("netalign align: run an alignment method on a problem.");
+  auto& path = cli.add_string("problem", "", "problem file (required)");
+  auto& method = cli.add_string(
+      "method", "bp",
+      "alignment method: bp | mr | isorank | dist-bp | dist-mr");
+  auto& matcher_name = cli.add_string(
+      "matcher", "approx", "exact | approx | greedy | suitor | auction | pga");
+  auto& iters = cli.add_int("iters", 200, "iterations");
+  auto& batch = cli.add_int("batch", 1, "BP rounding batch size");
+  auto& gamma = cli.add_double("gamma", 0.0,
+                               "damping / step size (0 = method default)");
+  auto& threads = cli.add_int("threads", 0, "OpenMP threads (0 = default)");
+  auto& ranks = cli.add_int("ranks", 4, "simulated ranks (dist-* methods)");
+  auto& save = cli.add_string("save-matching", "", "write the matching here");
+  auto& verbose = cli.add_bool("steps", false, "print per-step timings");
+  auto& history = cli.add_string(
+      "history", "", "write the objective history to this CSV");
+  if (!cli.parse(argc, argv)) return 0;
+  if (threads > 0) set_threads(static_cast<int>(threads));
+
+  const NetAlignProblem p = read_problem_file(path);
+  const SquaresMatrix S = SquaresMatrix::build(p);
+  const MatcherKind matcher = matcher_from_string(matcher_name);
+
+  AlignResult r;
+  if (method == "bp") {
+    BeliefPropOptions opt;
+    opt.max_iterations = static_cast<int>(iters);
+    opt.matcher = matcher;
+    opt.batch_size = static_cast<int>(batch);
+    if (gamma > 0.0) opt.gamma = gamma;
+    r = belief_prop_align(p, S, opt);
+  } else if (method == "mr") {
+    KlauMrOptions opt;
+    opt.max_iterations = static_cast<int>(iters);
+    opt.matcher = matcher;
+    if (gamma > 0.0) opt.gamma = gamma;
+    r = klau_mr_align(p, S, opt);
+  } else if (method == "isorank") {
+    IsoRankOptions opt;
+    opt.max_iterations = static_cast<int>(iters);
+    opt.matcher = matcher;
+    if (gamma > 0.0) opt.gamma = gamma;
+    r = isorank_align(p, S, opt);
+  } else if (method == "dist-bp") {
+    dist::DistBpOptions opt;
+    opt.num_ranks = static_cast<int>(ranks);
+    opt.max_iterations = static_cast<int>(iters);
+    opt.matcher = matcher;
+    if (gamma > 0.0) opt.gamma = gamma;
+    dist::DistBpStats dstats;
+    r = dist::distributed_belief_prop_align(p, S, opt, &dstats);
+    std::printf("[dist] ranks=%lld supersteps=%zu messages=%zu "
+                "(%zu remote) bytes=%zu\n",
+                static_cast<long long>(ranks), dstats.bsp.supersteps,
+                dstats.bsp.messages, dstats.bsp.remote_messages,
+                dstats.bsp.bytes);
+  } else if (method == "dist-mr") {
+    dist::DistMrOptions opt;
+    opt.num_ranks = static_cast<int>(ranks);
+    opt.max_iterations = static_cast<int>(iters);
+    if (gamma > 0.0) opt.gamma = gamma;
+    dist::DistMrStats dstats;
+    r = dist::distributed_klau_mr_align(p, S, opt, &dstats);
+    std::printf("[dist] ranks=%lld supersteps=%zu messages=%zu "
+                "(%zu remote) bytes=%zu\n",
+                static_cast<long long>(ranks), dstats.bsp.supersteps,
+                dstats.bsp.messages, dstats.bsp.remote_messages,
+                dstats.bsp.bytes);
+  } else {
+    std::fprintf(stderr, "unknown --method '%s'\n", method.c_str());
+    return 1;
+  }
+
+  std::printf("%s on %s: objective=%.3f (weight=%.3f, overlap=%.0f), "
+              "%lld matches, best at iteration %d, %.2fs\n",
+              method.c_str(), p.name.c_str(), r.value.objective,
+              r.value.weight, r.value.overlap,
+              static_cast<long long>(r.matching.cardinality),
+              r.best_iteration, r.total_seconds);
+  if (verbose) {
+    TextTable table({"step", "seconds", "fraction"});
+    for (const auto& step : r.timers.names()) {
+      table.add_row({step, TextTable::fixed(r.timers.total(step), 3),
+                     TextTable::pct(r.timers.fraction(step))});
+    }
+    table.print();
+  }
+  if (!history.empty()) {
+    TextTable h(r.upper_history.empty()
+                    ? std::vector<std::string>{"event", "objective"}
+                    : std::vector<std::string>{"event", "objective",
+                                               "upper_bound"});
+    for (std::size_t i = 0; i < r.objective_history.size(); ++i) {
+      if (r.upper_history.empty()) {
+        h.add_row({TextTable::num(static_cast<int64_t>(i)),
+                   TextTable::fixed(r.objective_history[i], 6)});
+      } else {
+        h.add_row({TextTable::num(static_cast<int64_t>(i)),
+                   TextTable::fixed(r.objective_history[i], 6),
+                   TextTable::fixed(r.upper_history[i], 6)});
+      }
+    }
+    h.write_csv(history);
+    std::printf("history written to %s\n", history.c_str());
+  }
+  if (!save.empty()) {
+    write_matching_file(save, r.matching);
+    std::printf("matching written to %s\n", save.c_str());
+  }
+  return 0;
+}
+
+int cmd_match(int argc, char** argv) {
+  CliParser cli("netalign match: max-weight matching of L alone.");
+  auto& path = cli.add_string("problem", "", "problem file (required)");
+  auto& matcher_name = cli.add_string(
+      "matcher", "approx", "exact | approx | greedy | suitor | auction | pga");
+  auto& save = cli.add_string("save-matching", "", "write the matching here");
+  if (!cli.parse(argc, argv)) return 0;
+  const NetAlignProblem p = read_problem_file(path);
+  const std::vector<weight_t> w(p.L.weights().begin(), p.L.weights().end());
+  WallTimer t;
+  const auto m = run_matcher(p.L, w, matcher_from_string(matcher_name));
+  std::printf("%s matching: weight=%.3f cardinality=%lld in %.3fs\n",
+              matcher_name.c_str(), m.weight,
+              static_cast<long long>(m.cardinality), t.seconds());
+  if (!save.empty()) {
+    write_matching_file(save, m);
+    std::printf("matching written to %s\n", save.c_str());
+  }
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      "usage: netalign <generate|stats|align|match> [flags...]\n"
+      "       netalign <subcommand> --help for details\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  // Shift argv so each subcommand parses its own flags.
+  if (cmd == "generate") return cmd_generate(argc - 1, argv + 1);
+  if (cmd == "stats") return cmd_stats(argc - 1, argv + 1);
+  if (cmd == "align") return cmd_align(argc - 1, argv + 1);
+  if (cmd == "match") return cmd_match(argc - 1, argv + 1);
+  usage();
+  return 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,47 @@
+# End-to-end smoke test of the netalign CLI: generate -> stats -> align
+# (saving the matching) -> match. Run via ctest; CLI points at the built
+# binary and WORKDIR at a scratch directory.
+if(NOT DEFINED CLI OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "pass -DCLI=<binary> -DWORKDIR=<dir>")
+endif()
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+function(run_step)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rv
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "step failed (${rv}): ${ARGV}\n${out}\n${err}")
+  endif()
+endfunction()
+
+set(problem "${WORKDIR}/pipeline.nap")
+set(matching "${WORKDIR}/pipeline.match")
+
+run_step("${CLI}" generate --type powerlaw --n 120 --dbar 3 --seed 9
+         --out "${problem}")
+if(NOT EXISTS "${problem}")
+  message(FATAL_ERROR "generate did not write ${problem}")
+endif()
+
+run_step("${CLI}" stats --problem "${problem}")
+run_step("${CLI}" align --problem "${problem}" --method bp --iters 30
+         --matcher approx --save-matching "${matching}")
+if(NOT EXISTS "${matching}")
+  message(FATAL_ERROR "align did not write ${matching}")
+endif()
+run_step("${CLI}" align --problem "${problem}" --method mr --iters 20)
+run_step("${CLI}" align --problem "${problem}" --method isorank --iters 50
+         --matcher exact)
+run_step("${CLI}" match --problem "${problem}" --matcher suitor)
+
+# Error paths must fail loudly.
+execute_process(COMMAND "${CLI}" align --problem "${WORKDIR}/missing.nap"
+                RESULT_VARIABLE rv OUTPUT_QUIET ERROR_QUIET)
+if(rv EQUAL 0)
+  message(FATAL_ERROR "align on a missing file should fail")
+endif()
+execute_process(COMMAND "${CLI}" bogus-subcommand
+                RESULT_VARIABLE rv OUTPUT_QUIET ERROR_QUIET)
+if(rv EQUAL 0)
+  message(FATAL_ERROR "unknown subcommand should fail")
+endif()
