@@ -19,6 +19,7 @@ int main(int argc, char** argv) try {
   auto& max_threads_flag =
       cli.add_int("max-threads", max_threads(), "largest thread count");
   auto& seed = cli.add_int("seed", 707, "generator seed");
+  const ObsFlags obs_flags = add_obs_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   auto spec = spec_by_name("lcsh-wiki");
@@ -30,6 +31,8 @@ int main(int argc, char** argv) try {
   std::printf("== Figure 7: per-step timing of BP(batch=%lld) (steps of "
               "Listing 2) ==\n",
               static_cast<long long>(batch));
+  const auto trace = open_trace(obs_flags.trace_out);
+  obs::Counters sweep_counters;
   TextTable table({"threads", "step", "seconds", "fraction"});
   for (const int t : thread_sweep(static_cast<int>(max_threads_flag))) {
     ThreadCountGuard guard(t);
@@ -40,7 +43,24 @@ int main(int argc, char** argv) try {
     opt.batch_size = static_cast<int>(batch);
     opt.final_exact_round = false;
     opt.record_history = false;
+    obs::Counters counters;
+    opt.trace = trace.get();
+    opt.counters = obs_flags.counters ? &counters : nullptr;
+    if (trace) {
+      // The thread count itself is in the metadata (ThreadCountGuard has
+      // already applied `t`, so run_start's "threads" field reports it).
+      trace->run_start("belief_prop", {{"dataset", "lcsh-wiki"},
+                                       {"scale", static_cast<double>(scale)},
+                                       {"iters", iters},
+                                       {"batch", batch},
+                                       {"matcher", "approx"}});
+    }
     const auto r = belief_prop_align(prep.problem, prep.squares, opt);
+    if (trace) {
+      trace->run_end(r.total_seconds, r.value.objective, r.best_iteration,
+                     obs_flags.counters ? &counters : nullptr);
+    }
+    sweep_counters.merge(counters);
     for (const auto& step : r.timers.names()) {
       table.add_row({TextTable::num(t), step,
                      TextTable::fixed(r.timers.total(step), 3),
@@ -48,6 +68,7 @@ int main(int argc, char** argv) try {
     }
   }
   table.print();
+  if (obs_flags.counters) print_counters(sweep_counters);
   std::printf("\nExpected shape (paper Fig. 7): matching dominates (~58%% at\n"
               "scale), othermax ~15%%, damping ~12%% and limiting at high\n"
               "thread counts.\n");

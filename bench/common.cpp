@@ -53,4 +53,17 @@ void run_scaling_bench(const NetAlignProblem& problem,
   table.print();
 }
 
+std::unique_ptr<obs::TraceWriter> open_trace(const std::string& path) {
+  if (path.empty()) return nullptr;
+  return std::make_unique<obs::TraceWriter>(path);
+}
+
+void print_counters(const obs::Counters& counters) {
+  TextTable table({"counter", "value"});
+  for (const auto& name : counters.names()) {
+    table.add_row({name, TextTable::num(counters.total(name))});
+  }
+  table.print();
+}
+
 }  // namespace netalign::bench

@@ -8,10 +8,13 @@
 #pragma once
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "netalign/squares.hpp"
 #include "netalign/synthetic.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
@@ -78,5 +81,12 @@ void run_scaling_bench(const NetAlignProblem& problem_in,
                        const std::vector<ScalingMethod>& methods,
                        const std::vector<int>& threads, int iters,
                        double gamma_bp, double gamma_mr, int mstep);
+
+/// Open a TraceWriter on `path`, or return null when the path is empty --
+/// the standard handling of --trace-out (see add_obs_flags).
+std::unique_ptr<obs::TraceWriter> open_trace(const std::string& path);
+
+/// Print the counter registry as a two-column table, in registration order.
+void print_counters(const obs::Counters& counters);
 
 }  // namespace netalign::bench

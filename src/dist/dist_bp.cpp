@@ -8,6 +8,8 @@
 #include "dist/dist_matching.hpp"
 #include "dist/mailbox.hpp"
 #include "netalign/rounding.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace netalign::dist {
 
@@ -129,6 +131,11 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
   AlignResult result;
   BestSolutionTracker tracker;
   std::vector<weight_t> gathered(static_cast<std::size_t>(m), 0.0);
+  obs::TraceWriter* trace = options.trace;
+  obs::Counters* counters = options.counters;
+  // The simulated substrate has no per-step timers; iteration events carry
+  // the BSP traffic deltas as extra fields instead.
+  const StepTimers no_steps;
 
   // Round a gathered heuristic vector; uses the distributed matcher when
   // the configured matcher is the locally-dominant one.
@@ -150,16 +157,22 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
       bsp.max_h_relation =
           std::max(bsp.max_h_relation, mstats.bsp.max_h_relation);
     } else {
-      outcome.matching = run_matcher(L, gathered, options.matcher);
+      outcome.matching = run_matcher(L, gathered, options.matcher, counters);
     }
     outcome.value = evaluate_objective(p, S, outcome.matching);
     tracker.offer(outcome, gathered, iter);
     if (options.record_history) {
       result.objective_history.push_back(outcome.value.objective);
     }
+    if (trace != nullptr) {
+      trace->round(iter, to_string(options.matcher),
+                   outcome.matching.cardinality, outcome.value.weight,
+                   outcome.value.overlap, outcome.value.objective);
+    }
   };
 
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    const BspStats bsp_before = bsp;
     // --- Phase 1: transpose gather for F --------------------------------
     // Owner of nonzero s ships sk_prev[s] to the owner of perm[s], which
     // lives in the row of s's column edge.
@@ -320,6 +333,33 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
       std::copy(st.z.begin(), st.z.end(), gathered.begin() + st.elo);
     }
     round_gathered(iter);
+
+    if (trace != nullptr) {
+      trace->iteration(
+          iter, g, no_steps,
+          {{"supersteps", static_cast<std::int64_t>(bsp.supersteps -
+                                                    bsp_before.supersteps)},
+           {"messages", static_cast<std::int64_t>(bsp.messages -
+                                                  bsp_before.messages)},
+           {"remote_messages",
+            static_cast<std::int64_t>(bsp.remote_messages -
+                                      bsp_before.remote_messages)},
+           {"bytes",
+            static_cast<std::int64_t>(bsp.bytes - bsp_before.bytes)}});
+    }
+  }
+
+  if (counters != nullptr) {
+    counters->add("dist.supersteps",
+                  static_cast<std::int64_t>(bsp.supersteps));
+    counters->add("dist.messages", static_cast<std::int64_t>(bsp.messages));
+    counters->add("dist.remote_messages",
+                  static_cast<std::int64_t>(bsp.remote_messages));
+    counters->add("dist.bytes", static_cast<std::int64_t>(bsp.bytes));
+    counters->add("dist.gather_bytes",
+                  static_cast<std::int64_t>(options.max_iterations) * 2 *
+                      static_cast<std::int64_t>(m) *
+                      static_cast<std::int64_t>(sizeof(weight_t)));
   }
 
   result.best_iteration = tracker.best_iteration();
@@ -327,8 +367,8 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
   result.value = tracker.best().value;
   if (options.final_exact_round && options.matcher != MatcherKind::kExact &&
       tracker.has_solution()) {
-    const RoundOutcome rerounded =
-        round_heuristic(p, S, tracker.best_heuristic(), MatcherKind::kExact);
+    const RoundOutcome rerounded = round_heuristic(
+        p, S, tracker.best_heuristic(), MatcherKind::kExact, counters);
     if (rerounded.value.objective > result.value.objective) {
       result.matching = rerounded.matching;
       result.value = rerounded.value;

@@ -44,6 +44,13 @@ struct DistBpOptions {
   MatcherKind matcher = MatcherKind::kLocallyDominant;
   bool final_exact_round = true;
   bool record_history = true;
+  /// Optional telemetry (docs/OBSERVABILITY.md): one `iteration` event per
+  /// BP iteration with the per-iteration BSP message/byte deltas as extra
+  /// fields, one `round` event per rounding. Null = disabled.
+  obs::TraceWriter* trace = nullptr;
+  /// Optional counter registry for BSP traffic and matcher-internal
+  /// counts. Null = disabled.
+  obs::Counters* counters = nullptr;
 };
 
 struct DistBpStats {

@@ -7,6 +7,8 @@
 #include "dist/mailbox.hpp"
 #include "matching/small_mwm.hpp"
 #include "netalign/rounding.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace netalign::dist {
 
@@ -115,8 +117,14 @@ AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
   weight_t gamma = options.gamma;
   weight_t best_upper = kPosInf;
   int since_upper_improved = 0;
+  obs::TraceWriter* trace = options.trace;
+  obs::Counters* counters = options.counters;
+  // The simulated substrate has no per-step timers; iteration events carry
+  // the BSP traffic deltas as extra fields instead.
+  const StepTimers no_steps;
 
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    const BspStats bsp_before = bsp;
     // --- Step 1: transpose-gather U, then local exact row matchings -----
     transpose_exchange(
         [](const MrRankState& st, eid_t i) { return st.u[i]; },
@@ -198,6 +206,7 @@ AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
     }
 
     // --- Step 5: transpose-gather S_L, local multiplier update ----------
+    const weight_t step_gamma = gamma;
     transpose_exchange(
         [](const MrRankState& st, eid_t i) {
           return static_cast<weight_t>(st.sl[i]);
@@ -220,6 +229,36 @@ AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
       gamma /= 2.0;
       since_upper_improved = 0;
     }
+
+    if (trace != nullptr) {
+      trace->round(iter, to_string(MatcherKind::kLocallyDominant),
+                   outcome.matching.cardinality, outcome.value.weight,
+                   outcome.value.overlap, outcome.value.objective);
+      trace->iteration(
+          iter, step_gamma, no_steps,
+          {{"objective", outcome.value.objective},
+           {"upper_bound", upper},
+           {"best_upper_bound", best_upper},
+           {"supersteps", static_cast<std::int64_t>(bsp.supersteps -
+                                                    bsp_before.supersteps)},
+           {"messages", static_cast<std::int64_t>(bsp.messages -
+                                                  bsp_before.messages)},
+           {"bytes",
+            static_cast<std::int64_t>(bsp.bytes - bsp_before.bytes)}});
+    }
+  }
+
+  if (counters != nullptr) {
+    counters->add("dist.supersteps",
+                  static_cast<std::int64_t>(bsp.supersteps));
+    counters->add("dist.messages", static_cast<std::int64_t>(bsp.messages));
+    counters->add("dist.remote_messages",
+                  static_cast<std::int64_t>(bsp.remote_messages));
+    counters->add("dist.bytes", static_cast<std::int64_t>(bsp.bytes));
+    for (const auto& st : ranks) {
+      counters->add("mr.small_mwm_calls", st.solver.solve_calls());
+      counters->add("mr.small_mwm_edges", st.solver.edges_seen());
+    }
   }
 
   result.best_upper_bound = best_upper;
@@ -227,8 +266,8 @@ AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
   result.matching = tracker.best().matching;
   result.value = tracker.best().value;
   if (options.final_exact_round && tracker.has_solution()) {
-    const RoundOutcome rerounded =
-        round_heuristic(p, S, tracker.best_heuristic(), MatcherKind::kExact);
+    const RoundOutcome rerounded = round_heuristic(
+        p, S, tracker.best_heuristic(), MatcherKind::kExact, counters);
     if (rerounded.value.objective > result.value.objective) {
       result.matching = rerounded.matching;
       result.value = rerounded.value;

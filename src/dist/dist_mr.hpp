@@ -33,6 +33,13 @@ struct DistMrOptions {
   weight_t bound_scale = 0.5;
   bool final_exact_round = true;
   bool record_history = true;
+  /// Optional telemetry (docs/OBSERVABILITY.md): one `iteration` event per
+  /// MR iteration with objective / bound and the per-iteration BSP traffic
+  /// deltas, one `round` event per Step-3 matching. Null = disabled.
+  obs::TraceWriter* trace = nullptr;
+  /// Optional counter registry for BSP traffic and small-MWM row-matching
+  /// volume. Null = disabled.
+  obs::Counters* counters = nullptr;
 };
 
 struct DistMrStats {

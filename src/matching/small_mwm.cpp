@@ -7,6 +7,8 @@ namespace netalign {
 weight_t SmallMwmSolver::solve(std::span<const Edge> edges,
                                std::span<std::uint8_t> chosen) {
   std::fill(chosen.begin(), chosen.end(), std::uint8_t{0});
+  solve_calls_ += 1;
+  edges_seen_ += static_cast<std::int64_t>(edges.size());
   if (edges.empty()) return 0.0;
 
   // Compress endpoint ids to dense local ranges.

@@ -31,6 +31,14 @@ class SmallMwmSolver {
   /// in the matching (chosen must have edges.size() entries).
   weight_t solve(std::span<const Edge> edges, std::span<std::uint8_t> chosen);
 
+  /// Lifetime observability: number of solve() calls and total candidate
+  /// edges seen by this instance. Each MR thread owns one solver, so the
+  /// caller sums these across its per-thread scratch after the run and
+  /// reports them through an obs::Counters registry -- the merge pattern
+  /// of StepTimers, with no synchronization in the hot loop.
+  [[nodiscard]] std::int64_t solve_calls() const { return solve_calls_; }
+  [[nodiscard]] std::int64_t edges_seen() const { return edges_seen_; }
+
  private:
   // Endpoint-id compression scratch, reused across calls.
   std::vector<vid_t> local_a_, local_b_;      // per input edge
@@ -42,6 +50,8 @@ class SmallMwmSolver {
   std::vector<vid_t> mate_l_, mate_r_;
   std::vector<eid_t> order_;
   MwmWorkspace ws_;
+  std::int64_t solve_calls_ = 0;
+  std::int64_t edges_seen_ = 0;
 };
 
 }  // namespace netalign

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/counters.hpp"
 #include "util/parallel.hpp"
 
 namespace netalign {
@@ -21,7 +22,8 @@ bool beats(weight_t wu, vid_t u, weight_t ws, vid_t s) {
 
 BipartiteMatching suitor_matching(const BipartiteGraph& L,
                                   std::span<const weight_t> w,
-                                  SuitorStats* stats) {
+                                  SuitorStats* stats,
+                                  obs::Counters* counters) {
   if (static_cast<eid_t>(w.size()) != L.num_edges()) {
     throw std::invalid_argument("suitor_matching: weight size mismatch");
   }
@@ -37,6 +39,7 @@ BipartiteMatching suitor_matching(const BipartiteGraph& L,
   }
   std::atomic<eid_t> proposals{0};
   std::atomic<eid_t> displaced{0};
+  const bool count = stats != nullptr || counters != nullptr;
 
   auto for_neighbors = [&](vid_t v, auto&& f) {
     if (v < na) {
@@ -82,7 +85,7 @@ BipartiteMatching suitor_matching(const BipartiteGraph& L,
         suitor[target].store(current, std::memory_order_relaxed);
         suitor_w[target] = target_w;
         next = standing;  // displaced suitor re-proposes (or kInvalidVid)
-        if (stats) {
+        if (count) {
           proposals.fetch_add(1, std::memory_order_relaxed);
           if (standing != kInvalidVid) {
             displaced.fetch_add(1, std::memory_order_relaxed);
@@ -110,6 +113,13 @@ BipartiteMatching suitor_matching(const BipartiteGraph& L,
   if (stats) {
     stats->proposals = proposals.load(std::memory_order_relaxed);
     stats->displaced = displaced.load(std::memory_order_relaxed);
+  }
+  if (counters) {
+    counters->add_concurrent("suitor.calls");
+    counters->add_concurrent("suitor.proposals",
+                             proposals.load(std::memory_order_relaxed));
+    counters->add_concurrent("suitor.displaced",
+                             displaced.load(std::memory_order_relaxed));
   }
   return m;
 }

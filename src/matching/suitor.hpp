@@ -18,6 +18,10 @@
 
 #include "matching/matching.hpp"
 
+namespace netalign::obs {
+class Counters;
+}  // namespace netalign::obs
+
 namespace netalign {
 
 struct SuitorStats {
@@ -26,8 +30,13 @@ struct SuitorStats {
 };
 
 /// Suitor matching on L under external weights (w <= 0 edges ignored).
+/// When `counters` is given, the run's proposal/displacement totals are
+/// accumulated into it as "suitor.proposals" / "suitor.displaced" (via
+/// add_concurrent -- BP's batched rounding may run several matchers at
+/// once against one registry).
 BipartiteMatching suitor_matching(const BipartiteGraph& L,
                                   std::span<const weight_t> w,
-                                  SuitorStats* stats = nullptr);
+                                  SuitorStats* stats = nullptr,
+                                  obs::Counters* counters = nullptr);
 
 }  // namespace netalign

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "netalign/othermax.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace netalign {
@@ -38,6 +40,14 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
   WallTimer total_timer;
   AlignResult result;
   BestSolutionTracker tracker;
+  obs::TraceWriter* trace = options.trace;
+  obs::Counters* counters = options.counters;
+  // Per-iteration step seconds for the trace, mirrored from the run-total
+  // timers via ScopedStepTimer's `also` target and cleared at each
+  // iteration event. Null when tracing is off: the timers then behave
+  // exactly as before.
+  StepTimers iter_steps;
+  StepTimers* const iter_steps_ptr = trace != nullptr ? &iter_steps : nullptr;
 
   // Message state, preallocated once (paper Section IV). *_prev holds the
   // damped iterate from the previous iteration.
@@ -61,7 +71,7 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
 
   auto flush_batch = [&]() {
     if (batch_fill == 0) return;
-    ScopedStepTimer st(result.timers, "matching");
+    ScopedStepTimer st(result.timers, "matching", iter_steps_ptr);
     // The paper runs the batched matchings as OpenMP tasks with nested
     // parallelism inside each task; the matchers themselves contain
     // parallel loops, so with one batch entry per available thread each
@@ -72,7 +82,8 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
     {
       for (std::size_t i = 0; i < batch_fill; ++i) {
 #pragma omp task firstprivate(i) default(shared)
-        batch_out[i] = round_heuristic(p, S, batch[i].g, options.matcher);
+        batch_out[i] =
+            round_heuristic(p, S, batch[i].g, options.matcher, counters);
       }
     }
     for (std::size_t i = 0; i < batch_fill; ++i) {
@@ -80,6 +91,15 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
       if (options.record_history) {
         result.objective_history.push_back(batch_out[i].value.objective);
       }
+      if (trace != nullptr) {
+        trace->round(batch[i].iter, to_string(options.matcher),
+                     batch_out[i].matching.cardinality,
+                     batch_out[i].value.weight, batch_out[i].value.overlap,
+                     batch_out[i].value.objective);
+      }
+    }
+    if (counters != nullptr) {
+      counters->add("bp.roundings", static_cast<std::int64_t>(batch_fill));
     }
     batch_fill = 0;
   };
@@ -95,7 +115,7 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
     // --- Step 1: F = bound_{0,beta}[beta S + S^(k)T] ---------------------
     {
-      ScopedStepTimer st(result.timers, "compute_F");
+      ScopedStepTimer st(result.timers, "compute_F", iter_steps_ptr);
 #pragma omp parallel for schedule(dynamic, kDynamicChunk)
       for (vid_t e = 0; e < nrows; ++e) {
         for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) {
@@ -106,7 +126,7 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
 
     // --- Step 2: d = alpha w + F e ---------------------------------------
     {
-      ScopedStepTimer st(result.timers, "compute_d");
+      ScopedStepTimer st(result.timers, "compute_d", iter_steps_ptr);
 #pragma omp parallel for schedule(dynamic, kDynamicChunk)
       for (vid_t e = 0; e < nrows; ++e) {
         weight_t sum = 0.0;
@@ -117,7 +137,7 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
 
     // --- Step 3: othermax -------------------------------------------------
     {
-      ScopedStepTimer st(result.timers, "othermax");
+      ScopedStepTimer st(result.timers, "othermax", iter_steps_ptr);
       if (options.independent_othermax_tasks) {
         // The two othermax sweeps touch disjoint outputs and only read
         // the previous iterates, so they can run as independent tasks
@@ -142,7 +162,7 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
 
     // --- Step 4: S^(k) = diag(y + z - d) S - F ----------------------------
     {
-      ScopedStepTimer st(result.timers, "update_S");
+      ScopedStepTimer st(result.timers, "update_S", iter_steps_ptr);
 #pragma omp parallel for schedule(dynamic, kDynamicChunk)
       for (vid_t e = 0; e < nrows; ++e) {
         const weight_t scale = y[e] + z[e] - d[e];
@@ -153,9 +173,10 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
     }
 
     // --- Step 5: damping --------------------------------------------------
+    const weight_t damp = std::pow(options.gamma, iter);
     {
-      ScopedStepTimer st(result.timers, "damping");
-      const weight_t g = std::pow(options.gamma, iter);
+      ScopedStepTimer st(result.timers, "damping", iter_steps_ptr);
+      const weight_t g = damp;
       const weight_t omg = 1.0 - g;
 #pragma omp parallel for schedule(static)
       for (eid_t e = 0; e < m; ++e) {
@@ -174,6 +195,22 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
     // --- Step 6: round y and z --------------------------------------------
     enqueue_round(y, iter);
     enqueue_round(z, iter);
+
+    if (counters != nullptr) {
+      // One y-update, one z-update per L edge plus one overlap-message
+      // update per S nonzero (Listing 2 steps 3-5).
+      counters->add("bp.message_updates",
+                    2 * static_cast<std::int64_t>(m) +
+                        static_cast<std::int64_t>(nnz));
+    }
+    if (trace != nullptr) {
+      // On the last iteration, flush the pending roundings first so their
+      // "matching" time is attributed to an iteration event instead of
+      // falling outside the loop (batch sizes need not divide 2 * iters).
+      if (iter == options.max_iterations) flush_batch();
+      trace->iteration(iter, damp, iter_steps);
+      iter_steps.clear();
+    }
   }
   flush_batch();
 
@@ -184,8 +221,8 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
   if (options.final_exact_round && options.matcher != MatcherKind::kExact &&
       tracker.has_solution()) {
     ScopedStepTimer st(result.timers, "final_exact_round");
-    const RoundOutcome rerounded =
-        round_heuristic(p, S, tracker.best_heuristic(), MatcherKind::kExact);
+    const RoundOutcome rerounded = round_heuristic(
+        p, S, tracker.best_heuristic(), MatcherKind::kExact, counters);
     if (rerounded.value.objective > result.value.objective) {
       result.matching = rerounded.matching;
       result.value = rerounded.value;

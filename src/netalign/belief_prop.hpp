@@ -22,6 +22,11 @@
 #include "netalign/rounding.hpp"
 #include "netalign/squares.hpp"
 
+namespace netalign::obs {
+class TraceWriter;
+class Counters;
+}  // namespace netalign::obs
+
 namespace netalign {
 
 struct BeliefPropOptions {
@@ -36,6 +41,14 @@ struct BeliefPropOptions {
   /// computed independently" -- run the row and column othermax as two
   /// concurrent OpenMP sections instead of back to back.
   bool independent_othermax_tasks = false;
+  /// Optional telemetry (docs/OBSERVABILITY.md): one `iteration` event per
+  /// BP iteration with this iteration's damping factor and step seconds,
+  /// one `round` event per rounding. Null = disabled; the hot path then
+  /// pays a single pointer test per iteration.
+  obs::TraceWriter* trace = nullptr;
+  /// Optional counter registry: message-update volume, rounding and
+  /// matcher-internal counts accumulate here. Null = disabled.
+  obs::Counters* counters = nullptr;
 };
 
 AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "matching/small_mwm.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace netalign {
@@ -20,6 +22,8 @@ struct RowMatchScratch {
   std::vector<std::uint8_t> chosen;
   std::vector<std::size_t> order;       // greedy row matcher scratch
   std::vector<vid_t> used_a, used_b;    // endpoints taken by greedy
+  std::int64_t greedy_calls = 0;        // lifetime counts, merged once
+  std::int64_t greedy_edges = 0;        // after the iteration loop
 };
 
 /// Greedy 1/2-approximate matching on one row's edge set; the ablation
@@ -27,6 +31,8 @@ struct RowMatchScratch {
 weight_t greedy_row_match(RowMatchScratch& sc,
                           std::span<std::uint8_t> chosen) {
   const auto& edges = sc.edges;
+  sc.greedy_calls += 1;
+  sc.greedy_edges += static_cast<std::int64_t>(edges.size());
   sc.order.resize(edges.size());
   for (std::size_t i = 0; i < edges.size(); ++i) sc.order[i] = i;
   std::sort(sc.order.begin(), sc.order.end(),
@@ -74,6 +80,13 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
 
   WallTimer total_timer;
   AlignResult result;
+  obs::TraceWriter* trace = options.trace;
+  obs::Counters* counters = options.counters;
+  // Per-iteration step seconds for the trace, mirrored from the run-total
+  // timers and cleared after each iteration event. Null when tracing is
+  // off: the timers then behave exactly as before.
+  StepTimers iter_steps;
+  StepTimers* const iter_steps_ptr = trace != nullptr ? &iter_steps : nullptr;
 
   // All iteration state, preallocated up front; no allocations inside the
   // iteration (paper Section IV).
@@ -109,7 +122,7 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
     // in that row, with weights beta/2 * S + U - U^T read through the
     // transpose permutation.
     {
-      ScopedStepTimer st(result.timers, "row_match");
+      ScopedStepTimer st(result.timers, "row_match", iter_steps_ptr);
 #pragma omp parallel
       {
         RowMatchScratch& sc = scratch[omp_get_thread_num()];
@@ -140,7 +153,7 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
 
     // --- Step 2: daxpy ---------------------------------------------------
     {
-      ScopedStepTimer st(result.timers, "daxpy");
+      ScopedStepTimer st(result.timers, "daxpy", iter_steps_ptr);
       const auto w = L.weights();
 #pragma omp parallel for schedule(static)
       for (eid_t e = 0; e < m; ++e) {
@@ -151,8 +164,8 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
     // --- Step 3: match ---------------------------------------------------
     BipartiteMatching matching;
     {
-      ScopedStepTimer st(result.timers, "match");
-      matching = run_matcher(L, wbar, options.matcher);
+      ScopedStepTimer st(result.timers, "match", iter_steps_ptr);
+      matching = run_matcher(L, wbar, options.matcher, counters);
       std::fill(x.begin(), x.end(), std::uint8_t{0});
       for (vid_t a = 0; a < L.num_a(); ++a) {
         if (matching.mate_a[a] == kInvalidVid) continue;
@@ -161,12 +174,12 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
     }
 
     // --- Step 4: objective and upper bound -------------------------------
+    RoundOutcome outcome;
+    weight_t upper = 0.0;
     {
-      ScopedStepTimer st(result.timers, "objective");
-      RoundOutcome outcome;
+      ScopedStepTimer st(result.timers, "objective", iter_steps_ptr);
       outcome.matching = matching;
       outcome.value = evaluate_objective(p, S, x);
-      weight_t upper = 0.0;
 #pragma omp parallel for schedule(static) reduction(+ : upper)
       for (eid_t e = 0; e < m; ++e) {
         if (x[e]) upper += wbar[e];
@@ -189,8 +202,9 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
     // the upper triangle (the lower triangle of U stays 0; U - U^T supplies
     // the antisymmetric part). Row scaling by x[e], column scaling by x[f],
     // and the tril^T read is a gather through the transpose permutation.
+    const weight_t step_gamma = gamma;
     {
-      ScopedStepTimer st(result.timers, "update_u");
+      ScopedStepTimer st(result.timers, "update_u", iter_steps_ptr);
 #pragma omp parallel for schedule(dynamic, kDynamicChunk)
       for (vid_t e = 0; e < static_cast<vid_t>(m); ++e) {
         for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) {
@@ -207,6 +221,29 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
         since_upper_improved = 0;
       }
     }
+
+    if (trace != nullptr) {
+      trace->round(iter, to_string(options.matcher),
+                   outcome.matching.cardinality, outcome.value.weight,
+                   outcome.value.overlap, outcome.value.objective);
+      trace->iteration(
+          iter, step_gamma, iter_steps,
+          {{"objective", outcome.value.objective},
+           {"upper_bound", upper},
+           {"best_upper_bound", best_upper}});
+      iter_steps.clear();
+    }
+  }
+
+  if (counters != nullptr) {
+    // Lifetime counts from the per-thread scratch, merged once here rather
+    // than per iteration (the paper's StepTimers merge pattern).
+    for (const auto& sc : scratch) {
+      counters->add("mr.small_mwm_calls", sc.solver.solve_calls());
+      counters->add("mr.small_mwm_edges", sc.solver.edges_seen());
+      counters->add("mr.row_greedy_calls", sc.greedy_calls);
+      counters->add("mr.row_greedy_edges", sc.greedy_edges);
+    }
   }
 
   result.best_upper_bound = best_upper;
@@ -218,8 +255,8 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
   if (options.final_exact_round && options.matcher != MatcherKind::kExact &&
       tracker.has_solution()) {
     ScopedStepTimer st(result.timers, "final_exact_round");
-    const RoundOutcome rerounded =
-        round_heuristic(p, S, tracker.best_heuristic(), MatcherKind::kExact);
+    const RoundOutcome rerounded = round_heuristic(
+        p, S, tracker.best_heuristic(), MatcherKind::kExact, counters);
     if (rerounded.value.objective > result.value.objective) {
       result.matching = rerounded.matching;
       result.value = rerounded.value;

@@ -22,6 +22,11 @@
 #include "netalign/rounding.hpp"
 #include "netalign/squares.hpp"
 
+namespace netalign::obs {
+class TraceWriter;
+class Counters;
+}  // namespace netalign::obs
+
 namespace netalign {
 
 /// Solver for the tiny per-row matchings of Step 1. The paper always uses
@@ -47,6 +52,14 @@ struct KlauMrOptions {
   /// matching to convert this into the returned matching").
   bool final_exact_round = true;
   bool record_history = true;
+  /// Optional telemetry (docs/OBSERVABILITY.md): one `iteration` event per
+  /// MR iteration carrying the current subgradient step size and the
+  /// per-step seconds, plus a `round` event for each Step-3 matching.
+  /// Null = disabled; the hot path then pays a pointer test per iteration.
+  obs::TraceWriter* trace = nullptr;
+  /// Optional counter registry: small-MWM calls/edges from Step 1 and
+  /// matcher-internal counts from Step 3 accumulate here. Null = disabled.
+  obs::Counters* counters = nullptr;
 };
 
 AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/counters.hpp"
+
 namespace netalign {
 
 namespace {
@@ -52,19 +54,27 @@ void mark_top_k_cols(const BipartiteGraph& L, vid_t k,
 }
 
 BipartiteGraph rebuild(const BipartiteGraph& L,
-                       const std::vector<std::uint8_t>& keep) {
+                       const std::vector<std::uint8_t>& keep,
+                       obs::Counters* counters) {
   std::vector<LEdge> edges;
   for (eid_t e = 0; e < L.num_edges(); ++e) {
     if (keep[e]) {
       edges.push_back(LEdge{L.edge_a(e), L.edge_b(e), L.edge_weight(e)});
     }
   }
+  if (counters) {
+    const auto kept = static_cast<std::int64_t>(edges.size());
+    counters->add("prune.kept_edges", kept);
+    counters->add("prune.dropped_edges",
+                  static_cast<std::int64_t>(L.num_edges()) - kept);
+  }
   return BipartiteGraph::from_edges(L.num_a(), L.num_b(), edges);
 }
 
 }  // namespace
 
-BipartiteGraph prune_top_k(const BipartiteGraph& L, vid_t k, PruneMode mode) {
+BipartiteGraph prune_top_k(const BipartiteGraph& L, vid_t k, PruneMode mode,
+                           obs::Counters* counters) {
   if (k < 1) throw std::invalid_argument("prune_top_k: k must be >= 1");
   std::vector<std::uint8_t> keep_rows(
       static_cast<std::size_t>(L.num_edges()), 0);
@@ -77,15 +87,16 @@ BipartiteGraph prune_top_k(const BipartiteGraph& L, vid_t k, PruneMode mode) {
     keep[e] = mode == PruneMode::kUnion ? (keep_rows[e] || keep_cols[e])
                                         : (keep_rows[e] && keep_cols[e]);
   }
-  return rebuild(L, keep);
+  return rebuild(L, keep, counters);
 }
 
-BipartiteGraph prune_threshold(const BipartiteGraph& L, weight_t min_weight) {
+BipartiteGraph prune_threshold(const BipartiteGraph& L, weight_t min_weight,
+                               obs::Counters* counters) {
   std::vector<std::uint8_t> keep(static_cast<std::size_t>(L.num_edges()), 0);
   for (eid_t e = 0; e < L.num_edges(); ++e) {
     keep[e] = L.edge_weight(e) >= min_weight;
   }
-  return rebuild(L, keep);
+  return rebuild(L, keep, counters);
 }
 
 }  // namespace netalign

@@ -10,6 +10,10 @@
 
 #include "graph/bipartite.hpp"
 
+namespace netalign::obs {
+class Counters;
+}  // namespace netalign::obs
+
 namespace netalign {
 
 enum class PruneMode {
@@ -22,11 +26,15 @@ enum class PruneMode {
 };
 
 /// Keep only the k heaviest candidates per vertex, ties broken by the
-/// partner id (smaller id wins). k < 1 throws.
+/// partner id (smaller id wins). k < 1 throws. When `counters` is given,
+/// "prune.kept_edges" / "prune.dropped_edges" accumulate the transform's
+/// effect.
 BipartiteGraph prune_top_k(const BipartiteGraph& L, vid_t k,
-                           PruneMode mode = PruneMode::kUnion);
+                           PruneMode mode = PruneMode::kUnion,
+                           obs::Counters* counters = nullptr);
 
 /// Drop all edges with weight strictly below `min_weight`.
-BipartiteGraph prune_threshold(const BipartiteGraph& L, weight_t min_weight);
+BipartiteGraph prune_threshold(const BipartiteGraph& L, weight_t min_weight,
+                               obs::Counters* counters = nullptr);
 
 }  // namespace netalign

@@ -8,6 +8,7 @@
 #include "matching/locally_dominant.hpp"
 #include "matching/path_growing.hpp"
 #include "matching/suitor.hpp"
+#include "obs/counters.hpp"
 
 namespace netalign {
 
@@ -44,7 +45,8 @@ MatcherKind matcher_from_string(const std::string& name) {
 }
 
 BipartiteMatching run_matcher(const BipartiteGraph& L,
-                              std::span<const weight_t> g, MatcherKind kind) {
+                              std::span<const weight_t> g, MatcherKind kind,
+                              obs::Counters* counters) {
   // Non-finite weights poison every matcher differently (the Hungarian
   // duals diverge, the auction never terminates); fail loudly instead.
   for (const weight_t v : g) {
@@ -55,13 +57,23 @@ BipartiteMatching run_matcher(const BipartiteGraph& L,
   }
   switch (kind) {
     case MatcherKind::kExact:
+      if (counters) counters->add_concurrent("match.exact_calls");
       return max_weight_matching_exact(L, g);
-    case MatcherKind::kLocallyDominant:
+    case MatcherKind::kLocallyDominant: {
+      if (counters) {
+        LdStats ls;
+        BipartiteMatching m = locally_dominant_matching(L, g, {}, &ls);
+        counters->add_concurrent("ld.calls");
+        counters->add_concurrent("ld.rounds", ls.rounds);
+        counters->add_concurrent("ld.findmate_calls", ls.findmate_calls);
+        return m;
+      }
       return locally_dominant_matching(L, g);
+    }
     case MatcherKind::kGreedy:
       return greedy_matching(L, g);
     case MatcherKind::kSuitor:
-      return suitor_matching(L, g);
+      return suitor_matching(L, g, nullptr, counters);
     case MatcherKind::kAuction:
       return auction_matching(L, g);
     case MatcherKind::kPathGrowing:
@@ -71,9 +83,10 @@ BipartiteMatching run_matcher(const BipartiteGraph& L,
 }
 
 RoundOutcome round_heuristic(const NetAlignProblem& p, const SquaresMatrix& S,
-                             std::span<const weight_t> g, MatcherKind kind) {
+                             std::span<const weight_t> g, MatcherKind kind,
+                             obs::Counters* counters) {
   RoundOutcome out;
-  out.matching = run_matcher(p.L, g, kind);
+  out.matching = run_matcher(p.L, g, kind, counters);
   out.value = evaluate_objective(p, S, out.matching);
   return out;
 }

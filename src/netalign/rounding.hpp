@@ -13,6 +13,10 @@
 #include "netalign/objective.hpp"
 #include "netalign/squares.hpp"
 
+namespace netalign::obs {
+class Counters;
+}  // namespace netalign::obs
+
 namespace netalign {
 
 enum class MatcherKind {
@@ -29,9 +33,14 @@ enum class MatcherKind {
 /// "suitor"; throws std::invalid_argument otherwise.
 [[nodiscard]] MatcherKind matcher_from_string(const std::string& name);
 
-/// Run the selected matcher on L under weights g.
+/// Run the selected matcher on L under weights g. When `counters` is
+/// given, matcher-internal counts (suitor proposals/displacements,
+/// locally-dominant rounds and scans) are accumulated into it; the adds go
+/// through Counters::add_concurrent because BP's batched rounding invokes
+/// matchers from concurrent tasks.
 BipartiteMatching run_matcher(const BipartiteGraph& L,
-                              std::span<const weight_t> g, MatcherKind kind);
+                              std::span<const weight_t> g, MatcherKind kind,
+                              obs::Counters* counters = nullptr);
 
 struct RoundOutcome {
   BipartiteMatching matching;
@@ -41,7 +50,8 @@ struct RoundOutcome {
 /// Match under g, then score against the *problem's* objective (alpha x'w
 /// + beta/2 x'Sx -- with L's own weights w, not g).
 RoundOutcome round_heuristic(const NetAlignProblem& p, const SquaresMatrix& S,
-                             std::span<const weight_t> g, MatcherKind kind);
+                             std::span<const weight_t> g, MatcherKind kind,
+                             obs::Counters* counters = nullptr);
 
 /// Tracks the best rounded solution across iterations, plus the heuristic
 /// vector that produced it (the methods return "the x with the largest

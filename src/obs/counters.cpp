@@ -1,0 +1,32 @@
+#include "obs/counters.hpp"
+
+namespace netalign::obs {
+
+void Counters::add(const std::string& name, std::int64_t delta) {
+  auto [it, inserted] = entries_.try_emplace(name, 0);
+  if (inserted) order_.push_back(name);
+  it->second += delta;
+}
+
+void Counters::add_concurrent(const std::string& name, std::int64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  add(name, delta);
+}
+
+std::int64_t Counters::total(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second;
+}
+
+void Counters::clear() {
+  entries_.clear();
+  order_.clear();
+}
+
+void Counters::merge(const Counters& other) {
+  for (const auto& name : other.order_) {
+    add(name, other.entries_.at(name));
+  }
+}
+
+}  // namespace netalign::obs

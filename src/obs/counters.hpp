@@ -1,0 +1,56 @@
+// Registry of named algorithm-internal counts (suitor proposals, small-MWM
+// calls, BP message updates, prune drops, ...), the integer sibling of
+// StepTimers (util/timer.hpp). Like StepTimers, the intended parallel use
+// is per-thread instances merged after the parallel region; `add` and
+// `merge` are deliberately not synchronized so the single-threaded path
+// pays nothing. For the few producers that run concurrently under one
+// registry (e.g. a matcher invoked from BP's batched rounding tasks),
+// `add_concurrent` takes an internal mutex.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace netalign::obs {
+
+class Counters {
+ public:
+  Counters() = default;
+  Counters(const Counters&) = delete;
+  Counters& operator=(const Counters&) = delete;
+
+  /// Add `delta` to counter `name`, creating it on first use.
+  /// Not thread-safe; use per-thread instances or add_concurrent.
+  void add(const std::string& name, std::int64_t delta = 1);
+
+  /// Thread-safe add (mutex-guarded); for producers that may run
+  /// concurrently under a shared registry.
+  void add_concurrent(const std::string& name, std::int64_t delta = 1);
+
+  /// Current value of counter `name` (0 if never recorded).
+  [[nodiscard]] std::int64_t total(const std::string& name) const;
+
+  /// Counters in first-registration order, for stable report layout.
+  [[nodiscard]] const std::vector<std::string>& names() const {
+    return order_;
+  }
+
+  [[nodiscard]] bool empty() const { return order_.empty(); }
+
+  void clear();
+
+  /// Merge another registry into this one (joining per-thread
+  /// instrumentation, same contract as StepTimers::merge). Associative:
+  /// merging a, b, c in any grouping yields identical totals and order.
+  void merge(const Counters& other);
+
+ private:
+  std::map<std::string, std::int64_t> entries_;
+  std::vector<std::string> order_;
+  std::mutex mutex_;
+};
+
+}  // namespace netalign::obs

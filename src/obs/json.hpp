@@ -1,0 +1,73 @@
+// Minimal JSON support for the observability subsystem.
+//
+// Two halves: append_* helpers that serialize scalars into a line being
+// built by TraceWriter (src/obs/trace.hpp), and a small recursive-descent
+// parser used by tools/trace_summary and the trace tests to read the JSONL
+// back. The parser handles the full JSON grammar (objects, arrays, strings
+// with escapes, numbers, true/false/null) since a trace line is an
+// arbitrary nesting of those; it is not performance-critical.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace netalign::obs {
+
+/// Append `s` as a quoted JSON string literal, escaping control characters,
+/// quotes and backslashes.
+void append_json_string(std::string& out, std::string_view s);
+
+/// Append a double as a JSON number. JSON has no NaN/Inf, so non-finite
+/// values serialize as null; the round-trip otherwise preserves the value
+/// exactly (shortest-exact via %.17g).
+void append_json_number(std::string& out, double v);
+
+/// Append a 64-bit integer as a JSON number.
+void append_json_number(std::string& out, std::int64_t v);
+
+/// Parsed JSON document. Objects preserve key order (traces are written
+/// with a stable field order and the tests check it).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+
+  /// Value accessors; throw std::runtime_error on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  members() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parse one complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). Throws std::runtime_error with a byte offset on
+/// malformed input.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace netalign::obs

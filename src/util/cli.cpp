@@ -127,6 +127,15 @@ bool CliParser::parse(int argc, const char* const* argv) {
   return true;
 }
 
+ObsFlags add_obs_flags(CliParser& cli) {
+  return ObsFlags{
+      cli.add_string("trace-out", "",
+                     "write a JSONL event trace here (docs/OBSERVABILITY.md)"),
+      cli.add_bool("counters", false,
+                   "collect and print the run's counter registry"),
+  };
+}
+
 std::string CliParser::help_text() const {
   std::string out = program_help_;
   if (!out.empty() && out.back() != '\n') out.push_back('\n');

@@ -66,4 +66,16 @@ class CliParser {
   std::vector<std::string> positional_;
 };
 
+/// References to the standard observability flags (docs/OBSERVABILITY.md):
+/// --trace-out FILE writes a JSONL event trace of the run, --counters
+/// prints the counter registry afterwards. Returned by add_obs_flags so
+/// every binary shares the same names and help text.
+struct ObsFlags {
+  std::string& trace_out;
+  bool& counters;
+};
+
+/// Register --trace-out and --counters on `cli`.
+ObsFlags add_obs_flags(CliParser& cli);
+
 }  // namespace netalign

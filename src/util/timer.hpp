@@ -67,16 +67,25 @@ class StepTimers {
 };
 
 /// RAII helper: records the lifetime of the scope into a StepTimers entry.
+/// The optional `also` target receives the same sample -- solvers use it to
+/// mirror each step into a per-iteration accumulator for trace emission
+/// (src/obs/trace.hpp) on top of the run-total timers.
 class ScopedStepTimer {
  public:
-  ScopedStepTimer(StepTimers& timers, std::string name)
-      : timers_(timers), name_(std::move(name)) {}
+  ScopedStepTimer(StepTimers& timers, std::string name,
+                  StepTimers* also = nullptr)
+      : timers_(timers), also_(also), name_(std::move(name)) {}
   ScopedStepTimer(const ScopedStepTimer&) = delete;
   ScopedStepTimer& operator=(const ScopedStepTimer&) = delete;
-  ~ScopedStepTimer() { timers_.add(name_, timer_.seconds()); }
+  ~ScopedStepTimer() {
+    const double s = timer_.seconds();
+    timers_.add(name_, s);
+    if (also_ != nullptr) also_->add(name_, s);
+  }
 
  private:
   StepTimers& timers_;
+  StepTimers* also_;
   std::string name_;
   WallTimer timer_;
 };

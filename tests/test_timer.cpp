@@ -69,6 +69,59 @@ TEST(StepTimers, MergeCombinesEntries) {
   EXPECT_EQ(a.count("s"), 2u);
 }
 
+TEST(StepTimers, MergeOverlappingKeysSumsTotalsAndCounts) {
+  StepTimers a, b;
+  a.add("x", 1.0);
+  a.add("y", 2.0);
+  b.add("y", 3.0);
+  b.add("y", 4.0);
+  b.add("z", 5.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.total("x"), 1.0);
+  EXPECT_DOUBLE_EQ(a.total("y"), 9.0);
+  EXPECT_DOUBLE_EQ(a.total("z"), 5.0);
+  EXPECT_EQ(a.count("y"), 3u);
+  // Target's first-use order wins; new keys append in source order.
+  ASSERT_EQ(a.names().size(), 3u);
+  EXPECT_EQ(a.names()[0], "x");
+  EXPECT_EQ(a.names()[1], "y");
+  EXPECT_EQ(a.names()[2], "z");
+}
+
+TEST(StepTimers, MergeIsAssociative) {
+  // (a + b) + c and a + (b + c) agree -- the property the per-thread
+  // instrumentation join relies on.
+  auto make = [](double v1, double v2) {
+    StepTimers t;
+    t.add("p", v1);
+    t.add("q", v2);
+    return t;
+  };
+  StepTimers left_a = make(1.0, 2.0), b1 = make(4.0, 8.0),
+             c1 = make(16.0, 32.0);
+  left_a.merge(b1);
+  left_a.merge(c1);
+
+  StepTimers right_a = make(1.0, 2.0), b2 = make(4.0, 8.0),
+             c2 = make(16.0, 32.0);
+  b2.merge(c2);
+  right_a.merge(b2);
+
+  for (const auto& name : {"p", "q"}) {
+    EXPECT_DOUBLE_EQ(left_a.total(name), right_a.total(name));
+    EXPECT_EQ(left_a.count(name), right_a.count(name));
+  }
+}
+
+TEST(StepTimers, MergeIntoEmptyCopies) {
+  StepTimers a, b;
+  b.add("only", 7.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.total("only"), 7.0);
+  EXPECT_EQ(a.count("only"), 1u);
+  ASSERT_EQ(a.names().size(), 1u);
+}
+
 TEST(StepTimers, ClearResets) {
   StepTimers timers;
   timers.add("a", 1.0);
@@ -84,6 +137,17 @@ TEST(ScopedStepTimer, RecordsOnDestruction) {
   }
   EXPECT_EQ(timers.count("scope"), 1u);
   EXPECT_GE(timers.total("scope"), 0.0);
+}
+
+TEST(ScopedStepTimer, AlsoTargetReceivesTheSameSample) {
+  StepTimers run_totals, iter_steps;
+  {
+    ScopedStepTimer t(run_totals, "step", &iter_steps);
+  }
+  EXPECT_EQ(run_totals.count("step"), 1u);
+  EXPECT_EQ(iter_steps.count("step"), 1u);
+  // One sample, recorded twice: both sides see the identical value.
+  EXPECT_DOUBLE_EQ(run_totals.total("step"), iter_steps.total("step"));
 }
 
 }  // namespace

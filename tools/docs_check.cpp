@@ -1,0 +1,172 @@
+// Documentation consistency checker, run as the `docs_check` CTest.
+//
+// Two guarantees, both cheap and both the kind that silently rot:
+//  1. every top-level directory under src/ is mentioned (as "src/<name>")
+//     in docs/ARCHITECTURE.md, so the module map cannot fall behind the
+//     tree;
+//  2. every relative link target in the repo's Markdown files resolves to
+//     an existing file or directory, so renames cannot leave dangling
+//     references.
+//
+// Scans all *.md under the repo root except build trees, results/, .git
+// and ISSUE.md (driver-owned, not part of the docs). Code fences are
+// stripped before link extraction so snippets like `operator[](i)` are
+// not mistaken for links; http(s)/mailto targets and pure #anchors are
+// skipped.
+//
+//   docs_check /path/to/repo
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Remove ``` fenced blocks and `inline code` spans, preserving line
+/// structure so reported line numbers stay meaningful.
+std::string strip_code(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  bool in_fence = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string_view line(text.data() + pos, eol - pos);
+    const std::size_t first = line.find_first_not_of(" \t");
+    const bool fence_marker =
+        first != std::string_view::npos && line.substr(first, 3) == "```";
+    if (fence_marker) {
+      in_fence = !in_fence;
+    } else if (!in_fence) {
+      // Drop `inline code` spans within the kept line.
+      bool in_tick = false;
+      for (const char c : line) {
+        if (c == '`') {
+          in_tick = !in_tick;
+        } else if (!in_tick) {
+          out.push_back(c);
+        }
+      }
+    }
+    out.push_back('\n');
+    pos = eol + 1;
+  }
+  return out;
+}
+
+/// Extract markdown link targets: the (...) part of [text](target).
+std::vector<std::pair<std::string, std::size_t>> extract_links(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::size_t>> out;
+  std::size_t lineno = 1;
+  for (std::size_t i = 0; i + 1 < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++lineno;
+      continue;
+    }
+    if (text[i] != ']' || text[i + 1] != '(') continue;
+    const std::size_t close = text.find(')', i + 2);
+    if (close == std::string::npos) continue;
+    out.emplace_back(text.substr(i + 2, close - i - 2), lineno);
+  }
+  return out;
+}
+
+bool is_external(const std::string& target) {
+  return target.rfind("http://", 0) == 0 || target.rfind("https://", 0) == 0 ||
+         target.rfind("mailto:", 0) == 0;
+}
+
+bool skip_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == ".git" || name == "results" ||
+         name.rfind("build", 0) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: docs_check REPO_ROOT\n");
+    return 2;
+  }
+  const fs::path root = argv[1];
+  int failures = 0;
+
+  // --- Check 1: src/ top-level dirs all appear in ARCHITECTURE.md -------
+  const fs::path arch_path = root / "docs" / "ARCHITECTURE.md";
+  if (!fs::exists(arch_path)) {
+    std::fprintf(stderr, "FAIL: docs/ARCHITECTURE.md does not exist\n");
+    ++failures;
+  } else {
+    const std::string arch = read_file(arch_path);
+    for (const auto& entry : fs::directory_iterator(root / "src")) {
+      if (!entry.is_directory()) continue;
+      const std::string name = entry.path().filename().string();
+      if (arch.find("src/" + name) == std::string::npos) {
+        std::fprintf(stderr,
+                     "FAIL: src/%s is not documented in "
+                     "docs/ARCHITECTURE.md (mention \"src/%s\")\n",
+                     name.c_str(), name.c_str());
+        ++failures;
+      }
+    }
+  }
+
+  // --- Check 2: all relative markdown links resolve ---------------------
+  std::vector<fs::path> md_files;
+  for (fs::recursive_directory_iterator it(root), end; it != end; ++it) {
+    if (it->is_directory()) {
+      if (skip_dir(it->path())) it.disable_recursion_pending();
+      continue;
+    }
+    if (it->path().extension() != ".md") continue;
+    if (it->path().filename() == "ISSUE.md") continue;
+    md_files.push_back(it->path());
+  }
+  for (const auto& md : md_files) {
+    const std::string text = strip_code(read_file(md));
+    for (const auto& [raw_target, lineno] : extract_links(text)) {
+      std::string target = raw_target;
+      // Strip an anchor; a bare anchor links within the same file.
+      if (const auto hash = target.find('#'); hash != std::string::npos) {
+        target = target.substr(0, hash);
+      }
+      if (target.empty() || is_external(raw_target)) continue;
+      const fs::path resolved = md.parent_path() / target;
+      if (!fs::exists(resolved)) {
+        std::fprintf(stderr, "FAIL: %s:%zu: broken link -> %s\n",
+                     fs::relative(md, root).string().c_str(), lineno,
+                     raw_target.c_str());
+        ++failures;
+      }
+    }
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "docs_check: %d failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("docs_check: OK (%zu markdown files checked)\n",
+              md_files.size());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -17,6 +17,7 @@
 //   netalign match --problem p.nap --matcher exact
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <string>
 
 #include "dist/dist_bp.hpp"
@@ -28,6 +29,8 @@
 #include "netalign/isorank.hpp"
 #include "netalign/klau_mr.hpp"
 #include "netalign/synthetic.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
@@ -150,12 +153,25 @@ int cmd_align(int argc, char** argv) {
   auto& verbose = cli.add_bool("steps", false, "print per-step timings");
   auto& history = cli.add_string(
       "history", "", "write the objective history to this CSV");
+  const ObsFlags obs_flags = add_obs_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   if (threads > 0) set_threads(static_cast<int>(threads));
 
   const NetAlignProblem p = read_problem_file(path);
   const SquaresMatrix S = SquaresMatrix::build(p);
   const MatcherKind matcher = matcher_from_string(matcher_name);
+
+  std::unique_ptr<obs::TraceWriter> trace;
+  if (!obs_flags.trace_out.empty()) {
+    trace = std::make_unique<obs::TraceWriter>(obs_flags.trace_out);
+  }
+  obs::Counters counters;
+  obs::Counters* const counters_ptr = obs_flags.counters ? &counters : nullptr;
+  if (trace) {
+    trace->run_start(method, {{"problem", p.name},
+                              {"matcher", matcher_name},
+                              {"iters", iters}});
+  }
 
   AlignResult r;
   if (method == "bp") {
@@ -164,12 +180,16 @@ int cmd_align(int argc, char** argv) {
     opt.matcher = matcher;
     opt.batch_size = static_cast<int>(batch);
     if (gamma > 0.0) opt.gamma = gamma;
+    opt.trace = trace.get();
+    opt.counters = counters_ptr;
     r = belief_prop_align(p, S, opt);
   } else if (method == "mr") {
     KlauMrOptions opt;
     opt.max_iterations = static_cast<int>(iters);
     opt.matcher = matcher;
     if (gamma > 0.0) opt.gamma = gamma;
+    opt.trace = trace.get();
+    opt.counters = counters_ptr;
     r = klau_mr_align(p, S, opt);
   } else if (method == "isorank") {
     IsoRankOptions opt;
@@ -183,6 +203,8 @@ int cmd_align(int argc, char** argv) {
     opt.max_iterations = static_cast<int>(iters);
     opt.matcher = matcher;
     if (gamma > 0.0) opt.gamma = gamma;
+    opt.trace = trace.get();
+    opt.counters = counters_ptr;
     dist::DistBpStats dstats;
     r = dist::distributed_belief_prop_align(p, S, opt, &dstats);
     std::printf("[dist] ranks=%lld supersteps=%zu messages=%zu "
@@ -195,6 +217,8 @@ int cmd_align(int argc, char** argv) {
     opt.num_ranks = static_cast<int>(ranks);
     opt.max_iterations = static_cast<int>(iters);
     if (gamma > 0.0) opt.gamma = gamma;
+    opt.trace = trace.get();
+    opt.counters = counters_ptr;
     dist::DistMrStats dstats;
     r = dist::distributed_klau_mr_align(p, S, opt, &dstats);
     std::printf("[dist] ranks=%lld supersteps=%zu messages=%zu "
@@ -207,12 +231,24 @@ int cmd_align(int argc, char** argv) {
     return 1;
   }
 
+  if (trace) {
+    trace->run_end(r.total_seconds, r.value.objective, r.best_iteration,
+                   counters_ptr);
+  }
+
   std::printf("%s on %s: objective=%.3f (weight=%.3f, overlap=%.0f), "
               "%lld matches, best at iteration %d, %.2fs\n",
               method.c_str(), p.name.c_str(), r.value.objective,
               r.value.weight, r.value.overlap,
               static_cast<long long>(r.matching.cardinality),
               r.best_iteration, r.total_seconds);
+  if (obs_flags.counters) {
+    TextTable ctable({"counter", "value"});
+    for (const auto& name : counters.names()) {
+      ctable.add_row({name, TextTable::num(counters.total(name))});
+    }
+    ctable.print();
+  }
   if (verbose) {
     TextTable table({"step", "seconds", "fraction"});
     for (const auto& step : r.timers.names()) {
@@ -252,14 +288,24 @@ int cmd_match(int argc, char** argv) {
   auto& matcher_name = cli.add_string(
       "matcher", "approx", "exact | approx | greedy | suitor | auction | pga");
   auto& save = cli.add_string("save-matching", "", "write the matching here");
+  auto& want_counters =
+      cli.add_bool("counters", false, "print the matcher's counter registry");
   if (!cli.parse(argc, argv)) return 0;
   const NetAlignProblem p = read_problem_file(path);
   const std::vector<weight_t> w(p.L.weights().begin(), p.L.weights().end());
   WallTimer t;
-  const auto m = run_matcher(p.L, w, matcher_from_string(matcher_name));
+  obs::Counters counters;
+  const auto m = run_matcher(p.L, w, matcher_from_string(matcher_name),
+                             want_counters ? &counters : nullptr);
   std::printf("%s matching: weight=%.3f cardinality=%lld in %.3fs\n",
               matcher_name.c_str(), m.weight,
               static_cast<long long>(m.cardinality), t.seconds());
+  if (want_counters) {
+    for (const auto& name : counters.names()) {
+      std::printf("  %-24s %lld\n", name.c_str(),
+                  static_cast<long long>(counters.total(name)));
+    }
+  }
   if (!save.empty()) {
     write_matching_file(save, m);
     std::printf("matching written to %s\n", save.c_str());
