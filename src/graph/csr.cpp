@@ -150,12 +150,14 @@ std::vector<eid_t> CsrMatrix::symmetric_transpose_permutation() const {
         "symmetric_transpose_permutation: pattern is not symmetric");
   }
   std::vector<eid_t> perm(col_.size());
-#pragma omp parallel for schedule(dynamic, kDynamicChunk)
-  for (vid_t r = 0; r < nrows_; ++r) {
-    for (eid_t k = row_begin(r); k < row_end(r); ++k) {
-      perm[k] = find(col_[k], r);
+  fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+    for (vid_t r = 0; r < nrows_; ++r) {
+      for (eid_t k = row_begin(r); k < row_end(r); ++k) {
+        perm[k] = find(col_[k], r);
+      }
     }
-  }
+  });
   return perm;
 }
 
@@ -185,26 +187,30 @@ void CsrMatrix::multiply(std::span<const weight_t> x,
       static_cast<vid_t>(y.size()) != nrows_) {
     throw std::invalid_argument("CsrMatrix::multiply: size mismatch");
   }
-#pragma omp parallel for schedule(dynamic, kDynamicChunk)
-  for (vid_t r = 0; r < nrows_; ++r) {
-    weight_t sum = 0.0;
-    for (eid_t k = row_begin(r); k < row_end(r); ++k) {
-      sum += val_[k] * x[col_[k]];
+  fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+    for (vid_t r = 0; r < nrows_; ++r) {
+      weight_t sum = 0.0;
+      for (eid_t k = row_begin(r); k < row_end(r); ++k) {
+        sum += val_[k] * x[col_[k]];
+      }
+      y[r] = sum;
     }
-    y[r] = sum;
-  }
+  });
 }
 
 void CsrMatrix::row_sums(std::span<weight_t> y) const {
   if (static_cast<vid_t>(y.size()) != nrows_) {
     throw std::invalid_argument("CsrMatrix::row_sums: size mismatch");
   }
-#pragma omp parallel for schedule(dynamic, kDynamicChunk)
-  for (vid_t r = 0; r < nrows_; ++r) {
-    weight_t sum = 0.0;
-    for (eid_t k = row_begin(r); k < row_end(r); ++k) sum += val_[k];
-    y[r] = sum;
-  }
+  fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+    for (vid_t r = 0; r < nrows_; ++r) {
+      weight_t sum = 0.0;
+      for (eid_t k = row_begin(r); k < row_end(r); ++k) sum += val_[k];
+      y[r] = sum;
+    }
+  });
 }
 
 std::vector<std::vector<weight_t>> CsrMatrix::to_dense() const {

@@ -161,17 +161,21 @@ class LdSolver {
   /// before any matching happens.
   eid_t phase1_two_sided() {
     std::atomic<eid_t> count{0};
-#pragma omp parallel for schedule(dynamic, kDynamicChunk)
-    for (vid_t v = 0; v < n_; ++v) {
-      candidate_[v].store(findmate(v), std::memory_order_release);
-    }
-#pragma omp parallel for schedule(dynamic, kDynamicChunk)
-    for (vid_t v = 0; v < n_; ++v) {
-      const vid_t t = candidate_[v].load(std::memory_order_acquire);
-      if (t >= 0 && candidate_[t].load(std::memory_order_acquire) == v) {
-        try_match(v, t, queue_current_, count);
+    fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+      for (vid_t v = 0; v < n_; ++v) {
+        candidate_[v].store(findmate(v), std::memory_order_release);
       }
-    }
+    });
+    fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+      for (vid_t v = 0; v < n_; ++v) {
+        const vid_t t = candidate_[v].load(std::memory_order_acquire);
+        if (t >= 0 && candidate_[t].load(std::memory_order_acquire) == v) {
+          try_match(v, t, queue_current_, count);
+        }
+      }
+    });
     return count.load(std::memory_order_relaxed);
   }
 
@@ -185,28 +189,34 @@ class LdSolver {
   eid_t phase1_one_sided() {
     std::atomic<eid_t> count{0};
     const vid_t na = view_.num_a();
-#pragma omp parallel for schedule(dynamic, kDynamicChunk)
-    for (vid_t a = 0; a < na; ++a) {
-      candidate_[a].store(findmate(a), std::memory_order_release);
-    }
-#pragma omp parallel for schedule(dynamic, kDynamicChunk)
-    for (vid_t a = 0; a < na; ++a) {
-      const vid_t b = candidate_[a].load(std::memory_order_acquire);
-      if (b == kInvalidVid) continue;
-      if (candidate_[b].load(std::memory_order_acquire) == kNeverScanned) {
-        // Pure function of the all-unmatched state: concurrent writers
-        // compute the same value.
-        candidate_[b].store(findmate(b), std::memory_order_release);
+    fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+      for (vid_t a = 0; a < na; ++a) {
+        candidate_[a].store(findmate(a), std::memory_order_release);
       }
-    }
-#pragma omp parallel for schedule(dynamic, kDynamicChunk)
-    for (vid_t a = 0; a < na; ++a) {
-      const vid_t b = candidate_[a].load(std::memory_order_acquire);
-      if (b != kInvalidVid &&
-          candidate_[b].load(std::memory_order_acquire) == a) {
-        try_match(a, b, queue_current_, count);
+    });
+    fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+      for (vid_t a = 0; a < na; ++a) {
+        const vid_t b = candidate_[a].load(std::memory_order_acquire);
+        if (b == kInvalidVid) continue;
+        if (candidate_[b].load(std::memory_order_acquire) == kNeverScanned) {
+          // Pure function of the all-unmatched state: concurrent writers
+          // compute the same value.
+          candidate_[b].store(findmate(b), std::memory_order_release);
+        }
       }
-    }
+    });
+    fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+      for (vid_t a = 0; a < na; ++a) {
+        const vid_t b = candidate_[a].load(std::memory_order_acquire);
+        if (b != kInvalidVid &&
+            candidate_[b].load(std::memory_order_acquire) == a) {
+          try_match(a, b, queue_current_, count);
+        }
+      }
+    });
     return count.load(std::memory_order_relaxed);
   }
 
@@ -220,25 +230,30 @@ class LdSolver {
   /// augmentable edge and break maximality.
   eid_t revalidation_sweep(std::vector<vid_t>& queue,
                            std::atomic<eid_t>& count) {
-#pragma omp parallel for schedule(dynamic, kDynamicChunk)
-    for (vid_t v = 0; v < n_; ++v) {
-      if (mate_[v].load(std::memory_order_acquire) != kInvalidVid) continue;
-      const vid_t cv = candidate_[v].load(std::memory_order_acquire);
-      const bool dead =
-          cv == kNeverScanned || cv == kInvalidVid ||
-          (cv >= 0 && mate_[cv].load(std::memory_order_acquire) != kInvalidVid);
-      if (dead) {
-        candidate_[v].store(findmate(v), std::memory_order_release);
+    fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+      for (vid_t v = 0; v < n_; ++v) {
+        if (mate_[v].load(std::memory_order_acquire) != kInvalidVid) continue;
+        const vid_t cv = candidate_[v].load(std::memory_order_acquire);
+        const bool dead = cv == kNeverScanned || cv == kInvalidVid ||
+                          (cv >= 0 && mate_[cv].load(
+                                          std::memory_order_acquire) !=
+                                          kInvalidVid);
+        if (dead) {
+          candidate_[v].store(findmate(v), std::memory_order_release);
+        }
       }
-    }
-#pragma omp parallel for schedule(dynamic, kDynamicChunk)
-    for (vid_t v = 0; v < n_; ++v) {
-      if (mate_[v].load(std::memory_order_acquire) != kInvalidVid) continue;
-      const vid_t t = candidate_[v].load(std::memory_order_acquire);
-      if (t >= 0 && candidate_[t].load(std::memory_order_acquire) == v) {
-        try_match(v, t, queue, count);
+    });
+    fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+      for (vid_t v = 0; v < n_; ++v) {
+        if (mate_[v].load(std::memory_order_acquire) != kInvalidVid) continue;
+        const vid_t t = candidate_[v].load(std::memory_order_acquire);
+        if (t >= 0 && candidate_[t].load(std::memory_order_acquire) == v) {
+          try_match(v, t, queue, count);
+        }
       }
-    }
+    });
     return count.load(std::memory_order_relaxed);
   }
 
@@ -253,28 +268,33 @@ class LdSolver {
         stats_->queue_sizes.push_back(current_size);
         stats_->rounds += 1;
       }
-#pragma omp parallel for schedule(dynamic, 64)
-      for (eid_t idx = 0; idx < current_size; ++idx) {
-        const vid_t u = queue_current_[idx];
-        view_.for_neighbors(u, [&](vid_t v, weight_t) {
-          if (mate_[v].load(std::memory_order_acquire) != kInvalidVid) return;
-          // Claim the rescan: CAS from the expected stale value to the
-          // in-progress marker, so v has exactly one candidate writer even
-          // when several matched neighbors reach it in the same round.
-          vid_t cv = candidate_[v].load(std::memory_order_acquire);
-          if (cv != u && cv != kNeverScanned) return;
-          if (!candidate_[v].compare_exchange_strong(
-                  cv, kRescanning, std::memory_order_acq_rel)) {
-            return;
-          }
-          const vid_t nv = findmate(v);
-          candidate_[v].store(nv, std::memory_order_release);
-          if (nv != kInvalidVid &&
-              candidate_[nv].load(std::memory_order_acquire) == v) {
-            try_match(v, nv, queue_next_, next_count);
-          }
-        });
-      }
+      fenced_parallel([&] {
+#pragma omp for schedule(dynamic, 64) nowait
+        for (eid_t idx = 0; idx < current_size; ++idx) {
+          const vid_t u = queue_current_[idx];
+          view_.for_neighbors(u, [&](vid_t v, weight_t) {
+            if (mate_[v].load(std::memory_order_acquire) != kInvalidVid) {
+              return;
+            }
+            // Claim the rescan: CAS from the expected stale value to the
+            // in-progress marker, so v has exactly one candidate writer
+            // even when several matched neighbors reach it in the same
+            // round.
+            vid_t cv = candidate_[v].load(std::memory_order_acquire);
+            if (cv != u && cv != kNeverScanned) return;
+            if (!candidate_[v].compare_exchange_strong(
+                    cv, kRescanning, std::memory_order_acq_rel)) {
+              return;
+            }
+            const vid_t nv = findmate(v);
+            candidate_[v].store(nv, std::memory_order_release);
+            if (nv != kInvalidVid &&
+                candidate_[nv].load(std::memory_order_acquire) == v) {
+              try_match(v, nv, queue_next_, next_count);
+            }
+          });
+        }
+      });
       std::swap(queue_current_, queue_next_);  // the paper's pointer swap
       current_size = next_count.exchange(0, std::memory_order_acq_rel);
       if (current_size == 0) {

@@ -30,85 +30,103 @@ BipartiteMatching suitor_matching(const BipartiteGraph& L,
   const vid_t na = L.num_a();
   const vid_t n = na + L.num_b();
 
-  std::vector<std::atomic<vid_t>> suitor(static_cast<std::size_t>(n));
-  std::vector<weight_t> suitor_w(static_cast<std::size_t>(n), 0.0);
+  // Standing proposal per vertex, packed as the single CSR edge id of the
+  // proposing edge (kInvalidEid = no proposal yet). The (weight, suitor)
+  // pair decodes from the id against immutable arrays, so the lock-free
+  // scan can never observe a torn pair -- see "Memory model" in suitor.hpp.
+  std::vector<std::atomic<eid_t>> proposal(static_cast<std::size_t>(n));
   std::vector<std::atomic_flag> lock(static_cast<std::size_t>(n));
   for (vid_t v = 0; v < n; ++v) {
-    suitor[v].store(kInvalidVid, std::memory_order_relaxed);
+    proposal[v].store(kInvalidEid, std::memory_order_relaxed);
     lock[v].clear(std::memory_order_relaxed);
   }
   std::atomic<eid_t> proposals{0};
   std::atomic<eid_t> displaced{0};
   const bool count = stats != nullptr || counters != nullptr;
 
+  // Global id of the vertex that proposed to t via edge e (t's opposite
+  // endpoint on e).
+  auto proposer_of = [&](vid_t t, eid_t e) {
+    return t < na ? static_cast<vid_t>(na + L.edge_b(e)) : L.edge_a(e);
+  };
+
   auto for_neighbors = [&](vid_t v, auto&& f) {
     if (v < na) {
       for (eid_t e = L.row_begin(v); e < L.row_end(v); ++e) {
-        f(static_cast<vid_t>(na + L.edge_b(e)), w[e]);
+        f(static_cast<vid_t>(na + L.edge_b(e)), w[e], e);
       }
     } else {
       const vid_t b = v - na;
       for (eid_t k = L.col_begin(b); k < L.col_end(b); ++k) {
-        f(L.col_a(k), w[L.col_edge(k)]);
+        const eid_t e = L.col_edge(k);
+        f(L.col_a(k), w[e], e);
       }
     }
   };
 
-#pragma omp parallel for schedule(dynamic, kDynamicChunk)
-  for (vid_t start = 0; start < n; ++start) {
-    vid_t current = start;
-    while (current != kInvalidVid) {
-      // Pick the heaviest neighbor whose standing proposal we can beat.
-      vid_t target = kInvalidVid;
-      weight_t target_w = 0.0;
-      for_neighbors(current, [&](vid_t t, weight_t wt) {
-        if (wt <= 0.0) return;
-        if (!beats(wt, current, suitor_w[t],
-                   suitor[t].load(std::memory_order_acquire))) {
-          return;
-        }
-        if (wt > target_w ||
-            (wt == target_w && (target == kInvalidVid || t < target))) {
-          target = t;
-          target_w = wt;
-        }
-      });
-      if (target == kInvalidVid) break;
+  fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+    for (vid_t start = 0; start < n; ++start) {
+      vid_t current = start;
+      while (current != kInvalidVid) {
+        // Pick the heaviest neighbor whose standing proposal we can beat.
+        vid_t target = kInvalidVid;
+        weight_t target_w = 0.0;
+        eid_t target_e = kInvalidEid;
+        for_neighbors(current, [&](vid_t t, weight_t wt, eid_t e) {
+          if (wt <= 0.0) return;
+          const eid_t se = proposal[t].load(std::memory_order_acquire);
+          const weight_t ws = se == kInvalidEid ? 0.0 : w[se];
+          const vid_t s = se == kInvalidEid ? kInvalidVid : proposer_of(t, se);
+          if (!beats(wt, current, ws, s)) return;
+          if (wt > target_w ||
+              (wt == target_w && (target == kInvalidVid || t < target))) {
+            target = t;
+            target_w = wt;
+            target_e = e;
+          }
+        });
+        if (target == kInvalidVid) break;
 
-      // Commit under the target's lock; the standing proposal may have
-      // improved since the scan, in which case rescan from `current`.
-      vid_t next = current;
-      while (lock[target].test_and_set(std::memory_order_acquire)) {
-      }
-      const vid_t standing = suitor[target].load(std::memory_order_relaxed);
-      if (beats(target_w, current, suitor_w[target], standing)) {
-        suitor[target].store(current, std::memory_order_relaxed);
-        suitor_w[target] = target_w;
-        next = standing;  // displaced suitor re-proposes (or kInvalidVid)
-        if (count) {
-          proposals.fetch_add(1, std::memory_order_relaxed);
-          if (standing != kInvalidVid) {
-            displaced.fetch_add(1, std::memory_order_relaxed);
+        // Commit under the target's lock; the standing proposal may have
+        // improved since the scan, in which case rescan from `current`.
+        vid_t next = current;
+        while (lock[target].test_and_set(std::memory_order_acquire)) {
+        }
+        const eid_t se = proposal[target].load(std::memory_order_relaxed);
+        const weight_t ws = se == kInvalidEid ? 0.0 : w[se];
+        const vid_t standing =
+            se == kInvalidEid ? kInvalidVid : proposer_of(target, se);
+        if (beats(target_w, current, ws, standing)) {
+          proposal[target].store(target_e, std::memory_order_release);
+          next = standing;  // displaced suitor re-proposes (or kInvalidVid)
+          if (count) {
+            proposals.fetch_add(1, std::memory_order_relaxed);
+            if (standing != kInvalidVid) {
+              displaced.fetch_add(1, std::memory_order_relaxed);
+            }
           }
         }
+        lock[target].clear(std::memory_order_release);
+        current = next;
       }
-      lock[target].clear(std::memory_order_release);
-      current = next;
     }
-  }
+  });
 
+  // A pair is matched when its proposals are mutual; both sides then hold
+  // the same CSR edge id, which also supplies the weight directly.
   BipartiteMatching m;
   m.mate_a.assign(static_cast<std::size_t>(L.num_a()), kInvalidVid);
   m.mate_b.assign(static_cast<std::size_t>(L.num_b()), kInvalidVid);
   for (vid_t a = 0; a < na; ++a) {
-    const vid_t g = suitor[a].load(std::memory_order_relaxed);
-    if (g == kInvalidVid) continue;
-    if (suitor[g].load(std::memory_order_relaxed) != a) continue;
-    const vid_t b = g - na;
+    const eid_t e = proposal[a].load(std::memory_order_relaxed);
+    if (e == kInvalidEid) continue;
+    const vid_t b = L.edge_b(e);
+    if (proposal[na + b].load(std::memory_order_relaxed) != e) continue;
     m.mate_a[a] = b;
     m.mate_b[b] = a;
     m.cardinality += 1;
-    m.weight += w[L.find_edge(a, b)];
+    m.weight += w[e];
   }
   if (stats) {
     stats->proposals = proposals.load(std::memory_order_relaxed);

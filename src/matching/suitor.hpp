@@ -12,6 +12,31 @@
 // it can beat; a displaced suitor re-proposes. The fixed point assigns each
 // matched pair mutually-best proposals and yields the same matching as the
 // greedy algorithm under consistent tie-breaking.
+//
+// Memory model. The standing proposal at a vertex t is logically a pair
+// (weight, suitor id), read lock-free by scanning threads and replaced
+// under t's spinlock by committing threads. Storing the pair in two words
+// is a data race on the weight (UB) and, worse, lets a scan observe a torn
+// pair -- e.g. the new proposal's weight with the old proposal's id -- and
+// wrongly conclude it cannot beat a proposal it could, which breaks the
+// algorithm's determinism guarantee. Instead the proposal is packed into
+// ONE atomic 64-bit word: the CSR edge id of the proposing edge. Weight
+// (w[e]) and suitor id (the edge's opposite endpoint) decode from the id
+// against arrays that are immutable for the whole run, so every read is a
+// consistent pair by construction. Orders:
+//   - scan:   load-acquire of proposal[t], pairing with the commit's
+//     store-release (the derived arrays being immutable, relaxed would
+//     also be correct; acquire/release documents the publication and is
+//     free on x86);
+//   - commit: load-relaxed under the already-acquired spinlock, then
+//     store-release of the new edge id;
+//   - the commit path is the only writer and re-checks beats() under the
+//     lock, so a stale scan costs at most a rescan, never a wrong commit.
+// Stale scans are also *sound*: standing proposals only improve in the
+// strict lexicographic order beats() defines, so a proposal that cannot
+// beat a past value can never beat the final one, and skipping it is
+// exactly what a serial execution would do. This is what makes the output
+// identical across thread counts and runs (asserted by tests/stress).
 #pragma once
 
 #include <span>

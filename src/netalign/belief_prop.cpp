@@ -73,19 +73,17 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
     if (batch_fill == 0) return;
     ScopedStepTimer st(result.timers, "matching", iter_steps_ptr);
     // The paper runs the batched matchings as OpenMP tasks with nested
-    // parallelism inside each task; the matchers themselves contain
-    // parallel loops, so with one batch entry per available thread each
-    // matching runs serially, and with fewer entries the inner loops can
-    // fan out when nested parallelism is enabled.
-#pragma omp parallel
-#pragma omp single
-    {
+    // parallelism inside each task. A dynamic-1 worksharing loop has the
+    // same scheduling semantics for independent items -- each thread grabs
+    // the next unstarted rounding -- without the task queue, whose libgomp
+    // internals are opaque to TSan (see fenced_parallel in parallel.hpp).
+    fenced_parallel([&] {
+#pragma omp for schedule(dynamic, 1) nowait
       for (std::size_t i = 0; i < batch_fill; ++i) {
-#pragma omp task firstprivate(i) default(shared)
         batch_out[i] =
             round_heuristic(p, S, batch[i].g, options.matcher, counters);
       }
-    }
+    });
     for (std::size_t i = 0; i < batch_fill; ++i) {
       tracker.offer(batch_out[i], batch[i].g, batch[i].iter);
       if (options.record_history) {
@@ -109,30 +107,33 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
     if (++batch_fill == batch.size()) flush_batch();
   };
 
-  const auto scol = S.pattern().col_idx();
   const auto nrows = static_cast<vid_t>(m);
 
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
     // --- Step 1: F = bound_{0,beta}[beta S + S^(k)T] ---------------------
     {
       ScopedStepTimer st(result.timers, "compute_F", iter_steps_ptr);
-#pragma omp parallel for schedule(dynamic, kDynamicChunk)
-      for (vid_t e = 0; e < nrows; ++e) {
-        for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) {
-          F[k] = std::clamp(p.beta + sk_prev[perm[k]], 0.0, p.beta);
+      fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+        for (vid_t e = 0; e < nrows; ++e) {
+          for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) {
+            F[k] = std::clamp(p.beta + sk_prev[perm[k]], 0.0, p.beta);
+          }
         }
-      }
+      });
     }
 
     // --- Step 2: d = alpha w + F e ---------------------------------------
     {
       ScopedStepTimer st(result.timers, "compute_d", iter_steps_ptr);
-#pragma omp parallel for schedule(dynamic, kDynamicChunk)
-      for (vid_t e = 0; e < nrows; ++e) {
-        weight_t sum = 0.0;
-        for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) sum += F[k];
-        d[e] = p.alpha * w[e] + sum;
-      }
+      fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+        for (vid_t e = 0; e < nrows; ++e) {
+          weight_t sum = 0.0;
+          for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) sum += F[k];
+          d[e] = p.alpha * w[e] + sum;
+        }
+      });
     }
 
     // --- Step 3: othermax -------------------------------------------------
@@ -142,34 +143,40 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
         // The two othermax sweeps touch disjoint outputs and only read
         // the previous iterates, so they can run as independent tasks
         // (paper Section IX's first future-work item).
-#pragma omp parallel sections
-        {
+        fenced_parallel([&] {
+#pragma omp sections nowait
+          {
 #pragma omp section
-          othermax_col(L, z_prev, om_col);
+            othermax_col(L, z_prev, om_col);
 #pragma omp section
-          othermax_row(L, y_prev, om_row);
-        }
+            othermax_row(L, y_prev, om_row);
+          }
+        });
       } else {
         othermax_col(L, z_prev, om_col);
         othermax_row(L, y_prev, om_row);
       }
-#pragma omp parallel for schedule(static)
-      for (eid_t e = 0; e < m; ++e) {
-        y[e] = d[e] - om_col[e];
-        z[e] = d[e] - om_row[e];
-      }
+      fenced_parallel([&] {
+#pragma omp for schedule(static) nowait
+        for (eid_t e = 0; e < m; ++e) {
+          y[e] = d[e] - om_col[e];
+          z[e] = d[e] - om_row[e];
+        }
+      });
     }
 
     // --- Step 4: S^(k) = diag(y + z - d) S - F ----------------------------
     {
       ScopedStepTimer st(result.timers, "update_S", iter_steps_ptr);
-#pragma omp parallel for schedule(dynamic, kDynamicChunk)
-      for (vid_t e = 0; e < nrows; ++e) {
-        const weight_t scale = y[e] + z[e] - d[e];
-        for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) {
-          sk[k] = scale - F[k];
+      fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+        for (vid_t e = 0; e < nrows; ++e) {
+          const weight_t scale = y[e] + z[e] - d[e];
+          for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) {
+            sk[k] = scale - F[k];
+          }
         }
-      }
+      });
     }
 
     // --- Step 5: damping --------------------------------------------------
@@ -178,18 +185,22 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
       ScopedStepTimer st(result.timers, "damping", iter_steps_ptr);
       const weight_t g = damp;
       const weight_t omg = 1.0 - g;
-#pragma omp parallel for schedule(static)
-      for (eid_t e = 0; e < m; ++e) {
-        y[e] = g * y[e] + omg * y_prev[e];
-        z[e] = g * z[e] + omg * z_prev[e];
-        y_prev[e] = y[e];
-        z_prev[e] = z[e];
-      }
-#pragma omp parallel for schedule(static)
-      for (eid_t k = 0; k < nnz; ++k) {
-        sk[k] = g * sk[k] + omg * sk_prev[k];
-        sk_prev[k] = sk[k];
-      }
+      // The edge and square sweeps touch disjoint arrays, so one fenced
+      // region with two independent (nowait) worksharing loops suffices.
+      fenced_parallel([&] {
+#pragma omp for schedule(static) nowait
+        for (eid_t e = 0; e < m; ++e) {
+          y[e] = g * y[e] + omg * y_prev[e];
+          z[e] = g * z[e] + omg * z_prev[e];
+          y_prev[e] = y[e];
+          z_prev[e] = z[e];
+        }
+#pragma omp for schedule(static) nowait
+        for (eid_t k = 0; k < nnz; ++k) {
+          sk[k] = g * sk[k] + omg * sk_prev[k];
+          sk_prev[k] = sk[k];
+        }
+      });
     }
 
     // --- Step 6: round y and z --------------------------------------------

@@ -1,6 +1,7 @@
 #include "netalign/isorank.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
@@ -42,12 +43,14 @@ AlignResult isorank_align(const NetAlignProblem& p, const SquaresMatrix& S,
   // Out-degree normalization per L-edge: each square neighbor (j, j')
   // distributes its mass over deg_A(j) * deg_B(j') squares.
   std::vector<weight_t> inv_deg(static_cast<std::size_t>(m), 0.0);
-#pragma omp parallel for schedule(static)
-  for (eid_t e = 0; e < m; ++e) {
-    const auto da = static_cast<weight_t>(p.A.degree(L.edge_a(e)));
-    const auto db = static_cast<weight_t>(p.B.degree(L.edge_b(e)));
-    inv_deg[e] = (da > 0.0 && db > 0.0) ? 1.0 / (da * db) : 0.0;
-  }
+  fenced_parallel([&] {
+#pragma omp for schedule(static) nowait
+    for (eid_t e = 0; e < m; ++e) {
+      const auto da = static_cast<weight_t>(p.A.degree(L.edge_a(e)));
+      const auto db = static_cast<weight_t>(p.B.degree(L.edge_b(e)));
+      inv_deg[e] = (da > 0.0 && db > 0.0) ? 1.0 / (da * db) : 0.0;
+    }
+  });
 
   std::vector<weight_t> x(prior);
   std::vector<weight_t> scaled(static_cast<std::size_t>(m), 0.0);
@@ -58,22 +61,35 @@ AlignResult isorank_align(const NetAlignProblem& p, const SquaresMatrix& S,
     iterations_run = iter;
     {
       ScopedStepTimer st(result.timers, "propagate");
-#pragma omp parallel for schedule(static)
-      for (eid_t e = 0; e < m; ++e) scaled[e] = x[e] * inv_deg[e];
-#pragma omp parallel for schedule(dynamic, kDynamicChunk)
-      for (vid_t e = 0; e < static_cast<vid_t>(m); ++e) {
-        weight_t sum = 0.0;
-        for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) {
-          sum += scaled[scol[k]];
+      fenced_parallel([&] {
+#pragma omp for schedule(static) nowait
+        for (eid_t e = 0; e < m; ++e) scaled[e] = x[e] * inv_deg[e];
+      });
+      fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+        for (vid_t e = 0; e < static_cast<vid_t>(m); ++e) {
+          weight_t sum = 0.0;
+          for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) {
+            sum += scaled[scol[k]];
+          }
+          next[e] = options.gamma * sum + (1.0 - options.gamma) * prior[e];
         }
-        next[e] = options.gamma * sum + (1.0 - options.gamma) * prior[e];
-      }
+      });
     }
     weight_t delta = 0.0;
     {
       ScopedStepTimer st(result.timers, "convergence");
-#pragma omp parallel for schedule(static) reduction(+ : delta)
-      for (eid_t e = 0; e < m; ++e) delta += std::abs(next[e] - x[e]);
+      // Thread-local partials combined through an instrumented atomic
+      // instead of an OpenMP reduction clause (see fenced_parallel's
+      // contract in parallel.hpp).
+      std::atomic<weight_t> delta_acc{0.0};
+      fenced_parallel([&] {
+        weight_t part = 0.0;
+#pragma omp for schedule(static) nowait
+        for (eid_t e = 0; e < m; ++e) part += std::abs(next[e] - x[e]);
+        delta_acc.fetch_add(part, std::memory_order_relaxed);
+      });
+      delta = delta_acc.load(std::memory_order_relaxed);
     }
     std::swap(x, next);
     if (options.record_history) {

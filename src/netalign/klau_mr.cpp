@@ -1,9 +1,11 @@
 #include "netalign/klau_mr.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 
 #include "matching/small_mwm.hpp"
+#include "netalign/row_match.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
@@ -18,47 +20,10 @@ namespace {
 /// rows of S and preallocate this memory outside of the iteration").
 struct RowMatchScratch {
   SmallMwmSolver solver;
+  GreedyRowMatcher greedy;  // the ablation counterpart (row_matcher knob)
   std::vector<SmallMwmSolver::Edge> edges;
   std::vector<std::uint8_t> chosen;
-  std::vector<std::size_t> order;       // greedy row matcher scratch
-  std::vector<vid_t> used_a, used_b;    // endpoints taken by greedy
-  std::int64_t greedy_calls = 0;        // lifetime counts, merged once
-  std::int64_t greedy_edges = 0;        // after the iteration loop
 };
-
-/// Greedy 1/2-approximate matching on one row's edge set; the ablation
-/// counterpart of SmallMwmSolver (see KlauMrOptions::row_matcher).
-weight_t greedy_row_match(RowMatchScratch& sc,
-                          std::span<std::uint8_t> chosen) {
-  const auto& edges = sc.edges;
-  sc.greedy_calls += 1;
-  sc.greedy_edges += static_cast<std::int64_t>(edges.size());
-  sc.order.resize(edges.size());
-  for (std::size_t i = 0; i < edges.size(); ++i) sc.order[i] = i;
-  std::sort(sc.order.begin(), sc.order.end(),
-            [&](std::size_t x, std::size_t y) {
-              return edges[x].w != edges[y].w ? edges[x].w > edges[y].w
-                                              : x < y;
-            });
-  std::fill(chosen.begin(), chosen.end(), std::uint8_t{0});
-  sc.used_a.clear();
-  sc.used_b.clear();
-  weight_t total = 0.0;
-  auto taken = [](const std::vector<vid_t>& v, vid_t x) {
-    return std::find(v.begin(), v.end(), x) != v.end();
-  };
-  for (const std::size_t i : sc.order) {
-    if (edges[i].w <= 0.0) break;
-    if (taken(sc.used_a, edges[i].a) || taken(sc.used_b, edges[i].b)) {
-      continue;
-    }
-    sc.used_a.push_back(edges[i].a);
-    sc.used_b.push_back(edges[i].b);
-    chosen[i] = 1;
-    total += edges[i].w;
-  }
-  return total;
-}
 
 }  // namespace
 
@@ -106,6 +71,10 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
     for (auto& sc : scratch) {
       sc.edges.reserve(static_cast<std::size_t>(max_row));
       sc.chosen.resize(static_cast<std::size_t>(max_row));
+      if (options.row_matcher == RowMatcher::kGreedy) {
+        sc.greedy.reserve(L.num_a(), L.num_b(),
+                          static_cast<std::size_t>(max_row));
+      }
     }
   }
 
@@ -123,10 +92,9 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
     // transpose permutation.
     {
       ScopedStepTimer st(result.timers, "row_match", iter_steps_ptr);
-#pragma omp parallel
-      {
+      fenced_parallel([&] {
         RowMatchScratch& sc = scratch[omp_get_thread_num()];
-#pragma omp for schedule(dynamic, kDynamicChunk)
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
         for (vid_t e = 0; e < static_cast<vid_t>(m); ++e) {
           const eid_t lo = S.row_begin(e), hi = S.row_end(e);
           if (lo == hi) {
@@ -143,22 +111,24 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
           const auto chosen_span = std::span(sc.chosen.data(), row_len);
           d[e] = options.row_matcher == RowMatcher::kExact
                      ? sc.solver.solve(sc.edges, chosen_span)
-                     : greedy_row_match(sc, chosen_span);
+                     : sc.greedy.match(sc.edges, chosen_span);
           for (eid_t k = lo; k < hi; ++k) {
             SL[k] = sc.chosen[k - lo];
           }
         }
-      }
+      });
     }
 
     // --- Step 2: daxpy ---------------------------------------------------
     {
       ScopedStepTimer st(result.timers, "daxpy", iter_steps_ptr);
       const auto w = L.weights();
-#pragma omp parallel for schedule(static)
-      for (eid_t e = 0; e < m; ++e) {
-        wbar[e] = p.alpha * w[e] + d[e];
-      }
+      fenced_parallel([&] {
+#pragma omp for schedule(static) nowait
+        for (eid_t e = 0; e < m; ++e) {
+          wbar[e] = p.alpha * w[e] + d[e];
+        }
+      });
     }
 
     // --- Step 3: match ---------------------------------------------------
@@ -180,10 +150,19 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
       ScopedStepTimer st(result.timers, "objective", iter_steps_ptr);
       outcome.matching = matching;
       outcome.value = evaluate_objective(p, S, x);
-#pragma omp parallel for schedule(static) reduction(+ : upper)
-      for (eid_t e = 0; e < m; ++e) {
-        if (x[e]) upper += wbar[e];
-      }
+      // Thread-local partials combined through an instrumented atomic
+      // instead of an OpenMP reduction clause (see fenced_parallel's
+      // contract in parallel.hpp); same nondeterministic summation order.
+      std::atomic<weight_t> upper_acc{0.0};
+      fenced_parallel([&] {
+        weight_t part = 0.0;
+#pragma omp for schedule(static) nowait
+        for (eid_t e = 0; e < m; ++e) {
+          if (x[e]) part += wbar[e];
+        }
+        upper_acc.fetch_add(part, std::memory_order_relaxed);
+      });
+      upper = upper_acc.load(std::memory_order_relaxed);
       tracker.offer(outcome, wbar, iter);
       if (options.record_history) {
         result.objective_history.push_back(outcome.value.objective);
@@ -205,17 +184,19 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
     const weight_t step_gamma = gamma;
     {
       ScopedStepTimer st(result.timers, "update_u", iter_steps_ptr);
-#pragma omp parallel for schedule(dynamic, kDynamicChunk)
-      for (vid_t e = 0; e < static_cast<vid_t>(m); ++e) {
-        for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) {
-          const vid_t f = scol[k];
-          if (e >= f) continue;  // upper triangle only
-          weight_t u = U[k];
-          if (x[e] && SL[k]) u -= gamma;
-          if (x[f] && SL[perm[k]]) u += gamma;
-          U[k] = std::clamp(u, -u_bound, u_bound);
+      fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+        for (vid_t e = 0; e < static_cast<vid_t>(m); ++e) {
+          for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) {
+            const vid_t f = scol[k];
+            if (e >= f) continue;  // upper triangle only
+            weight_t u = U[k];
+            if (x[e] && SL[k]) u -= gamma;
+            if (x[f] && SL[perm[k]]) u += gamma;
+            U[k] = std::clamp(u, -u_bound, u_bound);
+          }
         }
-      }
+      });
       if (since_upper_improved >= options.mstep) {
         gamma /= 2.0;
         since_upper_improved = 0;
@@ -241,8 +222,8 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
     for (const auto& sc : scratch) {
       counters->add("mr.small_mwm_calls", sc.solver.solve_calls());
       counters->add("mr.small_mwm_edges", sc.solver.edges_seen());
-      counters->add("mr.row_greedy_calls", sc.greedy_calls);
-      counters->add("mr.row_greedy_edges", sc.greedy_edges);
+      counters->add("mr.row_greedy_calls", sc.greedy.calls());
+      counters->add("mr.row_greedy_edges", sc.greedy.edges_seen());
     }
   }
 

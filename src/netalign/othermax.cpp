@@ -25,53 +25,57 @@ void check_sizes(const BipartiteGraph& L, std::span<const weight_t> g,
 void othermax_row(const BipartiteGraph& L, std::span<const weight_t> g,
                   std::span<weight_t> out) {
   check_sizes(L, g, out);
-#pragma omp parallel for schedule(dynamic, kDynamicChunk)
-  for (vid_t a = 0; a < L.num_a(); ++a) {
-    // One pass: track the largest value and its position, plus the second
-    // largest; each edge then reads max (or second max at the argmax).
-    weight_t max1 = kNegInf, max2 = kNegInf;
-    eid_t arg1 = kInvalidEid;
-    for (eid_t e = L.row_begin(a); e < L.row_end(a); ++e) {
-      const weight_t v = g[e];
-      if (v > max1) {
-        max2 = max1;
-        max1 = v;
-        arg1 = e;
-      } else if (v > max2) {
-        max2 = v;
+  fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+    for (vid_t a = 0; a < L.num_a(); ++a) {
+      // One pass: track the largest value and its position, plus the second
+      // largest; each edge then reads max (or second max at the argmax).
+      weight_t max1 = kNegInf, max2 = kNegInf;
+      eid_t arg1 = kInvalidEid;
+      for (eid_t e = L.row_begin(a); e < L.row_end(a); ++e) {
+        const weight_t v = g[e];
+        if (v > max1) {
+          max2 = max1;
+          max1 = v;
+          arg1 = e;
+        } else if (v > max2) {
+          max2 = v;
+        }
+      }
+      for (eid_t e = L.row_begin(a); e < L.row_end(a); ++e) {
+        const weight_t other = (e == arg1) ? max2 : max1;
+        out[e] = std::max(other, 0.0);  // bound_{0,inf}; empty max -> 0
       }
     }
-    for (eid_t e = L.row_begin(a); e < L.row_end(a); ++e) {
-      const weight_t other = (e == arg1) ? max2 : max1;
-      out[e] = std::max(other, 0.0);  // bound_{0,inf}; empty max -> 0
-    }
-  }
+  });
 }
 
 void othermax_col(const BipartiteGraph& L, std::span<const weight_t> g,
                   std::span<weight_t> out) {
   check_sizes(L, g, out);
-#pragma omp parallel for schedule(dynamic, kDynamicChunk)
-  for (vid_t b = 0; b < L.num_b(); ++b) {
-    weight_t max1 = kNegInf, max2 = kNegInf;
-    eid_t arg1 = kInvalidEid;
-    for (eid_t k = L.col_begin(b); k < L.col_end(b); ++k) {
-      const eid_t e = L.col_edge(k);
-      const weight_t v = g[e];
-      if (v > max1) {
-        max2 = max1;
-        max1 = v;
-        arg1 = e;
-      } else if (v > max2) {
-        max2 = v;
+  fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+    for (vid_t b = 0; b < L.num_b(); ++b) {
+      weight_t max1 = kNegInf, max2 = kNegInf;
+      eid_t arg1 = kInvalidEid;
+      for (eid_t k = L.col_begin(b); k < L.col_end(b); ++k) {
+        const eid_t e = L.col_edge(k);
+        const weight_t v = g[e];
+        if (v > max1) {
+          max2 = max1;
+          max1 = v;
+          arg1 = e;
+        } else if (v > max2) {
+          max2 = v;
+        }
+      }
+      for (eid_t k = L.col_begin(b); k < L.col_end(b); ++k) {
+        const eid_t e = L.col_edge(k);
+        const weight_t other = (e == arg1) ? max2 : max1;
+        out[e] = std::max(other, 0.0);
       }
     }
-    for (eid_t k = L.col_begin(b); k < L.col_end(b); ++k) {
-      const eid_t e = L.col_edge(k);
-      const weight_t other = (e == arg1) ? max2 : max1;
-      out[e] = std::max(other, 0.0);
-    }
-  }
+  });
 }
 
 }  // namespace netalign

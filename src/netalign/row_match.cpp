@@ -1,0 +1,40 @@
+#include "netalign/row_match.hpp"
+
+#include <algorithm>
+
+namespace netalign {
+
+void GreedyRowMatcher::reserve(vid_t num_a, vid_t num_b,
+                               std::size_t max_row) {
+  order_.reserve(max_row);
+  a_taken_.assign(static_cast<std::size_t>(num_a), 0);
+  b_taken_.assign(static_cast<std::size_t>(num_b), 0);
+  epoch_ = 0;
+}
+
+weight_t GreedyRowMatcher::match(std::span<const Edge> edges,
+                                 std::span<std::uint8_t> chosen) {
+  calls_ += 1;
+  edges_seen_ += static_cast<std::int64_t>(edges.size());
+  ++epoch_;
+  order_.resize(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) order_[i] = i;
+  std::sort(order_.begin(), order_.end(), [&](std::size_t x, std::size_t y) {
+    return edges[x].w != edges[y].w ? edges[x].w > edges[y].w : x < y;
+  });
+  std::fill(chosen.begin(), chosen.end(), std::uint8_t{0});
+  weight_t total = 0.0;
+  for (const std::size_t i : order_) {
+    if (edges[i].w <= 0.0) break;
+    if (a_taken_[edges[i].a] == epoch_ || b_taken_[edges[i].b] == epoch_) {
+      continue;
+    }
+    a_taken_[edges[i].a] = epoch_;
+    b_taken_[edges[i].b] = epoch_;
+    chosen[i] = 1;
+    total += edges[i].w;
+  }
+  return total;
+}
+
+}  // namespace netalign

@@ -1,0 +1,53 @@
+// Greedy 1/2-approximate matcher for the tiny per-row subproblems of MR's
+// row_match step (paper Section IV-B); the ablation counterpart of the
+// exact SmallMwmSolver behind KlauMrOptions::row_matcher.
+//
+// Like SmallMwmSolver, one instance is per-thread scratch: all buffers are
+// sized once before the iteration loop and reused across calls, so the hot
+// path never allocates (the paper's "preallocate outside of the iteration"
+// rule). Endpoint-taken membership uses epoch-stamped marks over the global
+// vertex id ranges -- O(1) per probe with no clearing between calls --
+// instead of a linear scan over the row's chosen endpoints.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "matching/small_mwm.hpp"
+#include "util/types.hpp"
+
+namespace netalign {
+
+class GreedyRowMatcher {
+ public:
+  using Edge = SmallMwmSolver::Edge;
+
+  /// Size the stamp tables for endpoint ids in [0, num_a) x [0, num_b) and
+  /// reserve order scratch for rows of up to max_row edges. Must be called
+  /// before match(); ids outside the declared ranges are undefined
+  /// behavior, exactly like indexing the graph itself out of range.
+  void reserve(vid_t num_a, vid_t num_b, std::size_t max_row);
+
+  /// Greedy matching over `edges` (weights <= 0 ignored): heaviest edge
+  /// first, ties toward the smaller input index -- the same order the full
+  /// greedy matcher uses. Returns the matched weight; chosen[k] is set to
+  /// 1 iff edges[k] was taken (chosen must have edges.size() entries).
+  weight_t match(std::span<const Edge> edges, std::span<std::uint8_t> chosen);
+
+  /// Lifetime observability, merged into obs::Counters by the caller after
+  /// the run (the StepTimers merge pattern; see SmallMwmSolver).
+  [[nodiscard]] std::int64_t calls() const { return calls_; }
+  [[nodiscard]] std::int64_t edges_seen() const { return edges_seen_; }
+
+ private:
+  std::vector<std::size_t> order_;
+  // a_taken_[v] == epoch_ means A-vertex v is matched in the current call;
+  // bumping epoch_ invalidates every mark at once, so no per-call clear.
+  std::vector<std::uint64_t> a_taken_, b_taken_;
+  std::uint64_t epoch_ = 0;
+  std::int64_t calls_ = 0;
+  std::int64_t edges_seen_ = 0;
+};
+
+}  // namespace netalign

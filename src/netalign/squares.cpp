@@ -20,36 +20,40 @@ SquaresMatrix SquaresMatrix::build(const NetAlignProblem& p) {
   // L. Iterating neighbors of i and i' and probing L keeps the work
   // proportional to deg_A(i) * deg_B(i') * log(deg_L).
   std::vector<eid_t> ptr(static_cast<std::size_t>(m) + 1, 0);
-#pragma omp parallel for schedule(dynamic, kDynamicChunk)
-  for (eid_t e = 0; e < m; ++e) {
-    const vid_t i = L.edge_a(e);
-    const vid_t ip = L.edge_b(e);
-    eid_t count = 0;
-    for (const vid_t j : p.A.neighbors(i)) {
-      for (const vid_t jp : p.B.neighbors(ip)) {
-        if (L.find_edge(j, jp) != kInvalidEid) ++count;
+  fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+    for (eid_t e = 0; e < m; ++e) {
+      const vid_t i = L.edge_a(e);
+      const vid_t ip = L.edge_b(e);
+      eid_t count = 0;
+      for (const vid_t j : p.A.neighbors(i)) {
+        for (const vid_t jp : p.B.neighbors(ip)) {
+          if (L.find_edge(j, jp) != kInvalidEid) ++count;
+        }
       }
+      ptr[e + 1] = count;
     }
-    ptr[e + 1] = count;
-  }
+  });
   for (eid_t e = 0; e < m; ++e) ptr[e + 1] += ptr[e];
 
   // Pass 2: fill, then sort each row by column id (required for the
   // binary-search lookups behind the transpose permutation).
   std::vector<vid_t> col(static_cast<std::size_t>(ptr[m]));
-#pragma omp parallel for schedule(dynamic, kDynamicChunk)
-  for (eid_t e = 0; e < m; ++e) {
-    const vid_t i = L.edge_a(e);
-    const vid_t ip = L.edge_b(e);
-    eid_t pos = ptr[e];
-    for (const vid_t j : p.A.neighbors(i)) {
-      for (const vid_t jp : p.B.neighbors(ip)) {
-        const eid_t f = L.find_edge(j, jp);
-        if (f != kInvalidEid) col[pos++] = static_cast<vid_t>(f);
+  fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+    for (eid_t e = 0; e < m; ++e) {
+      const vid_t i = L.edge_a(e);
+      const vid_t ip = L.edge_b(e);
+      eid_t pos = ptr[e];
+      for (const vid_t j : p.A.neighbors(i)) {
+        for (const vid_t jp : p.B.neighbors(ip)) {
+          const eid_t f = L.find_edge(j, jp);
+          if (f != kInvalidEid) col[pos++] = static_cast<vid_t>(f);
+        }
       }
+      std::sort(col.begin() + ptr[e], col.begin() + ptr[e + 1]);
     }
-    std::sort(col.begin() + ptr[e], col.begin() + ptr[e + 1]);
-  }
+  });
 
   SquaresMatrix sq;
   sq.s_ = CsrMatrix::from_csr_arrays(nrows, nrows, std::move(ptr),

@@ -6,11 +6,36 @@
 // highly imbalanced; (2) loops over the edges of L use a static schedule
 // because the degree distribution of L is fairly regular. Centralizing the
 // chunk size lets the ablation bench (bench_ablation_schedule) vary it.
+//
+// It also defines `fenced_parallel`, the parallel-region wrapper every
+// solver and matcher uses instead of a bare `#pragma omp parallel`. See the
+// comment on fenced_parallel for why it exists; the short version is that
+// it makes every cross-region data handoff an explicit acquire/release edge
+// in the C++ memory model, so the whole library is checkable under
+// ThreadSanitizer even though libgomp's futex-based barriers are invisible
+// to it.
 #pragma once
 
 #include <omp.h>
 
+#include <atomic>
 #include <cstdint>
+
+// __SANITIZE_THREAD__ is GCC's macro; clang exposes the same fact through
+// __has_feature(thread_sanitizer).
+#if defined(__SANITIZE_THREAD__)
+#define NETALIGN_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define NETALIGN_TSAN 1
+#endif
+#endif
+
+#ifdef NETALIGN_TSAN
+#define NETALIGN_NO_SANITIZE_THREAD __attribute__((no_sanitize("thread")))
+#else
+#define NETALIGN_NO_SANITIZE_THREAD
+#endif
 
 namespace netalign {
 
@@ -23,6 +48,95 @@ inline int max_threads() noexcept { return omp_get_max_threads(); }
 
 /// Set the global OpenMP thread count (used by benches' --threads flag).
 inline void set_threads(int n) noexcept { omp_set_num_threads(n); }
+
+namespace detail {
+
+/// Global clocks for fenced_parallel's entry/exit handshakes. One pair for
+/// the whole process: the fences only need to *exist*, not to be private
+/// per region, and globals keep them out of the compiler-generated
+/// outlined-function argument block (whose plain loads/stores are exactly
+/// what must not carry the synchronization -- see fenced_parallel).
+inline std::atomic<std::uint64_t> region_epoch{0};
+inline std::atomic<std::uint64_t> region_done{0};
+
+/// Per-thread slice of a fenced region: acquire the caller's pre-region
+/// writes, run the body, release this thread's writes. Must stay
+/// instrumented (the atomics carry the TSan-visible edges) and must not be
+/// inlined into the uninstrumented shell below.
+template <typename Body>
+[[gnu::noinline]] void fenced_region_thread(Body& body) {
+  (void)region_epoch.load(std::memory_order_acquire);
+  body();
+  region_done.fetch_add(1, std::memory_order_release);
+}
+
+/// The bare parallel region, isolated in an uninstrumented function: the
+/// compiler materializes the region's shared-variable block (here just the
+/// address of `body`) with plain memory operations between the caller's
+/// release and the workers' first acquire, and libgomp hands it to pooled
+/// threads over futexes TSan cannot see. Excluding this one frame from
+/// instrumentation removes that unsynchronizable handoff from TSan's view;
+/// everything the body itself touches is read only after the acquire in
+/// fenced_region_thread and so stays fully checked.
+template <typename Body>
+NETALIGN_NO_SANITIZE_THREAD [[gnu::noinline]] void fenced_region_shell(
+    Body& body) {
+#pragma omp parallel
+  fenced_region_thread(body);
+}
+
+}  // namespace detail
+
+/// Run `body` once per thread of a parallel region, with explicit
+/// happens-before edges into and out of the region.
+///
+/// Why not plain `#pragma omp parallel`: the OpenMP spec guarantees that
+/// the implicit barriers at region boundaries order all memory accesses,
+/// but GCC's libgomp implements those barriers (and its thread dock/undock
+/// and task queues) with raw futexes, which ThreadSanitizer cannot observe.
+/// Under TSan every read after a region of data written inside it -- and,
+/// once the thread pool is warm, every read *inside* a region of data
+/// written before it -- reports as a false race, drowning out real ones
+/// like the suitor_w bug this wrapper was introduced to catch. The fix is
+/// to express the handoff in the C++ memory model itself:
+///
+///   caller:      release-increment region_epoch   (publishes prior writes)
+///   each thread: acquire-load region_epoch, body(),
+///                release-increment region_done    (publishes its writes)
+///   caller:      acquire-load region_done         (joins all of them)
+///
+/// The acquire of region_done reads the final value of the release-RMW
+/// chain, so it synchronizes with every thread's increment; chaining
+/// caller epochs extends the edges worker-to-worker across consecutive
+/// regions. Cost: two uncontended atomic RMWs per thread per region,
+/// noise against any real region body.
+///
+/// Usage: worksharing pragmas go inside the body as orphaned constructs,
+/// with `nowait` (the region's own join replaces the loop barrier):
+///
+///   fenced_parallel([&] {
+///   #pragma omp for schedule(dynamic, kDynamicChunk) nowait
+///     for (vid_t v = 0; v < n; ++v) { ... }
+///   });
+///
+/// Reductions must not use OpenMP `reduction` clauses inside a fenced body
+/// (libgomp combines partials under a futex-backed mutex, invisible again);
+/// accumulate a thread-local partial and fetch_add it into a std::atomic
+/// instead. Same for `task`: use `for schedule(dynamic, 1) nowait` over the
+/// work items, which gives identical one-item-per-thread scheduling with
+/// the handoff in instrumented code.
+///
+/// One deliberate trade-off: the shared epoch/done clocks create edges
+/// between *all* fenced regions, so TSan cannot flag a race between two
+/// accesses that are both outside any region body. Races inside and across
+/// region bodies -- the ones approximate matching actually risks -- remain
+/// fully visible.
+template <typename Body>
+inline void fenced_parallel(Body&& body) {
+  detail::region_epoch.fetch_add(1, std::memory_order_release);
+  detail::fenced_region_shell(body);
+  (void)detail::region_done.load(std::memory_order_acquire);
+}
 
 /// RAII guard that sets the thread count and restores the previous value;
 /// keeps thread-sweep benches from leaking settings into later sweeps.

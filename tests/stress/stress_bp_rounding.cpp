@@ -1,0 +1,126 @@
+// Contention stress for BP's batched rounding: the batch flush runs the
+// roundings concurrently (one work item per thread), so these tests drive
+// it with batch sizes that do NOT divide the total rounding count (2 per
+// iteration), at forced thread counts, with the deterministic suitor
+// matcher -- making the end-to-end result comparable bit-for-bit across
+// every configuration. A trace-enabled run must match an untraced one
+// (telemetry must never perturb the computation).
+#include "netalign/belief_prop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "netalign/synthetic.hpp"
+#include "obs/trace.hpp"
+#include "util/parallel.hpp"
+
+namespace netalign {
+namespace {
+
+constexpr int kMaxStressThreads = 8;
+
+BeliefPropOptions base_options() {
+  BeliefPropOptions opt;
+  opt.max_iterations = 12;  // 24 roundings per run
+  // Suitor is deterministic for any thread count (suitor.hpp), so the
+  // whole BP pipeline becomes reproducible and the assertions below can
+  // demand exact agreement of the rounded matchings.
+  opt.matcher = MatcherKind::kSuitor;
+  opt.final_exact_round = false;
+  opt.record_history = true;
+  return opt;
+}
+
+struct Instance {
+  NetAlignProblem problem;
+  SquaresMatrix squares;
+};
+
+Instance make_instance() {
+  PowerLawInstanceOptions popt;
+  popt.n = 120;
+  popt.seed = 97;
+  Instance inst{make_power_law_instance(popt).problem, {}};
+  inst.squares = SquaresMatrix::build(inst.problem);
+  return inst;
+}
+
+TEST(BpRoundingStress, BatchSizesAgreeIncludingNonDividing) {
+  const Instance inst = make_instance();
+  ThreadCountGuard guard(4);
+  BeliefPropOptions opt = base_options();
+  opt.batch_size = 1;
+  const AlignResult ref = belief_prop_align(inst.problem, inst.squares, opt);
+  // 1 divides 24; 3 leaves a final flush of partial batches mid-run; 7 and
+  // 20 leave remainder flushes at the end-of-run drain. All must pick the
+  // same best solution: batching only regroups the roundings, it must not
+  // reorder or drop them.
+  for (const int batch : {3, 7, 20}) {
+    opt.batch_size = batch;
+    const AlignResult got = belief_prop_align(inst.problem, inst.squares, opt);
+    EXPECT_EQ(got.matching.mate_a, ref.matching.mate_a) << "batch " << batch;
+    EXPECT_EQ(got.best_iteration, ref.best_iteration) << "batch " << batch;
+    EXPECT_NEAR(got.value.objective, ref.value.objective, 1e-9)
+        << "batch " << batch;
+    ASSERT_EQ(got.objective_history.size(), ref.objective_history.size());
+    for (std::size_t i = 0; i < ref.objective_history.size(); ++i) {
+      EXPECT_NEAR(got.objective_history[i], ref.objective_history[i], 1e-9)
+          << "batch " << batch << " rounding " << i;
+    }
+  }
+}
+
+TEST(BpRoundingStress, ThreadCountsAgree) {
+  const Instance inst = make_instance();
+  BeliefPropOptions opt = base_options();
+  opt.batch_size = 7;
+  AlignResult ref;
+  {
+    ThreadCountGuard guard(1);
+    ref = belief_prop_align(inst.problem, inst.squares, opt);
+  }
+  for (const int threads : {2, 4, kMaxStressThreads}) {
+    ThreadCountGuard guard(threads);
+    const AlignResult got = belief_prop_align(inst.problem, inst.squares, opt);
+    EXPECT_EQ(got.matching.mate_a, ref.matching.mate_a)
+        << "threads " << threads;
+    // The objective sums float partials in thread-count-dependent order
+    // (instrumented atomic combine); agreement is to rounding error only.
+    EXPECT_NEAR(got.value.objective, ref.value.objective, 1e-9)
+        << "threads " << threads;
+  }
+}
+
+TEST(BpRoundingStress, IndependentOthermaxSectionsAgree) {
+  const Instance inst = make_instance();
+  ThreadCountGuard guard(kMaxStressThreads);
+  BeliefPropOptions opt = base_options();
+  opt.batch_size = 3;
+  opt.independent_othermax_tasks = false;
+  const AlignResult seq = belief_prop_align(inst.problem, inst.squares, opt);
+  opt.independent_othermax_tasks = true;
+  const AlignResult par = belief_prop_align(inst.problem, inst.squares, opt);
+  EXPECT_EQ(par.matching.mate_a, seq.matching.mate_a);
+  EXPECT_NEAR(par.value.objective, seq.value.objective, 1e-9);
+}
+
+TEST(BpRoundingStress, TracedRunMatchesUntraced) {
+  const Instance inst = make_instance();
+  ThreadCountGuard guard(4);
+  BeliefPropOptions opt = base_options();
+  opt.batch_size = 7;
+  const AlignResult plain = belief_prop_align(inst.problem, inst.squares, opt);
+  std::ostringstream sink;
+  obs::TraceWriter writer(&sink);
+  opt.trace = &writer;
+  const AlignResult traced = belief_prop_align(inst.problem, inst.squares, opt);
+  EXPECT_EQ(traced.matching.mate_a, plain.matching.mate_a);
+  EXPECT_EQ(traced.best_iteration, plain.best_iteration);
+  EXPECT_NEAR(traced.value.objective, plain.value.objective, 1e-9);
+  EXPECT_FALSE(sink.str().empty());
+}
+
+}  // namespace
+}  // namespace netalign

@@ -1,0 +1,102 @@
+// Contention stress for locally_dominant_matching. Unlike suitor, the
+// multi-thread result is allowed to vary with scheduling (see
+// locally_dominant.hpp), so these tests pin down what IS guaranteed under
+// adversarial inputs at forced thread counts: a valid maximal matching
+// with at least half the optimal weight, single-thread determinism, and
+// agreement between the two-sided and one-sided initializations on those
+// invariants. Under the TSan tree they drive the queue fetch-and-adds and
+// the phase-1/phase-2 handoffs at max contention.
+#include "matching/locally_dominant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../helpers.hpp"
+#include "matching/exact_mwm.hpp"
+#include "matching/verify.hpp"
+#include "util/parallel.hpp"
+#include "util/prng.hpp"
+
+namespace netalign {
+namespace {
+
+using testing::own_weights;
+using testing::random_bipartite;
+
+constexpr int kMaxStressThreads = 8;
+
+TEST(LocallyDominantStress, AllEqualWeightsInvariantsAcrossThreads) {
+  // All-equal weights put every tie-break (vertex-id comparison) on the
+  // hot path simultaneously.
+  Xoshiro256 rng(31);
+  const auto g = random_bipartite(400, 400, 3200, rng);
+  const std::vector<weight_t> w(static_cast<std::size_t>(g.num_edges()), 1.0);
+  const auto exact = max_weight_matching_exact(g, w);
+  for (const LdInit init : {LdInit::kTwoSided, LdInit::kOneSided}) {
+    for (const int threads : {1, 2, 4, kMaxStressThreads}) {
+      ThreadCountGuard guard(threads);
+      const auto m = locally_dominant_matching(g, w, {init});
+      ASSERT_TRUE(is_valid_matching(g, m)) << "threads " << threads;
+      ASSERT_TRUE(is_maximal_matching(g, w, m)) << "threads " << threads;
+      EXPECT_GE(m.weight, 0.5 * exact.weight - 1e-9) << "threads " << threads;
+      EXPECT_GE(2 * m.cardinality, exact.cardinality) << "threads " << threads;
+    }
+  }
+}
+
+TEST(LocallyDominantStress, HubContentionSkewedDegrees) {
+  // A few hubs on the B side concentrate all phase-2 rework: every round,
+  // hundreds of spokes recompute candidates pointing at the same hubs.
+  constexpr vid_t kSpokes = 2048, kHubs = 4;
+  std::vector<LEdge> edges;
+  edges.reserve(static_cast<std::size_t>(kSpokes) * kHubs);
+  for (vid_t a = 0; a < kSpokes; ++a) {
+    for (vid_t b = 0; b < kHubs; ++b) {
+      edges.push_back({a, b, 1.0 + 1e-4 * static_cast<double>(b)});
+    }
+  }
+  const BipartiteGraph g = BipartiteGraph::from_edges(kSpokes, kHubs, edges);
+  const auto w = own_weights(g);
+  for (const int threads : {1, kMaxStressThreads}) {
+    ThreadCountGuard guard(threads);
+    LdStats stats;
+    const auto m = locally_dominant_matching(g, w, {}, &stats);
+    ASSERT_TRUE(is_valid_matching(g, m)) << "threads " << threads;
+    ASSERT_TRUE(is_maximal_matching(g, w, m)) << "threads " << threads;
+    // Only kHubs edges can be matched; maximality forces all of them.
+    EXPECT_EQ(m.cardinality, static_cast<eid_t>(kHubs));
+    EXPECT_GT(stats.findmate_calls, 0);
+  }
+}
+
+TEST(LocallyDominantStress, SingleThreadRepeatsBitIdentical) {
+  // The documented single-thread guarantee: candidate selection depends
+  // only on weights and ids, so repeats must agree exactly.
+  Xoshiro256 rng(37);
+  const auto g = random_bipartite(600, 600, 4800, rng);
+  std::vector<weight_t> w(static_cast<std::size_t>(g.num_edges()));
+  for (auto& v : w) v = rng.uniform_int(2) == 0 ? 1.0 : 2.0;
+  ThreadCountGuard guard(1);
+  const auto ref = locally_dominant_matching(g, w);
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    const auto m = locally_dominant_matching(g, w);
+    ASSERT_EQ(m.mate_a, ref.mate_a) << "repeat " << repeat;
+    ASSERT_EQ(m.mate_b, ref.mate_b) << "repeat " << repeat;
+  }
+}
+
+TEST(LocallyDominantStress, RepeatedMaxThreadRunsKeepInvariants) {
+  Xoshiro256 rng(41);
+  const auto g = random_bipartite(800, 800, 6400, rng);
+  const std::vector<weight_t> w(static_cast<std::size_t>(g.num_edges()), 1.0);
+  ThreadCountGuard guard(kMaxStressThreads);
+  for (int repeat = 0; repeat < 10; ++repeat) {
+    const auto m = locally_dominant_matching(g, w);
+    ASSERT_TRUE(is_valid_matching(g, m)) << "repeat " << repeat;
+    ASSERT_TRUE(is_maximal_matching(g, w, m)) << "repeat " << repeat;
+  }
+}
+
+}  // namespace
+}  // namespace netalign

@@ -1,0 +1,128 @@
+// Contention stress for suitor_matching: adversarial tie and displacement
+// structures at forced thread counts. Under the ThreadSanitizer tree
+// (ctest -L tsan) these tests are the race detectors for the proposal
+// word; in any tree they assert the determinism guarantee of suitor.hpp:
+// identical output for every thread count and every repeat.
+//
+// The machine running CI may expose few cores; thread counts are forced
+// with ThreadCountGuard so the schedules (and, under TSan, the
+// happens-before analysis) still exercise real multi-thread interleavings.
+#include "matching/suitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../helpers.hpp"
+#include "matching/verify.hpp"
+#include "util/parallel.hpp"
+#include "util/prng.hpp"
+
+namespace netalign {
+namespace {
+
+using testing::random_bipartite;
+
+constexpr int kMaxStressThreads = 8;
+
+TEST(SuitorStress, AllEqualWeightsDeterministicAcrossThreadsAndRepeats) {
+  // Every beats() comparison ties: the matching is decided purely by the
+  // lexicographic tie-break, so one torn or stale proposal read anywhere
+  // changes the output. 12000 edges over 1500x1500 keeps displacement
+  // chains long enough to overlap across threads.
+  Xoshiro256 rng(11);
+  const auto g = random_bipartite(1500, 1500, 12000, rng);
+  const std::vector<weight_t> w(static_cast<std::size_t>(g.num_edges()), 1.0);
+  ThreadCountGuard one(1);
+  const auto ref = suitor_matching(g, w);
+  ASSERT_TRUE(is_valid_matching(g, ref));
+  ASSERT_TRUE(is_maximal_matching(g, w, ref));
+  for (const int threads : {2, 4, kMaxStressThreads}) {
+    ThreadCountGuard guard(threads);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      const auto m = suitor_matching(g, w);
+      ASSERT_EQ(m.mate_a, ref.mate_a)
+          << "threads " << threads << " repeat " << repeat;
+      ASSERT_EQ(m.mate_b, ref.mate_b)
+          << "threads " << threads << " repeat " << repeat;
+      ASSERT_DOUBLE_EQ(m.weight, ref.weight);
+    }
+  }
+}
+
+TEST(SuitorStress, HubContentionSkewedDegrees) {
+  // 2048 spokes all propose to 4 hubs with equal weights: every hub's
+  // proposal word is hammered by hundreds of threads' worth of displaced
+  // re-proposals, the worst case for the commit path's lock + store.
+  constexpr vid_t kSpokes = 2048, kHubs = 4;
+  std::vector<LEdge> edges;
+  edges.reserve(static_cast<std::size_t>(kSpokes) * kHubs);
+  for (vid_t a = 0; a < kSpokes; ++a) {
+    for (vid_t b = 0; b < kHubs; ++b) edges.push_back({a, b, 1.0});
+  }
+  const BipartiteGraph g = BipartiteGraph::from_edges(kSpokes, kHubs, edges);
+  const std::vector<weight_t> w(static_cast<std::size_t>(g.num_edges()), 1.0);
+  ThreadCountGuard one(1);
+  const auto ref = suitor_matching(g, w);
+  ASSERT_TRUE(is_valid_matching(g, ref));
+  EXPECT_EQ(ref.cardinality, static_cast<eid_t>(kHubs));
+  // The lexicographic tie-break hands hub b to spoke b (smallest proposer).
+  for (vid_t b = 0; b < kHubs; ++b) EXPECT_EQ(ref.mate_b[b], b);
+  ThreadCountGuard guard(kMaxStressThreads);
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    const auto m = suitor_matching(g, w);
+    ASSERT_EQ(m.mate_a, ref.mate_a) << "repeat " << repeat;
+    ASSERT_EQ(m.mate_b, ref.mate_b) << "repeat " << repeat;
+  }
+}
+
+TEST(SuitorStress, DisplacementCascadeOnSharedTarget) {
+  // All spokes want b0 with strictly increasing weights, so proposals to
+  // b0 displace each other up the weight order while losers drain to
+  // per-spoke fallback edges. The final state is forced: the heaviest
+  // spoke holds b0, everyone else holds their fallback.
+  constexpr vid_t kN = 4096;
+  std::vector<LEdge> edges;
+  edges.reserve(2 * static_cast<std::size_t>(kN));
+  for (vid_t a = 0; a < kN; ++a) {
+    edges.push_back({a, 0, 1.0 + 1e-4 * static_cast<double>(a)});
+    edges.push_back({a, a + 1, 0.5});
+  }
+  const BipartiteGraph g = BipartiteGraph::from_edges(kN, kN + 1, edges);
+  std::vector<weight_t> w;
+  w.reserve(edges.size());
+  for (eid_t e = 0; e < g.num_edges(); ++e) w.push_back(g.edge_weight(e));
+  for (const int threads : {1, 2, kMaxStressThreads}) {
+    ThreadCountGuard guard(threads);
+    const auto m = suitor_matching(g, w);
+    ASSERT_TRUE(is_valid_matching(g, m)) << "threads " << threads;
+    EXPECT_EQ(m.cardinality, static_cast<eid_t>(kN));
+    EXPECT_EQ(m.mate_b[0], kN - 1) << "threads " << threads;
+    for (vid_t a = 0; a < kN - 1; ++a) {
+      ASSERT_EQ(m.mate_a[a], a + 1) << "threads " << threads << " a " << a;
+    }
+  }
+}
+
+TEST(SuitorStress, RepeatedMaxThreadRunsStableWithCounters) {
+  // Stats accumulate through concurrent adds; totals need not be equal
+  // across runs (stale scans rescan), but the matching must be, and the
+  // proposal count can never be below the number of matched edges.
+  Xoshiro256 rng(23);
+  const auto g = random_bipartite(800, 800, 6400, rng);
+  std::vector<weight_t> w(static_cast<std::size_t>(g.num_edges()));
+  for (auto& v : w) v = rng.uniform_int(2) == 0 ? 1.0 : 2.0;
+  ThreadCountGuard one(1);
+  const auto ref = suitor_matching(g, w);
+  ThreadCountGuard guard(kMaxStressThreads);
+  for (int repeat = 0; repeat < 10; ++repeat) {
+    SuitorStats stats;
+    const auto m = suitor_matching(g, w, &stats);
+    ASSERT_EQ(m.mate_a, ref.mate_a) << "repeat " << repeat;
+    EXPECT_GE(stats.proposals, m.cardinality);
+    EXPECT_GE(stats.proposals, stats.displaced);
+  }
+}
+
+}  // namespace
+}  // namespace netalign

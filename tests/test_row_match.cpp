@@ -1,0 +1,130 @@
+#include "netalign/row_match.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace netalign {
+namespace {
+
+using Edge = GreedyRowMatcher::Edge;
+
+/// The pre-refactor row greedy, kept as the behavioral reference: heaviest
+/// edge first (ties toward the smaller input index), endpoint membership
+/// tested by a linear scan over the already-chosen edges -- the O(r^2)
+/// pattern GreedyRowMatcher's epoch stamps replace. Any divergence between
+/// the two is a bug in the refactor, not a "both plausible" outcome.
+weight_t reference_greedy(const std::vector<Edge>& edges,
+                          std::vector<std::uint8_t>& chosen) {
+  std::vector<std::size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return edges[x].w != edges[y].w ? edges[x].w > edges[y].w : x < y;
+  });
+  chosen.assign(edges.size(), 0);
+  weight_t total = 0.0;
+  for (const std::size_t i : order) {
+    if (edges[i].w <= 0.0) break;
+    bool taken = false;
+    for (std::size_t j = 0; j < edges.size() && !taken; ++j) {
+      if (chosen[j] &&
+          (edges[j].a == edges[i].a || edges[j].b == edges[i].b)) {
+        taken = true;
+      }
+    }
+    if (taken) continue;
+    chosen[i] = 1;
+    total += edges[i].w;
+  }
+  return total;
+}
+
+TEST(GreedyRowMatcher, MatchesReferenceOnRandomTiedRows) {
+  constexpr vid_t kNa = 12, kNb = 12;
+  constexpr std::size_t kMaxRow = 30;
+  GreedyRowMatcher matcher;
+  matcher.reserve(kNa, kNb, kMaxRow);
+  Xoshiro256 rng(20240805);
+  std::vector<Edge> edges;
+  std::vector<std::uint8_t> got(kMaxRow), want;
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto len = static_cast<std::size_t>(rng.uniform_int(kMaxRow + 1));
+    edges.clear();
+    for (std::size_t i = 0; i < len; ++i) {
+      // Discrete weights in {-0.5, 0, 0.5, 1, 1.5, 2}: heavy ties plus
+      // non-positive entries, the cases the sort tie-break and the early
+      // break must handle identically to the reference.
+      const weight_t w = 0.5 * (rng.uniform_int(6) - 1);
+      edges.push_back(Edge{static_cast<vid_t>(rng.uniform_int(kNa)),
+                           static_cast<vid_t>(rng.uniform_int(kNb)), w});
+    }
+    const weight_t got_total =
+        matcher.match(edges, std::span(got.data(), len));
+    const weight_t want_total = reference_greedy(edges, want);
+    ASSERT_DOUBLE_EQ(got_total, want_total) << "trial " << trial;
+    for (std::size_t i = 0; i < len; ++i) {
+      ASSERT_EQ(got[i], want[i]) << "trial " << trial << " edge " << i;
+    }
+  }
+}
+
+TEST(GreedyRowMatcher, TieBreaksTowardSmallerIndex) {
+  GreedyRowMatcher matcher;
+  matcher.reserve(2, 2, 3);
+  const std::vector<Edge> edges = {{0, 0, 1.0}, {1, 1, 1.0}, {0, 1, 1.0}};
+  std::vector<std::uint8_t> chosen(edges.size());
+  const weight_t total = matcher.match(edges, chosen);
+  EXPECT_DOUBLE_EQ(total, 2.0);
+  EXPECT_EQ(chosen[0], 1);
+  EXPECT_EQ(chosen[1], 1);
+  EXPECT_EQ(chosen[2], 0);
+}
+
+TEST(GreedyRowMatcher, IgnoresNonPositiveWeights) {
+  GreedyRowMatcher matcher;
+  matcher.reserve(2, 2, 2);
+  const std::vector<Edge> edges = {{0, 0, 0.0}, {1, 1, -2.0}};
+  std::vector<std::uint8_t> chosen(edges.size());
+  EXPECT_DOUBLE_EQ(matcher.match(edges, chosen), 0.0);
+  EXPECT_EQ(chosen[0], 0);
+  EXPECT_EQ(chosen[1], 0);
+}
+
+TEST(GreedyRowMatcher, EmptyRow) {
+  GreedyRowMatcher matcher;
+  matcher.reserve(1, 1, 0);
+  EXPECT_DOUBLE_EQ(matcher.match({}, {}), 0.0);
+}
+
+TEST(GreedyRowMatcher, EpochReuseDoesNotLeakMarksAcrossCalls) {
+  // The same endpoints must be free again on the next call without any
+  // explicit clearing -- the point of the epoch stamps.
+  GreedyRowMatcher matcher;
+  matcher.reserve(4, 4, 2);
+  std::vector<std::uint8_t> chosen(1);
+  const std::vector<Edge> first = {{3, 3, 1.0}};
+  EXPECT_DOUBLE_EQ(matcher.match(first, chosen), 1.0);
+  EXPECT_EQ(chosen[0], 1);
+  const std::vector<Edge> second = {{3, 3, 2.0}};
+  EXPECT_DOUBLE_EQ(matcher.match(second, chosen), 2.0);
+  EXPECT_EQ(chosen[0], 1);
+}
+
+TEST(GreedyRowMatcher, CountsCallsAndEdges) {
+  GreedyRowMatcher matcher;
+  matcher.reserve(4, 4, 3);
+  std::vector<std::uint8_t> chosen(3);
+  const std::vector<Edge> row = {{0, 0, 1.0}, {1, 1, 1.0}, {2, 2, 1.0}};
+  matcher.match(row, chosen);
+  matcher.match(row, chosen);
+  EXPECT_EQ(matcher.calls(), 2);
+  EXPECT_EQ(matcher.edges_seen(), 6);
+}
+
+}  // namespace
+}  // namespace netalign

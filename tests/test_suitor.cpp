@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "helpers.hpp"
@@ -90,6 +91,72 @@ TEST(Suitor, WeightSizeMismatchThrows) {
   const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, {});
   std::vector<weight_t> wrong(9, 1.0);
   EXPECT_THROW(suitor_matching(g, wrong), std::invalid_argument);
+}
+
+TEST(Suitor, AllEqualWeightsLexicographicWinner) {
+  // beats() at equal weight prefers the smaller proposer id (suitor.hpp,
+  // "Memory model"): with a1 and a0 both offering weight 1.0 to b0 -- a1's
+  // edge listed first -- a0 must end up holding b0 regardless of proposal
+  // order, and a1 stays unmatched.
+  const std::vector<LEdge> edges = {{1, 0, 1.0}, {0, 0, 1.0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 1, edges);
+  const auto m = suitor_matching(g, own_weights(g));
+  EXPECT_EQ(m.cardinality, 1);
+  EXPECT_EQ(m.mate_a[0], 0);
+  EXPECT_EQ(m.mate_a[1], kInvalidVid);
+  EXPECT_EQ(m.mate_b[0], 0);
+}
+
+TEST(Suitor, HeavyTiesDeterministicAcrossThreadCounts) {
+  // All-equal weights make every beats() comparison a tie-break: the
+  // adversarial regime for the proposal word, since any torn or stale read
+  // that flipped a tie would show up as a different matching. The result
+  // must be a valid maximal matching and bit-identical across 1, 2 and
+  // max threads (the determinism guarantee documented in suitor.hpp).
+  Xoshiro256 rng(1357);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto g = random_bipartite(40, 40, 300, rng);
+    const std::vector<weight_t> w(
+        static_cast<std::size_t>(g.num_edges()), 1.0);
+    BipartiteMatching ref;
+    for (const int threads : {1, 2, std::max(4, max_threads())}) {
+      ThreadCountGuard guard(threads);
+      const auto m = suitor_matching(g, w);
+      ASSERT_TRUE(is_valid_matching(g, m)) << "trial " << trial;
+      EXPECT_TRUE(is_maximal_matching(g, w, m)) << "trial " << trial;
+      if (threads == 1) {
+        ref = m;
+      } else {
+        EXPECT_EQ(m.mate_a, ref.mate_a)
+            << "trial " << trial << " threads " << threads;
+        EXPECT_EQ(m.mate_b, ref.mate_b)
+            << "trial " << trial << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(Suitor, FewDistinctWeightsDeterministicAcrossThreadCounts) {
+  // Two weight levels: displacement chains (heavier displaces lighter)
+  // interleave with tie-breaks at each level.
+  Xoshiro256 rng(8642);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto g = random_bipartite(40, 40, 300, rng);
+    std::vector<weight_t> w(static_cast<std::size_t>(g.num_edges()));
+    for (auto& v : w) v = rng.uniform_int(2) == 0 ? 1.0 : 2.0;
+    BipartiteMatching ref;
+    for (const int threads : {1, 2, std::max(4, max_threads())}) {
+      ThreadCountGuard guard(threads);
+      const auto m = suitor_matching(g, w);
+      ASSERT_TRUE(is_valid_matching(g, m)) << "trial " << trial;
+      if (threads == 1) {
+        ref = m;
+      } else {
+        EXPECT_EQ(m.mate_a, ref.mate_a)
+            << "trial " << trial << " threads " << threads;
+      }
+    }
+  }
 }
 
 TEST(Suitor, MultiThreadRunsRemainValid) {

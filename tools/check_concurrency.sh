@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# One-command concurrency gate: build the ThreadSanitizer tree and run the
+# contention stress suite under it, then (optionally) the ASan+UBSan tree
+# over the full test suite.
+#
+#   tools/check_concurrency.sh           # TSan + stress suite only (~1 min)
+#   tools/check_concurrency.sh --full    # also ASan/UBSan over all tests
+#
+# Exits non-zero on any compile error, test failure, or sanitizer report
+# (TSan makes the test process exit 66 when it saw a race). The trees are
+# separate from build/ (build-tsan/, build-asan/), so the release tree
+# stays untouched.
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== TSan: configure + build =="
+cmake --preset tsan
+cmake --build build-tsan -j "$JOBS"
+
+echo "== TSan: stress suite (ctest -L tsan) =="
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=0 second_deadlock_stack=1}" \
+  ctest --test-dir build-tsan -L tsan --output-on-failure
+
+if [ "${1:-}" = "--full" ]; then
+  echo "== ASan+UBSan: configure + build =="
+  cmake --preset asan-ubsan
+  cmake --build build-asan -j "$JOBS"
+  echo "== ASan+UBSan: full suite =="
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1 halt_on_error=1}" \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+echo "concurrency checks passed"
