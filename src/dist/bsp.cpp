@@ -1,6 +1,9 @@
 #include "dist/bsp.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "dist/fault.hpp"
 
 namespace netalign::dist {
 
@@ -16,14 +19,62 @@ void RankContext::send_bytes(int to, std::vector<std::byte> bytes) {
   if (to < 0 || to >= runtime_.num_ranks_) {
     throw std::out_of_range("RankContext::send: bad destination rank");
   }
+  // The sender pays for the message whether or not the network loses it.
   runtime_.stats_.messages += 1;
   if (to != rank_) runtime_.stats_.remote_messages += 1;
   runtime_.stats_.bytes += bytes.size();
   runtime_.sent_this_step_[rank_] += 1;
-  runtime_.inflight_ += 1;
-  runtime_.next_inbox_[to].push_back(Message{rank_, std::move(bytes)});
   // A rank that communicates implicitly revokes its halt vote.
   runtime_.halted_[rank_] = 0;
+
+  if (runtime_.faults_ != nullptr) {
+    FaultInjector& faults = *runtime_.faults_;
+    if (faults.roll_drop(rank_, to)) return;
+    if (faults.roll_duplicate(rank_, to)) {
+      runtime_.inflight_ += 1;
+      runtime_.next_inbox_[to].push_back(Message{rank_, bytes});
+    }
+    if (const int k = faults.roll_delay(rank_, to); k > 0) {
+      // Normal delivery at boundary S makes the message visible in
+      // superstep S+1; a delay of k postpones release to boundary S+k.
+      runtime_.delayed_.push_back(BspRuntime::DelayedMessage{
+          runtime_.stats_.supersteps + static_cast<std::size_t>(k), to,
+          Message{rank_, std::move(bytes)}});
+      return;
+    }
+  }
+  runtime_.inflight_ += 1;
+  runtime_.next_inbox_[to].push_back(Message{rank_, std::move(bytes)});
+}
+
+void BspRuntime::throw_deadlock(std::size_t max_supersteps) const {
+  std::string msg = "BspRuntime: superstep limit exceeded (" +
+                    std::to_string(max_supersteps) + " supersteps, " +
+                    std::to_string(num_ranks_) + " ranks). ";
+  std::size_t halted = 0;
+  std::string voters;
+  for (int r = 0; r < num_ranks_; ++r) {
+    if (halted_[r] == 0) continue;
+    halted += 1;
+    if (halted <= 8) {
+      if (!voters.empty()) voters += ",";
+      voters += std::to_string(r);
+    }
+  }
+  msg += std::to_string(halted) + "/" + std::to_string(num_ranks_) +
+         " ranks voted halt";
+  if (halted > 0) {
+    msg += " (ranks " + voters + (halted > 8 ? ",..." : "") + ")";
+  }
+  msg += "; in-flight messages: " + std::to_string(inflight_) +
+         "; delayed messages: " + std::to_string(delayed_.size()) +
+         "; per-rank inbox sizes:";
+  for (int r = 0; r < num_ranks_ && r < 8; ++r) {
+    msg += " r" + std::to_string(r) + "=" +
+           std::to_string(current_inbox_[r].size());
+  }
+  if (num_ranks_ > 8) msg += " ...";
+  throw std::runtime_error(msg);
 }
 
 BspStats BspRuntime::run(std::vector<std::unique_ptr<RankProgram>>& programs,
@@ -36,10 +87,12 @@ BspStats BspRuntime::run(std::vector<std::unique_ptr<RankProgram>>& programs,
   halted_.assign(num_ranks_, 0);
   inflight_ = 0;
   stats_ = {};
+  delayed_.clear();
+  stall_remaining_.assign(num_ranks_, 0);
 
   while (true) {
     if (stats_.supersteps >= max_supersteps) {
-      throw std::runtime_error("BspRuntime: superstep limit exceeded");
+      throw_deadlock(max_supersteps);
     }
     stats_.supersteps += 1;
     std::fill(sent_this_step_.begin(), sent_this_step_.end(), 0);
@@ -48,21 +101,66 @@ BspStats BspRuntime::run(std::vector<std::unique_ptr<RankProgram>>& programs,
       // Default: a rank that neither sends nor explicitly revokes stays
       // halted only if it votes again; require an explicit vote each step.
       halted_[r] = 0;
+      if (faults_ != nullptr) {
+        // A stalled rank skips step() entirely: its inbox stays queued for
+        // the superstep in which it resumes, and its missing halt vote
+        // keeps the run alive.
+        if (stall_remaining_[r] > 0) {
+          stall_remaining_[r] -= 1;
+          continue;
+        }
+        if (const int k = faults_->roll_stall(r); k > 0) {
+          stall_remaining_[r] = k - 1;
+          continue;
+        }
+      }
       RankContext ctx(*this, r);
       programs[r]->step(ctx);
     }
     stats_.max_h_relation = std::max(
         stats_.max_h_relation,
         *std::max_element(sent_this_step_.begin(), sent_this_step_.end()));
-    // Deliver.
+    // Deliver. Stalled ranks keep their current inbox: they have not
+    // observed it yet, so new arrivals are appended behind it. (Sends were
+    // already counted into inflight_, and a stalled rank's missing halt
+    // vote keeps the run alive until it drains the backlog.)
     for (int r = 0; r < num_ranks_; ++r) {
-      current_inbox_[r] = std::move(next_inbox_[r]);
+      if (faults_ != nullptr && stall_remaining_[r] > 0) {
+        std::move(next_inbox_[r].begin(), next_inbox_[r].end(),
+                  std::back_inserter(current_inbox_[r]));
+      } else {
+        current_inbox_[r] = std::move(next_inbox_[r]);
+      }
       next_inbox_[r].clear();
+    }
+    if (faults_ != nullptr) {
+      // Release delayed messages whose boundary has arrived. A released
+      // message is as unobserved as a fresh send, so it re-enters the
+      // in-flight count to keep quiescence honest.
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < delayed_.size(); ++i) {
+        DelayedMessage& dm = delayed_[i];
+        if (dm.release_at <= stats_.supersteps) {
+          current_inbox_[dm.to].push_back(std::move(dm.msg));
+          inflight_ += 1;
+        } else {
+          // Guard the self-move: moving delayed_[i] onto itself would
+          // empty the payload.
+          if (kept != i) delayed_[kept] = std::move(dm);
+          kept += 1;
+        }
+      }
+      delayed_.resize(kept);
+      for (int r = 0; r < num_ranks_; ++r) {
+        if (faults_->roll_reorder(r, current_inbox_[r].size())) {
+          faults_->shuffle(current_inbox_[r]);
+        }
+      }
     }
     const bool all_halted =
         std::all_of(halted_.begin(), halted_.end(),
                     [](std::uint8_t h) { return h != 0; });
-    if (all_halted && inflight_ == 0) break;
+    if (all_halted && inflight_ == 0 && delayed_.empty()) break;
   }
   return stats_;
 }

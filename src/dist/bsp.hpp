@@ -82,12 +82,14 @@ class RankContext {
   }
 
   /// Vote to halt; the run ends after a superstep in which every rank
-  /// voted to halt and no messages are in flight.
+  /// voted to halt and no messages are in flight (or delayed).
   void vote_halt();
 
- private:
+  /// Send a raw byte payload (used by protocol layers that frame their
+  /// own headers, e.g. the reliable-delivery shim in reliable.hpp).
   void send_bytes(int to, std::vector<std::byte> bytes);
 
+ private:
   BspRuntime& runtime_;
   int rank_;
 };
@@ -99,15 +101,35 @@ class RankProgram {
   virtual void step(RankContext& ctx) = 0;
 };
 
+class FaultInjector;
+
 class BspRuntime {
  public:
+  /// Attach a fault injector (not owned; may be null). The injector is
+  /// consulted once per send (drop / duplicate / delay), once per rank per
+  /// superstep (stall), and once per non-trivial inbox at delivery
+  /// (reorder). With no injector every code path below is byte-identical
+  /// to the fault-free substrate.
+  void set_faults(FaultInjector* faults) { faults_ = faults; }
+
   /// Run the programs (one per rank) until quiescence or `max_supersteps`
-  /// (throws std::runtime_error on exceeding it -- a deadlock guard).
+  /// (throws std::runtime_error on exceeding it -- a deadlock guard whose
+  /// message reports halt votes, inbox sizes, and in-flight counts).
   BspStats run(std::vector<std::unique_ptr<RankProgram>>& programs,
                std::size_t max_supersteps = 1000000);
 
  private:
   friend class RankContext;
+
+  [[noreturn]] void throw_deadlock(std::size_t max_supersteps) const;
+
+  /// A message held back by a delay fault; released into its destination
+  /// inbox at the delivery boundary of superstep `release_at`.
+  struct DelayedMessage {
+    std::size_t release_at = 0;
+    int to = 0;
+    Message msg;
+  };
 
   int num_ranks_ = 0;
   std::vector<std::vector<Message>> current_inbox_;
@@ -116,6 +138,9 @@ class BspRuntime {
   std::vector<std::uint8_t> halted_;
   std::size_t inflight_ = 0;
   BspStats stats_;
+  FaultInjector* faults_ = nullptr;
+  std::vector<DelayedMessage> delayed_;
+  std::vector<int> stall_remaining_;
 };
 
 }  // namespace netalign::dist

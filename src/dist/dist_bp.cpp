@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "dist/dist_matching.hpp"
 #include "dist/mailbox.hpp"
+#include "matching/verify.hpp"
 #include "netalign/rounding.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
@@ -59,6 +61,9 @@ struct RankState {
   std::vector<weight_t> col_m1, col_m2;
   std::vector<eid_t> col_a1;
   std::vector<vid_t> touched;
+  // Degraded fabric only: which columns got a reply this iteration. An
+  // edge whose column is not fresh keeps its last-known om_col.
+  std::vector<std::uint8_t> col_fresh;
 };
 
 }  // namespace
@@ -74,6 +79,7 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
       options.gamma <= 0.0 || options.gamma > 1.0) {
     throw std::invalid_argument("distributed_belief_prop_align: options");
   }
+  options.faults.validate();
   if (stats) *stats = DistBpStats{};
 
   const BipartiteGraph& L = p.L;
@@ -120,9 +126,27 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
     st.col_a1.assign(static_cast<std::size_t>(nb), kInvalidEid);
   }
 
+  // Degraded-fabric state. A stalled rank sits out whole iterations; its
+  // messages, y/z/sk and om values stay as the last completed iteration
+  // left them (BP's damping absorbs the staleness).
+  std::unique_ptr<FaultInjector> injector;
+  if (options.faults.any()) {
+    injector = std::make_unique<FaultInjector>(
+        options.faults, options.counters, options.trace);
+    for (RankState& st : ranks) {
+      st.col_fresh.assign(static_cast<std::size_t>(nb), 0);
+    }
+  }
+  std::vector<std::uint8_t> stalled(static_cast<std::size_t>(P), 0);
+  std::vector<int> stall_left(static_cast<std::size_t>(P), 0);
+  std::vector<std::size_t> stale_streak(static_cast<std::size_t>(P), 0);
+  std::size_t stalled_iterations = 0;
+  std::size_t max_staleness = 0;
+  std::size_t stale_columns = 0;
+
   BspStats bsp;
-  Mailbox<TransMsg> trans_mail(P);
-  Mailbox<ColTriple> col_mail(P);
+  Mailbox<TransMsg> trans_mail(P, injector.get());
+  Mailbox<ColTriple> col_mail(P, injector.get());
   // Column owners remember who contributed to each column this iteration.
   std::vector<std::unordered_map<vid_t, std::vector<std::int32_t>>>
       contributors(static_cast<std::size_t>(P));
@@ -147,6 +171,9 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
     if (options.matcher == MatcherKind::kLocallyDominant) {
       DistMatchOptions mopt;
       mopt.num_ranks = P;
+      // Share this run's injector (and its stream) with the nested
+      // matcher so the whole run replays from one seed.
+      mopt.injector = injector.get();
       DistMatchStats mstats;
       outcome.matching = distributed_locally_dominant_matching(
           L, gathered, mopt, &mstats);
@@ -173,10 +200,36 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
 
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
     const BspStats bsp_before = bsp;
+    int stalled_now = 0;
+    if (injector) {
+      // One stall roll per rank per iteration: a stall of k covers k whole
+      // iterations (every phase boundary inside them times out on the
+      // rank and proceeds with last-known values).
+      for (int r = 0; r < P; ++r) {
+        if (stall_left[r] > 0) {
+          stall_left[r] -= 1;
+          stalled[r] = 1;
+        } else if (const int k = injector->roll_stall(r); k > 0) {
+          stall_left[r] = k - 1;
+          stalled[r] = 1;
+        } else {
+          stalled[r] = 0;
+        }
+        if (stalled[r]) {
+          stalled_iterations += 1;
+          stale_streak[r] += 1;
+          max_staleness = std::max(max_staleness, stale_streak[r]);
+          stalled_now += 1;
+        } else {
+          stale_streak[r] = 0;
+        }
+      }
+    }
     // --- Phase 1: transpose gather for F --------------------------------
     // Owner of nonzero s ships sk_prev[s] to the owner of perm[s], which
     // lives in the row of s's column edge.
     for (int r = 0; r < P; ++r) {
+      if (stalled[r]) continue;
       RankState& st = ranks[r];
       for (eid_t s = st.slo; s < st.shi; ++s) {
         trans_mail.send(r, owner_edge(scol[s]),
@@ -185,6 +238,7 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
     }
     trans_mail.deliver(bsp);
     for (int r = 0; r < P; ++r) {
+      if (stalled[r]) continue;  // F, d, om_row keep last-known values
       RankState& st = ranks[r];
       for (const TransMsg& msg : trans_mail.inbox(r)) {
         st.trans_vals[msg.dest_slot - st.slo] = msg.value;
@@ -221,6 +275,7 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
 
     // --- Phase 2: column partials to the column owners ------------------
     for (int r = 0; r < P; ++r) {
+      if (stalled[r]) continue;
       RankState& st = ranks[r];
       st.touched.clear();
       for (eid_t e = st.elo; e < st.ehi; ++e) {
@@ -250,11 +305,18 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
 
     // --- Phase 3: combine per column, reply to contributors -------------
     for (int r = 0; r < P; ++r) {
+      // A stalled column owner sends no replies this iteration; its
+      // contributors keep their last-known othermax (freshness filter in
+      // phase 4). The unread partials are gone at the next boundary.
+      if (stalled[r]) continue;
       RankState& st = ranks[r];
       auto& contrib = contributors[r];
       contrib.clear();
       st.touched.clear();
       for (const ColTriple& t : col_mail.inbox(r)) {
+        // A delay fault can push a phase-4 reply into this boundary; its
+        // from_rank tag (-1) keeps it out of the partial merge.
+        if (injector && t.from_rank < 0) continue;
         if (st.col_a1[t.b] == kInvalidEid && st.col_m1[t.b] == kNegInf) {
           st.touched.push_back(t.b);
         }
@@ -279,16 +341,25 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
     const weight_t g = std::pow(options.gamma, iter);
     const weight_t omg = 1.0 - g;
     for (int r = 0; r < P; ++r) {
+      if (stalled[r]) continue;  // messages stay damped at last values
       RankState& st = ranks[r];
       st.touched.clear();
       for (const ColTriple& t : col_mail.inbox(r)) {
+        // A delayed phase-2 partial (from_rank >= 0) is not a reply.
+        if (injector && t.from_rank >= 0) continue;
         st.col_m1[t.b] = t.m1;
         st.col_a1[t.b] = t.a1;
         st.col_m2[t.b] = t.m2;
         st.touched.push_back(t.b);
+        if (injector) st.col_fresh[t.b] = 1;
       }
       for (eid_t e = st.elo; e < st.ehi; ++e) {
         const vid_t b = L.edge_b(e);
+        if (injector && !st.col_fresh[b]) {
+          // Reply lost (or its owner stalled): keep last-known om_col.
+          stale_columns += 1;
+          continue;
+        }
         const weight_t other =
             e == st.col_a1[b] ? st.col_m2[b] : st.col_m1[b];
         st.om_col[e - st.elo] = std::max(other, 0.0);
@@ -297,6 +368,7 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
         st.col_m1[b] = kNegInf;
         st.col_m2[b] = kNegInf;
         st.col_a1[b] = kInvalidEid;
+        if (injector) st.col_fresh[b] = 0;
       }
       for (eid_t e = st.elo; e < st.ehi; ++e) {
         const eid_t i = e - st.elo;
@@ -323,29 +395,33 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
     }
 
     // --- Rounding (allgather + distributed matcher) ----------------------
+    // A stalled rank contributes its last-gathered segment (its local
+    // y/z are unchanged anyway, so skipping the copy is the same values).
     for (int r = 0; r < P; ++r) {
+      if (stalled[r]) continue;
       const RankState& st = ranks[r];
       std::copy(st.y.begin(), st.y.end(), gathered.begin() + st.elo);
     }
     round_gathered(iter);
     for (int r = 0; r < P; ++r) {
+      if (stalled[r]) continue;
       const RankState& st = ranks[r];
       std::copy(st.z.begin(), st.z.end(), gathered.begin() + st.elo);
     }
     round_gathered(iter);
 
     if (trace != nullptr) {
-      trace->iteration(
-          iter, g, no_steps,
-          {{"supersteps", static_cast<std::int64_t>(bsp.supersteps -
-                                                    bsp_before.supersteps)},
-           {"messages", static_cast<std::int64_t>(bsp.messages -
-                                                  bsp_before.messages)},
-           {"remote_messages",
-            static_cast<std::int64_t>(bsp.remote_messages -
-                                      bsp_before.remote_messages)},
-           {"bytes",
-            static_cast<std::int64_t>(bsp.bytes - bsp_before.bytes)}});
+      obs::TraceWriter::Fields fields{
+          {"supersteps", static_cast<std::int64_t>(bsp.supersteps -
+                                                   bsp_before.supersteps)},
+          {"messages",
+           static_cast<std::int64_t>(bsp.messages - bsp_before.messages)},
+          {"remote_messages",
+           static_cast<std::int64_t>(bsp.remote_messages -
+                                     bsp_before.remote_messages)},
+          {"bytes", static_cast<std::int64_t>(bsp.bytes - bsp_before.bytes)}};
+      if (injector) fields.emplace_back("stalled_ranks", stalled_now);
+      trace->iteration(iter, g, no_steps, fields);
     }
   }
 
@@ -360,6 +436,14 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
                   static_cast<std::int64_t>(options.max_iterations) * 2 *
                       static_cast<std::int64_t>(m) *
                       static_cast<std::int64_t>(sizeof(weight_t)));
+    if (injector) {
+      counters->add("dist.stalled_iterations",
+                    static_cast<std::int64_t>(stalled_iterations));
+      counters->add("dist.max_staleness",
+                    static_cast<std::int64_t>(max_staleness));
+      counters->add("dist.stale_columns",
+                    static_cast<std::int64_t>(stale_columns));
+    }
   }
 
   result.best_iteration = tracker.best_iteration();
@@ -375,6 +459,20 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
     }
   }
   result.total_seconds = total_timer.seconds();
+  if (injector) {
+    // Degraded substrate => never hand back an unchecked solution.
+    if (!is_valid_matching(L, result.matching)) {
+      throw std::runtime_error(
+          "distributed_belief_prop_align: faulted run produced an invalid "
+          "matching");
+    }
+    if (stats) {
+      stats->fault_stats = injector->stats();
+      stats->stalled_iterations = stalled_iterations;
+      stats->max_staleness = max_staleness;
+      stats->stale_columns = stale_columns;
+    }
+  }
   if (stats) stats->bsp = bsp;
   return result;
 }

@@ -31,6 +31,7 @@
 #pragma once
 
 #include "dist/bsp.hpp"
+#include "dist/fault.hpp"
 #include "netalign/belief_prop.hpp"
 #include "netalign/result.hpp"
 #include "netalign/squares.hpp"
@@ -51,11 +52,24 @@ struct DistBpOptions {
   /// Optional counter registry for BSP traffic and matcher-internal
   /// counts. Null = disabled.
   obs::Counters* counters = nullptr;
+  /// Simulated network faults (fault.hpp). Message faults act on the
+  /// transpose and othermax exchanges and inside the rounding matcher; an
+  /// edge whose column got no (or a lost) reply keeps its last-known
+  /// othermax value -- BP's damping absorbs the staleness -- and a stalled
+  /// rank sits out whole iterations instead of deadlocking a phase
+  /// boundary. The default plan is byte-identical to the fault-free
+  /// solver.
+  FaultPlan faults;
 };
 
 struct DistBpStats {
   BspStats bsp;              ///< iteration communication
   std::size_t gather_bytes = 0;  ///< allgather volume for rounding
+  /// Degradation accounting (all zero on a perfect fabric).
+  FaultStats fault_stats;
+  std::size_t stalled_iterations = 0;  ///< sum over ranks of iterations sat out
+  std::size_t max_staleness = 0;  ///< longest consecutive stall streak (iters)
+  std::size_t stale_columns = 0;  ///< othermax-col updates skipped (no reply)
 };
 
 AlignResult distributed_belief_prop_align(const NetAlignProblem& p,

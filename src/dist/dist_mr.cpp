@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include <memory>
+
 #include "dist/dist_matching.hpp"
 #include "dist/mailbox.hpp"
 #include "matching/small_mwm.hpp"
+#include "matching/verify.hpp"
 #include "netalign/rounding.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
@@ -50,6 +53,7 @@ AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
       options.gamma <= 0.0 || options.mstep < 1) {
     throw std::invalid_argument("distributed_klau_mr_align: options");
   }
+  options.faults.validate();
   if (stats) *stats = DistMrStats{};
 
   const BipartiteGraph& L = p.L;
@@ -90,10 +94,31 @@ AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
     st.row_chosen.resize(static_cast<std::size_t>(max_row));
   }
 
+  // Degraded-fabric state. A stalled rank sits out whole iterations: it
+  // neither sends, reads, nor updates -- its multipliers, d, and wbar stay
+  // exactly as the last completed iteration left them, which is the
+  // stale-value semantics the subgradient iteration tolerates.
+  std::unique_ptr<FaultInjector> injector;
+  if (options.faults.any()) {
+    injector = std::make_unique<FaultInjector>(
+        options.faults, options.counters, options.trace);
+  }
+  std::vector<std::uint8_t> stalled(static_cast<std::size_t>(P), 0);
+  std::vector<int> stall_left(static_cast<std::size_t>(P), 0);
+  std::vector<std::size_t> stale_streak(static_cast<std::size_t>(P), 0);
+  std::size_t stalled_iterations = 0;
+  std::size_t max_staleness = 0;
+
   BspStats bsp;
-  Mailbox<SlotMsg> mail(P);
-  auto transpose_exchange = [&](auto get_value, auto set_value) {
+  // One mailbox per exchange: a delay fault may carry a message across
+  // phase boundaries, and separate channels keep a late U value from ever
+  // being parsed as an S_L flag.
+  Mailbox<SlotMsg> u_mail(P, injector.get());
+  Mailbox<SlotMsg> sl_mail(P, injector.get());
+  auto transpose_exchange = [&](Mailbox<SlotMsg>& mail, auto get_value,
+                                auto set_value) {
     for (int r = 0; r < P; ++r) {
+      if (stalled[r]) continue;
       MrRankState& st = ranks[r];
       for (eid_t s = st.slo; s < st.shi; ++s) {
         mail.send(r, owner_edge(scol[s]),
@@ -102,6 +127,7 @@ AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
     }
     mail.deliver(bsp);
     for (int r = 0; r < P; ++r) {
+      if (stalled[r]) continue;
       MrRankState& st = ranks[r];
       for (const SlotMsg& msg : mail.inbox(r)) {
         set_value(st, msg.dest_slot - st.slo, msg.value);
@@ -125,11 +151,37 @@ AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
 
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
     const BspStats bsp_before = bsp;
+    int stalled_now = 0;
+    if (injector) {
+      // One stall roll per rank per iteration: a stall of k covers k whole
+      // iterations (every phase boundary inside them times out on the
+      // rank and proceeds with stale values).
+      for (int r = 0; r < P; ++r) {
+        if (stall_left[r] > 0) {
+          stall_left[r] -= 1;
+          stalled[r] = 1;
+        } else if (const int k = injector->roll_stall(r); k > 0) {
+          stall_left[r] = k - 1;
+          stalled[r] = 1;
+        } else {
+          stalled[r] = 0;
+        }
+        if (stalled[r]) {
+          stalled_iterations += 1;
+          stale_streak[r] += 1;
+          max_staleness = std::max(max_staleness, stale_streak[r]);
+          stalled_now += 1;
+        } else {
+          stale_streak[r] = 0;
+        }
+      }
+    }
     // --- Step 1: transpose-gather U, then local exact row matchings -----
     transpose_exchange(
-        [](const MrRankState& st, eid_t i) { return st.u[i]; },
+        u_mail, [](const MrRankState& st, eid_t i) { return st.u[i]; },
         [](MrRankState& st, eid_t i, weight_t v) { st.u_trans[i] = v; });
     for (int r = 0; r < P; ++r) {
+      if (stalled[r]) continue;  // d, wbar, gathered keep stale values
       MrRankState& st = ranks[r];
       for (eid_t e = st.elo; e < st.ehi; ++e) {
         const eid_t lo = sptr[e], hi = sptr[e + 1];
@@ -166,6 +218,9 @@ AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
     }
     DistMatchOptions mopt;
     mopt.num_ranks = P;
+    // Share the iteration's injector (and its stream) with the nested
+    // matcher so the whole run replays from one seed.
+    mopt.injector = injector.get();
     DistMatchStats mstats;
     const BipartiteMatching matching =
         distributed_locally_dominant_matching(L, gathered, mopt, &mstats);
@@ -208,11 +263,13 @@ AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
     // --- Step 5: transpose-gather S_L, local multiplier update ----------
     const weight_t step_gamma = gamma;
     transpose_exchange(
+        sl_mail,
         [](const MrRankState& st, eid_t i) {
           return static_cast<weight_t>(st.sl[i]);
         },
         [](MrRankState& st, eid_t i, weight_t v) { st.sl_trans[i] = v; });
     for (int r = 0; r < P; ++r) {
+      if (stalled[r]) continue;  // multipliers stay stale for the streak
       MrRankState& st = ranks[r];
       for (eid_t e = st.elo; e < st.ehi; ++e) {
         for (eid_t s = sptr[e]; s < sptr[e + 1]; ++s) {
@@ -234,17 +291,17 @@ AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
       trace->round(iter, to_string(MatcherKind::kLocallyDominant),
                    outcome.matching.cardinality, outcome.value.weight,
                    outcome.value.overlap, outcome.value.objective);
-      trace->iteration(
-          iter, step_gamma, no_steps,
-          {{"objective", outcome.value.objective},
-           {"upper_bound", upper},
-           {"best_upper_bound", best_upper},
-           {"supersteps", static_cast<std::int64_t>(bsp.supersteps -
-                                                    bsp_before.supersteps)},
-           {"messages", static_cast<std::int64_t>(bsp.messages -
-                                                  bsp_before.messages)},
-           {"bytes",
-            static_cast<std::int64_t>(bsp.bytes - bsp_before.bytes)}});
+      obs::TraceWriter::Fields fields{
+          {"objective", outcome.value.objective},
+          {"upper_bound", upper},
+          {"best_upper_bound", best_upper},
+          {"supersteps", static_cast<std::int64_t>(bsp.supersteps -
+                                                   bsp_before.supersteps)},
+          {"messages",
+           static_cast<std::int64_t>(bsp.messages - bsp_before.messages)},
+          {"bytes", static_cast<std::int64_t>(bsp.bytes - bsp_before.bytes)}};
+      if (injector) fields.emplace_back("stalled_ranks", stalled_now);
+      trace->iteration(iter, step_gamma, no_steps, fields);
     }
   }
 
@@ -258,6 +315,12 @@ AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
     for (const auto& st : ranks) {
       counters->add("mr.small_mwm_calls", st.solver.solve_calls());
       counters->add("mr.small_mwm_edges", st.solver.edges_seen());
+    }
+    if (injector) {
+      counters->add("dist.stalled_iterations",
+                    static_cast<std::int64_t>(stalled_iterations));
+      counters->add("dist.max_staleness",
+                    static_cast<std::int64_t>(max_staleness));
     }
   }
 
@@ -274,6 +337,19 @@ AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
     }
   }
   result.total_seconds = total_timer.seconds();
+  if (injector) {
+    // Degraded substrate => never hand back an unchecked solution.
+    if (!is_valid_matching(L, result.matching)) {
+      throw std::runtime_error(
+          "distributed_klau_mr_align: faulted run produced an invalid "
+          "matching");
+    }
+    if (stats) {
+      stats->fault_stats = injector->stats();
+      stats->stalled_iterations = stalled_iterations;
+      stats->max_staleness = max_staleness;
+    }
+  }
   if (stats) stats->bsp = bsp;
   return result;
 }

@@ -19,6 +19,7 @@
 #pragma once
 
 #include "dist/bsp.hpp"
+#include "dist/fault.hpp"
 #include "netalign/klau_mr.hpp"
 #include "netalign/result.hpp"
 #include "netalign/squares.hpp"
@@ -40,11 +41,22 @@ struct DistMrOptions {
   /// Optional counter registry for BSP traffic and small-MWM row-matching
   /// volume. Null = disabled.
   obs::Counters* counters = nullptr;
+  /// Simulated network faults (fault.hpp). Message faults act on the
+  /// transpose exchanges and inside the Step-3 matcher; a stalled rank
+  /// sits out whole iterations with stale multipliers instead of
+  /// deadlocking the phase boundary (the subgradient iteration tolerates
+  /// staleness -- see docs/ARCHITECTURE.md "Fault model"). The default
+  /// plan is byte-identical to the fault-free solver.
+  FaultPlan faults;
 };
 
 struct DistMrStats {
   BspStats bsp;
   std::size_t gather_bytes = 0;  ///< w-bar allgather + indicator broadcast
+  /// Degradation accounting (all zero on a perfect fabric).
+  FaultStats fault_stats;
+  std::size_t stalled_iterations = 0;  ///< sum over ranks of iterations sat out
+  std::size_t max_staleness = 0;  ///< longest consecutive stall streak (iters)
 };
 
 AlignResult distributed_klau_mr_align(const NetAlignProblem& p,

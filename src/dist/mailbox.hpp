@@ -7,29 +7,49 @@
 // state plus messages delivered at the previous phase boundary, and the
 // same BspStats (supersteps, messages, remote share, bytes, h-relation)
 // are accumulated.
+//
+// Fault injection (fault.hpp): constructed with a FaultInjector, a mailbox
+// can drop or duplicate a send, hold it for k delivery boundaries, or
+// shuffle an inbox at a boundary. Dropped messages are still charged to
+// the stats (the sender paid for them); injected duplicates are not. Rank
+// stalls are not a mailbox concern -- straight-line solvers implement them
+// by skipping a rank's sends and reads at the phase boundary (dist_mr.cpp,
+// dist_bp.cpp). A null injector is byte-identical to the fault-free
+// mailbox.
 #pragma once
 
 #include <algorithm>
 #include <vector>
 
 #include "dist/bsp.hpp"
+#include "dist/fault.hpp"
 
 namespace netalign::dist {
 
 template <typename T>
 class Mailbox {
  public:
-  explicit Mailbox(int num_ranks)
+  explicit Mailbox(int num_ranks, FaultInjector* faults = nullptr)
       : num_ranks_(num_ranks),
+        faults_(faults),
         inbox_(static_cast<std::size_t>(num_ranks)),
         outbox_(static_cast<std::size_t>(num_ranks)),
         sent_(static_cast<std::size_t>(num_ranks), 0) {}
 
   void send(int from, int to, const T& msg) {
-    outbox_[to].push_back(msg);
     sent_[from] += 1;
     messages_ += 1;
     if (from != to) remote_ += 1;
+    if (faults_ != nullptr) {
+      if (faults_->roll_drop(from, to)) return;
+      if (faults_->roll_duplicate(from, to)) outbox_[to].push_back(msg);
+      if (const int k = faults_->roll_delay(from, to); k > 0) {
+        delayed_.push_back(
+            Delayed{delivers_ + 1 + static_cast<std::size_t>(k), to, msg});
+        return;
+      }
+    }
+    outbox_[to].push_back(msg);
   }
 
   /// Phase boundary: everything sent becomes visible, one superstep is
@@ -48,19 +68,53 @@ class Mailbox {
     std::fill(sent_.begin(), sent_.end(), std::size_t{0});
     messages_ = 0;
     remote_ = 0;
+    delivers_ += 1;
+    if (faults_ != nullptr) {
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < delayed_.size(); ++i) {
+        Delayed& d = delayed_[i];
+        if (d.release_at <= delivers_) {
+          inbox_[d.to].push_back(std::move(d.msg));
+        } else {
+          // Guard the self-move (a moved-onto-itself msg of a non-trivial
+          // T would be emptied).
+          if (kept != i) delayed_[kept] = std::move(d);
+          kept += 1;
+        }
+      }
+      delayed_.resize(kept);
+      for (int r = 0; r < num_ranks_; ++r) {
+        if (faults_->roll_reorder(r, inbox_[r].size())) {
+          faults_->shuffle(inbox_[r]);
+        }
+      }
+    }
   }
 
   [[nodiscard]] const std::vector<T>& inbox(int rank) const {
     return inbox_[rank];
   }
 
+  /// Messages still held back by delay faults (a solver must keep
+  /// iterating -- or accept their loss -- while this is nonzero).
+  [[nodiscard]] std::size_t delayed_count() const { return delayed_.size(); }
+
  private:
+  struct Delayed {
+    std::size_t release_at = 0;  ///< visible once delivers_ reaches this
+    int to = 0;
+    T msg;
+  };
+
   int num_ranks_;
+  FaultInjector* faults_;
   std::vector<std::vector<T>> inbox_;
   std::vector<std::vector<T>> outbox_;
   std::vector<std::size_t> sent_;
+  std::vector<Delayed> delayed_;
   std::size_t messages_ = 0;
   std::size_t remote_ = 0;
+  std::size_t delivers_ = 0;
 };
 
 }  // namespace netalign::dist

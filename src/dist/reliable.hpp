@@ -1,0 +1,194 @@
+// Reliable-delivery shim over the unreliable BSP substrate.
+//
+// When a FaultPlan lets the network drop, duplicate, delay, or reorder
+// messages, a protocol that needs exactly-once in-order delivery (the
+// distributed matcher's proposals and matched notices) layers this channel
+// over RankContext, the way MPI layers reliability over a lossy fabric:
+//
+//  - every payload to a peer carries a per-(sender, receiver) sequence
+//    number and a piggybacked cumulative ack ("I have delivered all your
+//    seqs below this");
+//  - unacked payloads are retransmitted with superstep-exponential backoff
+//    (first retry after 2 supersteps -- the minimum ack round trip --
+//    doubling to a cap, so a burst of losses does not congest the inbox);
+//  - receivers deliver in sequence order exactly once: stale duplicates
+//    are suppressed (and re-acked, since their ack may itself have been
+//    lost), out-of-order arrivals are buffered until the gap fills;
+//  - acks piggyback on data whenever possible; a boundary that received
+//    new data but sent none emits one pure-ack message (never acked
+//    itself, so ack traffic cannot ping-pong forever).
+//
+// Under any fault plan with drop_rate < 1 every payload is eventually
+// delivered exactly once (each retransmission is an independent Bernoulli
+// trial), so a protocol that is correct over a perfect network stays
+// correct over this channel -- it just pays more supersteps and messages.
+// The channel is idle() when every sent payload has been acked; programs
+// vote to halt only then, which makes BSP quiescence imply protocol
+// quiescence.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <type_traits>
+#include <vector>
+
+#include "dist/bsp.hpp"
+#include "dist/fault.hpp"
+
+namespace netalign::dist {
+
+/// Wire header prepended to every reliable payload.
+struct RelHeader {
+  static constexpr std::int64_t kAckOnly = -1;
+  std::int64_t seq = 0;  ///< 0-based per-(sender, receiver), or kAckOnly
+  std::int64_t ack = 0;  ///< cumulative: every seq < ack was delivered
+};
+
+class ReliableChannel {
+ public:
+  /// First retransmission waits kMinBackoff supersteps (the ack round
+  /// trip); the wait doubles per retry up to kMaxBackoff.
+  static constexpr std::size_t kMinBackoff = 2;
+  static constexpr std::size_t kMaxBackoff = 16;
+
+  ReliableChannel(int num_ranks, FaultInjector* injector)
+      : injector_(injector),
+        peers_(static_cast<std::size_t>(num_ranks)) {}
+
+  /// Sequence, frame, and transmit one record to `to`.
+  template <typename T>
+  void send(RankContext& ctx, int to, const T& record) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Peer& peer = peers_[to];
+    RelHeader header{peer.next_seq, peer.deliver_next};
+    peer.next_seq += 1;
+    std::vector<std::byte> bytes(sizeof(RelHeader) + sizeof(T));
+    std::memcpy(bytes.data(), &header, sizeof(RelHeader));
+    std::memcpy(bytes.data() + sizeof(RelHeader), &record, sizeof(T));
+    peer.pending.push_back(Pending{header.seq, bytes, step_, kMinBackoff});
+    peer.data_sent = true;
+    ctx.send_bytes(to, std::move(bytes));
+  }
+
+  /// Drain the superstep's inbox: apply acks, suppress duplicates, buffer
+  /// out-of-order arrivals, and return the payloads that became deliverable,
+  /// in per-peer sequence order. Call once per step(), before any send.
+  std::vector<Message> receive(RankContext& ctx) {
+    step_ += 1;
+    for (Peer& peer : peers_) peer.data_sent = false;
+    std::vector<Message> out;
+    for (const Message& msg : ctx.inbox()) {
+      if (msg.payload.size() < sizeof(RelHeader)) {
+        throw std::runtime_error("ReliableChannel: runt message");
+      }
+      RelHeader header;
+      std::memcpy(&header, msg.payload.data(), sizeof(RelHeader));
+      Peer& peer = peers_[msg.from];
+      // Cumulative ack: retire everything below it from the retransmit
+      // buffer (pending is kept in ascending seq order).
+      if (header.ack > peer.acked) {
+        peer.acked = header.ack;
+        while (!peer.pending.empty() &&
+               peer.pending.front().seq < peer.acked) {
+          peer.pending.pop_front();
+        }
+      }
+      if (header.seq == RelHeader::kAckOnly) continue;
+      if (header.seq < peer.deliver_next) {
+        // Already delivered: our ack was lost or outrun by a duplicate --
+        // suppress, but schedule a re-ack so the sender stops retrying.
+        if (injector_ != nullptr) injector_->note_duplicate_suppressed();
+        peer.ack_due = true;
+        continue;
+      }
+      if (header.seq == peer.deliver_next) {
+        out.push_back(strip(msg));
+        peer.deliver_next += 1;
+        // The gap may have closed over buffered successors.
+        auto it = peer.buffered.find(peer.deliver_next);
+        while (it != peer.buffered.end()) {
+          out.push_back(Message{msg.from, std::move(it->second)});
+          peer.buffered.erase(it);
+          peer.deliver_next += 1;
+          it = peer.buffered.find(peer.deliver_next);
+        }
+      } else if (peer.buffered.emplace(header.seq, payload_of(msg)).second) {
+        if (injector_ != nullptr) injector_->note_out_of_order_buffered();
+      } else {
+        if (injector_ != nullptr) injector_->note_duplicate_suppressed();
+      }
+      peer.ack_due = true;
+    }
+    return out;
+  }
+
+  /// Retransmit overdue unacked payloads and emit pure acks where nothing
+  /// piggybacked them. Call once per step(), after all sends.
+  void flush(RankContext& ctx) {
+    for (int to = 0; to < static_cast<int>(peers_.size()); ++to) {
+      Peer& peer = peers_[to];
+      for (Pending& p : peer.pending) {
+        if (step_ < p.last_sent + p.backoff) continue;
+        // Refresh the piggybacked ack before re-sending.
+        RelHeader header{p.seq, peer.deliver_next};
+        std::memcpy(p.bytes.data(), &header, sizeof(RelHeader));
+        ctx.send_bytes(to, p.bytes);
+        p.last_sent = step_;
+        p.backoff = std::min(p.backoff * 2, kMaxBackoff);
+        peer.data_sent = true;
+        if (injector_ != nullptr) injector_->note_retransmit();
+      }
+      if (peer.ack_due && !peer.data_sent) {
+        RelHeader header{RelHeader::kAckOnly, peer.deliver_next};
+        std::vector<std::byte> bytes(sizeof(RelHeader));
+        std::memcpy(bytes.data(), &header, sizeof(RelHeader));
+        ctx.send_bytes(to, std::move(bytes));
+        if (injector_ != nullptr) injector_->note_ack();
+      }
+      peer.ack_due = false;
+    }
+  }
+
+  /// True when every payload this rank ever sent has been acked.
+  [[nodiscard]] bool idle() const {
+    for (const Peer& peer : peers_) {
+      if (!peer.pending.empty()) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Pending {
+    std::int64_t seq = 0;
+    std::vector<std::byte> bytes;  ///< full frame, header included
+    std::size_t last_sent = 0;
+    std::size_t backoff = kMinBackoff;
+  };
+
+  struct Peer {
+    std::int64_t next_seq = 0;      ///< next seq for payloads TO this peer
+    std::int64_t acked = 0;         ///< peer has delivered our seqs < acked
+    std::int64_t deliver_next = 0;  ///< next in-order seq FROM this peer
+    bool ack_due = false;
+    bool data_sent = false;
+    std::deque<Pending> pending;
+    std::map<std::int64_t, std::vector<std::byte>> buffered;
+  };
+
+  static std::vector<std::byte> payload_of(const Message& msg) {
+    return std::vector<std::byte>(msg.payload.begin() + sizeof(RelHeader),
+                                  msg.payload.end());
+  }
+  static Message strip(const Message& msg) {
+    return Message{msg.from, payload_of(msg)};
+  }
+
+  FaultInjector* injector_;
+  std::vector<Peer> peers_;
+  std::size_t step_ = 0;  ///< local superstep counter (receive() calls)
+};
+
+}  // namespace netalign::dist

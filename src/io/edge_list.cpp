@@ -8,6 +8,18 @@
 
 namespace netalign {
 
+namespace {
+
+// Offending line content for parse errors, truncated so a binary blob fed
+// to the loader cannot explode the message.
+std::string quote_line(const std::string& line) {
+  constexpr std::size_t kMax = 80;
+  if (line.size() <= kMax) return "'" + line + "'";
+  return "'" + line.substr(0, kMax) + "...'";
+}
+
+}  // namespace
+
 Graph read_edge_list(std::istream& in, vid_t num_vertices) {
   std::vector<std::pair<vid_t, vid_t>> edges;
   vid_t max_id = -1;
@@ -21,11 +33,13 @@ Graph read_edge_list(std::istream& in, vid_t num_vertices) {
     vid_t u, v;
     if (!(ls >> u >> v)) {
       throw std::runtime_error("read_edge_list: malformed line " +
-                               std::to_string(lineno));
+                               std::to_string(lineno) + ": " +
+                               quote_line(line));
     }
     if (u < 0 || v < 0) {
       throw std::runtime_error("read_edge_list: negative id on line " +
-                               std::to_string(lineno));
+                               std::to_string(lineno) + ": " +
+                               quote_line(line));
     }
     edges.emplace_back(u, v);
     max_id = std::max({max_id, u, v});

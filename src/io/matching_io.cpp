@@ -1,7 +1,10 @@
 #include "io/matching_io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <stdexcept>
+
+#include "io/validate.hpp"
 
 namespace netalign {
 
@@ -29,29 +32,44 @@ BipartiteMatching read_matching(std::istream& in, const BipartiteGraph& L) {
   int version = 0;
   if (!(in >> magic >> version) || magic != "NETALIGN-MATCHING" ||
       version != 1) {
-    throw std::runtime_error("read_matching: bad header");
+    io::fail(in, "read_matching: bad header");
   }
   eid_t count = 0;
-  if (!(in >> count) || count < 0) {
-    throw std::runtime_error("read_matching: bad count");
+  if (!(in >> count)) {
+    io::fail(in, "read_matching: bad count");
   }
+  // No valid matching exceeds min(|A|, |B|) pairs; rejecting here also
+  // caps the mate-array scans below.
+  const auto limit =
+      static_cast<eid_t>(std::min(L.num_a(), L.num_b()));
+  if (count < 0 || count > limit) {
+    io::fail(in, "read_matching: count " + std::to_string(count) +
+                     " outside [0, " + std::to_string(limit) +
+                     "] for this graph");
+  }
+  // Minimal pair record "0 0" is 3 bytes.
+  io::check_record_count(in, count, 3, "read_matching");
   BipartiteMatching m;
   m.mate_a.assign(static_cast<std::size_t>(L.num_a()), kInvalidVid);
   m.mate_b.assign(static_cast<std::size_t>(L.num_b()), kInvalidVid);
   for (eid_t i = 0; i < count; ++i) {
     vid_t a = 0, b = 0;
     if (!(in >> a >> b)) {
-      throw std::runtime_error("read_matching: truncated pair list");
+      io::fail(in, "read_matching: truncated pair list at pair " +
+                       std::to_string(i));
     }
     if (a < 0 || a >= L.num_a() || b < 0 || b >= L.num_b()) {
-      throw std::runtime_error("read_matching: pair out of range");
+      io::fail(in, "read_matching: pair (" + std::to_string(a) + ", " +
+                       std::to_string(b) + ") out of range");
     }
     const eid_t e = L.find_edge(a, b);
     if (e == kInvalidEid) {
-      throw std::runtime_error("read_matching: pair is not an edge of L");
+      io::fail(in, "read_matching: pair (" + std::to_string(a) + ", " +
+                       std::to_string(b) + ") is not an edge of L");
     }
     if (m.mate_a[a] != kInvalidVid || m.mate_b[b] != kInvalidVid) {
-      throw std::runtime_error("read_matching: vertex matched twice");
+      io::fail(in, "read_matching: vertex matched twice in pair (" +
+                       std::to_string(a) + ", " + std::to_string(b) + ")");
     }
     m.mate_a[a] = b;
     m.mate_b[b] = a;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "io/validate.hpp"
+
 namespace netalign {
 
 namespace {
@@ -11,8 +13,8 @@ namespace {
 void expect_token(std::istream& in, const std::string& expected) {
   std::string tok;
   if (!(in >> tok) || tok != expected) {
-    throw std::runtime_error("read_problem: expected token '" + expected +
-                             "', got '" + tok + "'");
+    io::fail(in, "read_problem: expected token '" + expected + "', got '" +
+                     tok + "'");
   }
 }
 
@@ -25,12 +27,24 @@ Graph read_graph(std::istream& in, const char* tag) {
   expect_token(in, tag);
   vid_t n = 0;
   eid_t m = 0;
-  if (!(in >> n >> m)) throw std::runtime_error("read_problem: graph header");
+  if (!(in >> n >> m)) {
+    io::fail(in, std::string("read_problem: bad ") + tag + " header");
+  }
+  if (n < 0) {
+    io::fail(in, std::string("read_problem: negative ") + tag +
+                     " vertex count " + std::to_string(n));
+  }
+  // Minimal edge record "0 0" is 3 bytes; bounds reserve() against a
+  // header declaring more edges than the file could hold.
+  io::check_record_count(in, m, 3, std::string("read_problem: ") + tag);
   std::vector<std::pair<vid_t, vid_t>> edges;
   edges.reserve(static_cast<std::size_t>(m));
   for (eid_t i = 0; i < m; ++i) {
     vid_t u, v;
-    if (!(in >> u >> v)) throw std::runtime_error("read_problem: graph edge");
+    if (!(in >> u >> v)) {
+      io::fail(in, std::string("read_problem: truncated ") + tag +
+                       " edge list at edge " + std::to_string(i));
+    }
     edges.emplace_back(u, v);
   }
   return Graph::from_edges(n, edges);
@@ -62,28 +76,38 @@ NetAlignProblem read_problem(std::istream& in) {
   expect_token(in, "NETALIGN-PROBLEM");
   int version = 0;
   if (!(in >> version) || version != 1) {
-    throw std::runtime_error("read_problem: unsupported version");
+    io::fail(in, "read_problem: unsupported version");
   }
   NetAlignProblem p;
   expect_token(in, "name");
-  if (!(in >> p.name)) throw std::runtime_error("read_problem: name");
+  if (!(in >> p.name)) io::fail(in, "read_problem: bad name");
   expect_token(in, "alpha");
-  if (!(in >> p.alpha)) throw std::runtime_error("read_problem: alpha");
+  if (!(in >> p.alpha)) io::fail(in, "read_problem: bad alpha");
+  io::require_finite(in, p.alpha, "read_problem: alpha");
   expect_token(in, "beta");
-  if (!(in >> p.beta)) throw std::runtime_error("read_problem: beta");
+  if (!(in >> p.beta)) io::fail(in, "read_problem: bad beta");
+  io::require_finite(in, p.beta, "read_problem: beta");
   p.A = read_graph(in, "graphA");
   p.B = read_graph(in, "graphB");
   expect_token(in, "L");
   vid_t na = 0, nb = 0;
   eid_t ml = 0;
-  if (!(in >> na >> nb >> ml)) throw std::runtime_error("read_problem: L");
+  if (!(in >> na >> nb >> ml)) io::fail(in, "read_problem: bad L header");
+  if (na < 0 || nb < 0) {
+    io::fail(in, "read_problem: negative L dimension");
+  }
+  // Minimal L record "0 0 0" is 5 bytes.
+  io::check_record_count(in, ml, 5, "read_problem: L");
   std::vector<LEdge> edges;
   edges.reserve(static_cast<std::size_t>(ml));
   for (eid_t i = 0; i < ml; ++i) {
     LEdge e;
     if (!(in >> e.a >> e.b >> e.w)) {
-      throw std::runtime_error("read_problem: L edge");
+      io::fail(in, "read_problem: truncated L edge list at edge " +
+                       std::to_string(i));
     }
+    io::require_finite(in, e.w,
+                       "read_problem: L edge " + std::to_string(i) + " weight");
     edges.push_back(e);
   }
   p.L = BipartiteGraph::from_edges(na, nb, edges);

@@ -5,25 +5,32 @@
 #include <stdexcept>
 #include <vector>
 
+#include "io/validate.hpp"
+
 namespace netalign {
 
 CsrMatrix read_smat(std::istream& in) {
   vid_t nrows = 0, ncols = 0;
   eid_t nnz = 0;
   if (!(in >> nrows >> ncols >> nnz)) {
-    throw std::runtime_error("read_smat: bad header");
+    io::fail(in, "read_smat: bad header");
   }
-  if (nrows < 0 || ncols < 0 || nnz < 0) {
-    throw std::runtime_error("read_smat: negative header field");
+  if (nrows < 0 || ncols < 0) {
+    io::fail(in, "read_smat: negative header field");
   }
+  // Minimal entry record "0 0 0" is 5 bytes; bounds reserve() against an
+  // allocation-bomb header.
+  io::check_record_count(in, nnz, 5, "read_smat");
   std::vector<CooEntry> entries;
   entries.reserve(static_cast<std::size_t>(nnz));
   for (eid_t i = 0; i < nnz; ++i) {
     CooEntry e;
     if (!(in >> e.row >> e.col >> e.value)) {
-      throw std::runtime_error("read_smat: truncated entry list at entry " +
-                               std::to_string(i));
+      io::fail(in, "read_smat: truncated entry list at entry " +
+                       std::to_string(i));
     }
+    io::require_finite(in, e.value,
+                       "read_smat: entry " + std::to_string(i) + " value");
     entries.push_back(e);
   }
   return CsrMatrix::from_coo(nrows, ncols, entries, DuplicatePolicy::kError);

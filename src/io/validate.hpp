@@ -1,0 +1,82 @@
+// Shared validation helpers for the text loaders in io/. Two hazards are
+// handled centrally so every format gets the same treatment (see
+// docs/FORMATS.md "Error taxonomy"):
+//
+//  - allocation bombs: a corrupt or hostile header can declare a record
+//    count far beyond what the stream could possibly hold, turning a
+//    `reserve()` into a multi-gigabyte allocation before the first record
+//    is even read. check_record_count() bounds the count by the bytes
+//    remaining in the stream (skipped for non-seekable sources, where the
+//    per-record reads fail fast anyway);
+//  - poisoned numerics: NaN/Inf weights pass `operator>>` silently and
+//    then wreck every comparison-based matcher downstream.
+//    require_finite() rejects them at the boundary.
+//
+// Errors carry the stream byte offset so a bad record in a large file is
+// findable without bisection.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <istream>
+#include <stdexcept>
+#include <string>
+
+namespace netalign::io {
+
+/// " (at byte N)" suffix for loader errors, or "" when the stream cannot
+/// report a position. Works even after a failed extraction: the fail bit
+/// is cleared just long enough to ask, then restored.
+inline std::string at_byte(std::istream& in) {
+  const auto state = in.rdstate();
+  in.clear(state & ~(std::ios::failbit | std::ios::eofbit));
+  const auto pos = in.tellg();
+  in.clear(state);
+  if (pos < 0) return "";
+  return " (at byte " + std::to_string(static_cast<long long>(pos)) + ")";
+}
+
+/// Throws std::runtime_error with the stream position appended.
+[[noreturn]] inline void fail(std::istream& in, const std::string& msg) {
+  throw std::runtime_error(msg + at_byte(in));
+}
+
+/// Validates a header-declared record count before it reaches `reserve`:
+/// rejects negative counts, and counts whose records (at least
+/// `min_record_bytes` each, counting separators) could not fit in the
+/// bytes remaining in the stream. Non-seekable streams skip the size
+/// bound; the count's sign is still checked.
+template <typename Count>
+void check_record_count(std::istream& in, Count count,
+                        std::size_t min_record_bytes,
+                        const std::string& what) {
+  if (count < 0) {
+    fail(in, what + ": negative count " + std::to_string(count));
+  }
+  if (count == 0) return;
+  const auto here = in.tellg();
+  if (here < 0) return;
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(here);
+  if (end < 0 || end < here) return;
+  const auto remaining =
+      static_cast<unsigned long long>(end) - static_cast<unsigned long long>(here);
+  // Division instead of multiplication: count * min_record_bytes could
+  // itself overflow for a hostile 64-bit count.
+  if (static_cast<unsigned long long>(count) > remaining / min_record_bytes) {
+    fail(in, what + ": declared count " + std::to_string(count) +
+                 " cannot fit in the " + std::to_string(remaining) +
+                 " bytes remaining in the stream");
+  }
+}
+
+/// Rejects NaN and +/-Inf values read from a stream.
+template <typename T>
+void require_finite(std::istream& in, T v, const std::string& what) {
+  if (!std::isfinite(static_cast<double>(v))) {
+    fail(in, what + ": non-finite value");
+  }
+}
+
+}  // namespace netalign::io

@@ -170,6 +170,14 @@ void TraceWriter::round(int iter, const std::string& matcher,
   write_line(std::move(line));
 }
 
+void TraceWriter::event(const std::string& type, const Fields& fields) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string line = begin_event(type.c_str());
+  append_fields(line, fields);
+  write_line(std::move(line));
+}
+
 void TraceWriter::run_end(double total_seconds, double objective,
                           int best_iteration, const Counters* counters) {
   if (!enabled()) return;

@@ -114,6 +114,11 @@ class TraceWriter {
   void run_end(double total_seconds, double objective, int best_iteration,
                const Counters* counters = nullptr);
 
+  /// Emit a generic event: `type` plus a flat field list. For event kinds
+  /// that do not merit a dedicated emitter (e.g. the fault-injection
+  /// layer's `fault` events).
+  void event(const std::string& type, const Fields& fields);
+
  private:
   void write_line(std::string&& line);
   /// Start a line: {"event":"<type>","ts":<seconds>,"seq":<n> -- caller

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 namespace netalign::dist {
 namespace {
@@ -105,6 +107,37 @@ TEST(Bsp, SuperstepLimitGuardsAgainstLivelock) {
   programs.push_back(std::make_unique<Livelock>());
   BspRuntime runtime;
   EXPECT_THROW(runtime.run(programs, 50), std::runtime_error);
+}
+
+TEST(Bsp, DeadlockGuardReportsVotesAndQueueDepths) {
+  // Rank 0 livelocks (self-send every step), ranks 1 and 2 halt
+  // immediately; the guard's message must name the halted ranks and the
+  // queue state so a stuck distributed run is diagnosable from the throw.
+  class Halter : public RankProgram {
+   public:
+    void step(RankContext& ctx) override { ctx.vote_halt(); }
+  };
+  std::vector<std::unique_ptr<RankProgram>> programs;
+  programs.push_back(std::make_unique<Livelock>());
+  programs.push_back(std::make_unique<Halter>());
+  programs.push_back(std::make_unique<Halter>());
+  BspRuntime runtime;
+  try {
+    runtime.run(programs, 20);
+    FAIL() << "expected the superstep guard to fire";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("superstep limit exceeded (20 supersteps, 3 ranks)"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("2/3 ranks voted halt (ranks 1,2)"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("in-flight messages: 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("delayed messages: 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("per-rank inbox sizes: r0=1 r1=0 r2=0"),
+              std::string::npos)
+        << msg;
+  }
 }
 
 TEST(Bsp, EmptyProgramListIsNoOp) {

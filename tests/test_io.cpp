@@ -1,17 +1,37 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "graph/generators.hpp"
 #include "io/edge_list.hpp"
 #include "io/problem_io.hpp"
 #include "io/smat.hpp"
+#include "io/validate.hpp"
 #include "netalign/synthetic.hpp"
 #include "util/prng.hpp"
 
 namespace netalign {
 namespace {
+
+// Runs `fn` and returns the thrown runtime_error's message ("" if it did
+// not throw), so tests can assert on the diagnostic text.
+template <typename Fn>
+std::string error_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
 
 TEST(Smat, RoundTripsThroughText) {
   const std::vector<CooEntry> entries = {
@@ -123,6 +143,276 @@ TEST(ProblemIo, RejectsTruncatedBody) {
   std::stringstream ss("NETALIGN-PROBLEM 1\nname x\nalpha 1 beta 2\n"
                        "graphA 3 5\n0 1\n");
   EXPECT_THROW(read_problem(ss), std::runtime_error);
+}
+
+// --- validate.hpp helpers, exercised directly ---------------------------
+
+TEST(IoValidate, AtByteReportsPositionEvenAfterFailedExtraction) {
+  std::stringstream ss("12 oops");
+  int v = 0;
+  ss >> v;       // consumes "12"
+  ss >> v;       // fails on "oops"
+  ASSERT_TRUE(ss.fail());
+  const std::string suffix = io::at_byte(ss);
+  EXPECT_NE(suffix.find("(at byte"), std::string::npos) << suffix;
+  EXPECT_TRUE(ss.fail()) << "at_byte must restore the stream state";
+}
+
+TEST(IoValidate, FailAppendsBytePosition) {
+  std::stringstream ss("abcdef");
+  std::string tok;
+  ss >> tok;
+  const std::string msg = error_of([&] { io::fail(ss, "loader: boom"); });
+  EXPECT_NE(msg.find("loader: boom"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("(at byte 6)"), std::string::npos) << msg;
+}
+
+TEST(IoValidate, CheckRecordCountRejectsNegative) {
+  std::stringstream ss("");
+  const std::string msg =
+      error_of([&] { io::check_record_count(ss, -3, 4, "loader"); });
+  EXPECT_NE(msg.find("negative count -3"), std::string::npos) << msg;
+}
+
+TEST(IoValidate, CheckRecordCountRejectsAllocationBomb) {
+  std::stringstream ss("0 0\n0 1\n");
+  const std::string msg = error_of(
+      [&] { io::check_record_count(ss, std::int64_t{1} << 60, 3, "loader"); });
+  EXPECT_NE(msg.find("cannot fit"), std::string::npos) << msg;
+}
+
+TEST(IoValidate, CheckRecordCountAcceptsPlausibleCounts) {
+  std::stringstream ss("0 0\n0 1\n");
+  io::check_record_count(ss, 2, 3, "loader");
+  // Position must be restored so record parsing resumes where it was.
+  int a = -1, b = -1;
+  ss >> a >> b;
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 0);
+}
+
+TEST(IoValidate, RequireFiniteRejectsNanAndInf) {
+  std::stringstream ss;
+  EXPECT_THROW(io::require_finite(
+                   ss, std::numeric_limits<double>::quiet_NaN(), "loader: w"),
+               std::runtime_error);
+  EXPECT_THROW(io::require_finite(
+                   ss, std::numeric_limits<double>::infinity(), "loader: w"),
+               std::runtime_error);
+  io::require_finite(ss, 1.0, "loader: w");  // finite passes
+}
+
+// --- every loader throw path --------------------------------------------
+
+TEST(Smat, NegativeDimensionThrows) {
+  std::stringstream ss("-1 2 0\n");
+  EXPECT_THROW(read_smat(ss), std::runtime_error);
+}
+
+TEST(Smat, NegativeNnzThrows) {
+  std::stringstream ss("2 2 -1\n");
+  const std::string msg = error_of([&] { read_smat(ss); });
+  EXPECT_NE(msg.find("negative count"), std::string::npos) << msg;
+}
+
+TEST(Smat, AllocationBombHeaderThrows) {
+  // 10^9 entries declared, a dozen bytes present: must be rejected before
+  // the reserve, not by running out of input a gigabyte later.
+  std::stringstream ss("2 2 1000000000\n0 0 1.0\n");
+  const std::string msg = error_of([&] { read_smat(ss); });
+  EXPECT_NE(msg.find("cannot fit"), std::string::npos) << msg;
+}
+
+TEST(Smat, TruncatedEntryReportsIndexAndByte) {
+  // Trailing spaces keep the byte budget plausible so the failure is the
+  // actual truncated read, not the count guard.
+  std::stringstream ss("2 2 2\n0 0 1.0\n                \n");
+  const std::string msg = error_of([&] { read_smat(ss); });
+  EXPECT_NE(msg.find("entry 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("(at byte"), std::string::npos) << msg;
+}
+
+TEST(Smat, TextualNanValueThrows) {
+  std::stringstream ss("1 1 1\n0 0 nan\n");
+  EXPECT_THROW(read_smat(ss), std::runtime_error);
+}
+
+TEST(Smat, WriteFileToBadPathThrows) {
+  const std::vector<CooEntry> none;
+  EXPECT_THROW(write_smat_file("/nonexistent/dir/out.smat",
+                               CsrMatrix::from_coo(1, 1, none)),
+               std::runtime_error);
+}
+
+TEST(Smat, FileRoundTrip) {
+  const std::vector<CooEntry> entries = {{0, 1, 1.5}, {1, 2, -0.5}};
+  const CsrMatrix m = CsrMatrix::from_coo(2, 3, entries);
+  const std::string path = temp_path("roundtrip.smat");
+  write_smat_file(path, m);
+  const CsrMatrix r = read_smat_file(path);
+  EXPECT_EQ(r.num_rows(), 2);
+  EXPECT_EQ(r.num_nonzeros(), 2);
+  EXPECT_DOUBLE_EQ(r.values()[r.find(1, 2)], -0.5);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeList, MalformedLineQuotesContent) {
+  std::stringstream ss("0 1\n0 not-a-number\n");
+  const std::string msg = error_of([&] { read_edge_list(ss); });
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'0 not-a-number'"), std::string::npos) << msg;
+}
+
+TEST(EdgeList, MalformedLineContentIsTruncated) {
+  std::stringstream ss("x" + std::string(300, 'y') + "\n");
+  const std::string msg = error_of([&] { read_edge_list(ss); });
+  EXPECT_NE(msg.find("...'"), std::string::npos) << msg;
+  EXPECT_LT(msg.size(), 200u) << msg;
+}
+
+TEST(EdgeList, NegativeIdQuotesContent) {
+  std::stringstream ss("0 -3\n");
+  const std::string msg = error_of([&] { read_edge_list(ss); });
+  EXPECT_NE(msg.find("'0 -3'"), std::string::npos) << msg;
+}
+
+TEST(EdgeList, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/path.txt"),
+               std::runtime_error);
+}
+
+TEST(EdgeList, WriteFileToBadPathThrows) {
+  EXPECT_THROW(write_edge_list_file("/nonexistent/dir/out.txt",
+                                    Graph::from_edges(1, {})),
+               std::runtime_error);
+}
+
+TEST(EdgeList, FileRoundTrip) {
+  Xoshiro256 rng(9);
+  const Graph g = erdos_renyi(20, 0.2, rng);
+  const std::string path = temp_path("roundtrip.edges");
+  write_edge_list_file(path, g);
+  const Graph r = read_edge_list_file(path, 20);
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(ProblemIo, RejectsMissingToken) {
+  std::stringstream ss("NETALIGN-PROBLEM 1\nname x\nalpha 1 gamma 2\n");
+  const std::string msg = error_of([&] { read_problem(ss); });
+  EXPECT_NE(msg.find("expected token 'beta'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("(at byte"), std::string::npos) << msg;
+}
+
+TEST(ProblemIo, RejectsBadName) {
+  std::stringstream ss("NETALIGN-PROBLEM 1\nname");
+  EXPECT_THROW(read_problem(ss), std::runtime_error);
+}
+
+TEST(ProblemIo, RejectsNonNumericAlpha) {
+  std::stringstream ss("NETALIGN-PROBLEM 1\nname x\nalpha huge beta 1\n");
+  EXPECT_THROW(read_problem(ss), std::runtime_error);
+}
+
+TEST(ProblemIo, RejectsNonNumericBeta) {
+  std::stringstream ss("NETALIGN-PROBLEM 1\nname x\nalpha 1 beta ?\n");
+  EXPECT_THROW(read_problem(ss), std::runtime_error);
+}
+
+TEST(ProblemIo, RejectsBadGraphHeader) {
+  std::stringstream ss("NETALIGN-PROBLEM 1\nname x\nalpha 1 beta 2\n"
+                       "graphA three 5\n");
+  const std::string msg = error_of([&] { read_problem(ss); });
+  EXPECT_NE(msg.find("graphA header"), std::string::npos) << msg;
+}
+
+TEST(ProblemIo, RejectsNegativeGraphVertexCount) {
+  std::stringstream ss("NETALIGN-PROBLEM 1\nname x\nalpha 1 beta 2\n"
+                       "graphA -4 0\n");
+  const std::string msg = error_of([&] { read_problem(ss); });
+  EXPECT_NE(msg.find("negative graphA vertex count"), std::string::npos)
+      << msg;
+}
+
+TEST(ProblemIo, RejectsGraphAllocationBombHeader) {
+  std::stringstream ss("NETALIGN-PROBLEM 1\nname x\nalpha 1 beta 2\n"
+                       "graphA 3 888888888\n0 1\n");
+  const std::string msg = error_of([&] { read_problem(ss); });
+  EXPECT_NE(msg.find("cannot fit"), std::string::npos) << msg;
+}
+
+TEST(ProblemIo, ReportsTruncatedGraphEdgeList) {
+  std::stringstream ss("NETALIGN-PROBLEM 1\nname x\nalpha 1 beta 2\n"
+                       "graphA 3 2\n0 1\n            \n");
+  const std::string msg = error_of([&] { read_problem(ss); });
+  EXPECT_NE(msg.find("graphA edge list at edge 1"), std::string::npos) << msg;
+}
+
+TEST(ProblemIo, RejectsBadLHeader) {
+  std::stringstream ss("NETALIGN-PROBLEM 1\nname x\nalpha 1 beta 2\n"
+                       "graphA 1 0\ngraphB 1 0\nL x 1 0\n");
+  const std::string msg = error_of([&] { read_problem(ss); });
+  EXPECT_NE(msg.find("bad L header"), std::string::npos) << msg;
+}
+
+TEST(ProblemIo, RejectsNegativeLDimension) {
+  std::stringstream ss("NETALIGN-PROBLEM 1\nname x\nalpha 1 beta 2\n"
+                       "graphA 1 0\ngraphB 1 0\nL -1 1 0\n");
+  const std::string msg = error_of([&] { read_problem(ss); });
+  EXPECT_NE(msg.find("negative L dimension"), std::string::npos) << msg;
+}
+
+TEST(ProblemIo, RejectsLAllocationBombHeader) {
+  std::stringstream ss("NETALIGN-PROBLEM 1\nname x\nalpha 1 beta 2\n"
+                       "graphA 1 0\ngraphB 1 0\nL 1 1 777777777\n0 0 1.0\n");
+  const std::string msg = error_of([&] { read_problem(ss); });
+  EXPECT_NE(msg.find("cannot fit"), std::string::npos) << msg;
+}
+
+TEST(ProblemIo, ReportsTruncatedLEdgeList) {
+  std::stringstream ss("NETALIGN-PROBLEM 1\nname x\nalpha 1 beta 2\n"
+                       "graphA 1 0\ngraphB 1 0\nL 1 1 2\n0 0 1.0\n"
+                       "                \n");
+  const std::string msg = error_of([&] { read_problem(ss); });
+  EXPECT_NE(msg.find("L edge list at edge 1"), std::string::npos) << msg;
+}
+
+TEST(ProblemIo, RejectsTextualNanWeight) {
+  std::stringstream ss("NETALIGN-PROBLEM 1\nname x\nalpha 1 beta 2\n"
+                       "graphA 1 0\ngraphB 1 0\nL 1 1 1\n0 0 nan\n");
+  EXPECT_THROW(read_problem(ss), std::runtime_error);
+}
+
+TEST(ProblemIo, RejectsInconsistentDimensions) {
+  // L claims 3 A-side vertices while graphA has 2.
+  std::stringstream ss("NETALIGN-PROBLEM 1\nname x\nalpha 1 beta 2\n"
+                       "graphA 2 0\ngraphB 2 0\nL 3 2 0\n");
+  const std::string msg = error_of([&] { read_problem(ss); });
+  EXPECT_NE(msg.find("inconsistent dimensions"), std::string::npos) << msg;
+}
+
+TEST(ProblemIo, MissingFileThrows) {
+  EXPECT_THROW(read_problem_file("/nonexistent/path.prob"),
+               std::runtime_error);
+}
+
+TEST(ProblemIo, WriteFileToBadPathThrows) {
+  EXPECT_THROW(write_problem_file("/nonexistent/dir/out.prob", {}),
+               std::runtime_error);
+}
+
+TEST(ProblemIo, FileRoundTrip) {
+  PowerLawInstanceOptions opt;
+  opt.n = 30;
+  opt.seed = 5;
+  const auto inst = make_power_law_instance(opt);
+  const std::string path = temp_path("roundtrip.prob");
+  write_problem_file(path, inst.problem);
+  const NetAlignProblem r = read_problem_file(path);
+  EXPECT_EQ(r.L.num_edges(), inst.problem.L.num_edges());
+  EXPECT_EQ(r.A.num_edges(), inst.problem.A.num_edges());
+  EXPECT_EQ(r.B.num_edges(), inst.problem.B.num_edges());
+  std::remove(path.c_str());
 }
 
 }  // namespace

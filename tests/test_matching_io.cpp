@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "helpers.hpp"
 #include "matching/exact_mwm.hpp"
@@ -79,6 +82,93 @@ TEST(MatchingIo, MissingFileThrows) {
   const BipartiteGraph L = BipartiteGraph::from_edges(1, 1, {});
   EXPECT_THROW(read_matching_file("/no/such/file.mat", L),
                std::runtime_error);
+}
+
+TEST(MatchingIo, RejectsNonNumericCount) {
+  const BipartiteGraph L = BipartiteGraph::from_edges(1, 1, {});
+  std::stringstream ss("NETALIGN-MATCHING 1\nmany\n");
+  EXPECT_THROW(read_matching(ss, L), std::runtime_error);
+}
+
+TEST(MatchingIo, RejectsCountBeyondGraphCapacity) {
+  // A 2x3 graph can match at most 2 pairs; a count of 3 is rejected up
+  // front, before any pair is parsed.
+  const BipartiteGraph L = BipartiteGraph::from_edges(
+      2, 3, std::vector<LEdge>{{0, 0, 1.0}, {1, 1, 1.0}});
+  std::stringstream ss("NETALIGN-MATCHING 1\n3\n0 0\n1 1\n0 1\n");
+  try {
+    read_matching(ss, L);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("outside [0, 2]"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MatchingIo, RejectsAllocationBombCount) {
+  // Count within min(|A|, |B|) but far beyond the bytes present.
+  std::vector<LEdge> edges;
+  for (vid_t i = 0; i < 64; ++i) edges.push_back({i, i, 1.0});
+  const BipartiteGraph L = BipartiteGraph::from_edges(64, 64, edges);
+  std::stringstream ss("NETALIGN-MATCHING 1\n60\n0 0\n");
+  try {
+    read_matching(ss, L);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot fit"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MatchingIo, TruncatedPairListReportsIndex) {
+  // Trailing spaces keep the byte budget plausible so the count guard
+  // passes and the failure is the real truncated read.
+  const BipartiteGraph L = BipartiteGraph::from_edges(
+      2, 2, std::vector<LEdge>{{0, 0, 1.0}, {1, 1, 1.0}});
+  std::stringstream ss("NETALIGN-MATCHING 1\n2\n0 0\n          \n");
+  try {
+    read_matching(ss, L);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("pair 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("(at byte"), std::string::npos) << msg;
+  }
+}
+
+TEST(MatchingIo, RejectsDoubleMatchWithinCapacity) {
+  // Unlike RejectsDoubleMatchedVertex above, the count here is legal for
+  // the graph, so this exercises the per-pair duplicate check itself.
+  const BipartiteGraph L = BipartiteGraph::from_edges(
+      2, 2, std::vector<LEdge>{{0, 0, 1.0}, {0, 1, 1.0}, {1, 1, 1.0}});
+  std::stringstream ss("NETALIGN-MATCHING 1\n2\n0 0\n0 1\n");
+  try {
+    read_matching(ss, L);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("matched twice"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MatchingIo, WriteFileToBadPathThrows) {
+  BipartiteMatching m;
+  EXPECT_THROW(write_matching_file("/nonexistent/dir/out.mat", m),
+               std::runtime_error);
+}
+
+TEST(MatchingIo, FileRoundTrip) {
+  Xoshiro256 rng(4);
+  const auto L = random_bipartite(12, 12, 60, rng);
+  const auto w = own_weights(L);
+  const auto m = max_weight_matching_exact(L, w);
+  const std::string path = ::testing::TempDir() + "roundtrip.mat";
+  write_matching_file(path, m);
+  const auto r = read_matching_file(path, L);
+  EXPECT_EQ(r.mate_a, m.mate_a);
+  EXPECT_EQ(r.cardinality, m.cardinality);
+  std::remove(path.c_str());
 }
 
 }  // namespace
