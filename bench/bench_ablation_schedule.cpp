@@ -1,9 +1,9 @@
 // Ablation for the paper's Section IV-A implementation choices: the loops
 // over the squares matrix S use OpenMP "dynamic" scheduling with a chunk
 // size of 1000 because the rows of S are highly imbalanced ("some rows are
-// empty and others have many non-zeros"). This bench times the BP
-// compute_F + compute_d kernel pair over S under static, dynamic and
-// guided schedules and several chunk sizes.
+// empty and others have many non-zeros"). This bench times BP's fused
+// compute_Fd kernel (F clamp + d row sums) over S under static, dynamic
+// and guided schedules and several chunk sizes.
 //
 // On a single hardware core the schedules tie; on a multicore host the
 // dynamic/1000 configuration should win, reproducing the paper's finding.
@@ -20,7 +20,7 @@ namespace {
 
 enum class Sched { kStatic, kDynamic, kGuided };
 
-/// The compute_F / compute_d kernel pair from BP under a chosen schedule.
+/// BP's fused compute_Fd kernel under a chosen schedule.
 /// Reads sk through the transpose permutation and accumulates row sums --
 /// the same memory access pattern as the real iteration.
 double time_kernel(const SquaresMatrix& S, const BipartiteGraph&,

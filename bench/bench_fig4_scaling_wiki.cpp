@@ -27,6 +27,7 @@ int main(int argc, char** argv) try {
   auto& max_threads_flag =
       cli.add_int("max-threads", max_threads(), "largest thread count");
   auto& seed = cli.add_int("seed", 404, "generator seed");
+  auto& json_out = add_json_out_flag(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   auto spec = spec_by_name("lcsh-wiki");
@@ -34,6 +35,10 @@ int main(int argc, char** argv) try {
   auto prep = prepare(spec, scale);
   prep.problem.alpha = 1.0;
   prep.problem.beta = 2.0;
+
+  obs::BenchResult json_result("bench_fig4_scaling_wiki");
+  set_problem_params(json_result, "lcsh-wiki", scale, prep);
+  json_result.set_param("iters", static_cast<double>(iters));
 
   std::printf("== Figure 4: strong scaling, lcsh-wiki, %lld iterations ==\n",
               static_cast<long long>(iters));
@@ -46,7 +51,8 @@ int main(int argc, char** argv) try {
   run_scaling_bench(prep.problem, prep.squares, methods,
                     thread_sweep(static_cast<int>(max_threads_flag)),
                     static_cast<int>(iters), /*gamma_bp=*/0.99,
-                    /*gamma_mr=*/0.4, /*mstep=*/10);
+                    /*gamma_mr=*/0.4, /*mstep=*/10, &json_result);
+  write_json_result(json_result, json_out);
   std::printf("\nExpected shape (paper Fig. 4): both methods scale to ~40\n"
               "threads with ~15x speedup on the paper's 80-thread host;\n"
               "batching does not change BP's scaling on this problem.\n");

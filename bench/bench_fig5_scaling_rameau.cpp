@@ -19,6 +19,7 @@ int main(int argc, char** argv) try {
   auto& max_threads_flag =
       cli.add_int("max-threads", max_threads(), "largest thread count");
   auto& seed = cli.add_int("seed", 505, "generator seed");
+  auto& json_out = add_json_out_flag(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   auto spec = spec_by_name("lcsh-rameau");
@@ -26,6 +27,10 @@ int main(int argc, char** argv) try {
   auto prep = prepare(spec, scale);
   prep.problem.alpha = 1.0;
   prep.problem.beta = 2.0;
+
+  obs::BenchResult json_result("bench_fig5_scaling_rameau");
+  set_problem_params(json_result, "lcsh-rameau", scale, prep);
+  json_result.set_param("iters", static_cast<double>(iters));
 
   std::printf(
       "== Figure 5: strong scaling, lcsh-rameau, %lld iterations ==\n",
@@ -37,7 +42,8 @@ int main(int argc, char** argv) try {
   run_scaling_bench(prep.problem, prep.squares, methods,
                     thread_sweep(static_cast<int>(max_threads_flag)),
                     static_cast<int>(iters), /*gamma_bp=*/0.99,
-                    /*gamma_mr=*/0.4, /*mstep=*/10);
+                    /*gamma_mr=*/0.4, /*mstep=*/10, &json_result);
+  write_json_result(json_result, json_out);
   std::printf("\nExpected shape (paper Fig. 5): same scaling behavior as\n"
               "lcsh-wiki; BP(batch=20) gives the best speedup here.\n");
   return 0;

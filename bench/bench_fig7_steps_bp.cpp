@@ -20,6 +20,7 @@ int main(int argc, char** argv) try {
       cli.add_int("max-threads", max_threads(), "largest thread count");
   auto& seed = cli.add_int("seed", 707, "generator seed");
   const ObsFlags obs_flags = add_obs_flags(cli);
+  auto& json_out = add_json_out_flag(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   auto spec = spec_by_name("lcsh-wiki");
@@ -27,6 +28,11 @@ int main(int argc, char** argv) try {
   auto prep = prepare(spec, scale);
   prep.problem.alpha = 1.0;
   prep.problem.beta = 2.0;
+
+  obs::BenchResult json_result("bench_fig7_steps_bp");
+  set_problem_params(json_result, "lcsh-wiki", scale, prep);
+  json_result.set_param("iters", static_cast<double>(iters));
+  json_result.set_param("batch", static_cast<double>(batch));
 
   std::printf("== Figure 7: per-step timing of BP(batch=%lld) (steps of "
               "Listing 2) ==\n",
@@ -61,6 +67,10 @@ int main(int argc, char** argv) try {
                      obs_flags.counters ? &counters : nullptr);
     }
     sweep_counters.merge(counters);
+    const std::string cell = "t" + std::to_string(t) + "_";
+    json_result.set_metric(cell + "total_seconds", r.total_seconds);
+    json_result.set_step_metrics(cell + "step_", r.timers);
+    json_result.set_metric(cell + "objective", r.value.objective);
     for (const auto& step : r.timers.names()) {
       table.add_row({TextTable::num(t), step,
                      TextTable::fixed(r.timers.total(step), 3),
@@ -69,6 +79,7 @@ int main(int argc, char** argv) try {
   }
   table.print();
   if (obs_flags.counters) print_counters(sweep_counters);
+  write_json_result(json_result, json_out);
   std::printf("\nExpected shape (paper Fig. 7): matching dominates (~58%% at\n"
               "scale), othermax ~15%%, damping ~12%% and limiting at high\n"
               "thread counts.\n");

@@ -1,0 +1,122 @@
+// Hot-kernel microbench for the perf-regression gate (docs/PERFORMANCE.md).
+//
+// Times the three kernels the profile says dominate an alignment run --
+// squares-matrix construction, BP's per-iteration message sweeps, and the
+// approximate rounding -- at a small fixed scale, and emits them as a
+// machine-readable JSON result (`--json-out`). tools/bench_runner.sh runs
+// this bench for every BENCH_netalign.json entry, and the `bench_smoke`
+// CTest compares a fresh run against the committed baseline via
+// tools/bench_compare. Unlike the figure benches, nothing here maps to a
+// paper artifact: the metrics exist to make "did this PR change a hot
+// path" a measured question instead of a guess.
+#include <exception>
+
+#include "common.hpp"
+#include "netalign/belief_prop.hpp"
+#include "netalign/rounding.hpp"
+
+using namespace netalign;
+using namespace netalign::bench;
+
+int main(int argc, char** argv) try {
+  CliParser cli("Time the hot kernels (squares build, BP message sweeps, "
+                "approximate rounding) for the perf-regression gate.");
+  auto& dataset = cli.add_string("dataset", "lcsh-wiki", "Table II dataset");
+  auto& scale = cli.add_double("scale", 0.05, "stand-in scale");
+  auto& repeats = cli.add_int("repeats", 3, "kernel timing repetitions");
+  auto& iters = cli.add_int("iters", 10, "BP iterations");
+  auto& batch = cli.add_int("batch", 8, "BP rounding batch size");
+  auto& threads = cli.add_int("threads", 0, "thread count (0 = current)");
+  auto& seed = cli.add_int("seed", 909, "generator seed");
+  auto& json_out = add_json_out_flag(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  if (repeats < 1 || iters < 1) throw std::invalid_argument("bad flags");
+
+  auto spec = spec_by_name(dataset);
+  spec.seed = static_cast<std::uint64_t>(seed);
+  const ThreadCountGuard guard(threads > 0 ? static_cast<int>(threads)
+                                           : max_threads());
+  auto prep = prepare(spec, scale);
+  prep.problem.alpha = 1.0;
+  prep.problem.beta = 2.0;
+
+  obs::BenchResult result("bench_kernels");
+  set_problem_params(result, dataset, scale, prep);
+  result.set_param("repeats", static_cast<double>(repeats));
+  result.set_param("iters", static_cast<double>(iters));
+  result.set_param("batch", static_cast<double>(batch));
+
+  TextTable table({"kernel", "seconds", "note"});
+
+  // --- Squares build: min over repeats (min is the stablest statistic for
+  // a deterministic kernel; everything above it is scheduler noise). ------
+  double squares_min = prep.squares_seconds;
+  double squares_sum = prep.squares_seconds;
+  for (int rep = 1; rep < repeats; ++rep) {
+    WallTimer t;
+    const SquaresMatrix rebuilt = SquaresMatrix::build(prep.problem);
+    const double s = t.seconds();
+    squares_min = std::min(squares_min, s);
+    squares_sum += s;
+    if (rebuilt.num_nonzeros() != prep.squares.num_nonzeros()) {
+      throw std::logic_error("squares rebuild changed nnz");
+    }
+  }
+  result.set_metric("squares_build_seconds", squares_min);
+  result.set_metric("squares_build_mean_seconds",
+                    squares_sum / static_cast<double>(repeats));
+  table.add_row({"squares_build", TextTable::fixed(squares_min, 4),
+                 "min of " + std::to_string(repeats)});
+
+  // --- BP: one run; the per-iteration message sweeps (everything except
+  // the matcher) and the per-rounding matcher cost are reported apart so a
+  // regression points at the right kernel. ------------------------------
+  BeliefPropOptions opt;
+  opt.max_iterations = static_cast<int>(iters);
+  opt.batch_size = static_cast<int>(batch);
+  opt.matcher = MatcherKind::kLocallyDominant;
+  opt.gamma = 0.99;
+  opt.final_exact_round = false;
+  opt.record_history = false;
+  const AlignResult r = belief_prop_align(prep.problem, prep.squares, opt);
+  const double matching_s = r.timers.total("matching");
+  const double message_s = r.timers.grand_total() - matching_s;
+  const double rounds = 2.0 * static_cast<double>(iters);  // y and z
+  result.set_metric("bp_message_seconds_per_iter",
+                    message_s / static_cast<double>(iters));
+  result.set_metric("bp_matching_seconds_per_round", matching_s / rounds);
+  result.set_metric("bp_total_seconds", r.total_seconds);
+  result.set_step_metrics("bp_step_", r.timers);
+  result.set_metric("bp_objective", r.value.objective);
+  table.add_row({"bp_message_per_iter",
+                 TextTable::fixed(message_s / static_cast<double>(iters), 4),
+                 std::to_string(iters) + " iters"});
+  table.add_row({"bp_matching_per_round",
+                 TextTable::fixed(matching_s / rounds, 4),
+                 "batch=" + std::to_string(batch)});
+
+  // --- Approximate rounding on the similarity weights (the matcher's
+  // standalone cost, independent of BP's batching). ----------------------
+  double round_min = 0.0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    WallTimer t;
+    const RoundOutcome out = round_heuristic(
+        prep.problem, prep.squares, prep.problem.L.weights(),
+        MatcherKind::kLocallyDominant);
+    const double s = t.seconds();
+    if (rep == 0 || s < round_min) round_min = s;
+    if (out.matching.cardinality == 0) {
+      throw std::logic_error("rounding produced an empty matching");
+    }
+  }
+  result.set_metric("round_approx_seconds", round_min);
+  table.add_row({"round_approx", TextTable::fixed(round_min, 4),
+                 "min of " + std::to_string(repeats)});
+
+  table.print();
+  write_json_result(result, json_out);
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

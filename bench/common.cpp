@@ -12,7 +12,8 @@ void run_scaling_bench(const NetAlignProblem& problem,
                        const SquaresMatrix& squares,
                        const std::vector<ScalingMethod>& methods,
                        const std::vector<int>& threads, int iters,
-                       double gamma_bp, double gamma_mr, int mstep) {
+                       double gamma_bp, double gamma_mr, int mstep,
+                       obs::BenchResult* json) {
   std::printf("# NOTE: hardware reports %u concurrent threads; speedup "
               "beyond that count reflects oversubscription, not scaling.\n",
               std::thread::hardware_concurrency());
@@ -48,9 +49,43 @@ void run_scaling_bench(const NetAlignProblem& problem,
                      TextTable::fixed(r.total_seconds, 2),
                      TextTable::fixed(speedup, 2),
                      TextTable::fixed(r.value.objective, 1)});
+      if (json != nullptr) {
+        const std::string cell = method.label + ".t" + std::to_string(t);
+        json->set_metric(cell + "_seconds", r.total_seconds);
+        json->set_metric(cell + "_objective", r.value.objective);
+      }
     }
   }
   table.print();
+}
+
+std::string& add_json_out_flag(CliParser& cli) {
+  return cli.add_string(
+      "json-out", "",
+      "write a machine-readable JSON result file (docs/PERFORMANCE.md)");
+}
+
+void set_problem_params(obs::BenchResult& result, const std::string& dataset,
+                        double scale, const PreparedProblem& prep) {
+  result.set_param("dataset", dataset);
+  result.set_param("scale", scale);
+  result.set_param("vertices_a",
+                   static_cast<double>(prep.problem.A.num_vertices()));
+  result.set_param("vertices_b",
+                   static_cast<double>(prep.problem.B.num_vertices()));
+  result.set_param("edges_l",
+                   static_cast<double>(prep.problem.L.num_edges()));
+  result.set_param("nnz_s",
+                   static_cast<double>(prep.squares.num_nonzeros()));
+  result.set_metric("prepare_generate_seconds", prep.generate_seconds);
+  result.set_metric("prepare_squares_seconds", prep.squares_seconds);
+}
+
+void write_json_result(const obs::BenchResult& result,
+                       const std::string& path) {
+  if (path.empty()) return;
+  result.write(path);
+  std::printf("# json result written to %s\n", path.c_str());
 }
 
 std::unique_ptr<obs::TraceWriter> open_trace(const std::string& path) {

@@ -1,10 +1,13 @@
 // Shared helpers for the bench binaries.
 //
-// Each bench binary regenerates one table or figure of the paper (see
-// DESIGN.md section 4 for the experiment index). Default parameters are
-// sized so the full `for b in build/bench/*; do $b; done` sweep finishes
-// in minutes on a small machine; every bench accepts flags to run at the
-// paper's full scale.
+// Each bench binary regenerates one table or figure of the paper; the
+// bench-to-artifact index lives in docs/PERFORMANCE.md (with DESIGN.md §4
+// as the original design source). Default parameters are sized so the full
+// `for b in build/bench/*; do $b; done` sweep finishes in minutes on a
+// small machine; every bench accepts flags to run at the paper's full
+// scale, and benches wired through add_json_out_flag can emit a
+// machine-readable JSON result file for the perf-regression gate
+// (docs/PERFORMANCE.md, tools/bench_compare).
 #pragma once
 
 #include <cstdio>
@@ -13,6 +16,7 @@
 
 #include "netalign/squares.hpp"
 #include "netalign/synthetic.hpp"
+#include "obs/bench_result.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
@@ -34,6 +38,8 @@ inline StandInSpec spec_by_name(const std::string& name) {
 struct PreparedProblem {
   NetAlignProblem problem;
   SquaresMatrix squares;
+  double generate_seconds = 0.0;
+  double squares_seconds = 0.0;
 };
 
 inline PreparedProblem prepare(const StandInSpec& spec, double scale,
@@ -41,9 +47,10 @@ inline PreparedProblem prepare(const StandInSpec& spec, double scale,
   PreparedProblem out;
   WallTimer t;
   out.problem = make_standin_problem(spec, scale);
-  const double gen_s = t.seconds();
+  out.generate_seconds = t.seconds();
   t.reset();
   out.squares = SquaresMatrix::build(out.problem);
+  out.squares_seconds = t.seconds();
   if (verbose) {
     std::printf(
         "# %s: |V_A|=%d |V_B|=%d |E_L|=%lld nnz(S)=%lld "
@@ -51,8 +58,8 @@ inline PreparedProblem prepare(const StandInSpec& spec, double scale,
         out.problem.name.c_str(), out.problem.A.num_vertices(),
         out.problem.B.num_vertices(),
         static_cast<long long>(out.problem.L.num_edges()),
-        static_cast<long long>(out.squares.num_nonzeros()), gen_s,
-        t.seconds());
+        static_cast<long long>(out.squares.num_nonzeros()),
+        out.generate_seconds, out.squares_seconds);
   }
   return out;
 }
@@ -75,12 +82,30 @@ struct ScalingMethod {
 /// Strong-scaling run: execute each method at each thread count and print
 /// time plus speedup relative to that method's 1-thread run -- the series
 /// of the paper's Figures 4 and 5. Also prints a NOTE with the hardware
-/// context, since speedups are only meaningful with real cores.
+/// context, since speedups are only meaningful with real cores. When
+/// `json` is non-null, each (method, threads) cell is recorded as metrics
+/// "<label>.t<threads>_seconds" / "<label>.t<threads>_objective".
 void run_scaling_bench(const NetAlignProblem& problem_in,
                        const SquaresMatrix& squares,
                        const std::vector<ScalingMethod>& methods,
                        const std::vector<int>& threads, int iters,
-                       double gamma_bp, double gamma_mr, int mstep);
+                       double gamma_bp, double gamma_mr, int mstep,
+                       obs::BenchResult* json = nullptr);
+
+/// Register the standard --json-out flag: when non-empty, the bench writes
+/// one "netalign-bench-result-v1" document there at exit
+/// (docs/PERFORMANCE.md documents the schema and the regression gate).
+std::string& add_json_out_flag(CliParser& cli);
+
+/// Record the standard problem parameters (dataset, scale, generated
+/// sizes) and preparation-cost metrics shared by every JSON result.
+void set_problem_params(obs::BenchResult& result, const std::string& dataset,
+                        double scale, const PreparedProblem& prep);
+
+/// Write `result` to `path` unless the path is empty -- the standard
+/// handling of --json-out, mirroring open_trace.
+void write_json_result(const obs::BenchResult& result,
+                       const std::string& path);
 
 /// Open a TraceWriter on `path`, or return null when the path is empty --
 /// the standard handling of --trace-out (see add_obs_flags).

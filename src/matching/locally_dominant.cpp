@@ -52,17 +52,23 @@ class GeneralView {
 
 class LdSolver {
  public:
+  /// The per-vertex state lives in `ws` (grown here if too small, values
+  /// reinitialized unconditionally); the solver itself holds only views.
   LdSolver(const BipartiteGraph& L, std::span<const weight_t> w,
-           const LdOptions& options, LdStats* stats)
+           const LdOptions& options, LdStats* stats, LdWorkspace& ws)
       : view_(L, w),
         options_(options),
         stats_(stats),
         n_(view_.num_vertices()),
-        mate_(static_cast<std::size_t>(n_)),
-        candidate_(static_cast<std::size_t>(n_)),
-        lock_(static_cast<std::size_t>(n_)),
-        queue_current_(static_cast<std::size_t>(n_)),
-        queue_next_(static_cast<std::size_t>(n_)) {
+        mate_(ensure_atomic(ws.mate, n_)),
+        candidate_(ensure_atomic(ws.candidate, n_)),
+        lock_(ensure_atomic(ws.lock, n_)),
+        queue_current_(ws.queue_current),
+        queue_next_(ws.queue_next) {
+    if (queue_current_.size() < static_cast<std::size_t>(n_)) {
+      queue_current_.resize(static_cast<std::size_t>(n_));
+      queue_next_.resize(static_cast<std::size_t>(n_));
+    }
     for (vid_t v = 0; v < n_; ++v) {
       mate_[v].store(kInvalidVid, std::memory_order_relaxed);
       candidate_[v].store(kNeverScanned, std::memory_order_relaxed);
@@ -309,15 +315,26 @@ class LdSolver {
     }
   }
 
+  /// Grow an atomic-element vector to at least n slots. Vectors of
+  /// atomics cannot resize in place (the elements are immovable), so
+  /// growth reconstructs; shrink never happens, keeping reuse cheap.
+  template <typename T>
+  static std::vector<T>& ensure_atomic(std::vector<T>& v, vid_t n) {
+    if (v.size() < static_cast<std::size_t>(n)) {
+      v = std::vector<T>(static_cast<std::size_t>(n));
+    }
+    return v;
+  }
+
   GeneralView view_;
   LdOptions options_;
   LdStats* stats_;
   vid_t n_;
-  std::vector<std::atomic<vid_t>> mate_;
-  std::vector<std::atomic<vid_t>> candidate_;
-  std::vector<std::atomic_flag> lock_;
-  std::vector<vid_t> queue_current_;
-  std::vector<vid_t> queue_next_;
+  std::vector<std::atomic<vid_t>>& mate_;
+  std::vector<std::atomic<vid_t>>& candidate_;
+  std::vector<std::atomic_flag>& lock_;
+  std::vector<vid_t>& queue_current_;
+  std::vector<vid_t>& queue_next_;
   std::atomic<eid_t> findmate_calls_{0};
 };
 
@@ -326,12 +343,14 @@ class LdSolver {
 BipartiteMatching locally_dominant_matching(const BipartiteGraph& L,
                                             std::span<const weight_t> w,
                                             const LdOptions& options,
-                                            LdStats* stats) {
+                                            LdStats* stats,
+                                            LdWorkspace* workspace) {
   if (static_cast<eid_t>(w.size()) != L.num_edges()) {
     throw std::invalid_argument("locally_dominant_matching: weight size");
   }
   if (stats) *stats = LdStats{};
-  LdSolver solver(L, w, options, stats);
+  LdWorkspace local;
+  LdSolver solver(L, w, options, stats, workspace ? *workspace : local);
   solver.run();
   BipartiteMatching m;
   solver.extract(L, w, m);

@@ -29,6 +29,7 @@
 // and bench_matching reproduces that series.
 #pragma once
 
+#include <atomic>
 #include <span>
 #include <vector>
 
@@ -56,15 +57,34 @@ struct LdStats {
   eid_t findmate_calls = 0;        ///< total neighborhood scans
 };
 
+/// Reusable allocation block for the solver's per-vertex state (five
+/// |V_A|+|V_B|-sized vectors). Batched callers -- BP rounds up to
+/// 2 * batch_size matchings per flush -- pass one workspace per concurrent
+/// call so repeated matchings stop paying an allocation plus first-touch
+/// page faults each time; values are reinitialized on every call, so a
+/// workspace carries no state between calls and may be reused across
+/// different graphs (it grows to the largest |V| seen). Not shareable
+/// between concurrent calls.
+struct LdWorkspace {
+  std::vector<std::atomic<vid_t>> mate;
+  std::vector<std::atomic<vid_t>> candidate;
+  std::vector<std::atomic_flag> lock;
+  std::vector<vid_t> queue_current;
+  std::vector<vid_t> queue_next;
+};
+
 /// Locally-dominant matching on L under external weights w (w <= 0 edges
 /// ignored). With one thread the result is fully deterministic (candidate
 /// selection depends only on weights and ids). With multiple threads the
 /// set of matched edges can vary with scheduling -- as in the original
 /// algorithm -- but every result is a maximal matching with at least half
-/// the maximum weight and half the maximum cardinality.
+/// the maximum weight and half the maximum cardinality. `workspace`, when
+/// given, supplies the solver's scratch vectors (see LdWorkspace); the
+/// result does not depend on it.
 BipartiteMatching locally_dominant_matching(const BipartiteGraph& L,
                                             std::span<const weight_t> w,
                                             const LdOptions& options = {},
-                                            LdStats* stats = nullptr);
+                                            LdStats* stats = nullptr,
+                                            LdWorkspace* workspace = nullptr);
 
 }  // namespace netalign

@@ -59,8 +59,6 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
   std::vector<weight_t> sk_prev(static_cast<std::size_t>(nnz), 0.0);
   std::vector<weight_t> F(static_cast<std::size_t>(nnz), 0.0);
   std::vector<weight_t> d(static_cast<std::size_t>(m), 0.0);
-  std::vector<weight_t> om_col(static_cast<std::size_t>(m), 0.0);
-  std::vector<weight_t> om_row(static_cast<std::size_t>(m), 0.0);
 
   // Rounding batch: `batch_size` message vectors are stored and rounded
   // together as OpenMP tasks (two vectors, y and z, accrue per iteration).
@@ -68,6 +66,11 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
   for (auto& pr : batch) pr.g.resize(static_cast<std::size_t>(m));
   std::size_t batch_fill = 0;
   std::vector<RoundOutcome> batch_out(batch.size());
+  // One rounding workspace per thread, reused across every flush: batched
+  // rounding otherwise reallocates the matcher's per-vertex state and the
+  // objective indicator on each of the 2 * max_iterations roundings.
+  std::vector<RoundWorkspace> round_ws(
+      static_cast<std::size_t>(max_threads()));
 
   auto flush_batch = [&]() {
     if (batch_fill == 0) return;
@@ -78,10 +81,13 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
     // the next unstarted rounding -- without the task queue, whose libgomp
     // internals are opaque to TSan (see fenced_parallel in parallel.hpp).
     fenced_parallel([&] {
+      const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+      RoundWorkspace* const ws =
+          tid < round_ws.size() ? &round_ws[tid] : nullptr;
 #pragma omp for schedule(dynamic, 1) nowait
       for (std::size_t i = 0; i < batch_fill; ++i) {
         batch_out[i] =
-            round_heuristic(p, S, batch[i].g, options.matcher, counters);
+            round_heuristic(p, S, batch[i].g, options.matcher, counters, ws);
       }
     });
     for (std::size_t i = 0; i < batch_fill; ++i) {
@@ -110,59 +116,51 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
   const auto nrows = static_cast<vid_t>(m);
 
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
-    // --- Step 1: F = bound_{0,beta}[beta S + S^(k)T] ---------------------
+    // --- Steps 1+2 fused: F = bound_{0,beta}[beta S + S^(k)T] and
+    // d = alpha w + F e in one sweep over the rows of S. F[k] is summed
+    // into d[e] the moment it is written, while the row is still in
+    // cache, instead of re-reading all of F in a second pass. Arithmetic
+    // order matches the unfused form (same k order per row), so results
+    // are bit-identical.
     {
-      ScopedStepTimer st(result.timers, "compute_F", iter_steps_ptr);
-      fenced_parallel([&] {
-#pragma omp for schedule(dynamic, kDynamicChunk) nowait
-        for (vid_t e = 0; e < nrows; ++e) {
-          for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) {
-            F[k] = std::clamp(p.beta + sk_prev[perm[k]], 0.0, p.beta);
-          }
-        }
-      });
-    }
-
-    // --- Step 2: d = alpha w + F e ---------------------------------------
-    {
-      ScopedStepTimer st(result.timers, "compute_d", iter_steps_ptr);
+      ScopedStepTimer st(result.timers, "compute_Fd", iter_steps_ptr);
       fenced_parallel([&] {
 #pragma omp for schedule(dynamic, kDynamicChunk) nowait
         for (vid_t e = 0; e < nrows; ++e) {
           weight_t sum = 0.0;
-          for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) sum += F[k];
+          for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) {
+            F[k] = std::clamp(p.beta + sk_prev[perm[k]], 0.0, p.beta);
+            sum += F[k];
+          }
           d[e] = p.alpha * w[e] + sum;
         }
       });
     }
 
-    // --- Step 3: othermax -------------------------------------------------
+    // --- Step 3: othermax, fused with the subtraction ---------------------
+    // othermax_*_sub writes y = d - othermaxcol(z_prev) and
+    // z = d - othermaxrow(y_prev) directly, eliminating the two
+    // intermediate othermax vectors and the separate combine pass over
+    // the edges of L.
     {
       ScopedStepTimer st(result.timers, "othermax", iter_steps_ptr);
       if (options.independent_othermax_tasks) {
         // The two othermax sweeps touch disjoint outputs and only read
-        // the previous iterates, so they can run as independent tasks
-        // (paper Section IX's first future-work item).
+        // the previous iterates plus d, so they can run as independent
+        // tasks (paper Section IX's first future-work item).
         fenced_parallel([&] {
 #pragma omp sections nowait
           {
 #pragma omp section
-            othermax_col(L, z_prev, om_col);
+            othermax_col_sub(L, z_prev, d, y);
 #pragma omp section
-            othermax_row(L, y_prev, om_row);
+            othermax_row_sub(L, y_prev, d, z);
           }
         });
       } else {
-        othermax_col(L, z_prev, om_col);
-        othermax_row(L, y_prev, om_row);
+        othermax_col_sub(L, z_prev, d, y);
+        othermax_row_sub(L, y_prev, d, z);
       }
-      fenced_parallel([&] {
-#pragma omp for schedule(static) nowait
-        for (eid_t e = 0; e < m; ++e) {
-          y[e] = d[e] - om_col[e];
-          z[e] = d[e] - om_row[e];
-        }
-      });
     }
 
     // --- Step 4: S^(k) = diag(y + z - d) S - F ----------------------------

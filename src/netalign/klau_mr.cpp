@@ -84,6 +84,9 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
   weight_t best_upper = kPosInf;
   int since_upper_improved = 0;
   BestSolutionTracker tracker;
+  // Matcher scratch reused across iterations (step 3 runs one matcher per
+  // iteration, serially, so a single workspace suffices).
+  RoundWorkspace match_ws;
 
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
     // --- Step 1: row match ---------------------------------------------
@@ -135,7 +138,7 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
     BipartiteMatching matching;
     {
       ScopedStepTimer st(result.timers, "match", iter_steps_ptr);
-      matching = run_matcher(L, wbar, options.matcher, counters);
+      matching = run_matcher(L, wbar, options.matcher, counters, &match_ws);
       std::fill(x.begin(), x.end(), std::uint8_t{0});
       for (vid_t a = 0; a < L.num_a(); ++a) {
         if (matching.mate_a[a] == kInvalidVid) continue;

@@ -20,6 +20,17 @@ void check_sizes(const BipartiteGraph& L, std::span<const weight_t> g,
   }
 }
 
+void check_sizes(const BipartiteGraph& L, std::span<const weight_t> g,
+                 std::span<const weight_t> d, std::span<weight_t> out) {
+  check_sizes(L, g, out);
+  if (static_cast<eid_t>(d.size()) != L.num_edges()) {
+    throw std::invalid_argument("othermax: vector size mismatch");
+  }
+  if (d.data() == out.data()) {
+    throw std::invalid_argument("othermax: in-place call not supported");
+  }
+}
+
 }  // namespace
 
 void othermax_row(const BipartiteGraph& L, std::span<const weight_t> g,
@@ -73,6 +84,60 @@ void othermax_col(const BipartiteGraph& L, std::span<const weight_t> g,
         const eid_t e = L.col_edge(k);
         const weight_t other = (e == arg1) ? max2 : max1;
         out[e] = std::max(other, 0.0);
+      }
+    }
+  });
+}
+
+void othermax_row_sub(const BipartiteGraph& L, std::span<const weight_t> g,
+                      std::span<const weight_t> d, std::span<weight_t> out) {
+  check_sizes(L, g, d, out);
+  fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+    for (vid_t a = 0; a < L.num_a(); ++a) {
+      weight_t max1 = kNegInf, max2 = kNegInf;
+      eid_t arg1 = kInvalidEid;
+      for (eid_t e = L.row_begin(a); e < L.row_end(a); ++e) {
+        const weight_t v = g[e];
+        if (v > max1) {
+          max2 = max1;
+          max1 = v;
+          arg1 = e;
+        } else if (v > max2) {
+          max2 = v;
+        }
+      }
+      for (eid_t e = L.row_begin(a); e < L.row_end(a); ++e) {
+        const weight_t other = (e == arg1) ? max2 : max1;
+        out[e] = d[e] - std::max(other, 0.0);
+      }
+    }
+  });
+}
+
+void othermax_col_sub(const BipartiteGraph& L, std::span<const weight_t> g,
+                      std::span<const weight_t> d, std::span<weight_t> out) {
+  check_sizes(L, g, d, out);
+  fenced_parallel([&] {
+#pragma omp for schedule(dynamic, kDynamicChunk) nowait
+    for (vid_t b = 0; b < L.num_b(); ++b) {
+      weight_t max1 = kNegInf, max2 = kNegInf;
+      eid_t arg1 = kInvalidEid;
+      for (eid_t k = L.col_begin(b); k < L.col_end(b); ++k) {
+        const eid_t e = L.col_edge(k);
+        const weight_t v = g[e];
+        if (v > max1) {
+          max2 = max1;
+          max1 = v;
+          arg1 = e;
+        } else if (v > max2) {
+          max2 = v;
+        }
+      }
+      for (eid_t k = L.col_begin(b); k < L.col_end(b); ++k) {
+        const eid_t e = L.col_edge(k);
+        const weight_t other = (e == arg1) ? max2 : max1;
+        out[e] = d[e] - std::max(other, 0.0);
       }
     }
   });

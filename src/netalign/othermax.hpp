@@ -6,6 +6,14 @@
 // vertex (the edge holding the row maximum receives the second maximum),
 // clamped below at zero. othermaxcol does the same over shared B vertices.
 //
+// bound_{0,inf} semantics at the boundary: the max ranges over the *other*
+// edges of the row, so for a row with a single entry that set is empty, the
+// raw maximum is -inf, and bound_{0,inf} clamps it to exactly 0 -- a
+// single-entry row therefore always receives 0, never a negative value and
+// never its own g. This matters for BP: y = d - othermaxcol(z_prev) then
+// reduces to y = d on such edges, i.e. an L-edge with no competitors keeps
+// its full belief (test_othermax.cpp pins this down).
+//
 // Rows are computed from L's CSR view and columns from the CSC view via the
 // edge-id permutation; both parallelize with the dynamic schedule / chunk
 // 1000 configuration the paper reports as fastest (Section IV-C).
@@ -27,5 +35,17 @@ void othermax_row(const BipartiteGraph& L, std::span<const weight_t> g,
 /// Same over shared B-side vertices.
 void othermax_col(const BipartiteGraph& L, std::span<const weight_t> g,
                   std::span<weight_t> out);
+
+/// Fused BP update: out[e] = d[e] - [othermaxrow(g)]_e in one sweep,
+/// avoiding the intermediate othermax vector and the separate subtraction
+/// pass (BP Listing 2 step 3). Bit-identical to othermax_row followed by
+/// the subtraction. `g`, `d`, `out` all have L.num_edges() entries; `out`
+/// may not alias `g` or `d`.
+void othermax_row_sub(const BipartiteGraph& L, std::span<const weight_t> g,
+                      std::span<const weight_t> d, std::span<weight_t> out);
+
+/// Same over shared B-side vertices.
+void othermax_col_sub(const BipartiteGraph& L, std::span<const weight_t> g,
+                      std::span<const weight_t> d, std::span<weight_t> out);
 
 }  // namespace netalign

@@ -46,7 +46,8 @@ MatcherKind matcher_from_string(const std::string& name) {
 
 BipartiteMatching run_matcher(const BipartiteGraph& L,
                               std::span<const weight_t> g, MatcherKind kind,
-                              obs::Counters* counters) {
+                              obs::Counters* counters,
+                              RoundWorkspace* workspace) {
   // Non-finite weights poison every matcher differently (the Hungarian
   // duals diverge, the auction never terminates); fail loudly instead.
   for (const weight_t v : g) {
@@ -60,15 +61,16 @@ BipartiteMatching run_matcher(const BipartiteGraph& L,
       if (counters) counters->add_concurrent("match.exact_calls");
       return max_weight_matching_exact(L, g);
     case MatcherKind::kLocallyDominant: {
+      LdWorkspace* const ld_ws = workspace ? &workspace->ld : nullptr;
       if (counters) {
         LdStats ls;
-        BipartiteMatching m = locally_dominant_matching(L, g, {}, &ls);
+        BipartiteMatching m = locally_dominant_matching(L, g, {}, &ls, ld_ws);
         counters->add_concurrent("ld.calls");
         counters->add_concurrent("ld.rounds", ls.rounds);
         counters->add_concurrent("ld.findmate_calls", ls.findmate_calls);
         return m;
       }
-      return locally_dominant_matching(L, g);
+      return locally_dominant_matching(L, g, {}, nullptr, ld_ws);
     }
     case MatcherKind::kGreedy:
       return greedy_matching(L, g);
@@ -84,10 +86,26 @@ BipartiteMatching run_matcher(const BipartiteGraph& L,
 
 RoundOutcome round_heuristic(const NetAlignProblem& p, const SquaresMatrix& S,
                              std::span<const weight_t> g, MatcherKind kind,
-                             obs::Counters* counters) {
+                             obs::Counters* counters,
+                             RoundWorkspace* workspace) {
   RoundOutcome out;
-  out.matching = run_matcher(p.L, g, kind, counters);
-  out.value = evaluate_objective(p, S, out.matching);
+  out.matching = run_matcher(p.L, g, kind, counters, workspace);
+  if (workspace != nullptr) {
+    // Reused indicator path: fill the workspace buffer in place instead of
+    // allocating a fresh vector (and the intermediate matched-edge list)
+    // per rounding, then score through the span overload.
+    auto& x = workspace->indicator;
+    x.assign(static_cast<std::size_t>(p.L.num_edges()), 0);
+    for (vid_t a = 0; a < p.L.num_a(); ++a) {
+      const vid_t b = out.matching.mate_a[a];
+      if (b == kInvalidVid) continue;
+      const eid_t e = p.L.find_edge(a, b);
+      if (e != kInvalidEid) x[e] = 1;
+    }
+    out.value = evaluate_objective(p, S, x);
+  } else {
+    out.value = evaluate_objective(p, S, out.matching);
+  }
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "matching/exact_mwm.hpp"
+#include "matching/locally_dominant.hpp"
 #include "matching/matching.hpp"
 #include "netalign/objective.hpp"
 #include "netalign/squares.hpp"
@@ -33,14 +34,27 @@ enum class MatcherKind {
 /// "suitor"; throws std::invalid_argument otherwise.
 [[nodiscard]] MatcherKind matcher_from_string(const std::string& name);
 
+/// Reusable scratch for repeated round_heuristic / run_matcher calls: the
+/// locally-dominant matcher's per-vertex state plus the objective's 0/1
+/// indicator buffer. Callers that round in a loop (BP's batched flushes,
+/// MR's per-iteration match) keep one workspace per concurrent call so
+/// every rounding after the first allocates nothing. Results never depend
+/// on the workspace; it only recycles storage.
+struct RoundWorkspace {
+  LdWorkspace ld;
+  std::vector<std::uint8_t> indicator;
+};
+
 /// Run the selected matcher on L under weights g. When `counters` is
 /// given, matcher-internal counts (suitor proposals/displacements,
 /// locally-dominant rounds and scans) are accumulated into it; the adds go
 /// through Counters::add_concurrent because BP's batched rounding invokes
-/// matchers from concurrent tasks.
+/// matchers from concurrent tasks. `workspace` (optional) recycles matcher
+/// scratch between calls; matchers without workspace support ignore it.
 BipartiteMatching run_matcher(const BipartiteGraph& L,
                               std::span<const weight_t> g, MatcherKind kind,
-                              obs::Counters* counters = nullptr);
+                              obs::Counters* counters = nullptr,
+                              RoundWorkspace* workspace = nullptr);
 
 struct RoundOutcome {
   BipartiteMatching matching;
@@ -51,7 +65,8 @@ struct RoundOutcome {
 /// + beta/2 x'Sx -- with L's own weights w, not g).
 RoundOutcome round_heuristic(const NetAlignProblem& p, const SquaresMatrix& S,
                              std::span<const weight_t> g, MatcherKind kind,
-                             obs::Counters* counters = nullptr);
+                             obs::Counters* counters = nullptr,
+                             RoundWorkspace* workspace = nullptr);
 
 /// Tracks the best rounded solution across iterations, plus the heuristic
 /// vector that produced it (the methods return "the x with the largest

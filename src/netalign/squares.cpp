@@ -15,20 +15,31 @@ SquaresMatrix SquaresMatrix::build(const NetAlignProblem& p) {
   const eid_t m = L.num_edges();
   const auto nrows = static_cast<vid_t>(m);
 
-  // Pass 1: count squares per L-edge. For edge e = (i, i'), a square with
-  // edge f = (j, j') exists iff j ~ i in A, j' ~ i' in B and (j, j') is in
-  // L. Iterating neighbors of i and i' and probing L keeps the work
-  // proportional to deg_A(i) * deg_B(i') * log(deg_L).
+  // For edge e = (i, i'), a square with edge f = (j, j') exists iff j ~ i
+  // in A, j' ~ i' in B and (j, j') is in L. Instead of probing
+  // L.find_edge(j, j') for every (j, j') pair -- deg_A(i) * deg_B(i') *
+  // log(deg_L) per edge -- each thread keeps an epoch-stamped mark over
+  // V_B: stamp the B-neighborhood of i' once, then scan each L-row of a
+  // j ~ i and test membership in O(1). Work per edge drops to
+  // deg_B(i') + sum_j deg_L(j), and the emitted squares arrive ordered by
+  // f for free (A.neighbors and L rows are sorted, edge ids are row-major).
+  //
+  // The mark arrays are per-thread, allocated inside the parallel region
+  // before the worksharing loop; epochs replace clearing between edges.
   std::vector<eid_t> ptr(static_cast<std::size_t>(m) + 1, 0);
   fenced_parallel([&] {
+    std::vector<vid_t> mark(static_cast<std::size_t>(L.num_b()), 0);
+    vid_t epoch = 0;
 #pragma omp for schedule(dynamic, kDynamicChunk) nowait
     for (eid_t e = 0; e < m; ++e) {
       const vid_t i = L.edge_a(e);
       const vid_t ip = L.edge_b(e);
+      ++epoch;
+      for (const vid_t jp : p.B.neighbors(ip)) mark[jp] = epoch;
       eid_t count = 0;
       for (const vid_t j : p.A.neighbors(i)) {
-        for (const vid_t jp : p.B.neighbors(ip)) {
-          if (L.find_edge(j, jp) != kInvalidEid) ++count;
+        for (eid_t f = L.row_begin(j); f < L.row_end(j); ++f) {
+          if (mark[L.edge_b(f)] == epoch) ++count;
         }
       }
       ptr[e + 1] = count;
@@ -36,22 +47,28 @@ SquaresMatrix SquaresMatrix::build(const NetAlignProblem& p) {
   });
   for (eid_t e = 0; e < m; ++e) ptr[e + 1] += ptr[e];
 
-  // Pass 2: fill, then sort each row by column id (required for the
-  // binary-search lookups behind the transpose permutation).
+  // Fill pass. Rows come out already sorted by column id (required for the
+  // binary-search lookups behind the transpose permutation); the is_sorted
+  // guard keeps that invariant checkable without paying for a sort.
   std::vector<vid_t> col(static_cast<std::size_t>(ptr[m]));
   fenced_parallel([&] {
+    std::vector<vid_t> mark(static_cast<std::size_t>(L.num_b()), 0);
+    vid_t epoch = 0;
 #pragma omp for schedule(dynamic, kDynamicChunk) nowait
     for (eid_t e = 0; e < m; ++e) {
       const vid_t i = L.edge_a(e);
       const vid_t ip = L.edge_b(e);
+      ++epoch;
+      for (const vid_t jp : p.B.neighbors(ip)) mark[jp] = epoch;
       eid_t pos = ptr[e];
       for (const vid_t j : p.A.neighbors(i)) {
-        for (const vid_t jp : p.B.neighbors(ip)) {
-          const eid_t f = L.find_edge(j, jp);
-          if (f != kInvalidEid) col[pos++] = static_cast<vid_t>(f);
+        for (eid_t f = L.row_begin(j); f < L.row_end(j); ++f) {
+          if (mark[L.edge_b(f)] == epoch) col[pos++] = static_cast<vid_t>(f);
         }
       }
-      std::sort(col.begin() + ptr[e], col.begin() + ptr[e + 1]);
+      if (!std::is_sorted(col.begin() + ptr[e], col.begin() + ptr[e + 1])) {
+        std::sort(col.begin() + ptr[e], col.begin() + ptr[e + 1]);
+      }
     }
   });
 

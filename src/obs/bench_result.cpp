@@ -1,0 +1,443 @@
+#include "obs/bench_result.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
+namespace netalign::obs {
+
+namespace {
+
+constexpr const char* kResultSchema = "netalign-bench-result-v1";
+constexpr const char* kSweepSchema = "netalign-bench-sweep-v1";
+constexpr const char* kTrajectorySchema = "netalign-bench-trajectory-v1";
+
+void append_kv_string(std::string& out, std::string_view key,
+                      std::string_view value) {
+  append_json_string(out, key);
+  out += ": ";
+  append_json_string(out, value);
+}
+
+/// Serialize run_metadata() plus the hardware thread count as the "env"
+/// object shared by result and sweep documents.
+void append_env(std::string& out, const std::string& indent) {
+  const RunMetadata meta = run_metadata();
+  out += "{\n";
+  const std::string inner = indent + "  ";
+  out += inner;
+  append_kv_string(out, "git_sha", meta.git_sha);
+  out += ",\n" + inner;
+  append_kv_string(out, "build_type", meta.build_type);
+  out += ",\n" + inner;
+  append_kv_string(out, "build_flags", meta.build_flags);
+  out += ",\n" + inner;
+  append_kv_string(out, "omp_schedule", meta.omp_schedule);
+  out += ",\n" + inner;
+  append_json_string(out, "omp_version");
+  out += ": ";
+  append_json_number(out, std::int64_t{meta.omp_version});
+  out += ",\n" + inner;
+  append_json_string(out, "threads");
+  out += ": ";
+  append_json_number(out, std::int64_t{meta.max_threads});
+  out += ",\n" + inner;
+  append_json_string(out, "hardware_threads");
+  out += ": ";
+  append_json_number(
+      out, static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  out += "\n" + indent + "}";
+}
+
+const JsonValue& require(const JsonValue& doc, std::string_view key) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr) {
+    throw std::runtime_error("bench json: missing \"" + std::string(key) +
+                             "\"");
+  }
+  return *v;
+}
+
+std::string schema_of(const JsonValue& doc) {
+  const JsonValue* s = doc.find("schema");
+  if (s == nullptr || !s->is_string()) return {};
+  return s->as_string();
+}
+
+std::vector<std::pair<std::string, double>> metrics_of(const JsonValue& doc) {
+  std::vector<std::pair<std::string, double>> out;
+  const JsonValue& metrics = require(doc, "metrics");
+  if (!metrics.is_object()) {
+    throw std::runtime_error("bench json: \"metrics\" is not an object");
+  }
+  for (const auto& [key, value] : metrics.members()) {
+    if (!value.is_number()) {
+      throw std::runtime_error("bench json: metric \"" + key +
+                               "\" is not a number");
+    }
+    out.emplace_back(key, value.as_number());
+  }
+  return out;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+BenchResult::BenchResult(std::string bench) : bench_(std::move(bench)) {}
+
+void BenchResult::set_param(const std::string& key, const std::string& value) {
+  for (Param& p : params_) {
+    if (p.key == key) {
+      p.is_string = true;
+      p.s = value;
+      return;
+    }
+  }
+  params_.push_back({key, true, value, 0.0});
+}
+
+void BenchResult::set_param(const std::string& key, double value) {
+  for (Param& p : params_) {
+    if (p.key == key) {
+      p.is_string = false;
+      p.d = value;
+      return;
+    }
+  }
+  params_.push_back({key, false, {}, value});
+}
+
+void BenchResult::set_metric(const std::string& name, double value) {
+  for (auto& [key, v] : metrics_) {
+    if (key == name) {
+      v = value;
+      return;
+    }
+  }
+  metrics_.emplace_back(name, value);
+}
+
+void BenchResult::set_step_metrics(const std::string& prefix,
+                                   const StepTimers& timers) {
+  for (const auto& name : timers.names()) {
+    set_metric(prefix + name + "_seconds", timers.total(name));
+  }
+}
+
+void BenchResult::set_counters(const Counters& counters) {
+  counters_.clear();
+  for (const auto& name : counters.names()) {
+    counters_.emplace_back(name, counters.total(name));
+  }
+}
+
+std::string BenchResult::to_json() const {
+  std::string out = "{\n  ";
+  append_kv_string(out, "schema", kResultSchema);
+  out += ",\n  ";
+  append_kv_string(out, "bench", bench_);
+  out += ",\n  ";
+  append_json_string(out, "env");
+  out += ": ";
+  append_env(out, "  ");
+  out += ",\n  ";
+  append_json_string(out, "params");
+  out += ": {";
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    append_json_string(out, params_[i].key);
+    out += ": ";
+    if (params_[i].is_string) {
+      append_json_string(out, params_[i].s);
+    } else {
+      append_json_number(out, params_[i].d);
+    }
+  }
+  out += params_.empty() ? "}" : "\n  }";
+  out += ",\n  ";
+  append_json_string(out, "metrics");
+  out += ": {";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    append_json_string(out, metrics_[i].first);
+    out += ": ";
+    append_json_number(out, metrics_[i].second);
+  }
+  out += metrics_.empty() ? "}" : "\n  }";
+  if (!counters_.empty()) {
+    out += ",\n  ";
+    append_json_string(out, "counters");
+    out += ": {";
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      out += i == 0 ? "\n    " : ",\n    ";
+      append_json_string(out, counters_[i].first);
+      out += ": ";
+      append_json_number(out, counters_[i].second);
+    }
+    out += "\n  }";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+void BenchResult::write(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("BenchResult: cannot open " + path);
+  f << to_json();
+  if (!f) throw std::runtime_error("BenchResult: write failed on " + path);
+}
+
+std::vector<std::string> validate_bench_json(const JsonValue& doc) {
+  std::vector<std::string> errors;
+  if (!doc.is_object()) {
+    errors.push_back("document is not a JSON object");
+    return errors;
+  }
+  const std::string schema = schema_of(doc);
+  if (schema != kResultSchema && schema != kSweepSchema &&
+      schema != kTrajectorySchema) {
+    errors.push_back("unknown or missing \"schema\": \"" + schema + "\"");
+    return errors;
+  }
+  auto check_metrics_obj = [&errors](const JsonValue& owner,
+                                     const std::string& where) {
+    const JsonValue* metrics = owner.find("metrics");
+    if (metrics == nullptr || !metrics->is_object()) {
+      errors.push_back(where + ": missing \"metrics\" object");
+      return;
+    }
+    if (metrics->members().empty()) {
+      errors.push_back(where + ": \"metrics\" is empty");
+    }
+    for (const auto& [key, value] : metrics->members()) {
+      if (!value.is_number() || !std::isfinite(value.as_number())) {
+        errors.push_back(where + ": metric \"" + key +
+                         "\" is not a finite number");
+      }
+    }
+  };
+  if (schema == kTrajectorySchema) {
+    const JsonValue* entries = doc.find("entries");
+    if (entries == nullptr || !entries->is_array()) {
+      errors.push_back("trajectory: missing \"entries\" array");
+      return errors;
+    }
+    if (entries->items().empty()) {
+      errors.push_back("trajectory: \"entries\" is empty");
+    }
+    for (std::size_t i = 0; i < entries->items().size(); ++i) {
+      const JsonValue& entry = entries->items()[i];
+      const std::string where = "entry " + std::to_string(i);
+      const JsonValue* label = entry.find("label");
+      if (label == nullptr || !label->is_string()) {
+        errors.push_back(where + ": missing \"label\"");
+      }
+      check_metrics_obj(entry, where);
+    }
+    return errors;
+  }
+  if (schema == kResultSchema) {
+    const JsonValue* bench = doc.find("bench");
+    if (bench == nullptr || !bench->is_string()) {
+      errors.push_back("result: missing \"bench\"");
+    }
+  }
+  const JsonValue* env = doc.find("env");
+  if (env == nullptr || !env->is_object() ||
+      env->find("git_sha") == nullptr) {
+    errors.push_back(schema + ": missing \"env\" object with \"git_sha\"");
+  }
+  check_metrics_obj(doc, schema);
+  return errors;
+}
+
+std::vector<std::pair<std::string, double>> collect_metrics(
+    const JsonValue& doc, const std::string& entry_label) {
+  const std::string schema = schema_of(doc);
+  if (schema == kResultSchema || schema == kSweepSchema) {
+    if (!entry_label.empty()) {
+      throw std::runtime_error(
+          "bench json: entry label given but document is not a trajectory");
+    }
+    return metrics_of(doc);
+  }
+  if (schema == kTrajectorySchema) {
+    const JsonValue& entries = require(doc, "entries");
+    if (!entries.is_array() || entries.items().empty()) {
+      throw std::runtime_error("bench json: trajectory has no entries");
+    }
+    if (entry_label.empty()) return metrics_of(entries.items().back());
+    for (const JsonValue& entry : entries.items()) {
+      const JsonValue* label = entry.find("label");
+      if (label != nullptr && label->is_string() &&
+          label->as_string() == entry_label) {
+        return metrics_of(entry);
+      }
+    }
+    throw std::runtime_error("bench json: no trajectory entry labeled \"" +
+                             entry_label + "\"");
+  }
+  throw std::runtime_error("bench json: unknown schema \"" + schema + "\"");
+}
+
+std::string merge_results_to_sweep(const std::vector<JsonValue>& results) {
+  if (results.empty()) {
+    throw std::runtime_error("merge: no result documents given");
+  }
+  std::vector<std::pair<std::string, double>> merged;
+  for (const JsonValue& doc : results) {
+    if (schema_of(doc) != kResultSchema) {
+      throw std::runtime_error("merge: input is not a " +
+                               std::string(kResultSchema) + " document");
+    }
+    const std::string bench = require(doc, "bench").as_string();
+    for (const auto& [name, value] : metrics_of(doc)) {
+      const std::string key = bench + "." + name;
+      for (const auto& [existing, unused] : merged) {
+        if (existing == key) {
+          throw std::runtime_error("merge: duplicate metric \"" + key + "\"");
+        }
+      }
+      merged.emplace_back(key, value);
+    }
+  }
+  std::string out = "{\n  ";
+  append_kv_string(out, "schema", kSweepSchema);
+  out += ",\n  ";
+  append_json_string(out, "env");
+  out += ": ";
+  append_env(out, "  ");
+  out += ",\n  ";
+  append_json_string(out, "metrics");
+  out += ": {";
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    append_json_string(out, merged[i].first);
+    out += ": ";
+    append_json_number(out, merged[i].second);
+  }
+  out += merged.empty() ? "}" : "\n  }";
+  out += "\n}\n";
+  return out;
+}
+
+std::string append_trajectory_entry(const std::string& trajectory_text,
+                                    const JsonValue& sweep,
+                                    const std::string& label,
+                                    const std::string& date) {
+  // Gather the existing entries (re-serialized, so a hand-edited file is
+  // normalized) and validate the incoming sweep.
+  std::vector<std::string> rendered_entries;
+  if (!trajectory_text.empty()) {
+    const JsonValue existing = parse_json(trajectory_text);
+    if (schema_of(existing) != kTrajectorySchema) {
+      throw std::runtime_error("append: existing file is not a trajectory");
+    }
+    for (const JsonValue& entry : require(existing, "entries").items()) {
+      std::string e = "{\n      ";
+      append_kv_string(e, "label", require(entry, "label").as_string());
+      e += ",\n      ";
+      append_kv_string(e, "date", require(entry, "date").as_string());
+      e += ",\n      ";
+      append_kv_string(e, "git_sha", require(entry, "git_sha").as_string());
+      e += ",\n      ";
+      append_json_string(e, "metrics");
+      e += ": {";
+      bool first = true;
+      for (const auto& [name, value] : metrics_of(entry)) {
+        e += first ? "\n        " : ",\n        ";
+        first = false;
+        append_json_string(e, name);
+        e += ": ";
+        append_json_number(e, value);
+      }
+      e += first ? "}" : "\n      }";
+      e += "\n    }";
+      rendered_entries.push_back(std::move(e));
+    }
+  }
+  const std::string sweep_schema = schema_of(sweep);
+  if (sweep_schema != kSweepSchema && sweep_schema != kResultSchema) {
+    throw std::runtime_error("append: entry source must be a sweep or result");
+  }
+  const JsonValue* env = sweep.find("env");
+  const JsonValue* sha =
+      env != nullptr ? env->find("git_sha") : nullptr;
+  std::string e = "{\n      ";
+  append_kv_string(e, "label", label);
+  e += ",\n      ";
+  append_kv_string(e, "date", date);
+  e += ",\n      ";
+  append_kv_string(e, "git_sha",
+                   sha != nullptr && sha->is_string() ? sha->as_string()
+                                                      : "unknown");
+  e += ",\n      ";
+  append_json_string(e, "metrics");
+  e += ": {";
+  bool first = true;
+  for (const auto& [name, value] : metrics_of(sweep)) {
+    e += first ? "\n        " : ",\n        ";
+    first = false;
+    append_json_string(e, name);
+    e += ": ";
+    append_json_number(e, value);
+  }
+  e += first ? "}" : "\n      }";
+  e += "\n    }";
+  rendered_entries.push_back(std::move(e));
+
+  std::string out = "{\n  ";
+  append_kv_string(out, "schema", kTrajectorySchema);
+  out += ",\n  ";
+  append_json_string(out, "entries");
+  out += ": [";
+  for (std::size_t i = 0; i < rendered_entries.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += rendered_entries[i];
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::vector<MetricDelta> compare_metrics(
+    const std::vector<std::pair<std::string, double>>& base,
+    const std::vector<std::pair<std::string, double>>& cand,
+    const CompareOptions& options) {
+  std::vector<MetricDelta> out;
+  for (const auto& [name, base_value] : base) {
+    const std::pair<std::string, double>* match = nullptr;
+    for (const auto& c : cand) {
+      if (c.first == name) {
+        match = &c;
+        break;
+      }
+    }
+    if (match == nullptr) continue;  // schema growth must not trip the gate
+    MetricDelta d;
+    d.name = name;
+    d.base = base_value;
+    d.cand = match->second;
+    d.is_time = ends_with(name, "_seconds");
+    d.gated = d.is_time && d.base >= options.min_seconds;
+    d.regression = d.gated && d.cand > d.base * (1.0 + options.threshold);
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+bool has_regression(const std::vector<MetricDelta>& deltas) {
+  for (const MetricDelta& d : deltas) {
+    if (d.regression) return true;
+  }
+  return false;
+}
+
+}  // namespace netalign::obs

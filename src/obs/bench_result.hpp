@@ -1,0 +1,144 @@
+// Machine-readable benchmark results: the persistence half of the perf
+// substrate (docs/PERFORMANCE.md).
+//
+// The bench binaries have always *printed* the paper's tables; this layer
+// lets every bench also *emit* one structured JSON result file per
+// invocation (`--json-out`), so runs are comparable across commits. Three
+// document shapes share the machinery:
+//
+//   result     one bench invocation: env metadata + params + flat metric
+//              map (+ counters). Written by BenchResult, schema
+//              "netalign-bench-result-v1".
+//   sweep      several results merged, metrics prefixed "<bench>.<name>".
+//              Produced by `bench_compare --merge` / tools/bench_runner.sh,
+//              schema "netalign-bench-sweep-v1".
+//   trajectory the committed perf history (BENCH_netalign.json): a list of
+//              labeled sweep entries, newest last, schema
+//              "netalign-bench-trajectory-v1".
+//
+// tools/bench_compare reads any two of these, reports per-metric deltas,
+// and exits nonzero when a time metric regresses beyond a noise threshold
+// -- the regression gate run by the `bench_smoke` CTest. The compare /
+// merge / validate logic lives here (not in the tool) so the tier-1 tests
+// can lock it down (tests/test_bench_result.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/timer.hpp"
+
+namespace netalign::obs {
+
+class Counters;
+
+/// Builder for one "netalign-bench-result-v1" document. Environment
+/// metadata (git SHA, build type/flags, OMP schedule, thread counts) is
+/// captured at construction via run_metadata().
+class BenchResult {
+ public:
+  explicit BenchResult(std::string bench);
+
+  /// Record an input parameter (dataset, scale, iters, ...). Insertion
+  /// order is preserved; re-setting a key overwrites in place.
+  void set_param(const std::string& key, const std::string& value);
+  void set_param(const std::string& key, double value);
+
+  /// Record an output metric. Time metrics must use the `_seconds` suffix:
+  /// that suffix is what bench_compare's regression gate keys on.
+  void set_metric(const std::string& name, double value);
+
+  /// Record every step of a StepTimers as "<prefix><step>_seconds".
+  void set_step_metrics(const std::string& prefix, const StepTimers& timers);
+
+  /// Attach the final counter registry (rendered as a "counters" object).
+  void set_counters(const Counters& counters);
+
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& metrics()
+      const {
+    return metrics_;
+  }
+
+  /// Serialize (pretty-printed, stable key order, trailing newline).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to_json() to `path`; throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  struct Param {
+    std::string key;
+    bool is_string = false;
+    std::string s;
+    double d = 0.0;
+  };
+  std::string bench_;
+  std::vector<Param> params_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, std::int64_t>> counters_;
+};
+
+/// Schema violations in a parsed result/sweep/trajectory document; empty
+/// means valid. Checks the "schema" tag, required sections, and that every
+/// metric value is a finite number.
+std::vector<std::string> validate_bench_json(const JsonValue& doc);
+
+/// Extract the flat metric map of any of the three document shapes, in
+/// file order. Result docs yield their metrics verbatim, sweep docs their
+/// prefixed metrics, trajectory docs the metrics of the *last* entry (or
+/// the entry whose "label" equals `entry_label` when non-empty). Throws
+/// std::runtime_error on malformed documents or an unknown label.
+std::vector<std::pair<std::string, double>> collect_metrics(
+    const JsonValue& doc, const std::string& entry_label = {});
+
+/// Merge parsed result documents into one sweep document: each result's
+/// metrics reappear as "<bench>.<metric>", and the first result's env is
+/// hoisted to the top level. Throws on invalid inputs or key collisions.
+std::string merge_results_to_sweep(const std::vector<JsonValue>& results);
+
+/// Append one sweep as a labeled entry to a trajectory document.
+/// `trajectory_text` may be empty (a new trajectory is started). `date` is
+/// caller-supplied (ISO yyyy-mm-dd) so the library stays clock-free.
+std::string append_trajectory_entry(const std::string& trajectory_text,
+                                    const JsonValue& sweep,
+                                    const std::string& label,
+                                    const std::string& date);
+
+struct CompareOptions {
+  /// Allowed relative slowdown of a time metric before the gate trips:
+  /// candidate > base * (1 + threshold) is a regression. The default is
+  /// deliberately loose -- small-scale bench times are noisy and the
+  /// committed baseline was measured on a different (if similar) machine.
+  double threshold = 1.5;
+  /// Time metrics whose baseline is below this are reported but never
+  /// gated: at sub-centisecond scale the noise exceeds any signal.
+  double min_seconds = 0.02;
+};
+
+/// One metric's baseline-vs-candidate comparison.
+struct MetricDelta {
+  std::string name;
+  double base = 0.0;
+  double cand = 0.0;
+  /// base == 0 in a time metric leaves ratio undefined; guarded by `gated`.
+  [[nodiscard]] double ratio() const { return base == 0.0 ? 0.0 : cand / base; }
+  bool is_time = false;  ///< name ends in "_seconds"
+  bool gated = false;    ///< time metric above min_seconds: gate applies
+  bool regression = false;
+};
+
+/// Compare two metric maps (union of keys; a metric missing on either side
+/// is skipped -- schema growth must not trip the gate). Only gated time
+/// metrics can set `regression`.
+std::vector<MetricDelta> compare_metrics(
+    const std::vector<std::pair<std::string, double>>& base,
+    const std::vector<std::pair<std::string, double>>& cand,
+    const CompareOptions& options = {});
+
+/// True if any delta is a regression.
+bool has_regression(const std::vector<MetricDelta>& deltas);
+
+}  // namespace netalign::obs

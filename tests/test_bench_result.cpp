@@ -1,0 +1,217 @@
+#include "obs/bench_result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+#include "util/timer.hpp"
+
+namespace netalign::obs {
+namespace {
+
+/// A minimal valid result document built through the real writer, so the
+/// round-trip tests exercise exactly what `--json-out` produces.
+JsonValue make_result(const std::string& bench,
+                      std::vector<std::pair<std::string, double>> metrics) {
+  BenchResult r(bench);
+  r.set_param("dataset", std::string("lcsh-wiki"));
+  r.set_param("scale", 0.05);
+  for (const auto& [name, value] : metrics) r.set_metric(name, value);
+  return parse_json(r.to_json());
+}
+
+TEST(BenchResult, JsonRoundTrip) {
+  BenchResult r("bench_kernels");
+  r.set_param("dataset", std::string("lcsh-wiki"));
+  r.set_param("scale", 0.05);
+  r.set_param("scale", 0.1);  // overwrite in place, no duplicate key
+  r.set_metric("squares_build_seconds", 0.648132);
+  r.set_metric("squares_build_seconds", 0.089843);  // overwrite too
+  r.set_metric("bp_objective", 71629.028410988831);
+  Counters c;
+  c.add("bp.roundings", 20);
+  r.set_counters(c);
+
+  const JsonValue doc = parse_json(r.to_json());
+  EXPECT_TRUE(validate_bench_json(doc).empty());
+  EXPECT_EQ(doc.find("schema")->as_string(), "netalign-bench-result-v1");
+  EXPECT_EQ(doc.find("bench")->as_string(), "bench_kernels");
+  EXPECT_NE(doc.find("env")->find("git_sha"), nullptr);
+
+  const JsonValue& params = *doc.find("params");
+  ASSERT_EQ(params.members().size(), 2u);
+  EXPECT_EQ(params.find("dataset")->as_string(), "lcsh-wiki");
+  EXPECT_DOUBLE_EQ(params.find("scale")->as_number(), 0.1);
+
+  const JsonValue& metrics = *doc.find("metrics");
+  ASSERT_EQ(metrics.members().size(), 2u);
+  // %.17g serialization must round-trip doubles exactly.
+  EXPECT_EQ(metrics.find("squares_build_seconds")->as_number(), 0.089843);
+  EXPECT_EQ(metrics.find("bp_objective")->as_number(), 71629.028410988831);
+
+  EXPECT_EQ(doc.find("counters")->find("bp.roundings")->as_number(), 20.0);
+}
+
+TEST(BenchResult, StepMetricsGetSecondsSuffix) {
+  StepTimers timers;
+  { ScopedStepTimer st(timers, "othermax"); }
+  BenchResult r("bench_fig7_steps_bp");
+  r.set_metric("anchor", 1.0);  // validate requires a non-empty metric map
+  r.set_step_metrics("t1_step_", timers);
+  const JsonValue doc = parse_json(r.to_json());
+  EXPECT_TRUE(validate_bench_json(doc).empty());
+  EXPECT_NE(doc.find("metrics")->find("t1_step_othermax_seconds"), nullptr);
+}
+
+TEST(BenchResult, ValidateRejectsBadDocuments) {
+  // Unknown schema.
+  EXPECT_FALSE(
+      validate_bench_json(parse_json(R"({"schema": "nope"})")).empty());
+  // Result without a bench name or env.
+  EXPECT_FALSE(validate_bench_json(parse_json(
+                   R"({"schema": "netalign-bench-result-v1",
+                       "metrics": {"a_seconds": 1.0}})"))
+                   .empty());
+  // Empty metrics object.
+  BenchResult empty("bench_x");
+  EXPECT_FALSE(validate_bench_json(parse_json(empty.to_json())).empty());
+  // Non-numeric metric value (the parser itself rejects out-of-range
+  // literals like 1e999, so a wrong-typed value is the reachable case).
+  EXPECT_FALSE(validate_bench_json(parse_json(
+                   R"({"schema": "netalign-bench-sweep-v1",
+                       "env": {"git_sha": "x"},
+                       "metrics": {"a_seconds": "fast"}})"))
+                   .empty());
+  // Trajectory whose entry lacks a label.
+  EXPECT_FALSE(validate_bench_json(parse_json(
+                   R"({"schema": "netalign-bench-trajectory-v1",
+                       "entries": [{"metrics": {"a_seconds": 1.0}}]})"))
+                   .empty());
+}
+
+TEST(BenchResult, MergePrefixesMetricsByBench) {
+  const std::vector<JsonValue> results = {
+      make_result("bench_kernels", {{"squares_build_seconds", 0.6}}),
+      make_result("bench_fig6_steps_mr", {{"t1_total_seconds", 1.5}})};
+  const JsonValue sweep = parse_json(merge_results_to_sweep(results));
+  EXPECT_TRUE(validate_bench_json(sweep).empty());
+  EXPECT_EQ(sweep.find("schema")->as_string(), "netalign-bench-sweep-v1");
+  const JsonValue& metrics = *sweep.find("metrics");
+  EXPECT_EQ(metrics.find("bench_kernels.squares_build_seconds")->as_number(),
+            0.6);
+  EXPECT_EQ(metrics.find("bench_fig6_steps_mr.t1_total_seconds")->as_number(),
+            1.5);
+}
+
+TEST(BenchResult, MergeRejectsDuplicatesAndNonResults) {
+  const std::vector<JsonValue> dup = {
+      make_result("bench_kernels", {{"a_seconds", 1.0}}),
+      make_result("bench_kernels", {{"a_seconds", 2.0}})};
+  EXPECT_THROW(merge_results_to_sweep(dup), std::runtime_error);
+
+  const JsonValue sweep = parse_json(merge_results_to_sweep(
+      {make_result("bench_kernels", {{"a_seconds", 1.0}})}));
+  EXPECT_THROW(merge_results_to_sweep({sweep}), std::runtime_error);
+}
+
+TEST(BenchResult, CollectMetricsFromAllThreeShapes) {
+  const JsonValue result = make_result("bench_kernels", {{"a_seconds", 1.0}});
+  auto m = collect_metrics(result);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0].first, "a_seconds");
+
+  const JsonValue sweep = parse_json(merge_results_to_sweep({result}));
+  m = collect_metrics(sweep);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0].first, "bench_kernels.a_seconds");
+
+  // Trajectory: default picks the last entry, --entry picks by label.
+  std::string traj = append_trajectory_entry({}, sweep, "baseline", "2026-08-05");
+  const JsonValue sweep2 = parse_json(merge_results_to_sweep(
+      {make_result("bench_kernels", {{"a_seconds", 0.5}})}));
+  traj = append_trajectory_entry(traj, sweep2, "post", "2026-08-05");
+  const JsonValue traj_doc = parse_json(traj);
+  EXPECT_TRUE(validate_bench_json(traj_doc).empty());
+  EXPECT_EQ(collect_metrics(traj_doc)[0].second, 0.5);
+  EXPECT_EQ(collect_metrics(traj_doc, "baseline")[0].second, 1.0);
+  EXPECT_THROW(collect_metrics(traj_doc, "nope"), std::runtime_error);
+  EXPECT_THROW(collect_metrics(result, "baseline"), std::runtime_error);
+}
+
+TEST(BenchResult, AppendTrajectoryKeepsHistoryOrderAndSha) {
+  const JsonValue sweep = parse_json(merge_results_to_sweep(
+      {make_result("bench_kernels", {{"a_seconds", 1.0}})}));
+  std::string traj = append_trajectory_entry({}, sweep, "baseline", "2026-08-04");
+  traj = append_trajectory_entry(traj, sweep, "post", "2026-08-05");
+  const JsonValue doc = parse_json(traj);
+  const auto& entries = doc.find("entries")->items();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].find("label")->as_string(), "baseline");
+  EXPECT_EQ(entries[0].find("date")->as_string(), "2026-08-04");
+  EXPECT_EQ(entries[1].find("label")->as_string(), "post");
+  // git_sha is hoisted from the sweep's env into each entry.
+  EXPECT_EQ(entries[1].find("git_sha")->as_string(),
+            sweep.find("env")->find("git_sha")->as_string());
+  // Appending onto a non-trajectory document is rejected.
+  EXPECT_THROW(
+      append_trajectory_entry(merge_results_to_sweep(
+                                  {make_result("bench_x", {{"b", 1.0}})}),
+                              sweep, "l", "2026-08-05"),
+      std::runtime_error);
+}
+
+TEST(BenchResult, CompareGatesOnlySlowTimeMetrics) {
+  const std::vector<std::pair<std::string, double>> base = {
+      {"squares_build_seconds", 0.10},  // gated
+      {"tiny_seconds", 0.01},           // below min_seconds: never gated
+      {"objective", 100.0},             // not a time metric
+      {"renamed_away_seconds", 1.0},    // missing on candidate: skipped
+  };
+  const std::vector<std::pair<std::string, double>> cand = {
+      {"squares_build_seconds", 0.26},  // > 0.10 * 2.5: regression
+      {"tiny_seconds", 10.0},           // huge, but under the floor
+      {"objective", 50.0},              // info only
+      {"brand_new_seconds", 5.0},       // missing on base: skipped
+  };
+  const auto deltas = compare_metrics(base, cand);  // threshold 1.5
+  ASSERT_EQ(deltas.size(), 3u);  // both one-sided metrics dropped
+
+  EXPECT_EQ(deltas[0].name, "squares_build_seconds");
+  EXPECT_TRUE(deltas[0].gated);
+  EXPECT_TRUE(deltas[0].regression);
+  EXPECT_DOUBLE_EQ(deltas[0].ratio(), 2.6);
+
+  EXPECT_EQ(deltas[1].name, "tiny_seconds");
+  EXPECT_TRUE(deltas[1].is_time);
+  EXPECT_FALSE(deltas[1].gated);
+  EXPECT_FALSE(deltas[1].regression);
+
+  EXPECT_EQ(deltas[2].name, "objective");
+  EXPECT_FALSE(deltas[2].is_time);
+  EXPECT_FALSE(deltas[2].regression);
+
+  EXPECT_TRUE(has_regression(deltas));
+}
+
+TEST(BenchResult, CompareAcceptsNoiseWithinThreshold) {
+  const std::vector<std::pair<std::string, double>> base = {
+      {"a_seconds", 0.10}};
+  // 2.4x is inside the deliberately loose 2.5x gate (one-core noise).
+  const auto ok = compare_metrics(base, {{"a_seconds", 0.24}});
+  ASSERT_EQ(ok.size(), 1u);
+  EXPECT_FALSE(ok[0].regression);
+  EXPECT_FALSE(has_regression(ok));
+  // A tighter threshold flips the same delta into a regression.
+  CompareOptions strict;
+  strict.threshold = 0.5;
+  EXPECT_TRUE(has_regression(compare_metrics(base, {{"a_seconds", 0.24}},
+                                             strict)));
+  // Speedups are never regressions.
+  EXPECT_FALSE(has_regression(compare_metrics(base, {{"a_seconds", 0.01}})));
+}
+
+}  // namespace
+}  // namespace netalign::obs

@@ -101,6 +101,53 @@ TEST(Othermax, NegativeValuesClampToZero) {
   EXPECT_EQ(out[1], 0.0);
 }
 
+TEST(Othermax, SingletonRowSubReturnsDUnchanged) {
+  // The fused subtraction on a single-entry row: othermax is 0 (empty
+  // "other" set under bound_{0,inf}), so out = d - max(0, 0) = d exactly.
+  const std::vector<LEdge> edges = {{0, 0, 5.0}};
+  const auto L = BipartiteGraph::from_edges(1, 1, edges);
+  std::vector<weight_t> g = {5.0}, d = {3.25}, out(1);
+  othermax_row_sub(L, g, d, out);
+  EXPECT_EQ(out[0], 3.25);
+  othermax_col_sub(L, g, d, out);
+  EXPECT_EQ(out[0], 3.25);
+}
+
+TEST(Othermax, SubVariantsBitIdenticalToUnfused) {
+  // othermax_{row,col}_sub must equal othermax_{row,col} followed by
+  // out = d - max(om, 0) bit-for-bit: BP's fused Step 3 relies on it
+  // (test_dist_bp compares objective histories exactly).
+  Xoshiro256 rng(44);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto L = random_bipartite(7, 6, 20, rng);
+    const auto n = static_cast<std::size_t>(L.num_edges());
+    std::vector<weight_t> g(n), d(n);
+    for (auto& v : g) v = rng.uniform(-2.0, 2.0);
+    for (auto& v : d) v = rng.uniform(-2.0, 2.0);
+    std::vector<weight_t> om(n), expected(n), fused(n);
+    for (const bool by_row : {true, false}) {
+      by_row ? othermax_row(L, g, om) : othermax_col(L, g, om);
+      for (std::size_t e = 0; e < n; ++e) {
+        expected[e] = d[e] - std::max(om[e], 0.0);
+      }
+      by_row ? othermax_row_sub(L, g, d, fused)
+             : othermax_col_sub(L, g, d, fused);
+      for (std::size_t e = 0; e < n; ++e) {
+        EXPECT_EQ(fused[e], expected[e]) << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(Othermax, SubSizeMismatchThrows) {
+  const auto L = BipartiteGraph::from_edges(1, 1,
+                                            std::vector<LEdge>{{0, 0, 1.0}});
+  std::vector<weight_t> g = {1.0}, out(1);
+  std::vector<weight_t> bad_d(2);
+  EXPECT_THROW(othermax_row_sub(L, g, bad_d, out), std::invalid_argument);
+  EXPECT_THROW(othermax_row_sub(L, g, g, g), std::invalid_argument);
+}
+
 TEST(Othermax, SizeMismatchThrows) {
   const auto L = BipartiteGraph::from_edges(1, 1,
                                             std::vector<LEdge>{{0, 0, 1.0}});

@@ -1,0 +1,171 @@
+// Compare, validate, merge, and archive machine-readable bench results
+// (docs/PERFORMANCE.md; schemas in src/obs/bench_result.hpp).
+//
+// Modes:
+//   bench_compare BASELINE CANDIDATE [--threshold R] [--min-seconds S]
+//       Per-metric delta table; exits 1 when any time metric (a `_seconds`
+//       key whose baseline is at least --min-seconds) regresses beyond
+//       base*(1+R). BASELINE may be a result, sweep, or trajectory file
+//       (trajectories compare against their last entry, or --entry LABEL).
+//   bench_compare --validate FILE...
+//       Schema-check each file; exits 1 on the first invalid one.
+//   bench_compare --merge OUT FILE...
+//       Merge result files into one sweep document at OUT.
+//   bench_compare --append TRAJ --label L --date YYYY-MM-DD SWEEP
+//       Append SWEEP as a labeled entry to the trajectory TRAJ (creating
+//       it if absent) -- how tools/bench_runner.sh grows BENCH_netalign.json.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_result.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace netalign;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+obs::JsonValue load_json(const std::string& path) {
+  try {
+    return obs::parse_json(read_file(path));
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+int run_validate(const std::vector<std::string>& paths) {
+  for (const auto& path : paths) {
+    const auto errors = obs::validate_bench_json(load_json(path));
+    if (!errors.empty()) {
+      for (const auto& err : errors) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+      }
+      return 1;
+    }
+    std::printf("%s: OK\n", path.c_str());
+  }
+  return 0;
+}
+
+int run_merge(const std::string& out_path,
+              const std::vector<std::string>& paths) {
+  std::vector<obs::JsonValue> docs;
+  docs.reserve(paths.size());
+  for (const auto& path : paths) docs.push_back(load_json(path));
+  const std::string merged = obs::merge_results_to_sweep(docs);
+  std::ofstream out(out_path);
+  if (!out) throw std::runtime_error("cannot open " + out_path);
+  out << merged;
+  std::printf("merged %zu result(s) into %s\n", paths.size(),
+              out_path.c_str());
+  return 0;
+}
+
+int run_append(const std::string& traj_path, const std::string& sweep_path,
+               const std::string& label, const std::string& date) {
+  if (label.empty() || date.empty()) {
+    throw std::runtime_error("--append requires --label and --date");
+  }
+  std::string existing;
+  if (std::ifstream probe(traj_path); probe) existing = read_file(traj_path);
+  const std::string updated = obs::append_trajectory_entry(
+      existing, load_json(sweep_path), label, date);
+  std::ofstream out(traj_path);
+  if (!out) throw std::runtime_error("cannot open " + traj_path);
+  out << updated;
+  std::printf("appended entry \"%s\" to %s\n", label.c_str(),
+              traj_path.c_str());
+  return 0;
+}
+
+int run_compare(const std::string& base_path, const std::string& cand_path,
+                const obs::CompareOptions& options,
+                const std::string& entry_label) {
+  const auto base = obs::collect_metrics(load_json(base_path), entry_label);
+  const auto cand = obs::collect_metrics(load_json(cand_path));
+  const auto deltas = obs::compare_metrics(base, cand, options);
+  TextTable table({"metric", "baseline", "candidate", "ratio", "verdict"});
+  for (const auto& d : deltas) {
+    const char* verdict = !d.is_time   ? "info"
+                          : !d.gated   ? "noise"
+                          : d.regression ? "REGRESSION"
+                                         : "ok";
+    table.add_row({d.name, TextTable::fixed(d.base, 6),
+                   TextTable::fixed(d.cand, 6),
+                   d.base == 0.0 ? "-" : TextTable::fixed(d.ratio(), 2),
+                   verdict});
+  }
+  table.print();
+  std::printf("compared %zu shared metric(s); gate: candidate > baseline * "
+              "%.2f on _seconds metrics >= %.3fs\n",
+              deltas.size(), 1.0 + options.threshold, options.min_seconds);
+  if (obs::has_regression(deltas)) {
+    std::fprintf(stderr, "bench_compare: REGRESSION detected\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  CliParser cli(
+      "Compare two bench JSON files (exit 1 on regression), or --validate / "
+      "--merge / --append them. See docs/PERFORMANCE.md.");
+  auto& validate = cli.add_bool("validate", false, "schema-check the inputs");
+  auto& merge = cli.add_string("merge", "", "merge results into this sweep");
+  auto& append = cli.add_string("append", "",
+                                "append a sweep entry to this trajectory");
+  auto& label = cli.add_string("label", "", "entry label for --append");
+  auto& date = cli.add_string("date", "", "entry date for --append");
+  auto& entry =
+      cli.add_string("entry", "", "trajectory entry label to compare against "
+                                  "(default: last entry)");
+  auto& threshold = cli.add_double(
+      "threshold", obs::CompareOptions{}.threshold,
+      "allowed relative slowdown before a time metric regresses");
+  auto& min_seconds = cli.add_double(
+      "min-seconds", obs::CompareOptions{}.min_seconds,
+      "time metrics with a smaller baseline are never gated");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto& args = cli.positional();
+
+  if (validate) {
+    if (args.empty()) throw std::runtime_error("--validate needs files");
+    return run_validate(args);
+  }
+  if (!merge.empty()) {
+    if (args.empty()) throw std::runtime_error("--merge needs result files");
+    return run_merge(merge, args);
+  }
+  if (!append.empty()) {
+    if (args.size() != 1) {
+      throw std::runtime_error("--append needs exactly one sweep file");
+    }
+    return run_append(append, args[0], label, date);
+  }
+  if (args.size() != 2) {
+    std::fprintf(stderr, "usage: bench_compare BASELINE CANDIDATE "
+                         "(or --validate/--merge/--append; --help)\n");
+    return 2;
+  }
+  obs::CompareOptions options;
+  options.threshold = threshold;
+  options.min_seconds = min_seconds;
+  return run_compare(args[0], args[1], options, entry);
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
+}

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Run the standard bench sweep with --json-out and merge the per-bench
+# results into one netalign-bench-sweep-v1 document (docs/PERFORMANCE.md).
+#
+# Usage:
+#   tools/bench_runner.sh [--build-dir DIR] [--out-dir DIR]
+#                         [--smoke] [--append LABEL] [--threshold R]
+#
+#   default          run the sweep, validate each result, write sweep.json
+#   --smoke          additionally compare the fresh sweep against the
+#                    committed BENCH_netalign.json baseline (exit nonzero on
+#                    regression) -- this is what the `bench_smoke` CTest runs
+#   --append LABEL   append the fresh sweep to BENCH_netalign.json as a new
+#                    trajectory entry labeled LABEL, dated today -- how the
+#                    committed baseline is updated after a perf-relevant PR
+#
+# The sweep profile is fixed (same benches, scales, and seeds as the
+# committed BENCH_netalign.json entries) so candidate and baseline numbers
+# are comparable; change the profile and the baseline together.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$REPO_ROOT/build"
+OUT_DIR=""
+SMOKE=0
+APPEND_LABEL=""
+THRESHOLD=""
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --out-dir)   OUT_DIR="$2"; shift 2 ;;
+    --smoke)     SMOKE=1; shift ;;
+    --append)    APPEND_LABEL="$2"; shift 2 ;;
+    --threshold) THRESHOLD="$2"; shift 2 ;;
+    -h|--help)   sed -n '2,19p' "$0"; exit 0 ;;
+    *) echo "bench_runner.sh: unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+OUT_DIR="${OUT_DIR:-$BUILD_DIR/bench_results}"
+COMPARE="$BUILD_DIR/tools/bench_compare"
+BASELINE="$REPO_ROOT/BENCH_netalign.json"
+mkdir -p "$OUT_DIR"
+
+for exe in "$BUILD_DIR/bench/bench_kernels" "$COMPARE"; do
+  if [[ ! -x "$exe" ]]; then
+    echo "bench_runner.sh: missing $exe (build the repo first)" >&2
+    exit 2
+  fi
+done
+
+# --- The sweep profile. Scales are sized so the whole sweep takes tens of
+# seconds; seeds are pinned so nnz(S) and objectives are reproducible.
+echo "== bench_kernels =="
+"$BUILD_DIR/bench/bench_kernels" --scale 0.05 --repeats 3 --iters 10 \
+    --batch 8 --seed 909 --json-out "$OUT_DIR/bench_kernels.json"
+echo "== bench_fig6_steps_mr =="
+"$BUILD_DIR/bench/bench_fig6_steps_mr" --scale 0.05 --iters 10 \
+    --seed 606 --json-out "$OUT_DIR/bench_fig6_steps_mr.json"
+echo "== bench_fig7_steps_bp =="
+"$BUILD_DIR/bench/bench_fig7_steps_bp" --scale 0.05 --iters 10 --batch 8 \
+    --seed 707 --json-out "$OUT_DIR/bench_fig7_steps_bp.json"
+
+RESULTS=("$OUT_DIR/bench_kernels.json" "$OUT_DIR/bench_fig6_steps_mr.json"
+         "$OUT_DIR/bench_fig7_steps_bp.json")
+
+echo "== validate =="
+"$COMPARE" --validate "${RESULTS[@]}"
+
+echo "== merge =="
+"$COMPARE" --merge "$OUT_DIR/sweep.json" "${RESULTS[@]}"
+
+if [[ -n "$APPEND_LABEL" ]]; then
+  echo "== append to $(basename "$BASELINE") =="
+  "$COMPARE" --append "$BASELINE" --label "$APPEND_LABEL" \
+      --date "$(date -I)" "$OUT_DIR/sweep.json"
+fi
+
+if [[ "$SMOKE" -eq 1 ]]; then
+  echo "== compare against committed baseline =="
+  if [[ ! -f "$BASELINE" ]]; then
+    echo "bench_runner.sh: no $BASELINE to compare against" >&2
+    exit 2
+  fi
+  EXTRA=()
+  [[ -n "$THRESHOLD" ]] && EXTRA+=(--threshold "$THRESHOLD")
+  "$COMPARE" "${EXTRA[@]+"${EXTRA[@]}"}" "$BASELINE" "$OUT_DIR/sweep.json"
+fi
+
+echo "bench_runner.sh: done (results in $OUT_DIR)"

@@ -1,10 +1,13 @@
 // Documentation consistency checker, run as the `docs_check` CTest.
 //
-// Two guarantees, both cheap and both the kind that silently rot:
+// Three guarantees, all cheap and all the kind that silently rot:
 //  1. every top-level directory under src/ is mentioned (as "src/<name>")
 //     in docs/ARCHITECTURE.md, so the module map cannot fall behind the
 //     tree;
-//  2. every relative link target in the repo's Markdown files resolves to
+//  2. every bench binary (bench/bench_*.cpp) is mentioned by name in
+//     docs/PERFORMANCE.md, so the bench-to-artifact index cannot fall
+//     behind the bench/ directory;
+//  3. every relative link target in the repo's Markdown files resolves to
 //     an existing file or directory, so renames cannot leave dangling
 //     references.
 //
@@ -129,7 +132,29 @@ int main(int argc, char** argv) try {
     }
   }
 
-  // --- Check 2: all relative markdown links resolve ---------------------
+  // --- Check 2: bench binaries all appear in PERFORMANCE.md -------------
+  const fs::path perf_path = root / "docs" / "PERFORMANCE.md";
+  if (!fs::exists(perf_path)) {
+    std::fprintf(stderr, "FAIL: docs/PERFORMANCE.md does not exist\n");
+    ++failures;
+  } else {
+    const std::string perf = read_file(perf_path);
+    for (const auto& entry : fs::directory_iterator(root / "bench")) {
+      if (!entry.is_regular_file()) continue;
+      if (entry.path().extension() != ".cpp") continue;
+      const std::string stem = entry.path().stem().string();
+      if (stem.rfind("bench_", 0) != 0) continue;  // common.cpp etc.
+      if (perf.find(stem) == std::string::npos) {
+        std::fprintf(stderr,
+                     "FAIL: bench/%s.cpp is not indexed in "
+                     "docs/PERFORMANCE.md (mention \"%s\")\n",
+                     stem.c_str(), stem.c_str());
+        ++failures;
+      }
+    }
+  }
+
+  // --- Check 3: all relative markdown links resolve ---------------------
   std::vector<fs::path> md_files;
   for (fs::recursive_directory_iterator it(root), end; it != end; ++it) {
     if (it->is_directory()) {
