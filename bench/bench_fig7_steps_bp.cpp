@@ -39,6 +39,7 @@ int main(int argc, char** argv) try {
               static_cast<long long>(batch));
   const auto trace = open_trace(obs_flags.trace_out);
   obs::Counters sweep_counters;
+  StopEnv stop_env;
   TextTable table({"threads", "step", "seconds", "fraction"});
   for (const int t : thread_sweep(static_cast<int>(max_threads_flag))) {
     ThreadCountGuard guard(t);
@@ -67,6 +68,7 @@ int main(int argc, char** argv) try {
                      obs_flags.counters ? &counters : nullptr);
     }
     sweep_counters.merge(counters);
+    stop_env.record(r);
     const std::string cell = "t" + std::to_string(t) + "_";
     json_result.set_metric(cell + "total_seconds", r.total_seconds);
     json_result.set_step_metrics(cell + "step_", r.timers);
@@ -79,6 +81,7 @@ int main(int argc, char** argv) try {
   }
   table.print();
   if (obs_flags.counters) print_counters(sweep_counters);
+  stop_env.apply(json_result);
   write_json_result(json_result, json_out);
   std::printf("\nExpected shape (paper Fig. 7): matching dominates (~58%% at\n"
               "scale), othermax ~15%%, damping ~12%% and limiting at high\n"

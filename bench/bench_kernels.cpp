@@ -79,6 +79,9 @@ int main(int argc, char** argv) try {
   opt.final_exact_round = false;
   opt.record_history = false;
   const AlignResult r = belief_prop_align(prep.problem, prep.squares, opt);
+  StopEnv stop_env;
+  stop_env.record(r);
+  stop_env.apply(result);
   const double matching_s = r.timers.total("matching");
   const double message_s = r.timers.grand_total() - matching_s;
   const double rounds = 2.0 * static_cast<double>(iters);  // y and z

@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "netalign/result.hpp"
 #include "netalign/squares.hpp"
 #include "netalign/synthetic.hpp"
 #include "obs/bench_result.hpp"
@@ -106,6 +107,25 @@ void set_problem_params(obs::BenchResult& result, const std::string& dataset,
 /// handling of --json-out, mirroring open_trace.
 void write_json_result(const obs::BenchResult& result,
                        const std::string& path);
+
+/// Completion status of a bench's solver runs, destined for the env block
+/// of its JSON result. The reason stays "completed" only when *every*
+/// recorded run completed; iterations sum across runs. A non-"completed"
+/// env.stopped_reason makes validate_bench_json reject the document, so a
+/// SIGTERMed or deadline-cut sweep can never enter BENCH_netalign.json.
+struct StopEnv {
+  StopReason worst = StopReason::kCompleted;
+  std::int64_t iterations = 0;
+
+  void record(const AlignResult& r) {
+    if (r.stopped_reason != StopReason::kCompleted) worst = r.stopped_reason;
+    iterations += r.iterations_completed;
+  }
+  void apply(obs::BenchResult& result) const {
+    result.set_env("stopped_reason", to_string(worst));
+    result.set_env("iterations_completed", static_cast<double>(iterations));
+  }
+};
 
 /// Open a TraceWriter on `path`, or return null when the path is empty --
 /// the standard handling of --trace-out (see add_obs_flags).

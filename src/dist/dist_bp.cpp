@@ -10,6 +10,7 @@
 #include "dist/mailbox.hpp"
 #include "matching/verify.hpp"
 #include "netalign/rounding.hpp"
+#include "netalign/solver_ckpt.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 
@@ -80,10 +81,21 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
     throw std::invalid_argument("distributed_belief_prop_align: options");
   }
   options.faults.validate();
+  options.budget.validate("distributed_belief_prop_align");
+  if (options.faults.any() && (!options.budget.checkpoint_path.empty() ||
+                               !options.budget.resume_path.empty())) {
+    // A degraded fabric replays from one RNG stream; a mid-run restart
+    // cannot reproduce that stream, so the combination is refused rather
+    // than silently nondeterministic.
+    throw std::invalid_argument(
+        "distributed_belief_prop_align: checkpoint/resume requires a "
+        "fault-free fabric");
+  }
   if (stats) *stats = DistBpStats{};
 
   const BipartiteGraph& L = p.L;
   const eid_t m = L.num_edges();
+  const eid_t nnz = S.num_nonzeros();
   const vid_t na = L.num_a();
   const vid_t nb = L.num_b();
   const int P = options.num_ranks;
@@ -161,12 +173,14 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
   // the BSP traffic deltas as extra fields instead.
   const StepTimers no_steps;
 
+  // Allgather volume for rounding, accounted from the gathers that actually
+  // ran (a deadline- or signal-stopped run gathers less than a full one).
+  std::size_t gather_bytes = 0;
+
   // Round a gathered heuristic vector; uses the distributed matcher when
   // the configured matcher is the locally-dominant one.
   auto round_gathered = [&](int iter) {
-    if (stats) {
-      stats->gather_bytes += static_cast<std::size_t>(m) * sizeof(weight_t);
-    }
+    gather_bytes += static_cast<std::size_t>(m) * sizeof(weight_t);
     RoundOutcome outcome;
     if (options.matcher == MatcherKind::kLocallyDominant) {
       DistMatchOptions mopt;
@@ -198,7 +212,86 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
     }
   };
 
-  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+  // --- Checkpoint/resume hooks. Rank partitions are contiguous (elo..ehi,
+  // slo..shi), so the concatenation of the per-rank damped iterates is the
+  // same global array the shared-memory solver would hold; the checkpoint
+  // stores that concatenation plus the cumulative BSP traffic.
+  const SolveBudget& budget = options.budget;
+  int start_iter = 1;
+  if (!budget.resume_path.empty()) {
+    const ckpt::ResumeState rs = ckpt::load_for_resume(
+        budget.resume_path, "dist_bp", m, nnz, P,
+        "distributed_belief_prop_align", tracker, result, trace, counters);
+    io::ByteReader r(rs.checkpoint.section("dist.bp.state").payload);
+    const auto gy = r.pod_vector<weight_t>();
+    const auto gz = r.pod_vector<weight_t>();
+    const auto gs = r.pod_vector<weight_t>();
+    if (gy.size() != static_cast<std::size_t>(m) ||
+        gz.size() != static_cast<std::size_t>(m) ||
+        gs.size() != static_cast<std::size_t>(nnz)) {
+      throw std::runtime_error(
+          "distributed_belief_prop_align: dist.bp.state size mismatch");
+    }
+    for (RankState& st : ranks) {
+      std::copy(gy.begin() + st.elo, gy.begin() + st.ehi, st.y_prev.begin());
+      std::copy(gz.begin() + st.elo, gz.begin() + st.ehi, st.z_prev.begin());
+      std::copy(gs.begin() + st.slo, gs.begin() + st.shi,
+                st.sk_prev.begin());
+      st.y = st.y_prev;
+      st.z = st.z_prev;
+      st.sk = st.sk_prev;
+    }
+    bsp.supersteps = r.u64();
+    bsp.messages = r.u64();
+    bsp.remote_messages = r.u64();
+    bsp.bytes = r.u64();
+    bsp.max_h_relation = r.u64();
+    gather_bytes = r.u64();
+    start_iter = rs.iter + 1;
+    result.resumed_from = rs.iter;
+    if (!options.record_history) result.objective_history.clear();
+  }
+  result.iterations_completed = start_iter - 1;
+
+  int last_snapshot_iter = -1;
+  auto snapshot = [&](int iter) {
+    if (budget.checkpoint_path.empty() || iter == last_snapshot_iter) return;
+    io::Checkpoint c;
+    c.solver = "dist_bp";
+    ckpt::write_meta(c, "dist_bp", m, nnz, P);
+    ckpt::write_progress(c, iter, tracker, result);
+    std::vector<weight_t> gy(static_cast<std::size_t>(m));
+    std::vector<weight_t> gz(static_cast<std::size_t>(m));
+    std::vector<weight_t> gs(static_cast<std::size_t>(nnz));
+    for (const RankState& st : ranks) {
+      std::copy(st.y_prev.begin(), st.y_prev.end(), gy.begin() + st.elo);
+      std::copy(st.z_prev.begin(), st.z_prev.end(), gz.begin() + st.elo);
+      std::copy(st.sk_prev.begin(), st.sk_prev.end(), gs.begin() + st.slo);
+    }
+    io::ByteWriter w;
+    w.pod_vector(gy);
+    w.pod_vector(gz);
+    w.pod_vector(gs);
+    w.u64(bsp.supersteps);
+    w.u64(bsp.messages);
+    w.u64(bsp.remote_messages);
+    w.u64(bsp.bytes);
+    w.u64(bsp.max_h_relation);
+    w.u64(gather_bytes);
+    c.add("dist.bp.state").payload = w.take();
+    ckpt::commit_checkpoint(c, budget.checkpoint_path, iter, trace, counters);
+    last_snapshot_iter = iter;
+  };
+
+  for (int iter = start_iter; iter <= options.max_iterations; ++iter) {
+    if (budget.stop_requested()) {
+      result.stopped_reason = StopReason::kSignal;
+      break;
+    }
+    if (budget.deadline_exceeded(total_timer.seconds())) {
+      result.stopped_reason = StopReason::kDeadline;
+      break;
+    }
     const BspStats bsp_before = bsp;
     int stalled_now = 0;
     if (injector) {
@@ -421,9 +514,16 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
                                      bsp_before.remote_messages)},
           {"bytes", static_cast<std::int64_t>(bsp.bytes - bsp_before.bytes)}};
       if (injector) fields.emplace_back("stalled_ranks", stalled_now);
+      if (tracker.has_solution()) {
+        fields.emplace_back("best_objective", tracker.best().value.objective);
+        fields.emplace_back("best_iteration", tracker.best_iteration());
+      }
       trace->iteration(iter, g, no_steps, fields);
     }
+    result.iterations_completed = iter;
+    if (budget.checkpoint_due(iter)) snapshot(iter);
   }
+  snapshot(result.iterations_completed);
 
   if (counters != nullptr) {
     counters->add("dist.supersteps",
@@ -433,9 +533,7 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
                   static_cast<std::int64_t>(bsp.remote_messages));
     counters->add("dist.bytes", static_cast<std::int64_t>(bsp.bytes));
     counters->add("dist.gather_bytes",
-                  static_cast<std::int64_t>(options.max_iterations) * 2 *
-                      static_cast<std::int64_t>(m) *
-                      static_cast<std::int64_t>(sizeof(weight_t)));
+                  static_cast<std::int64_t>(gather_bytes));
     if (injector) {
       counters->add("dist.stalled_iterations",
                     static_cast<std::int64_t>(stalled_iterations));
@@ -446,18 +544,8 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
     }
   }
 
-  result.best_iteration = tracker.best_iteration();
-  result.matching = tracker.best().matching;
-  result.value = tracker.best().value;
-  if (options.final_exact_round && options.matcher != MatcherKind::kExact &&
-      tracker.has_solution()) {
-    const RoundOutcome rerounded = round_heuristic(
-        p, S, tracker.best_heuristic(), MatcherKind::kExact, counters);
-    if (rerounded.value.objective > result.value.objective) {
-      result.matching = rerounded.matching;
-      result.value = rerounded.value;
-    }
-  }
+  finalize_best(p, S, tracker, options.matcher, options.final_exact_round,
+                counters, result);
   result.total_seconds = total_timer.seconds();
   if (injector) {
     // Degraded substrate => never hand back an unchecked solution.
@@ -473,7 +561,10 @@ AlignResult distributed_belief_prop_align(const NetAlignProblem& p,
       stats->stale_columns = stale_columns;
     }
   }
-  if (stats) stats->bsp = bsp;
+  if (stats) {
+    stats->bsp = bsp;
+    stats->gather_bytes = gather_bytes;
+  }
   return result;
 }
 

@@ -60,6 +60,14 @@ struct DistBpOptions {
   /// boundary. The default plan is byte-identical to the fault-free
   /// solver.
   FaultPlan faults;
+  /// Deadline / checkpoint / resume / stop-latch controls (budget.hpp).
+  /// The checkpoint stores the concatenation of every rank's damped
+  /// iterates (the partitions are contiguous) plus the cumulative BSP
+  /// traffic, so resumed traffic counters continue rather than restart.
+  /// Refused (std::invalid_argument) when combined with fault injection:
+  /// a degraded fabric replays from one RNG stream, which a mid-run
+  /// restart cannot reproduce.
+  SolveBudget budget;
 };
 
 struct DistBpStats {

@@ -10,6 +10,7 @@
 #include "matching/small_mwm.hpp"
 #include "matching/verify.hpp"
 #include "netalign/rounding.hpp"
+#include "netalign/solver_ckpt.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 
@@ -54,10 +55,19 @@ AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
     throw std::invalid_argument("distributed_klau_mr_align: options");
   }
   options.faults.validate();
+  options.budget.validate("distributed_klau_mr_align");
+  if (options.faults.any() && (!options.budget.checkpoint_path.empty() ||
+                               !options.budget.resume_path.empty())) {
+    // Same refusal as distributed BP: the fault stream is not resumable.
+    throw std::invalid_argument(
+        "distributed_klau_mr_align: checkpoint/resume requires a fault-free "
+        "fabric");
+  }
   if (stats) *stats = DistMrStats{};
 
   const BipartiteGraph& L = p.L;
   const eid_t m = L.num_edges();
+  const eid_t nnz = S.num_nonzeros();
   const vid_t na = L.num_a();
   const int P = options.num_ranks;
   const auto sptr = S.pattern().row_ptr();
@@ -148,8 +158,83 @@ AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
   // The simulated substrate has no per-step timers; iteration events carry
   // the BSP traffic deltas as extra fields instead.
   const StepTimers no_steps;
+  // Allgather + indicator-broadcast volume, accounted from the exchanges
+  // that actually ran.
+  std::size_t gather_bytes = 0;
 
-  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+  // --- Checkpoint/resume hooks. Slot partitions are contiguous
+  // (slo..shi), so the concatenated per-rank multipliers are the global U
+  // the shared-memory solver would hold; everything else in MrRankState is
+  // recomputed from U each iteration on a fault-free fabric.
+  const SolveBudget& budget = options.budget;
+  int start_iter = 1;
+  if (!budget.resume_path.empty()) {
+    const ckpt::ResumeState rs = ckpt::load_for_resume(
+        budget.resume_path, "dist_mr", m, nnz, P,
+        "distributed_klau_mr_align", tracker, result, trace, counters);
+    io::ByteReader r(rs.checkpoint.section("dist.mr.state").payload);
+    const auto gu = r.pod_vector<weight_t>();
+    if (gu.size() != static_cast<std::size_t>(nnz)) {
+      throw std::runtime_error(
+          "distributed_klau_mr_align: dist.mr.state size mismatch");
+    }
+    for (MrRankState& st : ranks) {
+      std::copy(gu.begin() + st.slo, gu.begin() + st.shi, st.u.begin());
+    }
+    gamma = r.f64();
+    best_upper = r.f64();
+    since_upper_improved = r.i32();
+    bsp.supersteps = r.u64();
+    bsp.messages = r.u64();
+    bsp.remote_messages = r.u64();
+    bsp.bytes = r.u64();
+    bsp.max_h_relation = r.u64();
+    gather_bytes = r.u64();
+    start_iter = rs.iter + 1;
+    result.resumed_from = rs.iter;
+    if (!options.record_history) {
+      result.objective_history.clear();
+      result.upper_history.clear();
+    }
+  }
+  result.iterations_completed = start_iter - 1;
+
+  int last_snapshot_iter = -1;
+  auto snapshot = [&](int iter) {
+    if (budget.checkpoint_path.empty() || iter == last_snapshot_iter) return;
+    io::Checkpoint c;
+    c.solver = "dist_mr";
+    ckpt::write_meta(c, "dist_mr", m, nnz, P);
+    ckpt::write_progress(c, iter, tracker, result);
+    std::vector<weight_t> gu(static_cast<std::size_t>(nnz));
+    for (const MrRankState& st : ranks) {
+      std::copy(st.u.begin(), st.u.end(), gu.begin() + st.slo);
+    }
+    io::ByteWriter w;
+    w.pod_vector(gu);
+    w.f64(gamma);
+    w.f64(best_upper);
+    w.i32(since_upper_improved);
+    w.u64(bsp.supersteps);
+    w.u64(bsp.messages);
+    w.u64(bsp.remote_messages);
+    w.u64(bsp.bytes);
+    w.u64(bsp.max_h_relation);
+    w.u64(gather_bytes);
+    c.add("dist.mr.state").payload = w.take();
+    ckpt::commit_checkpoint(c, budget.checkpoint_path, iter, trace, counters);
+    last_snapshot_iter = iter;
+  };
+
+  for (int iter = start_iter; iter <= options.max_iterations; ++iter) {
+    if (budget.stop_requested()) {
+      result.stopped_reason = StopReason::kSignal;
+      break;
+    }
+    if (budget.deadline_exceeded(total_timer.seconds())) {
+      result.stopped_reason = StopReason::kDeadline;
+      break;
+    }
     const BspStats bsp_before = bsp;
     int stalled_now = 0;
     if (injector) {
@@ -211,11 +296,8 @@ AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
     }
 
     // --- Step 3: global matching on the distributed matcher -------------
-    if (stats) {
-      // w-bar allgather plus the indicator broadcast back.
-      stats->gather_bytes +=
-          static_cast<std::size_t>(m) * (sizeof(weight_t) + 1);
-    }
+    // w-bar allgather plus the indicator broadcast back.
+    gather_bytes += static_cast<std::size_t>(m) * (sizeof(weight_t) + 1);
     DistMatchOptions mopt;
     mopt.num_ranks = P;
     // Share the iteration's injector (and its stream) with the nested
@@ -301,9 +383,16 @@ AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
            static_cast<std::int64_t>(bsp.messages - bsp_before.messages)},
           {"bytes", static_cast<std::int64_t>(bsp.bytes - bsp_before.bytes)}};
       if (injector) fields.emplace_back("stalled_ranks", stalled_now);
+      if (tracker.has_solution()) {
+        fields.emplace_back("best_objective", tracker.best().value.objective);
+        fields.emplace_back("best_iteration", tracker.best_iteration());
+      }
       trace->iteration(iter, step_gamma, no_steps, fields);
     }
+    result.iterations_completed = iter;
+    if (budget.checkpoint_due(iter)) snapshot(iter);
   }
+  snapshot(result.iterations_completed);
 
   if (counters != nullptr) {
     counters->add("dist.supersteps",
@@ -312,6 +401,8 @@ AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
     counters->add("dist.remote_messages",
                   static_cast<std::int64_t>(bsp.remote_messages));
     counters->add("dist.bytes", static_cast<std::int64_t>(bsp.bytes));
+    counters->add("dist.gather_bytes",
+                  static_cast<std::int64_t>(gather_bytes));
     for (const auto& st : ranks) {
       counters->add("mr.small_mwm_calls", st.solver.solve_calls());
       counters->add("mr.small_mwm_edges", st.solver.edges_seen());
@@ -325,17 +416,8 @@ AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
   }
 
   result.best_upper_bound = best_upper;
-  result.best_iteration = tracker.best_iteration();
-  result.matching = tracker.best().matching;
-  result.value = tracker.best().value;
-  if (options.final_exact_round && tracker.has_solution()) {
-    const RoundOutcome rerounded = round_heuristic(
-        p, S, tracker.best_heuristic(), MatcherKind::kExact, counters);
-    if (rerounded.value.objective > result.value.objective) {
-      result.matching = rerounded.matching;
-      result.value = rerounded.value;
-    }
-  }
+  finalize_best(p, S, tracker, MatcherKind::kLocallyDominant,
+                options.final_exact_round, counters, result);
   result.total_seconds = total_timer.seconds();
   if (injector) {
     // Degraded substrate => never hand back an unchecked solution.
@@ -350,7 +432,10 @@ AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
       stats->max_staleness = max_staleness;
     }
   }
-  if (stats) stats->bsp = bsp;
+  if (stats) {
+    stats->bsp = bsp;
+    stats->gather_bytes = gather_bytes;
+  }
   return result;
 }
 

@@ -48,6 +48,13 @@ struct DistMrOptions {
   /// staleness -- see docs/ARCHITECTURE.md "Fault model"). The default
   /// plan is byte-identical to the fault-free solver.
   FaultPlan faults;
+  /// Deadline / checkpoint / resume / stop-latch controls (budget.hpp).
+  /// The checkpoint stores the concatenated per-rank multipliers (the slot
+  /// partitions are contiguous), the subgradient step state, and the
+  /// cumulative BSP traffic. Refused (std::invalid_argument) together with
+  /// fault injection -- a degraded fabric replays from one RNG stream a
+  /// mid-run restart cannot reproduce.
+  SolveBudget budget;
 };
 
 struct DistMrStats {

@@ -1,0 +1,192 @@
+#include "io/checkpoint.hpp"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+
+namespace netalign::io {
+
+namespace {
+
+/// 8-byte magic; the trailing newline makes an accidental `cat` of the
+/// binary file visibly stop after the tag.
+constexpr std::array<std::uint8_t, 8> kMagic = {'N', 'A', 'C', 'K',
+                                                'P', 'T', '1', '\n'};
+
+/// Cap on the section count and on any single declared length, against
+/// allocation bombs from corrupt headers that happen to pass the magic
+/// check (same stance as io/validate.hpp's count rejection).
+constexpr std::uint64_t kMaxSections = 1024;
+constexpr std::uint64_t kMaxSectionBytes = std::uint64_t{1} << 40;
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("checkpoint: " + what);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) {
+  const auto& table = crc_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+CheckpointSection& Checkpoint::add(std::string name) {
+  sections.push_back(CheckpointSection{std::move(name), {}});
+  return sections.back();
+}
+
+const CheckpointSection* Checkpoint::find(std::string_view name) const {
+  for (const CheckpointSection& s : sections) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const CheckpointSection& Checkpoint::section(std::string_view name) const {
+  const CheckpointSection* s = find(name);
+  if (s == nullptr) fail("missing section '" + std::string(name) + "'");
+  return *s;
+}
+
+std::vector<std::uint8_t> serialize_checkpoint(const Checkpoint& c) {
+  ByteWriter header;
+  for (const std::uint8_t b : kMagic) header.u8(b);
+  header.u32(kCheckpointVersion);
+  header.str(c.solver);
+  header.u32(static_cast<std::uint32_t>(c.sections.size()));
+  std::vector<std::uint8_t> out = header.take();
+  {
+    // Header CRC covers everything serialized so far.
+    const std::uint32_t crc = crc32(out.data(), out.size());
+    ByteWriter w;
+    w.u32(crc);
+    const auto& b = w.bytes();
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  for (const CheckpointSection& s : c.sections) {
+    ByteWriter w;
+    w.str(s.name);
+    w.u64(s.payload.size());
+    w.u32(crc32(s.payload.data(), s.payload.size()));
+    auto b = w.take();
+    out.insert(out.end(), b.begin(), b.end());
+    out.insert(out.end(), s.payload.begin(), s.payload.end());
+  }
+  return out;
+}
+
+Checkpoint deserialize_checkpoint(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  for (const std::uint8_t want : kMagic) {
+    if (r.u8() != want) fail("bad magic (not a checkpoint file)");
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kCheckpointVersion) {
+    fail("unsupported version " + std::to_string(version) + " (expected " +
+         std::to_string(kCheckpointVersion) + ")");
+  }
+  Checkpoint c;
+  c.solver = r.str();
+  const std::uint32_t nsect = r.u32();
+  if (nsect > kMaxSections) fail("implausible section count");
+  {
+    // Recompute the header CRC over the exact bytes consumed so far.
+    const std::size_t header_len =
+        kMagic.size() + sizeof(std::uint32_t)      // version
+        + sizeof(std::uint64_t) + c.solver.size()  // solver string
+        + sizeof(std::uint32_t);                   // section count
+    const std::uint32_t want = r.u32();
+    const std::uint32_t got = crc32(bytes.data(), header_len);
+    if (got != want) fail("header CRC mismatch (corrupt or torn write)");
+  }
+  for (std::uint32_t i = 0; i < nsect; ++i) {
+    CheckpointSection s;
+    s.name = r.str();
+    const std::uint64_t len = r.u64();
+    if (len > kMaxSectionBytes) {
+      fail("implausible section length in '" + s.name + "'");
+    }
+    const std::uint32_t want = r.u32();
+    s.payload = r.raw_bytes(len);
+    const std::uint32_t got = crc32(s.payload.data(), s.payload.size());
+    if (got != want) {
+      fail("section '" + s.name + "' CRC mismatch (corrupt data)");
+    }
+    c.sections.push_back(std::move(s));
+  }
+  if (!r.exhausted()) fail("trailing bytes after last section");
+  return c;
+}
+
+void write_checkpoint_bytes(const std::string& path,
+                            std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) fail("cannot open '" + tmp + "' for writing");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) fail("short write to '" + tmp + "'");
+  }
+  // Rotate generations. A crash between the two renames leaves only the
+  // .prev generation, which the fallback reader handles.
+  if (std::ifstream(path).good()) {
+    if (std::rename(path.c_str(), (path + ".prev").c_str()) != 0) {
+      fail("cannot rotate '" + path + "' to previous generation");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    fail("cannot rename '" + tmp + "' into place");
+  }
+}
+
+Checkpoint read_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open '" + path + "'");
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return deserialize_checkpoint(bytes);
+}
+
+Checkpoint read_checkpoint_with_fallback(const std::string& path,
+                                         bool* used_previous) {
+  std::string first_error;
+  try {
+    Checkpoint c = read_checkpoint_file(path);
+    if (used_previous != nullptr) *used_previous = false;
+    return c;
+  } catch (const std::exception& e) {
+    first_error = e.what();
+  }
+  try {
+    Checkpoint c = read_checkpoint_file(path + ".prev");
+    if (used_previous != nullptr) *used_previous = true;
+    return c;
+  } catch (const std::exception& e) {
+    fail("both generations unusable: [" + first_error + "] and [" +
+         std::string(e.what()) + "]");
+  }
+}
+
+}  // namespace netalign::io

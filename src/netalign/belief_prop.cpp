@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "netalign/othermax.hpp"
+#include "netalign/solver_ckpt.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
@@ -30,6 +31,7 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
       options.gamma <= 0.0 || options.gamma > 1.0) {
     throw std::invalid_argument("belief_prop_align: bad options");
   }
+  options.budget.validate("belief_prop_align");
 
   const BipartiteGraph& L = p.L;
   const eid_t m = L.num_edges();
@@ -115,7 +117,66 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
 
   const auto nrows = static_cast<vid_t>(m);
 
-  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+  // --- Checkpoint/resume hooks (docs/ARCHITECTURE.md "Preemption &
+  // recovery"). Only loop-carried state needs saving: y_prev/z_prev/
+  // sk_prev plus the progress skeleton. y/z/F/d are recomputed from those
+  // each iteration, and the damping factor is a pure function of the
+  // iteration number.
+  const SolveBudget& budget = options.budget;
+  int start_iter = 1;
+  if (!budget.resume_path.empty()) {
+    const ckpt::ResumeState rs =
+        ckpt::load_for_resume(budget.resume_path, "bp", m, nnz, 0,
+                              "belief_prop_align", tracker, result, trace,
+                              counters);
+    io::ByteReader r(rs.checkpoint.section("bp.state").payload);
+    y_prev = r.pod_vector<weight_t>();
+    z_prev = r.pod_vector<weight_t>();
+    sk_prev = r.pod_vector<weight_t>();
+    if (y_prev.size() != static_cast<std::size_t>(m) ||
+        z_prev.size() != static_cast<std::size_t>(m) ||
+        sk_prev.size() != static_cast<std::size_t>(nnz)) {
+      throw std::runtime_error("belief_prop_align: bp.state size mismatch");
+    }
+    start_iter = rs.iter + 1;
+    result.resumed_from = rs.iter;
+    if (!options.record_history) {
+      result.objective_history.clear();
+      result.upper_history.clear();
+    }
+  }
+  result.iterations_completed = start_iter - 1;
+
+  int last_snapshot_iter = -1;
+  auto snapshot = [&](int iter) {
+    if (budget.checkpoint_path.empty() || iter == last_snapshot_iter) return;
+    // Fold pending roundings in first. Flush timing changes no computed
+    // value (each rounding is a pure function of its stored g vector and
+    // history entries append in enqueue order either way), so a
+    // checkpoint-boundary flush keeps resume bit-identical.
+    flush_batch();
+    io::Checkpoint c;
+    c.solver = "bp";
+    ckpt::write_meta(c, "bp", m, nnz, 0);
+    ckpt::write_progress(c, iter, tracker, result);
+    io::ByteWriter w;
+    w.pod_vector(y_prev);
+    w.pod_vector(z_prev);
+    w.pod_vector(sk_prev);
+    c.add("bp.state").payload = w.take();
+    ckpt::commit_checkpoint(c, budget.checkpoint_path, iter, trace, counters);
+    last_snapshot_iter = iter;
+  };
+
+  for (int iter = start_iter; iter <= options.max_iterations; ++iter) {
+    if (budget.stop_requested()) {
+      result.stopped_reason = StopReason::kSignal;
+      break;
+    }
+    if (budget.deadline_exceeded(total_timer.seconds())) {
+      result.stopped_reason = StopReason::kDeadline;
+      break;
+    }
     // --- Steps 1+2 fused: F = bound_{0,beta}[beta S + S^(k)T] and
     // d = alpha w + F e in one sweep over the rows of S. F[k] is summed
     // into d[e] the moment it is written, while the row is still in
@@ -217,26 +278,24 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
       // "matching" time is attributed to an iteration event instead of
       // falling outside the loop (batch sizes need not divide 2 * iters).
       if (iter == options.max_iterations) flush_batch();
-      trace->iteration(iter, damp, iter_steps);
+      obs::TraceWriter::Fields extra;
+      if (tracker.has_solution()) {
+        extra = {{"best_objective", tracker.best().value.objective},
+                 {"best_iteration", tracker.best_iteration()}};
+      }
+      trace->iteration(iter, damp, iter_steps, extra);
       iter_steps.clear();
     }
+    result.iterations_completed = iter;
+    if (budget.checkpoint_due(iter)) snapshot(iter);
   }
   flush_batch();
+  // Final generation: on a stop it holds the last completed iteration (the
+  // resume point); on completion it makes the file reflect the whole run.
+  snapshot(result.iterations_completed);
 
-  result.best_iteration = tracker.best_iteration();
-  result.matching = tracker.best().matching;
-  result.value = tracker.best().value;
-
-  if (options.final_exact_round && options.matcher != MatcherKind::kExact &&
-      tracker.has_solution()) {
-    ScopedStepTimer st(result.timers, "final_exact_round");
-    const RoundOutcome rerounded = round_heuristic(
-        p, S, tracker.best_heuristic(), MatcherKind::kExact, counters);
-    if (rerounded.value.objective > result.value.objective) {
-      result.matching = rerounded.matching;
-      result.value = rerounded.value;
-    }
-  }
+  finalize_best(p, S, tracker, options.matcher, options.final_exact_round,
+                counters, result);
 
   result.total_seconds = total_timer.seconds();
   return result;

@@ -49,6 +49,10 @@ struct BeliefPropOptions {
   /// Optional counter registry: message-update volume, rounding and
   /// matcher-internal counts accumulate here. Null = disabled.
   obs::Counters* counters = nullptr;
+  /// Deadline / checkpoint / resume / stop-latch controls (budget.hpp).
+  /// The checkpoint carries the damped iterates y/z/S^(k), the tracker,
+  /// and the histories; resume is bit-identical to the uninterrupted run.
+  SolveBudget budget;
 };
 
 AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,

@@ -1,10 +1,12 @@
 #include "netalign/isorank.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
+#include "netalign/solver_ckpt.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace netalign {
@@ -18,12 +20,16 @@ AlignResult isorank_align(const NetAlignProblem& p, const SquaresMatrix& S,
       options.gamma >= 1.0) {
     throw std::invalid_argument("isorank_align: bad options");
   }
+  options.budget.validate("isorank_align");
 
   const BipartiteGraph& L = p.L;
   const eid_t m = L.num_edges();
+  const eid_t nnz = S.num_nonzeros();
   const auto scol = S.pattern().col_idx();
   WallTimer total_timer;
   AlignResult result;
+  obs::TraceWriter* trace = options.trace;
+  obs::Counters* counters = options.counters;
 
   // Normalized prior from L's weights (uniform when all weights are 0).
   std::vector<weight_t> prior(static_cast<std::size_t>(m), 0.0);
@@ -55,10 +61,53 @@ AlignResult isorank_align(const NetAlignProblem& p, const SquaresMatrix& S,
   std::vector<weight_t> x(prior);
   std::vector<weight_t> scaled(static_cast<std::size_t>(m), 0.0);
   std::vector<weight_t> next(static_cast<std::size_t>(m), 0.0);
+  BestSolutionTracker tracker;
 
-  int iterations_run = 0;
-  for (int iter = 1; iter <= options.max_iterations; ++iter) {
-    iterations_run = iter;
+  // --- Checkpoint/resume hooks. The only loop-carried state is the
+  // iterate x (prior and inv_deg are deterministic functions of the
+  // problem); the tracker stays empty until the single final rounding, so
+  // a resumed run re-rounds exactly the restored iterate.
+  const SolveBudget& budget = options.budget;
+  int start_iter = 1;
+  if (!budget.resume_path.empty()) {
+    const ckpt::ResumeState rs =
+        ckpt::load_for_resume(budget.resume_path, "isorank", m, nnz, 0,
+                              "isorank_align", tracker, result, trace,
+                              counters);
+    io::ByteReader r(rs.checkpoint.section("isorank.state").payload);
+    x = r.pod_vector<weight_t>();
+    if (x.size() != static_cast<std::size_t>(m)) {
+      throw std::runtime_error("isorank_align: isorank.state size mismatch");
+    }
+    start_iter = rs.iter + 1;
+    result.resumed_from = rs.iter;
+    if (!options.record_history) result.objective_history.clear();
+  }
+  result.iterations_completed = start_iter - 1;
+
+  int last_snapshot_iter = -1;
+  auto snapshot = [&](int iter) {
+    if (budget.checkpoint_path.empty() || iter == last_snapshot_iter) return;
+    io::Checkpoint c;
+    c.solver = "isorank";
+    ckpt::write_meta(c, "isorank", m, nnz, 0);
+    ckpt::write_progress(c, iter, tracker, result);
+    io::ByteWriter w;
+    w.pod_vector(x);
+    c.add("isorank.state").payload = w.take();
+    ckpt::commit_checkpoint(c, budget.checkpoint_path, iter, trace, counters);
+    last_snapshot_iter = iter;
+  };
+
+  for (int iter = start_iter; iter <= options.max_iterations; ++iter) {
+    if (budget.stop_requested()) {
+      result.stopped_reason = StopReason::kSignal;
+      break;
+    }
+    if (budget.deadline_exceeded(total_timer.seconds())) {
+      result.stopped_reason = StopReason::kDeadline;
+      break;
+    }
     {
       ScopedStepTimer st(result.timers, "propagate");
       fenced_parallel([&] {
@@ -79,34 +128,47 @@ AlignResult isorank_align(const NetAlignProblem& p, const SquaresMatrix& S,
     weight_t delta = 0.0;
     {
       ScopedStepTimer st(result.timers, "convergence");
-      // Thread-local partials combined through an instrumented atomic
-      // instead of an OpenMP reduction clause (see fenced_parallel's
-      // contract in parallel.hpp).
-      std::atomic<weight_t> delta_acc{0.0};
-      fenced_parallel([&] {
-        weight_t part = 0.0;
-#pragma omp for schedule(static) nowait
-        for (eid_t e = 0; e < m; ++e) part += std::abs(next[e] - x[e]);
-        delta_acc.fetch_add(part, std::memory_order_relaxed);
-      });
-      delta = delta_acc.load(std::memory_order_relaxed);
+      // Chunk-deterministic residual (deterministic_chunk_sums): the
+      // tolerance test below forks on delta, so the sum order must not
+      // vary run to run or kill-resume bit-identity breaks.
+      delta = deterministic_chunk_sums<1>(
+          m,
+          [&](std::int64_t lo, std::int64_t hi, std::array<double, 1>& acc) {
+            for (eid_t e = lo; e < hi; ++e) acc[0] += std::abs(next[e] - x[e]);
+          })[0];
     }
     std::swap(x, next);
     if (options.record_history) {
       result.objective_history.push_back(delta);
     }
+    if (trace != nullptr) {
+      trace->iteration(iter, options.gamma, StepTimers{},
+                       {{"residual", delta}});
+    }
+    result.iterations_completed = iter;
+    if (budget.checkpoint_due(iter)) snapshot(iter);
     if (delta < options.tolerance) break;
   }
+  snapshot(result.iterations_completed);
 
   // One rounding at the fixed point (unlike MR/BP there is no per-iterate
-  // quality oscillation to track: the iteration is a contraction).
+  // quality oscillation to track: the iteration is a contraction). The
+  // tracker holds this single offer so the tail is the uniform
+  // finalize_best used by every solver. A run stopped before any sweep
+  // completed still rounds the restored (or initial) iterate.
   {
     ScopedStepTimer st(result.timers, "matching");
-    const RoundOutcome outcome = round_heuristic(p, S, x, options.matcher);
-    result.matching = outcome.matching;
-    result.value = outcome.value;
-    result.best_iteration = iterations_run;
+    const RoundOutcome outcome =
+        round_heuristic(p, S, x, options.matcher, counters);
+    tracker.offer(outcome, x, result.iterations_completed);
+    if (trace != nullptr) {
+      trace->round(result.iterations_completed, to_string(options.matcher),
+                   outcome.matching.cardinality, outcome.value.weight,
+                   outcome.value.overlap, outcome.value.objective);
+    }
   }
+  finalize_best(p, S, tracker, options.matcher, /*final_exact_round=*/false,
+                counters, result);
   result.total_seconds = total_timer.seconds();
   return result;
 }

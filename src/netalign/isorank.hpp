@@ -24,6 +24,11 @@
 #include "netalign/rounding.hpp"
 #include "netalign/squares.hpp"
 
+namespace netalign::obs {
+class TraceWriter;
+class Counters;
+}  // namespace netalign::obs
+
 namespace netalign {
 
 struct IsoRankOptions {
@@ -32,6 +37,14 @@ struct IsoRankOptions {
   weight_t tolerance = 1e-9; ///< stop when the iterate moves less than this
   MatcherKind matcher = MatcherKind::kExact;
   bool record_history = true;
+  /// Optional telemetry: one `iteration` event per sweep with the residual.
+  obs::TraceWriter* trace = nullptr;
+  /// Optional counter registry (ckpt.* counters land here).
+  obs::Counters* counters = nullptr;
+  /// Deadline / checkpoint / resume / stop-latch controls (budget.hpp).
+  /// The checkpoint carries the iterate x; the prior and degree scalings
+  /// are recomputed from the problem on resume.
+  SolveBudget budget;
 };
 
 AlignResult isorank_align(const NetAlignProblem& p, const SquaresMatrix& S,

@@ -1,11 +1,12 @@
 #include "netalign/klau_mr.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <array>
 #include <stdexcept>
 
 #include "matching/small_mwm.hpp"
 #include "netalign/row_match.hpp"
+#include "netalign/solver_ckpt.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
@@ -36,6 +37,7 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
       options.mstep < 1) {
     throw std::invalid_argument("klau_mr_align: bad options");
   }
+  options.budget.validate("klau_mr_align");
 
   const BipartiteGraph& L = p.L;
   const eid_t m = L.num_edges();
@@ -88,7 +90,60 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
   // iteration, serially, so a single workspace suffices).
   RoundWorkspace match_ws;
 
-  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+  // --- Checkpoint/resume hooks (docs/ARCHITECTURE.md "Preemption &
+  // recovery"). Loop-carried state: the multipliers U, the subgradient
+  // step size, the stagnation counter, and the progress skeleton. S_L, d,
+  // w-bar and x are recomputed from U each iteration.
+  const SolveBudget& budget = options.budget;
+  int start_iter = 1;
+  if (!budget.resume_path.empty()) {
+    const ckpt::ResumeState rs =
+        ckpt::load_for_resume(budget.resume_path, "mr", m, nnz, 0,
+                              "klau_mr_align", tracker, result, trace,
+                              counters);
+    io::ByteReader r(rs.checkpoint.section("mr.state").payload);
+    U = r.pod_vector<weight_t>();
+    gamma = r.f64();
+    best_upper = r.f64();
+    since_upper_improved = r.i32();
+    if (U.size() != static_cast<std::size_t>(nnz)) {
+      throw std::runtime_error("klau_mr_align: mr.state size mismatch");
+    }
+    start_iter = rs.iter + 1;
+    result.resumed_from = rs.iter;
+    if (!options.record_history) {
+      result.objective_history.clear();
+      result.upper_history.clear();
+    }
+  }
+  result.iterations_completed = start_iter - 1;
+
+  int last_snapshot_iter = -1;
+  auto snapshot = [&](int iter) {
+    if (budget.checkpoint_path.empty() || iter == last_snapshot_iter) return;
+    io::Checkpoint c;
+    c.solver = "mr";
+    ckpt::write_meta(c, "mr", m, nnz, 0);
+    ckpt::write_progress(c, iter, tracker, result);
+    io::ByteWriter w;
+    w.pod_vector(U);
+    w.f64(gamma);
+    w.f64(best_upper);
+    w.i32(since_upper_improved);
+    c.add("mr.state").payload = w.take();
+    ckpt::commit_checkpoint(c, budget.checkpoint_path, iter, trace, counters);
+    last_snapshot_iter = iter;
+  };
+
+  for (int iter = start_iter; iter <= options.max_iterations; ++iter) {
+    if (budget.stop_requested()) {
+      result.stopped_reason = StopReason::kSignal;
+      break;
+    }
+    if (budget.deadline_exceeded(total_timer.seconds())) {
+      result.stopped_reason = StopReason::kDeadline;
+      break;
+    }
     // --- Step 1: row match ---------------------------------------------
     // For each row e of S, an exact max-weight matching over the L-edges f
     // in that row, with weights beta/2 * S + U - U^T read through the
@@ -153,19 +208,17 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
       ScopedStepTimer st(result.timers, "objective", iter_steps_ptr);
       outcome.matching = matching;
       outcome.value = evaluate_objective(p, S, x);
-      // Thread-local partials combined through an instrumented atomic
-      // instead of an OpenMP reduction clause (see fenced_parallel's
-      // contract in parallel.hpp); same nondeterministic summation order.
-      std::atomic<weight_t> upper_acc{0.0};
-      fenced_parallel([&] {
-        weight_t part = 0.0;
-#pragma omp for schedule(static) nowait
-        for (eid_t e = 0; e < m; ++e) {
-          if (x[e]) part += wbar[e];
-        }
-        upper_acc.fetch_add(part, std::memory_order_relaxed);
-      });
-      upper = upper_acc.load(std::memory_order_relaxed);
+      // Chunk-deterministic reduction (deterministic_chunk_sums): the
+      // bound drives the gamma-halving comparison, so a 1-ulp run-to-run
+      // wobble could fork the whole trajectory and break kill-resume
+      // bit-identity.
+      upper = deterministic_chunk_sums<1>(
+          m,
+          [&](std::int64_t lo, std::int64_t hi, std::array<double, 1>& acc) {
+            for (eid_t e = lo; e < hi; ++e) {
+              if (x[e]) acc[0] += wbar[e];
+            }
+          })[0];
       tracker.offer(outcome, wbar, iter);
       if (options.record_history) {
         result.objective_history.push_back(outcome.value.objective);
@@ -210,14 +263,20 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
       trace->round(iter, to_string(options.matcher),
                    outcome.matching.cardinality, outcome.value.weight,
                    outcome.value.overlap, outcome.value.objective);
-      trace->iteration(
-          iter, step_gamma, iter_steps,
-          {{"objective", outcome.value.objective},
-           {"upper_bound", upper},
-           {"best_upper_bound", best_upper}});
+      obs::TraceWriter::Fields fields{{"objective", outcome.value.objective},
+                                      {"upper_bound", upper},
+                                      {"best_upper_bound", best_upper}};
+      if (tracker.has_solution()) {
+        fields.emplace_back("best_objective", tracker.best().value.objective);
+        fields.emplace_back("best_iteration", tracker.best_iteration());
+      }
+      trace->iteration(iter, step_gamma, iter_steps, fields);
       iter_steps.clear();
     }
+    result.iterations_completed = iter;
+    if (budget.checkpoint_due(iter)) snapshot(iter);
   }
+  snapshot(result.iterations_completed);
 
   if (counters != nullptr) {
     // Lifetime counts from the per-thread scratch, merged once here rather
@@ -231,21 +290,8 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
   }
 
   result.best_upper_bound = best_upper;
-  result.best_iteration = tracker.best_iteration();
-  result.matching = tracker.best().matching;
-  result.value = tracker.best().value;
-
-  // Final exact rounding of the best heuristic vector (paper Section VII).
-  if (options.final_exact_round && options.matcher != MatcherKind::kExact &&
-      tracker.has_solution()) {
-    ScopedStepTimer st(result.timers, "final_exact_round");
-    const RoundOutcome rerounded = round_heuristic(
-        p, S, tracker.best_heuristic(), MatcherKind::kExact, counters);
-    if (rerounded.value.objective > result.value.objective) {
-      result.matching = rerounded.matching;
-      result.value = rerounded.value;
-    }
-  }
+  finalize_best(p, S, tracker, options.matcher, options.final_exact_round,
+                counters, result);
 
   result.total_seconds = total_timer.seconds();
   return result;

@@ -60,6 +60,11 @@ struct KlauMrOptions {
   /// Optional counter registry: small-MWM calls/edges from Step 1 and
   /// matcher-internal counts from Step 3 accumulate here. Null = disabled.
   obs::Counters* counters = nullptr;
+  /// Deadline / checkpoint / resume / stop-latch controls (budget.hpp).
+  /// The checkpoint carries the multipliers U, the current step size, the
+  /// stagnation counter, the tracker, and both histories; resume is
+  /// bit-identical to the uninterrupted run.
+  SolveBudget budget;
 };
 
 AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,

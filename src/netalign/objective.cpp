@@ -1,6 +1,6 @@
 #include "netalign/objective.hpp"
 
-#include <atomic>
+#include <array>
 #include <stdexcept>
 
 #include "util/parallel.hpp"
@@ -14,31 +14,26 @@ ObjectiveValue evaluate_objective(const NetAlignProblem& p,
   if (static_cast<eid_t>(x.size()) != m) {
     throw std::invalid_argument("evaluate_objective: indicator size");
   }
-  // Thread-local partials combined through instrumented atomics instead of
-  // an OpenMP reduction clause (see fenced_parallel's contract in
-  // parallel.hpp); same nondeterministic summation order.
-  std::atomic<weight_t> weight_acc{0.0};
-  std::atomic<weight_t> xsx_acc{0.0};
-  fenced_parallel([&] {
-    weight_t weight = 0.0;
-    weight_t xsx = 0.0;
-#pragma omp for schedule(dynamic, kDynamicChunk) nowait
-    for (eid_t e = 0; e < m; ++e) {
-      if (!x[e]) continue;
-      weight += p.L.edge_weight(e);
-      weight_t row = 0.0;
-      for (eid_t k = S.row_begin(static_cast<vid_t>(e));
-           k < S.row_end(static_cast<vid_t>(e)); ++k) {
-        if (x[S.col(k)]) row += 1.0;
-      }
-      xsx += row;
-    }
-    weight_acc.fetch_add(weight, std::memory_order_relaxed);
-    xsx_acc.fetch_add(xsx, std::memory_order_relaxed);
-  });
+  // Chunk-deterministic reduction (deterministic_chunk_sums in
+  // parallel.hpp): the objective feeds BestSolutionTracker comparisons and
+  // checkpointed histories, so it must be bit-identical run to run, not
+  // just up to summation order.
+  const auto sums = deterministic_chunk_sums<2>(
+      m, [&](std::int64_t lo, std::int64_t hi, std::array<double, 2>& acc) {
+        for (eid_t e = lo; e < hi; ++e) {
+          if (!x[e]) continue;
+          acc[0] += p.L.edge_weight(e);
+          weight_t row = 0.0;
+          for (eid_t k = S.row_begin(static_cast<vid_t>(e));
+               k < S.row_end(static_cast<vid_t>(e)); ++k) {
+            if (x[S.col(k)]) row += 1.0;
+          }
+          acc[1] += row;
+        }
+      });
   ObjectiveValue v;
-  v.weight = weight_acc.load(std::memory_order_relaxed);
-  v.overlap = xsx_acc.load(std::memory_order_relaxed) / 2.0;
+  v.weight = sums[0];
+  v.overlap = sums[1] / 2.0;
   v.objective = p.alpha * v.weight + p.beta * v.overlap;
   return v;
 }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "matching/matching.hpp"
+#include "netalign/budget.hpp"
 #include "netalign/objective.hpp"
 #include "util/timer.hpp"
 #include "util/types.hpp"
@@ -14,6 +15,16 @@ struct AlignResult {
   BipartiteMatching matching;     ///< the returned alignment
   ObjectiveValue value;           ///< its objective decomposition
   int best_iteration = -1;        ///< iteration that produced it
+
+  /// Why the run returned: completed, deadline, or signal (budget.hpp).
+  /// Anything other than kCompleted means `matching` is the best-so-far
+  /// answer of a truncated run.
+  StopReason stopped_reason = StopReason::kCompleted;
+  /// Iterations completed over the run's lifetime, counting the part
+  /// restored from a checkpoint on resume.
+  int iterations_completed = 0;
+  /// Iteration the resume checkpoint was taken at (0 = fresh run).
+  int resumed_from = 0;
 
   /// Objective value of each rounding event, in order. For BP with
   /// batching, two entries (y and z) appear per iteration.

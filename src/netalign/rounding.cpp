@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "io/checkpoint.hpp"
 #include "matching/auction.hpp"
 #include "matching/greedy.hpp"
 #include "matching/locally_dominant.hpp"
@@ -118,6 +119,61 @@ bool BestSolutionTracker::offer(const RoundOutcome& outcome,
   best_g_.assign(g.begin(), g.end());
   best_iter_ = iter;
   return true;
+}
+
+void BestSolutionTracker::save(io::ByteWriter& w) const {
+  w.i32(best_iter_);
+  if (!has_solution()) return;
+  w.pod_vector(best_.matching.mate_a);
+  w.pod_vector(best_.matching.mate_b);
+  w.f64(best_.matching.weight);
+  w.i64(best_.matching.cardinality);
+  w.f64(best_.value.weight);
+  w.f64(best_.value.overlap);
+  w.f64(best_.value.objective);
+  w.pod_vector(best_g_);
+}
+
+void BestSolutionTracker::load(io::ByteReader& r) {
+  best_iter_ = r.i32();
+  best_ = RoundOutcome{};
+  best_g_.clear();
+  if (!has_solution()) return;
+  best_.matching.mate_a = r.pod_vector<vid_t>();
+  best_.matching.mate_b = r.pod_vector<vid_t>();
+  best_.matching.weight = r.f64();
+  best_.matching.cardinality = r.i64();
+  best_.value.weight = r.f64();
+  best_.value.overlap = r.f64();
+  best_.value.objective = r.f64();
+  best_g_ = r.pod_vector<weight_t>();
+}
+
+void finalize_best(const NetAlignProblem& p, const SquaresMatrix& S,
+                   const BestSolutionTracker& tracker, MatcherKind matcher,
+                   bool final_exact_round, obs::Counters* counters,
+                   AlignResult& result) {
+  result.best_iteration = tracker.best_iteration();
+  result.matching = tracker.best().matching;
+  result.value = tracker.best().value;
+  if (!tracker.has_solution()) {
+    // Zero iterations ran (deadline or signal before the first round): the
+    // result must still carry a structurally valid -- if empty -- matching.
+    result.matching.mate_a.assign(static_cast<std::size_t>(p.L.num_a()),
+                                  kInvalidVid);
+    result.matching.mate_b.assign(static_cast<std::size_t>(p.L.num_b()),
+                                  kInvalidVid);
+  }
+  if (final_exact_round && matcher != MatcherKind::kExact &&
+      tracker.has_solution()) {
+    ScopedStepTimer st(result.timers, "final_exact_round");
+    const RoundOutcome rerounded = round_heuristic(
+        p, S, tracker.best_heuristic(), MatcherKind::kExact, counters);
+    if (rerounded.value.objective > result.value.objective) {
+      result.matching = rerounded.matching;
+      result.value = rerounded.value;
+    }
+  }
 }
 
 }  // namespace netalign

@@ -12,11 +12,17 @@
 #include "matching/locally_dominant.hpp"
 #include "matching/matching.hpp"
 #include "netalign/objective.hpp"
+#include "netalign/result.hpp"
 #include "netalign/squares.hpp"
 
 namespace netalign::obs {
 class Counters;
 }  // namespace netalign::obs
+
+namespace netalign::io {
+class ByteReader;
+class ByteWriter;
+}  // namespace netalign::io
 
 namespace netalign {
 
@@ -85,10 +91,29 @@ class BestSolutionTracker {
   }
   [[nodiscard]] int best_iteration() const { return best_iter_; }
 
+  /// Checkpoint the full tracker state / restore it (io/checkpoint.hpp
+  /// payload encoding). save/load round-trips bit-exactly, which keeps a
+  /// resumed run's best-so-far comparisons identical to the uninterrupted
+  /// run's.
+  void save(io::ByteWriter& w) const;
+  void load(io::ByteReader& r);
+
  private:
   RoundOutcome best_;
   std::vector<weight_t> best_g_;
   int best_iter_ = -1;
 };
+
+/// Uniform solver tail shared by BP, MR, IsoRank and the dist solvers:
+/// copy the tracker's best rounding (matching, value, best_iteration)
+/// into the result, then optionally re-round its heuristic vector with
+/// the exact matcher (paper Section VII), keeping whichever scores
+/// higher. The re-round time lands in result.timers["final_exact_round"].
+/// With an empty tracker (a run stopped before its first rounding) the
+/// result keeps an empty-but-valid matching and best_iteration -1.
+void finalize_best(const NetAlignProblem& p, const SquaresMatrix& S,
+                   const BestSolutionTracker& tracker, MatcherKind matcher,
+                   bool final_exact_round, obs::Counters* counters,
+                   AlignResult& result);
 
 }  // namespace netalign

@@ -24,8 +24,10 @@ void append_kv_string(std::string& out, std::string_view key,
 }
 
 /// Serialize run_metadata() plus the hardware thread count as the "env"
-/// object shared by result and sweep documents.
-void append_env(std::string& out, const std::string& indent) {
+/// object shared by result and sweep documents. `extra` carries caller
+/// entries (BenchResult::set_env), appended after the built-in keys.
+void append_env(std::string& out, const std::string& indent,
+                const std::vector<BenchResult::Param>& extra = {}) {
   const RunMetadata meta = run_metadata();
   out += "{\n";
   const std::string inner = indent + "  ";
@@ -50,6 +52,16 @@ void append_env(std::string& out, const std::string& indent) {
   out += ": ";
   append_json_number(
       out, static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  for (const auto& e : extra) {
+    out += ",\n" + inner;
+    append_json_string(out, e.key);
+    out += ": ";
+    if (e.is_string) {
+      append_json_string(out, e.s);
+    } else {
+      append_json_number(out, e.d);
+    }
+  }
   out += "\n" + indent + "}";
 }
 
@@ -115,6 +127,28 @@ void BenchResult::set_param(const std::string& key, double value) {
   params_.push_back({key, false, {}, value});
 }
 
+void BenchResult::set_env(const std::string& key, const std::string& value) {
+  for (Param& p : env_extra_) {
+    if (p.key == key) {
+      p.is_string = true;
+      p.s = value;
+      return;
+    }
+  }
+  env_extra_.push_back({key, true, value, 0.0});
+}
+
+void BenchResult::set_env(const std::string& key, double value) {
+  for (Param& p : env_extra_) {
+    if (p.key == key) {
+      p.is_string = false;
+      p.d = value;
+      return;
+    }
+  }
+  env_extra_.push_back({key, false, {}, value});
+}
+
 void BenchResult::set_metric(const std::string& name, double value) {
   for (auto& [key, v] : metrics_) {
     if (key == name) {
@@ -147,7 +181,7 @@ std::string BenchResult::to_json() const {
   out += ",\n  ";
   append_json_string(out, "env");
   out += ": ";
-  append_env(out, "  ");
+  append_env(out, "  ", env_extra_);
   out += ",\n  ";
   append_json_string(out, "params");
   out += ": {";
@@ -254,6 +288,15 @@ std::vector<std::string> validate_bench_json(const JsonValue& doc) {
   if (env == nullptr || !env->is_object() ||
       env->find("git_sha") == nullptr) {
     errors.push_back(schema + ": missing \"env\" object with \"git_sha\"");
+  } else if (const JsonValue* sr = env->find("stopped_reason");
+             sr != nullptr &&
+             (!sr->is_string() || sr->as_string() != "completed")) {
+    // A deadline- or signal-truncated run measured a shorter computation;
+    // its numbers must never become a comparison baseline.
+    errors.push_back(
+        schema + ": env.stopped_reason is " +
+        (sr->is_string() ? "\"" + sr->as_string() + "\"" : "not a string") +
+        " -- truncated runs are not valid benchmark results");
   }
   check_metrics_obj(doc, schema);
   return errors;

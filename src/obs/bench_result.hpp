@@ -47,6 +47,15 @@ class BenchResult {
   void set_param(const std::string& key, const std::string& value);
   void set_param(const std::string& key, double value);
 
+  /// Append an extra entry to the "env" object beyond run_metadata() --
+  /// notably "stopped_reason" and "iterations_completed", which record
+  /// whether the measured run actually completed. validate_bench_json()
+  /// rejects any document whose env carries a stopped_reason other than
+  /// "completed": a deadline- or signal-truncated run measures a shorter
+  /// computation and must not enter BENCH_netalign.json.
+  void set_env(const std::string& key, const std::string& value);
+  void set_env(const std::string& key, double value);
+
   /// Record an output metric. Time metrics must use the `_seconds` suffix:
   /// that suffix is what bench_compare's regression gate keys on.
   void set_metric(const std::string& name, double value);
@@ -68,14 +77,18 @@ class BenchResult {
   /// Write to_json() to `path`; throws std::runtime_error on I/O failure.
   void write(const std::string& path) const;
 
- private:
+  /// One key plus a string-or-number value; used for both params and the
+  /// extra env entries (public so the serializer helpers can take spans).
   struct Param {
     std::string key;
     bool is_string = false;
     std::string s;
     double d = 0.0;
   };
+
+ private:
   std::string bench_;
+  std::vector<Param> env_extra_;
   std::vector<Param> params_;
   std::vector<std::pair<std::string, double>> metrics_;
   std::vector<std::pair<std::string, std::int64_t>> counters_;

@@ -327,4 +327,13 @@ JsonValue parse_json(std::string_view text) {
   return JsonParser(text).parse_document();
 }
 
+bool try_parse_json(std::string_view text, JsonValue& out) {
+  try {
+    out = JsonParser(text).parse_document();
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
 }  // namespace netalign::obs

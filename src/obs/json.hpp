@@ -70,4 +70,10 @@ class JsonValue {
 /// malformed input.
 JsonValue parse_json(std::string_view text);
 
+/// Non-throwing variant for reading back possibly-truncated JSONL: a
+/// SIGKILLed writer can leave a final line cut mid-object (the TraceWriter
+/// flushes per event, so at most that one line is damaged). Returns true
+/// and fills `out` on success, false on any parse error.
+bool try_parse_json(std::string_view text, JsonValue& out);
+
 }  // namespace netalign::obs

@@ -100,6 +100,12 @@ void TraceWriter::append_fields(std::string& line, const Fields& fields) {
 void TraceWriter::write_line(std::string&& line) {
   line += "}\n";
   *out_ << line;
+  // Flush per event: a trace must survive its process. A SIGKILLed or
+  // crashed run then loses at most the line being written (readers
+  // tolerate a truncated final line -- see try_parse_json), never whole
+  // buffered events. Traces are not hot-path (one line per iteration), so
+  // the flush cost is noise.
+  out_->flush();
   ++seq_;
 }
 
@@ -179,7 +185,8 @@ void TraceWriter::event(const std::string& type, const Fields& fields) {
 }
 
 void TraceWriter::run_end(double total_seconds, double objective,
-                          int best_iteration, const Counters* counters) {
+                          int best_iteration, const Counters* counters,
+                          const Fields& extra) {
   if (!enabled()) return;
   const std::lock_guard<std::mutex> lock(mutex_);
   std::string line = begin_event("run_end");
@@ -189,6 +196,7 @@ void TraceWriter::run_end(double total_seconds, double objective,
   append_json_number(line, objective);
   line += ",\"best_iteration\":";
   append_json_number(line, std::int64_t{best_iteration});
+  append_fields(line, extra);
   if (counters != nullptr) {
     line += ",\"counters\":{";
     bool first = true;

@@ -110,9 +110,10 @@ class TraceWriter {
              double weight, double overlap, double objective);
 
   /// Emit run_end with the run's totals and, when given, the final
-  /// counter registry as a nested object.
+  /// counter registry as a nested object. `extra` carries harness fields
+  /// such as stopped_reason / iterations_completed for truncated runs.
   void run_end(double total_seconds, double objective, int best_iteration,
-               const Counters* counters = nullptr);
+               const Counters* counters = nullptr, const Fields& extra = {});
 
   /// Emit a generic event: `type` plus a flat field list. For event kinds
   /// that do not merit a dedicated emitter (e.g. the fault-injection

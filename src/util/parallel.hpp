@@ -18,8 +18,11 @@
 
 #include <omp.h>
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 // __SANITIZE_THREAD__ is GCC's macro; clang exposes the same fact through
 // __has_feature(thread_sanitizer).
@@ -136,6 +139,45 @@ inline void fenced_parallel(Body&& body) {
   detail::region_epoch.fetch_add(1, std::memory_order_release);
   detail::fenced_region_shell(body);
   (void)detail::region_done.load(std::memory_order_acquire);
+}
+
+/// Deterministic parallel sum of kAcc accumulators over the index range
+/// [0, n).
+///
+/// A fetch_add reduction sums partials in whatever order threads finish,
+/// so two runs of the same build on the same input can differ in the last
+/// floating-point bits. That was fine until checkpoint/restart: the
+/// kill-resume harness (tools/check_recovery.sh) requires a resumed run
+/// to reproduce the uninterrupted run bit-identically, and a tracker
+/// comparing two near-equal objectives can flip on a 1-ulp difference.
+/// The fix keeps dynamic scheduling but pins the *combine* order: each
+/// fixed kDynamicChunk-sized chunk writes its partials into a slot
+/// indexed by chunk number (not thread), and the combine walks the slots
+/// in index order. Whichever thread ran a chunk, the additions happen in
+/// the same order every run.
+///
+/// `body(lo, hi, parts)` accumulates the chunk [lo, hi) into
+/// `parts` (a std::array<double, kAcc>&, zero-initialized per chunk).
+template <int kAcc, typename Body>
+inline std::array<double, kAcc> deterministic_chunk_sums(std::int64_t n,
+                                                         Body&& body) {
+  const std::int64_t nchunks =
+      n > 0 ? (n + kDynamicChunk - 1) / kDynamicChunk : 0;
+  std::vector<std::array<double, kAcc>> parts(
+      static_cast<std::size_t>(nchunks), std::array<double, kAcc>{});
+  fenced_parallel([&] {
+#pragma omp for schedule(dynamic, 1) nowait
+    for (std::int64_t c = 0; c < nchunks; ++c) {
+      const std::int64_t lo = c * kDynamicChunk;
+      const std::int64_t hi = std::min<std::int64_t>(n, lo + kDynamicChunk);
+      body(lo, hi, parts[static_cast<std::size_t>(c)]);
+    }
+  });
+  std::array<double, kAcc> total{};
+  for (const auto& pa : parts) {
+    for (int j = 0; j < kAcc; ++j) total[j] += pa[j];
+  }
+  return total;
 }
 
 /// RAII guard that sets the thread count and restores the previous value;

@@ -1,0 +1,35 @@
+#include "util/stop.hpp"
+
+#include <csignal>
+
+namespace netalign {
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_stop_signal(int /*signum*/) {
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::atomic<bool>& stop_signal_flag() { return g_stop; }
+
+const std::atomic<bool>* install_stop_signal_handlers() {
+  static const bool installed = [] {
+    struct sigaction sa = {};
+    sa.sa_handler = on_stop_signal;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESTART: a solver blocked in a slow write should still see
+    // the latch promptly at its next iteration boundary either way.
+    sa.sa_flags = 0;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+    return true;
+  }();
+  (void)installed;
+  return &g_stop;
+}
+
+}  // namespace netalign

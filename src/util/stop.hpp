@@ -1,0 +1,23 @@
+// Process-wide cooperative stop latch for SIGTERM/SIGINT.
+//
+// The solvers never install handlers themselves -- they only poll a
+// nullable `const std::atomic<bool>*` through SolveBudget. A harness that
+// wants preemptible runs (tools/netalign_cli with any budget flag)
+// installs the handlers once and passes the latch down; everything else
+// keeps the default signal disposition.
+#pragma once
+
+#include <atomic>
+
+namespace netalign {
+
+/// The latch itself. Exposed so tests can set/clear it without raising a
+/// real signal.
+[[nodiscard]] std::atomic<bool>& stop_signal_flag();
+
+/// Install SIGTERM and SIGINT handlers that set stop_signal_flag() (and
+/// do nothing else -- the store is async-signal-safe). Idempotent; returns
+/// the latch for use as SolveBudget::stop_flag.
+const std::atomic<bool>* install_stop_signal_handlers();
+
+}  // namespace netalign

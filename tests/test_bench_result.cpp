@@ -92,6 +92,28 @@ TEST(BenchResult, ValidateRejectsBadDocuments) {
                    .empty());
 }
 
+TEST(BenchResult, EnvEntriesAppearAndGateTruncatedRuns) {
+  BenchResult r("bench_kernels");
+  r.set_metric("a_seconds", 1.0);
+  r.set_env("stopped_reason", std::string("completed"));
+  r.set_env("iterations_completed", 10.0);
+  const JsonValue ok = parse_json(r.to_json());
+  EXPECT_TRUE(validate_bench_json(ok).empty());
+  EXPECT_EQ(ok.find("env")->find("stopped_reason")->as_string(), "completed");
+  EXPECT_EQ(ok.find("env")->find("iterations_completed")->as_number(), 10.0);
+
+  // A deadline-cut run measured less work; the validator must refuse it so
+  // it can never become a bench_compare baseline.
+  r.set_env("stopped_reason", std::string("deadline"));
+  const auto errors = validate_bench_json(parse_json(r.to_json()));
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("deadline"), std::string::npos) << errors[0];
+  // Absent stopped_reason stays valid: older result files predate the key.
+  BenchResult legacy("bench_x");
+  legacy.set_metric("a_seconds", 1.0);
+  EXPECT_TRUE(validate_bench_json(parse_json(legacy.to_json())).empty());
+}
+
 TEST(BenchResult, MergePrefixesMetricsByBench) {
   const std::vector<JsonValue> results = {
       make_result("bench_kernels", {{"squares_build_seconds", 0.6}}),

@@ -44,6 +44,33 @@ TEST(MatchingIo, EmptyMatchingRoundTrips) {
   EXPECT_EQ(r.cardinality, 0);
 }
 
+TEST(MatchingIo, PartialMatchingRoundTrips) {
+  // Some vertices matched, some not: the reader must restore kInvalidVid
+  // slots exactly and not invent pairings for the unmatched remainder.
+  const BipartiteGraph L = BipartiteGraph::from_edges(
+      4, 4,
+      std::vector<LEdge>{{0, 1, 2.0}, {1, 0, 1.0}, {2, 2, 3.0}, {3, 3, 1.0}});
+  BipartiteMatching m;
+  m.mate_a.assign(4, kInvalidVid);
+  m.mate_b.assign(4, kInvalidVid);
+  m.mate_a[0] = 1;
+  m.mate_b[1] = 0;
+  m.mate_a[2] = 2;
+  m.mate_b[2] = 2;
+  m.cardinality = 2;
+  m.weight = 5.0;
+
+  std::stringstream ss;
+  write_matching(ss, m);
+  const auto r = read_matching(ss, L);
+  EXPECT_EQ(r.mate_a, m.mate_a);
+  EXPECT_EQ(r.mate_b, m.mate_b);
+  EXPECT_EQ(r.cardinality, 2);
+  EXPECT_EQ(r.mate_a[1], kInvalidVid);
+  EXPECT_EQ(r.mate_a[3], kInvalidVid);
+  EXPECT_TRUE(is_valid_matching(L, r));
+}
+
 TEST(MatchingIo, RejectsBadHeader) {
   const BipartiteGraph L = BipartiteGraph::from_edges(1, 1, {});
   std::stringstream ss("WRONG 1\n0\n");

@@ -77,6 +77,16 @@ TEST(Json, MalformedInputThrows) {
   EXPECT_THROW(parse_json("nul"), std::runtime_error);
 }
 
+TEST(Json, TryParseReportsFailureWithoutThrowing) {
+  JsonValue v;
+  EXPECT_TRUE(try_parse_json("{\"a\": 1}", v));
+  EXPECT_EQ(v.find("a")->as_number(), 1.0);
+  // A line cut mid-object -- the shape a SIGKILLed TraceWriter leaves
+  // behind -- must report false, not throw.
+  EXPECT_FALSE(try_parse_json("{\"event\":\"iteration\",\"it", v));
+  EXPECT_FALSE(try_parse_json("", v));
+}
+
 // --- Counters ------------------------------------------------------------
 
 TEST(Counters, AccumulatesAndPreservesOrder) {
@@ -273,6 +283,22 @@ TEST(TraceWriter, RunEndEmbedsCounters) {
     saw_counters = true;
   }
   EXPECT_TRUE(saw_counters);
+}
+
+TEST(TraceWriter, RunEndCarriesExtraFields) {
+  std::ostringstream sink;
+  TraceWriter trace(&sink);
+  trace.run_start("belief_prop");
+  trace.run_end(1.5, 2.0, 3, nullptr,
+                {{"stopped_reason", "deadline"}, {"iterations_completed", 7}});
+  bool saw = false;
+  for (const auto& e : parse_lines(sink.str())) {
+    if (e.find("event")->as_string() != "run_end") continue;
+    EXPECT_EQ(e.find("stopped_reason")->as_string(), "deadline");
+    EXPECT_EQ(e.find("iterations_completed")->as_number(), 7.0);
+    saw = true;
+  }
+  EXPECT_TRUE(saw);
 }
 
 TEST(TraceWriter, DisabledWriterEmitsNothing) {

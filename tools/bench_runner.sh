@@ -17,6 +17,11 @@
 # The sweep profile is fixed (same benches, scales, and seeds as the
 # committed BENCH_netalign.json entries) so candidate and baseline numbers
 # are comparable; change the profile and the baseline together.
+#
+# Each result's env block records stopped_reason/iterations_completed;
+# the per-result validation below rejects any run that did not complete
+# (deadline- or signal-truncated runs measure less work and must never
+# enter the baseline).
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"

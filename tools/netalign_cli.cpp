@@ -33,6 +33,7 @@
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
+#include "util/stop.hpp"
 #include "util/table.hpp"
 
 using namespace netalign;
@@ -153,9 +154,30 @@ int cmd_align(int argc, char** argv) {
   auto& verbose = cli.add_bool("steps", false, "print per-step timings");
   auto& history = cli.add_string(
       "history", "", "write the objective history to this CSV");
+  auto& ckpt_out = cli.add_string(
+      "checkpoint-out", "",
+      "write checkpoints here (atomic; previous generation kept at .prev)");
+  auto& ckpt_every = cli.add_int(
+      "checkpoint-every", 1, "checkpoint every N iterations");
+  auto& resume = cli.add_string(
+      "resume", "", "resume from this checkpoint (bit-identical continuation)");
+  auto& deadline = cli.add_double(
+      "deadline-seconds", 0.0,
+      "stop after this many seconds with the best-so-far matching (0 = off)");
   const ObsFlags obs_flags = add_obs_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   if (threads > 0) set_threads(static_cast<int>(threads));
+
+  SolveBudget budget;
+  budget.checkpoint_path = ckpt_out;
+  budget.checkpoint_every =
+      ckpt_out.empty() ? 0 : static_cast<int>(ckpt_every);
+  budget.resume_path = resume;
+  budget.deadline_seconds = deadline;
+  // SIGTERM/SIGINT latch a stop flag the solvers poll once per iteration:
+  // the run then ends like a deadline -- final checkpoint, best-so-far
+  // result, clean exit -- instead of dying mid-iteration.
+  budget.stop_flag = install_stop_signal_handlers();
 
   const NetAlignProblem p = read_problem_file(path);
   const SquaresMatrix S = SquaresMatrix::build(p);
@@ -182,6 +204,7 @@ int cmd_align(int argc, char** argv) {
     if (gamma > 0.0) opt.gamma = gamma;
     opt.trace = trace.get();
     opt.counters = counters_ptr;
+    opt.budget = budget;
     r = belief_prop_align(p, S, opt);
   } else if (method == "mr") {
     KlauMrOptions opt;
@@ -190,12 +213,16 @@ int cmd_align(int argc, char** argv) {
     if (gamma > 0.0) opt.gamma = gamma;
     opt.trace = trace.get();
     opt.counters = counters_ptr;
+    opt.budget = budget;
     r = klau_mr_align(p, S, opt);
   } else if (method == "isorank") {
     IsoRankOptions opt;
     opt.max_iterations = static_cast<int>(iters);
     opt.matcher = matcher;
     if (gamma > 0.0) opt.gamma = gamma;
+    opt.trace = trace.get();
+    opt.counters = counters_ptr;
+    opt.budget = budget;
     r = isorank_align(p, S, opt);
   } else if (method == "dist-bp") {
     dist::DistBpOptions opt;
@@ -206,6 +233,7 @@ int cmd_align(int argc, char** argv) {
     opt.trace = trace.get();
     opt.counters = counters_ptr;
     dist::DistBpStats dstats;
+    opt.budget = budget;
     r = dist::distributed_belief_prop_align(p, S, opt, &dstats);
     std::printf("[dist] ranks=%lld supersteps=%zu messages=%zu "
                 "(%zu remote) bytes=%zu\n",
@@ -220,6 +248,7 @@ int cmd_align(int argc, char** argv) {
     opt.trace = trace.get();
     opt.counters = counters_ptr;
     dist::DistMrStats dstats;
+    opt.budget = budget;
     r = dist::distributed_klau_mr_align(p, S, opt, &dstats);
     std::printf("[dist] ranks=%lld supersteps=%zu messages=%zu "
                 "(%zu remote) bytes=%zu\n",
@@ -232,16 +261,22 @@ int cmd_align(int argc, char** argv) {
   }
 
   if (trace) {
+    obs::TraceWriter::Fields extra{
+        {"stopped_reason", to_string(r.stopped_reason)},
+        {"iterations_completed", r.iterations_completed}};
+    if (r.resumed_from > 0) extra.emplace_back("resumed_from", r.resumed_from);
     trace->run_end(r.total_seconds, r.value.objective, r.best_iteration,
-                   counters_ptr);
+                   counters_ptr, extra);
   }
 
   std::printf("%s on %s: objective=%.3f (weight=%.3f, overlap=%.0f), "
-              "%lld matches, best at iteration %d, %.2fs\n",
+              "%lld matches, best at iteration %d, %d iterations (%s), "
+              "%.2fs\n",
               method.c_str(), p.name.c_str(), r.value.objective,
               r.value.weight, r.value.overlap,
               static_cast<long long>(r.matching.cardinality),
-              r.best_iteration, r.total_seconds);
+              r.best_iteration, r.iterations_completed,
+              to_string(r.stopped_reason), r.total_seconds);
   if (obs_flags.counters) {
     TextTable ctable({"counter", "value"});
     for (const auto& name : counters.names()) {

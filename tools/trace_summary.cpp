@@ -35,6 +35,7 @@ struct RunSummary {
   double total_seconds = 0.0;
   double objective = 0.0;
   std::int64_t best_iteration = 0;
+  std::string stopped_reason;  // empty when run_end predates the field
   std::vector<std::pair<std::string, std::int64_t>> counters;
 };
 
@@ -90,6 +91,9 @@ void print_run(const RunSummary& run, int index, const std::string& csv) {
     std::printf(" total=%.3fs objective=%.3f best_iteration=%lld",
                 run.total_seconds, run.objective,
                 static_cast<long long>(run.best_iteration));
+    if (!run.stopped_reason.empty()) {
+      std::printf(" stopped=%s", run.stopped_reason.c_str());
+    }
   }
   std::printf("\n");
   if (!run.counters.empty()) {
@@ -138,11 +142,19 @@ int main(int argc, char** argv) try {
     ++lineno;
     if (line.empty()) continue;
     obs::JsonValue doc;
-    try {
-      doc = obs::parse_json(line);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "error: %s:%lld: %s\n", path.c_str(),
-                   static_cast<long long>(lineno), e.what());
+    if (!obs::try_parse_json(line, doc)) {
+      // A SIGKILLed or crashed writer can cut the last event mid-object
+      // (TraceWriter flushes per line, so at most the final line is
+      // damaged). Tolerate exactly that; malformed JSON mid-trace is
+      // still a hard error.
+      if (in.peek() == std::char_traits<char>::eof()) {
+        std::fprintf(stderr,
+                     "warning: %s:%lld: ignoring truncated final line\n",
+                     path.c_str(), static_cast<long long>(lineno));
+        break;
+      }
+      std::fprintf(stderr, "error: %s:%lld: malformed JSON\n", path.c_str(),
+                   static_cast<long long>(lineno));
       return 1;
     }
     const obs::JsonValue* event = doc.find("event");
@@ -191,6 +203,10 @@ int main(int argc, char** argv) try {
       }
       if (const auto* v = doc.find("best_iteration")) {
         run.best_iteration = static_cast<std::int64_t>(v->as_number());
+      }
+      if (const auto* v = doc.find("stopped_reason");
+          v != nullptr && v->is_string()) {
+        run.stopped_reason = v->as_string();
       }
       if (const auto* v = doc.find("counters");
           v != nullptr && v->is_object()) {
