@@ -227,12 +227,9 @@ AlignResult distributed_klau_mr_align(const NetAlignProblem& p,
   };
 
   for (int iter = start_iter; iter <= options.max_iterations; ++iter) {
-    if (budget.stop_requested()) {
-      result.stopped_reason = StopReason::kSignal;
-      break;
-    }
-    if (budget.deadline_exceeded(total_timer.seconds())) {
-      result.stopped_reason = StopReason::kDeadline;
+    if (const StopReason why = budget.interruption(total_timer.seconds());
+        why != StopReason::kCompleted) {
+      result.stopped_reason = why;
       break;
     }
     const BspStats bsp_before = bsp;

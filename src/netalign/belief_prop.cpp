@@ -169,12 +169,9 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
   };
 
   for (int iter = start_iter; iter <= options.max_iterations; ++iter) {
-    if (budget.stop_requested()) {
-      result.stopped_reason = StopReason::kSignal;
-      break;
-    }
-    if (budget.deadline_exceeded(total_timer.seconds())) {
-      result.stopped_reason = StopReason::kDeadline;
+    if (const StopReason why = budget.interruption(total_timer.seconds());
+        why != StopReason::kCompleted) {
+      result.stopped_reason = why;
       break;
     }
     // --- Steps 1+2 fused: F = bound_{0,beta}[beta S + S^(k)T] and

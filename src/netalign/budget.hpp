@@ -28,6 +28,7 @@ enum class StopReason {
   kCompleted,  ///< ran to max_iterations (or converged)
   kDeadline,   ///< SolveBudget::deadline_seconds elapsed
   kSignal,     ///< the stop latch was set (SIGTERM/SIGINT)
+  kCancelled,  ///< the per-run cancel latch was set (server job cancel)
 };
 
 [[nodiscard]] constexpr const char* to_string(StopReason r) {
@@ -38,6 +39,8 @@ enum class StopReason {
       return "deadline";
     case StopReason::kSignal:
       return "signal";
+    case StopReason::kCancelled:
+      return "cancelled";
   }
   return "?";
 }
@@ -60,12 +63,32 @@ struct SolveBudget {
   /// Cooperative stop latch, usually install_stop_signal_handlers()'s.
   /// Null = never stops on signal.
   const std::atomic<bool>* stop_flag = nullptr;
+  /// Per-run cancellation latch for external callers (the server sets one
+  /// per job). Same polling contract as stop_flag, but scoped to this run
+  /// instead of the whole process, and reported as kCancelled so a
+  /// cancelled job is distinguishable from a daemon-wide SIGTERM.
+  const std::atomic<bool>* cancel_flag = nullptr;
 
   [[nodiscard]] bool stop_requested() const {
     return stop_flag != nullptr && stop_flag->load(std::memory_order_relaxed);
   }
+  [[nodiscard]] bool cancel_requested() const {
+    return cancel_flag != nullptr &&
+           cancel_flag->load(std::memory_order_relaxed);
+  }
   [[nodiscard]] bool deadline_exceeded(double elapsed_seconds) const {
     return deadline_seconds > 0.0 && elapsed_seconds >= deadline_seconds;
+  }
+
+  /// One-stop per-iteration poll: the first tripped condition wins, in
+  /// the order cancel > signal > deadline; kCompleted when none tripped.
+  /// Solvers call this at the top of each iteration and break out on
+  /// anything other than kCompleted.
+  [[nodiscard]] StopReason interruption(double elapsed_seconds) const {
+    if (cancel_requested()) return StopReason::kCancelled;
+    if (stop_requested()) return StopReason::kSignal;
+    if (deadline_exceeded(elapsed_seconds)) return StopReason::kDeadline;
+    return StopReason::kCompleted;
   }
   [[nodiscard]] bool checkpoint_due(int completed_iter) const {
     return checkpoint_every > 0 && !checkpoint_path.empty() &&

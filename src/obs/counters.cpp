@@ -18,6 +18,16 @@ std::int64_t Counters::total(const std::string& name) const {
   return it == entries_.end() ? 0 : it->second;
 }
 
+std::vector<std::pair<std::string, std::int64_t>> Counters::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(order_.size());
+  for (const auto& name : order_) {
+    out.emplace_back(name, entries_.at(name));
+  }
+  return out;
+}
+
 void Counters::clear() {
   entries_.clear();
   order_.clear();

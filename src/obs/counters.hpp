@@ -12,6 +12,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace netalign::obs {
@@ -34,9 +35,16 @@ class Counters {
   [[nodiscard]] std::int64_t total(const std::string& name) const;
 
   /// Counters in first-registration order, for stable report layout.
+  /// Unsynchronized, like `names`/`total`; safe once producers are done.
   [[nodiscard]] const std::vector<std::string>& names() const {
     return order_;
   }
+
+  /// Mutex-guarded copy of all (name, value) pairs in first-registration
+  /// order. The one safe way to read a registry whose producers use
+  /// add_concurrent and are still running (the server's stats endpoint).
+  [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> snapshot()
+      const;
 
   [[nodiscard]] bool empty() const { return order_.empty(); }
 
@@ -50,7 +58,7 @@ class Counters {
  private:
   std::map<std::string, std::int64_t> entries_;
   std::vector<std::string> order_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
 };
 
 }  // namespace netalign::obs

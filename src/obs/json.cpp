@@ -336,4 +336,54 @@ bool try_parse_json(std::string_view text, JsonValue& out) {
   }
 }
 
+void write_json(std::string& out, const JsonValue& v) {
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      out += "null";
+      return;
+    case JsonValue::Type::kBool:
+      out += v.as_bool() ? "true" : "false";
+      return;
+    case JsonValue::Type::kNumber: {
+      // Integer-valued numbers serialize without a fraction so counters
+      // and ids survive a parse/write round-trip textually.
+      const double d = v.as_number();
+      const auto i = static_cast<std::int64_t>(d);
+      if (d == static_cast<double>(i)) {
+        append_json_number(out, i);
+      } else {
+        append_json_number(out, d);
+      }
+      return;
+    }
+    case JsonValue::Type::kString:
+      append_json_string(out, v.as_string());
+      return;
+    case JsonValue::Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const auto& item : v.items()) {
+        if (!first) out.push_back(',');
+        first = false;
+        write_json(out, item);
+      }
+      out.push_back(']');
+      return;
+    }
+    case JsonValue::Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.members()) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_json_string(out, key);
+        out.push_back(':');
+        write_json(out, value);
+      }
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
 }  // namespace netalign::obs

@@ -76,4 +76,10 @@ JsonValue parse_json(std::string_view text);
 /// and fills `out` on success, false on any parse error.
 bool try_parse_json(std::string_view text, JsonValue& out);
 
+/// Append `v` serialized as compact JSON (no whitespace). Object member
+/// order is preserved, so parse -> write round-trips a trace line except
+/// for number formatting (numbers re-serialize via %.17g / integer form).
+/// The server's progress stream uses this to re-emit tailed trace events.
+void write_json(std::string& out, const JsonValue& v);
+
 }  // namespace netalign::obs

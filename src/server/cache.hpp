@@ -1,0 +1,76 @@
+// Content-addressed LRU cache of parsed problems and their squares
+// matrices -- the server-side answer to the dominant setup cost of every
+// solve. A one-shot CLI run pays parse + SquaresMatrix::build (the |E_L|^2
+// candidate-pair enumeration) before the first iteration; the daemon pays
+// it once per distinct problem and serves every repeat job from memory.
+//
+// Keying is by content hash (FNV-1a 64 over the canonical .nap text), not
+// by path or name: two submissions are the same problem iff their bytes
+// are, which also makes the cache safe against a client rewriting a file
+// between jobs. Entries are immutable once built (`shared_ptr<const ...>`),
+// so a job keeps its problem alive even if the LRU evicts the entry
+// mid-run. Concurrent submitters of the same key share one build through
+// a shared_future; different keys build concurrently.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "netalign/problem.hpp"
+#include "netalign/squares.hpp"
+#include "obs/counters.hpp"
+
+namespace netalign::server {
+
+/// FNV-1a 64-bit over `bytes`.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
+
+/// The cache key for a problem's canonical text: 16 lowercase hex chars.
+[[nodiscard]] std::string content_key(std::string_view problem_text);
+
+/// One cached problem: parsed instance + built squares matrix.
+struct CachedProblem {
+  std::string key;
+  NetAlignProblem problem;
+  SquaresMatrix S;
+};
+
+class ProblemCache {
+ public:
+  /// `capacity` >= 1 entries; the least-recently-used entry beyond it is
+  /// evicted. `counters` (nullable) receives server.cache_hit /
+  /// server.cache_miss / server.cache_evicted via add_concurrent.
+  ProblemCache(std::size_t capacity, obs::Counters* counters);
+
+  /// Entry for `key`, built from `text` (parse + squares) on a miss.
+  /// `hit` reports whether the setup cost was skipped (sharing an
+  /// in-flight build counts as a hit). Thread-safe; rethrows the build
+  /// error on a malformed problem, in which case nothing is cached.
+  std::shared_ptr<const CachedProblem> get(const std::string& key,
+                                           const std::string& text,
+                                           bool& hit);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  using Future = std::shared_future<std::shared_ptr<const CachedProblem>>;
+  struct Entry {
+    Future future;
+    std::list<std::string>::iterator pos;  // position in lru_
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  obs::Counters* counters_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::unordered_map<std::string, Entry> map_;
+};
+
+}  // namespace netalign::server

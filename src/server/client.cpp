@@ -1,0 +1,91 @@
+#include "server/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace netalign::server {
+
+ServerClient::ServerClient(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error("cannot create socket: " +
+                             std::string(std::strerror(errno)));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("cannot connect to " + socket_path + ": " + why);
+  }
+}
+
+ServerClient::~ServerClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ServerClient::send_raw(std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: a daemon that hung up must be a thrown error, not a
+    // SIGPIPE that kills the whole client process.
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("write to server failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string ServerClient::read_line() {
+  for (;;) {
+    const std::size_t eol = buffer_.find('\n');
+    if (eol != std::string::npos) {
+      std::string line = buffer_.substr(0, eol);
+      buffer_.erase(0, eol + 1);
+      return line;
+    }
+    char chunk[65536];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("read from server failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      throw std::runtime_error("server closed the connection");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string ServerClient::exchange(std::string_view request_line) {
+  std::string framed(request_line);
+  framed.push_back('\n');
+  send_raw(framed);
+  return read_line();
+}
+
+obs::JsonValue ServerClient::call(std::string_view request_line) {
+  const std::string line = exchange(request_line);
+  obs::JsonValue doc;
+  if (!obs::try_parse_json(line, doc)) {
+    throw std::runtime_error("server sent a non-JSON response: " + line);
+  }
+  return doc;
+}
+
+}  // namespace netalign::server

@@ -1,0 +1,46 @@
+// Minimal blocking client for the alignment daemon: one AF_UNIX stream
+// connection, one JSON line out per request, one JSON line back per
+// response (protocol in docs/SERVER.md). Used by the `netalign client`
+// subcommand and by tests/test_server.cpp; the connection is persistent,
+// so several requests can share one socket.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace netalign::server {
+
+class ServerClient {
+ public:
+  /// Connect to the daemon at `socket_path`. Throws std::runtime_error if
+  /// the socket cannot be reached.
+  explicit ServerClient(const std::string& socket_path);
+  ~ServerClient();
+
+  ServerClient(const ServerClient&) = delete;
+  ServerClient& operator=(const ServerClient&) = delete;
+
+  /// Send one request line (newline appended here) and block for the
+  /// matching response line. Throws std::runtime_error if the server
+  /// hangs up mid-exchange.
+  std::string exchange(std::string_view request_line);
+
+  /// exchange() + parse. Throws std::runtime_error if the response is not
+  /// valid JSON (a server bug by protocol contract).
+  obs::JsonValue call(std::string_view request_line);
+
+  /// Push raw bytes without framing (for tests that split a request
+  /// across writes or send garbage).
+  void send_raw(std::string_view bytes);
+
+  /// Block for the next newline-terminated line. Throws on EOF.
+  std::string read_line();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+}  // namespace netalign::server

@@ -1,0 +1,448 @@
+#include "server/jobs.hpp"
+
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "dist/dist_bp.hpp"
+#include "dist/dist_mr.hpp"
+#include "netalign/belief_prop.hpp"
+#include "netalign/isorank.hpp"
+#include "netalign/klau_mr.hpp"
+#include "netalign/rounding.hpp"
+#include "obs/trace.hpp"
+
+namespace netalign::server {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+JobManager::JobManager(const JobManagerOptions& options, ProblemCache& cache,
+                       obs::Counters* counters)
+    : options_(options), cache_(cache), counters_(counters) {
+  if (options_.workers < 1) {
+    throw std::invalid_argument("JobManager: workers must be >= 1");
+  }
+  if (options_.work_dir.empty()) {
+    throw std::invalid_argument("JobManager: work_dir is required");
+  }
+  std::filesystem::create_directories(options_.work_dir);
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobManager::~JobManager() { shutdown(true); }
+
+JobManager::SubmitOutcome JobManager::submit(SubmitParams spec) {
+  SubmitOutcome out;
+  if (!spec.problem_path.empty()) {
+    std::ifstream in(spec.problem_path, std::ios::binary);
+    if (!in) {
+      out.code = ErrorCode::kBadRequest;
+      out.message = "cannot open problem_path " + spec.problem_path;
+      return out;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    spec.problem_text = ss.str();
+    spec.problem_path.clear();
+  }
+  out.key = content_key(spec.problem_text);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (draining_ || stopping_) {
+    out.code = ErrorCode::kShuttingDown;
+    out.message = "server is shutting down";
+    return out;
+  }
+  if (pending_.size() >= options_.queue_cap) {
+    out.code = ErrorCode::kRejected;
+    out.message = "job queue at capacity (" +
+                  std::to_string(options_.queue_cap) + " queued)";
+    if (counters_ != nullptr) {
+      counters_->add_concurrent("server.jobs_rejected");
+    }
+    return out;
+  }
+  auto job = std::make_unique<Job>();
+  job->id = next_id_++;
+  job->spec = std::move(spec);
+  job->key = out.key;
+  job->trace_path = options_.work_dir + "/job-" + std::to_string(job->id) +
+                    ".trace.jsonl";
+  job->tail = std::make_unique<obs::JsonlTailReader>(job->trace_path);
+  out.accepted = true;
+  out.job = job->id;
+  pending_.push_back(job->id);
+  jobs_.emplace(job->id, std::move(job));
+  if (counters_ != nullptr) {
+    counters_->add_concurrent("server.jobs_accepted");
+  }
+  work_available_.notify_one();
+  return out;
+}
+
+void JobManager::worker_loop() {
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping_, queue drained
+      const std::int64_t id = pending_.front();
+      pending_.pop_front();
+      job = jobs_.at(id).get();
+      job->state = JobState::kRunning;
+      ++running_;
+    }
+    run_job(*job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+    }
+    job_finished_.notify_all();
+  }
+}
+
+namespace {
+
+/// Run the solver named by `spec` exactly as the one-shot CLI would, so
+/// server answers are bit-identical to `netalign align` (check_server.sh
+/// byte-compares the two).
+AlignResult run_solver(const SubmitParams& spec, const CachedProblem& cp,
+                       const SolveBudget& budget, obs::TraceWriter* trace,
+                       obs::Counters* counters) {
+  const MatcherKind matcher = matcher_from_string(spec.matcher);
+  const int iters = static_cast<int>(spec.iters);
+  if (spec.solver == "bp") {
+    BeliefPropOptions opt;
+    opt.max_iterations = iters;
+    opt.matcher = matcher;
+    opt.batch_size = static_cast<int>(spec.batch);
+    if (spec.gamma > 0.0) opt.gamma = spec.gamma;
+    opt.trace = trace;
+    opt.counters = counters;
+    opt.budget = budget;
+    return belief_prop_align(cp.problem, cp.S, opt);
+  }
+  if (spec.solver == "mr") {
+    KlauMrOptions opt;
+    opt.max_iterations = iters;
+    opt.matcher = matcher;
+    if (spec.gamma > 0.0) opt.gamma = spec.gamma;
+    opt.trace = trace;
+    opt.counters = counters;
+    opt.budget = budget;
+    return klau_mr_align(cp.problem, cp.S, opt);
+  }
+  if (spec.solver == "isorank") {
+    IsoRankOptions opt;
+    opt.max_iterations = iters;
+    opt.matcher = matcher;
+    if (spec.gamma > 0.0) opt.gamma = spec.gamma;
+    opt.trace = trace;
+    opt.counters = counters;
+    opt.budget = budget;
+    return isorank_align(cp.problem, cp.S, opt);
+  }
+  if (spec.solver == "dist-bp") {
+    dist::DistBpOptions opt;
+    opt.num_ranks = static_cast<int>(spec.ranks);
+    opt.max_iterations = iters;
+    opt.matcher = matcher;
+    if (spec.gamma > 0.0) opt.gamma = spec.gamma;
+    opt.trace = trace;
+    opt.counters = counters;
+    opt.budget = budget;
+    return dist::distributed_belief_prop_align(cp.problem, cp.S, opt);
+  }
+  if (spec.solver == "dist-mr") {
+    dist::DistMrOptions opt;
+    opt.num_ranks = static_cast<int>(spec.ranks);
+    opt.max_iterations = iters;
+    if (spec.gamma > 0.0) opt.gamma = spec.gamma;
+    opt.trace = trace;
+    opt.counters = counters;
+    opt.budget = budget;
+    return dist::distributed_klau_mr_align(cp.problem, cp.S, opt);
+  }
+  throw std::invalid_argument("unknown solver '" + spec.solver + "'");
+}
+
+}  // namespace
+
+void JobManager::run_job(Job& job) {
+  auto fail = [&](const std::string& why) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job.state = JobState::kFailed;
+    job.error = why;
+    if (counters_ != nullptr) {
+      counters_->add_concurrent("server.jobs_failed");
+    }
+  };
+
+  std::shared_ptr<const CachedProblem> cp;
+  bool hit = false;
+  try {
+    cp = cache_.get(job.key, job.spec.problem_text, hit);
+  } catch (const std::exception& e) {
+    fail(std::string("problem rejected: ") + e.what());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job.cache_hit = hit;
+  }
+
+  try {
+    obs::TraceWriter trace(job.trace_path);
+    obs::Counters run_counters;
+    trace.run_start(job.spec.solver, {{"problem", cp->problem.name},
+                                      {"matcher", job.spec.matcher},
+                                      {"iters", job.spec.iters},
+                                      {"job", job.id},
+                                      {"cache", hit ? "hit" : "miss"}});
+    SolveBudget budget;
+    budget.deadline_seconds = job.spec.deadline_seconds;
+    budget.cancel_flag = &job.cancel;
+    const AlignResult r =
+        run_solver(job.spec, *cp, budget, &trace, &run_counters);
+    trace.run_end(r.total_seconds, r.value.objective, r.best_iteration,
+                  &run_counters,
+                  {{"stopped_reason", to_string(r.stopped_reason)},
+                   {"iterations_completed", r.iterations_completed}});
+
+    JobResult jr;
+    jr.has_result = true;
+    jr.stopped_reason = to_string(r.stopped_reason);
+    jr.objective = r.value.objective;
+    jr.weight = r.value.weight;
+    jr.overlap = r.value.overlap;
+    jr.cardinality = r.matching.cardinality;
+    jr.best_iteration = r.best_iteration;
+    jr.iterations_completed = r.iterations_completed;
+    jr.total_seconds = r.total_seconds;
+    jr.cache_hit = hit;
+    jr.problem_name = cp->problem.name;
+    jr.num_a = static_cast<std::int64_t>(r.matching.mate_a.size());
+    jr.num_b = static_cast<std::int64_t>(r.matching.mate_b.size());
+    jr.pairs.reserve(static_cast<std::size_t>(r.matching.cardinality));
+    for (std::size_t a = 0; a < r.matching.mate_a.size(); ++a) {
+      if (r.matching.mate_a[a] != kInvalidVid) {
+        jr.pairs.emplace_back(static_cast<vid_t>(a), r.matching.mate_a[a]);
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool cancelled = r.stopped_reason == StopReason::kCancelled;
+    job.state = cancelled ? JobState::kCancelled : JobState::kDone;
+    job.has_result = true;
+    jr.state = job.state;
+    job.result = std::move(jr);
+    if (counters_ != nullptr) {
+      counters_->add_concurrent(cancelled ? "server.jobs_cancelled"
+                                          : "server.jobs_completed");
+    }
+  } catch (const std::exception& e) {
+    fail(std::string("solve failed: ") + e.what());
+  }
+}
+
+void JobManager::drain_tail(Job& job) {
+  std::lock_guard<std::mutex> guard(job.tail_mutex);
+  if (!job.tail) return;
+  obs::JsonValue event;
+  while (job.tail->next(event) == obs::JsonlTailReader::Status::kEvent) {
+    std::string compact;
+    obs::write_json(compact, event);
+    job.events.push_back(std::move(compact));
+    const obs::JsonValue* type = event.find("event");
+    if (type == nullptr || !type->is_string()) continue;
+    if (type->as_string() == "iteration") {
+      ++job.iterations_seen;
+    } else if (type->as_string() == "round") {
+      ++job.rounds_seen;
+      if (const obs::JsonValue* obj = event.find("objective");
+          obj != nullptr && obj->is_number()) {
+        job.last_objective = obj->as_number();
+      }
+    }
+  }
+  // kPending / kTruncatedTail: the writer is mid-line; poll again later.
+  // kMalformed cannot happen for a file this process is writing.
+}
+
+JobManager::Job* JobManager::find(std::int64_t id) {
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+std::optional<JobManager::JobStatus> JobManager::status(std::int64_t id) {
+  Job* job = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job = find(id);
+  }
+  if (job == nullptr) return std::nullopt;
+  drain_tail(*job);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  JobStatus s;
+  s.id = job->id;
+  s.state = job->state;
+  s.tag = job->spec.tag;
+  s.key = job->key;
+  s.solver = job->spec.solver;
+  s.cache_hit = job->cache_hit;
+  if (job->state == JobState::kQueued) {
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i] == id) {
+        s.queue_position = static_cast<std::int64_t>(i);
+        break;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> guard(job->tail_mutex);
+    s.iterations = job->iterations_seen;
+    s.rounds = job->rounds_seen;
+    s.last_objective = job->last_objective;
+  }
+  s.error = job->error;
+  return s;
+}
+
+std::optional<JobManager::JobProgress> JobManager::progress(
+    std::int64_t id, std::int64_t cursor) {
+  Job* job = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job = find(id);
+  }
+  if (job == nullptr) return std::nullopt;
+  drain_tail(*job);
+
+  JobProgress p;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    p.state = job->state;
+  }
+  std::lock_guard<std::mutex> guard(job->tail_mutex);
+  const auto total = static_cast<std::int64_t>(job->events.size());
+  const std::int64_t from = std::min(cursor, total);
+  p.events.assign(job->events.begin() + from, job->events.end());
+  p.next_cursor = total;
+  return p;
+}
+
+std::optional<JobManager::JobResult> JobManager::result(std::int64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Job* job = find(id);
+  if (job == nullptr) return std::nullopt;
+  if (job->has_result) {
+    return job->result;  // copy; jobs are immutable once terminal
+  }
+  JobResult r;
+  r.state = job->state;
+  r.has_result = false;
+  r.error = job->error;
+  r.cache_hit = job->cache_hit;
+  return r;
+}
+
+JobManager::CancelOutcome JobManager::cancel(std::int64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Job* job = find(id);
+  if (job == nullptr) return {};
+  CancelOutcome out;
+  out.found = true;
+  if (job->state == JobState::kQueued) {
+    std::erase(pending_, id);
+    job->state = JobState::kCancelled;
+    if (counters_ != nullptr) {
+      counters_->add_concurrent("server.jobs_cancelled");
+    }
+  } else if (job->state == JobState::kRunning) {
+    // Latch the budget's cancel flag; the solver stops at its next
+    // iteration boundary and the job finishes as kCancelled with its
+    // best-so-far result. Until then the state honestly stays running.
+    job->cancel.store(true, std::memory_order_relaxed);
+  }
+  out.state = job->state;
+  return out;
+}
+
+JobManager::QueueStats JobManager::queue_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QueueStats s;
+  s.queued = static_cast<std::int64_t>(pending_.size());
+  s.running = running_;
+  s.total_jobs = next_id_ - 1;
+  s.workers = options_.workers;
+  s.queue_cap = static_cast<std::int64_t>(options_.queue_cap);
+  return s;
+}
+
+void JobManager::begin_drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  draining_ = true;
+}
+
+bool JobManager::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_ || stopping_;
+}
+
+bool JobManager::idle() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.empty() && running_ == 0;
+}
+
+void JobManager::shutdown(bool cancel_running) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+    stopping_ = true;
+    if (cancel_running) {
+      for (const std::int64_t id : pending_) {
+        Job* job = jobs_.at(id).get();
+        job->state = JobState::kCancelled;
+        if (counters_ != nullptr) {
+          counters_->add_concurrent("server.jobs_cancelled");
+        }
+      }
+      pending_.clear();
+      for (auto& [id, job] : jobs_) {
+        if (job->state == JobState::kRunning) {
+          job->cancel.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+}  // namespace netalign::server

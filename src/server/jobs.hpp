@@ -1,0 +1,186 @@
+// Job queue, worker pool, and job lifecycle for the alignment server.
+//
+// Admission control is explicit: submit either enqueues (bounded pending
+// queue) or answers `rejected` immediately -- the daemon never buffers
+// unbounded work. Each accepted job runs on one of a fixed pool of worker
+// threads under a per-job SolveBudget: the client's deadline maps onto
+// `deadline_seconds`, and cancellation maps onto the budget's
+// `cancel_flag`, so a running job stops at its next iteration boundary
+// and still yields its best-so-far matching (state machine in
+// docs/SERVER.md).
+//
+// Every job writes its own JSONL trace (obs::TraceWriter) into the work
+// directory; status/progress queries tail that file through the
+// tail-tolerant reader (obs/jsonl_tail.hpp), so "streaming" progress is
+// just re-serving the solver's existing telemetry -- the server adds no
+// second progress channel to keep consistent.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "netalign/result.hpp"
+#include "obs/counters.hpp"
+#include "obs/jsonl_tail.hpp"
+#include "server/cache.hpp"
+#include "server/protocol.hpp"
+#include "util/types.hpp"
+
+namespace netalign::server {
+
+/// Job lifecycle: queued -> running -> {done | failed | cancelled};
+/// queued -> cancelled directly when cancel beats the worker to it.
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+[[nodiscard]] const char* to_string(JobState s);
+
+struct JobManagerOptions {
+  int workers = 2;            ///< solver worker threads
+  std::size_t queue_cap = 16; ///< max *queued* jobs; beyond it: rejected
+  std::string work_dir;       ///< per-job trace files live here (required)
+};
+
+class JobManager {
+ public:
+  JobManager(const JobManagerOptions& options, ProblemCache& cache,
+             obs::Counters* counters);
+  ~JobManager();  ///< shutdown(true)
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  struct SubmitOutcome {
+    bool accepted = false;
+    std::int64_t job = -1;
+    std::string key;     ///< problem content hash
+    ErrorCode code = ErrorCode::kInternal;  ///< when !accepted
+    std::string message;                    ///< when !accepted
+  };
+  /// Validate, hash, and enqueue. Reads problem_path (if used) here so
+  /// the content hash and any read error surface at submit time.
+  SubmitOutcome submit(SubmitParams spec);
+
+  struct JobStatus {
+    std::int64_t id = -1;
+    JobState state = JobState::kQueued;
+    std::string tag;
+    std::string key;
+    std::string solver;
+    bool cache_hit = false;          ///< meaningful once running
+    std::int64_t queue_position = -1;  ///< 0-based; -1 once dequeued
+    std::int64_t iterations = 0;     ///< iteration events tailed so far
+    std::int64_t rounds = 0;         ///< rounding events tailed so far
+    double last_objective = 0.0;     ///< 0 until the first round event
+    std::string error;               ///< kFailed only
+  };
+  std::optional<JobStatus> status(std::int64_t id);
+
+  struct JobProgress {
+    JobState state = JobState::kQueued;
+    std::int64_t next_cursor = 0;
+    /// Serialized trace events [cursor, next_cursor), compact JSON each.
+    std::vector<std::string> events;
+  };
+  std::optional<JobProgress> progress(std::int64_t id, std::int64_t cursor);
+
+  struct JobResult {
+    JobState state = JobState::kQueued;
+    bool has_result = false;  ///< done, or cancelled after it ran
+    std::string error;
+    std::string stopped_reason;
+    double objective = 0.0;
+    double weight = 0.0;
+    double overlap = 0.0;
+    std::int64_t cardinality = 0;
+    std::int64_t best_iteration = -1;
+    std::int64_t iterations_completed = 0;
+    double total_seconds = 0.0;
+    bool cache_hit = false;
+    std::string problem_name;
+    std::int64_t num_a = 0;  ///< |V_A|, for client-side matching rebuild
+    std::int64_t num_b = 0;
+    std::vector<std::pair<vid_t, vid_t>> pairs;  ///< matched (a, b)
+  };
+  std::optional<JobResult> result(std::int64_t id);
+
+  struct CancelOutcome {
+    bool found = false;
+    JobState state = JobState::kQueued;  ///< state after the cancel
+  };
+  CancelOutcome cancel(std::int64_t id);
+
+  struct QueueStats {
+    std::int64_t queued = 0;
+    std::int64_t running = 0;
+    std::int64_t total_jobs = 0;
+    std::int64_t workers = 0;
+    std::int64_t queue_cap = 0;
+  };
+  QueueStats queue_stats() const;
+
+  /// Reject all future submits with kShuttingDown.
+  void begin_drain();
+  [[nodiscard]] bool draining() const;
+  /// True when no job is queued or running.
+  [[nodiscard]] bool idle() const;
+  /// Stop workers. `cancel_running` latches every live job's cancel flag
+  /// and drops the queue; false = drain the queue first. Idempotent.
+  void shutdown(bool cancel_running);
+
+ private:
+  struct Job {
+    std::int64_t id = 0;
+    SubmitParams spec;
+    std::string key;
+    std::string trace_path;
+    std::atomic<bool> cancel{false};
+
+    // Guarded by JobManager::mutex_.
+    JobState state = JobState::kQueued;
+    bool cache_hit = false;
+    bool has_result = false;
+    std::string error;
+    JobResult result;  // filled when the run finishes
+
+    // Progress tailing, guarded by tail_mutex (file IO kept off the
+    // manager-wide lock).
+    std::mutex tail_mutex;
+    std::unique_ptr<obs::JsonlTailReader> tail;
+    std::vector<std::string> events;
+    std::int64_t iterations_seen = 0;
+    std::int64_t rounds_seen = 0;
+    double last_objective = 0.0;
+  };
+
+  void worker_loop();
+  void run_job(Job& job);
+  /// Drain new trace events into job.events / progress counters.
+  void drain_tail(Job& job);
+  Job* find(std::int64_t id);
+
+  JobManagerOptions options_;
+  ProblemCache& cache_;
+  obs::Counters* counters_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable job_finished_;
+  std::deque<std::int64_t> pending_;
+  std::map<std::int64_t, std::unique_ptr<Job>> jobs_;
+  std::int64_t next_id_ = 1;
+  std::int64_t running_ = 0;
+  bool draining_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace netalign::server

@@ -1,0 +1,402 @@
+#include "server/server.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace netalign::server {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// One client connection: line-buffered input, queued output.
+struct Conn {
+  int fd = -1;
+  std::string in;
+  std::string out;
+  std::size_t out_off = 0;     ///< bytes of `out` already written
+  bool close_after_flush = false;
+  bool dead = false;
+};
+
+}  // namespace
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      cache_(options.cache_cap, &counters_),
+      jobs_(JobManagerOptions{options.workers, options.queue_cap,
+                              options.work_dir},
+            cache_, &counters_) {
+  // Pre-register the server counters so `stats` reports them in a stable
+  // order (and as explicit zeros) from the first request on.
+  for (const char* name :
+       {"server.requests", "server.jobs_accepted", "server.jobs_rejected",
+        "server.jobs_completed", "server.jobs_failed",
+        "server.jobs_cancelled", "server.cache_hit", "server.cache_miss",
+        "server.cache_evicted", "server.bad_requests"}) {
+    counters_.add_concurrent(name, 0);
+  }
+}
+
+Server::~Server() = default;
+
+int Server::run() {
+  if (options_.socket_path.empty()) {
+    std::fprintf(stderr, "netalign_server: --socket is required\n");
+    return 2;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "netalign_server: socket path too long (%zu bytes)\n",
+                 options_.socket_path.size());
+    return 2;
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("netalign_server: socket");
+    return 1;
+  }
+  ::unlink(options_.socket_path.c_str());  // stale socket from a past run
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    std::perror("netalign_server: bind");
+    ::close(listener);
+    return 1;
+  }
+  if (::listen(listener, 64) != 0 || !set_nonblocking(listener)) {
+    std::perror("netalign_server: listen");
+    ::close(listener);
+    ::unlink(options_.socket_path.c_str());
+    return 1;
+  }
+
+  std::vector<Conn> conns;
+  for (;;) {
+    if (options_.stop_flag != nullptr &&
+        options_.stop_flag->load(std::memory_order_relaxed) &&
+        !shutdown_requested_) {
+      shutdown_requested_ = true;  // SIGTERM/SIGINT == drain shutdown
+      jobs_.begin_drain();
+    }
+
+    std::vector<pollfd> fds;
+    fds.reserve(conns.size() + 1);
+    fds.push_back({listener, shutdown_requested_ ? short{0} : short{POLLIN},
+                   0});
+    for (const Conn& c : conns) {
+      short events = POLLIN;
+      if (c.out_off < c.out.size()) events |= POLLOUT;
+      fds.push_back({c.fd, events, 0});
+    }
+    // Finite timeout: the stop latch and drain-idle condition are polled.
+    if (::poll(fds.data(), fds.size(), 100) < 0 && errno != EINTR) {
+      std::perror("netalign_server: poll");
+      break;
+    }
+
+    // Entries of `fds` beyond index 0 correspond to the first `polled`
+    // connections; anything accepted below joins the next poll cycle.
+    const std::size_t polled = conns.size();
+    if ((fds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        const int fd = ::accept(listener, nullptr, nullptr);
+        if (fd < 0) break;
+        if (!set_nonblocking(fd)) {
+          ::close(fd);
+          continue;
+        }
+        Conn c;
+        c.fd = fd;
+        conns.push_back(std::move(c));
+      }
+    }
+
+    for (std::size_t i = 0; i < polled; ++i) {
+      Conn& c = conns[i];
+      const short revents = fds[i + 1].revents;
+      if ((revents & (POLLERR | POLLNVAL)) != 0) {
+        c.dead = true;
+        continue;
+      }
+      if ((revents & (POLLIN | POLLHUP)) != 0) {
+        char buf[65536];
+        for (;;) {
+          const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+          if (n > 0) {
+            c.in.append(buf, static_cast<std::size_t>(n));
+            continue;
+          }
+          if (n == 0) {
+            c.close_after_flush = true;  // peer sent EOF; flush and close
+          }
+          break;  // n < 0: EAGAIN (drained) or error (next poll reports it)
+        }
+        for (;;) {
+          const std::size_t eol = c.in.find('\n');
+          if (eol == std::string::npos) {
+            if (c.in.size() > options_.max_request_bytes) {
+              counters_.add_concurrent("server.bad_requests");
+              c.out += error_response(
+                  "", ErrorCode::kTooLarge,
+                  "request line exceeds " +
+                      std::to_string(options_.max_request_bytes) + " bytes");
+              c.out.push_back('\n');
+              c.close_after_flush = true;
+              c.in.clear();
+            }
+            break;
+          }
+          std::string line = c.in.substr(0, eol);
+          c.in.erase(0, eol + 1);
+          if (line.empty()) continue;  // blank keep-alive lines are fine
+          c.out += handle_line(line);
+          c.out.push_back('\n');
+        }
+      }
+      while (c.out_off < c.out.size()) {
+        // MSG_NOSIGNAL: a peer that hangs up mid-response must surface as
+        // EPIPE on this connection, not SIGPIPE for the whole daemon.
+        const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                                 c.out.size() - c.out_off, MSG_NOSIGNAL);
+        if (n < 0 && errno == EPIPE) {
+          c.dead = true;
+          break;
+        }
+        if (n <= 0) break;  // EAGAIN or error; retry at next poll
+        c.out_off += static_cast<std::size_t>(n);
+      }
+      if (c.dead) continue;
+      if (c.out_off >= c.out.size()) {
+        c.out.clear();
+        c.out_off = 0;
+        if (c.close_after_flush) c.dead = true;
+      }
+    }
+    for (std::size_t i = conns.size(); i-- > 0;) {
+      if (conns[i].dead) {
+        ::close(conns[i].fd);
+        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+
+    if (shutdown_requested_) {
+      bool flushed = true;
+      for (const Conn& c : conns) {
+        if (c.out_off < c.out.size()) flushed = false;
+      }
+      if (flushed && (shutdown_now_ || jobs_.idle())) break;
+    }
+  }
+
+  jobs_.shutdown(shutdown_now_);
+  for (const Conn& c : conns) ::close(c.fd);
+  ::close(listener);
+  ::unlink(options_.socket_path.c_str());
+  return 0;
+}
+
+std::string Server::handle_line(std::string_view line) {
+  counters_.add_concurrent("server.requests");
+  Request req;
+  ErrorCode code = ErrorCode::kBadRequest;
+  std::string message;
+  if (!parse_request(line, req, code, message)) {
+    counters_.add_concurrent("server.bad_requests");
+    return error_response(req.id_json, code, message);
+  }
+  return handle(req);
+}
+
+std::string Server::handle(const Request& req) {
+  switch (req.method) {
+    case Method::kPing: {
+      ResponseBuilder r(true, req.id_json);
+      r.field("protocol", std::int64_t{kProtocolVersion});
+      return std::move(r).str();
+    }
+    case Method::kSubmit:
+      return handle_submit(req);
+    case Method::kStatus:
+      return handle_status(req);
+    case Method::kProgress:
+      return handle_progress(req);
+    case Method::kResult:
+      return handle_result(req);
+    case Method::kCancel:
+      return handle_cancel(req);
+    case Method::kStats:
+      return handle_stats(req);
+    case Method::kShutdown:
+      return handle_shutdown(req);
+  }
+  return error_response(req.id_json, ErrorCode::kInternal,
+                        "unhandled method");
+}
+
+std::string Server::handle_submit(const Request& req) {
+  const JobManager::SubmitOutcome out = jobs_.submit(req.submit);
+  if (!out.accepted) {
+    return error_response(req.id_json, out.code, out.message);
+  }
+  ResponseBuilder r(true, req.id_json);
+  r.field("job", out.job);
+  r.field("key", out.key);
+  r.field("state", to_string(JobState::kQueued));
+  return std::move(r).str();
+}
+
+std::string Server::handle_status(const Request& req) {
+  const auto s = jobs_.status(req.job);
+  if (!s) {
+    return error_response(req.id_json, ErrorCode::kNotFound,
+                          "no job " + std::to_string(req.job));
+  }
+  ResponseBuilder r(true, req.id_json);
+  r.field("job", s->id);
+  r.field("state", to_string(s->state));
+  if (!s->tag.empty()) r.field("tag", s->tag);
+  r.field("key", s->key);
+  r.field("solver", s->solver);
+  r.field("cache_hit", s->cache_hit);
+  if (s->queue_position >= 0) r.field("queue_position", s->queue_position);
+  r.field("iterations", s->iterations);
+  r.field("rounds", s->rounds);
+  if (s->rounds > 0) r.field("last_objective", s->last_objective);
+  if (!s->error.empty()) r.field("error_message", s->error);
+  return std::move(r).str();
+}
+
+std::string Server::handle_progress(const Request& req) {
+  const auto p = jobs_.progress(req.job, req.cursor);
+  if (!p) {
+    return error_response(req.id_json, ErrorCode::kNotFound,
+                          "no job " + std::to_string(req.job));
+  }
+  ResponseBuilder r(true, req.id_json);
+  r.field("job", req.job);
+  r.field("state", to_string(p->state));
+  r.field("next_cursor", p->next_cursor);
+  std::string events = "[";
+  for (std::size_t i = 0; i < p->events.size(); ++i) {
+    if (i > 0) events.push_back(',');
+    events += p->events[i];
+  }
+  events.push_back(']');
+  r.raw("events", events);
+  return std::move(r).str();
+}
+
+std::string Server::handle_result(const Request& req) {
+  const auto res = jobs_.result(req.job);
+  if (!res) {
+    return error_response(req.id_json, ErrorCode::kNotFound,
+                          "no job " + std::to_string(req.job));
+  }
+  if (res->state == JobState::kQueued || res->state == JobState::kRunning) {
+    return error_response(
+        req.id_json, ErrorCode::kNotReady,
+        "job " + std::to_string(req.job) + " is still " +
+            to_string(res->state));
+  }
+  if (res->state == JobState::kFailed) {
+    return error_response(req.id_json, ErrorCode::kJobFailed, res->error);
+  }
+  if (!res->has_result) {  // cancelled before it ever ran
+    return error_response(req.id_json, ErrorCode::kNoResult,
+                          "job " + std::to_string(req.job) +
+                              " was cancelled while queued");
+  }
+  ResponseBuilder r(true, req.id_json);
+  r.field("job", req.job);
+  r.field("state", to_string(res->state));
+  r.field("stopped_reason", res->stopped_reason);
+  r.field("objective", res->objective);
+  r.field("weight", res->weight);
+  r.field("overlap", res->overlap);
+  r.field("cardinality", res->cardinality);
+  r.field("best_iteration", res->best_iteration);
+  r.field("iterations_completed", res->iterations_completed);
+  r.field("total_seconds", res->total_seconds);
+  r.field("cache_hit", res->cache_hit);
+  r.field("problem", res->problem_name);
+  r.field("num_a", res->num_a);
+  r.field("num_b", res->num_b);
+  std::string pairs = "[";
+  for (std::size_t i = 0; i < res->pairs.size(); ++i) {
+    if (i > 0) pairs.push_back(',');
+    pairs.push_back('[');
+    obs::append_json_number(pairs, std::int64_t{res->pairs[i].first});
+    pairs.push_back(',');
+    obs::append_json_number(pairs, std::int64_t{res->pairs[i].second});
+    pairs.push_back(']');
+  }
+  pairs.push_back(']');
+  r.raw("pairs", pairs);
+  return std::move(r).str();
+}
+
+std::string Server::handle_cancel(const Request& req) {
+  const JobManager::CancelOutcome out = jobs_.cancel(req.job);
+  if (!out.found) {
+    return error_response(req.id_json, ErrorCode::kNotFound,
+                          "no job " + std::to_string(req.job));
+  }
+  ResponseBuilder r(true, req.id_json);
+  r.field("job", req.job);
+  r.field("state", to_string(out.state));
+  return std::move(r).str();
+}
+
+std::string Server::handle_stats(const Request& req) {
+  const JobManager::QueueStats q = jobs_.queue_stats();
+  ResponseBuilder r(true, req.id_json);
+  r.field("queued", q.queued);
+  r.field("running", q.running);
+  r.field("total_jobs", q.total_jobs);
+  r.field("workers", q.workers);
+  r.field("queue_cap", q.queue_cap);
+  r.field("cache_size", static_cast<std::int64_t>(cache_.size()));
+  r.field("cache_cap", static_cast<std::int64_t>(cache_.capacity()));
+  r.field("draining", jobs_.draining());
+  std::string counters = "{";
+  bool first = true;
+  for (const auto& [name, value] : counters_.snapshot()) {
+    if (!first) counters.push_back(',');
+    first = false;
+    obs::append_json_string(counters, name);
+    counters.push_back(':');
+    obs::append_json_number(counters, value);
+  }
+  counters.push_back('}');
+  r.raw("counters", counters);
+  return std::move(r).str();
+}
+
+std::string Server::handle_shutdown(const Request& req) {
+  shutdown_requested_ = true;
+  if (req.shutdown_now) shutdown_now_ = true;
+  jobs_.begin_drain();
+  ResponseBuilder r(true, req.id_json);
+  r.field("mode", req.shutdown_now ? "now" : "drain");
+  return std::move(r).str();
+}
+
+}  // namespace netalign::server

@@ -1,0 +1,70 @@
+// The alignment daemon's front end: an AF_UNIX stream listener speaking
+// the newline-delimited JSON protocol of docs/SERVER.md, one request per
+// line, one response line per request.
+//
+// The socket loop is single-threaded (poll over listener + connections);
+// all heavy work happens on the JobManager's worker pool, so a request is
+// never blocked behind a solve. Connections are independent: any client
+// may poll any job id, which is what lets `netalign client submit` and a
+// later `netalign client result` be separate processes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "obs/counters.hpp"
+#include "server/cache.hpp"
+#include "server/jobs.hpp"
+
+namespace netalign::server {
+
+struct ServerOptions {
+  std::string socket_path;            ///< AF_UNIX path (required)
+  int workers = 2;                    ///< solver worker threads
+  std::size_t queue_cap = 16;         ///< admission-control bound
+  std::size_t cache_cap = 8;          ///< LRU problem/squares entries
+  std::size_t max_request_bytes = kDefaultMaxRequestBytes;
+  std::string work_dir;               ///< job trace files (required)
+  /// External stop latch (SIGTERM/SIGINT); treated as `shutdown now=false`
+  /// (drain) when it fires. Nullable.
+  const std::atomic<bool>* stop_flag = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the socket and serve until a shutdown request (or the stop
+  /// latch) and, for drain shutdowns, until queued/running jobs finish.
+  /// Returns 0 on clean exit, nonzero on a socket-layer error.
+  int run();
+
+  [[nodiscard]] const obs::Counters& counters() const { return counters_; }
+
+ private:
+  /// One response line (no trailing newline) for one request line.
+  std::string handle_line(std::string_view line);
+
+  std::string handle(const Request& req);
+  std::string handle_submit(const Request& req);
+  std::string handle_status(const Request& req);
+  std::string handle_progress(const Request& req);
+  std::string handle_result(const Request& req);
+  std::string handle_cancel(const Request& req);
+  std::string handle_stats(const Request& req);
+  std::string handle_shutdown(const Request& req);
+
+  ServerOptions options_;
+  obs::Counters counters_;
+  ProblemCache cache_;
+  JobManager jobs_;
+  bool shutdown_requested_ = false;
+  bool shutdown_now_ = false;
+};
+
+}  // namespace netalign::server

@@ -1,0 +1,560 @@
+// Alignment-server protocol and lifecycle tests (docs/SERVER.md).
+//
+// Four layers, mostly socket-free so failures stay attributable:
+// protocol framing (the compatibility rules the header promises: unknown
+// fields ignored, unknown methods rejected, wrong types are bad_request),
+// the content-addressed LRU cache, the job manager's lifecycle (cancel of
+// queued vs running jobs, admission control), and the tail-tolerant JSONL
+// reader both progress streaming and trace_summary ride on. A final
+// section drives a real Server over its AF_UNIX socket end to end,
+// including the request-size cap.
+#include "server/protocol.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "netalign/synthetic.hpp"
+#include "io/problem_io.hpp"
+#include "obs/jsonl_tail.hpp"
+#include "server/cache.hpp"
+#include "server/client.hpp"
+#include "server/jobs.hpp"
+#include "server/server.hpp"
+
+namespace netalign::server {
+namespace {
+
+/// Per-process scratch path: ctest runs each gtest case as its own
+/// process, concurrently, so a bare TempDir() name would make the socket
+/// tests bind over each other's daemons and deadlock.
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "na" + std::to_string(::getpid()) + "_" +
+         name;
+}
+
+/// Canonical text of a small synthetic instance.
+std::string problem_text(vid_t n = 60, std::uint64_t seed = 7) {
+  PowerLawInstanceOptions opt;
+  opt.n = n;
+  opt.expected_degree = 4.0;
+  opt.seed = seed;
+  std::ostringstream out;
+  write_problem(out, make_power_law_instance(opt).problem);
+  return out.str();
+}
+
+/// Submit request JSON with an inline problem.
+std::string submit_line(const std::string& text, std::int64_t iters) {
+  std::string line = R"({"method":"submit","problem":)";
+  obs::append_json_string(line, text);
+  line += R"(,"solver":"bp","iters":)" + std::to_string(iters) + "}";
+  return line;
+}
+
+Request parse_ok(const std::string& line) {
+  Request req;
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+  EXPECT_TRUE(parse_request(line, req, code, message)) << message;
+  return req;
+}
+
+ErrorCode parse_fail(const std::string& line) {
+  Request req;
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+  EXPECT_FALSE(parse_request(line, req, code, message));
+  EXPECT_FALSE(message.empty());
+  return code;
+}
+
+// --- protocol framing ------------------------------------------------------
+
+TEST(Protocol, MalformedJsonIsBadRequest) {
+  EXPECT_EQ(parse_fail(R"({"method":"ping")"), ErrorCode::kBadRequest);
+  EXPECT_EQ(parse_fail("not json at all"), ErrorCode::kBadRequest);
+  EXPECT_EQ(parse_fail(R"([1, 2, 3])"), ErrorCode::kBadRequest);
+  EXPECT_EQ(parse_fail(R"({"no_method": 1})"), ErrorCode::kBadRequest);
+}
+
+TEST(Protocol, UnknownMethodIsItsOwnError) {
+  EXPECT_EQ(parse_fail(R"({"method":"align_all_the_things"})"),
+            ErrorCode::kUnknownMethod);
+}
+
+TEST(Protocol, UnknownFieldsAreIgnored) {
+  // Forward compatibility: a newer client may send fields this server
+  // does not know. They must not be errors.
+  const Request req = parse_ok(
+      R"({"method":"status","job":3,"future_field":{"deep":[1,2]}})");
+  EXPECT_EQ(req.method, Method::kStatus);
+  EXPECT_EQ(req.job, 3);
+}
+
+TEST(Protocol, WrongFieldTypeIsBadRequest) {
+  EXPECT_EQ(parse_fail(R"({"method":"status","job":"three"})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(parse_fail(R"({"method":"shutdown","now":1})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(parse_fail(R"({"method":"progress","job":1,"cursor":1.5})"),
+            ErrorCode::kBadRequest);
+}
+
+TEST(Protocol, SubmitNeedsExactlyOneProblemSource) {
+  EXPECT_EQ(parse_fail(R"({"method":"submit"})"), ErrorCode::kBadRequest);
+  EXPECT_EQ(parse_fail(
+                R"({"method":"submit","problem":"x","problem_path":"y"})"),
+            ErrorCode::kBadRequest);
+}
+
+TEST(Protocol, SubmitValidatesNamesAndRanges) {
+  EXPECT_EQ(parse_fail(R"({"method":"submit","problem":"x","solver":"gpt"})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(
+      parse_fail(R"({"method":"submit","problem":"x","matcher":"magic"})"),
+      ErrorCode::kBadRequest);
+  EXPECT_EQ(parse_fail(R"({"method":"submit","problem":"x","iters":-1})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(parse_fail(R"({"method":"submit","problem":"x","batch":0})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(parse_fail(
+                R"({"method":"submit","problem":"x","deadline_seconds":-2})"),
+            ErrorCode::kBadRequest);
+}
+
+TEST(Protocol, SubmitDefaultsMirrorTheCli) {
+  const Request req = parse_ok(R"({"method":"submit","problem":"x"})");
+  EXPECT_EQ(req.submit.solver, "bp");
+  EXPECT_EQ(req.submit.matcher, "approx");
+  EXPECT_EQ(req.submit.batch, 1);
+  EXPECT_EQ(req.submit.deadline_seconds, 0.0);
+}
+
+TEST(Protocol, IdIsEchoedEvenOnErrors) {
+  Request req;
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+  ASSERT_FALSE(
+      parse_request(R"({"method":"nope","id":"req-17"})", req, code, message));
+  EXPECT_EQ(req.id_json, R"("req-17")");
+  const std::string resp = error_response(req.id_json, code, message);
+  obs::JsonValue doc = obs::parse_json(resp);
+  ASSERT_NE(doc.find("id"), nullptr);
+  EXPECT_EQ(doc.find("id")->as_string(), "req-17");
+  EXPECT_FALSE(doc.find("ok")->as_bool());
+  EXPECT_EQ(doc.find("error")->find("code")->as_string(), "unknown_method");
+}
+
+TEST(Protocol, ResponseBuilderProducesParseableJson) {
+  ResponseBuilder r(true, "42");
+  r.field("name", "a \"quoted\" value");
+  r.field("count", std::int64_t{7});
+  r.field("ratio", 0.5);
+  r.field("flag", true);
+  r.field("literal", "drain");  // must not decay into the bool overload
+  r.raw("list", "[1,2]");
+  const obs::JsonValue doc = obs::parse_json(std::move(r).str());
+  EXPECT_TRUE(doc.find("ok")->as_bool());
+  EXPECT_EQ(doc.find("id")->as_number(), 42.0);
+  EXPECT_EQ(doc.find("name")->as_string(), "a \"quoted\" value");
+  EXPECT_EQ(doc.find("count")->as_number(), 7.0);
+  EXPECT_EQ(doc.find("flag")->as_bool(), true);
+  EXPECT_EQ(doc.find("literal")->as_string(), "drain");
+  EXPECT_EQ(doc.find("list")->items().size(), 2u);
+}
+
+// --- content-addressed cache -----------------------------------------------
+
+TEST(ProblemCache, KeyIsContentNotName) {
+  const std::string a = problem_text(60, 7);
+  const std::string b = problem_text(60, 8);
+  EXPECT_EQ(content_key(a), content_key(a));
+  EXPECT_NE(content_key(a), content_key(b));
+  EXPECT_EQ(content_key(a).size(), 16u);
+}
+
+TEST(ProblemCache, RepeatSubmissionHits) {
+  obs::Counters counters;
+  ProblemCache cache(4, &counters);
+  const std::string text = problem_text();
+  bool hit = true;
+  const auto first = cache.get(content_key(text), text, hit);
+  EXPECT_FALSE(hit);
+  const auto second = cache.get(content_key(text), text, hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), second.get());  // same built entry, not a rebuild
+  EXPECT_EQ(counters.total("server.cache_hit"), 1);
+  EXPECT_EQ(counters.total("server.cache_miss"), 1);
+  EXPECT_GT(first->S.num_nonzeros(), 0);
+}
+
+TEST(ProblemCache, EvictsLeastRecentlyUsed) {
+  obs::Counters counters;
+  ProblemCache cache(2, &counters);
+  const std::string a = problem_text(50, 1);
+  const std::string b = problem_text(50, 2);
+  const std::string c = problem_text(50, 3);
+  bool hit = false;
+  cache.get(content_key(a), a, hit);
+  cache.get(content_key(b), b, hit);
+  cache.get(content_key(a), a, hit);  // touch a; b is now LRU
+  EXPECT_TRUE(hit);
+  cache.get(content_key(c), c, hit);  // evicts b
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(counters.total("server.cache_evicted"), 1);
+  cache.get(content_key(a), a, hit);
+  EXPECT_TRUE(hit);
+  cache.get(content_key(b), b, hit);
+  EXPECT_FALSE(hit);  // b was the victim
+}
+
+TEST(ProblemCache, BuildFailureIsNotCached) {
+  obs::Counters counters;
+  ProblemCache cache(2, &counters);
+  const std::string junk = "NETALIGN-PROBLEM 999\nnot a problem\n";
+  bool hit = false;
+  EXPECT_THROW(cache.get(content_key(junk), junk, hit), std::exception);
+  EXPECT_EQ(cache.size(), 0u);
+  // The same key again still *builds* (and fails) instead of replaying a
+  // poisoned entry.
+  EXPECT_THROW(cache.get(content_key(junk), junk, hit), std::exception);
+  EXPECT_FALSE(hit);
+}
+
+// --- job lifecycle ---------------------------------------------------------
+
+JobManagerOptions manager_options(int workers, std::size_t queue_cap,
+                                  const std::string& dir) {
+  JobManagerOptions opt;
+  opt.workers = workers;
+  opt.queue_cap = queue_cap;
+  opt.work_dir = tmp_path(dir);
+  return opt;
+}
+
+SubmitParams bp_job(const std::string& text, std::int64_t iters) {
+  SubmitParams spec;
+  spec.problem_text = text;
+  spec.solver = "bp";
+  spec.iters = iters;
+  return spec;
+}
+
+/// Poll until the job leaves queued/running (bounded; test-fails on hang).
+JobManager::JobResult wait_terminal(JobManager& jobs, std::int64_t id,
+                                    int timeout_seconds = 60) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(timeout_seconds);
+  for (;;) {
+    const auto r = jobs.result(id);
+    if (!r.has_value()) {
+      ADD_FAILURE() << "job " << id << " vanished";
+      return {};
+    }
+    if (r->state != JobState::kQueued && r->state != JobState::kRunning) {
+      return *r;
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      ADD_FAILURE() << "job " << id << " did not finish in time";
+      return *r;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+TEST(JobManager, RunsAJobToDone) {
+  obs::Counters counters;
+  ProblemCache cache(4, &counters);
+  JobManager jobs(manager_options(1, 4, "jm_done"), cache, &counters);
+  const auto out = jobs.submit(bp_job(problem_text(), 15));
+  ASSERT_TRUE(out.accepted) << out.message;
+  const auto result = wait_terminal(jobs, out.job);
+  EXPECT_EQ(result.state, JobState::kDone);
+  ASSERT_TRUE(result.has_result);
+  EXPECT_EQ(result.stopped_reason, "completed");
+  EXPECT_EQ(result.iterations_completed, 15);
+  EXPECT_GT(result.cardinality, 0);
+  EXPECT_EQ(static_cast<std::int64_t>(result.pairs.size()),
+            result.cardinality);
+  // Progress is the solver's own trace, re-served.
+  const auto progress = jobs.progress(out.job, 0);
+  ASSERT_TRUE(progress.has_value());
+  EXPECT_GT(progress->next_cursor, 0);
+  // A cursor past the end yields no events, not an error.
+  const auto tail = jobs.progress(out.job, progress->next_cursor + 100);
+  EXPECT_TRUE(tail->events.empty());
+  const auto status = jobs.status(out.job);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::kDone);
+  EXPECT_GT(status->rounds, 0);
+}
+
+TEST(JobManager, FailedProblemReportsError) {
+  obs::Counters counters;
+  ProblemCache cache(4, &counters);
+  JobManager jobs(manager_options(1, 4, "jm_fail"), cache, &counters);
+  SubmitParams spec = bp_job("this is not a problem file\n", 5);
+  const auto out = jobs.submit(spec);
+  ASSERT_TRUE(out.accepted);
+  const auto result = wait_terminal(jobs, out.job);
+  EXPECT_EQ(result.state, JobState::kFailed);
+  EXPECT_FALSE(result.has_result);
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_EQ(counters.total("server.jobs_failed"), 1);
+}
+
+TEST(JobManager, UnknownJobIsEmpty) {
+  obs::Counters counters;
+  ProblemCache cache(2, &counters);
+  JobManager jobs(manager_options(1, 2, "jm_unknown"), cache, &counters);
+  EXPECT_FALSE(jobs.status(99).has_value());
+  EXPECT_FALSE(jobs.result(99).has_value());
+  EXPECT_FALSE(jobs.cancel(99).found);
+}
+
+TEST(JobManager, CancelQueuedVsRunning) {
+  obs::Counters counters;
+  ProblemCache cache(4, &counters);
+  // One worker so the second submission is guaranteed to queue behind the
+  // first. The running job gets an iteration count it could never finish
+  // inside the test budget; cancellation is what ends it.
+  JobManager jobs(manager_options(1, 8, "jm_cancel"), cache, &counters);
+  const std::string text = problem_text();
+  const auto running = jobs.submit(bp_job(text, 50'000'000));
+  ASSERT_TRUE(running.accepted);
+  // Wait until it actually occupies the worker.
+  const auto spin_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (jobs.status(running.job)->state == JobState::kQueued) {
+    ASSERT_LT(std::chrono::steady_clock::now(), spin_deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto queued = jobs.submit(bp_job(problem_text(60, 9), 10));
+  ASSERT_TRUE(queued.accepted);
+
+  // Cancelling a queued job is immediate: it never reaches a worker.
+  const auto cancel_queued = jobs.cancel(queued.job);
+  ASSERT_TRUE(cancel_queued.found);
+  EXPECT_EQ(cancel_queued.state, JobState::kCancelled);
+  const auto queued_result = jobs.result(queued.job);
+  EXPECT_EQ(queued_result->state, JobState::kCancelled);
+  EXPECT_FALSE(queued_result->has_result);
+
+  // Cancelling a running job latches the budget flag; the solver stops at
+  // the next iteration boundary with its best-so-far matching.
+  const auto cancel_running = jobs.cancel(running.job);
+  ASSERT_TRUE(cancel_running.found);
+  const auto result = wait_terminal(jobs, running.job);
+  EXPECT_EQ(result.state, JobState::kCancelled);
+  ASSERT_TRUE(result.has_result);
+  EXPECT_EQ(result.stopped_reason, "cancelled");
+  EXPECT_LT(result.iterations_completed, 50'000'000);
+  EXPECT_EQ(counters.total("server.jobs_cancelled"), 2);
+}
+
+TEST(JobManager, AdmissionControlRejectsWhenFull) {
+  obs::Counters counters;
+  ProblemCache cache(4, &counters);
+  JobManager jobs(manager_options(1, 1, "jm_admission"), cache, &counters);
+  const auto running = jobs.submit(bp_job(problem_text(), 50'000'000));
+  ASSERT_TRUE(running.accepted);
+  const auto spin_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (jobs.status(running.job)->state == JobState::kQueued) {
+    ASSERT_LT(std::chrono::steady_clock::now(), spin_deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto queued = jobs.submit(bp_job(problem_text(), 10));
+  ASSERT_TRUE(queued.accepted);  // fills the queue (cap 1)
+  const auto rejected = jobs.submit(bp_job(problem_text(), 10));
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_EQ(rejected.code, ErrorCode::kRejected);
+  EXPECT_EQ(counters.total("server.jobs_rejected"), 1);
+  // Draining rejects even with queue space.
+  jobs.begin_drain();
+  const auto drained = jobs.submit(bp_job(problem_text(), 10));
+  EXPECT_FALSE(drained.accepted);
+  EXPECT_EQ(drained.code, ErrorCode::kShuttingDown);
+  jobs.cancel(running.job);
+  jobs.cancel(queued.job);
+}
+
+// --- tail-tolerant JSONL reader --------------------------------------------
+
+TEST(JsonlTail, OnlyTerminatedLinesSurface) {
+  const std::string path = tmp_path("tail_basic.jsonl");
+  std::ofstream out(path, std::ios::trunc);
+  out << R"({"event":"a"})" << "\n" << R"({"event":)" << std::flush;
+  obs::JsonlTailReader reader(path);
+  obs::JsonValue doc;
+  EXPECT_EQ(reader.next(doc), obs::JsonlTailReader::Status::kEvent);
+  EXPECT_EQ(doc.find("event")->as_string(), "a");
+  // The second line has no newline yet: held back, not surfaced broken.
+  EXPECT_EQ(reader.next(doc), obs::JsonlTailReader::Status::kPending);
+  EXPECT_TRUE(reader.has_partial_tail());
+  out << R"("b"})" << "\n" << std::flush;
+  EXPECT_EQ(reader.next(doc), obs::JsonlTailReader::Status::kEvent);
+  EXPECT_EQ(doc.find("event")->as_string(), "b");
+  EXPECT_EQ(reader.next(doc), obs::JsonlTailReader::Status::kPending);
+  EXPECT_FALSE(reader.has_partial_tail());
+}
+
+TEST(JsonlTail, MissingFileIsPendingUntilCreated) {
+  const std::string path = tmp_path("tail_late.jsonl");
+  std::remove(path.c_str());
+  obs::JsonlTailReader reader(path);
+  obs::JsonValue doc;
+  EXPECT_EQ(reader.next(doc), obs::JsonlTailReader::Status::kPending);
+  std::ofstream(path) << R"({"event":"late"})" << "\n" << std::flush;
+  EXPECT_EQ(reader.next(doc), obs::JsonlTailReader::Status::kEvent);
+  EXPECT_EQ(doc.find("event")->as_string(), "late");
+}
+
+TEST(JsonlTail, TerminatedGarbageAtEofIsTruncatedThenMalformed) {
+  const std::string path = tmp_path("tail_garbage.jsonl");
+  std::ofstream out(path, std::ios::trunc);
+  out << R"({"event":"ok"})" << "\n" << R"({"event": <cut)" << "\n"
+      << std::flush;
+  obs::JsonlTailReader reader(path);
+  obs::JsonValue doc;
+  EXPECT_EQ(reader.next(doc), obs::JsonlTailReader::Status::kEvent);
+  // A terminated-but-unparseable final line could be a crashed writer:
+  // retryable, not fatal...
+  EXPECT_EQ(reader.next(doc), obs::JsonlTailReader::Status::kTruncatedTail);
+  EXPECT_EQ(reader.next(doc), obs::JsonlTailReader::Status::kTruncatedTail);
+  // ...until later bytes prove the stream was corrupt mid-flight.
+  out << R"({"event":"after"})" << "\n" << std::flush;
+  EXPECT_EQ(reader.next(doc), obs::JsonlTailReader::Status::kMalformed);
+  EXPECT_EQ(reader.next(doc), obs::JsonlTailReader::Status::kMalformed);
+}
+
+// --- the daemon over its socket --------------------------------------------
+
+class ServerSocketTest : public ::testing::Test {
+ protected:
+  void start(std::size_t max_request_bytes = kDefaultMaxRequestBytes) {
+    ServerOptions options;
+    options.socket_path = tmp_path("srv.sock");
+    options.workers = 1;
+    options.queue_cap = 4;
+    options.cache_cap = 2;
+    options.max_request_bytes = max_request_bytes;
+    options.work_dir = tmp_path("srv_jobs");
+    server_ = std::make_unique<Server>(options);
+    thread_ = std::thread([this] { rc_ = server_->run(); });
+    // The listener may not be bound yet; retry the connect briefly.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    for (;;) {
+      try {
+        client_ = std::make_unique<ServerClient>(options.socket_path);
+        break;
+      } catch (const std::exception&) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+  }
+
+  /// Shut the daemon down (fresh connection; client_ may be dead) and
+  /// join its thread.
+  void stop() {
+    if (!thread_.joinable()) return;
+    try {
+      ServerClient(tmp_path("srv.sock"))
+          .call(R"({"method":"shutdown","now":true})");
+    } catch (const std::exception&) {
+    }
+    thread_.join();
+    EXPECT_EQ(rc_, 0);
+    client_.reset();
+    server_.reset();
+  }
+
+  void TearDown() override { stop(); }
+
+  std::unique_ptr<Server> server_;
+  std::unique_ptr<ServerClient> client_;
+  std::thread thread_;
+  int rc_ = -1;
+};
+
+TEST_F(ServerSocketTest, PingSubmitResultOverOneConnection) {
+  start();
+  const obs::JsonValue pong = client_->call(R"({"method":"ping","id":1})");
+  EXPECT_TRUE(pong.find("ok")->as_bool());
+  EXPECT_EQ(pong.find("protocol")->as_number(), kProtocolVersion);
+  EXPECT_EQ(pong.find("id")->as_number(), 1.0);
+
+  const obs::JsonValue accepted =
+      client_->call(submit_line(problem_text(), 10));
+  ASSERT_TRUE(accepted.find("ok")->as_bool());
+  const auto job =
+      static_cast<std::int64_t>(accepted.find("job")->as_number());
+  const std::string result_line =
+      R"({"method":"result","job":)" + std::to_string(job) + "}";
+  for (;;) {
+    const obs::JsonValue r = client_->call(result_line);
+    if (r.find("ok")->as_bool()) {
+      EXPECT_EQ(r.find("state")->as_string(), "done");
+      EXPECT_GT(r.find("pairs")->items().size(), 0u);
+      break;
+    }
+    ASSERT_EQ(r.find("error")->find("code")->as_string(), "not_ready");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // Same bytes again: the parse + squares build must be served from cache.
+  const obs::JsonValue again = client_->call(submit_line(problem_text(), 10));
+  ASSERT_TRUE(again.find("ok")->as_bool());
+  const auto job2 = static_cast<std::int64_t>(again.find("job")->as_number());
+  // The cache lookup happens when a worker picks the job up, so wait for
+  // the job to finish before reading the counter.
+  const std::string result2 =
+      R"({"method":"result","job":)" + std::to_string(job2) + "}";
+  while (!client_->call(result2).find("ok")->as_bool()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const obs::JsonValue stats = client_->call(R"({"method":"stats"})");
+  EXPECT_GE(stats.find("counters")->find("server.cache_hit")->as_number(),
+            1.0);
+}
+
+TEST_F(ServerSocketTest, OversizedRequestLineIsRejected) {
+  start(/*max_request_bytes=*/512);
+  std::string huge = R"({"method":"submit","problem":")";
+  huge.append(4096, 'x');
+  // No closing newline needed: the cap triggers as soon as the unfinished
+  // line exceeds it, so a streaming flood is cut off early.
+  client_->send_raw(huge);
+  const std::string line = client_->read_line();
+  const obs::JsonValue doc = obs::parse_json(line);
+  EXPECT_FALSE(doc.find("ok")->as_bool());
+  EXPECT_EQ(doc.find("error")->find("code")->as_string(), "too_large");
+  // The server hangs up on the flooding connection after responding.
+  EXPECT_THROW(client_->read_line(), std::runtime_error);
+  // A fresh, polite connection to the same daemon still works.
+  ServerClient polite(tmp_path("srv.sock"));
+  EXPECT_TRUE(polite.call(R"({"method":"ping"})").find("ok")->as_bool());
+}
+
+TEST_F(ServerSocketTest, ErrorTaxonomyOverTheWire) {
+  start();
+  const obs::JsonValue bad = client_->call("garbage");
+  EXPECT_EQ(bad.find("error")->find("code")->as_string(), "bad_request");
+  const obs::JsonValue unknown = client_->call(R"({"method":"frobnicate"})");
+  EXPECT_EQ(unknown.find("error")->find("code")->as_string(),
+            "unknown_method");
+  const obs::JsonValue missing =
+      client_->call(R"({"method":"result","job":123})");
+  EXPECT_EQ(missing.find("error")->find("code")->as_string(), "not_found");
+}
+
+}  // namespace
+}  // namespace netalign::server

@@ -64,22 +64,34 @@ run_kill_resume() {
     --save-matching "$D/ref.mat" --history "$D/ref.csv" > "$D/ref.out"
 
   # SIGKILL at a randomized delay. The solver checkpoints every
-  # iteration, so whenever the kill lands there is a usable generation;
-  # if the run finishes before the kill, resume degenerates to
-  # restore-and-finalize, which must *still* reproduce the reference.
-  DELAY="$(awk 'BEGIN{srand(); printf "%.2f", 0.05 + rand() * 0.40}')"
-  echo "-- $METHOD: killed run (SIGKILL after ${DELAY}s) --"
-  "$CLI" align --problem "$TMP/p.nap" --method "$METHOD" --iters "$ITERS" \
-    --checkpoint-out "$D/run.ckpt" --checkpoint-every 1 \
-    --trace-out "$D/kill.jsonl" > "$D/kill.out" 2>&1 &
-  PID=$!
-  sleep "$DELAY"
-  kill -9 "$PID" 2>/dev/null || true
-  wait "$PID" 2>/dev/null || true
-  if [ ! -f "$D/run.ckpt" ]; then
-    echo "FAILURE: $METHOD left no checkpoint behind" >&2
-    exit 1
-  fi
+  # iteration, so once the first iteration has committed there is always
+  # a usable generation; if the run finishes before the kill, resume
+  # degenerates to restore-and-finalize, which must *still* reproduce
+  # the reference. A kill that lands before the first checkpoint
+  # (startup + squares build under ASan can take >0.1s) proves nothing
+  # about recovery, so that draw is retried with a longer delay rather
+  # than reported as a failure.
+  ATTEMPT=0
+  while :; do
+    ATTEMPT=$((ATTEMPT + 1))
+    DELAY="$(awk -v a="$ATTEMPT" \
+      'BEGIN{srand(); printf "%.2f", 0.05 + (a - 1) * 0.20 + rand() * 0.40}')"
+    echo "-- $METHOD: killed run (SIGKILL after ${DELAY}s) --"
+    rm -f "$D/run.ckpt" "$D/run.ckpt.prev"
+    "$CLI" align --problem "$TMP/p.nap" --method "$METHOD" --iters "$ITERS" \
+      --checkpoint-out "$D/run.ckpt" --checkpoint-every 1 \
+      --trace-out "$D/kill.jsonl" > "$D/kill.out" 2>&1 &
+    PID=$!
+    sleep "$DELAY"
+    kill -9 "$PID" 2>/dev/null || true
+    wait "$PID" 2>/dev/null || true
+    [ -f "$D/run.ckpt" ] && break
+    if [ "$ATTEMPT" -ge 5 ]; then
+      echo "FAILURE: $METHOD left no checkpoint behind after $ATTEMPT runs" >&2
+      exit 1
+    fi
+    echo "   (kill landed before the first checkpoint; retrying)"
+  done
 
   # The kill can cut the trace mid-line; trace_summary must tolerate
   # exactly that (a warning, not an error).

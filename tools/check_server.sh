@@ -1,0 +1,128 @@
+#!/usr/bin/env sh
+# End-to-end smoke gate for the alignment daemon (docs/SERVER.md):
+#
+#   1. start netalign_server on a scratch AF_UNIX socket;
+#   2. submit a job through `netalign client` and require the saved
+#      matching to be byte-identical to a one-shot `netalign align` of
+#      the same problem with the same parameters -- the server must be a
+#      transport, never a different solver;
+#   3. resubmit the same bytes and require an observable squares-cache
+#      hit (server.cache_hit >= 1 in `client stats`);
+#   4. exercise the admission/error path with an unknown method;
+#   5. drain-shutdown the daemon and require a clean exit and a removed
+#      socket.
+#
+#   tools/check_server.sh [--build-dir DIR]      # default ./build
+#
+# Exits non-zero on any mismatch, missed cache hit, or unclean shutdown.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD=./build
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir) BUILD="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+CLI="$BUILD/tools/netalign"
+SERVER="$BUILD/tools/netalign_server"
+for BIN in "$CLI" "$SERVER"; do
+  if [ ! -x "$BIN" ]; then
+    echo "FAILURE: $BIN not built (cmake --build $BUILD)" >&2
+    exit 1
+  fi
+done
+
+TMP="$(mktemp -d)"
+SOCK="$TMP/na.sock"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "== problem generation =="
+"$CLI" generate --type powerlaw --n 300 --dbar 6 --seed 99 \
+  --out "$TMP/p.nap"
+
+echo "== one-shot reference =="
+"$CLI" align --problem "$TMP/p.nap" --method bp --iters 30 \
+  --save-matching "$TMP/ref.mat" > "$TMP/ref.out"
+
+echo "== daemon up =="
+"$SERVER" --socket "$SOCK" --workers 2 --work-dir "$TMP/jobs" \
+  > "$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+TRIES=0
+until "$CLI" client ping --socket "$SOCK" > /dev/null 2>&1; do
+  TRIES=$((TRIES + 1))
+  if [ "$TRIES" -gt 100 ]; then
+    echo "FAILURE: daemon never answered ping" >&2
+    cat "$TMP/server.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+echo "== submit + byte-compare against the one-shot CLI =="
+"$CLI" client submit --socket "$SOCK" --problem "$TMP/p.nap" \
+  --solver bp --iters 30 --wait --save-matching "$TMP/srv.mat" \
+  > "$TMP/submit1.out"
+if ! cmp -s "$TMP/ref.mat" "$TMP/srv.mat"; then
+  echo "FAILURE: server matching differs from the one-shot CLI" >&2
+  diff "$TMP/ref.mat" "$TMP/srv.mat" >&2 || true
+  exit 1
+fi
+echo "server matching byte-identical to one-shot align"
+
+echo "== resubmit: squares cache must hit =="
+"$CLI" client submit --socket "$SOCK" --problem "$TMP/p.nap" \
+  --solver bp --iters 30 --wait > "$TMP/submit2.out"
+"$CLI" client stats --socket "$SOCK" > "$TMP/stats.out"
+if ! grep -q '"server.cache_hit":[1-9]' "$TMP/stats.out"; then
+  echo "FAILURE: repeat submission did not hit the problem cache" >&2
+  cat "$TMP/stats.out" >&2
+  exit 1
+fi
+echo "repeat submission served from cache"
+
+echo "== error taxonomy over the wire =="
+if "$CLI" client result --socket "$SOCK" --job 9999 > "$TMP/err.out" 2>&1
+then
+  echo "FAILURE: result for a nonexistent job did not fail" >&2
+  exit 1
+fi
+if ! grep -q '"not_found"' "$TMP/err.out"; then
+  echo "FAILURE: expected error code not_found, got:" >&2
+  cat "$TMP/err.out" >&2
+  exit 1
+fi
+
+echo "== drain shutdown =="
+"$CLI" client shutdown --socket "$SOCK" > /dev/null
+WAITED=0
+while kill -0 "$SERVER_PID" 2>/dev/null; do
+  WAITED=$((WAITED + 1))
+  if [ "$WAITED" -gt 100 ]; then
+    echo "FAILURE: daemon still alive 10s after drain shutdown" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+wait "$SERVER_PID" 2>/dev/null && RC=0 || RC=$?
+if [ "$RC" -ne 0 ]; then
+  echo "FAILURE: daemon exited with rc=$RC" >&2
+  cat "$TMP/server.log" >&2
+  exit 1
+fi
+SERVER_PID=""
+if [ -e "$SOCK" ]; then
+  echo "FAILURE: daemon left its socket behind" >&2
+  exit 1
+fi
+echo "clean shutdown, socket removed"
+
+echo "server checks passed"

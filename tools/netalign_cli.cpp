@@ -6,6 +6,7 @@
 //   align      run MR / BP / IsoRank on a problem file, optionally save
 //              the matching
 //   match      max-weight matching of L alone with any matcher
+//   client     talk to a running netalign_server (docs/SERVER.md)
 //
 // Examples:
 //   netalign generate --type powerlaw --n 400 --dbar 8 --out p.nap
@@ -15,10 +16,15 @@
 //   netalign align --problem p.nap --method bp --matcher approx
 //       --iters 200 --save-matching out.match
 //   netalign match --problem p.nap --matcher exact
+//   netalign client submit --socket /tmp/na.sock --problem p.nap --wait
+#include <chrono>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "dist/dist_bp.hpp"
 #include "dist/dist_mr.hpp"
@@ -30,7 +36,10 @@
 #include "netalign/klau_mr.hpp"
 #include "netalign/synthetic.hpp"
 #include "obs/counters.hpp"
+#include "obs/json.hpp"
 #include "obs/trace.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
 #include "util/stop.hpp"
@@ -348,9 +357,214 @@ int cmd_match(int argc, char** argv) {
   return 0;
 }
 
+/// Compact JSON object builder for client requests (the server side uses
+/// server::ResponseBuilder; requests are plain objects without the
+/// ok/id envelope, hence this little sibling).
+struct JsonObj {
+  std::string buf = "{";
+  bool first = true;
+  void key(std::string_view k) {
+    if (!first) buf.push_back(',');
+    first = false;
+    obs::append_json_string(buf, k);
+    buf.push_back(':');
+  }
+  JsonObj& add(std::string_view k, std::string_view v) {
+    key(k);
+    obs::append_json_string(buf, v);
+    return *this;
+  }
+  // String literals must not fall into the bool overload (pointer -> bool
+  // is a standard conversion and would beat string_view).
+  JsonObj& add(std::string_view k, const char* v) {
+    return add(k, std::string_view(v));
+  }
+  JsonObj& add(std::string_view k, std::int64_t v) {
+    key(k);
+    obs::append_json_number(buf, v);
+    return *this;
+  }
+  JsonObj& add(std::string_view k, double v) {
+    key(k);
+    obs::append_json_number(buf, v);
+    return *this;
+  }
+  JsonObj& add(std::string_view k, bool v) {
+    key(k);
+    buf += v ? "true" : "false";
+    return *this;
+  }
+  std::string str() && {
+    buf.push_back('}');
+    return std::move(buf);
+  }
+};
+
+/// Rebuild the matching from a `result` response and save it with the
+/// same writer the one-shot CLI uses, so the file is byte-identical to a
+/// local `netalign align --save-matching` of the same job.
+void save_matching_from_result(const obs::JsonValue& doc,
+                               const std::string& path) {
+  const obs::JsonValue* num_a = doc.find("num_a");
+  const obs::JsonValue* num_b = doc.find("num_b");
+  const obs::JsonValue* pairs = doc.find("pairs");
+  if (num_a == nullptr || num_b == nullptr || pairs == nullptr ||
+      !pairs->is_array()) {
+    throw std::runtime_error("result response lacks num_a/num_b/pairs");
+  }
+  BipartiteMatching m;
+  m.mate_a.assign(static_cast<std::size_t>(num_a->as_number()), kInvalidVid);
+  m.mate_b.assign(static_cast<std::size_t>(num_b->as_number()), kInvalidVid);
+  for (const obs::JsonValue& pair : pairs->items()) {
+    if (!pair.is_array() || pair.items().size() != 2) {
+      throw std::runtime_error("malformed pair in result response");
+    }
+    const auto a = static_cast<vid_t>(pair.items()[0].as_number());
+    const auto b = static_cast<vid_t>(pair.items()[1].as_number());
+    m.mate_a[static_cast<std::size_t>(a)] = b;
+    m.mate_b[static_cast<std::size_t>(b)] = a;
+    m.cardinality += 1;
+  }
+  write_matching_file(path, m);
+  std::printf("matching written to %s\n", path.c_str());
+}
+
+bool response_ok(const obs::JsonValue& doc) {
+  const obs::JsonValue* ok = doc.find("ok");
+  return ok != nullptr && ok->type() == obs::JsonValue::Type::kBool &&
+         ok->as_bool();
+}
+
+std::string response_state(const obs::JsonValue& doc) {
+  const obs::JsonValue* state = doc.find("state");
+  return state != nullptr && state->is_string() ? state->as_string() : "";
+}
+
+int cmd_client(int argc, char** argv) {
+  if (argc < 2) {
+    std::fputs(
+        "usage: netalign client "
+        "<ping|submit|status|progress|result|cancel|stats|shutdown> "
+        "--socket PATH [flags...]\n",
+        stderr);
+    return 1;
+  }
+  const std::string action = argv[1];
+  CliParser cli("netalign client " + action +
+                ": talk to a running netalign_server (docs/SERVER.md).");
+  auto& socket = cli.add_string("socket", "", "server socket path (required)");
+  auto& problem = cli.add_string(
+      "problem", "", "problem file, sent inline (submit)");
+  auto& solver = cli.add_string(
+      "solver", "bp", "bp | mr | isorank | dist-bp | dist-mr (submit)");
+  auto& matcher = cli.add_string(
+      "matcher", "approx",
+      "exact | approx | greedy | suitor | auction | pga (submit)");
+  auto& iters = cli.add_int("iters", 100, "iterations (submit)");
+  auto& batch = cli.add_int("batch", 1, "BP rounding batch size (submit)");
+  auto& ranks = cli.add_int("ranks", 4, "simulated ranks, dist-* (submit)");
+  auto& gamma = cli.add_double(
+      "gamma", 0.0, "damping / step size, 0 = method default (submit)");
+  auto& deadline = cli.add_double(
+      "deadline-seconds", 0.0, "server-side deadline, 0 = none (submit)");
+  auto& tag = cli.add_string("tag", "", "free-form job label (submit)");
+  auto& wait = cli.add_bool(
+      "wait", false, "submit: poll until the job finishes, print the result");
+  auto& job = cli.add_int(
+      "job", -1, "job id (status/progress/result/cancel)");
+  auto& cursor = cli.add_int("cursor", 0, "event cursor (progress)");
+  auto& save = cli.add_string(
+      "save-matching", "", "result/--wait: write the matching here");
+  auto& now = cli.add_bool(
+      "now", false, "shutdown: cancel running jobs instead of draining");
+  if (!cli.parse(argc - 1, argv + 1)) return 0;
+  if (socket.empty()) {
+    std::fputs("netalign client: --socket is required\n", stderr);
+    return 1;
+  }
+
+  server::ServerClient client(socket);
+  std::string request;
+  if (action == "ping" || action == "stats") {
+    request = std::move(JsonObj{}.add("method", action)).str();
+  } else if (action == "submit") {
+    if (problem.empty()) {
+      std::fputs("netalign client submit: --problem is required\n", stderr);
+      return 1;
+    }
+    std::ifstream in(problem, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "netalign client: cannot open %s\n",
+                   problem.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    JsonObj req;
+    req.add("method", "submit")
+        .add("problem", text.str())
+        .add("solver", solver)
+        .add("matcher", matcher)
+        .add("iters", iters)
+        .add("batch", batch)
+        .add("ranks", ranks);
+    if (gamma > 0.0) req.add("gamma", gamma);
+    if (deadline > 0.0) req.add("deadline_seconds", deadline);
+    if (!tag.empty()) req.add("tag", tag);
+    request = std::move(req).str();
+  } else if (action == "status" || action == "result" || action == "cancel") {
+    request = std::move(JsonObj{}.add("method", action).add("job", job)).str();
+  } else if (action == "progress") {
+    request = std::move(JsonObj{}
+                            .add("method", action)
+                            .add("job", job)
+                            .add("cursor", cursor))
+                  .str();
+  } else if (action == "shutdown") {
+    request =
+        std::move(JsonObj{}.add("method", action).add("now", bool(now))).str();
+  } else {
+    std::fprintf(stderr, "netalign client: unknown action '%s'\n",
+                 action.c_str());
+    return 1;
+  }
+
+  obs::JsonValue doc = client.call(request);
+  std::string line;
+  obs::write_json(line, doc);
+  std::printf("%s\n", line.c_str());
+  if (!response_ok(doc)) return 1;
+
+  if (action == "submit" && wait) {
+    const obs::JsonValue* id = doc.find("job");
+    if (id == nullptr || !id->is_number()) return 1;
+    const auto job_id = static_cast<std::int64_t>(id->as_number());
+    for (;;) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      const obs::JsonValue status = client.call(
+          std::move(JsonObj{}.add("method", "status").add("job", job_id))
+              .str());
+      if (!response_ok(status)) return 1;
+      const std::string state = response_state(status);
+      if (state != "queued" && state != "running") break;
+    }
+    doc = client.call(
+        std::move(JsonObj{}.add("method", "result").add("job", job_id))
+            .str());
+    line.clear();
+    obs::write_json(line, doc);
+    std::printf("%s\n", line.c_str());
+    if (!response_ok(doc)) return 1;
+  }
+  if (!save.empty() && (action == "result" || (action == "submit" && wait))) {
+    save_matching_from_result(doc, save);
+  }
+  return 0;
+}
+
 void usage() {
   std::fputs(
-      "usage: netalign <generate|stats|align|match> [flags...]\n"
+      "usage: netalign <generate|stats|align|match|client> [flags...]\n"
       "       netalign <subcommand> --help for details\n",
       stderr);
 }
@@ -368,6 +582,7 @@ int main(int argc, char** argv) try {
   if (cmd == "stats") return cmd_stats(argc - 1, argv + 1);
   if (cmd == "align") return cmd_align(argc - 1, argv + 1);
   if (cmd == "match") return cmd_match(argc - 1, argv + 1);
+  if (cmd == "client") return cmd_client(argc - 1, argv + 1);
   usage();
   return 1;
 } catch (const std::exception& e) {

@@ -1,0 +1,76 @@
+// netalign_server: the alignment-as-a-service daemon.
+//
+// Listens on an AF_UNIX socket for newline-delimited JSON requests
+// (protocol spec: docs/SERVER.md), runs alignment jobs on a bounded
+// worker pool with an LRU cache of parsed problems + squares matrices,
+// and streams solver progress by re-serving each job's JSONL trace.
+//
+// Example:
+//   netalign_server --socket /tmp/netalign.sock --workers 2
+//       --work-dir /tmp/netalign-jobs &
+//   netalign client ping --socket /tmp/netalign.sock
+//
+// SIGTERM/SIGINT trigger a drain shutdown: no new submits, queued and
+// running jobs finish, then the daemon exits and removes the socket.
+#include <cstdio>
+#include <exception>
+
+#include "server/server.hpp"
+#include "util/cli.hpp"
+#include "util/parallel.hpp"
+#include "util/stop.hpp"
+
+using namespace netalign;
+
+int main(int argc, char** argv) try {
+  CliParser cli(
+      "netalign_server: serve alignment jobs over a local socket.\n"
+      "Wire protocol: newline-delimited JSON, documented in docs/SERVER.md.");
+  auto& socket_path =
+      cli.add_string("socket", "", "AF_UNIX socket path (required)");
+  auto& workers = cli.add_int("workers", 2, "solver worker threads");
+  auto& queue_cap = cli.add_int(
+      "queue-cap", 16, "max queued jobs before submits are rejected");
+  auto& cache_cap = cli.add_int(
+      "cache-cap", 8, "LRU capacity: parsed problems + squares matrices");
+  auto& max_request = cli.add_int(
+      "max-request-bytes", static_cast<int64_t>(server::kDefaultMaxRequestBytes),
+      "largest accepted request line");
+  auto& work_dir = cli.add_string(
+      "work-dir", "", "directory for per-job trace files (required)");
+  auto& threads = cli.add_int("threads", 0, "OpenMP threads (0 = default)");
+  if (!cli.parse(argc, argv)) return 0;
+  if (socket_path.empty() || work_dir.empty()) {
+    std::fprintf(stderr,
+                 "netalign_server: --socket and --work-dir are required\n");
+    return 2;
+  }
+  if (workers < 1 || queue_cap < 1 || cache_cap < 1 || max_request < 1) {
+    std::fprintf(stderr, "netalign_server: flag out of range\n");
+    return 2;
+  }
+  if (threads > 0) set_threads(static_cast<int>(threads));
+
+  server::ServerOptions options;
+  options.socket_path = socket_path;
+  options.workers = static_cast<int>(workers);
+  options.queue_cap = static_cast<std::size_t>(queue_cap);
+  options.cache_cap = static_cast<std::size_t>(cache_cap);
+  options.max_request_bytes = static_cast<std::size_t>(max_request);
+  options.work_dir = work_dir;
+  options.stop_flag = install_stop_signal_handlers();
+
+  server::Server srv(options);
+  std::printf("netalign_server: listening on %s (%lld workers, queue %lld, "
+              "cache %lld)\n",
+              socket_path.c_str(), static_cast<long long>(workers),
+              static_cast<long long>(queue_cap),
+              static_cast<long long>(cache_cap));
+  std::fflush(stdout);
+  const int rc = srv.run();
+  std::printf("netalign_server: exiting (rc=%d)\n", rc);
+  return rc;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "netalign_server: error: %s\n", e.what());
+  return 1;
+}

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/jsonl_tail.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -121,8 +122,9 @@ int main(int argc, char** argv) try {
     return 1;
   }
   const std::string path = cli.positional()[0];
-  std::ifstream in(path);
-  if (!in) {
+  if (!std::ifstream(path)) {
+    // The tail reader tolerates a missing file (it may appear later for a
+    // live consumer); a one-shot summary should fail loudly instead.
     std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
     return 1;
   }
@@ -136,31 +138,42 @@ int main(int argc, char** argv) try {
     return runs.back();
   };
 
-  std::string line;
-  std::int64_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    if (line.empty()) continue;
-    obs::JsonValue doc;
-    if (!obs::try_parse_json(line, doc)) {
-      // A SIGKILLed or crashed writer can cut the last event mid-object
-      // (TraceWriter flushes per line, so at most the final line is
-      // damaged). Tolerate exactly that; malformed JSON mid-trace is
-      // still a hard error.
-      if (in.peek() == std::char_traits<char>::eof()) {
+  // The writer here is known dead, so the tail-tolerant contract of
+  // obs::JsonlTailReader (docs/OBSERVABILITY.md) maps onto one pass:
+  // kPending with a partial tail and kTruncatedTail are the crashed
+  // writer's cut-off final event (warn and stop); kMalformed mid-stream
+  // stays a hard error. The server's progress stream shares this reader,
+  // so both consumers tolerate exactly the same damage.
+  obs::JsonlTailReader reader(path);
+  obs::JsonValue doc;
+  for (bool done = false; !done;) {
+    using Status = obs::JsonlTailReader::Status;
+    switch (reader.next(doc)) {
+      case Status::kPending:
+        if (reader.has_partial_tail()) {
+          std::fprintf(
+              stderr, "warning: %s:%lld: ignoring truncated final line\n",
+              path.c_str(), static_cast<long long>(reader.lineno() + 1));
+        }
+        done = true;
+        continue;
+      case Status::kTruncatedTail:
         std::fprintf(stderr,
                      "warning: %s:%lld: ignoring truncated final line\n",
-                     path.c_str(), static_cast<long long>(lineno));
+                     path.c_str(), static_cast<long long>(reader.lineno()));
+        done = true;
+        continue;
+      case Status::kMalformed:
+        std::fprintf(stderr, "error: %s:%lld: malformed JSON\n", path.c_str(),
+                     static_cast<long long>(reader.lineno()));
+        return 1;
+      case Status::kEvent:
         break;
-      }
-      std::fprintf(stderr, "error: %s:%lld: malformed JSON\n", path.c_str(),
-                   static_cast<long long>(lineno));
-      return 1;
     }
     const obs::JsonValue* event = doc.find("event");
     if (event == nullptr || !event->is_string()) {
       std::fprintf(stderr, "error: %s:%lld: missing \"event\" field\n",
-                   path.c_str(), static_cast<long long>(lineno));
+                   path.c_str(), static_cast<long long>(reader.lineno()));
       return 1;
     }
     const std::string& kind = event->as_string();
