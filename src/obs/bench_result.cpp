@@ -450,6 +450,11 @@ std::string append_trajectory_entry(const std::string& trajectory_text,
   return out;
 }
 
+bool is_latency_metric(const std::string& name) {
+  return ends_with(name, "_p50_seconds") || ends_with(name, "_p95_seconds") ||
+         ends_with(name, "_p99_seconds");
+}
+
 std::vector<MetricDelta> compare_metrics(
     const std::vector<std::pair<std::string, double>>& base,
     const std::vector<std::pair<std::string, double>>& cand,
@@ -469,8 +474,11 @@ std::vector<MetricDelta> compare_metrics(
     d.base = base_value;
     d.cand = match->second;
     d.is_time = ends_with(name, "_seconds");
+    d.is_latency = is_latency_metric(name);
     d.gated = d.is_time && d.base >= options.min_seconds;
-    d.regression = d.gated && d.cand > d.base * (1.0 + options.threshold);
+    const double threshold =
+        d.is_latency ? options.latency_threshold : options.threshold;
+    d.regression = d.gated && d.cand > d.base * (1.0 + threshold);
     out.push_back(std::move(d));
   }
   return out;

@@ -129,6 +129,12 @@ struct CompareOptions {
   /// Time metrics whose baseline is below this are reported but never
   /// gated: at sub-centisecond scale the noise exceeds any signal.
   double min_seconds = 0.02;
+  /// Allowed relative slowdown for *latency percentile* metrics (names
+  /// ending "_p50_seconds"/"_p95_seconds"/"_p99_seconds", e.g. the
+  /// bench_server_load tail latencies). Looser than `threshold`: a tail
+  /// percentile of a contended queueing system is far noisier than a
+  /// kernel's wall time, and CI hosts differ in core count.
+  double latency_threshold = 4.0;
 };
 
 /// One metric's baseline-vs-candidate comparison.
@@ -138,10 +144,15 @@ struct MetricDelta {
   double cand = 0.0;
   /// base == 0 in a time metric leaves ratio undefined; guarded by `gated`.
   [[nodiscard]] double ratio() const { return base == 0.0 ? 0.0 : cand / base; }
-  bool is_time = false;  ///< name ends in "_seconds"
-  bool gated = false;    ///< time metric above min_seconds: gate applies
+  bool is_time = false;     ///< name ends in "_seconds"
+  bool is_latency = false;  ///< percentile suffix: latency_threshold applies
+  bool gated = false;       ///< time metric above min_seconds: gate applies
   bool regression = false;
 };
+
+/// True for latency-percentile time metrics ("*_p50/_p95/_p99_seconds"),
+/// which compare_metrics gates with CompareOptions::latency_threshold.
+[[nodiscard]] bool is_latency_metric(const std::string& name);
 
 /// Compare two metric maps (union of keys; a metric missing on either side
 /// is skipped -- schema growth must not trip the gate). Only gated time

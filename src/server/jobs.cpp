@@ -1,5 +1,6 @@
 #include "server/jobs.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <filesystem>
 #include <fstream>
@@ -33,6 +34,16 @@ const char* to_string(JobState s) {
   return "?";
 }
 
+namespace {
+
+/// DRR cost of a job: its iteration budget, the best a priori proxy for
+/// worker time the scheduler has before the solve runs.
+std::int64_t job_cost(const SubmitParams& spec) {
+  return std::max<std::int64_t>(1, spec.iters);
+}
+
+}  // namespace
+
 JobManager::JobManager(const JobManagerOptions& options, ProblemCache& cache,
                        obs::Counters* counters)
     : options_(options), cache_(cache), counters_(counters) {
@@ -41,6 +52,17 @@ JobManager::JobManager(const JobManagerOptions& options, ProblemCache& cache,
   }
   if (options_.work_dir.empty()) {
     throw std::invalid_argument("JobManager: work_dir is required");
+  }
+  if (options_.drr_quantum < 1) {
+    throw std::invalid_argument("JobManager: drr_quantum must be >= 1");
+  }
+  if (options_.retained_cap < 1) {
+    throw std::invalid_argument("JobManager: retained_cap must be >= 1");
+  }
+  options_.tenant_queue_cap =
+      std::min(options_.tenant_queue_cap, options_.queue_cap);
+  if (options_.tenant_queue_cap < 1) {
+    throw std::invalid_argument("JobManager: tenant_queue_cap must be >= 1");
   }
   std::filesystem::create_directories(options_.work_dir);
   workers_.reserve(static_cast<std::size_t>(options_.workers));
@@ -54,71 +76,152 @@ JobManager::~JobManager() { shutdown(true); }
 JobManager::SubmitOutcome JobManager::submit(SubmitParams spec) {
   SubmitOutcome out;
   if (!spec.problem_path.empty()) {
-    std::ifstream in(spec.problem_path, std::ios::binary);
-    if (!in) {
+    // Only *stat* the path here: submit runs on the server's single
+    // I/O thread, and reading an arbitrarily large (or slow: NFS, FIFO)
+    // file would stall every connection. The worker reads the bytes in
+    // run_job and re-keys the job from the content; until then the key
+    // is a provisional path+mtime hash.
+    std::error_code ec;
+    const auto status = std::filesystem::status(spec.problem_path, ec);
+    if (ec || !std::filesystem::exists(status)) {
       out.code = ErrorCode::kBadRequest;
       out.message = "cannot open problem_path " + spec.problem_path;
       return out;
     }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    spec.problem_text = ss.str();
-    spec.problem_path.clear();
+    const auto mtime = std::filesystem::last_write_time(spec.problem_path, ec);
+    const auto ticks = ec ? 0 : mtime.time_since_epoch().count();
+    out.key = content_key(spec.problem_path + "\n" + std::to_string(ticks));
+  } else {
+    out.key = content_key(spec.problem_text);
   }
-  out.key = content_key(spec.problem_text);
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (draining_ || stopping_) {
-    out.code = ErrorCode::kShuttingDown;
-    out.message = "server is shutting down";
-    return out;
-  }
-  if (pending_.size() >= options_.queue_cap) {
-    out.code = ErrorCode::kRejected;
-    out.message = "job queue at capacity (" +
-                  std::to_string(options_.queue_cap) + " queued)";
-    if (counters_ != nullptr) {
-      counters_->add_concurrent("server.jobs_rejected");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_ || stopping_) {
+      out.code = ErrorCode::kShuttingDown;
+      out.message = "server is shutting down";
+      return out;
     }
-    return out;
-  }
-  auto job = std::make_unique<Job>();
-  job->id = next_id_++;
-  job->spec = std::move(spec);
-  job->key = out.key;
-  job->trace_path = options_.work_dir + "/job-" + std::to_string(job->id) +
-                    ".trace.jsonl";
-  job->tail = std::make_unique<obs::JsonlTailReader>(job->trace_path);
-  out.accepted = true;
-  out.job = job->id;
-  pending_.push_back(job->id);
-  jobs_.emplace(job->id, std::move(job));
-  if (counters_ != nullptr) {
-    counters_->add_concurrent("server.jobs_accepted");
+    if (queued_total_ >= options_.queue_cap) {
+      out.code = ErrorCode::kRejected;
+      out.message = "job queue at capacity (" +
+                    std::to_string(options_.queue_cap) + " queued)";
+      if (counters_ != nullptr) {
+        counters_->add_concurrent("server.jobs_rejected");
+      }
+      return out;
+    }
+    const std::string tenant =
+        spec.tenant.empty() ? kDefaultTenant : spec.tenant;
+    Tenant& bucket = tenants_[tenant];
+    if (bucket.queue.size() >= options_.tenant_queue_cap) {
+      out.code = ErrorCode::kQuotaExceeded;
+      out.message = "tenant '" + tenant + "' at its queued-jobs quota (" +
+                    std::to_string(options_.tenant_queue_cap) + ")";
+      if (counters_ != nullptr) {
+        counters_->add_concurrent("server.jobs_quota_exceeded");
+      }
+      return out;
+    }
+    auto job = std::make_shared<Job>();
+    job->id = next_id_++;
+    job->spec = std::move(spec);
+    job->tenant = tenant;
+    job->key = out.key;
+    job->trace_path = options_.work_dir + "/job-" + std::to_string(job->id) +
+                      ".trace.jsonl";
+    job->tail = std::make_unique<obs::JsonlTailReader>(job->trace_path);
+    out.accepted = true;
+    out.job = job->id;
+    if (bucket.queue.empty()) active_tenants_.push_back(tenant);
+    bucket.queue.push_back(job->id);
+    ++queued_total_;
+    jobs_.emplace(job->id, std::move(job));
+    if (counters_ != nullptr) {
+      counters_->add_concurrent("server.jobs_accepted");
+    }
   }
   work_available_.notify_one();
   return out;
 }
 
+bool JobManager::has_eligible_locked() const {
+  for (const std::string& name : active_tenants_) {
+    const Tenant& t = tenants_.at(name);
+    if (options_.tenant_running_cap <= 0 ||
+        t.running < options_.tenant_running_cap) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::int64_t JobManager::pop_next_locked() {
+  // Each outer pass grants every eligible tenant one quantum, so a job of
+  // cost c is picked within ceil(c / quantum) passes -- the loop is
+  // bounded whenever any tenant is eligible.
+  for (;;) {
+    bool any_eligible = false;
+    for (std::size_t i = 0; i < active_tenants_.size(); ++i) {
+      const std::string name = active_tenants_[i];
+      Tenant& t = tenants_.at(name);
+      if (options_.tenant_running_cap > 0 &&
+          t.running >= options_.tenant_running_cap) {
+        continue;  // at its running cap: skipped without spending its turn
+      }
+      any_eligible = true;
+      t.deficit += options_.drr_quantum;
+      const std::int64_t id = t.queue.front();
+      const std::int64_t cost = job_cost(jobs_.at(id)->spec);
+      if (t.deficit < cost) continue;
+      t.deficit -= cost;
+      t.queue.pop_front();
+      --queued_total_;
+      ++t.running;
+      active_tenants_.erase(active_tenants_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      if (t.queue.empty()) {
+        t.deficit = 0;  // classic DRR: no hoarding credit while idle
+      } else {
+        active_tenants_.push_back(name);  // to the back of the rotation
+      }
+      return id;
+    }
+    if (!any_eligible) return -1;
+  }
+}
+
 void JobManager::worker_loop() {
   for (;;) {
-    Job* job = nullptr;
+    std::shared_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !pending_.empty(); });
-      if (pending_.empty()) return;  // stopping_, queue drained
-      const std::int64_t id = pending_.front();
-      pending_.pop_front();
-      job = jobs_.at(id).get();
+      // During a drain shutdown (stopping_ with jobs still queued) a
+      // worker keeps draining; it exits only once the queue is empty.
+      work_available_.wait(lock, [this] {
+        return (stopping_ && queued_total_ == 0) || has_eligible_locked();
+      });
+      if (stopping_ && queued_total_ == 0) return;
+      const std::int64_t id = pop_next_locked();
+      if (id < 0) continue;  // lost the race for the job that woke us
+      job = jobs_.at(id);
       job->state = JobState::kRunning;
       ++running_;
     }
     run_job(*job);
+    std::vector<std::string> doomed;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --running_;
+      --tenants_.at(job->tenant).running;
+      doomed = mark_terminal_locked(*job);
     }
+    for (const std::string& path : doomed) {
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
+    // A tenant blocked on its running cap may be runnable now.
+    work_available_.notify_all();
     job_finished_.notify_all();
   }
 }
@@ -200,6 +303,23 @@ void JobManager::run_job(Job& job) {
     }
   };
 
+  if (!job.spec.problem_path.empty()) {
+    // Deferred from submit: this is a worker thread, where a slow read
+    // stalls nothing but this job.
+    std::ifstream in(job.spec.problem_path, std::ios::binary);
+    if (!in) {
+      fail("cannot open problem_path " + job.spec.problem_path);
+      return;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string key = content_key(ss.str());
+    std::lock_guard<std::mutex> lock(mutex_);
+    job.spec.problem_text = std::move(ss).str();
+    job.spec.problem_path.clear();
+    job.key = key;  // re-key from bytes: path submissions dedupe with inline
+  }
+
   std::shared_ptr<const CachedProblem> cp;
   bool hit = false;
   try {
@@ -220,6 +340,7 @@ void JobManager::run_job(Job& job) {
                                       {"matcher", job.spec.matcher},
                                       {"iters", job.spec.iters},
                                       {"job", job.id},
+                                      {"tenant", job.tenant},
                                       {"cache", hit ? "hit" : "miss"}});
     SolveBudget budget;
     budget.deadline_seconds = job.spec.deadline_seconds;
@@ -267,6 +388,40 @@ void JobManager::run_job(Job& job) {
   }
 }
 
+std::vector<std::string> JobManager::mark_terminal_locked(Job& job) {
+  ++tenants_[job.tenant].completed;
+  if (!job.in_lru) {
+    retained_lru_.push_back(job.id);
+    job.lru_pos = std::prev(retained_lru_.end());
+    job.in_lru = true;
+  }
+  // LRU eviction beyond the retention cap: the state-map entry, the
+  // buffered events, and the on-disk trace are reclaimed together. The
+  // unlink itself happens after mutex_ is released (callers own that).
+  std::vector<std::string> doomed;
+  while (retained_lru_.size() > options_.retained_cap) {
+    const std::int64_t victim = retained_lru_.front();
+    retained_lru_.pop_front();
+    const auto it = jobs_.find(victim);
+    if (it != jobs_.end()) {
+      doomed.push_back(it->second->trace_path);
+      it->second->in_lru = false;
+      jobs_.erase(it);
+    }
+    ++evicted_;
+    if (counters_ != nullptr) {
+      counters_->add_concurrent("server.jobs_evicted");
+    }
+  }
+  return doomed;
+}
+
+void JobManager::touch_locked(Job& job) {
+  if (!job.in_lru) return;
+  retained_lru_.splice(retained_lru_.end(), retained_lru_, job.lru_pos);
+  job.lru_pos = std::prev(retained_lru_.end());
+}
+
 void JobManager::drain_tail(Job& job) {
   std::lock_guard<std::mutex> guard(job.tail_mutex);
   if (!job.tail) return;
@@ -291,16 +446,22 @@ void JobManager::drain_tail(Job& job) {
   // kMalformed cannot happen for a file this process is writing.
 }
 
-JobManager::Job* JobManager::find(std::int64_t id) {
+std::shared_ptr<JobManager::Job> JobManager::find(std::int64_t id) {
   const auto it = jobs_.find(id);
-  return it == jobs_.end() ? nullptr : it->second.get();
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+bool JobManager::expired(std::int64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return id >= 1 && id < next_id_ && jobs_.find(id) == jobs_.end();
 }
 
 std::optional<JobManager::JobStatus> JobManager::status(std::int64_t id) {
-  Job* job = nullptr;
+  std::shared_ptr<Job> job;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job = find(id);
+    if (job) touch_locked(*job);
   }
   if (job == nullptr) return std::nullopt;
   drain_tail(*job);
@@ -310,14 +471,19 @@ std::optional<JobManager::JobStatus> JobManager::status(std::int64_t id) {
   s.id = job->id;
   s.state = job->state;
   s.tag = job->spec.tag;
+  s.tenant = job->tenant;
   s.key = job->key;
   s.solver = job->spec.solver;
   s.cache_hit = job->cache_hit;
   if (job->state == JobState::kQueued) {
-    for (std::size_t i = 0; i < pending_.size(); ++i) {
-      if (pending_[i] == id) {
-        s.queue_position = static_cast<std::int64_t>(i);
-        break;
+    const auto it = tenants_.find(job->tenant);
+    if (it != tenants_.end()) {
+      const auto& queue = it->second.queue;
+      for (std::size_t i = 0; i < queue.size(); ++i) {
+        if (queue[i] == id) {
+          s.queue_position = static_cast<std::int64_t>(i);
+          break;
+        }
       }
     }
   }
@@ -333,10 +499,11 @@ std::optional<JobManager::JobStatus> JobManager::status(std::int64_t id) {
 
 std::optional<JobManager::JobProgress> JobManager::progress(
     std::int64_t id, std::int64_t cursor) {
-  Job* job = nullptr;
+  std::shared_ptr<Job> job;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job = find(id);
+    if (job) touch_locked(*job);
   }
   if (job == nullptr) return std::nullopt;
   drain_tail(*job);
@@ -356,8 +523,9 @@ std::optional<JobManager::JobProgress> JobManager::progress(
 
 std::optional<JobManager::JobResult> JobManager::result(std::int64_t id) {
   std::lock_guard<std::mutex> lock(mutex_);
-  Job* job = find(id);
+  const std::shared_ptr<Job> job = find(id);
   if (job == nullptr) return std::nullopt;
+  touch_locked(*job);
   if (job->has_result) {
     return job->result;  // copy; jobs are immutable once terminal
   }
@@ -370,35 +538,66 @@ std::optional<JobManager::JobResult> JobManager::result(std::int64_t id) {
 }
 
 JobManager::CancelOutcome JobManager::cancel(std::int64_t id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  Job* job = find(id);
-  if (job == nullptr) return {};
+  std::vector<std::string> doomed;
   CancelOutcome out;
-  out.found = true;
-  if (job->state == JobState::kQueued) {
-    std::erase(pending_, id);
-    job->state = JobState::kCancelled;
-    if (counters_ != nullptr) {
-      counters_->add_concurrent("server.jobs_cancelled");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::shared_ptr<Job> job = find(id);
+    if (job == nullptr) return {};
+    out.found = true;
+    if (job->state == JobState::kQueued) {
+      Tenant& t = tenants_.at(job->tenant);
+      const auto it = std::find(t.queue.begin(), t.queue.end(), id);
+      if (it != t.queue.end()) {
+        t.queue.erase(it);
+        --queued_total_;
+        if (t.queue.empty()) {
+          t.deficit = 0;
+          std::erase(active_tenants_, job->tenant);
+        }
+      }
+      job->state = JobState::kCancelled;
+      if (counters_ != nullptr) {
+        counters_->add_concurrent("server.jobs_cancelled");
+      }
+      doomed = mark_terminal_locked(*job);
+    } else if (job->state == JobState::kRunning) {
+      // Latch the budget's cancel flag; the solver stops at its next
+      // iteration boundary and the job finishes as kCancelled with its
+      // best-so-far matching. Until then the state honestly stays running.
+      job->cancel.store(true, std::memory_order_relaxed);
     }
-  } else if (job->state == JobState::kRunning) {
-    // Latch the budget's cancel flag; the solver stops at its next
-    // iteration boundary and the job finishes as kCancelled with its
-    // best-so-far result. Until then the state honestly stays running.
-    job->cancel.store(true, std::memory_order_relaxed);
+    out.state = job->state;
   }
-  out.state = job->state;
+  for (const std::string& path : doomed) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
   return out;
 }
 
 JobManager::QueueStats JobManager::queue_stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   QueueStats s;
-  s.queued = static_cast<std::int64_t>(pending_.size());
+  s.queued = static_cast<std::int64_t>(queued_total_);
   s.running = running_;
   s.total_jobs = next_id_ - 1;
   s.workers = options_.workers;
   s.queue_cap = static_cast<std::int64_t>(options_.queue_cap);
+  s.tenant_queue_cap = static_cast<std::int64_t>(options_.tenant_queue_cap);
+  s.tenant_running_cap = options_.tenant_running_cap;
+  s.retained = static_cast<std::int64_t>(retained_lru_.size());
+  s.retained_cap = static_cast<std::int64_t>(options_.retained_cap);
+  s.evicted = evicted_;
+  for (const auto& [name, t] : tenants_) {
+    if (t.queue.empty() && t.running == 0 && t.completed == 0) continue;
+    TenantStats ts;
+    ts.tenant = name;
+    ts.queued = static_cast<std::int64_t>(t.queue.size());
+    ts.running = t.running;
+    ts.completed = t.completed;
+    s.tenants.push_back(std::move(ts));
+  }
   return s;
 }
 
@@ -414,29 +613,41 @@ bool JobManager::draining() const {
 
 bool JobManager::idle() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return pending_.empty() && running_ == 0;
+  return queued_total_ == 0 && running_ == 0;
 }
 
 void JobManager::shutdown(bool cancel_running) {
+  std::vector<std::string> doomed;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     draining_ = true;
     stopping_ = true;
     if (cancel_running) {
-      for (const std::int64_t id : pending_) {
-        Job* job = jobs_.at(id).get();
-        job->state = JobState::kCancelled;
-        if (counters_ != nullptr) {
-          counters_->add_concurrent("server.jobs_cancelled");
+      for (auto& [name, t] : tenants_) {
+        for (const std::int64_t id : t.queue) {
+          Job& job = *jobs_.at(id);
+          job.state = JobState::kCancelled;
+          if (counters_ != nullptr) {
+            counters_->add_concurrent("server.jobs_cancelled");
+          }
+          auto paths = mark_terminal_locked(job);
+          doomed.insert(doomed.end(), paths.begin(), paths.end());
         }
+        t.queue.clear();
+        t.deficit = 0;
       }
-      pending_.clear();
+      queued_total_ = 0;
+      active_tenants_.clear();
       for (auto& [id, job] : jobs_) {
         if (job->state == JobState::kRunning) {
           job->cancel.store(true, std::memory_order_relaxed);
         }
       }
     }
+  }
+  for (const std::string& path : doomed) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
   }
   work_available_.notify_all();
   for (auto& w : workers_) {

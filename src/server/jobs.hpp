@@ -1,13 +1,35 @@
 // Job queue, worker pool, and job lifecycle for the alignment server.
 //
-// Admission control is explicit: submit either enqueues (bounded pending
-// queue) or answers `rejected` immediately -- the daemon never buffers
-// unbounded work. Each accepted job runs on one of a fixed pool of worker
-// threads under a per-job SolveBudget: the client's deadline maps onto
+// Admission control is explicit and two-level: submit either enqueues or
+// answers immediately -- `rejected` when the server-wide queue bound is
+// hit, `quota_exceeded` when the submitting *tenant* is at its own
+// queued-jobs quota -- so the daemon never buffers unbounded work and no
+// tenant can monopolize the buffer. Queued jobs live in per-tenant FIFO
+// queues drained by deficit-round-robin: each scheduling pass grants
+// every eligible tenant `drr_quantum` iteration-credits and runs the
+// first tenant whose accumulated deficit covers its head job's cost
+// (cost = the job's iteration budget), so tenants share worker time
+// proportionally regardless of how fast any one of them submits. A
+// per-tenant running cap bounds how many workers one tenant may occupy
+// at once.
+//
+// Terminal jobs (done/failed/cancelled) are retained up to
+// `retained_cap` and then evicted least-recently-*accessed* first; an
+// eviction reclaims the state-map entry, the buffered progress events,
+// and the on-disk trace file together. Jobs are held by shared_ptr so a
+// status/progress reader that grabbed a job just before its eviction
+// still reads coherent state. Evicted ids are distinguishable from
+// never-issued ids (`expired()`), so clients get `expired`, not a
+// confusing `not_found`.
+//
+// Each accepted job runs on one of a fixed pool of worker threads under
+// a per-job SolveBudget: the client's deadline maps onto
 // `deadline_seconds`, and cancellation maps onto the budget's
 // `cancel_flag`, so a running job stops at its next iteration boundary
 // and still yields its best-so-far matching (state machine in
-// docs/SERVER.md).
+// docs/SERVER.md). A `problem_path` submission is *not* read at submit
+// time (that would block the single-threaded I/O loop behind disk I/O);
+// the worker reads it in run_job and re-keys the job from the bytes.
 //
 // Every job writes its own JSONL trace (obs::TraceWriter) into the work
 // directory; status/progress queries tail that file through the
@@ -20,6 +42,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -43,9 +66,22 @@ enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
 
 [[nodiscard]] const char* to_string(JobState s);
 
+/// The scheduling bucket of a submit without an explicit tenant.
+inline constexpr const char* kDefaultTenant = "default";
+
 struct JobManagerOptions {
   int workers = 2;            ///< solver worker threads
-  std::size_t queue_cap = 16; ///< max *queued* jobs; beyond it: rejected
+  std::size_t queue_cap = 16; ///< max *queued* jobs server-wide; beyond it: rejected
+  /// Max queued jobs for one tenant; beyond it: quota_exceeded. Clamped
+  /// to queue_cap.
+  std::size_t tenant_queue_cap = 8;
+  /// Max concurrently *running* jobs for one tenant; 0 = no per-tenant
+  /// cap (bounded by `workers` alone).
+  int tenant_running_cap = 0;
+  /// Iteration-credits granted per tenant per deficit-round-robin pass.
+  std::int64_t drr_quantum = 100;
+  /// Terminal jobs retained before LRU eviction reclaims them.
+  std::size_t retained_cap = 256;
   std::string work_dir;       ///< per-job trace files live here (required)
 };
 
@@ -61,22 +97,25 @@ class JobManager {
   struct SubmitOutcome {
     bool accepted = false;
     std::int64_t job = -1;
-    std::string key;     ///< problem content hash
+    std::string key;     ///< problem content hash (provisional for paths)
     ErrorCode code = ErrorCode::kInternal;  ///< when !accepted
     std::string message;                    ///< when !accepted
   };
-  /// Validate, hash, and enqueue. Reads problem_path (if used) here so
-  /// the content hash and any read error surface at submit time.
+  /// Validate and enqueue. Inline problems are hashed here; a
+  /// problem_path submission is only stat'ed (existence + mtime) -- the
+  /// worker reads the bytes in run_job and re-keys the job, so a large
+  /// or slow file never stalls the caller (the server's I/O loop).
   SubmitOutcome submit(SubmitParams spec);
 
   struct JobStatus {
     std::int64_t id = -1;
     JobState state = JobState::kQueued;
     std::string tag;
+    std::string tenant;
     std::string key;
     std::string solver;
     bool cache_hit = false;          ///< meaningful once running
-    std::int64_t queue_position = -1;  ///< 0-based; -1 once dequeued
+    std::int64_t queue_position = -1;  ///< 0-based within the tenant queue
     std::int64_t iterations = 0;     ///< iteration events tailed so far
     std::int64_t rounds = 0;         ///< rounding events tailed so far
     double last_objective = 0.0;     ///< 0 until the first round event
@@ -112,18 +151,35 @@ class JobManager {
   };
   std::optional<JobResult> result(std::int64_t id);
 
+  /// True iff `id` was issued by this manager and its job has since been
+  /// evicted by the retention cap (ids are never reused). Lets lookup
+  /// misses answer `expired` instead of `not_found`.
+  [[nodiscard]] bool expired(std::int64_t id) const;
+
   struct CancelOutcome {
     bool found = false;
     JobState state = JobState::kQueued;  ///< state after the cancel
   };
   CancelOutcome cancel(std::int64_t id);
 
+  struct TenantStats {
+    std::string tenant;
+    std::int64_t queued = 0;
+    std::int64_t running = 0;
+    std::int64_t completed = 0;  ///< jobs that reached a terminal state
+  };
   struct QueueStats {
     std::int64_t queued = 0;
     std::int64_t running = 0;
     std::int64_t total_jobs = 0;
     std::int64_t workers = 0;
     std::int64_t queue_cap = 0;
+    std::int64_t tenant_queue_cap = 0;
+    std::int64_t tenant_running_cap = 0;
+    std::int64_t retained = 0;   ///< terminal jobs currently held
+    std::int64_t retained_cap = 0;
+    std::int64_t evicted = 0;    ///< terminal jobs reclaimed so far
+    std::vector<TenantStats> tenants;  ///< tenants with live jobs, by name
   };
   QueueStats queue_stats() const;
 
@@ -140,6 +196,7 @@ class JobManager {
   struct Job {
     std::int64_t id = 0;
     SubmitParams spec;
+    std::string tenant;  ///< resolved (never empty)
     std::string key;
     std::string trace_path;
     std::atomic<bool> cancel{false};
@@ -150,6 +207,8 @@ class JobManager {
     bool has_result = false;
     std::string error;
     JobResult result;  // filled when the run finishes
+    bool in_lru = false;
+    std::list<std::int64_t>::iterator lru_pos;  // valid iff in_lru
 
     // Progress tailing, guarded by tail_mutex (file IO kept off the
     // manager-wide lock).
@@ -161,11 +220,32 @@ class JobManager {
     double last_objective = 0.0;
   };
 
+  /// One tenant's scheduling bucket.
+  struct Tenant {
+    std::deque<std::int64_t> queue;  ///< queued job ids, FIFO
+    std::int64_t deficit = 0;        ///< DRR credit (reset when queue empties)
+    std::int64_t running = 0;
+    std::int64_t completed = 0;
+  };
+
   void worker_loop();
   void run_job(Job& job);
   /// Drain new trace events into job.events / progress counters.
   void drain_tail(Job& job);
-  Job* find(std::int64_t id);
+  std::shared_ptr<Job> find(std::int64_t id);
+
+  /// Deficit-round-robin pick: the next runnable job id, or -1. Pops it
+  /// from its tenant queue and charges the tenant's deficit. Requires
+  /// mutex_.
+  std::int64_t pop_next_locked();
+  [[nodiscard]] bool has_eligible_locked() const;
+  /// Record a terminal transition: retention bookkeeping + counters.
+  /// Requires mutex_; eviction of over-cap jobs happens here too (their
+  /// trace files are unlinked after mutex_ is released, via the returned
+  /// paths).
+  [[nodiscard]] std::vector<std::string> mark_terminal_locked(Job& job);
+  /// Refresh a terminal job's retention recency. Requires mutex_.
+  void touch_locked(Job& job);
 
   JobManagerOptions options_;
   ProblemCache& cache_;
@@ -174,8 +254,13 @@ class JobManager {
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable job_finished_;
-  std::deque<std::int64_t> pending_;
-  std::map<std::int64_t, std::unique_ptr<Job>> jobs_;
+  std::map<std::string, Tenant> tenants_;
+  /// Tenants with queued jobs, in round-robin visit order.
+  std::deque<std::string> active_tenants_;
+  std::size_t queued_total_ = 0;
+  std::map<std::int64_t, std::shared_ptr<Job>> jobs_;
+  std::list<std::int64_t> retained_lru_;  ///< terminal jobs, LRU at front
+  std::int64_t evicted_ = 0;
   std::int64_t next_id_ = 1;
   std::int64_t running_ = 0;
   bool draining_ = false;

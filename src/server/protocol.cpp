@@ -15,10 +15,14 @@ const char* to_string(ErrorCode code) {
       return "unknown_method";
     case ErrorCode::kRejected:
       return "rejected";
+    case ErrorCode::kQuotaExceeded:
+      return "quota_exceeded";
     case ErrorCode::kShuttingDown:
       return "shutting_down";
     case ErrorCode::kNotFound:
       return "not_found";
+    case ErrorCode::kExpired:
+      return "expired";
     case ErrorCode::kNotReady:
       return "not_ready";
     case ErrorCode::kNoResult:
@@ -178,6 +182,7 @@ bool parse_request(std::string_view line, Request& out, ErrorCode& code,
       p.gamma = get_double(doc, "gamma", p.gamma);
       p.deadline_seconds = get_double(doc, "deadline_seconds", 0.0);
       p.tag = get_string(doc, "tag", "");
+      p.tenant = get_string(doc, "tenant", "");
       if (p.iters < 0 || p.batch < 1 || p.ranks < 1 || p.gamma < 0.0 ||
           p.deadline_seconds < 0.0 || !std::isfinite(p.gamma) ||
           !std::isfinite(p.deadline_seconds)) {

@@ -37,8 +37,10 @@ enum class ErrorCode {
   kBadRequest,     ///< malformed JSON, missing field, or wrong type
   kUnknownMethod,  ///< well-formed request naming no known method
   kRejected,       ///< admission control: job queue at capacity
+  kQuotaExceeded,  ///< this tenant's queued/running quota is full
   kShuttingDown,   ///< submit after shutdown began
   kNotFound,       ///< no job with the given id
+  kExpired,        ///< job existed but was evicted by the retention cap
   kNotReady,       ///< result requested before the job reached a result
   kNoResult,       ///< job was cancelled before it ever ran
   kJobFailed,      ///< job ran and failed; message carries the cause
@@ -72,6 +74,10 @@ struct SubmitParams {
   double gamma = 0.0;          ///< 0 = solver default
   double deadline_seconds = 0.0;
   std::string tag;             ///< client label echoed by status/result
+  /// Fair-scheduling bucket: jobs queue per tenant and are drained by
+  /// deficit-round-robin, with per-tenant quotas (docs/SERVER.md).
+  /// Empty = the "default" tenant.
+  std::string tenant;
 };
 
 /// One parsed request. `id` is the client's correlation value echoed

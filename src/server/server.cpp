@@ -23,15 +23,46 @@ bool set_nonblocking(int fd) {
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
-/// One client connection: line-buffered input, queued output.
+/// One client connection: line-buffered input, queued output. Both
+/// buffers are consumed via offsets (`in_off`/`out_off`) so pipelined
+/// requests and partial writes cost O(bytes), not O(bytes^2) of
+/// per-line front erases; the consumed prefix is reclaimed once per
+/// poll cycle.
 struct Conn {
   int fd = -1;
   std::string in;
+  std::size_t in_off = 0;      ///< bytes of `in` already parsed
   std::string out;
   std::size_t out_off = 0;     ///< bytes of `out` already written
   bool close_after_flush = false;
   bool dead = false;
 };
+
+/// True when a live daemon already answers `ping` on `path` -- the guard
+/// that keeps a second `netalign_server --socket` from silently
+/// unlinking a running server's socket out from under it.
+bool server_alive_at(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) return false;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);  // nobody listening (stale file) or no file at all
+    return false;
+  }
+  const char ping[] = "{\"method\":\"ping\"}\n";
+  bool alive = false;
+  if (::send(fd, ping, sizeof(ping) - 1, MSG_NOSIGNAL) ==
+      static_cast<ssize_t>(sizeof(ping) - 1)) {
+    pollfd p{fd, POLLIN, 0};
+    alive = ::poll(&p, 1, /*timeout_ms=*/500) > 0 && (p.revents & POLLIN) != 0;
+  }
+  ::close(fd);
+  return alive;
+}
 
 }  // namespace
 
@@ -39,15 +70,18 @@ Server::Server(const ServerOptions& options)
     : options_(options),
       cache_(options.cache_cap, &counters_),
       jobs_(JobManagerOptions{options.workers, options.queue_cap,
-                              options.work_dir},
+                              options.tenant_queue_cap,
+                              options.tenant_running_cap, options.drr_quantum,
+                              options.retained_cap, options.work_dir},
             cache_, &counters_) {
   // Pre-register the server counters so `stats` reports them in a stable
   // order (and as explicit zeros) from the first request on.
   for (const char* name :
        {"server.requests", "server.jobs_accepted", "server.jobs_rejected",
-        "server.jobs_completed", "server.jobs_failed",
-        "server.jobs_cancelled", "server.cache_hit", "server.cache_miss",
-        "server.cache_evicted", "server.bad_requests"}) {
+        "server.jobs_quota_exceeded", "server.jobs_completed",
+        "server.jobs_failed", "server.jobs_cancelled", "server.jobs_evicted",
+        "server.cache_hit", "server.cache_miss", "server.cache_evicted",
+        "server.bad_requests", "server.slow_clients_dropped"}) {
     counters_.add_concurrent(name, 0);
   }
 }
@@ -72,6 +106,18 @@ int Server::run() {
   const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listener < 0) {
     std::perror("netalign_server: socket");
+    return 1;
+  }
+  // A socket file may be a *live* server, not leftovers: probe it before
+  // unlinking, or a second daemon would silently hijack the first one's
+  // socket (clients would reconnect here while the old server still
+  // holds every job they submitted).
+  if (server_alive_at(options_.socket_path)) {
+    std::fprintf(stderr,
+                 "netalign_server: a server is already answering ping on %s; "
+                 "refusing to start\n",
+                 options_.socket_path.c_str());
+    ::close(listener);
     return 1;
   }
   ::unlink(options_.socket_path.c_str());  // stale socket from a past run
@@ -150,9 +196,9 @@ int Server::run() {
           break;  // n < 0: EAGAIN (drained) or error (next poll reports it)
         }
         for (;;) {
-          const std::size_t eol = c.in.find('\n');
+          const std::size_t eol = c.in.find('\n', c.in_off);
           if (eol == std::string::npos) {
-            if (c.in.size() > options_.max_request_bytes) {
+            if (c.in.size() - c.in_off > options_.max_request_bytes) {
               counters_.add_concurrent("server.bad_requests");
               c.out += error_response(
                   "", ErrorCode::kTooLarge,
@@ -161,14 +207,25 @@ int Server::run() {
               c.out.push_back('\n');
               c.close_after_flush = true;
               c.in.clear();
+              c.in_off = 0;
             }
             break;
           }
-          std::string line = c.in.substr(0, eol);
-          c.in.erase(0, eol + 1);
+          const std::string_view line(c.in.data() + c.in_off, eol - c.in_off);
+          c.in_off = eol + 1;
           if (line.empty()) continue;  // blank keep-alive lines are fine
           c.out += handle_line(line);
           c.out.push_back('\n');
+        }
+        // Reclaim the parsed prefix once per cycle -- an offset plus one
+        // amortized erase, not a per-line erase(0, eol) that makes a
+        // pipelined burst of n requests cost O(n^2) byte moves.
+        if (c.in_off == c.in.size()) {
+          c.in.clear();
+          c.in_off = 0;
+        } else if (c.in_off > 0) {
+          c.in.erase(0, c.in_off);
+          c.in_off = 0;
         }
       }
       while (c.out_off < c.out.size()) {
@@ -188,6 +245,15 @@ int Server::run() {
         c.out.clear();
         c.out_off = 0;
         if (c.close_after_flush) c.dead = true;
+      } else if (c.out.size() - c.out_off > options_.max_output_bytes) {
+        // A reader this far behind (a stalled `progress` subscriber, a
+        // peer that stopped draining) would otherwise grow `out` without
+        // bound; shed it rather than let one connection eat the heap.
+        counters_.add_concurrent("server.slow_clients_dropped");
+        c.dead = true;
+      } else if (c.out_off > (64u << 10)) {
+        c.out.erase(0, c.out_off);  // bound the flushed prefix too
+        c.out_off = 0;
       }
     }
     for (std::size_t i = conns.size(); i-- > 0;) {
@@ -251,6 +317,17 @@ std::string Server::handle(const Request& req) {
                         "unhandled method");
 }
 
+std::string Server::not_found_response(const std::string& id_json,
+                                       std::int64_t job) {
+  if (jobs_.expired(job)) {
+    return error_response(id_json, ErrorCode::kExpired,
+                          "job " + std::to_string(job) +
+                              " expired (evicted by the retention policy)");
+  }
+  return error_response(id_json, ErrorCode::kNotFound,
+                        "no job " + std::to_string(job));
+}
+
 std::string Server::handle_submit(const Request& req) {
   const JobManager::SubmitOutcome out = jobs_.submit(req.submit);
   if (!out.accepted) {
@@ -259,6 +336,9 @@ std::string Server::handle_submit(const Request& req) {
   ResponseBuilder r(true, req.id_json);
   r.field("job", out.job);
   r.field("key", out.key);
+  r.field("tenant",
+          req.submit.tenant.empty() ? kDefaultTenant
+                                    : req.submit.tenant.c_str());
   r.field("state", to_string(JobState::kQueued));
   return std::move(r).str();
 }
@@ -266,13 +346,13 @@ std::string Server::handle_submit(const Request& req) {
 std::string Server::handle_status(const Request& req) {
   const auto s = jobs_.status(req.job);
   if (!s) {
-    return error_response(req.id_json, ErrorCode::kNotFound,
-                          "no job " + std::to_string(req.job));
+    return not_found_response(req.id_json, req.job);
   }
   ResponseBuilder r(true, req.id_json);
   r.field("job", s->id);
   r.field("state", to_string(s->state));
   if (!s->tag.empty()) r.field("tag", s->tag);
+  r.field("tenant", s->tenant);
   r.field("key", s->key);
   r.field("solver", s->solver);
   r.field("cache_hit", s->cache_hit);
@@ -287,8 +367,7 @@ std::string Server::handle_status(const Request& req) {
 std::string Server::handle_progress(const Request& req) {
   const auto p = jobs_.progress(req.job, req.cursor);
   if (!p) {
-    return error_response(req.id_json, ErrorCode::kNotFound,
-                          "no job " + std::to_string(req.job));
+    return not_found_response(req.id_json, req.job);
   }
   ResponseBuilder r(true, req.id_json);
   r.field("job", req.job);
@@ -307,8 +386,7 @@ std::string Server::handle_progress(const Request& req) {
 std::string Server::handle_result(const Request& req) {
   const auto res = jobs_.result(req.job);
   if (!res) {
-    return error_response(req.id_json, ErrorCode::kNotFound,
-                          "no job " + std::to_string(req.job));
+    return not_found_response(req.id_json, req.job);
   }
   if (res->state == JobState::kQueued || res->state == JobState::kRunning) {
     return error_response(
@@ -356,8 +434,7 @@ std::string Server::handle_result(const Request& req) {
 std::string Server::handle_cancel(const Request& req) {
   const JobManager::CancelOutcome out = jobs_.cancel(req.job);
   if (!out.found) {
-    return error_response(req.id_json, ErrorCode::kNotFound,
-                          "no job " + std::to_string(req.job));
+    return not_found_response(req.id_json, req.job);
   }
   ResponseBuilder r(true, req.id_json);
   r.field("job", req.job);
@@ -373,9 +450,28 @@ std::string Server::handle_stats(const Request& req) {
   r.field("total_jobs", q.total_jobs);
   r.field("workers", q.workers);
   r.field("queue_cap", q.queue_cap);
+  r.field("tenant_queue_cap", q.tenant_queue_cap);
+  r.field("tenant_running_cap", q.tenant_running_cap);
+  r.field("retained", q.retained);
+  r.field("retained_cap", q.retained_cap);
+  r.field("evicted", q.evicted);
   r.field("cache_size", static_cast<std::int64_t>(cache_.size()));
   r.field("cache_cap", static_cast<std::int64_t>(cache_.capacity()));
   r.field("draining", jobs_.draining());
+  std::string tenants = "{";
+  for (std::size_t i = 0; i < q.tenants.size(); ++i) {
+    if (i > 0) tenants.push_back(',');
+    obs::append_json_string(tenants, q.tenants[i].tenant);
+    tenants += ":{\"queued\":";
+    obs::append_json_number(tenants, q.tenants[i].queued);
+    tenants += ",\"running\":";
+    obs::append_json_number(tenants, q.tenants[i].running);
+    tenants += ",\"completed\":";
+    obs::append_json_number(tenants, q.tenants[i].completed);
+    tenants.push_back('}');
+  }
+  tenants.push_back('}');
+  r.raw("tenants", tenants);
   std::string counters = "{";
   bool first = true;
   for (const auto& [name, value] : counters_.snapshot()) {

@@ -23,8 +23,15 @@ struct ServerOptions {
   std::string socket_path;            ///< AF_UNIX path (required)
   int workers = 2;                    ///< solver worker threads
   std::size_t queue_cap = 16;         ///< admission-control bound
+  std::size_t tenant_queue_cap = 8;   ///< per-tenant queued-jobs quota
+  int tenant_running_cap = 0;         ///< per-tenant running cap (0 = none)
+  std::int64_t drr_quantum = 100;     ///< DRR iteration-credits per pass
+  std::size_t retained_cap = 256;     ///< terminal jobs kept before eviction
   std::size_t cache_cap = 8;          ///< LRU problem/squares entries
   std::size_t max_request_bytes = kDefaultMaxRequestBytes;
+  /// Cap on one connection's unread response backlog; a client that
+  /// stops reading past it is dropped (server.slow_clients_dropped).
+  std::size_t max_output_bytes = 16u << 20;
   std::string work_dir;               ///< job trace files (required)
   /// External stop latch (SIGTERM/SIGINT); treated as `shutdown now=false`
   /// (drain) when it fires. Nullable.
@@ -49,6 +56,10 @@ class Server {
  private:
   /// One response line (no trailing newline) for one request line.
   std::string handle_line(std::string_view line);
+
+  /// `expired` for an evicted id, `not_found` for a never-issued one.
+  std::string not_found_response(const std::string& id_json,
+                                 std::int64_t job);
 
   std::string handle(const Request& req);
   std::string handle_submit(const Request& req);

@@ -235,5 +235,33 @@ TEST(BenchResult, CompareAcceptsNoiseWithinThreshold) {
   EXPECT_FALSE(has_regression(compare_metrics(base, {{"a_seconds", 0.01}})));
 }
 
+TEST(BenchResult, CompareLatencyPercentilesGetTheLooserGate) {
+  EXPECT_TRUE(is_latency_metric("polite_contended_p99_seconds"));
+  EXPECT_TRUE(is_latency_metric("x_p50_seconds"));
+  EXPECT_TRUE(is_latency_metric("x_p95_seconds"));
+  EXPECT_FALSE(is_latency_metric("squares_build_seconds"));
+  EXPECT_FALSE(is_latency_metric("p99_seconds"));  // needs the _p99 infix
+  EXPECT_FALSE(is_latency_metric("x_p99"));        // not a time metric
+
+  const std::vector<std::pair<std::string, double>> base = {
+      {"load.polite_p99_seconds", 0.10},  // latency: threshold 4.0
+      {"load.sweep_seconds", 0.10},       // plain time: threshold 1.5
+  };
+  // 4x: past the plain 2.5x gate but inside the latency 5x gate -- tail
+  // percentiles of a contended queueing system are noisier than kernels.
+  const auto deltas = compare_metrics(
+      base,
+      {{"load.polite_p99_seconds", 0.40}, {"load.sweep_seconds", 0.40}});
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_TRUE(deltas[0].is_latency);
+  EXPECT_TRUE(deltas[0].gated);
+  EXPECT_FALSE(deltas[0].regression);
+  EXPECT_FALSE(deltas[1].is_latency);
+  EXPECT_TRUE(deltas[1].regression);
+  // Past even the loose latency gate: a real tail regression still trips.
+  EXPECT_TRUE(has_regression(
+      compare_metrics(base, {{"load.polite_p99_seconds", 0.60}})));
+}
+
 }  // namespace
 }  // namespace netalign::obs

@@ -11,10 +11,14 @@
 #include "server/protocol.hpp"
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -135,6 +139,20 @@ TEST(Protocol, SubmitDefaultsMirrorTheCli) {
   EXPECT_EQ(req.submit.matcher, "approx");
   EXPECT_EQ(req.submit.batch, 1);
   EXPECT_EQ(req.submit.deadline_seconds, 0.0);
+  EXPECT_TRUE(req.submit.tenant.empty());  // resolved to "default" later
+}
+
+TEST(Protocol, TenantFieldParsesAndTypeChecks) {
+  const Request req = parse_ok(
+      R"({"method":"submit","problem":"x","tenant":"team-a"})");
+  EXPECT_EQ(req.submit.tenant, "team-a");
+  EXPECT_EQ(parse_fail(R"({"method":"submit","problem":"x","tenant":7})"),
+            ErrorCode::kBadRequest);
+}
+
+TEST(Protocol, NewErrorCodesHaveStableNames) {
+  EXPECT_STREQ(to_string(ErrorCode::kQuotaExceeded), "quota_exceeded");
+  EXPECT_STREQ(to_string(ErrorCode::kExpired), "expired");
 }
 
 TEST(Protocol, IdIsEchoedEvenOnErrors) {
@@ -359,6 +377,28 @@ TEST(JobManager, CancelQueuedVsRunning) {
   EXPECT_EQ(counters.total("server.jobs_cancelled"), 2);
 }
 
+/// Poll until the job occupies a worker (bounded; test-fails on hang).
+void wait_running(JobManager& jobs, std::int64_t id) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    const auto st = jobs.status(id);
+    ASSERT_TRUE(st.has_value()) << "job " << id << " vanished";
+    if (st->state == JobState::kRunning) return;
+    ASSERT_EQ(st->state, JobState::kQueued) << "job " << id
+                                            << " finished prematurely";
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+SubmitParams tenant_job(const std::string& text, std::int64_t iters,
+                        const std::string& tenant) {
+  SubmitParams spec = bp_job(text, iters);
+  spec.tenant = tenant;
+  return spec;
+}
+
 TEST(JobManager, AdmissionControlRejectsWhenFull) {
   obs::Counters counters;
   ProblemCache cache(4, &counters);
@@ -384,6 +424,267 @@ TEST(JobManager, AdmissionControlRejectsWhenFull) {
   EXPECT_EQ(drained.code, ErrorCode::kShuttingDown);
   jobs.cancel(running.job);
   jobs.cancel(queued.job);
+}
+
+// --- fair scheduling, quotas, retention ------------------------------------
+
+TEST(JobManager, DeficitRoundRobinLetsAPoliteTenantThrough) {
+  obs::Counters counters;
+  ProblemCache cache(4, &counters);
+  JobManager jobs(manager_options(1, 16, "jm_drr"), cache, &counters);
+  const std::string text = problem_text();
+  // Occupy the single worker so everything below queues deterministically.
+  const auto blocker = jobs.submit(bp_job(text, 50'000'000));
+  ASSERT_TRUE(blocker.accepted);
+  wait_running(jobs, blocker.job);
+  // An aggressive tenant floods first, with enormous jobs...
+  std::vector<std::int64_t> agg;
+  for (int i = 0; i < 4; ++i) {
+    const auto out = jobs.submit(tenant_job(text, 30'000'000, "aggressive"));
+    ASSERT_TRUE(out.accepted) << out.message;
+    agg.push_back(out.job);
+  }
+  // ...then a polite tenant asks for one small job.
+  const auto polite =
+      jobs.submit(tenant_job(problem_text(60, 9), 10, "polite"));
+  ASSERT_TRUE(polite.accepted) << polite.message;
+
+  jobs.cancel(blocker.job);
+  const auto polite_result = wait_terminal(jobs, polite.job);
+  EXPECT_EQ(polite_result.state, JobState::kDone);
+  // FIFO would have run all four 30M-iteration jobs first. DRR charges
+  // cost = the iteration budget, so the 10-iteration job's first quantum
+  // covers it long before any aggressive job becomes affordable: at the
+  // moment the polite job finishes, no aggressive job has.
+  bool saw_aggressive = false;
+  for (const auto& t : jobs.queue_stats().tenants) {
+    if (t.tenant != "aggressive") continue;
+    saw_aggressive = true;
+    EXPECT_EQ(t.completed, 0);
+    EXPECT_EQ(t.queued + t.running, 4);
+  }
+  EXPECT_TRUE(saw_aggressive);
+  for (const auto id : agg) jobs.cancel(id);
+  for (const auto id : agg) wait_terminal(jobs, id);
+}
+
+TEST(JobManager, TenantQueueQuotaIsIndependentOfOtherTenants) {
+  obs::Counters counters;
+  ProblemCache cache(4, &counters);
+  JobManagerOptions opt = manager_options(1, 16, "jm_quota");
+  opt.tenant_queue_cap = 2;
+  JobManager jobs(opt, cache, &counters);
+  const std::string text = problem_text();
+  const auto blocker = jobs.submit(bp_job(text, 50'000'000));
+  ASSERT_TRUE(blocker.accepted);
+  wait_running(jobs, blocker.job);
+  ASSERT_TRUE(jobs.submit(tenant_job(text, 10, "a")).accepted);
+  ASSERT_TRUE(jobs.submit(tenant_job(text, 10, "a")).accepted);
+  const auto over = jobs.submit(tenant_job(text, 10, "a"));
+  EXPECT_FALSE(over.accepted);
+  EXPECT_EQ(over.code, ErrorCode::kQuotaExceeded);
+  EXPECT_EQ(counters.total("server.jobs_quota_exceeded"), 1);
+  // One tenant sitting at its quota must not tax anyone else's admission:
+  // the server-wide queue (cap 16) still has room.
+  EXPECT_TRUE(jobs.submit(tenant_job(text, 10, "b")).accepted);
+  jobs.cancel(blocker.job);
+  // The destructor's shutdown(true) cancels the rest.
+}
+
+TEST(JobManager, TenantRunningCapLeavesWorkersForOthers) {
+  obs::Counters counters;
+  ProblemCache cache(4, &counters);
+  JobManagerOptions opt = manager_options(2, 16, "jm_runcap");
+  opt.tenant_running_cap = 1;
+  JobManager jobs(opt, cache, &counters);
+  const std::string text = problem_text();
+  const auto a1 = jobs.submit(tenant_job(text, 50'000'000, "a"));
+  const auto a2 = jobs.submit(tenant_job(text, 50'000'000, "a"));
+  ASSERT_TRUE(a1.accepted);
+  ASSERT_TRUE(a2.accepted);
+  wait_running(jobs, a1.job);
+  const auto b1 = jobs.submit(tenant_job(text, 50'000'000, "b"));
+  ASSERT_TRUE(b1.accepted);
+  // b reaches the second worker even though a2 queued first: tenant a is
+  // at its running cap, so a2 cannot be the one occupying that worker.
+  wait_running(jobs, b1.job);
+  EXPECT_EQ(jobs.status(a2.job)->state, JobState::kQueued);
+  // The cap frees as a1 stops, and only then does a2 run.
+  jobs.cancel(a1.job);
+  wait_running(jobs, a2.job);
+  for (const auto id : {a2.job, b1.job}) jobs.cancel(id);
+  for (const auto id : {a1.job, a2.job, b1.job}) wait_terminal(jobs, id);
+}
+
+TEST(JobManager, RetentionEvictsOldestTerminalJobsWithTheirTraces) {
+  obs::Counters counters;
+  ProblemCache cache(4, &counters);
+  JobManagerOptions opt = manager_options(1, 16, "jm_retain");
+  opt.retained_cap = 4;
+  JobManager jobs(opt, cache, &counters);
+  const std::string text = problem_text();
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    const auto out = jobs.submit(bp_job(text, 1));
+    ASSERT_TRUE(out.accepted) << out.message;
+    ids.push_back(out.job);
+    wait_terminal(jobs, out.job);  // serialize: terminal order == id order
+  }
+  const auto stats = jobs.queue_stats();
+  EXPECT_EQ(stats.retained, 4);
+  EXPECT_EQ(stats.retained_cap, 4);
+  EXPECT_EQ(stats.evicted, 6);
+  EXPECT_EQ(counters.total("server.jobs_evicted"), 6);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_FALSE(jobs.status(ids[i]).has_value());
+    EXPECT_FALSE(jobs.result(ids[i]).has_value());
+    EXPECT_FALSE(jobs.cancel(ids[i]).found);
+    EXPECT_TRUE(jobs.expired(ids[i]));  // evicted, not never-issued
+  }
+  for (int i = 6; i < 10; ++i) {
+    ASSERT_TRUE(jobs.result(ids[i]).has_value());
+    EXPECT_FALSE(jobs.expired(ids[i]));
+  }
+  EXPECT_FALSE(jobs.expired(0));
+  EXPECT_FALSE(jobs.expired(ids.back() + 1));  // never issued
+  // Eviction reclaims the on-disk trace too (the unlink happens just
+  // after the terminal transition, off the lock: poll briefly).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  std::size_t traces = 0;
+  for (;;) {
+    traces = 0;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(opt.work_dir)) {
+      traces += entry.path().extension() == ".jsonl" ? 1u : 0u;
+    }
+    if (traces == 4 || std::chrono::steady_clock::now() > deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(traces, 4u);
+}
+
+TEST(JobManager, RetentionRefreshesRecencyOnAccess) {
+  obs::Counters counters;
+  ProblemCache cache(4, &counters);
+  JobManagerOptions opt = manager_options(1, 16, "jm_lru");
+  opt.retained_cap = 2;
+  JobManager jobs(opt, cache, &counters);
+  const std::string text = problem_text();
+  const auto j1 = jobs.submit(bp_job(text, 1));
+  wait_terminal(jobs, j1.job);
+  const auto j2 = jobs.submit(bp_job(text, 1));
+  wait_terminal(jobs, j2.job);
+  // Reading j1 refreshes its recency: j2 is now the eviction candidate.
+  ASSERT_TRUE(jobs.status(j1.job).has_value());
+  const auto j3 = jobs.submit(bp_job(text, 1));
+  wait_terminal(jobs, j3.job);
+  EXPECT_TRUE(jobs.expired(j2.job));
+  EXPECT_FALSE(jobs.status(j2.job).has_value());
+  EXPECT_TRUE(jobs.status(j1.job).has_value());
+  EXPECT_TRUE(jobs.status(j3.job).has_value());
+}
+
+TEST(JobManager, ProblemPathIsReadByTheWorkerAndRekeyedFromBytes) {
+  obs::Counters counters;
+  ProblemCache cache(4, &counters);
+  JobManager jobs(manager_options(1, 4, "jm_path"), cache, &counters);
+  const std::string text = problem_text();
+  const std::string path = tmp_path("jm_path_problem.txt");
+  std::ofstream(path, std::ios::trunc) << text << std::flush;
+  SubmitParams spec;
+  spec.problem_path = path;
+  spec.solver = "bp";
+  spec.iters = 5;
+  const auto out = jobs.submit(spec);
+  ASSERT_TRUE(out.accepted) << out.message;
+  // At submit time only a provisional path+mtime key exists (the bytes
+  // are deliberately unread)...
+  EXPECT_NE(out.key, content_key(text));
+  const auto done = wait_terminal(jobs, out.job);
+  EXPECT_EQ(done.state, JobState::kDone);
+  ASSERT_TRUE(done.has_result);
+  // ...and the worker re-keys the job from the bytes it read, so a later
+  // inline submission of the same content hits the cache.
+  EXPECT_EQ(jobs.status(out.job)->key, content_key(text));
+  const auto inline_out = jobs.submit(bp_job(text, 5));
+  ASSERT_TRUE(inline_out.accepted);
+  EXPECT_TRUE(wait_terminal(jobs, inline_out.job).cache_hit);
+  // A missing path is still rejected up front.
+  SubmitParams missing;
+  missing.problem_path = tmp_path("definitely_absent.txt");
+  missing.solver = "bp";
+  const auto bad = jobs.submit(missing);
+  EXPECT_FALSE(bad.accepted);
+  EXPECT_EQ(bad.code, ErrorCode::kBadRequest);
+}
+
+TEST(JobManager, CancelStormReachesQuiescence) {
+  obs::Counters counters;
+  ProblemCache cache(4, &counters);
+  JobManagerOptions opt = manager_options(2, 32, "jm_storm");
+  opt.tenant_queue_cap = 32;
+  JobManager jobs(opt, cache, &counters);
+  const std::string text = problem_text();
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < 24; ++i) {
+    const auto out = jobs.submit(tenant_job(text, 3, "t" + std::to_string(i % 3)));
+    ASSERT_TRUE(out.accepted) << out.message;
+    ids.push_back(out.job);
+  }
+  // Two threads race the workers to every job: each cancel either wins
+  // (dequeues the job or stops it mid-run) or loses to completion --
+  // never hangs, never strands a queue slot or a tenant counter.
+  std::thread even([&] {
+    for (std::size_t i = 0; i < ids.size(); i += 2) jobs.cancel(ids[i]);
+  });
+  std::thread odd([&] {
+    for (std::size_t i = 1; i < ids.size(); i += 2) jobs.cancel(ids[i]);
+  });
+  even.join();
+  odd.join();
+  std::int64_t terminal = 0;
+  for (const auto id : ids) {
+    const auto r = wait_terminal(jobs, id);
+    if (r.state == JobState::kDone) {
+      EXPECT_TRUE(r.has_result);
+    } else {
+      EXPECT_EQ(r.state, JobState::kCancelled);
+    }
+    ++terminal;
+  }
+  EXPECT_EQ(terminal, 24);
+  const auto stats = jobs.queue_stats();
+  EXPECT_EQ(stats.queued, 0);
+  EXPECT_EQ(stats.running, 0);
+  std::int64_t completed = 0;
+  for (const auto& t : stats.tenants) completed += t.completed;
+  EXPECT_EQ(completed, 24);
+}
+
+TEST(JobManager, DrainShutdownCompletesQueuedJobsButRejectsNew) {
+  obs::Counters counters;
+  ProblemCache cache(4, &counters);
+  JobManager jobs(manager_options(1, 16, "jm_drain"), cache, &counters);
+  const std::string text = problem_text();
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    const auto out = jobs.submit(bp_job(text, 5));
+    ASSERT_TRUE(out.accepted) << out.message;
+    ids.push_back(out.job);
+  }
+  jobs.begin_drain();
+  const auto late = jobs.submit(bp_job(text, 5));
+  EXPECT_FALSE(late.accepted);
+  EXPECT_EQ(late.code, ErrorCode::kShuttingDown);
+  jobs.shutdown(false);  // drain: joins only after the queue empties
+  EXPECT_TRUE(jobs.idle());
+  for (const auto id : ids) {
+    const auto r = jobs.result(id);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->state, JobState::kDone);
+    EXPECT_TRUE(r->has_result);
+  }
 }
 
 // --- tail-tolerant JSONL reader --------------------------------------------
@@ -439,14 +740,23 @@ TEST(JsonlTail, TerminatedGarbageAtEofIsTruncatedThenMalformed) {
 
 class ServerSocketTest : public ::testing::Test {
  protected:
-  void start(std::size_t max_request_bytes = kDefaultMaxRequestBytes) {
+  ServerOptions base_options() {
     ServerOptions options;
     options.socket_path = tmp_path("srv.sock");
     options.workers = 1;
     options.queue_cap = 4;
     options.cache_cap = 2;
-    options.max_request_bytes = max_request_bytes;
     options.work_dir = tmp_path("srv_jobs");
+    return options;
+  }
+
+  void start(std::size_t max_request_bytes = kDefaultMaxRequestBytes) {
+    ServerOptions options = base_options();
+    options.max_request_bytes = max_request_bytes;
+    start_with(options);
+  }
+
+  void start_with(const ServerOptions& options) {
     server_ = std::make_unique<Server>(options);
     thread_ = std::thread([this] { rc_ = server_->run(); });
     // The listener may not be bound yet; retry the connect briefly.
@@ -554,6 +864,138 @@ TEST_F(ServerSocketTest, ErrorTaxonomyOverTheWire) {
   const obs::JsonValue missing =
       client_->call(R"({"method":"result","job":123})");
   EXPECT_EQ(missing.find("error")->find("code")->as_string(), "not_found");
+}
+
+TEST_F(ServerSocketTest, SlowProblemPathNeverBlocksTheIoLoop) {
+  start();
+  const std::string fifo = tmp_path("srv_fifo_problem");
+  ::unlink(fifo.c_str());
+  ASSERT_EQ(::mkfifo(fifo.c_str(), 0600), 0) << std::strerror(errno);
+  // A FIFO with no writer yet: opening it for read blocks indefinitely.
+  // A server that read problem_path synchronously on the I/O thread
+  // would freeze every connection on this one submit.
+  std::string line = R"({"method":"submit","problem_path":)";
+  obs::append_json_string(line, fifo);
+  line += R"(,"solver":"bp","iters":5})";
+  const obs::JsonValue accepted = client_->call(line);
+  ASSERT_TRUE(accepted.find("ok")->as_bool());
+  const auto job =
+      static_cast<std::int64_t>(accepted.find("job")->as_number());
+  // The worker is (or soon will be) blocked opening the FIFO; the poll
+  // loop must still answer a second connection promptly.
+  ServerClient other(tmp_path("srv.sock"));
+  EXPECT_TRUE(other.call(R"({"method":"ping"})").find("ok")->as_bool());
+  // Unblock the worker by finally writing a real problem.
+  {
+    std::ofstream out(fifo);
+    out << problem_text() << std::flush;
+  }
+  const std::string result_line =
+      R"({"method":"result","job":)" + std::to_string(job) + "}";
+  for (;;) {
+    const obs::JsonValue r = client_->call(result_line);
+    if (r.find("ok")->as_bool()) {
+      EXPECT_EQ(r.find("state")->as_string(), "done");
+      break;
+    }
+    ASSERT_EQ(r.find("error")->find("code")->as_string(), "not_ready");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ::unlink(fifo.c_str());
+}
+
+TEST_F(ServerSocketTest, PipelinedRequestsAnswerInOrder) {
+  start();
+  // One write carrying eight requests: the server must consume its input
+  // buffer line by line and answer strictly in order.
+  std::string burst;
+  for (int i = 1; i <= 8; ++i) {
+    burst += R"({"method":"ping","id":)" + std::to_string(i) + "}\n";
+  }
+  client_->send_raw(burst);
+  for (int i = 1; i <= 8; ++i) {
+    const obs::JsonValue doc = obs::parse_json(client_->read_line());
+    EXPECT_TRUE(doc.find("ok")->as_bool());
+    EXPECT_EQ(doc.find("id")->as_number(), static_cast<double>(i));
+  }
+}
+
+TEST_F(ServerSocketTest, EvictedJobsAnswerExpiredNotNotFound) {
+  ServerOptions options = base_options();
+  options.retained_cap = 1;
+  start_with(options);
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < 2; ++i) {
+    const obs::JsonValue accepted =
+        client_->call(submit_line(problem_text(), 5));
+    ASSERT_TRUE(accepted.find("ok")->as_bool());
+    ids.push_back(static_cast<std::int64_t>(accepted.find("job")->as_number()));
+    const std::string result_line =
+        R"({"method":"result","job":)" + std::to_string(ids.back()) + "}";
+    while (!client_->call(result_line).find("ok")->as_bool()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  // Retention (cap 1) evicted the first job when the second finished;
+  // its id must answer `expired`, distinct from a never-issued id.
+  const obs::JsonValue gone = client_->call(
+      R"({"method":"result","job":)" + std::to_string(ids[0]) + "}");
+  EXPECT_FALSE(gone.find("ok")->as_bool());
+  EXPECT_EQ(gone.find("error")->find("code")->as_string(), "expired");
+  const obs::JsonValue never =
+      client_->call(R"({"method":"result","job":999})");
+  EXPECT_EQ(never.find("error")->find("code")->as_string(), "not_found");
+  const obs::JsonValue stats = client_->call(R"({"method":"stats"})");
+  EXPECT_EQ(stats.find("retained")->as_number(), 1.0);
+  EXPECT_GE(stats.find("evicted")->as_number(), 1.0);
+  const obs::JsonValue* tenants = stats.find("tenants");
+  ASSERT_NE(tenants, nullptr);
+  ASSERT_NE(tenants->find("default"), nullptr);
+  EXPECT_EQ(tenants->find("default")->find("completed")->as_number(), 2.0);
+}
+
+TEST_F(ServerSocketTest, SecondDaemonRefusesALiveSocket) {
+  start();
+  // A second daemon pointed at the same path must probe, find a live
+  // server, and refuse to start -- NOT unlink the socket out from under
+  // the incumbent (the old behavior).
+  ServerOptions second = base_options();
+  second.work_dir = tmp_path("srv_jobs2");
+  Server other(second);
+  EXPECT_EQ(other.run(), 1);
+  // The probe did not disturb the incumbent.
+  EXPECT_TRUE(client_->call(R"({"method":"ping"})").find("ok")->as_bool());
+}
+
+TEST_F(ServerSocketTest, ClientThatStopsReadingIsDropped) {
+  ServerOptions options = base_options();
+  options.max_output_bytes = 32u << 10;
+  start_with(options);
+  // Big echoed ids make each response ~1KB; a client that never reads
+  // lets the backlog grow past the cap once the kernel buffers fill.
+  const std::string line =
+      R"({"method":"ping","id":")" + std::string(1024, 'x') + "\"}\n";
+  try {
+    for (int i = 0; i < 4000; ++i) client_->send_raw(line);
+  } catch (const std::exception&) {
+    // The daemon hung up on us mid-flood: that is the point.
+  }
+  // Watch from a fresh, polite connection: the flooder gets dropped and
+  // the daemon stays responsive (its memory no longer grows with us).
+  ServerClient watcher(tmp_path("srv.sock"));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    const obs::JsonValue stats = watcher.call(R"({"method":"stats"})");
+    if (stats.find("counters")
+            ->find("server.slow_clients_dropped")
+            ->as_number() >= 1.0) {
+      break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "slow client was never dropped";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
 }
 
 }  // namespace

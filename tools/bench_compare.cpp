@@ -3,10 +3,13 @@
 //
 // Modes:
 //   bench_compare BASELINE CANDIDATE [--threshold R] [--min-seconds S]
+//                 [--latency-threshold L]
 //       Per-metric delta table; exits 1 when any time metric (a `_seconds`
 //       key whose baseline is at least --min-seconds) regresses beyond
-//       base*(1+R). BASELINE may be a result, sweep, or trajectory file
-//       (trajectories compare against their last entry, or --entry LABEL).
+//       base*(1+R). Latency percentile metrics (`_p50/_p95/_p99_seconds`)
+//       get the looser base*(1+L) gate. BASELINE may be a result, sweep,
+//       or trajectory file (trajectories compare against their last entry,
+//       or --entry LABEL).
 //   bench_compare --validate FILE...
 //       Schema-check each file; exits 1 on the first invalid one.
 //   bench_compare --merge OUT FILE...
@@ -98,9 +101,10 @@ int run_compare(const std::string& base_path, const std::string& cand_path,
   const auto deltas = obs::compare_metrics(base, cand, options);
   TextTable table({"metric", "baseline", "candidate", "ratio", "verdict"});
   for (const auto& d : deltas) {
-    const char* verdict = !d.is_time   ? "info"
-                          : !d.gated   ? "noise"
+    const char* verdict = !d.is_time     ? "info"
+                          : !d.gated     ? "noise"
                           : d.regression ? "REGRESSION"
+                          : d.is_latency ? "ok (latency)"
                                          : "ok";
     table.add_row({d.name, TextTable::fixed(d.base, 6),
                    TextTable::fixed(d.cand, 6),
@@ -109,8 +113,10 @@ int run_compare(const std::string& base_path, const std::string& cand_path,
   }
   table.print();
   std::printf("compared %zu shared metric(s); gate: candidate > baseline * "
-              "%.2f on _seconds metrics >= %.3fs\n",
-              deltas.size(), 1.0 + options.threshold, options.min_seconds);
+              "%.2f on _seconds metrics >= %.3fs (* %.2f on _p50/_p95/_p99 "
+              "latency percentiles)\n",
+              deltas.size(), 1.0 + options.threshold, options.min_seconds,
+              1.0 + options.latency_threshold);
   if (obs::has_regression(deltas)) {
     std::fprintf(stderr, "bench_compare: REGRESSION detected\n");
     return 1;
@@ -139,6 +145,10 @@ int main(int argc, char** argv) try {
   auto& min_seconds = cli.add_double(
       "min-seconds", obs::CompareOptions{}.min_seconds,
       "time metrics with a smaller baseline are never gated");
+  auto& latency_threshold = cli.add_double(
+      "latency-threshold", obs::CompareOptions{}.latency_threshold,
+      "allowed relative slowdown for _p50/_p95/_p99_seconds latency "
+      "percentile metrics (noisier than kernel times)");
   if (!cli.parse(argc, argv)) return 0;
   const auto& args = cli.positional();
 
@@ -164,6 +174,7 @@ int main(int argc, char** argv) try {
   obs::CompareOptions options;
   options.threshold = threshold;
   options.min_seconds = min_seconds;
+  options.latency_threshold = latency_threshold;
   return run_compare(args[0], args[1], options, entry);
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

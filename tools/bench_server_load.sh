@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Drive bench_server_load against a *real* netalign_server daemon: start
+# the binary on a scratch socket with the bench's quota/retention profile,
+# run the three load phases over it (baseline latency, 10x-aggressive
+# contention, retention sweep), and shut it down. This measures the shipped
+# daemon end to end -- socket, poll loop, scheduler -- where the bench's
+# default in-process mode measures the library.
+#
+# Usage:
+#   tools/bench_server_load.sh [--build-dir DIR] [--out FILE]
+#                              [--smoke] [--no-enforce]
+#
+#   --smoke       small CI profile (this is what the server_load_smoke
+#                 CTest runs)
+#   --no-enforce  report the fairness ratio without gating on it
+#
+# The JSON result (bench_result schema, docs/PERFORMANCE.md) lands in
+# --out (default: BUILD/bench_results/bench_server_load.json); merge and
+# baseline flows are the same as every other bench via bench_runner.sh's
+# tooling (bench_compare --validate / --merge).
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$REPO_ROOT/build"
+OUT=""
+SMOKE=0
+ENFORCE=1
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir)  BUILD_DIR="$2"; shift 2 ;;
+    --out)        OUT="$2"; shift 2 ;;
+    --smoke)      SMOKE=1; shift ;;
+    --no-enforce) ENFORCE=0; shift ;;
+    -h|--help)    sed -n '2,17p' "$0"; exit 0 ;;
+    *) echo "bench_server_load.sh: unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+SERVER="$BUILD_DIR/tools/netalign_server"
+BENCH="$BUILD_DIR/bench/bench_server_load"
+CLI="$BUILD_DIR/tools/netalign"
+for exe in "$SERVER" "$BENCH" "$CLI"; do
+  if [[ ! -x "$exe" ]]; then
+    echo "bench_server_load.sh: missing $exe (build the repo first)" >&2
+    exit 2
+  fi
+done
+OUT="${OUT:-$BUILD_DIR/bench_results/bench_server_load.json}"
+mkdir -p "$(dirname "$OUT")"
+
+TMP="$(mktemp -d)"
+SOCK="$TMP/na.sock"
+SERVER_PID=""
+cleanup() {
+  [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# The daemon profile must match what the bench asserts about: the same
+# retained cap it checks, a per-tenant running cap below --workers (that
+# reserve is what bounds polite latency under an aggressive flood), and a
+# per-tenant queue quota below the global queue cap.
+RETAINED_CAP=32
+[[ "$SMOKE" -eq 1 ]] && RETAINED_CAP=16
+
+echo "== daemon up ($SERVER) =="
+"$SERVER" --socket "$SOCK" --workers 2 --threads 1 \
+  --queue-cap 32 --tenant-queue-cap 4 --tenant-running-cap 1 \
+  --retained-cap "$RETAINED_CAP" --work-dir "$TMP/jobs" \
+  > "$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+TRIES=0
+until "$CLI" client ping --socket "$SOCK" > /dev/null 2>&1; do
+  TRIES=$((TRIES + 1))
+  if [[ "$TRIES" -gt 100 ]]; then
+    echo "bench_server_load.sh: daemon never answered ping" >&2
+    cat "$TMP/server.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+ARGS=(--socket "$SOCK" --retained-cap "$RETAINED_CAP" --json-out "$OUT")
+[[ "$SMOKE" -eq 1 ]] && ARGS+=(--smoke)
+[[ "$ENFORCE" -eq 1 ]] && ARGS+=(--enforce)
+echo "== bench_server_load ${ARGS[*]} =="
+"$BENCH" "${ARGS[@]}"
+
+echo "== daemon down =="
+"$CLI" client shutdown --socket "$SOCK" --now > /dev/null
+wait "$SERVER_PID" && RC=0 || RC=$?
+SERVER_PID=""
+if [[ "$RC" -ne 0 ]]; then
+  echo "bench_server_load.sh: daemon exited with rc=$RC" >&2
+  cat "$TMP/server.log" >&2
+  exit 1
+fi
+
+"$BUILD_DIR/tools/bench_compare" --validate "$OUT"
+echo "bench_server_load.sh: done ($OUT)"

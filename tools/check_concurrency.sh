@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # One-command concurrency gate: build the ThreadSanitizer tree and run the
-# contention stress suite under it, then (optionally) the ASan+UBSan tree
-# over the full test suite.
+# contention stress suite plus the alignment-server suite (label `server`:
+# scheduler, cancel storms, socket loop) under it, then (optionally) the
+# ASan+UBSan tree over the full test suite.
 #
 #   tools/check_concurrency.sh           # TSan + stress suite only (~1 min)
 #   tools/check_concurrency.sh --full    # also ASan/UBSan over all tests
@@ -19,9 +20,9 @@ echo "== TSan: configure + build =="
 cmake --preset tsan
 cmake --build build-tsan -j "$JOBS"
 
-echo "== TSan: stress suite (ctest -L tsan) =="
+echo "== TSan: stress + server suites (ctest -L 'tsan|server') =="
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=0 second_deadlock_stack=1}" \
-  ctest --test-dir build-tsan -L tsan --output-on-failure
+  ctest --test-dir build-tsan -L 'tsan|server' --output-on-failure
 
 if [ "${1:-}" = "--full" ]; then
   echo "== ASan+UBSan: configure + build =="

@@ -9,7 +9,10 @@
 #   3. resubmit the same bytes and require an observable squares-cache
 #      hit (server.cache_hit >= 1 in `client stats`);
 #   4. exercise the admission/error path with an unknown method;
-#   5. drain-shutdown the daemon and require a clean exit and a removed
+#   5. run bench_server_load's small in-process profile (per-tenant fair
+#      scheduling + bounded retention; nonzero exit if the retained-job
+#      cap is violated);
+#   6. drain-shutdown the daemon and require a clean exit and a removed
 #      socket.
 #
 #   tools/check_server.sh [--build-dir DIR]      # default ./build
@@ -99,6 +102,21 @@ if ! grep -q '"not_found"' "$TMP/err.out"; then
   echo "FAILURE: expected error code not_found, got:" >&2
   cat "$TMP/err.out" >&2
   exit 1
+fi
+
+echo "== multi-tenant load smoke (bench_server_load, in-process) =="
+BENCH="$BUILD/bench/bench_server_load"
+if [ -x "$BENCH" ]; then
+  # Quick scheduling/retention exercise: the retained-cap invariant is
+  # enforced (nonzero exit on violation); the fairness ratio is printed.
+  "$BENCH" --smoke > "$TMP/load.out" 2>&1 || {
+    echo "FAILURE: bench_server_load --smoke failed" >&2
+    cat "$TMP/load.out" >&2
+    exit 1
+  }
+  grep 'degradation' "$TMP/load.out" || true
+else
+  echo "skipped ($BENCH not built)"
 fi
 
 echo "== drain shutdown =="

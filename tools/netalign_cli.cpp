@@ -468,6 +468,8 @@ int cmd_client(int argc, char** argv) {
   auto& deadline = cli.add_double(
       "deadline-seconds", 0.0, "server-side deadline, 0 = none (submit)");
   auto& tag = cli.add_string("tag", "", "free-form job label (submit)");
+  auto& tenant = cli.add_string(
+      "tenant", "", "fair-scheduling tenant bucket (submit; default tenant)");
   auto& wait = cli.add_bool(
       "wait", false, "submit: poll until the job finishes, print the result");
   auto& job = cli.add_int(
@@ -511,6 +513,7 @@ int cmd_client(int argc, char** argv) {
     if (gamma > 0.0) req.add("gamma", gamma);
     if (deadline > 0.0) req.add("deadline_seconds", deadline);
     if (!tag.empty()) req.add("tag", tag);
+    if (!tenant.empty()) req.add("tenant", tenant);
     request = std::move(req).str();
   } else if (action == "status" || action == "result" || action == "cancel") {
     request = std::move(JsonObj{}.add("method", action).add("job", job)).str();

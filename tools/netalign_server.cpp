@@ -31,11 +31,26 @@ int main(int argc, char** argv) try {
   auto& workers = cli.add_int("workers", 2, "solver worker threads");
   auto& queue_cap = cli.add_int(
       "queue-cap", 16, "max queued jobs before submits are rejected");
+  auto& tenant_queue_cap = cli.add_int(
+      "tenant-queue-cap", 8,
+      "max queued jobs per tenant before quota_exceeded");
+  auto& tenant_running_cap = cli.add_int(
+      "tenant-running-cap", 0,
+      "max concurrently running jobs per tenant (0 = no cap)");
+  auto& drr_quantum = cli.add_int(
+      "drr-quantum", 100,
+      "iteration-credits per tenant per fair-scheduling pass");
+  auto& retained_cap = cli.add_int(
+      "retained-cap", 256,
+      "finished jobs kept before LRU eviction (then: expired)");
   auto& cache_cap = cli.add_int(
       "cache-cap", 8, "LRU capacity: parsed problems + squares matrices");
   auto& max_request = cli.add_int(
       "max-request-bytes", static_cast<int64_t>(server::kDefaultMaxRequestBytes),
       "largest accepted request line");
+  auto& max_output = cli.add_int(
+      "max-output-bytes", 16 << 20,
+      "per-connection unread response backlog before the client is dropped");
   auto& work_dir = cli.add_string(
       "work-dir", "", "directory for per-job trace files (required)");
   auto& threads = cli.add_int("threads", 0, "OpenMP threads (0 = default)");
@@ -45,7 +60,9 @@ int main(int argc, char** argv) try {
                  "netalign_server: --socket and --work-dir are required\n");
     return 2;
   }
-  if (workers < 1 || queue_cap < 1 || cache_cap < 1 || max_request < 1) {
+  if (workers < 1 || queue_cap < 1 || tenant_queue_cap < 1 ||
+      tenant_running_cap < 0 || drr_quantum < 1 || retained_cap < 1 ||
+      cache_cap < 1 || max_request < 1 || max_output < 1) {
     std::fprintf(stderr, "netalign_server: flag out of range\n");
     return 2;
   }
@@ -55,8 +72,13 @@ int main(int argc, char** argv) try {
   options.socket_path = socket_path;
   options.workers = static_cast<int>(workers);
   options.queue_cap = static_cast<std::size_t>(queue_cap);
+  options.tenant_queue_cap = static_cast<std::size_t>(tenant_queue_cap);
+  options.tenant_running_cap = static_cast<int>(tenant_running_cap);
+  options.drr_quantum = drr_quantum;
+  options.retained_cap = static_cast<std::size_t>(retained_cap);
   options.cache_cap = static_cast<std::size_t>(cache_cap);
   options.max_request_bytes = static_cast<std::size_t>(max_request);
+  options.max_output_bytes = static_cast<std::size_t>(max_output);
   options.work_dir = work_dir;
   options.stop_flag = install_stop_signal_handlers();
 
