@@ -4,7 +4,6 @@
 #include <exception>
 #include <filesystem>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -77,10 +76,12 @@ JobManager::SubmitOutcome JobManager::submit(SubmitParams spec) {
   SubmitOutcome out;
   if (!spec.problem_path.empty()) {
     // Only *stat* the path here: submit runs on the server's single
-    // I/O thread, and reading an arbitrarily large (or slow: NFS, FIFO)
-    // file would stall every connection. The worker reads the bytes in
-    // run_job and re-keys the job from the content; until then the key
-    // is a provisional path+mtime hash.
+    // I/O thread, and reading an arbitrarily large (or slow) file would
+    // stall every connection. The worker reads the bytes in run_job and
+    // re-keys the job from the content; until then the key is a
+    // provisional path+mtime hash. The stat itself can still block on a
+    // pathological mount, so docs/SERVER.md requires problem_path to
+    // live on responsive local storage.
     std::error_code ec;
     const auto status = std::filesystem::status(spec.problem_path, ec);
     if (ec || !std::filesystem::exists(status)) {
@@ -88,9 +89,18 @@ JobManager::SubmitOutcome JobManager::submit(SubmitParams spec) {
       out.message = "cannot open problem_path " + spec.problem_path;
       return out;
     }
+    if (!std::filesystem::is_regular_file(status)) {
+      // A FIFO would block the worker at open (possibly forever, with
+      // no writer); a directory or device makes no sense either.
+      out.code = ErrorCode::kBadRequest;
+      out.message =
+          "problem_path " + spec.problem_path + " is not a regular file";
+      return out;
+    }
     const auto mtime = std::filesystem::last_write_time(spec.problem_path, ec);
     const auto ticks = ec ? 0 : mtime.time_since_epoch().count();
     out.key = content_key(spec.problem_path + "\n" + std::to_string(ticks));
+    out.key_provisional = true;
   } else {
     out.key = content_key(spec.problem_text);
   }
@@ -157,38 +167,59 @@ bool JobManager::has_eligible_locked() const {
 }
 
 std::int64_t JobManager::pop_next_locked() {
-  // Each outer pass grants every eligible tenant one quantum, so a job of
-  // cost c is picked within ceil(c / quantum) passes -- the loop is
-  // bounded whenever any tenant is eligible.
-  for (;;) {
-    bool any_eligible = false;
-    for (std::size_t i = 0; i < active_tenants_.size(); ++i) {
-      const std::string name = active_tenants_[i];
-      Tenant& t = tenants_.at(name);
-      if (options_.tenant_running_cap > 0 &&
-          t.running >= options_.tenant_running_cap) {
-        continue;  // at its running cap: skipped without spending its turn
-      }
-      any_eligible = true;
-      t.deficit += options_.drr_quantum;
-      const std::int64_t id = t.queue.front();
-      const std::int64_t cost = job_cost(jobs_.at(id)->spec);
-      if (t.deficit < cost) continue;
-      t.deficit -= cost;
-      t.queue.pop_front();
-      --queued_total_;
-      ++t.running;
-      active_tenants_.erase(active_tenants_.begin() +
-                            static_cast<std::ptrdiff_t>(i));
-      if (t.queue.empty()) {
-        t.deficit = 0;  // classic DRR: no hoarding credit while idle
-      } else {
-        active_tenants_.push_back(name);  // to the back of the rotation
-      }
-      return id;
+  // Conceptually each DRR pass grants every eligible tenant one quantum
+  // and runs the first tenant whose deficit covers its head job's cost.
+  // Iterating that literally would spin ceil(cost / quantum) passes
+  // under mutex_ with a client-controlled cost, so compute the winning
+  // pass in closed form: per tenant, the number of whole passes until
+  // its deficit would cover its head job, then jump straight there.
+  const std::int64_t quantum = options_.drr_quantum;
+  const std::size_t none = active_tenants_.size();
+  std::size_t winner = none;
+  std::int64_t win_passes = 0;
+  for (std::size_t i = 0; i < active_tenants_.size(); ++i) {
+    const Tenant& t = tenants_.at(active_tenants_[i]);
+    if (options_.tenant_running_cap > 0 &&
+        t.running >= options_.tenant_running_cap) {
+      continue;  // at its running cap: not part of this scheduling round
     }
-    if (!any_eligible) return -1;
+    const std::int64_t cost = job_cost(jobs_.at(t.queue.front())->spec);
+    // Every pass adds the quantum *before* the deficit >= cost test, so
+    // even an already-covered tenant needs one pass.
+    const std::int64_t need = cost - t.deficit;
+    const std::int64_t passes =
+        need <= 0 ? 1 : (need + quantum - 1) / quantum;
+    if (winner == none || passes < win_passes) {
+      winner = i;  // ties go to the earlier rotation position
+      win_passes = passes;
+    }
   }
+  if (winner == none) return -1;
+  // Replay the grants those passes imply: tenants at or before the
+  // winner's rotation position saw the final pass, later ones did not.
+  for (std::size_t i = 0; i < active_tenants_.size(); ++i) {
+    Tenant& t = tenants_.at(active_tenants_[i]);
+    if (options_.tenant_running_cap > 0 &&
+        t.running >= options_.tenant_running_cap) {
+      continue;
+    }
+    t.deficit += (i <= winner ? win_passes : win_passes - 1) * quantum;
+  }
+  const std::string name = active_tenants_[winner];
+  Tenant& t = tenants_.at(name);
+  const std::int64_t id = t.queue.front();
+  t.deficit -= job_cost(jobs_.at(id)->spec);
+  t.queue.pop_front();
+  --queued_total_;
+  ++t.running;
+  active_tenants_.erase(active_tenants_.begin() +
+                        static_cast<std::ptrdiff_t>(winner));
+  if (t.queue.empty()) {
+    t.deficit = 0;  // classic DRR: no hoarding credit while idle
+  } else {
+    active_tenants_.push_back(name);  // to the back of the rotation
+  }
+  return id;
 }
 
 void JobManager::worker_loop() {
@@ -305,17 +336,50 @@ void JobManager::run_job(Job& job) {
 
   if (!job.spec.problem_path.empty()) {
     // Deferred from submit: this is a worker thread, where a slow read
-    // stalls nothing but this job.
+    // stalls nothing but this job. Re-check the file type right before
+    // opening (the submit-time check races with replacement, and opening
+    // a writer-less FIFO would block forever), then read in chunks so a
+    // cancel interrupts a read off slow storage and the byte cap holds
+    // even if the file grows underneath us.
+    std::error_code ec;
+    if (!std::filesystem::is_regular_file(job.spec.problem_path, ec)) {
+      fail("problem_path " + job.spec.problem_path +
+           " is not a regular file");
+      return;
+    }
     std::ifstream in(job.spec.problem_path, std::ios::binary);
     if (!in) {
       fail("cannot open problem_path " + job.spec.problem_path);
       return;
     }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    const std::string key = content_key(ss.str());
+    std::string bytes;
+    char buf[1u << 16];
+    for (;;) {
+      if (job.cancel.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job.state = JobState::kCancelled;
+        if (counters_ != nullptr) {
+          counters_->add_concurrent("server.jobs_cancelled");
+        }
+        return;
+      }
+      in.read(buf, sizeof(buf));
+      const auto n = static_cast<std::size_t>(in.gcount());
+      if (bytes.size() + n > options_.max_problem_bytes) {
+        fail("problem_path " + job.spec.problem_path + " exceeds " +
+             std::to_string(options_.max_problem_bytes) + " bytes");
+        return;
+      }
+      bytes.append(buf, n);
+      if (in.eof()) break;
+      if (!in) {
+        fail("read error on problem_path " + job.spec.problem_path);
+        return;
+      }
+    }
+    const std::string key = content_key(bytes);
     std::lock_guard<std::mutex> lock(mutex_);
-    job.spec.problem_text = std::move(ss).str();
+    job.spec.problem_text = std::move(bytes);
     job.spec.problem_path.clear();
     job.key = key;  // re-key from bytes: path submissions dedupe with inline
   }

@@ -82,6 +82,10 @@ struct JobManagerOptions {
   std::int64_t drr_quantum = 100;
   /// Terminal jobs retained before LRU eviction reclaims them.
   std::size_t retained_cap = 256;
+  /// Byte cap on a problem_path file (inline problems are already
+  /// bounded by the request-line cap); the worker's chunked read fails
+  /// the job once it would exceed this.
+  std::size_t max_problem_bytes = 1u << 30;
   std::string work_dir;       ///< per-job trace files live here (required)
 };
 
@@ -98,13 +102,18 @@ class JobManager {
     bool accepted = false;
     std::int64_t job = -1;
     std::string key;     ///< problem content hash (provisional for paths)
+    /// True for problem_path submissions: `key` is a path+mtime hash
+    /// that the worker replaces with the content hash once it reads the
+    /// bytes, so clients must not use it for dedupe or correlation.
+    bool key_provisional = false;
     ErrorCode code = ErrorCode::kInternal;  ///< when !accepted
     std::string message;                    ///< when !accepted
   };
   /// Validate and enqueue. Inline problems are hashed here; a
-  /// problem_path submission is only stat'ed (existence + mtime) -- the
-  /// worker reads the bytes in run_job and re-keys the job, so a large
-  /// or slow file never stalls the caller (the server's I/O loop).
+  /// problem_path submission is only stat'ed (regular-file check +
+  /// mtime) -- the worker reads the bytes in run_job and re-keys the
+  /// job, so a large or slow file never stalls the caller (the server's
+  /// I/O loop).
   SubmitOutcome submit(SubmitParams spec);
 
   struct JobStatus {

@@ -183,9 +183,10 @@ bool parse_request(std::string_view line, Request& out, ErrorCode& code,
       p.deadline_seconds = get_double(doc, "deadline_seconds", 0.0);
       p.tag = get_string(doc, "tag", "");
       p.tenant = get_string(doc, "tenant", "");
-      if (p.iters < 0 || p.batch < 1 || p.ranks < 1 || p.gamma < 0.0 ||
-          p.deadline_seconds < 0.0 || !std::isfinite(p.gamma) ||
-          !std::isfinite(p.deadline_seconds)) {
+      if (p.iters < 0 || p.iters > kMaxSubmitInt || p.batch < 1 ||
+          p.batch > kMaxSubmitInt || p.ranks < 1 || p.ranks > kMaxSubmitInt ||
+          p.gamma < 0.0 || p.deadline_seconds < 0.0 ||
+          !std::isfinite(p.gamma) || !std::isfinite(p.deadline_seconds)) {
         throw FieldError{"submit parameter out of range"};
       }
     } else if (name == "status") {

@@ -31,6 +31,13 @@ inline constexpr std::int64_t kProtocolVersion = 1;
 /// can do to server memory.
 inline constexpr std::size_t kDefaultMaxRequestBytes = 8u << 20;
 
+/// Upper bound on submit's iters/batch/ranks. All three feed solver
+/// `int` options, and iters doubles as the job's DRR scheduling cost,
+/// so an absurd value must die as bad_request at parse time -- not as
+/// an int overflow in the solver or a scheduler stall under the job
+/// lock.
+inline constexpr std::int64_t kMaxSubmitInt = 1'000'000'000;
+
 /// Error taxonomy (the `error.code` field of a failure response).
 enum class ErrorCode {
   kTooLarge,       ///< request line exceeded the server's byte cap

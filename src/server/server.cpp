@@ -72,7 +72,8 @@ Server::Server(const ServerOptions& options)
       jobs_(JobManagerOptions{options.workers, options.queue_cap,
                               options.tenant_queue_cap,
                               options.tenant_running_cap, options.drr_quantum,
-                              options.retained_cap, options.work_dir},
+                              options.retained_cap, options.max_problem_bytes,
+                              options.work_dir},
             cache_, &counters_) {
   // Pre-register the server counters so `stats` reports them in a stable
   // order (and as explicit zeros) from the first request on.
@@ -336,6 +337,9 @@ std::string Server::handle_submit(const Request& req) {
   ResponseBuilder r(true, req.id_json);
   r.field("job", out.job);
   r.field("key", out.key);
+  // Path submits are re-keyed from the bytes once a worker reads them;
+  // warn clients off storing the submit-time key for dedupe.
+  if (out.key_provisional) r.field("key_provisional", true);
   r.field("tenant",
           req.submit.tenant.empty() ? kDefaultTenant
                                     : req.submit.tenant.c_str());

@@ -32,6 +32,8 @@ struct ServerOptions {
   /// Cap on one connection's unread response backlog; a client that
   /// stops reading past it is dropped (server.slow_clients_dropped).
   std::size_t max_output_bytes = 16u << 20;
+  /// Byte cap on a problem_path file read by a worker.
+  std::size_t max_problem_bytes = 1u << 30;
   std::string work_dir;               ///< job trace files (required)
   /// External stop latch (SIGTERM/SIGINT); treated as `shutdown now=false`
   /// (drain) when it fires. Nullable.

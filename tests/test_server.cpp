@@ -128,6 +128,17 @@ TEST(Protocol, SubmitValidatesNamesAndRanges) {
             ErrorCode::kBadRequest);
   EXPECT_EQ(parse_fail(R"({"method":"submit","problem":"x","batch":0})"),
             ErrorCode::kBadRequest);
+  // Upper bounds too: iters is the job's DRR scheduling cost and all
+  // three feed solver `int` options, so absurd values must die here.
+  EXPECT_EQ(parse_fail(
+                R"({"method":"submit","problem":"x","iters":1000000000001})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(parse_fail(
+                R"({"method":"submit","problem":"x","batch":2000000000})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(parse_fail(
+                R"({"method":"submit","problem":"x","ranks":2000000000})"),
+            ErrorCode::kBadRequest);
   EXPECT_EQ(parse_fail(
                 R"({"method":"submit","problem":"x","deadline_seconds":-2})"),
             ErrorCode::kBadRequest);
@@ -599,8 +610,9 @@ TEST(JobManager, ProblemPathIsReadByTheWorkerAndRekeyedFromBytes) {
   const auto out = jobs.submit(spec);
   ASSERT_TRUE(out.accepted) << out.message;
   // At submit time only a provisional path+mtime key exists (the bytes
-  // are deliberately unread)...
+  // are deliberately unread), and the outcome says so...
   EXPECT_NE(out.key, content_key(text));
+  EXPECT_TRUE(out.key_provisional);
   const auto done = wait_terminal(jobs, out.job);
   EXPECT_EQ(done.state, JobState::kDone);
   ASSERT_TRUE(done.has_result);
@@ -609,6 +621,7 @@ TEST(JobManager, ProblemPathIsReadByTheWorkerAndRekeyedFromBytes) {
   EXPECT_EQ(jobs.status(out.job)->key, content_key(text));
   const auto inline_out = jobs.submit(bp_job(text, 5));
   ASSERT_TRUE(inline_out.accepted);
+  EXPECT_FALSE(inline_out.key_provisional);  // inline keys are final
   EXPECT_TRUE(wait_terminal(jobs, inline_out.job).cache_hit);
   // A missing path is still rejected up front.
   SubmitParams missing;
@@ -617,6 +630,78 @@ TEST(JobManager, ProblemPathIsReadByTheWorkerAndRekeyedFromBytes) {
   const auto bad = jobs.submit(missing);
   EXPECT_FALSE(bad.accepted);
   EXPECT_EQ(bad.code, ErrorCode::kBadRequest);
+  // ...and so is a path that exists but is not a regular file: a
+  // writer-less FIFO would park a worker in open() forever, and a
+  // directory makes no sense as a problem.
+  SubmitParams dir;
+  dir.problem_path = ::testing::TempDir();
+  dir.solver = "bp";
+  const auto not_file = jobs.submit(dir);
+  EXPECT_FALSE(not_file.accepted);
+  EXPECT_EQ(not_file.code, ErrorCode::kBadRequest);
+  EXPECT_NE(not_file.message.find("regular file"), std::string::npos);
+}
+
+TEST(JobManager, ProblemPathReplacedByAFifoFailsTheJobNotTheWorker) {
+  obs::Counters counters;
+  ProblemCache cache(4, &counters);
+  JobManager jobs(manager_options(1, 4, "jm_toctou"), cache, &counters);
+  const std::string text = problem_text();
+  // Park the single worker so the path submit stays queued.
+  const auto blocker = jobs.submit(bp_job(text, 50'000'000));
+  ASSERT_TRUE(blocker.accepted);
+  wait_running(jobs, blocker.job);
+  const std::string path = tmp_path("jm_toctou_problem.txt");
+  std::ofstream(path, std::ios::trunc) << text << std::flush;
+  SubmitParams spec;
+  spec.problem_path = path;
+  spec.solver = "bp";
+  const auto out = jobs.submit(spec);
+  ASSERT_TRUE(out.accepted) << out.message;
+  // Race the worker deterministically: swap the regular file for a FIFO
+  // while the job is still queued. The worker's pre-open re-check must
+  // fail the job instead of blocking forever in open().
+  ASSERT_EQ(::unlink(path.c_str()), 0);
+  ASSERT_EQ(::mkfifo(path.c_str(), 0600), 0) << std::strerror(errno);
+  jobs.cancel(blocker.job);
+  const auto r = wait_terminal(jobs, out.job);
+  EXPECT_EQ(r.state, JobState::kFailed);
+  EXPECT_NE(r.error.find("regular file"), std::string::npos);
+  ::unlink(path.c_str());
+}
+
+TEST(JobManager, OversizedProblemPathFailsTheJob) {
+  obs::Counters counters;
+  ProblemCache cache(4, &counters);
+  JobManagerOptions opt = manager_options(1, 4, "jm_toolarge");
+  opt.max_problem_bytes = 64;  // far below any real problem
+  JobManager jobs(opt, cache, &counters);
+  const std::string path = tmp_path("jm_toolarge_problem.txt");
+  std::ofstream(path, std::ios::trunc) << problem_text() << std::flush;
+  SubmitParams spec;
+  spec.problem_path = path;
+  spec.solver = "bp";
+  const auto out = jobs.submit(spec);
+  ASSERT_TRUE(out.accepted) << out.message;
+  const auto r = wait_terminal(jobs, out.job);
+  EXPECT_EQ(r.state, JobState::kFailed);
+  EXPECT_NE(r.error.find("exceeds"), std::string::npos);
+}
+
+TEST(JobManager, MaxCostJobIsScheduledWithoutALockStall) {
+  obs::Counters counters;
+  ProblemCache cache(4, &counters);
+  JobManager jobs(manager_options(1, 4, "jm_maxcost"), cache, &counters);
+  // The largest cost the protocol admits. The quantum-at-a-time DRR loop
+  // would have spun ~cost/quantum (10^7) passes under the job lock just
+  // to pick this job; the closed-form pick must dispatch it immediately.
+  SubmitParams spec = bp_job(problem_text(), 1'000'000'000);
+  spec.deadline_seconds = 0.05;  // the budget stops the solve itself
+  const auto out = jobs.submit(spec);
+  ASSERT_TRUE(out.accepted) << out.message;
+  const auto r = wait_terminal(jobs, out.job, /*timeout_seconds=*/30);
+  EXPECT_EQ(r.state, JobState::kDone);
+  EXPECT_EQ(r.stopped_reason, "deadline");
 }
 
 TEST(JobManager, CancelStormReachesQuiescence) {
@@ -866,30 +951,40 @@ TEST_F(ServerSocketTest, ErrorTaxonomyOverTheWire) {
   EXPECT_EQ(missing.find("error")->find("code")->as_string(), "not_found");
 }
 
-TEST_F(ServerSocketTest, SlowProblemPathNeverBlocksTheIoLoop) {
+TEST_F(ServerSocketTest, ProblemPathIsReadOffTheIoLoopAndFifosAreRefused) {
   start();
+  // A FIFO with no writer: opening it for read blocks indefinitely, so
+  // it (like any non-regular file) is refused at submit time -- a worker
+  // must never be parked in open() on one.
   const std::string fifo = tmp_path("srv_fifo_problem");
   ::unlink(fifo.c_str());
   ASSERT_EQ(::mkfifo(fifo.c_str(), 0600), 0) << std::strerror(errno);
-  // A FIFO with no writer yet: opening it for read blocks indefinitely.
-  // A server that read problem_path synchronously on the I/O thread
-  // would freeze every connection on this one submit.
+  std::string fifo_line = R"({"method":"submit","problem_path":)";
+  obs::append_json_string(fifo_line, fifo);
+  fifo_line += R"(,"solver":"bp","iters":5})";
+  const obs::JsonValue refused = client_->call(fifo_line);
+  EXPECT_FALSE(refused.find("ok")->as_bool());
+  EXPECT_EQ(refused.find("error")->find("code")->as_string(), "bad_request");
+  ::unlink(fifo.c_str());
+
+  // A regular file is accepted without being read in the I/O loop: the
+  // submit response flags its key as provisional, a second connection's
+  // ping answers promptly, and the worker re-keys the job to the true
+  // content hash once it reads the bytes.
+  const std::string path = tmp_path("srv_path_problem.txt");
+  const std::string text = problem_text();
+  std::ofstream(path, std::ios::trunc) << text << std::flush;
   std::string line = R"({"method":"submit","problem_path":)";
-  obs::append_json_string(line, fifo);
+  obs::append_json_string(line, path);
   line += R"(,"solver":"bp","iters":5})";
   const obs::JsonValue accepted = client_->call(line);
   ASSERT_TRUE(accepted.find("ok")->as_bool());
+  EXPECT_TRUE(accepted.find("key_provisional")->as_bool());
+  EXPECT_NE(accepted.find("key")->as_string(), content_key(text));
   const auto job =
       static_cast<std::int64_t>(accepted.find("job")->as_number());
-  // The worker is (or soon will be) blocked opening the FIFO; the poll
-  // loop must still answer a second connection promptly.
   ServerClient other(tmp_path("srv.sock"));
   EXPECT_TRUE(other.call(R"({"method":"ping"})").find("ok")->as_bool());
-  // Unblock the worker by finally writing a real problem.
-  {
-    std::ofstream out(fifo);
-    out << problem_text() << std::flush;
-  }
   const std::string result_line =
       R"({"method":"result","job":)" + std::to_string(job) + "}";
   for (;;) {
@@ -901,7 +996,11 @@ TEST_F(ServerSocketTest, SlowProblemPathNeverBlocksTheIoLoop) {
     ASSERT_EQ(r.find("error")->find("code")->as_string(), "not_ready");
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
-  ::unlink(fifo.c_str());
+  const std::string status_line =
+      R"({"method":"status","job":)" + std::to_string(job) + "}";
+  const obs::JsonValue status = client_->call(status_line);
+  EXPECT_EQ(status.find("key")->as_string(), content_key(text));
+  ::unlink(path.c_str());
 }
 
 TEST_F(ServerSocketTest, PipelinedRequestsAnswerInOrder) {

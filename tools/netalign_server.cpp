@@ -51,6 +51,9 @@ int main(int argc, char** argv) try {
   auto& max_output = cli.add_int(
       "max-output-bytes", 16 << 20,
       "per-connection unread response backlog before the client is dropped");
+  auto& max_problem = cli.add_int(
+      "max-problem-bytes", 1 << 30,
+      "largest problem_path file a worker will read");
   auto& work_dir = cli.add_string(
       "work-dir", "", "directory for per-job trace files (required)");
   auto& threads = cli.add_int("threads", 0, "OpenMP threads (0 = default)");
@@ -62,7 +65,8 @@ int main(int argc, char** argv) try {
   }
   if (workers < 1 || queue_cap < 1 || tenant_queue_cap < 1 ||
       tenant_running_cap < 0 || drr_quantum < 1 || retained_cap < 1 ||
-      cache_cap < 1 || max_request < 1 || max_output < 1) {
+      cache_cap < 1 || max_request < 1 || max_output < 1 ||
+      max_problem < 1) {
     std::fprintf(stderr, "netalign_server: flag out of range\n");
     return 2;
   }
@@ -79,6 +83,7 @@ int main(int argc, char** argv) try {
   options.cache_cap = static_cast<std::size_t>(cache_cap);
   options.max_request_bytes = static_cast<std::size_t>(max_request);
   options.max_output_bytes = static_cast<std::size_t>(max_output);
+  options.max_problem_bytes = static_cast<std::size_t>(max_problem);
   options.work_dir = work_dir;
   options.stop_flag = install_stop_signal_handlers();
 
