@@ -16,6 +16,13 @@
 //   3. retention sweep   hundreds of tiny jobs, then a stats check that
 //                        the retained-results cap held (terminal jobs
 //                        evicted LRU-first, traces reclaimed with them).
+//   4. journal overhead  the polite-alone workload against two fresh
+//                        in-process daemons, --no-journal vs --journal
+//                        (the durability default): the p95 delta is the
+//                        price of the write-ahead journal + per-job
+//                        checkpoints on the submit->result path.
+//                        Skipped against an external --socket daemon
+//                        (its journal flag is not ours to toggle).
 //
 // The retained-cap invariant is always enforced (a violation exits
 // nonzero); the fairness ratio (< --fair-ratio) is enforced only under
@@ -425,6 +432,50 @@ int main(int argc, char** argv) try {
       exit_code = 1;
     }
 
+    // Phase 4: journal on/off latency delta (in-process only). Same
+    // polite-alone workload, fresh daemon per arm so neither inherits
+    // the other's cache or journal.
+    Percentiles joff_p;
+    Percentiles jon_p;
+    const bool in_process = socket.empty();
+    if (in_process) {
+      std::printf("== phase 4: journal overhead (polite alone, %lld jobs "
+                  "per arm) ==\n",
+                  static_cast<long long>(polite_jobs));
+      const auto journal_arm = [&](bool journal_on) {
+        server::ServerOptions o;
+        const char* tag = journal_on ? "jon" : "joff";
+        o.socket_path = scratch_path(std::string("srv_") + tag + ".sock");
+        o.workers = static_cast<int>(workers);
+        o.queue_cap = static_cast<std::size_t>(queue_cap);
+        o.tenant_queue_cap = static_cast<std::size_t>(tenant_queue_cap);
+        o.tenant_running_cap = static_cast<int>(tenant_running_cap);
+        o.retained_cap = static_cast<std::size_t>(retained_cap);
+        o.cache_cap = 4;
+        o.work_dir = scratch_path(std::string("srv_") + tag + "_jobs");
+        o.journal = journal_on;
+        LocalDaemon arm;
+        arm.start(o);
+        const PhaseOutcome ph =
+            run_phase(arm.socket_path, text, static_cast<int>(polite_clients),
+                      polite_jobs, polite_iters, /*aggressive_clients=*/0,
+                      aggressive_iters);
+        arm.stop();
+        return percentiles(ph.latencies);
+      };
+      joff_p = journal_arm(false);
+      jon_p = journal_arm(true);
+      const double overhead =
+          joff_p.p95 > 0.0 ? jon_p.p95 / joff_p.p95 : 0.0;
+      std::printf("  journal off: p50 %.4fs  p95 %.4fs\n", joff_p.p50,
+                  joff_p.p95);
+      std::printf("  journal on:  p50 %.4fs  p95 %.4fs  (%.2fx p95)\n",
+                  jon_p.p50, jon_p.p95, overhead);
+    } else {
+      std::printf("== phase 4: journal overhead skipped (external daemon; "
+                  "--journal is a daemon flag) ==\n");
+    }
+
     obs::BenchResult result("bench_server_load");
     result.set_param("n", static_cast<double>(n));
     result.set_param("workers", static_cast<double>(workers));
@@ -462,6 +513,17 @@ int main(int argc, char** argv) try {
                       static_cast<double>(sweep.polite_done) / sweep_seconds);
     result.set_metric("retention_retained", retained);
     result.set_metric("retention_evicted", evicted);
+    if (in_process) {
+      // `_p95_seconds` puts both arms under bench_compare's latency
+      // threshold, so a journal-cost regression trips the same gate as
+      // any other latency metric.
+      result.set_metric("journal_off_p50_seconds", joff_p.p50);
+      result.set_metric("journal_off_p95_seconds", joff_p.p95);
+      result.set_metric("journal_on_p50_seconds", jon_p.p50);
+      result.set_metric("journal_on_p95_seconds", jon_p.p95);
+      result.set_metric("journal_overhead_p95_ratio",
+                        joff_p.p95 > 0.0 ? jon_p.p95 / joff_p.p95 : 0.0);
+    }
     write_json_result(result, json_out);
   }
 

@@ -4,18 +4,55 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 namespace netalign::server {
 
-ServerClient::ServerClient(const std::string& socket_path) {
+namespace {
+
+bool retryable_connect_errno(int err) {
+  // ECONNREFUSED: socket file exists, nobody listening (daemon mid-
+  // restart). ENOENT: the restarting daemon has not re-bound yet.
+  // ECONNRESET/EAGAIN: backlog churn under load.
+  return err == ECONNREFUSED || err == ENOENT || err == ECONNRESET ||
+         err == EAGAIN;
+}
+
+/// Deterministic-free jitter for backoff desynchronization; quality is
+/// irrelevant, distinctness across processes is the point.
+std::uint64_t jitter_state() {
+  auto seed = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  seed ^= static_cast<std::uint64_t>(::getpid()) << 32;
+  return seed | 1;
+}
+
+int with_jitter(int base_ms) {
+  static thread_local std::uint64_t state = jitter_state();
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  // Uniform-ish in [base/2, base]: never longer than the cap the caller
+  // computed, never so short the backoff stops being one.
+  if (base_ms <= 1) return base_ms;
+  return base_ms / 2 + static_cast<int>(state % static_cast<std::uint64_t>(
+                                            base_ms / 2 + 1));
+}
+
+}  // namespace
+
+void ServerClient::connect_now() {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("socket path too long: " + socket_path);
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + socket_path_);
   }
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
   fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd_ < 0) {
     throw std::runtime_error("cannot create socket: " +
@@ -23,10 +60,36 @@ ServerClient::ServerClient(const std::string& socket_path) {
   }
   if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
-    const std::string why = std::strerror(errno);
+    const int err = errno;
+    const std::string why = std::strerror(err);
     ::close(fd_);
     fd_ = -1;
-    throw std::runtime_error("cannot connect to " + socket_path + ": " + why);
+    const std::string message =
+        "cannot connect to " + socket_path_ + ": " + why;
+    if (retryable_connect_errno(err)) throw ConnectionLost(message);
+    throw std::runtime_error(message);
+  }
+}
+
+void ServerClient::drop_connection() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();  // a partial response from the dead connection
+}
+
+ServerClient::ServerClient(const std::string& socket_path, RetryPolicy retry)
+    : socket_path_(socket_path), retry_(retry) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      connect_now();
+      return;
+    } catch (const ConnectionLost&) {
+      if (attempt >= retry_.retries) throw;
+      const int backoff =
+          std::min(retry_.max_backoff_ms, 50 << std::min(attempt, 20));
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(with_jitter(backoff)));
+    }
   }
 }
 
@@ -43,8 +106,11 @@ void ServerClient::send_raw(std::string_view bytes) {
         ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw std::runtime_error("write to server failed: " +
-                               std::string(std::strerror(errno)));
+      const int err = errno;
+      const std::string message =
+          "write to server failed: " + std::string(std::strerror(err));
+      if (err == EPIPE || err == ECONNRESET) throw ConnectionLost(message);
+      throw std::runtime_error(message);
     }
     off += static_cast<std::size_t>(n);
   }
@@ -62,11 +128,14 @@ std::string ServerClient::read_line() {
     const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw std::runtime_error("read from server failed: " +
-                               std::string(std::strerror(errno)));
+      const int err = errno;
+      const std::string message =
+          "read from server failed: " + std::string(std::strerror(err));
+      if (err == ECONNRESET) throw ConnectionLost(message);
+      throw std::runtime_error(message);
     }
     if (n == 0) {
-      throw std::runtime_error("server closed the connection");
+      throw ConnectionLost("server closed the connection");
     }
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
@@ -75,8 +144,23 @@ std::string ServerClient::read_line() {
 std::string ServerClient::exchange(std::string_view request_line) {
   std::string framed(request_line);
   framed.push_back('\n');
-  send_raw(framed);
-  return read_line();
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (fd_ < 0) connect_now();
+      send_raw(framed);
+      return read_line();
+    } catch (const ConnectionLost&) {
+      // The daemon died under us (or is still restarting). Reconnect
+      // and re-send the same line -- idempotent for reads, and for
+      // submits that carry a request_id.
+      drop_connection();
+      if (attempt >= retry_.retries) throw;
+      const int backoff =
+          std::min(retry_.max_backoff_ms, 50 << std::min(attempt, 20));
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(with_jitter(backoff)));
+    }
+  }
 }
 
 obs::JsonValue ServerClient::call(std::string_view request_line) {

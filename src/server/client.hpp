@@ -3,8 +3,18 @@
 // response (protocol in docs/SERVER.md). Used by the `netalign client`
 // subcommand and by tests/test_server.cpp; the connection is persistent,
 // so several requests can share one socket.
+//
+// With a RetryPolicy, a connection lost mid-exchange (the daemon was
+// SIGKILLed, restarted, or is still coming back up) is retried with
+// bounded exponential backoff + jitter instead of surfacing as an
+// error. A retried request is re-sent verbatim, so retries are only
+// safe for idempotent requests: reads always are, and `submit` is once
+// it carries a `request_id` (the server answers a replay with the
+// original job id). The `netalign client` subcommand stamps one
+// automatically whenever retries are enabled.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
@@ -12,19 +22,38 @@
 
 namespace netalign::server {
 
+/// Reconnect behavior for a lost daemon connection (`--retry N`,
+/// `--retry-max-ms` on the CLI). The default (0 retries) preserves the
+/// historical fail-fast behavior.
+struct RetryPolicy {
+  int retries = 0;          ///< reconnect attempts after a lost connection
+  int max_backoff_ms = 2000;  ///< cap on the exponential backoff step
+};
+
+/// A connection-level failure that a RetryPolicy may transparently
+/// retry: connect refused while the daemon restarts, EPIPE/ECONNRESET
+/// on write, EOF or reset on read. Derives from std::runtime_error so
+/// callers without a retry budget see exactly the historical errors.
+class ConnectionLost : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 class ServerClient {
  public:
-  /// Connect to the daemon at `socket_path`. Throws std::runtime_error if
-  /// the socket cannot be reached.
-  explicit ServerClient(const std::string& socket_path);
+  /// Connect to the daemon at `socket_path`. Throws std::runtime_error
+  /// if the socket cannot be reached within the retry budget.
+  explicit ServerClient(const std::string& socket_path,
+                        RetryPolicy retry = {});
   ~ServerClient();
 
   ServerClient(const ServerClient&) = delete;
   ServerClient& operator=(const ServerClient&) = delete;
 
   /// Send one request line (newline appended here) and block for the
-  /// matching response line. Throws std::runtime_error if the server
-  /// hangs up mid-exchange.
+  /// matching response line. A lost connection is retried per the
+  /// RetryPolicy (reconnect, re-send the same line); once the budget is
+  /// spent it throws std::runtime_error.
   std::string exchange(std::string_view request_line);
 
   /// exchange() + parse. Throws std::runtime_error if the response is not
@@ -32,13 +61,22 @@ class ServerClient {
   obs::JsonValue call(std::string_view request_line);
 
   /// Push raw bytes without framing (for tests that split a request
-  /// across writes or send garbage).
+  /// across writes or send garbage). Never retries.
   void send_raw(std::string_view bytes);
 
-  /// Block for the next newline-terminated line. Throws on EOF.
+  /// Block for the next newline-terminated line. Throws on EOF. Never
+  /// retries.
   std::string read_line();
 
  private:
+  /// (Re)connect fd_ to socket_path_. Throws ConnectionLost on a
+  /// retryable failure, std::runtime_error otherwise.
+  void connect_now();
+  /// Close fd_ and drop any buffered partial response.
+  void drop_connection();
+
+  std::string socket_path_;
+  RetryPolicy retry_;
   int fd_ = -1;
   std::string buffer_;  ///< bytes read past the last returned line
 };

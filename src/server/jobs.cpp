@@ -1,6 +1,8 @@
 #include "server/jobs.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdio>
 #include <exception>
 #include <filesystem>
 #include <fstream>
@@ -41,6 +43,12 @@ std::int64_t job_cost(const SubmitParams& spec) {
   return std::max<std::int64_t>(1, spec.iters);
 }
 
+JobState state_from_journal(const std::string& s) {
+  if (s == "done") return JobState::kDone;
+  if (s == "cancelled") return JobState::kCancelled;
+  return JobState::kFailed;
+}
+
 }  // namespace
 
 JobManager::JobManager(const JobManagerOptions& options, ProblemCache& cache,
@@ -63,11 +71,396 @@ JobManager::JobManager(const JobManagerOptions& options, ProblemCache& cache,
   if (options_.tenant_queue_cap < 1) {
     throw std::invalid_argument("JobManager: tenant_queue_cap must be >= 1");
   }
+  if (options_.checkpoint_every < 0) {
+    throw std::invalid_argument("JobManager: checkpoint_every must be >= 0");
+  }
   std::filesystem::create_directories(options_.work_dir);
+  if (options_.journal) {
+    const std::string jpath = options_.work_dir + "/journal.jsonl";
+    if (options_.recover) {
+      // Throws on a newer-version journal; the daemon refuses to start
+      // rather than misread it.
+      recover_from_journal();
+    } else {
+      std::error_code ec;
+      std::filesystem::remove(jpath, ec);  // discard prior state on request
+    }
+    journal_ = std::make_unique<JobJournal>(jpath, options_.journal_fsync);
+    if (recovery_.performed) {
+      // Rewrite a clean snapshot immediately: drops the torn tail (if
+      // any) and persists the recovered next_id so ids stay unique even
+      // if this run crashes before its first natural compaction.
+      std::vector<JournalJob> live;
+      live.reserve(jobs_.size());
+      for (const auto& [id, job] : jobs_) {
+        live.push_back(to_journal_locked(*job));
+      }
+      journal_->compact(live, next_id_);
+    }
+  }
+  clean_work_dir();
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+}
+
+std::string JobManager::ckpt_path(std::int64_t id) const {
+  return options_.work_dir + "/job-" + std::to_string(id) + ".ckpt";
+}
+
+std::string JobManager::spill_path(const std::string& file) const {
+  return options_.work_dir + "/" + file;
+}
+
+std::string JobManager::spill_problem(std::int64_t id,
+                                      const std::string& bytes) {
+  const std::string file = "job-" + std::to_string(id) + ".nap";
+  const std::string path = spill_path(file);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return {};
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return {};
+  }
+  return file;
+}
+
+JournalJob JobManager::to_journal_locked(const Job& job) const {
+  JournalJob j;
+  j.id = job.id;
+  // Everything but problem_text (spilled to disk, never journaled).
+  j.spec.problem_path = job.spec.problem_path;
+  j.spec.solver = job.spec.solver;
+  j.spec.matcher = job.spec.matcher;
+  j.spec.iters = job.spec.iters;
+  j.spec.batch = job.spec.batch;
+  j.spec.ranks = job.spec.ranks;
+  j.spec.gamma = job.spec.gamma;
+  j.spec.deadline_seconds = job.spec.deadline_seconds;
+  j.spec.tag = job.spec.tag;
+  j.spec.tenant = job.tenant;
+  j.spec.request_id = job.spec.request_id;
+  j.tenant = job.tenant;
+  j.key = job.key;
+  j.key_provisional =
+      job.problem_file.empty() && !job.spec.problem_path.empty();
+  j.problem_file = job.problem_file;
+  // `resume` marks a recovered formerly-running job that has not been
+  // picked up again yet; snapshotting it as started keeps its
+  // checkpoint-resume eligibility across a second crash.
+  j.started = job.state == JobState::kRunning || job.resume;
+  j.terminal = job.state == JobState::kDone ||
+               job.state == JobState::kFailed ||
+               job.state == JobState::kCancelled;
+  if (j.terminal) j.result = to_journal_result(job, job.state);
+  return j;
+}
+
+JournalResult JobManager::to_journal_result(const Job& job, JobState state) {
+  JournalResult r;
+  r.state = to_string(state);
+  r.has_result = job.has_result;
+  r.error = job.error;
+  r.cache_hit = job.cache_hit;
+  if (job.has_result) {
+    const JobResult& jr = job.result;
+    r.stopped_reason = jr.stopped_reason;
+    r.objective = jr.objective;
+    r.weight = jr.weight;
+    r.overlap = jr.overlap;
+    r.cardinality = jr.cardinality;
+    r.best_iteration = jr.best_iteration;
+    r.iterations_completed = jr.iterations_completed;
+    r.total_seconds = jr.total_seconds;
+    r.problem_name = jr.problem_name;
+    r.num_a = jr.num_a;
+    r.num_b = jr.num_b;
+    r.pairs.reserve(jr.pairs.size());
+    for (const auto& [a, b] : jr.pairs) {
+      r.pairs.emplace_back(static_cast<std::int64_t>(a),
+                           static_cast<std::int64_t>(b));
+    }
+  }
+  return r;
+}
+
+void JobManager::journal_terminal(const Job& job, JobState state) {
+  // Called without mutex_ on purpose: the terminal fsync must not stall
+  // the manager lock. Safe because a job's result fields are immutable
+  // once the run finished, and only the caller publishes `state`.
+  journal_->terminal(job.id, to_journal_result(job, state));
+  if (counters_ != nullptr) {
+    counters_->add_concurrent("server.journal.appends");
+    counters_->add_concurrent("server.journal.fsyncs");
+  }
+}
+
+void JobManager::maybe_compact_locked() {
+  if (journal_ == nullptr) return;
+  // Proportional trigger: a journal in steady state holds at most
+  // retained_cap + queue_cap + workers live jobs at <= 3 records each;
+  // once the append count clears that by a healthy factor, most records
+  // are dead history (evicted jobs) and a rewrite shrinks the file.
+  const auto threshold =
+      4 * static_cast<std::int64_t>(options_.retained_cap +
+                                    options_.queue_cap) +
+      64;
+  if (journal_->appends_since_compact() <= threshold) return;
+  std::vector<JournalJob> live;
+  live.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) {
+    live.push_back(to_journal_locked(*job));
+  }
+  journal_->compact(live, next_id_);
+  if (counters_ != nullptr) {
+    counters_->add_concurrent("server.journal.compactions");
+  }
+}
+
+void JobManager::recover_from_journal() {
+  const std::string jpath = options_.work_dir + "/journal.jsonl";
+  {
+    std::error_code ec;
+    if (!std::filesystem::exists(jpath, ec)) return;  // nothing to replay
+  }
+  const JournalReplay rep = replay_journal_file(jpath);
+  recovery_.performed = true;
+  recovery_.ignored_events = rep.ignored_events;
+  recovery_.torn_tail = rep.torn_tail;
+  next_id_ = rep.next_id;
+
+  // Pass 1: rebuild every live job's in-memory state, in submit order.
+  for (const JournalJob& jj : rep.jobs) {
+    auto job = std::make_shared<Job>();
+    job->id = jj.id;
+    job->spec = jj.spec;
+    job->tenant = jj.tenant;
+    job->key = jj.key;
+    job->problem_file = jj.problem_file;
+    job->trace_path = options_.work_dir + "/job-" + std::to_string(jj.id) +
+                      ".trace.jsonl";
+    if (!jj.spec.request_id.empty()) {
+      request_ids_.emplace(jj.spec.request_id, jj.id);
+    }
+    if (jj.terminal) {
+      job->state = state_from_journal(jj.result.state);
+      job->has_result = jj.result.has_result;
+      job->error = jj.result.error;
+      job->cache_hit = jj.result.cache_hit;
+      if (jj.result.has_result) {
+        JobResult jr;
+        jr.state = job->state;
+        jr.has_result = true;
+        jr.stopped_reason = jj.result.stopped_reason;
+        jr.objective = jj.result.objective;
+        jr.weight = jj.result.weight;
+        jr.overlap = jj.result.overlap;
+        jr.cardinality = jj.result.cardinality;
+        jr.best_iteration = jj.result.best_iteration;
+        jr.iterations_completed = jj.result.iterations_completed;
+        jr.total_seconds = jj.result.total_seconds;
+        jr.cache_hit = jj.result.cache_hit;
+        jr.problem_name = jj.result.problem_name;
+        jr.num_a = jj.result.num_a;
+        jr.num_b = jj.result.num_b;
+        jr.pairs.reserve(jj.result.pairs.size());
+        for (const auto& [a, b] : jj.result.pairs) {
+          jr.pairs.emplace_back(static_cast<vid_t>(a),
+                                static_cast<vid_t>(b));
+        }
+        job->result = std::move(jr);
+      }
+      ++tenants_[job->tenant].completed;
+      retained_lru_.push_back(job->id);
+      job->lru_pos = std::prev(retained_lru_.end());
+      job->in_lru = true;
+      ++recovery_.terminal_restored;
+      // The pre-crash trace survives, so progress/status keep serving
+      // the full event stream for restored results.
+      job->tail = std::make_unique<obs::JsonlTailReader>(job->trace_path);
+    } else if (jj.problem_file.empty() && jj.spec.problem_path.empty()) {
+      // The submit was journaled but its problem spill never made it to
+      // disk (spill I/O failure before the crash). The job cannot be
+      // re-run; fail it visibly instead of dropping it.
+      job->state = JobState::kFailed;
+      job->error = "problem bytes were lost in a crash before the job ran";
+      ++tenants_[job->tenant].completed;
+      retained_lru_.push_back(job->id);
+      job->lru_pos = std::prev(retained_lru_.end());
+      job->in_lru = true;
+      ++recovery_.terminal_restored;
+      job->tail = std::make_unique<obs::JsonlTailReader>(job->trace_path);
+    } else {
+      job->state = JobState::kQueued;
+      if (!jj.problem_file.empty()) {
+        // Re-read the spilled bytes through the worker's existing
+        // problem_path machinery; re-keying reproduces the same content
+        // hash.
+        job->spec.problem_path = spill_path(jj.problem_file);
+        job->spec.problem_text.clear();
+      }
+      job->resume = jj.started;
+      // The old trace is from the interrupted attempt; the re-run
+      // rewrites it from scratch (with a `resume` event when resuming).
+      std::error_code ec;
+      std::filesystem::remove(job->trace_path, ec);
+      job->tail = std::make_unique<obs::JsonlTailReader>(job->trace_path);
+    }
+    jobs_.emplace(jj.id, std::move(job));
+  }
+
+  // Pass 2: re-enqueue non-terminal jobs -- formerly-running first, in
+  // the order workers originally picked them up, then still-queued jobs
+  // in submit order. Within a tenant both orders coincide with FIFO.
+  std::vector<const JournalJob*> started;
+  for (const JournalJob& jj : rep.jobs) {
+    if (!jj.terminal && jj.started) started.push_back(&jj);
+  }
+  std::sort(started.begin(), started.end(),
+            [](const JournalJob* a, const JournalJob* b) {
+              return a->start_seq < b->start_seq;
+            });
+  auto enqueue = [this](std::int64_t id, const std::string& tenant) {
+    Tenant& bucket = tenants_[tenant];
+    if (bucket.queue.empty()) active_tenants_.push_back(tenant);
+    bucket.queue.push_back(id);
+    ++queued_total_;
+  };
+  for (const JournalJob* jj : started) {
+    const auto it = jobs_.find(jj->id);
+    if (it == jobs_.end() || it->second->state != JobState::kQueued) continue;
+    enqueue(jj->id, jj->tenant);
+    ++recovery_.rerun;
+    std::error_code ec;
+    if (std::filesystem::exists(ckpt_path(jj->id), ec) ||
+        std::filesystem::exists(ckpt_path(jj->id) + ".prev", ec)) {
+      ++recovery_.resumed;
+    }
+  }
+  for (const JournalJob& jj : rep.jobs) {
+    if (jj.terminal || jj.started) continue;
+    const auto it = jobs_.find(jj.id);
+    if (it == jobs_.end() || it->second->state != JobState::kQueued) continue;
+    enqueue(jj.id, jj.tenant);
+    ++recovery_.requeued;
+  }
+
+  // Retention may have shrunk between runs: enforce the cap on restored
+  // terminal jobs the same way mark_terminal_locked does. The files of
+  // anything evicted here are swept by clean_work_dir right after.
+  while (retained_lru_.size() > options_.retained_cap) {
+    const std::int64_t victim = retained_lru_.front();
+    retained_lru_.pop_front();
+    const auto it = jobs_.find(victim);
+    if (it != jobs_.end()) {
+      if (!it->second->spec.request_id.empty()) {
+        const auto rid = request_ids_.find(it->second->spec.request_id);
+        if (rid != request_ids_.end() && rid->second == victim) {
+          request_ids_.erase(rid);
+        }
+      }
+      it->second->in_lru = false;
+      jobs_.erase(it);
+    }
+    ++evicted_;
+  }
+
+  if (counters_ != nullptr) {
+    counters_->add_concurrent("server.recovery.terminal_restored",
+                              recovery_.terminal_restored);
+    counters_->add_concurrent("server.recovery.requeued",
+                              recovery_.requeued);
+    counters_->add_concurrent("server.recovery.rerun", recovery_.rerun);
+    counters_->add_concurrent("server.recovery.resumed", recovery_.resumed);
+    counters_->add_concurrent("server.recovery.ignored_events",
+                              recovery_.ignored_events);
+  }
+}
+
+namespace {
+
+/// Parse "job-<digits><suffix>" out of a work-dir filename; returns -1
+/// when `name` does not have that shape.
+std::int64_t job_file_id(const std::string& name, const char* suffix) {
+  const std::string_view prefix = "job-";
+  const std::string_view suf = suffix;
+  if (name.size() <= prefix.size() + suf.size()) return -1;
+  if (name.compare(0, prefix.size(), prefix) != 0) return -1;
+  if (name.compare(name.size() - suf.size(), suf.size(), suf) != 0) {
+    return -1;
+  }
+  std::int64_t id = 0;
+  for (std::size_t i = prefix.size(); i < name.size() - suf.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(name[i])) == 0) return -1;
+    id = id * 10 + (name[i] - '0');
+    if (id > 1'000'000'000'000) return -1;
+  }
+  return id;
+}
+
+}  // namespace
+
+void JobManager::clean_work_dir() {
+  // Reclaim files this manager's naming scheme owns and no live job
+  // references: traces of evicted/unknown jobs, checkpoints nothing will
+  // resume, spills of jobs that reached a terminal state, and
+  // half-written temporaries from an interrupted atomic rename. Files
+  // outside the job-*/journal naming scheme are never touched.
+  std::int64_t removed = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.work_dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    bool doomed = false;
+    if (name == "journal.jsonl") {
+      doomed = journal_ == nullptr;  // journal off = fresh start
+    } else if (name == "journal.jsonl.tmp" ||
+               (name.size() > 4 && name.compare(0, 4, "job-") == 0 &&
+                name.compare(name.size() - 4, 4, ".tmp") == 0)) {
+      doomed = true;  // interrupted tmp -> rename
+    } else if (const auto id = job_file_id(name, ".trace.jsonl"); id >= 0) {
+      // Keep only terminal jobs' traces; requeued jobs already had
+      // theirs reset during recovery.
+      const auto it = jobs_.find(id);
+      doomed = it == jobs_.end() || it->second->state == JobState::kQueued;
+    } else if (const auto cid = job_file_id(name, ".ckpt"); cid >= 0) {
+      const auto it = jobs_.find(cid);
+      doomed = it == jobs_.end() || !it->second->resume;
+    } else if (const auto pid = job_file_id(name, ".ckpt.prev"); pid >= 0) {
+      const auto it = jobs_.find(pid);
+      doomed = it == jobs_.end() || !it->second->resume;
+    } else if (const auto nid = job_file_id(name, ".nap"); nid >= 0) {
+      const auto it = jobs_.find(nid);
+      doomed = it == jobs_.end() || it->second->state != JobState::kQueued;
+    }
+    if (doomed && std::filesystem::remove(entry.path(), ec)) ++removed;
+  }
+  recovery_.orphans_removed = removed;
+  if (counters_ != nullptr) {
+    counters_->add_concurrent("server.recovery.orphans_removed", removed);
+  }
+}
+
+JobManager::JournalStats JobManager::journal_stats() const {
+  JournalStats s;
+  if (journal_ != nullptr) {
+    s.enabled = true;
+    s.appends = journal_->appends_total();
+    s.fsyncs = journal_->fsyncs_total();
+    s.compactions = journal_->compactions_total();
+  }
+  return s;
 }
 
 JobManager::~JobManager() { shutdown(true); }
@@ -107,6 +500,27 @@ JobManager::SubmitOutcome JobManager::submit(SubmitParams spec) {
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (!spec.request_id.empty()) {
+      // Idempotent retry: the same request_id answers with the original
+      // job instead of enqueueing a second run. Checked before the
+      // drain/capacity gates on purpose -- the original was already
+      // admitted, so its retry must not bounce off a now-full queue.
+      const auto it = request_ids_.find(spec.request_id);
+      if (it != request_ids_.end()) {
+        out.accepted = true;
+        out.duplicate = true;
+        out.job = it->second;
+        if (const std::shared_ptr<Job> orig = find(it->second)) {
+          out.key = orig->key;
+          out.key_provisional =
+              orig->problem_file.empty() && !orig->spec.problem_path.empty();
+        }
+        if (counters_ != nullptr) {
+          counters_->add_concurrent("server.jobs_deduplicated");
+        }
+        return out;
+      }
+    }
     if (draining_ || stopping_) {
       out.code = ErrorCode::kShuttingDown;
       out.message = "server is shutting down";
@@ -143,6 +557,26 @@ JobManager::SubmitOutcome JobManager::submit(SubmitParams spec) {
     job->tail = std::make_unique<obs::JsonlTailReader>(job->trace_path);
     out.accepted = true;
     out.job = job->id;
+    if (!job->spec.request_id.empty()) {
+      request_ids_.emplace(job->spec.request_id, job->id);
+    }
+    if (journal_ != nullptr) {
+      // Durability before acknowledgement: spill inline problem bytes,
+      // then append the submit record. Both reach the kernel before the
+      // caller sees the job id, so a SIGKILL at any later instant cannot
+      // lose this job.
+      if (!job->spec.problem_text.empty()) {
+        job->problem_file = spill_problem(job->id, job->spec.problem_text);
+      }
+      journal_->submit(to_journal_locked(*job));
+      if (counters_ != nullptr) {
+        counters_->add_concurrent("server.journal.appends");
+        if (options_.journal_fsync) {
+          counters_->add_concurrent("server.journal.fsyncs");
+        }
+      }
+      maybe_compact_locked();
+    }
     if (bucket.queue.empty()) active_tenants_.push_back(tenant);
     bucket.queue.push_back(job->id);
     ++queued_total_;
@@ -239,13 +673,33 @@ void JobManager::worker_loop() {
       job->state = JobState::kRunning;
       ++running_;
     }
-    run_job(*job);
+    const JobState final_state = run_job(*job);
+    // The fsync'd terminal record goes to the journal *before* the
+    // terminal state is published (and off the manager lock): run_job
+    // filled in the result but left job->state at kRunning, so no client
+    // can observe a terminal state that is not yet durable, and the job
+    // cannot have been evicted yet (eviction requires the LRU entry
+    // mark_terminal_locked creates below).
+    if (journal_ != nullptr) journal_terminal(*job, final_state);
     std::vector<std::string> doomed;
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      // Publish the terminal state atomically with the bookkeeping, so
+      // stats can never show every job terminal while running_ > 0.
+      job->state = final_state;
+      if (job->has_result) job->result.state = final_state;
       --running_;
       --tenants_.at(job->tenant).running;
       doomed = mark_terminal_locked(*job);
+      // The run is over and its end is durable: the checkpoint and the
+      // problem spill have nothing left to recover.
+      doomed.push_back(ckpt_path(job->id));
+      doomed.push_back(ckpt_path(job->id) + ".prev");
+      doomed.push_back(ckpt_path(job->id) + ".tmp");
+      if (!job->problem_file.empty()) {
+        doomed.push_back(spill_path(job->problem_file));
+      }
+      maybe_compact_locked();
     }
     for (const std::string& path : doomed) {
       std::error_code ec;
@@ -324,14 +778,18 @@ AlignResult run_solver(const SubmitParams& spec, const CachedProblem& cp,
 
 }  // namespace
 
-void JobManager::run_job(Job& job) {
+JobState JobManager::run_job(Job& job) {
+  // Record the failure but do NOT flip job.state: worker_loop publishes
+  // the returned state only after the journal append is durable.
   auto fail = [&](const std::string& why) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    job.state = JobState::kFailed;
-    job.error = why;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job.error = why;
+    }
     if (counters_ != nullptr) {
       counters_->add_concurrent("server.jobs_failed");
     }
+    return JobState::kFailed;
   };
 
   if (!job.spec.problem_path.empty()) {
@@ -343,38 +801,32 @@ void JobManager::run_job(Job& job) {
     // even if the file grows underneath us.
     std::error_code ec;
     if (!std::filesystem::is_regular_file(job.spec.problem_path, ec)) {
-      fail("problem_path " + job.spec.problem_path +
-           " is not a regular file");
-      return;
+      return fail("problem_path " + job.spec.problem_path +
+                  " is not a regular file");
     }
     std::ifstream in(job.spec.problem_path, std::ios::binary);
     if (!in) {
-      fail("cannot open problem_path " + job.spec.problem_path);
-      return;
+      return fail("cannot open problem_path " + job.spec.problem_path);
     }
     std::string bytes;
     char buf[1u << 16];
     for (;;) {
       if (job.cancel.load(std::memory_order_relaxed)) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        job.state = JobState::kCancelled;
         if (counters_ != nullptr) {
           counters_->add_concurrent("server.jobs_cancelled");
         }
-        return;
+        return JobState::kCancelled;
       }
       in.read(buf, sizeof(buf));
       const auto n = static_cast<std::size_t>(in.gcount());
       if (bytes.size() + n > options_.max_problem_bytes) {
-        fail("problem_path " + job.spec.problem_path + " exceeds " +
-             std::to_string(options_.max_problem_bytes) + " bytes");
-        return;
+        return fail("problem_path " + job.spec.problem_path + " exceeds " +
+                    std::to_string(options_.max_problem_bytes) + " bytes");
       }
       bytes.append(buf, n);
       if (in.eof()) break;
       if (!in) {
-        fail("read error on problem_path " + job.spec.problem_path);
-        return;
+        return fail("read error on problem_path " + job.spec.problem_path);
       }
     }
     const std::string key = content_key(bytes);
@@ -384,13 +836,32 @@ void JobManager::run_job(Job& job) {
     job.key = key;  // re-key from bytes: path submissions dedupe with inline
   }
 
+  if (journal_ != nullptr) {
+    // Path submissions (and recovered jobs re-reading their spill) only
+    // have their bytes now: persist them so the job survives a crash
+    // from here on, then journal the pickup with the final content key.
+    if (job.problem_file.empty()) {
+      const std::string file = spill_problem(job.id, job.spec.problem_text);
+      if (!file.empty()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job.problem_file = file;
+      }
+    }
+    journal_->start(job.id, job.key, job.problem_file);
+    if (counters_ != nullptr) {
+      counters_->add_concurrent("server.journal.appends");
+      if (options_.journal_fsync) {
+        counters_->add_concurrent("server.journal.fsyncs");
+      }
+    }
+  }
+
   std::shared_ptr<const CachedProblem> cp;
   bool hit = false;
   try {
     cp = cache_.get(job.key, job.spec.problem_text, hit);
   } catch (const std::exception& e) {
-    fail(std::string("problem rejected: ") + e.what());
-    return;
+    return fail(std::string("problem rejected: ") + e.what());
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -409,6 +880,23 @@ void JobManager::run_job(Job& job) {
     SolveBudget budget;
     budget.deadline_seconds = job.spec.deadline_seconds;
     budget.cancel_flag = &job.cancel;
+    if (journal_ != nullptr && options_.checkpoint_every > 0) {
+      // Periodic solver checkpoints (io/checkpoint.hpp: atomic
+      // tmp -> rename, previous generation kept at .prev) are what let
+      // recovery resume this job instead of rerunning it from scratch.
+      budget.checkpoint_every = static_cast<int>(options_.checkpoint_every);
+      budget.checkpoint_path = ckpt_path(job.id);
+    }
+    if (job.resume) {
+      std::error_code ec;
+      if (std::filesystem::exists(ckpt_path(job.id), ec) ||
+          std::filesystem::exists(ckpt_path(job.id) + ".prev", ec)) {
+        // PR 5's deterministic resume: the finished matching is
+        // bit-identical to an uninterrupted run, which is what the
+        // durability gate byte-compares.
+        budget.resume_path = ckpt_path(job.id);
+      }
+    }
     const AlignResult r =
         run_solver(job.spec, *cp, budget, &trace, &run_counters);
     trace.run_end(r.total_seconds, r.value.objective, r.best_iteration,
@@ -437,18 +925,22 @@ void JobManager::run_job(Job& job) {
       }
     }
 
-    std::lock_guard<std::mutex> lock(mutex_);
     const bool cancelled = r.stopped_reason == StopReason::kCancelled;
-    job.state = cancelled ? JobState::kCancelled : JobState::kDone;
-    job.has_result = true;
-    jr.state = job.state;
-    job.result = std::move(jr);
+    const JobState final_state =
+        cancelled ? JobState::kCancelled : JobState::kDone;
+    jr.state = final_state;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job.has_result = true;
+      job.result = std::move(jr);
+    }
     if (counters_ != nullptr) {
       counters_->add_concurrent(cancelled ? "server.jobs_cancelled"
                                           : "server.jobs_completed");
     }
+    return final_state;
   } catch (const std::exception& e) {
-    fail(std::string("solve failed: ") + e.what());
+    return fail(std::string("solve failed: ") + e.what());
   }
 }
 
@@ -468,9 +960,34 @@ std::vector<std::string> JobManager::mark_terminal_locked(Job& job) {
     retained_lru_.pop_front();
     const auto it = jobs_.find(victim);
     if (it != jobs_.end()) {
-      doomed.push_back(it->second->trace_path);
-      it->second->in_lru = false;
+      Job& gone = *it->second;
+      doomed.push_back(gone.trace_path);
+      // Normally reclaimed at the victim's own terminal transition;
+      // harmless to re-doom (remove() of a missing file is a no-op).
+      doomed.push_back(ckpt_path(victim));
+      doomed.push_back(ckpt_path(victim) + ".prev");
+      if (!gone.problem_file.empty()) {
+        doomed.push_back(spill_path(gone.problem_file));
+      }
+      if (!gone.spec.request_id.empty()) {
+        // The dedupe window is the retention window: a retry after this
+        // point enqueues a fresh run instead of resolving to the victim.
+        const auto rid = request_ids_.find(gone.spec.request_id);
+        if (rid != request_ids_.end() && rid->second == victim) {
+          request_ids_.erase(rid);
+        }
+      }
+      gone.in_lru = false;
       jobs_.erase(it);
+    }
+    if (journal_ != nullptr) {
+      journal_->evict(victim);
+      if (counters_ != nullptr) {
+        counters_->add_concurrent("server.journal.appends");
+        if (options_.journal_fsync) {
+          counters_->add_concurrent("server.journal.fsyncs");
+        }
+      }
     }
     ++evicted_;
     if (counters_ != nullptr) {
@@ -590,8 +1107,15 @@ std::optional<JobManager::JobResult> JobManager::result(std::int64_t id) {
   const std::shared_ptr<Job> job = find(id);
   if (job == nullptr) return std::nullopt;
   touch_locked(*job);
-  if (job->has_result) {
-    return job->result;  // copy; jobs are immutable once terminal
+  const bool terminal = job->state == JobState::kDone ||
+                        job->state == JobState::kFailed ||
+                        job->state == JobState::kCancelled;
+  if (job->has_result && terminal) {
+    // Copy; jobs are immutable once terminal. The `terminal` guard
+    // matters: a worker fills job->result before the journal fsync and
+    // before worker_loop publishes the terminal state, and in that
+    // window the job must still look running.
+    return job->result;
   }
   JobResult r;
   r.state = job->state;
@@ -604,12 +1128,14 @@ std::optional<JobManager::JobResult> JobManager::result(std::int64_t id) {
 JobManager::CancelOutcome JobManager::cancel(std::int64_t id) {
   std::vector<std::string> doomed;
   CancelOutcome out;
+  std::shared_ptr<Job> went_terminal;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const std::shared_ptr<Job> job = find(id);
     if (job == nullptr) return {};
     out.found = true;
     if (job->state == JobState::kQueued) {
+      went_terminal = job;
       Tenant& t = tenants_.at(job->tenant);
       const auto it = std::find(t.queue.begin(), t.queue.end(), id);
       if (it != t.queue.end()) {
@@ -632,6 +1158,11 @@ JobManager::CancelOutcome JobManager::cancel(std::int64_t id) {
       job->cancel.store(true, std::memory_order_relaxed);
     }
     out.state = job->state;
+  }
+  if (went_terminal != nullptr && journal_ != nullptr) {
+    // Queued-job cancels flip the state under the lock above (there is
+    // no run to wait for), so the published state is the one journaled.
+    journal_terminal(*went_terminal, went_terminal->state);
   }
   for (const std::string& path : doomed) {
     std::error_code ec;
@@ -682,6 +1213,7 @@ bool JobManager::idle() const {
 
 void JobManager::shutdown(bool cancel_running) {
   std::vector<std::string> doomed;
+  std::vector<std::shared_ptr<Job>> went_terminal;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     draining_ = true;
@@ -689,12 +1221,13 @@ void JobManager::shutdown(bool cancel_running) {
     if (cancel_running) {
       for (auto& [name, t] : tenants_) {
         for (const std::int64_t id : t.queue) {
-          Job& job = *jobs_.at(id);
-          job.state = JobState::kCancelled;
+          const std::shared_ptr<Job> job = jobs_.at(id);
+          job->state = JobState::kCancelled;
+          went_terminal.push_back(job);
           if (counters_ != nullptr) {
             counters_->add_concurrent("server.jobs_cancelled");
           }
-          auto paths = mark_terminal_locked(job);
+          auto paths = mark_terminal_locked(*job);
           doomed.insert(doomed.end(), paths.begin(), paths.end());
         }
         t.queue.clear();
@@ -707,6 +1240,14 @@ void JobManager::shutdown(bool cancel_running) {
           job->cancel.store(true, std::memory_order_relaxed);
         }
       }
+    }
+  }
+  if (journal_ != nullptr) {
+    for (const std::shared_ptr<Job>& job : went_terminal) {
+      // A `shutdown now` is still an orderly transition: the cancelled
+      // queued jobs are journaled terminal so a restart reports them as
+      // cancelled instead of re-running them.
+      journal_terminal(*job, job->state);
     }
   }
   for (const std::string& path : doomed) {

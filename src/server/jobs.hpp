@@ -55,6 +55,7 @@
 #include "obs/counters.hpp"
 #include "obs/jsonl_tail.hpp"
 #include "server/cache.hpp"
+#include "server/journal.hpp"
 #include "server/protocol.hpp"
 #include "util/types.hpp"
 
@@ -87,6 +88,24 @@ struct JobManagerOptions {
   /// the job once it would exceed this.
   std::size_t max_problem_bytes = 1u << 30;
   std::string work_dir;       ///< per-job trace files live here (required)
+  /// Durability (docs/SERVER.md "Durability & recovery"): with the
+  /// journal on, an accepted submit is appended to
+  /// `work_dir/journal.jsonl` before it is acknowledged, terminal
+  /// transitions are fsync'd, and running jobs checkpoint their solver
+  /// state every `checkpoint_every` iterations, so a SIGKILL loses no
+  /// acknowledged job.
+  bool journal = true;
+  /// fsync every journal append, not just terminal records: submit acks
+  /// then survive a machine crash too, at a per-submit fsync cost.
+  bool journal_fsync = false;
+  /// Replay the journal at construction: restore terminal results,
+  /// re-enqueue queued jobs, resume formerly-running jobs from their
+  /// checkpoints. Off = discard any prior journal and start fresh.
+  bool recover = true;
+  /// Solver-iteration cadence of per-job checkpoints (job-<id>.ckpt);
+  /// 0 = no periodic checkpoints. Only meaningful with the journal on,
+  /// since recovery is the only reader.
+  std::int64_t checkpoint_every = 25;
 };
 
 class JobManager {
@@ -106,6 +125,9 @@ class JobManager {
     /// that the worker replaces with the content hash once it reads the
     /// bytes, so clients must not use it for dedupe or correlation.
     bool key_provisional = false;
+    /// True when `request_id` matched a known submission: `job` is the
+    /// original id and nothing new was enqueued.
+    bool duplicate = false;
     ErrorCode code = ErrorCode::kInternal;  ///< when !accepted
     std::string message;                    ///< when !accepted
   };
@@ -192,6 +214,28 @@ class JobManager {
   };
   QueueStats queue_stats() const;
 
+  /// What the startup recovery pass did (all zero when `recover` was off
+  /// or there was no journal). Immutable after construction.
+  struct RecoveryStats {
+    bool performed = false;        ///< a journal was replayed
+    std::int64_t terminal_restored = 0;  ///< results queryable again
+    std::int64_t requeued = 0;     ///< formerly-queued jobs re-enqueued
+    std::int64_t rerun = 0;        ///< formerly-running jobs re-enqueued
+    std::int64_t resumed = 0;      ///< of `rerun`, with a checkpoint to resume
+    std::int64_t orphans_removed = 0;  ///< stale work-dir files deleted
+    std::int64_t ignored_events = 0;   ///< journal records that did not apply
+    bool torn_tail = false;        ///< the final record was cut mid-write
+  };
+  [[nodiscard]] const RecoveryStats& recovery() const { return recovery_; }
+
+  struct JournalStats {
+    bool enabled = false;
+    std::int64_t appends = 0;
+    std::int64_t fsyncs = 0;
+    std::int64_t compactions = 0;
+  };
+  [[nodiscard]] JournalStats journal_stats() const;
+
   /// Reject all future submits with kShuttingDown.
   void begin_drain();
   [[nodiscard]] bool draining() const;
@@ -208,6 +252,15 @@ class JobManager {
     std::string tenant;  ///< resolved (never empty)
     std::string key;
     std::string trace_path;
+    /// Basename of the job's problem spill in the work dir
+    /// ("job-<id>.nap"); what recovery re-reads the bytes from. Empty
+    /// for a path submission a worker has not picked up yet (recovery
+    /// re-reads the original problem_path instead), or when the journal
+    /// is off.
+    std::string problem_file;
+    /// Set by recovery on a formerly-running job: run_job points the
+    /// budget's resume_path at job-<id>.ckpt (bit-identical resume).
+    bool resume = false;
     std::atomic<bool> cancel{false};
 
     // Guarded by JobManager::mutex_.
@@ -238,7 +291,40 @@ class JobManager {
   };
 
   void worker_loop();
-  void run_job(Job& job);
+  /// Execute `job` and return its final state WITHOUT publishing it:
+  /// worker_loop journals the terminal record first and only then flips
+  /// job.state under mutex_, atomically with the running_/completed
+  /// bookkeeping. No client can observe a terminal state that is not
+  /// yet durable, and stats never show "all terminal but still running".
+  [[nodiscard]] JobState run_job(Job& job);
+  /// work_dir/job-<id>.ckpt (periodic solver checkpoints, io/checkpoint).
+  [[nodiscard]] std::string ckpt_path(std::int64_t id) const;
+  /// work_dir/<basename> for a problem spill file.
+  [[nodiscard]] std::string spill_path(const std::string& file) const;
+  /// Write `bytes` to the job's problem spill ("job-<id>.nap", tmp +
+  /// atomic rename). Returns the basename, or "" on I/O failure (the
+  /// job then survives only as long as the process).
+  std::string spill_problem(std::int64_t id, const std::string& bytes);
+  /// Snapshot `job` for a journal submit/compact record. Requires mutex_.
+  [[nodiscard]] JournalJob to_journal_locked(const Job& job) const;
+  /// Terminal-record payload for a job ending in `state`; the job's
+  /// result fields must already be final (immutable from then on, so no
+  /// lock is needed — job.state itself may not be published yet).
+  [[nodiscard]] static JournalResult to_journal_result(const Job& job,
+                                                      JobState state);
+  /// Append the terminal record (fsync'd) and bump journal counters.
+  void journal_terminal(const Job& job, JobState state);
+  /// Rewrite the journal as a snapshot of live jobs when enough appends
+  /// accumulated since the last compaction. Requires mutex_.
+  void maybe_compact_locked();
+  /// Replay work_dir/journal.jsonl into jobs_/tenants_/request_ids_.
+  /// Runs in the constructor, before any worker starts. Throws on a
+  /// journal with a newer version than this build.
+  void recover_from_journal();
+  /// Delete stale work-dir files (orphaned traces/checkpoints/spills and
+  /// half-written temporaries) that no live job owns. Requires the
+  /// recovery pass (when any) to have run.
+  void clean_work_dir();
   /// Drain new trace events into job.events / progress counters.
   void drain_tail(Job& job);
   std::shared_ptr<Job> find(std::int64_t id);
@@ -259,6 +345,10 @@ class JobManager {
   JobManagerOptions options_;
   ProblemCache& cache_;
   obs::Counters* counters_;
+  /// Null when options_.journal is off. Lock order: mutex_ before the
+  /// journal's internal mutex, never the reverse.
+  std::unique_ptr<JobJournal> journal_;
+  RecoveryStats recovery_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
@@ -268,6 +358,10 @@ class JobManager {
   std::deque<std::string> active_tenants_;
   std::size_t queued_total_ = 0;
   std::map<std::int64_t, std::shared_ptr<Job>> jobs_;
+  /// request_id -> job id for idempotent submits; entries live exactly
+  /// as long as their job (erased on eviction), so the dedupe window is
+  /// the retention window.
+  std::map<std::string, std::int64_t> request_ids_;
   std::list<std::int64_t> retained_lru_;  ///< terminal jobs, LRU at front
   std::int64_t evicted_ = 0;
   std::int64_t next_id_ = 1;

@@ -1,0 +1,164 @@
+// Write-ahead job journal for the alignment daemon (docs/SERVER.md
+// "Durability & recovery", record schema in docs/FORMATS.md).
+//
+// The journal is the daemon's source of truth for job *existence*: a
+// submit is acknowledged only after its record reached the kernel via
+// write(2), so a SIGKILL at any instant loses no acknowledged job. Each
+// job contributes at most four append-only JSONL records over its life:
+//
+//   submit    id, tenant, request_id, solver params, content-hash key,
+//             and the name of the spilled problem file
+//   start     a worker picked the job up (final key after a path re-key)
+//   terminal  done/failed/cancelled, with the full result payload so a
+//             restart can serve `result` without re-running anything
+//   evict     the retention cap reclaimed a terminal job
+//
+// Terminal records are fsync'd (the transition a client paid for must
+// survive a machine crash, not just a process kill); `fsync_all` extends
+// that to every append for callers who want submit acks machine-crash
+// durable too. The file is rewritten in place -- write temp, fsync,
+// rename -- by compact(), which drops evicted jobs and dead history so
+// the journal stays proportional to live state, not uptime.
+//
+// replay_journal_file() is the pure read side: it applies records in
+// order through the same tail-tolerant reader the progress stream uses
+// (obs/jsonl_tail.hpp), so a torn final line -- the record the dying
+// daemon was mid-write -- is dropped, never misparsed, and a record is
+// never applied twice (re-applied ids are counted and ignored). A
+// journal stamped with a *newer* version than this build understands is
+// refused with a thrown error rather than misread.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "server/protocol.hpp"
+
+namespace netalign::server {
+
+/// Journal file schema version; bumped on any record-layout change a
+/// replayer could misread. Reported by `ping`/`stats` and refused by
+/// recovery when a journal claims a newer one.
+inline constexpr std::int64_t kJournalVersion = 1;
+
+/// Payload of a terminal record: everything `result` serves, so a
+/// restarted daemon answers result queries for pre-crash jobs without
+/// re-running them (mirrors JobManager::JobResult, which lives above
+/// this module).
+struct JournalResult {
+  std::string state;  ///< "done" | "failed" | "cancelled"
+  bool has_result = false;
+  std::string error;
+  std::string stopped_reason;
+  double objective = 0.0;
+  double weight = 0.0;
+  double overlap = 0.0;
+  std::int64_t cardinality = 0;
+  std::int64_t best_iteration = -1;
+  std::int64_t iterations_completed = 0;
+  double total_seconds = 0.0;
+  bool cache_hit = false;
+  std::string problem_name;
+  std::int64_t num_a = 0;
+  std::int64_t num_b = 0;
+  std::vector<std::pair<std::int64_t, std::int64_t>> pairs;
+};
+
+/// One job's replayed state: the submit record plus whatever later
+/// records applied. Also the unit compact() snapshots live jobs as.
+struct JournalJob {
+  std::int64_t id = 0;
+  SubmitParams spec;  ///< problem bytes spilled, not journaled (see below)
+  std::string tenant;
+  std::string key;
+  bool key_provisional = false;
+  /// Basename of the job's problem spill in the work dir
+  /// ("job-<id>.nap"); empty for a path submission that never started
+  /// (the worker re-reads spec.problem_path instead).
+  std::string problem_file;
+  bool started = false;
+  std::int64_t start_seq = -1;  ///< order workers picked jobs up, for replay
+  bool terminal = false;
+  JournalResult result;  ///< valid iff terminal
+};
+
+/// Everything replay_journal_file() learned from one journal.
+struct JournalReplay {
+  std::int64_t version = kJournalVersion;
+  /// Smallest id the restarted manager may issue: max(header next_id,
+  /// highest id seen + 1). Ids are never reused across restarts, which
+  /// is what keeps `expired` answers truthful.
+  std::int64_t next_id = 1;
+  std::vector<JournalJob> jobs;  ///< live (non-evicted) jobs, submit order
+  std::int64_t records_applied = 0;
+  /// Records that could not apply (a re-submitted id, a start/terminal
+  /// for an unknown or already-terminal job): ignored, never
+  /// double-applied. Zero for any journal this module wrote.
+  std::int64_t ignored_events = 0;
+  /// True when the final line was cut mid-write (SIGKILL mid-append);
+  /// exactly that one record is dropped.
+  bool torn_tail = false;
+  /// True when an unparseable line had records *after* it (real
+  /// corruption, not a torn tail); replay stops there and keeps the
+  /// clean prefix.
+  bool malformed = false;
+};
+
+/// Replay `path` record by record. A missing file replays as empty.
+/// Throws std::runtime_error only for a journal whose header claims a
+/// version newer than kJournalVersion; every other defect degrades to
+/// torn_tail/malformed/ignored_events.
+[[nodiscard]] JournalReplay replay_journal_file(const std::string& path);
+
+class JobJournal {
+ public:
+  /// Open (or create) `path` for appending. A new or empty file gets the
+  /// header record immediately. `fsync_all` extends the terminal-record
+  /// fsync to every append. Throws std::runtime_error when the file
+  /// cannot be opened.
+  JobJournal(std::string path, bool fsync_all);
+  ~JobJournal();
+
+  JobJournal(const JobJournal&) = delete;
+  JobJournal& operator=(const JobJournal&) = delete;
+
+  void submit(const JournalJob& job);
+  void start(std::int64_t job, const std::string& key,
+             const std::string& problem_file);
+  void terminal(std::int64_t job, const JournalResult& result);
+  void evict(std::int64_t job);
+
+  /// Rewrite the journal as a clean snapshot of `live` (header carrying
+  /// `next_id`, then submit/start/terminal records per job): write
+  /// `<path>.tmp`, fsync, rename, and swap the append fd so concurrent
+  /// appends land in the new file. Drops evicted jobs and superseded
+  /// history; resets appends_since_compact().
+  void compact(const std::vector<JournalJob>& live, std::int64_t next_id);
+
+  /// Appends since the last compact (or open), the compaction trigger.
+  [[nodiscard]] std::int64_t appends_since_compact() const;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Lifetime totals for the server.journal.* counters.
+  [[nodiscard]] std::int64_t appends_total() const;
+  [[nodiscard]] std::int64_t fsyncs_total() const;
+  [[nodiscard]] std::int64_t compactions_total() const;
+
+ private:
+  void append_line(const std::string& line, bool fsync_now);
+
+  std::string path_;
+  bool fsync_all_ = false;
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  std::int64_t appends_since_compact_ = 0;
+  std::int64_t appends_total_ = 0;
+  std::int64_t fsyncs_total_ = 0;
+  std::int64_t compactions_total_ = 0;
+};
+
+}  // namespace netalign::server

@@ -183,6 +183,12 @@ bool parse_request(std::string_view line, Request& out, ErrorCode& code,
       p.deadline_seconds = get_double(doc, "deadline_seconds", 0.0);
       p.tag = get_string(doc, "tag", "");
       p.tenant = get_string(doc, "tenant", "");
+      p.request_id = get_string(doc, "request_id", "");
+      if (p.request_id.size() > 200) {
+        // The token is journaled with every submit and indexed forever
+        // while the job is retained; an unbounded one is a memory lever.
+        throw FieldError{"request_id must be at most 200 bytes"};
+      }
       if (p.iters < 0 || p.iters > kMaxSubmitInt || p.batch < 1 ||
           p.batch > kMaxSubmitInt || p.ranks < 1 || p.ranks > kMaxSubmitInt ||
           p.gamma < 0.0 || p.deadline_seconds < 0.0 ||

@@ -85,6 +85,12 @@ struct SubmitParams {
   /// deficit-round-robin, with per-tenant quotas (docs/SERVER.md).
   /// Empty = the "default" tenant.
   std::string tenant;
+  /// Client-chosen idempotency token. While the original job is
+  /// retained, a re-submit carrying the same request_id returns that
+  /// job's id (flagged `duplicate`) instead of enqueueing a second run,
+  /// which is what makes blind client retries across a daemon restart
+  /// safe. Empty = no dedupe.
+  std::string request_id;
 };
 
 /// One parsed request. `id` is the client's correlation value echoed

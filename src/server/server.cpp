@@ -73,16 +73,26 @@ Server::Server(const ServerOptions& options)
                               options.tenant_queue_cap,
                               options.tenant_running_cap, options.drr_quantum,
                               options.retained_cap, options.max_problem_bytes,
-                              options.work_dir},
+                              options.work_dir, options.journal,
+                              options.journal_fsync, options.recover,
+                              options.checkpoint_every},
             cache_, &counters_) {
   // Pre-register the server counters so `stats` reports them in a stable
-  // order (and as explicit zeros) from the first request on.
+  // order (and as explicit zeros) from the first request on. The
+  // recovery counters already carry the startup pass's totals here;
+  // adding zero only pins their snapshot presence.
   for (const char* name :
        {"server.requests", "server.jobs_accepted", "server.jobs_rejected",
-        "server.jobs_quota_exceeded", "server.jobs_completed",
-        "server.jobs_failed", "server.jobs_cancelled", "server.jobs_evicted",
-        "server.cache_hit", "server.cache_miss", "server.cache_evicted",
-        "server.bad_requests", "server.slow_clients_dropped"}) {
+        "server.jobs_quota_exceeded", "server.jobs_deduplicated",
+        "server.jobs_completed", "server.jobs_failed",
+        "server.jobs_cancelled", "server.jobs_evicted", "server.cache_hit",
+        "server.cache_miss", "server.cache_evicted", "server.bad_requests",
+        "server.slow_clients_dropped", "server.journal.appends",
+        "server.journal.fsyncs", "server.journal.compactions",
+        "server.recovery.terminal_restored", "server.recovery.requeued",
+        "server.recovery.rerun", "server.recovery.resumed",
+        "server.recovery.ignored_events",
+        "server.recovery.orphans_removed"}) {
     counters_.add_concurrent(name, 0);
   }
 }
@@ -297,6 +307,11 @@ std::string Server::handle(const Request& req) {
     case Method::kPing: {
       ResponseBuilder r(true, req.id_json);
       r.field("protocol", std::int64_t{kProtocolVersion});
+      // Version stamps (satellites of the durability work): clients can
+      // tell before submitting whether this daemon's journal format and
+      // wire schema match what they expect.
+      r.field("proto_version", std::int64_t{kProtocolVersion});
+      r.field("journal_version", std::int64_t{kJournalVersion});
       return std::move(r).str();
     }
     case Method::kSubmit:
@@ -340,6 +355,13 @@ std::string Server::handle_submit(const Request& req) {
   // Path submits are re-keyed from the bytes once a worker reads them;
   // warn clients off storing the submit-time key for dedupe.
   if (out.key_provisional) r.field("key_provisional", true);
+  if (out.duplicate) {
+    // request_id matched an earlier submit: `job` is the original id
+    // and nothing new was enqueued. The job may be in any state by now,
+    // so no `state` field -- clients should poll `status`.
+    r.field("duplicate", true);
+    return std::move(r).str();
+  }
   r.field("tenant",
           req.submit.tenant.empty() ? kDefaultTenant
                                     : req.submit.tenant.c_str());
@@ -462,6 +484,22 @@ std::string Server::handle_stats(const Request& req) {
   r.field("cache_size", static_cast<std::int64_t>(cache_.size()));
   r.field("cache_cap", static_cast<std::int64_t>(cache_.capacity()));
   r.field("draining", jobs_.draining());
+  r.field("proto_version", std::int64_t{kProtocolVersion});
+  r.field("journal_version", std::int64_t{kJournalVersion});
+  const JobManager::JournalStats js = jobs_.journal_stats();
+  r.field("journal_enabled", js.enabled);
+  r.field("journal_appends", js.appends);
+  r.field("journal_fsyncs", js.fsyncs);
+  r.field("journal_compactions", js.compactions);
+  const JobManager::RecoveryStats& rec = jobs_.recovery();
+  r.field("recovered", rec.performed);
+  r.field("recovered_terminal", rec.terminal_restored);
+  r.field("recovered_queued", rec.requeued);
+  r.field("recovered_running", rec.rerun);
+  r.field("recovered_resumed", rec.resumed);
+  r.field("recovered_orphans_removed", rec.orphans_removed);
+  r.field("recovered_ignored_events", rec.ignored_events);
+  r.field("recovered_torn_tail", rec.torn_tail);
   std::string tenants = "{";
   for (std::size_t i = 0; i < q.tenants.size(); ++i) {
     if (i > 0) tenants.push_back(',');

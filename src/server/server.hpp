@@ -35,6 +35,10 @@ struct ServerOptions {
   /// Byte cap on a problem_path file read by a worker.
   std::size_t max_problem_bytes = 1u << 30;
   std::string work_dir;               ///< job trace files (required)
+  bool journal = true;                ///< write-ahead job journal in work_dir
+  bool journal_fsync = false;         ///< fsync every append, not just terminals
+  bool recover = true;                ///< replay the journal at startup
+  std::int64_t checkpoint_every = 25; ///< solver-checkpoint cadence (0 = off)
   /// External stop latch (SIGTERM/SIGINT); treated as `shutdown now=false`
   /// (drain) when it fires. Nullable.
   const std::atomic<bool>* stop_flag = nullptr;

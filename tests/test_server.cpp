@@ -265,6 +265,11 @@ JobManagerOptions manager_options(int workers, std::size_t queue_cap,
   opt.workers = workers;
   opt.queue_cap = queue_cap;
   opt.work_dir = tmp_path(dir);
+  // Journaling is on by default, so a re-run in the same process (e.g.
+  // --gtest_repeat) would otherwise recover the previous iteration's
+  // jobs and skew counts; start every manager from a clean slate.
+  std::error_code ec;
+  std::filesystem::remove_all(opt.work_dir, ec);
   return opt;
 }
 
@@ -567,7 +572,9 @@ TEST(JobManager, RetentionEvictsOldestTerminalJobsWithTheirTraces) {
     traces = 0;
     for (const auto& entry :
          std::filesystem::directory_iterator(opt.work_dir)) {
-      traces += entry.path().extension() == ".jsonl" ? 1u : 0u;
+      // Count job traces only: the work dir also holds journal.jsonl now.
+      const std::string name = entry.path().filename().string();
+      traces += name.find(".trace.jsonl") != std::string::npos ? 1u : 0u;
     }
     if (traces == 4 || std::chrono::steady_clock::now() > deadline) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
@@ -831,7 +838,12 @@ class ServerSocketTest : public ::testing::Test {
     options.workers = 1;
     options.queue_cap = 4;
     options.cache_cap = 2;
-    options.work_dir = tmp_path("srv_jobs");
+    // Per-test work dir: with the journal on by default, a shared dir
+    // would make later tests in a same-process run recover earlier
+    // tests' jobs.
+    options.work_dir =
+        tmp_path(std::string("srv_jobs_") +
+                 ::testing::UnitTest::GetInstance()->current_test_info()->name());
     return options;
   }
 
@@ -886,6 +898,11 @@ TEST_F(ServerSocketTest, PingSubmitResultOverOneConnection) {
   const obs::JsonValue pong = client_->call(R"({"method":"ping","id":1})");
   EXPECT_TRUE(pong.find("ok")->as_bool());
   EXPECT_EQ(pong.find("protocol")->as_number(), kProtocolVersion);
+  // Version stamps: wire schema and journal format, so clients can check
+  // compatibility before submitting (docs/SERVER.md).
+  EXPECT_EQ(pong.find("proto_version")->as_number(), kProtocolVersion);
+  EXPECT_EQ(pong.find("journal_version")->as_number(),
+            static_cast<double>(kJournalVersion));
   EXPECT_EQ(pong.find("id")->as_number(), 1.0);
 
   const obs::JsonValue accepted =
@@ -1064,6 +1081,58 @@ TEST_F(ServerSocketTest, SecondDaemonRefusesALiveSocket) {
   EXPECT_EQ(other.run(), 1);
   // The probe did not disturb the incumbent.
   EXPECT_TRUE(client_->call(R"({"method":"ping"})").find("ok")->as_bool());
+}
+
+TEST_F(ServerSocketTest, SubmitWithRequestIdIsIdempotentOverTheWire) {
+  start();
+  std::string line = submit_line(problem_text(), 10);
+  line.back() = ',';  // re-open the object to add the request_id
+  line += R"("request_id":"wire-retry-1"})";
+  const obs::JsonValue first = client_->call(line);
+  ASSERT_TRUE(first.find("ok")->as_bool());
+  EXPECT_EQ(first.find("duplicate"), nullptr);
+  const auto job = static_cast<std::int64_t>(first.find("job")->as_number());
+  // The retry (same line, byte for byte -- exactly what the client's
+  // reconnect path re-sends) answers with the original job id.
+  const obs::JsonValue again = client_->call(line);
+  ASSERT_TRUE(again.find("ok")->as_bool());
+  ASSERT_NE(again.find("duplicate"), nullptr);
+  EXPECT_TRUE(again.find("duplicate")->as_bool());
+  EXPECT_EQ(static_cast<std::int64_t>(again.find("job")->as_number()), job);
+  const obs::JsonValue stats = client_->call(R"({"method":"stats"})");
+  EXPECT_EQ(stats.find("counters")
+                ->find("server.jobs_deduplicated")
+                ->as_number(),
+            1.0);
+  // Stats carry the durability fields too.
+  EXPECT_EQ(stats.find("journal_enabled")->as_bool(), true);
+  EXPECT_GE(stats.find("journal_appends")->as_number(), 1.0);
+  EXPECT_EQ(stats.find("recovered")->as_bool(), false);
+  ASSERT_NE(stats.find("recovered_terminal"), nullptr);
+  ASSERT_NE(stats.find("recovered_resumed"), nullptr);
+}
+
+TEST_F(ServerSocketTest, ClientRetryPolicySurvivesADaemonRestart) {
+  start();
+  // A client with a retry budget, pointed at a daemon we then replace.
+  ServerClient retrying(tmp_path("srv.sock"),
+                        RetryPolicy{/*retries=*/40, /*max_backoff_ms=*/100});
+  EXPECT_TRUE(retrying.call(R"({"method":"ping"})").find("ok")->as_bool());
+  stop();  // the daemon goes away entirely...
+  ServerOptions options = base_options();
+  options.work_dir = tmp_path("srv_jobs_restarted");
+  start_with(options);  // ...and comes back on the same socket path
+  // The next call rides the reconnect loop instead of throwing.
+  const obs::JsonValue pong = retrying.call(R"({"method":"ping"})");
+  EXPECT_TRUE(pong.find("ok")->as_bool());
+}
+
+TEST_F(ServerSocketTest, ZeroRetryClientStillFailsFast) {
+  start();
+  ServerClient fragile(tmp_path("srv.sock"));
+  EXPECT_TRUE(fragile.call(R"({"method":"ping"})").find("ok")->as_bool());
+  stop();
+  EXPECT_THROW(fragile.call(R"({"method":"ping"})"), std::runtime_error);
 }
 
 TEST_F(ServerSocketTest, ClientThatStopsReadingIsDropped) {

@@ -66,9 +66,20 @@ echo "== bench_fig6_steps_mr =="
 echo "== bench_fig7_steps_bp =="
 "$BUILD_DIR/bench/bench_fig7_steps_bp" --scale 0.05 --iters 10 --batch 8 \
     --seed 707 --json-out "$OUT_DIR/bench_fig7_steps_bp.json"
+echo "== bench_server_load =="
+# In-process, fixed profile; sized so the latency percentiles clear
+# bench_compare's min-seconds floor and actually gate. This is where the
+# journal on/off columns (journal_{off,on}_p95_seconds) enter the
+# committed baseline: a durability-cost regression trips the
+# --latency-threshold gate like any other tail-latency metric.
+"$BUILD_DIR/bench/bench_server_load" --n 300 --polite-jobs 40 \
+    --polite-iters 40 --aggressive-clients 3 --aggressive-iters 800 \
+    --retention-jobs 120 --retained-cap 16 \
+    --json-out "$OUT_DIR/bench_server_load.json"
 
 RESULTS=("$OUT_DIR/bench_kernels.json" "$OUT_DIR/bench_fig6_steps_mr.json"
-         "$OUT_DIR/bench_fig7_steps_bp.json")
+         "$OUT_DIR/bench_fig7_steps_bp.json"
+         "$OUT_DIR/bench_server_load.json")
 
 echo "== validate =="
 "$COMPARE" --validate "${RESULTS[@]}"

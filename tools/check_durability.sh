@@ -1,0 +1,261 @@
+#!/usr/bin/env sh
+# SIGKILL chaos gate for the durable-jobs subsystem (docs/SERVER.md
+# "Durability & recovery", docs/FORMATS.md "Job journal"):
+#
+#   1. chaos rounds: start netalign_server with the journal on, submit a
+#      batch of jobs across two tenants, SIGKILL the daemon at a
+#      randomized moment mid-load, restart it on the same --work-dir,
+#      and require
+#        - zero lost acknowledged jobs: every job id the daemon ack'd
+#          before the kill must still resolve after recovery and finish
+#          as done (never not_found/expired);
+#        - no duplicated terminal events: at most one terminal record
+#          per job id in the journal, and every job's result is served
+#          exactly once;
+#        - byte-identical matchings: each recovered job's saved matching
+#          must equal an uninterrupted one-shot `netalign align` of the
+#          same problem and parameters (checkpoint resume and re-runs
+#          are both deterministic, so a crash may cost time but never
+#          changes an answer);
+#   2. client retry: a `client submit --wait --retry` started before the
+#      kill must survive the daemon restart through its reconnect loop
+#      and come back with the same byte-identical matching;
+#   3. clean drain shutdown of the recovered daemon.
+#
+#   tools/check_durability.sh [--build-dir DIR] [--rounds N] [--seed S]
+#
+# Exits non-zero on any lost job, duplicated terminal record, matching
+# mismatch, or unclean shutdown. Deterministic kill schedule per --seed
+# (default 1): rerunning with the same seed reproduces the same delays.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD=./build
+ROUNDS=3
+SEED=1
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir) BUILD="$2"; shift 2 ;;
+    --rounds) ROUNDS="$2"; shift 2 ;;
+    --seed) SEED="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+CLI="$BUILD/tools/netalign"
+SERVER="$BUILD/tools/netalign_server"
+for BIN in "$CLI" "$SERVER"; do
+  if [ ! -x "$BIN" ]; then
+    echo "FAILURE: $BIN not built (cmake --build $BUILD)" >&2
+    exit 1
+  fi
+done
+
+TMP="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "== problems + uninterrupted references =="
+"$CLI" generate --type powerlaw --n 700 --dbar 6 --seed 4641 \
+  --out "$TMP/p1.nap"
+"$CLI" generate --type powerlaw --n 500 --dbar 5 --seed 4642 \
+  --out "$TMP/p2.nap"
+# The byte-compare targets: the server is a transport, never a different
+# solver, so the one-shot CLI is the ground truth (same invariant as
+# check_server.sh) -- even across a SIGKILL and a checkpoint resume.
+"$CLI" align --problem "$TMP/p1.nap" --method bp --iters 40 \
+  --save-matching "$TMP/ref_bp.mat" > /dev/null
+"$CLI" align --problem "$TMP/p2.nap" --method mr --iters 30 \
+  --save-matching "$TMP/ref_mr.mat" > /dev/null
+
+start_daemon() {  # $1 = socket, $2 = work dir, $3 = log file
+  "$SERVER" --socket "$1" --workers 2 --work-dir "$2" \
+    --checkpoint-every 1 > "$3" 2>&1 &
+  SERVER_PID=$!
+  _tries=0
+  until "$CLI" client ping --socket "$1" > /dev/null 2>&1; do
+    _tries=$((_tries + 1))
+    if [ "$_tries" -gt 100 ]; then
+      echo "FAILURE: daemon never answered ping" >&2
+      cat "$3" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+# Poll `client result` until the job is terminal; echoes nothing, writes
+# the matching to $3. not_ready keeps polling; not_found/expired is a
+# lost acknowledged job -- the exact failure this gate exists to catch.
+poll_result() {  # $1 = socket, $2 = job id, $3 = matching out, $4 = scratch
+  _tries=0
+  while :; do
+    if "$CLI" client result --socket "$1" --job "$2" \
+         --save-matching "$3" > "$4" 2>&1; then
+      if grep -q '"state":"done"' "$4"; then return 0; fi
+      echo "FAILURE: job $2 finished in an unexpected state:" >&2
+      cat "$4" >&2
+      exit 1
+    fi
+    if grep -q '"not_found"\|"expired"' "$4"; then
+      echo "FAILURE: acknowledged job $2 was lost by the restart" >&2
+      cat "$4" >&2
+      exit 1
+    fi
+    _tries=$((_tries + 1))
+    if [ "$_tries" -gt 600 ]; then
+      echo "FAILURE: job $2 did not finish within 60s of recovery" >&2
+      cat "$4" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+ROUND=1
+while [ "$ROUND" -le "$ROUNDS" ]; do
+  D="$TMP/round$ROUND"
+  SOCK="$D/na.sock"
+  mkdir -p "$D"
+  echo "== round $ROUND/$ROUNDS: daemon up, 6 jobs, SIGKILL, recover =="
+  start_daemon "$SOCK" "$D/jobs" "$D/server1.log"
+
+  # Six jobs, two specs, two tenants; every ack'd id must survive.
+  IDS=""
+  SPECS=""
+  J=0
+  while [ "$J" -lt 6 ]; do
+    if [ $((J % 2)) -eq 0 ]; then
+      PROB="$TMP/p1.nap"; SOLVER=bp; ITERS=40; REF=ref_bp
+    else
+      PROB="$TMP/p2.nap"; SOLVER=mr; ITERS=30; REF=ref_mr
+    fi
+    "$CLI" client submit --socket "$SOCK" --problem "$PROB" \
+      --solver "$SOLVER" --iters "$ITERS" --tenant "t$((J % 2))" \
+      > "$D/submit$J.out"
+    ID="$(sed -n 's/.*"job":\([0-9][0-9]*\).*/\1/p' "$D/submit$J.out")"
+    if [ -z "$ID" ]; then
+      echo "FAILURE: submit $J was not acknowledged" >&2
+      cat "$D/submit$J.out" >&2
+      exit 1
+    fi
+    IDS="$IDS $ID"
+    SPECS="$SPECS $REF"
+    J=$((J + 1))
+  done
+
+  # Deterministic randomized kill point: somewhere between "everything
+  # still queued" and "most jobs already done", so across rounds the
+  # kill lands on queued, running, and terminal jobs alike.
+  DELAY="$(awk -v s="$SEED" -v r="$ROUND" \
+    'BEGIN{srand(s * 131 + r); printf "%.2f", 0.05 + rand() * 0.80}')"
+  echo "-- SIGKILL after ${DELAY}s --"
+  sleep "$DELAY"
+  kill -9 "$SERVER_PID" 2>/dev/null || true
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=""
+  if [ ! -f "$D/jobs/journal.jsonl" ]; then
+    echo "FAILURE: no journal survived the kill" >&2
+    exit 1
+  fi
+
+  echo "-- restart on the same work dir --"
+  start_daemon "$SOCK" "$D/jobs" "$D/server2.log"
+  "$CLI" client stats --socket "$SOCK" > "$D/stats.out"
+  if ! grep -q '"recovered":true' "$D/stats.out"; then
+    echo "FAILURE: restarted daemon did not report a recovery" >&2
+    cat "$D/stats.out" >&2
+    exit 1
+  fi
+
+  K=0
+  for ID in $IDS; do
+    K=$((K + 1))
+    REF="$(echo "$SPECS" | awk -v k="$K" '{print $k}')"
+    poll_result "$SOCK" "$ID" "$D/job$ID.mat" "$D/result$ID.out"
+    if ! cmp -s "$TMP/$REF.mat" "$D/job$ID.mat"; then
+      echo "DURABILITY FAILURE: job $ID matching differs from the" \
+           "uninterrupted $REF run" >&2
+      exit 1
+    fi
+    # No duplicated terminal events: recovery must re-serve a completed
+    # job's result, never re-run it into a second terminal record. (A
+    # compaction rewrites the journal as a snapshot with exactly one
+    # terminal record per finished job -- two is always the bug.)
+    N="$(grep -c "\"event\":\"terminal\",\"job\":$ID," \
+         "$D/jobs/journal.jsonl" || true)"
+    if [ "$N" -gt 1 ]; then
+      echo "DURABILITY FAILURE: job $ID has $N terminal records" >&2
+      grep "\"job\":$ID," "$D/jobs/journal.jsonl" >&2 || true
+      exit 1
+    fi
+  done
+  echo "round $ROUND: all 6 jobs survived, matchings byte-identical"
+
+  echo "-- drain shutdown --"
+  "$CLI" client shutdown --socket "$SOCK" > /dev/null
+  WAITED=0
+  while kill -0 "$SERVER_PID" 2>/dev/null; do
+    WAITED=$((WAITED + 1))
+    if [ "$WAITED" -gt 100 ]; then
+      echo "FAILURE: recovered daemon still alive 10s after shutdown" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  wait "$SERVER_PID" 2>/dev/null && RC=0 || RC=$?
+  SERVER_PID=""
+  if [ "$RC" -ne 0 ]; then
+    echo "FAILURE: recovered daemon exited with rc=$RC" >&2
+    cat "$D/server2.log" >&2
+    exit 1
+  fi
+  ROUND=$((ROUND + 1))
+done
+
+echo "== client --retry survives a daemon restart mid-wait =="
+D="$TMP/retry"
+SOCK="$D/na.sock"
+mkdir -p "$D"
+start_daemon "$SOCK" "$D/jobs" "$D/server1.log"
+# The waiting client rides out the kill through its reconnect loop; the
+# auto-generated request_id makes a replayed submit idempotent, so even
+# a kill between send and ack cannot double-enqueue the job.
+"$CLI" client submit --socket "$SOCK" --problem "$TMP/p1.nap" \
+  --solver bp --iters 40 --wait --retry 60 --retry-max-ms 200 \
+  --save-matching "$D/cli.mat" > "$D/cli.out" 2>&1 &
+CLIENT_PID=$!
+sleep 0.3
+kill -9 "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+sleep 0.2
+start_daemon "$SOCK" "$D/jobs" "$D/server2.log"
+if ! wait "$CLIENT_PID"; then
+  echo "FAILURE: waiting client did not survive the daemon restart" >&2
+  cat "$D/cli.out" >&2
+  exit 1
+fi
+if ! cmp -s "$TMP/ref_bp.mat" "$D/cli.mat"; then
+  echo "DURABILITY FAILURE: retried client's matching differs from the" \
+       "uninterrupted run" >&2
+  exit 1
+fi
+echo "waiting client reconnected; matching byte-identical"
+"$CLI" client shutdown --socket "$SOCK" > /dev/null
+WAITED=0
+while kill -0 "$SERVER_PID" 2>/dev/null; do
+  WAITED=$((WAITED + 1))
+  if [ "$WAITED" -gt 100 ]; then
+    echo "FAILURE: daemon still alive 10s after final shutdown" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+SERVER_PID=""
+
+echo "durability checks passed"

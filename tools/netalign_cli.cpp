@@ -18,10 +18,12 @@
 //   netalign match --problem p.nap --matcher exact
 //   netalign client submit --socket /tmp/na.sock --problem p.nap --wait
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <memory>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -429,6 +431,21 @@ void save_matching_from_result(const obs::JsonValue& doc,
   std::printf("matching written to %s\n", path.c_str());
 }
 
+/// A fresh idempotency token for `submit --retry`: unique across
+/// processes and invocations is all that matters, not unpredictability.
+std::string make_request_id() {
+  std::random_device rd;
+  const std::uint64_t hi =
+      (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  const std::uint64_t lo = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "cli-%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
 bool response_ok(const obs::JsonValue& doc) {
   const obs::JsonValue* ok = doc.find("ok");
   return ok != nullptr && ok->type() == obs::JsonValue::Type::kBool &&
@@ -479,13 +496,30 @@ int cmd_client(int argc, char** argv) {
       "save-matching", "", "result/--wait: write the matching here");
   auto& now = cli.add_bool(
       "now", false, "shutdown: cancel running jobs instead of draining");
+  auto& retry = cli.add_int(
+      "retry", 0,
+      "reconnect attempts after a lost connection (daemon restarting)");
+  auto& retry_max_ms = cli.add_int(
+      "retry-max-ms", 2000, "cap on the reconnect backoff step");
+  auto& request_id = cli.add_string(
+      "request-id", "",
+      "submit: idempotency token; a replayed submit returns the original "
+      "job id (auto-generated when --retry > 0)");
   if (!cli.parse(argc - 1, argv + 1)) return 0;
   if (socket.empty()) {
     std::fputs("netalign client: --socket is required\n", stderr);
     return 1;
   }
+  if (retry < 0 || retry_max_ms < 1) {
+    std::fputs("netalign client: --retry/--retry-max-ms out of range\n",
+               stderr);
+    return 1;
+  }
 
-  server::ServerClient client(socket);
+  server::RetryPolicy policy;
+  policy.retries = static_cast<int>(retry);
+  policy.max_backoff_ms = static_cast<int>(retry_max_ms);
+  server::ServerClient client(socket, policy);
   std::string request;
   if (action == "ping" || action == "stats") {
     request = std::move(JsonObj{}.add("method", action)).str();
@@ -514,6 +548,13 @@ int cmd_client(int argc, char** argv) {
     if (deadline > 0.0) req.add("deadline_seconds", deadline);
     if (!tag.empty()) req.add("tag", tag);
     if (!tenant.empty()) req.add("tenant", tenant);
+    std::string rid = request_id;
+    if (rid.empty() && retry > 0) {
+      // Retries re-send the submit line verbatim; without an idempotency
+      // token a retry after a lost ack would enqueue the job twice.
+      rid = make_request_id();
+    }
+    if (!rid.empty()) req.add("request_id", rid);
     request = std::move(req).str();
   } else if (action == "status" || action == "result" || action == "cancel") {
     request = std::move(JsonObj{}.add("method", action).add("job", job)).str();

@@ -56,6 +56,18 @@ int main(int argc, char** argv) try {
       "largest problem_path file a worker will read");
   auto& work_dir = cli.add_string(
       "work-dir", "", "directory for per-job trace files (required)");
+  auto& journal = cli.add_bool(
+      "journal", true,
+      "write-ahead job journal in --work-dir (--no-journal = volatile jobs)");
+  auto& journal_fsync = cli.add_bool(
+      "journal-fsync", false,
+      "fsync every journal append, not just terminal records");
+  auto& recover = cli.add_bool(
+      "recover", true,
+      "replay the journal at startup (--no-recover discards prior jobs)");
+  auto& checkpoint_every = cli.add_int(
+      "checkpoint-every", 25,
+      "solver-checkpoint cadence for running jobs, in iterations (0 = off)");
   auto& threads = cli.add_int("threads", 0, "OpenMP threads (0 = default)");
   if (!cli.parse(argc, argv)) return 0;
   if (socket_path.empty() || work_dir.empty()) {
@@ -66,7 +78,7 @@ int main(int argc, char** argv) try {
   if (workers < 1 || queue_cap < 1 || tenant_queue_cap < 1 ||
       tenant_running_cap < 0 || drr_quantum < 1 || retained_cap < 1 ||
       cache_cap < 1 || max_request < 1 || max_output < 1 ||
-      max_problem < 1) {
+      max_problem < 1 || checkpoint_every < 0) {
     std::fprintf(stderr, "netalign_server: flag out of range\n");
     return 2;
   }
@@ -85,6 +97,10 @@ int main(int argc, char** argv) try {
   options.max_output_bytes = static_cast<std::size_t>(max_output);
   options.max_problem_bytes = static_cast<std::size_t>(max_problem);
   options.work_dir = work_dir;
+  options.journal = journal;
+  options.journal_fsync = journal_fsync;
+  options.recover = recover;
+  options.checkpoint_every = checkpoint_every;
   options.stop_flag = install_stop_signal_handlers();
 
   server::Server srv(options);
