@@ -159,10 +159,16 @@ JournalJob JobManager::to_journal_locked(const Job& job) const {
   // picked up again yet; snapshotting it as started keeps its
   // checkpoint-resume eligibility across a second crash.
   j.started = job.state == JobState::kRunning || job.resume;
-  j.terminal = job.state == JobState::kDone ||
-               job.state == JobState::kFailed ||
-               job.state == JobState::kCancelled;
-  if (j.terminal) j.result = to_journal_result(job, job.state);
+  // A pending-terminal job (final state latched, fsync'd append in
+  // flight off-lock, state not published yet) snapshots as terminal:
+  // otherwise a compaction in that window would rewrite the journal
+  // without the terminal record the appender just made durable, and a
+  // later crash would re-run a job whose result clients already saw.
+  const JobState state =
+      job.terminal_pending ? job.pending_state : job.state;
+  j.terminal = state == JobState::kDone || state == JobState::kFailed ||
+               state == JobState::kCancelled;
+  if (j.terminal) j.result = to_journal_result(job, state);
   return j;
 }
 
@@ -197,7 +203,12 @@ JournalResult JobManager::to_journal_result(const Job& job, JobState state) {
 void JobManager::journal_terminal(const Job& job, JobState state) {
   // Called without mutex_ on purpose: the terminal fsync must not stall
   // the manager lock. Safe because a job's result fields are immutable
-  // once the run finished, and only the caller publishes `state`.
+  // once the run finished, and only the caller publishes `state`. The
+  // caller must have latched job.terminal_pending under mutex_ first, so
+  // a concurrent compaction snapshots the job as terminal instead of
+  // rewriting the journal without this record. (A compaction in that
+  // window makes this append a duplicate terminal record -- benign:
+  // replay applies the first and ignores the rest.)
   journal_->terminal(job.id, to_journal_result(job, state));
   if (counters_ != nullptr) {
     counters_->add_concurrent("server.journal.appends");
@@ -250,7 +261,8 @@ void JobManager::recover_from_journal() {
     job->trace_path = options_.work_dir + "/job-" + std::to_string(jj.id) +
                       ".trace.jsonl";
     if (!jj.spec.request_id.empty()) {
-      request_ids_.emplace(jj.spec.request_id, jj.id);
+      request_ids_.emplace(std::make_pair(jj.tenant, jj.spec.request_id),
+                           jj.id);
     }
     if (jj.terminal) {
       job->state = state_from_journal(jj.result.state);
@@ -364,7 +376,8 @@ void JobManager::recover_from_journal() {
     const auto it = jobs_.find(victim);
     if (it != jobs_.end()) {
       if (!it->second->spec.request_id.empty()) {
-        const auto rid = request_ids_.find(it->second->spec.request_id);
+        const auto rid = request_ids_.find(
+            {it->second->tenant, it->second->spec.request_id});
         if (rid != request_ids_.end() && rid->second == victim) {
           request_ids_.erase(rid);
         }
@@ -459,6 +472,7 @@ JobManager::JournalStats JobManager::journal_stats() const {
     s.appends = journal_->appends_total();
     s.fsyncs = journal_->fsyncs_total();
     s.compactions = journal_->compactions_total();
+    s.write_errors = journal_->write_errors_total();
   }
   return s;
 }
@@ -500,12 +514,17 @@ JobManager::SubmitOutcome JobManager::submit(SubmitParams spec) {
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    const std::string tenant =
+        spec.tenant.empty() ? kDefaultTenant : spec.tenant;
     if (!spec.request_id.empty()) {
-      // Idempotent retry: the same request_id answers with the original
-      // job instead of enqueueing a second run. Checked before the
-      // drain/capacity gates on purpose -- the original was already
+      // Idempotent retry: the same (tenant, request_id) answers with the
+      // original job instead of enqueueing a second run. Checked before
+      // the drain/capacity gates on purpose -- the original was already
       // admitted, so its retry must not bounce off a now-full queue.
-      const auto it = request_ids_.find(spec.request_id);
+      // Keyed per tenant so a request_id that happens to collide across
+      // tenants enqueues a fresh job instead of answering with (and
+      // disclosing) another tenant's job id and content key.
+      const auto it = request_ids_.find({tenant, spec.request_id});
       if (it != request_ids_.end()) {
         out.accepted = true;
         out.duplicate = true;
@@ -535,8 +554,6 @@ JobManager::SubmitOutcome JobManager::submit(SubmitParams spec) {
       }
       return out;
     }
-    const std::string tenant =
-        spec.tenant.empty() ? kDefaultTenant : spec.tenant;
     Tenant& bucket = tenants_[tenant];
     if (bucket.queue.size() >= options_.tenant_queue_cap) {
       out.code = ErrorCode::kQuotaExceeded;
@@ -558,7 +575,8 @@ JobManager::SubmitOutcome JobManager::submit(SubmitParams spec) {
     out.accepted = true;
     out.job = job->id;
     if (!job->spec.request_id.empty()) {
-      request_ids_.emplace(job->spec.request_id, job->id);
+      request_ids_.emplace(std::make_pair(tenant, job->spec.request_id),
+                           job->id);
     }
     if (journal_ != nullptr) {
       // Durability before acknowledgement: spill inline problem bytes,
@@ -679,14 +697,24 @@ void JobManager::worker_loop() {
     // filled in the result but left job->state at kRunning, so no client
     // can observe a terminal state that is not yet durable, and the job
     // cannot have been evicted yet (eviction requires the LRU entry
-    // mark_terminal_locked creates below).
-    if (journal_ != nullptr) journal_terminal(*job, final_state);
+    // mark_terminal_locked creates below). Latching terminal_pending
+    // under mutex_ first closes the compaction race: a snapshot taken
+    // while the append is in flight still records the job as terminal.
+    if (journal_ != nullptr) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job->terminal_pending = true;
+        job->pending_state = final_state;
+      }
+      journal_terminal(*job, final_state);
+    }
     std::vector<std::string> doomed;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       // Publish the terminal state atomically with the bookkeeping, so
       // stats can never show every job terminal while running_ > 0.
       job->state = final_state;
+      job->terminal_pending = false;
       if (job->has_result) job->result.state = final_state;
       --running_;
       --tenants_.at(job->tenant).running;
@@ -972,7 +1000,8 @@ std::vector<std::string> JobManager::mark_terminal_locked(Job& job) {
       if (!gone.spec.request_id.empty()) {
         // The dedupe window is the retention window: a retry after this
         // point enqueues a fresh run instead of resolving to the victim.
-        const auto rid = request_ids_.find(gone.spec.request_id);
+        const auto rid =
+            request_ids_.find({gone.tenant, gone.spec.request_id});
         if (rid != request_ids_.end() && rid->second == victim) {
           request_ids_.erase(rid);
         }
@@ -1128,14 +1157,22 @@ std::optional<JobManager::JobResult> JobManager::result(std::int64_t id) {
 JobManager::CancelOutcome JobManager::cancel(std::int64_t id) {
   std::vector<std::string> doomed;
   CancelOutcome out;
-  std::shared_ptr<Job> went_terminal;
+  std::shared_ptr<Job> pulled;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const std::shared_ptr<Job> job = find(id);
     if (job == nullptr) return {};
     out.found = true;
-    if (job->state == JobState::kQueued) {
-      went_terminal = job;
+    if (job->state == JobState::kQueued && !job->terminal_pending) {
+      // Pull the job from its queue so no worker can pick it up, and
+      // latch the pending cancellation -- but do NOT publish kCancelled
+      // yet: the fsync'd terminal record must land first, mirroring
+      // worker_loop's durable-before-observable ordering. (Publishing
+      // first would let a crash in between recover the job as
+      // still-queued and run it after the client was told it was
+      // cancelled.) A concurrent cancel of the same id in this window
+      // sees terminal_pending and reports the still-queued state.
+      pulled = job;
       Tenant& t = tenants_.at(job->tenant);
       const auto it = std::find(t.queue.begin(), t.queue.end(), id);
       if (it != t.queue.end()) {
@@ -1146,11 +1183,8 @@ JobManager::CancelOutcome JobManager::cancel(std::int64_t id) {
           std::erase(active_tenants_, job->tenant);
         }
       }
-      job->state = JobState::kCancelled;
-      if (counters_ != nullptr) {
-        counters_->add_concurrent("server.jobs_cancelled");
-      }
-      doomed = mark_terminal_locked(*job);
+      job->terminal_pending = true;
+      job->pending_state = JobState::kCancelled;
     } else if (job->state == JobState::kRunning) {
       // Latch the budget's cancel flag; the solver stops at its next
       // iteration boundary and the job finishes as kCancelled with its
@@ -1159,10 +1193,18 @@ JobManager::CancelOutcome JobManager::cancel(std::int64_t id) {
     }
     out.state = job->state;
   }
-  if (went_terminal != nullptr && journal_ != nullptr) {
-    // Queued-job cancels flip the state under the lock above (there is
-    // no run to wait for), so the published state is the one journaled.
-    journal_terminal(*went_terminal, went_terminal->state);
+  if (pulled != nullptr) {
+    if (journal_ != nullptr) journal_terminal(*pulled, JobState::kCancelled);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pulled->state = JobState::kCancelled;
+      pulled->terminal_pending = false;
+      if (counters_ != nullptr) {
+        counters_->add_concurrent("server.jobs_cancelled");
+      }
+      doomed = mark_terminal_locked(*pulled);
+    }
+    out.state = JobState::kCancelled;
   }
   for (const std::string& path : doomed) {
     std::error_code ec;
@@ -1213,7 +1255,7 @@ bool JobManager::idle() const {
 
 void JobManager::shutdown(bool cancel_running) {
   std::vector<std::string> doomed;
-  std::vector<std::shared_ptr<Job>> went_terminal;
+  std::vector<std::shared_ptr<Job>> cancelled;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     draining_ = true;
@@ -1222,13 +1264,12 @@ void JobManager::shutdown(bool cancel_running) {
       for (auto& [name, t] : tenants_) {
         for (const std::int64_t id : t.queue) {
           const std::shared_ptr<Job> job = jobs_.at(id);
-          job->state = JobState::kCancelled;
-          went_terminal.push_back(job);
-          if (counters_ != nullptr) {
-            counters_->add_concurrent("server.jobs_cancelled");
-          }
-          auto paths = mark_terminal_locked(*job);
-          doomed.insert(doomed.end(), paths.begin(), paths.end());
+          // Latch, don't publish: the cancelled records are journaled
+          // below (off-lock) before the state flips, mirroring
+          // worker_loop's durable-before-observable ordering.
+          job->terminal_pending = true;
+          job->pending_state = JobState::kCancelled;
+          cancelled.push_back(job);
         }
         t.queue.clear();
         t.deficit = 0;
@@ -1243,11 +1284,23 @@ void JobManager::shutdown(bool cancel_running) {
     }
   }
   if (journal_ != nullptr) {
-    for (const std::shared_ptr<Job>& job : went_terminal) {
+    for (const std::shared_ptr<Job>& job : cancelled) {
       // A `shutdown now` is still an orderly transition: the cancelled
       // queued jobs are journaled terminal so a restart reports them as
       // cancelled instead of re-running them.
-      journal_terminal(*job, job->state);
+      journal_terminal(*job, JobState::kCancelled);
+    }
+  }
+  if (!cancelled.empty()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::shared_ptr<Job>& job : cancelled) {
+      job->state = JobState::kCancelled;
+      job->terminal_pending = false;
+      if (counters_ != nullptr) {
+        counters_->add_concurrent("server.jobs_cancelled");
+      }
+      auto paths = mark_terminal_locked(*job);
+      doomed.insert(doomed.end(), paths.begin(), paths.end());
     }
   }
   for (const std::string& path : doomed) {

@@ -49,6 +49,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "netalign/result.hpp"
@@ -233,6 +234,9 @@ class JobManager {
     std::int64_t appends = 0;
     std::int64_t fsyncs = 0;
     std::int64_t compactions = 0;
+    /// Failed (rolled-back) appends: nonzero means some acknowledged
+    /// jobs are not crash-durable (e.g. the disk filled up).
+    std::int64_t write_errors = 0;
   };
   [[nodiscard]] JournalStats journal_stats() const;
 
@@ -265,6 +269,13 @@ class JobManager {
 
     // Guarded by JobManager::mutex_.
     JobState state = JobState::kQueued;
+    /// The job's final state is decided and its terminal journal record
+    /// is being (or about to be) appended off-lock, but `state` is not
+    /// published yet. to_journal_locked snapshots such a job as terminal
+    /// so a concurrent compaction cannot rewrite the journal without the
+    /// record the appender just fsync'd. Cleared when `state` flips.
+    bool terminal_pending = false;
+    JobState pending_state = JobState::kQueued;  ///< valid iff terminal_pending
     bool cache_hit = false;
     bool has_result = false;
     std::string error;
@@ -358,10 +369,13 @@ class JobManager {
   std::deque<std::string> active_tenants_;
   std::size_t queued_total_ = 0;
   std::map<std::int64_t, std::shared_ptr<Job>> jobs_;
-  /// request_id -> job id for idempotent submits; entries live exactly
-  /// as long as their job (erased on eviction), so the dedupe window is
-  /// the retention window.
-  std::map<std::string, std::int64_t> request_ids_;
+  /// (tenant, request_id) -> job id for idempotent submits; entries live
+  /// exactly as long as their job (erased on eviction), so the dedupe
+  /// window is the retention window. Keyed per tenant: a request_id that
+  /// happens to collide across tenants must enqueue a fresh job, never
+  /// answer with (and thereby disclose) another tenant's job id and
+  /// content key.
+  std::map<std::pair<std::string, std::string>, std::int64_t> request_ids_;
   std::list<std::int64_t> retained_lru_;  ///< terminal jobs, LRU at front
   std::int64_t evicted_ = 0;
   std::int64_t next_id_ = 1;

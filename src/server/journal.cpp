@@ -331,6 +331,23 @@ JobJournal::~JobJournal() {
 
 void JobJournal::append_line(const std::string& line, bool fsync_now) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (tail_torn_) {
+    // A prior append died mid-record and the trim failed; retry it
+    // before writing anything, so replay never meets the damage
+    // mid-stream (which would drop every record journaled after it).
+    if (::ftruncate(fd_, static_cast<off_t>(torn_offset_)) != 0) {
+      ++write_errors_;
+      return;
+    }
+    tail_torn_ = false;
+  }
+  const off_t pre = ::lseek(fd_, 0, SEEK_END);
+  if (pre < 0) {
+    ++write_errors_;
+    std::fprintf(stderr, "netalign_server: journal seek failed: %s\n",
+                 std::strerror(errno));
+    return;
+  }
   std::string framed = line;
   framed.push_back('\n');
   std::size_t off = 0;
@@ -340,10 +357,20 @@ void JobJournal::append_line(const std::string& line, bool fsync_now) {
     if (n < 0) {
       if (errno == EINTR) continue;
       // A full disk must not take the daemon down with it; the job
-      // simply will not survive a crash. Callers see it in the append
-      // counter staying put.
+      // simply will not survive a crash. But a *partially written*
+      // record with no newline would stop replay at the damage, so trim
+      // the file back to where this append started: losing exactly one
+      // record, never the records appended after it.
       std::fprintf(stderr, "netalign_server: journal write failed: %s\n",
                    std::strerror(errno));
+      ++write_errors_;
+      if (off > 0 && ::ftruncate(fd_, pre) != 0) {
+        tail_torn_ = true;
+        torn_offset_ = static_cast<std::int64_t>(pre);
+        std::fprintf(stderr,
+                     "netalign_server: journal tail could not be trimmed; "
+                     "suspending appends until the trim succeeds\n");
+      }
       return;
     }
     off += static_cast<std::size_t>(n);
@@ -412,19 +439,38 @@ void JobJournal::compact(const std::vector<JournalJob>& live,
   }
   if (ok && ::fsync(tfd) == 0) ++fsyncs_total_;
   ::close(tfd);
-  if (!ok || ::rename(tmp.c_str(), path_.c_str()) != 0) {
+  if (!ok) {
     std::fprintf(stderr, "netalign_server: journal compact failed: %s\n",
                  std::strerror(errno));
     ::unlink(tmp.c_str());
     return;  // the old journal is intact; appends continue into it
   }
+  // Open the replacement append fd on the tmp file *before* the rename:
+  // if this open fails the compaction is abandoned with the old journal
+  // (and fd_) fully usable, instead of discovering after the rename that
+  // fd_ points at an unlinked inode and silently appending to a deleted
+  // file.
+  const int nfd = ::open(tmp.c_str(), O_WRONLY | O_APPEND);
+  if (nfd < 0) {
+    std::fprintf(stderr,
+                 "netalign_server: journal compact failed: cannot reopen "
+                 "%s: %s\n",
+                 tmp.c_str(), std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return;
+  }
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::fprintf(stderr, "netalign_server: journal compact failed: %s\n",
+                 std::strerror(errno));
+    ::close(nfd);
+    ::unlink(tmp.c_str());
+    return;
+  }
   // Swap the append fd to the new file so an append that was blocked on
   // mutex_ during the rewrite lands in the snapshot, not the old inode.
-  const int nfd = ::open(path_.c_str(), O_WRONLY | O_APPEND);
-  if (nfd >= 0) {
-    ::close(fd_);
-    fd_ = nfd;
-  }
+  ::close(fd_);
+  fd_ = nfd;
+  tail_torn_ = false;  // the rewrite replaced any damaged tail
   appends_since_compact_ = 0;
   ++compactions_total_;
 }
@@ -447,6 +493,11 @@ std::int64_t JobJournal::fsyncs_total() const {
 std::int64_t JobJournal::compactions_total() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return compactions_total_;
+}
+
+std::int64_t JobJournal::write_errors_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return write_errors_;
 }
 
 }  // namespace netalign::server

@@ -96,7 +96,10 @@ struct JournalReplay {
   std::int64_t records_applied = 0;
   /// Records that could not apply (a re-submitted id, a start/terminal
   /// for an unknown or already-terminal job): ignored, never
-  /// double-applied. Zero for any journal this module wrote.
+  /// double-applied. Normally zero for a journal this module wrote; a
+  /// compaction that races a terminal append can legitimately leave one
+  /// duplicate terminal record (the snapshot already carries it), which
+  /// replay counts here and ignores.
   std::int64_t ignored_events = 0;
   /// True when the final line was cut mid-write (SIGKILL mid-append);
   /// exactly that one record is dropped.
@@ -147,6 +150,9 @@ class JobJournal {
   [[nodiscard]] std::int64_t appends_total() const;
   [[nodiscard]] std::int64_t fsyncs_total() const;
   [[nodiscard]] std::int64_t compactions_total() const;
+  /// Appends that failed (ENOSPC etc.) and were rolled back; nonzero
+  /// means some acknowledged jobs are not crash-durable.
+  [[nodiscard]] std::int64_t write_errors_total() const;
 
  private:
   void append_line(const std::string& line, bool fsync_now);
@@ -159,6 +165,15 @@ class JobJournal {
   std::int64_t appends_total_ = 0;
   std::int64_t fsyncs_total_ = 0;
   std::int64_t compactions_total_ = 0;
+  std::int64_t write_errors_ = 0;
+  /// A failed append left a partial record that ftruncate could not trim
+  /// (valid bytes end at torn_offset_). Until the trim succeeds -- or a
+  /// compaction rewrites the file -- further appends are refused: bytes
+  /// written after the damage would be unreachable to replay anyway, and
+  /// burying a torn record mid-file is what turns one lost job into
+  /// losing every job journaled after it.
+  bool tail_torn_ = false;
+  std::int64_t torn_offset_ = 0;
 };
 
 }  // namespace netalign::server

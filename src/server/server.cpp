@@ -491,6 +491,7 @@ std::string Server::handle_stats(const Request& req) {
   r.field("journal_appends", js.appends);
   r.field("journal_fsyncs", js.fsyncs);
   r.field("journal_compactions", js.compactions);
+  r.field("journal_write_errors", js.write_errors);
   const JobManager::RecoveryStats& rec = jobs_.recovery();
   r.field("recovered", rec.performed);
   r.field("recovered_terminal", rec.terminal_restored);

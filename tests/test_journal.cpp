@@ -555,6 +555,51 @@ TEST(RecoveryTest, RequestIdDedupeWorksLiveAndAcrossRestart) {
   EXPECT_EQ(replayed.job, original);
 }
 
+TEST(RecoveryTest, RequestIdDedupeIsScopedPerTenant) {
+  const std::string dir = tmp_path("rec_dedupe_tenant");
+  fs::remove_all(dir);
+  obs::Counters counters;
+  ProblemCache cache(4, &counters);
+  JobManager jobs(recovery_options(dir), cache, &counters);
+  SubmitParams a = bp_job(problem_text(), 5);
+  a.tenant = "team-a";
+  a.request_id = "token-1";
+  const auto first = jobs.submit(a);
+  ASSERT_TRUE(first.accepted);
+  EXPECT_FALSE(first.duplicate);
+  // The same token from another tenant is a fresh job -- never answered
+  // with team-a's job id and content key.
+  SubmitParams b = bp_job(problem_text(50, 5), 5);
+  b.tenant = "team-b";
+  b.request_id = "token-1";
+  const auto other = jobs.submit(b);
+  ASSERT_TRUE(other.accepted);
+  EXPECT_FALSE(other.duplicate);
+  EXPECT_NE(other.job, first.job);
+  EXPECT_NE(other.key, first.key);
+  // A genuine retry within the tenant still dedupes.
+  const auto retry = jobs.submit(a);
+  ASSERT_TRUE(retry.accepted);
+  EXPECT_TRUE(retry.duplicate);
+  EXPECT_EQ(retry.job, first.job);
+  wait_terminal(jobs, first.job);
+  wait_terminal(jobs, other.job);
+}
+
+TEST(JournalWriteErrorTest, FailedAppendsAreCountedNotFatal) {
+  // /dev/full fails every write(2) with ENOSPC: the journal must stay
+  // usable (no throw, no partial-record bookkeeping) and report the
+  // losses through write_errors_total().
+  if (!fs::exists("/dev/full")) GTEST_SKIP() << "no /dev/full here";
+  JobJournal j("/dev/full", /*fsync_all=*/false);
+  EXPECT_EQ(j.appends_total(), 0);  // the header append already failed
+  EXPECT_GE(j.write_errors_total(), 1);
+  j.submit(sample_job(1));
+  j.terminal(1, done_result());
+  EXPECT_EQ(j.appends_total(), 0);
+  EXPECT_GE(j.write_errors_total(), 3);
+}
+
 TEST(RecoveryTest, NewerJournalRefusesToStartTheManager) {
   const std::string dir = tmp_path("rec_future");
   fs::remove_all(dir);
