@@ -22,7 +22,7 @@ struct PendingRound {
 
 }  // namespace
 
-AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
+AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresView& S,
                               const BeliefPropOptions& options) {
   if (!p.is_consistent()) {
     throw std::invalid_argument("belief_prop_align: inconsistent problem");
@@ -36,7 +36,6 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
   const BipartiteGraph& L = p.L;
   const eid_t m = L.num_edges();
   const eid_t nnz = S.num_nonzeros();
-  const auto perm = S.trans_perm();
   const auto w = L.weights();
 
   WallTimer total_timer;
@@ -182,16 +181,18 @@ AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
     // are bit-identical.
     {
       ScopedStepTimer st(result.timers, "compute_Fd", iter_steps_ptr);
-      fenced_parallel([&] {
-#pragma omp for schedule(dynamic, kDynamicChunk) nowait
-        for (vid_t e = 0; e < nrows; ++e) {
-          weight_t sum = 0.0;
-          for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) {
-            F[k] = std::clamp(p.beta + sk_prev[perm[k]], 0.0, p.beta);
-            sum += F[k];
-          }
-          d[e] = p.alpha * w[e] + sum;
+      // par_rows_trans serves the transposed gather from either backend
+      // (tks[i] == trans_perm[base + i]); per-row k order is unchanged, so
+      // the fused sum stays bit-identical.
+      S.par_rows_trans([&](vid_t e, eid_t base, std::span<const vid_t>,
+                           std::span<const eid_t> tks) {
+        weight_t sum = 0.0;
+        for (std::size_t i = 0; i < tks.size(); ++i) {
+          const eid_t k = base + static_cast<eid_t>(i);
+          F[k] = std::clamp(p.beta + sk_prev[tks[i]], 0.0, p.beta);
+          sum += F[k];
         }
+        d[e] = p.alpha * w[e] + sum;
       });
     }
 

@@ -20,7 +20,7 @@
 
 #include "netalign/result.hpp"
 #include "netalign/rounding.hpp"
-#include "netalign/squares.hpp"
+#include "netalign/squares_view.hpp"
 
 namespace netalign::obs {
 class TraceWriter;
@@ -55,7 +55,10 @@ struct BeliefPropOptions {
   SolveBudget budget;
 };
 
-AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresMatrix& S,
+/// S may be either squares backend (SquaresView converts implicitly from
+/// SquaresMatrix and ImplicitSquares); results are bit-identical across
+/// backends.
+AlignResult belief_prop_align(const NetAlignProblem& p, const SquaresView& S,
                               const BeliefPropOptions& options = {});
 
 }  // namespace netalign

@@ -11,7 +11,7 @@
 
 namespace netalign {
 
-AlignResult isorank_align(const NetAlignProblem& p, const SquaresMatrix& S,
+AlignResult isorank_align(const NetAlignProblem& p, const SquaresView& S,
                           const IsoRankOptions& options) {
   if (!p.is_consistent()) {
     throw std::invalid_argument("isorank_align: inconsistent problem");
@@ -25,7 +25,6 @@ AlignResult isorank_align(const NetAlignProblem& p, const SquaresMatrix& S,
   const BipartiteGraph& L = p.L;
   const eid_t m = L.num_edges();
   const eid_t nnz = S.num_nonzeros();
-  const auto scol = S.pattern().col_idx();
   WallTimer total_timer;
   AlignResult result;
   obs::TraceWriter* trace = options.trace;
@@ -111,15 +110,12 @@ AlignResult isorank_align(const NetAlignProblem& p, const SquaresMatrix& S,
 #pragma omp for schedule(static) nowait
         for (eid_t e = 0; e < m; ++e) scaled[e] = x[e] * inv_deg[e];
       });
-      fenced_parallel([&] {
-#pragma omp for schedule(dynamic, kDynamicChunk) nowait
-        for (vid_t e = 0; e < static_cast<vid_t>(m); ++e) {
-          weight_t sum = 0.0;
-          for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) {
-            sum += scaled[scol[k]];
-          }
-          next[e] = options.gamma * sum + (1.0 - options.gamma) * prior[e];
-        }
+      // Row sweep over either backend; the k-ascending per-row sum keeps
+      // the iterate bit-identical across explicit and implicit modes.
+      S.par_rows([&](vid_t e, eid_t, std::span<const vid_t> cols) {
+        weight_t sum = 0.0;
+        for (const vid_t f : cols) sum += scaled[f];
+        next[e] = options.gamma * sum + (1.0 - options.gamma) * prior[e];
       });
     }
     weight_t delta = 0.0;

@@ -22,7 +22,7 @@
 
 #include "netalign/result.hpp"
 #include "netalign/rounding.hpp"
-#include "netalign/squares.hpp"
+#include "netalign/squares_view.hpp"
 
 namespace netalign::obs {
 class TraceWriter;
@@ -47,7 +47,9 @@ struct IsoRankOptions {
   SolveBudget budget;
 };
 
-AlignResult isorank_align(const NetAlignProblem& p, const SquaresMatrix& S,
+/// S may be either squares backend; IsoRank never needs transposed access,
+/// so an ImplicitSquares built with transpose_support = false suffices.
+AlignResult isorank_align(const NetAlignProblem& p, const SquaresView& S,
                           const IsoRankOptions& options = {});
 
 }  // namespace netalign

@@ -28,7 +28,7 @@ struct RowMatchScratch {
 
 }  // namespace
 
-AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
+AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresView& S,
                           const KlauMrOptions& options) {
   if (!p.is_consistent()) {
     throw std::invalid_argument("klau_mr_align: inconsistent problem");
@@ -42,8 +42,6 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
   const BipartiteGraph& L = p.L;
   const eid_t m = L.num_edges();
   const eid_t nnz = S.num_nonzeros();
-  const auto perm = S.trans_perm();
-  const auto scol = S.pattern().col_idx();
 
   WallTimer total_timer;
   AlignResult result;
@@ -66,10 +64,7 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
       static_cast<std::size_t>(max_threads()));
   {
     // Size each thread's buffers for the widest row of S.
-    eid_t max_row = 0;
-    for (vid_t e = 0; e < static_cast<vid_t>(m); ++e) {
-      max_row = std::max(max_row, S.row_end(e) - S.row_begin(e));
-    }
+    const eid_t max_row = S.max_row_width();
     for (auto& sc : scratch) {
       sc.edges.reserve(static_cast<std::size_t>(max_row));
       sc.chosen.resize(static_cast<std::size_t>(max_row));
@@ -147,29 +142,30 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
     // transpose permutation.
     {
       ScopedStepTimer st(result.timers, "row_match", iter_steps_ptr);
-      fenced_parallel([&] {
+      // par_rows_trans runs inside its own top-level fenced region, so
+      // omp_get_thread_num() is a stable scratch index here (unlike in
+      // nested contexts; see squares_implicit.hpp on cursor leases).
+      S.par_rows_trans([&](vid_t e, eid_t lo, std::span<const vid_t> cols,
+                           std::span<const eid_t> tks) {
+        if (cols.empty()) {
+          d[e] = 0.0;
+          return;
+        }
         RowMatchScratch& sc = scratch[omp_get_thread_num()];
-#pragma omp for schedule(dynamic, kDynamicChunk) nowait
-        for (vid_t e = 0; e < static_cast<vid_t>(m); ++e) {
-          const eid_t lo = S.row_begin(e), hi = S.row_end(e);
-          if (lo == hi) {
-            d[e] = 0.0;
-            continue;
-          }
-          sc.edges.clear();
-          for (eid_t k = lo; k < hi; ++k) {
-            const eid_t f = scol[k];
-            sc.edges.push_back(SmallMwmSolver::Edge{
-                L.edge_a(f), L.edge_b(f), half_beta + U[k] - U[perm[k]]});
-          }
-          const std::size_t row_len = sc.edges.size();
-          const auto chosen_span = std::span(sc.chosen.data(), row_len);
-          d[e] = options.row_matcher == RowMatcher::kExact
-                     ? sc.solver.solve(sc.edges, chosen_span)
-                     : sc.greedy.match(sc.edges, chosen_span);
-          for (eid_t k = lo; k < hi; ++k) {
-            SL[k] = sc.chosen[k - lo];
-          }
+        sc.edges.clear();
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+          const eid_t k = lo + static_cast<eid_t>(i);
+          const vid_t f = cols[i];
+          sc.edges.push_back(SmallMwmSolver::Edge{
+              L.edge_a(f), L.edge_b(f), half_beta + U[k] - U[tks[i]]});
+        }
+        const std::size_t row_len = sc.edges.size();
+        const auto chosen_span = std::span(sc.chosen.data(), row_len);
+        d[e] = options.row_matcher == RowMatcher::kExact
+                   ? sc.solver.solve(sc.edges, chosen_span)
+                   : sc.greedy.match(sc.edges, chosen_span);
+        for (std::size_t i = 0; i < row_len; ++i) {
+          SL[lo + static_cast<eid_t>(i)] = sc.chosen[i];
         }
       });
     }
@@ -237,17 +233,16 @@ AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
     const weight_t step_gamma = gamma;
     {
       ScopedStepTimer st(result.timers, "update_u", iter_steps_ptr);
-      fenced_parallel([&] {
-#pragma omp for schedule(dynamic, kDynamicChunk) nowait
-        for (vid_t e = 0; e < static_cast<vid_t>(m); ++e) {
-          for (eid_t k = S.row_begin(e); k < S.row_end(e); ++k) {
-            const vid_t f = scol[k];
-            if (e >= f) continue;  // upper triangle only
-            weight_t u = U[k];
-            if (x[e] && SL[k]) u -= gamma;
-            if (x[f] && SL[perm[k]]) u += gamma;
-            U[k] = std::clamp(u, -u_bound, u_bound);
-          }
+      S.par_rows_trans([&](vid_t e, eid_t lo, std::span<const vid_t> cols,
+                           std::span<const eid_t> tks) {
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+          const vid_t f = cols[i];
+          if (e >= f) continue;  // upper triangle only
+          const eid_t k = lo + static_cast<eid_t>(i);
+          weight_t u = U[k];
+          if (x[e] && SL[k]) u -= gamma;
+          if (x[f] && SL[tks[i]]) u += gamma;
+          U[k] = std::clamp(u, -u_bound, u_bound);
         }
       });
       if (since_upper_improved >= options.mstep) {

@@ -20,7 +20,7 @@
 
 #include "netalign/result.hpp"
 #include "netalign/rounding.hpp"
-#include "netalign/squares.hpp"
+#include "netalign/squares_view.hpp"
 
 namespace netalign::obs {
 class TraceWriter;
@@ -67,7 +67,10 @@ struct KlauMrOptions {
   SolveBudget budget;
 };
 
-AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresMatrix& S,
+/// S may be either squares backend (SquaresView converts implicitly from
+/// SquaresMatrix and ImplicitSquares); results are bit-identical across
+/// backends.
+AlignResult klau_mr_align(const NetAlignProblem& p, const SquaresView& S,
                           const KlauMrOptions& options = {});
 
 }  // namespace netalign

@@ -8,7 +8,7 @@
 namespace netalign {
 
 ObjectiveValue evaluate_objective(const NetAlignProblem& p,
-                                  const SquaresMatrix& S,
+                                  const SquaresView& S,
                                   std::span<const std::uint8_t> x) {
   const eid_t m = p.L.num_edges();
   if (static_cast<eid_t>(x.size()) != m) {
@@ -17,16 +17,19 @@ ObjectiveValue evaluate_objective(const NetAlignProblem& p,
   // Chunk-deterministic reduction (deterministic_chunk_sums in
   // parallel.hpp): the objective feeds BestSolutionTracker comparisons and
   // checkpointed histories, so it must be bit-identical run to run, not
-  // just up to summation order.
+  // just up to summation order. One RowAccess per chunk: under an implicit
+  // backend its cursor lease is acquired lazily on the chunk's first
+  // matched row, so the mutex cost amortizes over kDynamicChunk rows (and
+  // stays correct in nested regions, where thread ids are not identities).
   const auto sums = deterministic_chunk_sums<2>(
       m, [&](std::int64_t lo, std::int64_t hi, std::array<double, 2>& acc) {
+        SquaresView::RowAccess rows = S.access();
         for (eid_t e = lo; e < hi; ++e) {
           if (!x[e]) continue;
           acc[0] += p.L.edge_weight(e);
           weight_t row = 0.0;
-          for (eid_t k = S.row_begin(static_cast<vid_t>(e));
-               k < S.row_end(static_cast<vid_t>(e)); ++k) {
-            if (x[S.col(k)]) row += 1.0;
+          for (const vid_t f : rows.cols(static_cast<vid_t>(e))) {
+            if (x[f]) row += 1.0;
           }
           acc[1] += row;
         }
@@ -39,7 +42,7 @@ ObjectiveValue evaluate_objective(const NetAlignProblem& p,
 }
 
 ObjectiveValue evaluate_objective(const NetAlignProblem& p,
-                                  const SquaresMatrix& S,
+                                  const SquaresView& S,
                                   const BipartiteMatching& m) {
   return evaluate_objective(p, S, m.indicator(p.L));
 }

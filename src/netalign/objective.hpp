@@ -11,7 +11,7 @@
 #include <span>
 
 #include "matching/matching.hpp"
-#include "netalign/squares.hpp"
+#include "netalign/squares_view.hpp"
 
 namespace netalign {
 
@@ -21,14 +21,17 @@ struct ObjectiveValue {
   weight_t objective = 0.0;
 };
 
-/// Evaluate from a 0/1 indicator over L's edges.
+/// Evaluate from a 0/1 indicator over L's edges. Takes either backend
+/// through SquaresView (SquaresMatrix converts implicitly); the summation
+/// order is row-major over S's pattern, so the value is bit-identical
+/// across backends.
 ObjectiveValue evaluate_objective(const NetAlignProblem& p,
-                                  const SquaresMatrix& S,
+                                  const SquaresView& S,
                                   std::span<const std::uint8_t> x);
 
 /// Evaluate from a matching (converts to an indicator internally).
 ObjectiveValue evaluate_objective(const NetAlignProblem& p,
-                                  const SquaresMatrix& S,
+                                  const SquaresView& S,
                                   const BipartiteMatching& m);
 
 /// Overlap by brute-force double loop over matched edge pairs and the

@@ -85,7 +85,7 @@ BipartiteMatching run_matcher(const BipartiteGraph& L,
   throw std::logic_error("run_matcher: unreachable");
 }
 
-RoundOutcome round_heuristic(const NetAlignProblem& p, const SquaresMatrix& S,
+RoundOutcome round_heuristic(const NetAlignProblem& p, const SquaresView& S,
                              std::span<const weight_t> g, MatcherKind kind,
                              obs::Counters* counters,
                              RoundWorkspace* workspace) {
@@ -149,7 +149,7 @@ void BestSolutionTracker::load(io::ByteReader& r) {
   best_g_ = r.pod_vector<weight_t>();
 }
 
-void finalize_best(const NetAlignProblem& p, const SquaresMatrix& S,
+void finalize_best(const NetAlignProblem& p, const SquaresView& S,
                    const BestSolutionTracker& tracker, MatcherKind matcher,
                    bool final_exact_round, obs::Counters* counters,
                    AlignResult& result) {

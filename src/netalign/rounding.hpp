@@ -13,7 +13,7 @@
 #include "matching/matching.hpp"
 #include "netalign/objective.hpp"
 #include "netalign/result.hpp"
-#include "netalign/squares.hpp"
+#include "netalign/squares_view.hpp"
 
 namespace netalign::obs {
 class Counters;
@@ -68,8 +68,9 @@ struct RoundOutcome {
 };
 
 /// Match under g, then score against the *problem's* objective (alpha x'w
-/// + beta/2 x'Sx -- with L's own weights w, not g).
-RoundOutcome round_heuristic(const NetAlignProblem& p, const SquaresMatrix& S,
+/// + beta/2 x'Sx -- with L's own weights w, not g). S is either backend
+/// through SquaresView.
+RoundOutcome round_heuristic(const NetAlignProblem& p, const SquaresView& S,
                              std::span<const weight_t> g, MatcherKind kind,
                              obs::Counters* counters = nullptr,
                              RoundWorkspace* workspace = nullptr);
@@ -111,7 +112,7 @@ class BestSolutionTracker {
 /// higher. The re-round time lands in result.timers["final_exact_round"].
 /// With an empty tracker (a run stopped before its first rounding) the
 /// result keeps an empty-but-valid matching and best_iteration -1.
-void finalize_best(const NetAlignProblem& p, const SquaresMatrix& S,
+void finalize_best(const NetAlignProblem& p, const SquaresView& S,
                    const BestSolutionTracker& tracker, MatcherKind matcher,
                    bool final_exact_round, obs::Counters* counters,
                    AlignResult& result);

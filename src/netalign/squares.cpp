@@ -7,13 +7,12 @@
 
 namespace netalign {
 
-SquaresMatrix SquaresMatrix::build(const NetAlignProblem& p) {
+std::vector<eid_t> squares_row_ptr(const NetAlignProblem& p) {
   if (!p.is_consistent()) {
-    throw std::invalid_argument("SquaresMatrix::build: inconsistent problem");
+    throw std::invalid_argument("squares_row_ptr: inconsistent problem");
   }
   const BipartiteGraph& L = p.L;
   const eid_t m = L.num_edges();
-  const auto nrows = static_cast<vid_t>(m);
 
   // For edge e = (i, i'), a square with edge f = (j, j') exists iff j ~ i
   // in A, j' ~ i' in B and (j, j') is in L. Instead of probing
@@ -46,6 +45,32 @@ SquaresMatrix SquaresMatrix::build(const NetAlignProblem& p) {
     }
   });
   for (eid_t e = 0; e < m; ++e) ptr[e + 1] += ptr[e];
+  return ptr;
+}
+
+std::uint64_t explicit_squares_bytes(std::span<const eid_t> ptr) {
+  if (ptr.empty()) return 0;
+  const auto nnz = static_cast<std::uint64_t>(ptr.back());
+  // col ids + transpose permutation per nonzero, plus the pointer array.
+  return nnz * (sizeof(vid_t) + sizeof(eid_t)) +
+         static_cast<std::uint64_t>(ptr.size()) * sizeof(eid_t);
+}
+
+SquaresMatrix SquaresMatrix::build(const NetAlignProblem& p) {
+  return build(p, squares_row_ptr(p));
+}
+
+SquaresMatrix SquaresMatrix::build(const NetAlignProblem& p,
+                                   std::vector<eid_t> ptr) {
+  if (!p.is_consistent()) {
+    throw std::invalid_argument("SquaresMatrix::build: inconsistent problem");
+  }
+  const BipartiteGraph& L = p.L;
+  const eid_t m = L.num_edges();
+  const auto nrows = static_cast<vid_t>(m);
+  if (ptr.size() != static_cast<std::size_t>(m) + 1) {
+    throw std::invalid_argument("SquaresMatrix::build: row-ptr size mismatch");
+  }
 
   // Fill pass. Rows come out already sorted by column id (required for the
   // binary-search lookups behind the transpose permutation); the is_sorted

@@ -22,11 +22,31 @@
 
 namespace netalign {
 
+/// The counting pass of the Section IV-A enumeration, shared by the
+/// explicit build below and the implicit backend (squares_implicit.hpp):
+/// the CSR row-pointer array of S (length |E_L| + 1; ptr[m] = nnz).
+/// Throws std::invalid_argument on an inconsistent problem.
+[[nodiscard]] std::vector<eid_t> squares_row_ptr(const NetAlignProblem& p);
+
+/// Bytes the explicit backend materializes for a squares pattern with
+/// this row-pointer array: the CSR column ids plus the transpose
+/// permutation plus the pointer array itself. This is the estimate the
+/// `auto` squares mode compares against its memory budget
+/// (docs/ARCHITECTURE.md "Memory model & implicit squares").
+[[nodiscard]] std::uint64_t explicit_squares_bytes(
+    std::span<const eid_t> ptr);
+
 class SquaresMatrix {
  public:
   /// Enumerate all squares of (A, B, L). Parallelized over the edges of L
   /// with the dynamic schedule the paper selects for S-shaped loops.
   static SquaresMatrix build(const NetAlignProblem& p);
+
+  /// Same, reusing a row-pointer array from squares_row_ptr so callers
+  /// that already ran the counting pass (the `auto` mode's estimator)
+  /// pay only the fill pass.
+  static SquaresMatrix build(const NetAlignProblem& p,
+                             std::vector<eid_t> ptr);
 
   /// Pattern accessors; row/col indices are L edge ids.
   [[nodiscard]] const CsrMatrix& pattern() const noexcept { return s_; }
@@ -56,6 +76,14 @@ class SquaresMatrix {
   /// multipliers live on the upper triangle only.
   [[nodiscard]] bool is_upper(eid_t k, vid_t row) const noexcept {
     return row < s_.col_idx()[k];
+  }
+
+  /// Bytes held by the materialized structure (col ids + transpose
+  /// permutation + row pointers). Matches explicit_squares_bytes.
+  [[nodiscard]] std::uint64_t structure_bytes() const noexcept {
+    const auto nnz = static_cast<std::uint64_t>(s_.num_nonzeros());
+    return nnz * (sizeof(vid_t) + sizeof(eid_t)) +
+           (static_cast<std::uint64_t>(s_.num_rows()) + 1) * sizeof(eid_t);
   }
 
  private:

@@ -38,12 +38,23 @@ ProblemCache::ProblemCache(std::size_t capacity, obs::Counters* counters)
 std::shared_ptr<const CachedProblem> ProblemCache::get(const std::string& key,
                                                        const std::string& text,
                                                        bool& hit) {
+  return get(key, text, SquaresBackendOptions{}, hit);
+}
+
+std::shared_ptr<const CachedProblem> ProblemCache::get(
+    const std::string& key, const std::string& text,
+    const SquaresBackendOptions& options, bool& hit) {
+  // The mode is a second key dimension: an implicit and an explicit
+  // build of the same bytes are different cached objects. The composite
+  // stays internal -- job keys and journal records carry only `key`.
+  const std::string mode = to_string(options.mode);
+  const std::string composite = key + "#" + mode;
   std::promise<std::shared_ptr<const CachedProblem>> promise;
   Future future;
   bool builder = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (auto it = map_.find(key); it != map_.end()) {
+    if (auto it = map_.find(composite); it != map_.end()) {
       hit = true;
       if (counters_ != nullptr) counters_->add_concurrent("server.cache_hit");
       lru_.splice(lru_.begin(), lru_, it->second.pos);  // touch
@@ -55,8 +66,8 @@ std::shared_ptr<const CachedProblem> ProblemCache::get(const std::string& key,
         counters_->add_concurrent("server.cache_miss");
       }
       future = promise.get_future().share();
-      lru_.push_front(key);
-      map_.emplace(key, Entry{future, lru_.begin()});
+      lru_.push_front(composite);
+      map_.emplace(composite, Entry{future, lru_.begin()});
       while (map_.size() > capacity_) {
         // The new entry is at the front and capacity >= 1, so the back is
         // always some other, least-recently-used key.
@@ -75,16 +86,20 @@ std::shared_ptr<const CachedProblem> ProblemCache::get(const std::string& key,
     try {
       auto built = std::make_shared<CachedProblem>();
       built->key = key;
+      built->mode = mode;
       std::istringstream in(text);
       built->problem = read_problem(in);
-      built->S = SquaresMatrix::build(built->problem);
+      // The problem is in its final location (inside the shared_ptr-owned
+      // struct) before the backend is built: an implicit backend pins the
+      // problem by pointer, so it must not move afterwards.
+      built->squares = build_squares_backend(built->problem, options);
       promise.set_value(std::move(built));
     } catch (...) {
       promise.set_exception(std::current_exception());
       // Do not cache failures: drop the entry so a corrected resubmission
       // with a colliding key is not poisoned.
       std::lock_guard<std::mutex> lock(mutex_);
-      if (auto it = map_.find(key); it != map_.end()) {
+      if (auto it = map_.find(composite); it != map_.end()) {
         lru_.erase(it->second.pos);
         map_.erase(it);
       }

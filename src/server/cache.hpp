@@ -1,16 +1,25 @@
 // Content-addressed LRU cache of parsed problems and their squares
-// matrices -- the server-side answer to the dominant setup cost of every
-// solve. A one-shot CLI run pays parse + SquaresMatrix::build (the |E_L|^2
-// candidate-pair enumeration) before the first iteration; the daemon pays
-// it once per distinct problem and serves every repeat job from memory.
+// backends -- the server-side answer to the dominant setup cost of every
+// solve. A one-shot CLI run pays parse + squares construction (the
+// |E_L|^2 candidate-pair enumeration) before the first iteration; the
+// daemon pays it once per distinct (problem, squares mode) pair and
+// serves every repeat job from memory.
 //
 // Keying is by content hash (FNV-1a 64 over the canonical .nap text), not
 // by path or name: two submissions are the same problem iff their bytes
 // are, which also makes the cache safe against a client rewriting a file
-// between jobs. Entries are immutable once built (`shared_ptr<const ...>`),
-// so a job keeps its problem alive even if the LRU evicts the entry
-// mid-run. Concurrent submitters of the same key share one build through
-// a shared_future; different keys build concurrently.
+// between jobs. The squares mode is a *second* key dimension, appended
+// internally as "<key>#<mode>": an implicit-mode entry caches only the
+// parsed adjacency plus the row-pointer/cursor tables (rows re-enumerate
+// per sweep), while an explicit entry caches the full CSR, so the two are
+// different objects with very different footprints and must not alias.
+// The journal/dedupe job key stays the pure content hash -- the mode is
+// a solve parameter, not problem identity.
+//
+// Entries are immutable once built (`shared_ptr<const ...>`), so a job
+// keeps its problem alive even if the LRU evicts the entry mid-run.
+// Concurrent submitters of the same composite key share one build
+// through a shared_future; different keys build concurrently.
 #pragma once
 
 #include <cstdint>
@@ -23,7 +32,7 @@
 #include <unordered_map>
 
 #include "netalign/problem.hpp"
-#include "netalign/squares.hpp"
+#include "netalign/squares_view.hpp"
 #include "obs/counters.hpp"
 
 namespace netalign::server {
@@ -34,11 +43,15 @@ namespace netalign::server {
 /// The cache key for a problem's canonical text: 16 lowercase hex chars.
 [[nodiscard]] std::string content_key(std::string_view problem_text);
 
-/// One cached problem: parsed instance + built squares matrix.
+/// One cached problem: parsed instance + built squares backend. The
+/// backend is always built with transpose support (the entry is shared
+/// across solvers, and BP/MR need transposed reads even though IsoRank
+/// does not).
 struct CachedProblem {
-  std::string key;
+  std::string key;   ///< content hash (no mode suffix)
+  std::string mode;  ///< requested squares mode (explicit|implicit|auto)
   NetAlignProblem problem;
-  SquaresMatrix S;
+  SquaresBackend squares;
 };
 
 class ProblemCache {
@@ -48,13 +61,22 @@ class ProblemCache {
   /// server.cache_miss / server.cache_evicted via add_concurrent.
   ProblemCache(std::size_t capacity, obs::Counters* counters);
 
-  /// Entry for `key`, built from `text` (parse + squares) on a miss.
-  /// `hit` reports whether the setup cost was skipped (sharing an
-  /// in-flight build counts as a hit). Thread-safe; rethrows the build
-  /// error on a malformed problem, in which case nothing is cached.
+  /// Entry for `key` under squares backend `options`, built from `text`
+  /// (parse + squares) on a miss. `options.mode` may be kAuto: the
+  /// resolution (by estimated explicit bytes vs the budget) is a
+  /// deterministic function of the problem, so every waiter on the
+  /// shared build sees the same backend. `hit` reports whether the setup
+  /// cost was skipped (sharing an in-flight build counts as a hit).
+  /// Thread-safe; rethrows the build error on a malformed problem, in
+  /// which case nothing is cached.
   std::shared_ptr<const CachedProblem> get(const std::string& key,
                                            const std::string& text,
+                                           const SquaresBackendOptions& options,
                                            bool& hit);
+
+  /// Explicit-mode convenience overload (the pre-implicit behavior).
+  std::shared_ptr<const CachedProblem> get(const std::string& key,
+                                           const std::string& text, bool& hit);
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }

@@ -758,7 +758,7 @@ AlignResult run_solver(const SubmitParams& spec, const CachedProblem& cp,
     opt.trace = trace;
     opt.counters = counters;
     opt.budget = budget;
-    return belief_prop_align(cp.problem, cp.S, opt);
+    return belief_prop_align(cp.problem, cp.squares.view(), opt);
   }
   if (spec.solver == "mr") {
     KlauMrOptions opt;
@@ -768,7 +768,7 @@ AlignResult run_solver(const SubmitParams& spec, const CachedProblem& cp,
     opt.trace = trace;
     opt.counters = counters;
     opt.budget = budget;
-    return klau_mr_align(cp.problem, cp.S, opt);
+    return klau_mr_align(cp.problem, cp.squares.view(), opt);
   }
   if (spec.solver == "isorank") {
     IsoRankOptions opt;
@@ -778,7 +778,7 @@ AlignResult run_solver(const SubmitParams& spec, const CachedProblem& cp,
     opt.trace = trace;
     opt.counters = counters;
     opt.budget = budget;
-    return isorank_align(cp.problem, cp.S, opt);
+    return isorank_align(cp.problem, cp.squares.view(), opt);
   }
   if (spec.solver == "dist-bp") {
     dist::DistBpOptions opt;
@@ -789,7 +789,11 @@ AlignResult run_solver(const SubmitParams& spec, const CachedProblem& cp,
     opt.trace = trace;
     opt.counters = counters;
     opt.budget = budget;
-    return dist::distributed_belief_prop_align(cp.problem, cp.S, opt);
+    // Dist solvers need the materialized CSR for their edge-cut
+    // partitioning; run_job forces explicit mode for them, so the
+    // backend's matrix is always populated here.
+    return dist::distributed_belief_prop_align(cp.problem, *cp.squares.matrix,
+                                               opt);
   }
   if (spec.solver == "dist-mr") {
     dist::DistMrOptions opt;
@@ -799,7 +803,8 @@ AlignResult run_solver(const SubmitParams& spec, const CachedProblem& cp,
     opt.trace = trace;
     opt.counters = counters;
     opt.budget = budget;
-    return dist::distributed_klau_mr_align(cp.problem, cp.S, opt);
+    return dist::distributed_klau_mr_align(cp.problem, *cp.squares.matrix,
+                                           opt);
   }
   throw std::invalid_argument("unknown solver '" + spec.solver + "'");
 }
@@ -884,10 +889,29 @@ JobState JobManager::run_job(Job& job) {
     }
   }
 
+  // Resolve the squares backend before cache keying: the per-job field
+  // wins over the server default, and dist-* solvers always force
+  // explicit (their partitioners need the materialized CSR; an implicit
+  // request for them was already rejected at parse time, but the server
+  // default or `auto` could still point them at the wrong backend).
+  SquaresBackendOptions squares_opts;
+  squares_opts.budget_bytes = std::uint64_t{options_.squares_max_mb} << 20;
+  try {
+    const std::string& mode_name = job.spec.squares_mode.empty()
+                                       ? options_.squares_mode
+                                       : job.spec.squares_mode;
+    squares_opts.mode = squares_mode_from_string(mode_name);
+  } catch (const std::exception& e) {
+    return fail(std::string("bad squares_mode: ") + e.what());
+  }
+  if (job.spec.solver.rfind("dist-", 0) == 0) {
+    squares_opts.mode = SquaresMode::kExplicit;
+  }
+
   std::shared_ptr<const CachedProblem> cp;
   bool hit = false;
   try {
-    cp = cache_.get(job.key, job.spec.problem_text, hit);
+    cp = cache_.get(job.key, job.spec.problem_text, squares_opts, hit);
   } catch (const std::exception& e) {
     return fail(std::string("problem rejected: ") + e.what());
   }
@@ -904,7 +928,9 @@ JobState JobManager::run_job(Job& job) {
                                       {"iters", job.spec.iters},
                                       {"job", job.id},
                                       {"tenant", job.tenant},
-                                      {"cache", hit ? "hit" : "miss"}});
+                                      {"cache", hit ? "hit" : "miss"},
+                                      {"squares_mode",
+                                       cp->squares.mode_name()}});
     SolveBudget budget;
     budget.deadline_seconds = job.spec.deadline_seconds;
     budget.cancel_flag = &job.cancel;

@@ -107,6 +107,13 @@ struct JobManagerOptions {
   /// 0 = no periodic checkpoints. Only meaningful with the journal on,
   /// since recovery is the only reader.
   std::int64_t checkpoint_every = 25;
+  /// Default squares backend for submits without a `squares_mode` field:
+  /// "explicit" | "implicit" | "auto". Dist-* solvers always run
+  /// explicit regardless.
+  std::string squares_mode = "explicit";
+  /// `auto` threshold in MiB: a problem whose explicit squares structure
+  /// would exceed this is built implicit instead.
+  std::uint64_t squares_max_mb = 2048;
 };
 
 class JobManager {

@@ -74,6 +74,7 @@ std::string submit_record(const JournalJob& j) {
   kv_double(s, "gamma", j.spec.gamma);
   kv_double(s, "deadline_seconds", j.spec.deadline_seconds);
   kv_string(s, "tag", j.spec.tag);
+  kv_string(s, "squares_mode", j.spec.squares_mode);
   kv_string(s, "problem_path", j.spec.problem_path);
   kv_string(s, "problem_file", j.problem_file);
   s.push_back('}');
@@ -227,6 +228,7 @@ JournalReplay replay_journal_file(const std::string& path) {
       j.spec.gamma = rep_double(event, "gamma");
       j.spec.deadline_seconds = rep_double(event, "deadline_seconds");
       j.spec.tag = rep_string(event, "tag");
+      j.spec.squares_mode = rep_string(event, "squares_mode");
       j.spec.tenant = j.tenant;
       j.spec.problem_path = rep_string(event, "problem_path");
       j.problem_file = rep_string(event, "problem_file");

@@ -183,6 +183,19 @@ bool parse_request(std::string_view line, Request& out, ErrorCode& code,
       p.deadline_seconds = get_double(doc, "deadline_seconds", 0.0);
       p.tag = get_string(doc, "tag", "");
       p.tenant = get_string(doc, "tenant", "");
+      p.squares_mode = get_string(doc, "squares_mode", "");
+      if (!p.squares_mode.empty() && p.squares_mode != "explicit" &&
+          p.squares_mode != "implicit" && p.squares_mode != "auto") {
+        throw FieldError{"unknown squares_mode '" + p.squares_mode +
+                         "' (explicit | implicit | auto)"};
+      }
+      if (p.squares_mode == "implicit" &&
+          p.solver.rfind("dist-", 0) == 0) {
+        // The dist-* solvers partition the explicit CSR by edge cut;
+        // there is no implicit path for them.
+        throw FieldError{
+            "squares_mode=implicit is not supported for dist-* solvers"};
+      }
       p.request_id = get_string(doc, "request_id", "");
       if (p.request_id.size() > 200) {
         // The token is journaled with every submit and indexed forever

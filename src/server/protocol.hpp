@@ -91,6 +91,12 @@ struct SubmitParams {
   /// which is what makes blind client retries across a daemon restart
   /// safe. Empty = no dedupe.
   std::string request_id;
+  /// Squares backend: "explicit" | "implicit" | "auto", or empty for the
+  /// server-wide default (ServerOptions::squares_mode). Not part of the
+  /// job's content key; the cache keys (problem, resolved mode) pairs.
+  /// Rejected at parse time for dist-* solvers, which need the explicit
+  /// CSR for their edge-cut partitioning.
+  std::string squares_mode;
 };
 
 /// One parsed request. `id` is the client's correlation value echoed

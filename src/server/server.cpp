@@ -75,7 +75,8 @@ Server::Server(const ServerOptions& options)
                               options.retained_cap, options.max_problem_bytes,
                               options.work_dir, options.journal,
                               options.journal_fsync, options.recover,
-                              options.checkpoint_every},
+                              options.checkpoint_every, options.squares_mode,
+                              options.squares_max_mb},
             cache_, &counters_) {
   // Pre-register the server counters so `stats` reports them in a stable
   // order (and as explicit zeros) from the first request on. The
@@ -483,6 +484,9 @@ std::string Server::handle_stats(const Request& req) {
   r.field("evicted", q.evicted);
   r.field("cache_size", static_cast<std::int64_t>(cache_.size()));
   r.field("cache_cap", static_cast<std::int64_t>(cache_.capacity()));
+  r.field("squares_mode", options_.squares_mode);
+  r.field("squares_max_mb",
+          static_cast<std::int64_t>(options_.squares_max_mb));
   r.field("draining", jobs_.draining());
   r.field("proto_version", std::int64_t{kProtocolVersion});
   r.field("journal_version", std::int64_t{kJournalVersion});

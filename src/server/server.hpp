@@ -39,6 +39,11 @@ struct ServerOptions {
   bool journal_fsync = false;         ///< fsync every append, not just terminals
   bool recover = true;                ///< replay the journal at startup
   std::int64_t checkpoint_every = 25; ///< solver-checkpoint cadence (0 = off)
+  /// Default squares backend for submits without a `squares_mode` field:
+  /// "explicit" | "implicit" | "auto" (docs/SERVER.md "Memory model").
+  std::string squares_mode = "explicit";
+  /// `auto` threshold in MiB on the explicit squares-structure estimate.
+  std::uint64_t squares_max_mb = 2048;
   /// External stop latch (SIGTERM/SIGINT); treated as `shutdown now=false`
   /// (drain) when it fires. Nullable.
   const std::atomic<bool>* stop_flag = nullptr;

@@ -1,0 +1,66 @@
+#include "util/rss.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace netalign {
+
+namespace {
+
+/// Parse "<field>:  <n> kB" from /proc/self/status; -1 if absent.
+std::int64_t proc_status_kb(const char* field) {
+  std::ifstream in("/proc/self/status");
+  if (!in) return -1;
+  std::string line;
+  const std::size_t field_len = std::strlen(field);
+  while (std::getline(in, line)) {
+    if (line.compare(0, field_len, field) != 0 ||
+        line.size() <= field_len || line[field_len] != ':') {
+      continue;
+    }
+    long long kb = -1;
+    if (std::sscanf(line.c_str() + field_len + 1, "%lld", &kb) == 1) {
+      return static_cast<std::int64_t>(kb) * 1024;
+    }
+    return -1;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::int64_t peak_rss_bytes() {
+  const std::int64_t hwm = proc_status_kb("VmHWM");
+  if (hwm >= 0) return hwm;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    // ru_maxrss is kilobytes on Linux, bytes on macOS.
+#if defined(__APPLE__)
+    return static_cast<std::int64_t>(ru.ru_maxrss);
+#else
+    return static_cast<std::int64_t>(ru.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  return -1;
+}
+
+bool reset_peak_rss() {
+  // "5" resets the peak-RSS watermark (Documentation/filesystems/proc.rst);
+  // stdio keeps this dependency-free and the write is the whole protocol.
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+}
+
+std::int64_t current_rss_bytes() { return proc_status_kb("VmRSS"); }
+
+}  // namespace netalign

@@ -1,0 +1,33 @@
+// Peak-resident-set measurement for the memory-footprint bench arms
+// (docs/PERFORMANCE.md "Memory methodology").
+//
+// Linux reports a per-process high-water mark (VmHWM in
+// /proc/self/status) that the kernel lets a process reset by writing "5"
+// to /proc/self/clear_refs. Reset-then-read brackets a single bench phase
+// with its own peak instead of the whole process's, which is what makes
+// "peak RSS of the implicit-mode solve" a measurable quantity. Where the
+// reset file is unavailable (non-Linux, restricted /proc) the reset
+// reports failure and callers fall back to whole-process peaks, which
+// only ever overstate a phase.
+#pragma once
+
+#include <cstdint>
+
+namespace netalign {
+
+/// Peak resident set size of this process in bytes, from VmHWM in
+/// /proc/self/status, falling back to getrusage(RUSAGE_SELF) ru_maxrss.
+/// Returns -1 when neither source is readable.
+[[nodiscard]] std::int64_t peak_rss_bytes();
+
+/// Reset the kernel's peak-RSS watermark so the next peak_rss_bytes()
+/// reflects only allocations after this call. Returns true on success;
+/// false where /proc/self/clear_refs is absent or not writable.
+bool reset_peak_rss();
+
+/// Current (not peak) resident set size in bytes, from VmRSS; -1 when
+/// unavailable. Useful for before/after deltas where the watermark reset
+/// is unsupported.
+[[nodiscard]] std::int64_t current_rss_bytes();
+
+}  // namespace netalign

@@ -221,7 +221,29 @@ TEST(ProblemCache, RepeatSubmissionHits) {
   EXPECT_EQ(first.get(), second.get());  // same built entry, not a rebuild
   EXPECT_EQ(counters.total("server.cache_hit"), 1);
   EXPECT_EQ(counters.total("server.cache_miss"), 1);
-  EXPECT_GT(first->S.num_nonzeros(), 0);
+  EXPECT_GT(first->squares.nnz, 0);
+  EXPECT_FALSE(first->squares.is_implicit());  // default overload: explicit
+}
+
+TEST(ProblemCache, ModeIsASecondKeyDimension) {
+  obs::Counters counters;
+  ProblemCache cache(4, &counters);
+  const std::string text = problem_text();
+  const std::string key = content_key(text);
+  bool hit = true;
+  SquaresBackendOptions implicit_opts;
+  implicit_opts.mode = SquaresMode::kImplicit;
+  const auto exp = cache.get(key, text, hit);
+  EXPECT_FALSE(hit);
+  const auto imp = cache.get(key, text, implicit_opts, hit);
+  EXPECT_FALSE(hit);  // same bytes, different backend: a distinct entry
+  EXPECT_NE(exp.get(), imp.get());
+  EXPECT_TRUE(imp->squares.is_implicit());
+  EXPECT_EQ(exp->squares.nnz, imp->squares.nnz);
+  const auto imp2 = cache.get(key, text, implicit_opts, hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(imp.get(), imp2.get());
+  EXPECT_EQ(cache.size(), 2u);
 }
 
 TEST(ProblemCache, EvictsLeastRecentlyUsed) {

@@ -1,6 +1,6 @@
 // Documentation consistency checker, run as the `docs_check` CTest.
 //
-// Three guarantees, all cheap and all the kind that silently rot:
+// Four guarantees, all cheap and all the kind that silently rot:
 //  1. every top-level directory under src/ is mentioned (as "src/<name>")
 //     in docs/ARCHITECTURE.md, so the module map cannot fall behind the
 //     tree;
@@ -9,7 +9,12 @@
 //     behind the bench/ directory;
 //  3. every relative link target in the repo's Markdown files resolves to
 //     an existing file or directory, so renames cannot leave dangling
-//     references.
+//     references;
+//  4. every --flag the netalign CLI and netalign_server daemon register
+//     (add_string/add_int/add_bool/add_double calls in their sources,
+//     plus the shared observability flags in src/util/cli.cpp) appears as
+//     "--flag" somewhere in README.md or docs/*.md, so a new flag cannot
+//     land undocumented.
 //
 // Scans all *.md under the repo root except build trees, results/, .git
 // and ISSUE.md (driver-owned, not part of the docs). Code fences are
@@ -18,6 +23,8 @@
 // skipped.
 //
 //   docs_check /path/to/repo
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <exception>
 #include <filesystem>
@@ -102,6 +109,53 @@ bool skip_dir(const fs::path& p) {
          name.rfind("build", 0) == 0;
 }
 
+/// Flag names registered in `source` via add_string/add_int/add_bool/
+/// add_double -- the first string literal after the call is the flag.
+std::vector<std::string> registered_flags(const std::string& source) {
+  std::vector<std::string> out;
+  for (const char* fn :
+       {"add_string(", "add_int(", "add_bool(", "add_double("}) {
+    std::size_t pos = 0;
+    while ((pos = source.find(fn, pos)) != std::string::npos) {
+      pos += std::string_view(fn).size();
+      // Skip declarations like `add_int(const std::string& ...` -- only a
+      // string literal directly names a flag.
+      const std::size_t open = source.find('"', pos);
+      const std::size_t stop = source.find_first_of(");", pos);
+      if (open == std::string::npos || stop == std::string::npos ||
+          open > stop) {
+        continue;
+      }
+      const std::size_t close = source.find('"', open + 1);
+      if (close == std::string::npos) continue;
+      std::string name = source.substr(open + 1, close - open - 1);
+      if (!name.empty() &&
+          std::find(out.begin(), out.end(), name) == out.end()) {
+        out.push_back(std::move(name));
+      }
+    }
+  }
+  return out;
+}
+
+/// True when `--name` appears in `docs` at a flag boundary (so a
+/// documented "--squares-mode" does not excuse an undocumented
+/// "--squares").
+bool flag_documented(const std::string& docs, const std::string& name) {
+  const std::string needle = "--" + name;
+  std::size_t pos = 0;
+  while ((pos = docs.find(needle, pos)) != std::string::npos) {
+    const std::size_t after = pos + needle.size();
+    const char c = after < docs.size() ? docs[after] : '\0';
+    if (!(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+          c == '_')) {
+      return true;
+    }
+    pos = after;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -150,6 +204,39 @@ int main(int argc, char** argv) try {
                      "docs/PERFORMANCE.md (mention \"%s\")\n",
                      stem.c_str(), stem.c_str());
         ++failures;
+      }
+    }
+  }
+
+  // --- Check 4: CLI / server flags are all documented -------------------
+  // The haystack is the RAW markdown (flags are usually shown inside code
+  // fences, which the link checker strips).
+  {
+    std::string docs;
+    const fs::path readme = root / "README.md";
+    if (fs::exists(readme)) docs += read_file(readme);
+    if (fs::exists(root / "docs")) {
+      for (const auto& entry : fs::directory_iterator(root / "docs")) {
+        if (entry.path().extension() == ".md") docs += read_file(entry.path());
+      }
+    }
+    for (const char* rel : {"tools/netalign_cli.cpp",
+                            "tools/netalign_server.cpp",
+                            "src/util/cli.cpp"}) {
+      const fs::path src_path = root / rel;
+      if (!fs::exists(src_path)) {
+        std::fprintf(stderr, "FAIL: flag source %s does not exist\n", rel);
+        ++failures;
+        continue;
+      }
+      for (const std::string& name : registered_flags(read_file(src_path))) {
+        if (!flag_documented(docs, name)) {
+          std::fprintf(stderr,
+                       "FAIL: flag --%s (registered in %s) is not "
+                       "documented in README.md or docs/*.md\n",
+                       name.c_str(), rel);
+          ++failures;
+        }
       }
     }
   }

@@ -161,6 +161,14 @@ int cmd_align(int argc, char** argv) {
                                "damping / step size (0 = method default)");
   auto& threads = cli.add_int("threads", 0, "OpenMP threads (0 = default)");
   auto& ranks = cli.add_int("ranks", 4, "simulated ranks (dist-* methods)");
+  auto& squares_mode_name = cli.add_string(
+      "squares-mode", "explicit",
+      "squares backend: explicit | implicit | auto "
+      "(docs/ARCHITECTURE.md \"Memory model & implicit squares\")");
+  auto& squares_max_mb = cli.add_int(
+      "squares-max-mb", 2048,
+      "auto squares mode: switch to implicit when the explicit S estimate "
+      "exceeds this many MiB");
   auto& save = cli.add_string("save-matching", "", "write the matching here");
   auto& verbose = cli.add_bool("steps", false, "print per-step timings");
   auto& history = cli.add_string(
@@ -191,7 +199,31 @@ int cmd_align(int argc, char** argv) {
   budget.stop_flag = install_stop_signal_handlers();
 
   const NetAlignProblem p = read_problem_file(path);
-  const SquaresMatrix S = SquaresMatrix::build(p);
+  SquaresMode squares_mode = squares_mode_from_string(squares_mode_name);
+  const bool dist_method = method == "dist-bp" || method == "dist-mr";
+  if (dist_method && squares_mode == SquaresMode::kImplicit) {
+    std::fprintf(stderr,
+                 "--squares-mode=implicit is not supported by %s (the rank "
+                 "partitioners need the materialized CSR)\n",
+                 method.c_str());
+    return 1;
+  }
+  if (dist_method) squares_mode = SquaresMode::kExplicit;
+  SquaresBackendOptions squares_opts;
+  squares_opts.mode = squares_mode;
+  squares_opts.budget_bytes = static_cast<std::uint64_t>(squares_max_mb) << 20;
+  // IsoRank never reads S transposed; skip the counting-cursor tables.
+  squares_opts.transpose_support = method != "isorank";
+  const SquaresBackend backend = build_squares_backend(p, squares_opts);
+  const SquaresView S = backend.view();
+  if (squares_mode != SquaresMode::kExplicit) {
+    std::printf("squares: mode=%s (requested %s), nnz=%lld, "
+                "explicit estimate %.1f MiB, resident structure %.1f MiB\n",
+                backend.mode_name().c_str(), squares_mode_name.c_str(),
+                static_cast<long long>(backend.nnz),
+                static_cast<double>(backend.explicit_bytes) / (1 << 20),
+                static_cast<double>(backend.structure_bytes()) / (1 << 20));
+  }
   const MatcherKind matcher = matcher_from_string(matcher_name);
 
   std::unique_ptr<obs::TraceWriter> trace;
@@ -203,7 +235,8 @@ int cmd_align(int argc, char** argv) {
   if (trace) {
     trace->run_start(method, {{"problem", p.name},
                               {"matcher", matcher_name},
-                              {"iters", iters}});
+                              {"iters", iters},
+                              {"squares_mode", backend.mode_name()}});
   }
 
   AlignResult r;
@@ -245,7 +278,7 @@ int cmd_align(int argc, char** argv) {
     opt.counters = counters_ptr;
     dist::DistBpStats dstats;
     opt.budget = budget;
-    r = dist::distributed_belief_prop_align(p, S, opt, &dstats);
+    r = dist::distributed_belief_prop_align(p, *backend.matrix, opt, &dstats);
     std::printf("[dist] ranks=%lld supersteps=%zu messages=%zu "
                 "(%zu remote) bytes=%zu\n",
                 static_cast<long long>(ranks), dstats.bsp.supersteps,
@@ -260,7 +293,7 @@ int cmd_align(int argc, char** argv) {
     opt.counters = counters_ptr;
     dist::DistMrStats dstats;
     opt.budget = budget;
-    r = dist::distributed_klau_mr_align(p, S, opt, &dstats);
+    r = dist::distributed_klau_mr_align(p, *backend.matrix, opt, &dstats);
     std::printf("[dist] ranks=%lld supersteps=%zu messages=%zu "
                 "(%zu remote) bytes=%zu\n",
                 static_cast<long long>(ranks), dstats.bsp.supersteps,
@@ -271,6 +304,12 @@ int cmd_align(int argc, char** argv) {
     return 1;
   }
 
+  if (obs_flags.counters && backend.is_implicit()) {
+    // Enumeration volume for this process's whole run (build + solve);
+    // docs/OBSERVABILITY.md "squares.implicit_*". Published before
+    // run_end so the counters land in the trace too.
+    backend.implicit->publish_counters(counters_ptr);
+  }
   if (trace) {
     obs::TraceWriter::Fields extra{
         {"stopped_reason", to_string(r.stopped_reason)},
@@ -348,7 +387,7 @@ int cmd_match(int argc, char** argv) {
               static_cast<long long>(m.cardinality), t.seconds());
   if (want_counters) {
     for (const auto& name : counters.names()) {
-      std::printf("  %-24s %lld\n", name.c_str(),
+      std::printf("  %-36s %lld\n", name.c_str(),
                   static_cast<long long>(counters.total(name)));
     }
   }
@@ -482,6 +521,10 @@ int cmd_client(int argc, char** argv) {
   auto& ranks = cli.add_int("ranks", 4, "simulated ranks, dist-* (submit)");
   auto& gamma = cli.add_double(
       "gamma", 0.0, "damping / step size, 0 = method default (submit)");
+  auto& squares_mode_name = cli.add_string(
+      "squares-mode", "",
+      "squares backend: explicit | implicit | auto; empty = server default "
+      "(submit)");
   auto& deadline = cli.add_double(
       "deadline-seconds", 0.0, "server-side deadline, 0 = none (submit)");
   auto& tag = cli.add_string("tag", "", "free-form job label (submit)");
@@ -545,6 +588,7 @@ int cmd_client(int argc, char** argv) {
         .add("batch", batch)
         .add("ranks", ranks);
     if (gamma > 0.0) req.add("gamma", gamma);
+    if (!squares_mode_name.empty()) req.add("squares_mode", squares_mode_name);
     if (deadline > 0.0) req.add("deadline_seconds", deadline);
     if (!tag.empty()) req.add("tag", tag);
     if (!tenant.empty()) req.add("tenant", tenant);

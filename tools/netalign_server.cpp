@@ -68,6 +68,14 @@ int main(int argc, char** argv) try {
   auto& checkpoint_every = cli.add_int(
       "checkpoint-every", 25,
       "solver-checkpoint cadence for running jobs, in iterations (0 = off)");
+  auto& squares_mode = cli.add_string(
+      "squares-mode", "explicit",
+      "default squares backend for submits without one: explicit | implicit "
+      "| auto");
+  auto& squares_max_mb = cli.add_int(
+      "squares-max-mb", 2048,
+      "auto-mode threshold: explicit squares estimate (MiB) beyond which "
+      "jobs build the implicit backend");
   auto& threads = cli.add_int("threads", 0, "OpenMP threads (0 = default)");
   if (!cli.parse(argc, argv)) return 0;
   if (socket_path.empty() || work_dir.empty()) {
@@ -78,8 +86,15 @@ int main(int argc, char** argv) try {
   if (workers < 1 || queue_cap < 1 || tenant_queue_cap < 1 ||
       tenant_running_cap < 0 || drr_quantum < 1 || retained_cap < 1 ||
       cache_cap < 1 || max_request < 1 || max_output < 1 ||
-      max_problem < 1 || checkpoint_every < 0) {
+      max_problem < 1 || checkpoint_every < 0 || squares_max_mb < 1) {
     std::fprintf(stderr, "netalign_server: flag out of range\n");
+    return 2;
+  }
+  if (squares_mode != "explicit" && squares_mode != "implicit" &&
+      squares_mode != "auto") {
+    std::fprintf(stderr,
+                 "netalign_server: --squares-mode must be explicit | "
+                 "implicit | auto\n");
     return 2;
   }
   if (threads > 0) set_threads(static_cast<int>(threads));
@@ -101,6 +116,8 @@ int main(int argc, char** argv) try {
   options.journal_fsync = journal_fsync;
   options.recover = recover;
   options.checkpoint_every = checkpoint_every;
+  options.squares_mode = squares_mode;
+  options.squares_max_mb = static_cast<std::uint64_t>(squares_max_mb);
   options.stop_flag = install_stop_signal_handlers();
 
   server::Server srv(options);

@@ -100,7 +100,8 @@ void print_run(const RunSummary& run, int index, const std::string& csv) {
   if (!run.counters.empty()) {
     std::printf("counters:\n");
     for (const auto& [name, value] : run.counters) {
-      std::printf("  %-24s %lld\n", name.c_str(),
+      // Wide enough for squares.implicit_cursor_reuse_hits and friends.
+      std::printf("  %-36s %lld\n", name.c_str(),
                   static_cast<long long>(value));
     }
   }
