@@ -23,6 +23,11 @@
 //                        checkpoints on the submit->result path.
 //                        Skipped against an external --socket daemon
 //                        (its journal flag is not ours to toggle).
+//   5. tcp loopback      the polite-alone workload against a fresh
+//                        in-process daemon on tcp:127.0.0.1 with auth:
+//                        what the TCP transport (handshake + loopback
+//                        stack) costs relative to the journal-on AF_UNIX
+//                        arm of phase 4. In-process only, like phase 4.
 //
 // The retained-cap invariant is always enforced (a violation exits
 // nonzero); the fairness ratio (< --fair-ratio) is enforced only under
@@ -168,10 +173,13 @@ struct PhaseOutcome {
 
 /// Run `polite_jobs` jobs across `polite_clients` connections while
 /// `aggressive_clients` connections flood heavyweight jobs nonstop.
+/// `socket` is any endpoint spec ServerClient accepts; `token` is the
+/// auth token for TCP daemons ("" for unix).
 PhaseOutcome run_phase(const std::string& socket, const std::string& text,
                        int polite_clients, std::int64_t polite_jobs,
                        std::int64_t polite_iters, int aggressive_clients,
-                       std::int64_t aggressive_iters) {
+                       std::int64_t aggressive_iters,
+                       const std::string& token = "") {
   PhaseOutcome out;
   std::atomic<bool> stop{false};
   std::atomic<std::int64_t> aggressive_done{0};
@@ -182,7 +190,7 @@ PhaseOutcome run_phase(const std::string& socket, const std::string& text,
   floods.reserve(static_cast<std::size_t>(aggressive_clients));
   for (int i = 0; i < aggressive_clients; ++i) {
     floods.emplace_back([&] {
-      server::ServerClient client(socket);
+      server::ServerClient client(socket, server::RetryPolicy{}, token);
       while (!stop.load()) {
         if (run_one_job(client, aggressive_line, &retries, &stop,
                         kAggressivePoll) >= 0.0) {
@@ -202,7 +210,7 @@ PhaseOutcome run_phase(const std::string& socket, const std::string& text,
     const std::int64_t share = polite_jobs / polite_clients +
                                (i < polite_jobs % polite_clients ? 1 : 0);
     polites.emplace_back([&, i, share] {
-      server::ServerClient client(socket);
+      server::ServerClient client(socket, server::RetryPolicy{}, token);
       for (std::int64_t j = 0; j < share; ++j) {
         lanes[static_cast<std::size_t>(i)].push_back(
             run_one_job(client, polite_line, &retries, nullptr, kPolitePoll));
@@ -223,24 +231,40 @@ PhaseOutcome run_phase(const std::string& socket, const std::string& text,
   return out;
 }
 
-/// The in-process daemon used when --socket is empty.
+/// The in-process daemon used when --socket is empty. `target` is the
+/// endpoint clients connect to: the AF_UNIX path, or -- when the options
+/// carry a `listen` spec (e.g. tcp:127.0.0.1:0) -- the bound address the
+/// daemon reports once the kernel has picked the port.
 struct LocalDaemon {
   std::unique_ptr<server::Server> srv;
   std::thread thread;
-  std::string socket_path;
+  std::string target;
+  std::string token;
   std::string work_dir;
   int rc = -1;
 
   void start(const server::ServerOptions& options) {
-    socket_path = options.socket_path;
+    target = options.socket_path;
+    token = options.auth_token;
     work_dir = options.work_dir;
     srv = std::make_unique<server::Server>(options);
     thread = std::thread([this] { rc_store(srv->run()); });
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    if (!options.listen.empty()) {
+      for (;;) {
+        target = srv->bound_address();
+        if (!target.empty()) break;
+        if (std::chrono::steady_clock::now() > deadline) {
+          throw std::runtime_error("in-process daemon never bound " +
+                                   options.listen);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
     for (;;) {
       try {
-        server::ServerClient probe(socket_path);
+        server::ServerClient probe(target, server::RetryPolicy{}, token);
         probe.call(R"({"method":"ping"})");
         return;
       } catch (const std::exception&) {
@@ -257,7 +281,7 @@ struct LocalDaemon {
   void stop() {
     if (!thread.joinable()) return;
     try {
-      server::ServerClient(socket_path)
+      server::ServerClient(target, server::RetryPolicy{}, token)
           .call(R"({"method":"shutdown","now":true})");
     } catch (const std::exception&) {
     }
@@ -342,7 +366,7 @@ int main(int argc, char** argv) try {
     options.cache_cap = 4;
     options.work_dir = scratch_path("srv_jobs");
     daemon.start(options);
-    sock = daemon.socket_path;
+    sock = daemon.target;
     std::printf("# in-process daemon: %lld workers, queue %lld, "
                 "tenant queue %lld, tenant running %lld, retained cap %lld\n",
                 static_cast<long long>(workers),
@@ -432,6 +456,35 @@ int main(int argc, char** argv) try {
       exit_code = 1;
     }
 
+    // Phases 4 and 5 each run the polite-alone workload against a fresh
+    // daemon (no inherited cache or journal). `tcp` arms listen on an
+    // ephemeral loopback port with auth; others use an AF_UNIX socket.
+    const auto fresh_arm = [&](const char* tag, bool journal_on, bool tcp) {
+      server::ServerOptions o;
+      if (tcp) {
+        o.listen = "tcp:127.0.0.1:0";
+        o.auth_token = "bench-server-load-token";
+      } else {
+        o.socket_path = scratch_path(std::string("srv_") + tag + ".sock");
+      }
+      o.workers = static_cast<int>(workers);
+      o.queue_cap = static_cast<std::size_t>(queue_cap);
+      o.tenant_queue_cap = static_cast<std::size_t>(tenant_queue_cap);
+      o.tenant_running_cap = static_cast<int>(tenant_running_cap);
+      o.retained_cap = static_cast<std::size_t>(retained_cap);
+      o.cache_cap = 4;
+      o.work_dir = scratch_path(std::string("srv_") + tag + "_jobs");
+      o.journal = journal_on;
+      LocalDaemon arm;
+      arm.start(o);
+      const PhaseOutcome ph =
+          run_phase(arm.target, text, static_cast<int>(polite_clients),
+                    polite_jobs, polite_iters, /*aggressive_clients=*/0,
+                    aggressive_iters, arm.token);
+      arm.stop();
+      return percentiles(ph.latencies);
+    };
+
     // Phase 4: journal on/off latency delta (in-process only). Same
     // polite-alone workload, fresh daemon per arm so neither inherits
     // the other's cache or journal.
@@ -442,29 +495,8 @@ int main(int argc, char** argv) try {
       std::printf("== phase 4: journal overhead (polite alone, %lld jobs "
                   "per arm) ==\n",
                   static_cast<long long>(polite_jobs));
-      const auto journal_arm = [&](bool journal_on) {
-        server::ServerOptions o;
-        const char* tag = journal_on ? "jon" : "joff";
-        o.socket_path = scratch_path(std::string("srv_") + tag + ".sock");
-        o.workers = static_cast<int>(workers);
-        o.queue_cap = static_cast<std::size_t>(queue_cap);
-        o.tenant_queue_cap = static_cast<std::size_t>(tenant_queue_cap);
-        o.tenant_running_cap = static_cast<int>(tenant_running_cap);
-        o.retained_cap = static_cast<std::size_t>(retained_cap);
-        o.cache_cap = 4;
-        o.work_dir = scratch_path(std::string("srv_") + tag + "_jobs");
-        o.journal = journal_on;
-        LocalDaemon arm;
-        arm.start(o);
-        const PhaseOutcome ph =
-            run_phase(arm.socket_path, text, static_cast<int>(polite_clients),
-                      polite_jobs, polite_iters, /*aggressive_clients=*/0,
-                      aggressive_iters);
-        arm.stop();
-        return percentiles(ph.latencies);
-      };
-      joff_p = journal_arm(false);
-      jon_p = journal_arm(true);
+      joff_p = fresh_arm("joff", /*journal_on=*/false, /*tcp=*/false);
+      jon_p = fresh_arm("jon", /*journal_on=*/true, /*tcp=*/false);
       const double overhead =
           joff_p.p95 > 0.0 ? jon_p.p95 / joff_p.p95 : 0.0;
       std::printf("  journal off: p50 %.4fs  p95 %.4fs\n", joff_p.p50,
@@ -474,6 +506,24 @@ int main(int argc, char** argv) try {
     } else {
       std::printf("== phase 4: journal overhead skipped (external daemon; "
                   "--journal is a daemon flag) ==\n");
+    }
+
+    // Phase 5: TCP-loopback transport cost (in-process only). The
+    // journal-on AF_UNIX arm of phase 4 is the matched baseline: same
+    // workload, same daemon defaults, only the transport differs.
+    Percentiles tcp_p;
+    if (in_process) {
+      std::printf("== phase 5: tcp loopback (polite alone, %lld jobs, "
+                  "auth handshake per connection) ==\n",
+                  static_cast<long long>(polite_jobs));
+      tcp_p = fresh_arm("tcp", /*journal_on=*/true, /*tcp=*/true);
+      const double tcp_ratio = jon_p.p95 > 0.0 ? tcp_p.p95 / jon_p.p95 : 0.0;
+      std::printf("  tcp loopback: p50 %.4fs  p95 %.4fs  (%.2fx the "
+                  "AF_UNIX p95)\n",
+                  tcp_p.p50, tcp_p.p95, tcp_ratio);
+    } else {
+      std::printf("== phase 5: tcp loopback skipped (external daemon; the "
+                  "arm needs its own listener) ==\n");
     }
 
     obs::BenchResult result("bench_server_load");
@@ -523,6 +573,10 @@ int main(int argc, char** argv) try {
       result.set_metric("journal_on_p95_seconds", jon_p.p95);
       result.set_metric("journal_overhead_p95_ratio",
                         joff_p.p95 > 0.0 ? jon_p.p95 / joff_p.p95 : 0.0);
+      result.set_metric("tcp_alone_p50_seconds", tcp_p.p50);
+      result.set_metric("tcp_alone_p95_seconds", tcp_p.p95);
+      result.set_metric("tcp_over_unix_p95_ratio",
+                        jon_p.p95 > 0.0 ? tcp_p.p95 / jon_p.p95 : 0.0);
     }
     write_json_result(result, json_out);
   }

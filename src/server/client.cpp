@@ -1,7 +1,6 @@
 #include "server/client.hpp"
 
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -16,11 +15,12 @@ namespace netalign::server {
 namespace {
 
 bool retryable_connect_errno(int err) {
-  // ECONNREFUSED: socket file exists, nobody listening (daemon mid-
+  // ECONNREFUSED: socket/port exists, nobody listening (daemon mid-
   // restart). ENOENT: the restarting daemon has not re-bound yet.
-  // ECONNRESET/EAGAIN: backlog churn under load.
+  // ECONNRESET/EAGAIN: backlog churn under load. ETIMEDOUT: a TCP peer
+  // (or a chaos proxy) black-holed the handshake.
   return err == ECONNREFUSED || err == ENOENT || err == ECONNRESET ||
-         err == EAGAIN;
+         err == EAGAIN || err == ETIMEDOUT;
 }
 
 /// Deterministic-free jitter for backoff desynchronization; quality is
@@ -47,27 +47,31 @@ int with_jitter(int base_ms) {
 }  // namespace
 
 void ServerClient::connect_now() {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path_.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("socket path too long: " + socket_path_);
-  }
-  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  std::string error;
+  fd_ = connect_endpoint(endpoint_, error);
   if (fd_ < 0) {
-    throw std::runtime_error("cannot create socket: " +
-                             std::string(std::strerror(errno)));
+    if (retryable_connect_errno(errno)) throw ConnectionLost(error);
+    throw std::runtime_error(error);
   }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const int err = errno;
-    const std::string why = std::strerror(err);
-    ::close(fd_);
-    fd_ = -1;
-    const std::string message =
-        "cannot connect to " + socket_path_ + ": " + why;
-    if (retryable_connect_errno(err)) throw ConnectionLost(message);
-    throw std::runtime_error(message);
+  if (auth_token_.empty()) return;
+  // TCP handshake: one auth line before anything else on this
+  // connection. A lost connection mid-handshake is retryable (the
+  // daemon restarted under us); a rejected token is not -- it stays
+  // wrong no matter how often we replay it.
+  std::string line = R"({"method":"auth","token":)";
+  obs::append_json_string(line, auth_token_);
+  line += "}\n";
+  send_raw(line);
+  const std::string response = read_line();
+  obs::JsonValue doc;
+  if (!obs::try_parse_json(response, doc) || doc.find("ok") == nullptr) {
+    drop_connection();
+    throw std::runtime_error("malformed auth response: " + response);
+  }
+  if (!doc.find("ok")->as_bool()) {
+    drop_connection();
+    throw std::runtime_error("server rejected the auth token for " +
+                             target_);
   }
 }
 
@@ -77,8 +81,13 @@ void ServerClient::drop_connection() {
   buffer_.clear();  // a partial response from the dead connection
 }
 
-ServerClient::ServerClient(const std::string& socket_path, RetryPolicy retry)
-    : socket_path_(socket_path), retry_(retry) {
+ServerClient::ServerClient(const std::string& target, RetryPolicy retry,
+                           std::string auth_token)
+    : target_(target), auth_token_(std::move(auth_token)), retry_(retry) {
+  std::string error;
+  if (!parse_endpoint(target, endpoint_, error)) {
+    throw std::runtime_error(error);
+  }
   for (int attempt = 0;; ++attempt) {
     try {
       connect_now();

@@ -1,8 +1,14 @@
-// Minimal blocking client for the alignment daemon: one AF_UNIX stream
-// connection, one JSON line out per request, one JSON line back per
-// response (protocol in docs/SERVER.md). Used by the `netalign client`
-// subcommand and by tests/test_server.cpp; the connection is persistent,
-// so several requests can share one socket.
+// Minimal blocking client for the alignment daemon: one stream
+// connection (AF_UNIX or TCP, server/transport.*), one JSON line out per
+// request, one JSON line back per response (protocol in docs/SERVER.md).
+// Used by the `netalign client` subcommand and by tests/test_server.cpp;
+// the connection is persistent, so several requests can share one socket.
+//
+// The target is an endpoint spec -- `unix:<path>`, `tcp:<host>:<port>`,
+// or a bare path (treated as a unix socket, back-compat with --socket).
+// For TCP daemons, pass the auth token: every (re)connect replays the
+// `auth` handshake before the caller's request, so reconnects stay
+// transparent.
 //
 // With a RetryPolicy, a connection lost mid-exchange (the daemon was
 // SIGKILLed, restarted, or is still coming back up) is retried with
@@ -19,6 +25,7 @@
 #include <string_view>
 
 #include "obs/json.hpp"
+#include "server/transport.hpp"
 
 namespace netalign::server {
 
@@ -41,10 +48,13 @@ class ConnectionLost : public std::runtime_error {
 
 class ServerClient {
  public:
-  /// Connect to the daemon at `socket_path`. Throws std::runtime_error
-  /// if the socket cannot be reached within the retry budget.
-  explicit ServerClient(const std::string& socket_path,
-                        RetryPolicy retry = {});
+  /// Connect to the daemon at `target` (endpoint spec or bare unix
+  /// path). `auth_token` (when nonempty) is presented via the `auth`
+  /// method on every connect. Throws std::runtime_error if the endpoint
+  /// cannot be reached within the retry budget, or on a rejected token
+  /// (never retried -- a wrong token stays wrong).
+  explicit ServerClient(const std::string& target, RetryPolicy retry = {},
+                        std::string auth_token = {});
   ~ServerClient();
 
   ServerClient(const ServerClient&) = delete;
@@ -52,8 +62,8 @@ class ServerClient {
 
   /// Send one request line (newline appended here) and block for the
   /// matching response line. A lost connection is retried per the
-  /// RetryPolicy (reconnect, re-send the same line); once the budget is
-  /// spent it throws std::runtime_error.
+  /// RetryPolicy (reconnect, re-auth, re-send the same line); once the
+  /// budget is spent it throws std::runtime_error.
   std::string exchange(std::string_view request_line);
 
   /// exchange() + parse. Throws std::runtime_error if the response is not
@@ -69,13 +79,16 @@ class ServerClient {
   std::string read_line();
 
  private:
-  /// (Re)connect fd_ to socket_path_. Throws ConnectionLost on a
-  /// retryable failure, std::runtime_error otherwise.
+  /// (Re)connect fd_ to the endpoint and run the auth handshake when a
+  /// token is set. Throws ConnectionLost on a retryable failure,
+  /// std::runtime_error otherwise (unreachable host, rejected token).
   void connect_now();
   /// Close fd_ and drop any buffered partial response.
   void drop_connection();
 
-  std::string socket_path_;
+  Endpoint endpoint_;
+  std::string target_;  ///< the spec as given, for error messages
+  std::string auth_token_;
   RetryPolicy retry_;
   int fd_ = -1;
   std::string buffer_;  ///< bytes read past the last returned line

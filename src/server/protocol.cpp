@@ -31,14 +31,33 @@ const char* to_string(ErrorCode code) {
       return "job_failed";
     case ErrorCode::kInternal:
       return "internal";
+    case ErrorCode::kAuthRequired:
+      return "auth_required";
+    case ErrorCode::kAuthFailed:
+      return "auth_failed";
   }
   return "?";
+}
+
+bool known_error_code(std::string_view code) {
+  for (const ErrorCode c :
+       {ErrorCode::kTooLarge, ErrorCode::kBadRequest,
+        ErrorCode::kUnknownMethod, ErrorCode::kRejected,
+        ErrorCode::kQuotaExceeded, ErrorCode::kShuttingDown,
+        ErrorCode::kNotFound, ErrorCode::kExpired, ErrorCode::kNotReady,
+        ErrorCode::kNoResult, ErrorCode::kJobFailed, ErrorCode::kInternal,
+        ErrorCode::kAuthRequired, ErrorCode::kAuthFailed}) {
+    if (code == to_string(c)) return true;
+  }
+  return false;
 }
 
 const char* to_string(Method m) {
   switch (m) {
     case Method::kPing:
       return "ping";
+    case Method::kAuth:
+      return "auth";
     case Method::kSubmit:
       return "submit";
     case Method::kStatus:
@@ -155,6 +174,17 @@ bool parse_request(std::string_view line, Request& out, ErrorCode& code,
     const std::string& name = method->as_string();
     if (name == "ping") {
       out.method = Method::kPing;
+    } else if (name == "auth") {
+      out.method = Method::kAuth;
+      out.auth_token = get_string(doc, "token", "");
+      if (out.auth_token.empty()) {
+        throw FieldError{"auth needs a token (a nonempty string)"};
+      }
+      if (out.auth_token.size() > 4096) {
+        // The compare walks the whole candidate; bound the work a
+        // garbage client can demand per line.
+        throw FieldError{"token must be at most 4096 bytes"};
+      }
     } else if (name == "submit") {
       out.method = Method::kSubmit;
       SubmitParams& p = out.submit;

@@ -52,12 +52,19 @@ enum class ErrorCode {
   kNoResult,       ///< job was cancelled before it ever ran
   kJobFailed,      ///< job ran and failed; message carries the cause
   kInternal,       ///< unexpected server-side exception
+  kAuthRequired,   ///< TCP connection not yet authenticated (send `auth`)
+  kAuthFailed,     ///< `auth` carried a wrong token; connection closes
 };
 
 [[nodiscard]] const char* to_string(ErrorCode code);
 
+/// True when `code` is one of the taxonomy strings above -- what the
+/// wire fuzzer asserts about every error response.
+[[nodiscard]] bool known_error_code(std::string_view code);
+
 enum class Method {
   kPing,
+  kAuth,  ///< TCP connection handshake: {"method":"auth","token":"..."}
   kSubmit,
   kStatus,
   kProgress,
@@ -107,6 +114,7 @@ struct Request {
   std::int64_t job = -1;      ///< status / progress / result / cancel
   std::int64_t cursor = 0;    ///< progress: events already consumed
   bool shutdown_now = false;  ///< shutdown: cancel instead of drain
+  std::string auth_token;     ///< auth: the presented token
   SubmitParams submit;
 };
 

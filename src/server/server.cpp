@@ -1,27 +1,24 @@
 #include "server/server.hpp"
 
 #include <errno.h>
-#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <vector>
 
 #include "obs/json.hpp"
+#include "server/transport.hpp"
 
 namespace netalign::server {
 
 namespace {
 
-bool set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
-}
+using Clock = std::chrono::steady_clock;
 
 /// One client connection: line-buffered input, queued output. Both
 /// buffers are consumed via offsets (`in_off`/`out_off`) so pipelined
@@ -36,33 +33,9 @@ struct Conn {
   std::size_t out_off = 0;     ///< bytes of `out` already written
   bool close_after_flush = false;
   bool dead = false;
+  bool authed = false;         ///< auth handshake done (always on unix)
+  Clock::time_point last_activity;  ///< for idle_timeout_ms reaping
 };
-
-/// True when a live daemon already answers `ping` on `path` -- the guard
-/// that keeps a second `netalign_server --socket` from silently
-/// unlinking a running server's socket out from under it.
-bool server_alive_at(const std::string& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) return false;
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return false;
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    ::close(fd);  // nobody listening (stale file) or no file at all
-    return false;
-  }
-  const char ping[] = "{\"method\":\"ping\"}\n";
-  bool alive = false;
-  if (::send(fd, ping, sizeof(ping) - 1, MSG_NOSIGNAL) ==
-      static_cast<ssize_t>(sizeof(ping) - 1)) {
-    pollfd p{fd, POLLIN, 0};
-    alive = ::poll(&p, 1, /*timeout_ms=*/500) > 0 && (p.revents & POLLIN) != 0;
-  }
-  ::close(fd);
-  return alive;
-}
 
 }  // namespace
 
@@ -88,7 +61,10 @@ Server::Server(const ServerOptions& options)
         "server.jobs_completed", "server.jobs_failed",
         "server.jobs_cancelled", "server.jobs_evicted", "server.cache_hit",
         "server.cache_miss", "server.cache_evicted", "server.bad_requests",
-        "server.slow_clients_dropped", "server.journal.appends",
+        "server.slow_clients_dropped", "server.conns_accepted",
+        "server.conns_rejected", "server.accept_errors",
+        "server.idle_reaped", "server.auth_failures",
+        "server.journal.appends",
         "server.journal.fsyncs", "server.journal.compactions",
         "server.recovery.terminal_restored", "server.recovery.requeued",
         "server.recovery.rerun", "server.recovery.resumed",
@@ -100,52 +76,56 @@ Server::Server(const ServerOptions& options)
 
 Server::~Server() = default;
 
+std::string Server::bound_address() const {
+  const std::lock_guard<std::mutex> lock(bound_mu_);
+  return bound_;
+}
+
 int Server::run() {
-  if (options_.socket_path.empty()) {
-    std::fprintf(stderr, "netalign_server: --socket is required\n");
+  std::string spec = options_.listen;
+  if (spec.empty() && !options_.socket_path.empty()) {
+    spec = "unix:" + options_.socket_path;  // legacy --socket
+  }
+  if (spec.empty()) {
+    std::fprintf(stderr, "netalign_server: --listen (or --socket) is "
+                         "required\n");
     return 2;
   }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
-    std::fprintf(stderr, "netalign_server: socket path too long (%zu bytes)\n",
-                 options_.socket_path.size());
+  Endpoint ep;
+  std::string error;
+  if (!parse_endpoint(spec, ep, error)) {
+    std::fprintf(stderr, "netalign_server: %s\n", error.c_str());
     return 2;
   }
-  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
-              options_.socket_path.size() + 1);
-
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::perror("netalign_server: socket");
-    return 1;
-  }
-  // A socket file may be a *live* server, not leftovers: probe it before
-  // unlinking, or a second daemon would silently hijack the first one's
-  // socket (clients would reconnect here while the old server still
-  // holds every job they submitted).
-  if (server_alive_at(options_.socket_path)) {
+  if (ep.kind == Endpoint::Kind::kTcp && options_.auth_token.empty()) {
+    // A tokenless TCP listener would serve whoever can reach the port.
+    // Refusing to start is the only safe default; unix sockets stay
+    // tokenless because filesystem permissions already gate them.
     std::fprintf(stderr,
-                 "netalign_server: a server is already answering ping on %s; "
-                 "refusing to start\n",
-                 options_.socket_path.c_str());
-    ::close(listener);
-    return 1;
-  }
-  ::unlink(options_.socket_path.c_str());  // stale socket from a past run
-  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    std::perror("netalign_server: bind");
-    ::close(listener);
-    return 1;
-  }
-  if (::listen(listener, 64) != 0 || !set_nonblocking(listener)) {
-    std::perror("netalign_server: listen");
-    ::close(listener);
-    ::unlink(options_.socket_path.c_str());
-    return 1;
+                 "netalign_server: a tcp listener requires "
+                 "--auth-token-file; refusing to start\n");
+    return 2;
   }
 
+  Listener listener;
+  if (!listener.open(ep, error)) {
+    std::fprintf(stderr, "netalign_server: %s\n", error.c_str());
+    return 1;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(bound_mu_);
+    bound_ = listener.bound().str();
+  }
+  // The authoritative "where am I serving" line: with `tcp:host:0` only
+  // the bound endpoint knows the real port, so scripts parse this.
+  std::printf("netalign_server: serving on %s\n",
+              listener.bound().str().c_str());
+  std::fflush(stdout);
+
+  const auto idle_timeout =
+      std::chrono::milliseconds(options_.idle_timeout_ms);
+  bool accept_error_logged = false;
+  Clock::time_point accept_backoff_until{};
   std::vector<Conn> conns;
   for (;;) {
     if (options_.stop_flag != nullptr &&
@@ -155,16 +135,24 @@ int Server::run() {
       jobs_.begin_drain();
     }
 
+    const Clock::time_point now = Clock::now();
+    // After an accept() failure (EMFILE and friends) the listener stays
+    // readable forever; masking POLLIN for a beat turns a would-be busy
+    // loop into a paced retry that lets fds drain.
+    const bool accept_paused = now < accept_backoff_until;
     std::vector<pollfd> fds;
     fds.reserve(conns.size() + 1);
-    fds.push_back({listener, shutdown_requested_ ? short{0} : short{POLLIN},
+    fds.push_back({listener.fd(),
+                   (shutdown_requested_ || accept_paused) ? short{0}
+                                                          : short{POLLIN},
                    0});
     for (const Conn& c : conns) {
       short events = POLLIN;
       if (c.out_off < c.out.size()) events |= POLLOUT;
       fds.push_back({c.fd, events, 0});
     }
-    // Finite timeout: the stop latch and drain-idle condition are polled.
+    // Finite timeout: the stop latch, drain-idle condition, accept
+    // backoff, and idle reaper are all polled at this granularity.
     if (::poll(fds.data(), fds.size(), 100) < 0 && errno != EINTR) {
       std::perror("netalign_server: poll");
       break;
@@ -175,14 +163,49 @@ int Server::run() {
     const std::size_t polled = conns.size();
     if ((fds[0].revents & POLLIN) != 0) {
       for (;;) {
-        const int fd = ::accept(listener, nullptr, nullptr);
-        if (fd < 0) break;
+        const int fd = ::accept(listener.fd(), nullptr, nullptr);
+        if (fd < 0) {
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          if (errno == EINTR || errno == ECONNABORTED) continue;
+          // EMFILE/ENFILE/ENOMEM...: count it, log the first one, and
+          // back off instead of silently abandoning the accept path.
+          counters_.add_concurrent("server.accept_errors");
+          if (!accept_error_logged) {
+            accept_error_logged = true;
+            std::fprintf(stderr,
+                         "netalign_server: accept failed (%s); backing off "
+                         "(counted in server.accept_errors)\n",
+                         std::strerror(errno));
+          }
+          accept_backoff_until = Clock::now() +
+                                 std::chrono::milliseconds(100);
+          break;
+        }
+        if (options_.max_conns > 0 && conns.size() >= options_.max_conns) {
+          // Graceful refusal: one error line the client can parse, then
+          // hang up. Best-effort -- the fd is blocking-fresh but the
+          // line is tiny, and a peer that cannot take it was not going
+          // to read a response either.
+          counters_.add_concurrent("server.conns_rejected");
+          std::string refusal = error_response(
+              "", ErrorCode::kRejected,
+              "connection limit reached (" +
+                  std::to_string(options_.max_conns) + ")");
+          refusal.push_back('\n');
+          (void)::send(fd, refusal.data(), refusal.size(),
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
+          ::close(fd);
+          continue;
+        }
         if (!set_nonblocking(fd)) {
           ::close(fd);
           continue;
         }
+        counters_.add_concurrent("server.conns_accepted");
         Conn c;
         c.fd = fd;
+        c.authed = options_.auth_token.empty();
+        c.last_activity = now;
         conns.push_back(std::move(c));
       }
     }
@@ -200,6 +223,7 @@ int Server::run() {
           const ssize_t n = ::read(c.fd, buf, sizeof(buf));
           if (n > 0) {
             c.in.append(buf, static_cast<std::size_t>(n));
+            c.last_activity = now;
             continue;
           }
           if (n == 0) {
@@ -226,8 +250,13 @@ int Server::run() {
           const std::string_view line(c.in.data() + c.in_off, eol - c.in_off);
           c.in_off = eol + 1;
           if (line.empty()) continue;  // blank keep-alive lines are fine
-          c.out += handle_line(line);
+          bool close_conn = false;
+          c.out += handle_line(line, c.authed, close_conn);
           c.out.push_back('\n');
+          if (close_conn) {
+            c.close_after_flush = true;
+            break;  // do not parse what a failed-auth peer pipelined
+          }
         }
         // Reclaim the parsed prefix once per cycle -- an offset plus one
         // amortized erase, not a per-line erase(0, eol) that makes a
@@ -251,6 +280,7 @@ int Server::run() {
         }
         if (n <= 0) break;  // EAGAIN or error; retry at next poll
         c.out_off += static_cast<std::size_t>(n);
+        c.last_activity = now;
       }
       if (c.dead) continue;
       if (c.out_off >= c.out.size()) {
@@ -266,6 +296,17 @@ int Server::run() {
       } else if (c.out_off > (64u << 10)) {
         c.out.erase(0, c.out_off);  // bound the flushed prefix too
         c.out_off = 0;
+      }
+    }
+    if (options_.idle_timeout_ms > 0) {
+      // Slowloris defense: a peer parked mid-frame (or simply silent)
+      // past the timeout is reaped. Active clients are safe -- any read
+      // or write progress above refreshed last_activity.
+      for (Conn& c : conns) {
+        if (!c.dead && now - c.last_activity > idle_timeout) {
+          counters_.add_concurrent("server.idle_reaped");
+          c.dead = true;
+        }
       }
     }
     for (std::size_t i = conns.size(); i-- > 0;) {
@@ -286,12 +327,12 @@ int Server::run() {
 
   jobs_.shutdown(shutdown_now_);
   for (const Conn& c : conns) ::close(c.fd);
-  ::close(listener);
-  ::unlink(options_.socket_path.c_str());
+  listener.close();  // unlinks the path for unix endpoints
   return 0;
 }
 
-std::string Server::handle_line(std::string_view line) {
+std::string Server::handle_line(std::string_view line, bool& authed,
+                                bool& close_conn) {
   counters_.add_concurrent("server.requests");
   Request req;
   ErrorCode code = ErrorCode::kBadRequest;
@@ -300,11 +341,36 @@ std::string Server::handle_line(std::string_view line) {
     counters_.add_concurrent("server.bad_requests");
     return error_response(req.id_json, code, message);
   }
+  if (req.method == Method::kAuth) {
+    if (tokens_equal(options_.auth_token, req.auth_token)) {
+      authed = true;
+      ResponseBuilder r(true, req.id_json);
+      r.field("authed", true);
+      return std::move(r).str();
+    }
+    // Wrong token: answer once, then hang up -- no free oracle for
+    // guessing, and the constant-time compare above leaks no prefix.
+    counters_.add_concurrent("server.auth_failures");
+    close_conn = true;
+    return error_response(req.id_json, ErrorCode::kAuthFailed,
+                          "auth token mismatch");
+  }
+  if (!authed && req.method != Method::kPing) {
+    // Ping stays open for health checks; everything else needs the
+    // handshake first.
+    return error_response(req.id_json, ErrorCode::kAuthRequired,
+                          "authenticate first: "
+                          "{\"method\":\"auth\",\"token\":\"...\"}");
+  }
   return handle(req);
 }
 
 std::string Server::handle(const Request& req) {
   switch (req.method) {
+    case Method::kAuth:
+      // Connection-level; intercepted in handle_line. Unreachable.
+      return error_response(req.id_json, ErrorCode::kInternal,
+                            "auth is handled per connection");
     case Method::kPing: {
       ResponseBuilder r(true, req.id_json);
       r.field("protocol", std::int64_t{kProtocolVersion});
@@ -487,6 +553,10 @@ std::string Server::handle_stats(const Request& req) {
   r.field("squares_mode", options_.squares_mode);
   r.field("squares_max_mb",
           static_cast<std::int64_t>(options_.squares_max_mb));
+  r.field("listen", bound_address());
+  r.field("auth_required", !options_.auth_token.empty());
+  r.field("idle_timeout_ms", options_.idle_timeout_ms);
+  r.field("max_conns", static_cast<std::int64_t>(options_.max_conns));
   r.field("draining", jobs_.draining());
   r.field("proto_version", std::int64_t{kProtocolVersion});
   r.field("journal_version", std::int64_t{kJournalVersion});

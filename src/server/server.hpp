@@ -1,16 +1,23 @@
-// The alignment daemon's front end: an AF_UNIX stream listener speaking
-// the newline-delimited JSON protocol of docs/SERVER.md, one request per
-// line, one response line per request.
+// The alignment daemon's front end: an AF_UNIX or TCP stream listener
+// (server/transport.*) speaking the newline-delimited JSON protocol of
+// docs/SERVER.md, one request per line, one response line per request.
 //
 // The socket loop is single-threaded (poll over listener + connections);
 // all heavy work happens on the JobManager's worker pool, so a request is
 // never blocked behind a solve. Connections are independent: any client
 // may poll any job id, which is what lets `netalign client submit` and a
 // later `netalign client result` be separate processes.
+//
+// Network hardening (docs/SERVER.md "Transports & network hardening"):
+// TCP listeners require an auth token (connection-level `auth` method,
+// constant-time compare); `idle_timeout_ms` reaps connections stalled
+// mid-frame; `max_conns` refuses the overflow with a `rejected` error
+// line instead of letting accept backlog grow unbounded.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <string>
 
 #include "obs/counters.hpp"
@@ -20,7 +27,23 @@
 namespace netalign::server {
 
 struct ServerOptions {
-  std::string socket_path;            ///< AF_UNIX path (required)
+  /// Endpoint spec: `unix:<path>` or `tcp:<host>:<port>` (a TCP port of
+  /// 0 binds an ephemeral port; `bound_address()` reports the real one).
+  /// Empty falls back to `unix:` + socket_path.
+  std::string listen;
+  std::string socket_path;            ///< legacy --socket AF_UNIX path
+  /// Required for TCP listeners (a TCP daemon without one refuses to
+  /// start); unix connections are pre-authenticated by filesystem
+  /// permissions. Compared constant-time against the `auth` method.
+  std::string auth_token;
+  /// Reap a connection with no socket activity for this long -- the
+  /// slowloris defense (a peer parked mid-frame holds buffer memory
+  /// forever otherwise). 0 = never reap.
+  std::int64_t idle_timeout_ms = 0;
+  /// Max simultaneous connections; the overflow connection is answered
+  /// with a `rejected` error line and closed (server.conns_rejected).
+  /// 0 = unlimited.
+  std::size_t max_conns = 0;
   int workers = 2;                    ///< solver worker threads
   std::size_t queue_cap = 16;         ///< admission-control bound
   std::size_t tenant_queue_cap = 8;   ///< per-tenant queued-jobs quota
@@ -64,9 +87,20 @@ class Server {
 
   [[nodiscard]] const obs::Counters& counters() const { return counters_; }
 
+  /// The endpoint spec actually bound ("tcp:127.0.0.1:45123"), or empty
+  /// before the listener is up. Safe to call from other threads while
+  /// run() is executing -- tests and in-process daemons use it to learn
+  /// the kernel-assigned port after `tcp:host:0`.
+  [[nodiscard]] std::string bound_address() const;
+
  private:
   /// One response line (no trailing newline) for one request line.
-  std::string handle_line(std::string_view line);
+  /// `authed` is the connection's auth state (an `auth` line with the
+  /// right token flips it; unauthenticated requests other than ping/auth
+  /// are refused); `close_conn` asks the loop to hang up after flushing
+  /// (wrong token).
+  std::string handle_line(std::string_view line, bool& authed,
+                          bool& close_conn);
 
   /// `expired` for an evicted id, `not_found` for a never-issued one.
   std::string not_found_response(const std::string& id_json,
@@ -87,6 +121,8 @@ class Server {
   JobManager jobs_;
   bool shutdown_requested_ = false;
   bool shutdown_now_ = false;
+  mutable std::mutex bound_mu_;
+  std::string bound_;  ///< set once the listener is up (bound_address())
 };
 
 }  // namespace netalign::server

@@ -1,0 +1,309 @@
+#include "server/transport.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include <fstream>
+
+namespace netalign::server {
+
+namespace {
+
+bool valid_port(const std::string& s) {
+  if (s.empty() || s.size() > 5) return false;
+  long value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  return value <= 65535;
+}
+
+/// getaddrinfo for a tcp endpoint; `passive` asks for a bindable
+/// address. The caller owns the returned list (freeaddrinfo).
+addrinfo* resolve_tcp(const Endpoint& ep, bool passive, std::string& error) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = passive ? AI_PASSIVE : 0;
+  addrinfo* result = nullptr;
+  const int rc =
+      ::getaddrinfo(ep.host.c_str(), ep.port.c_str(), &hints, &result);
+  if (rc != 0) {
+    error = "cannot resolve " + ep.str() + ": " + ::gai_strerror(rc);
+    errno = 0;  // resolution failures carry no classifiable errno
+    return nullptr;
+  }
+  return result;
+}
+
+bool fill_unix_addr(const Endpoint& ep, sockaddr_un& addr,
+                    std::string& error) {
+  addr = {};
+  addr.sun_family = AF_UNIX;
+  if (ep.path.size() >= sizeof(addr.sun_path)) {
+    error = "unix socket path too long (" + std::to_string(ep.path.size()) +
+            " bytes): " + ep.path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, ep.path.c_str(), ep.path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+std::string Endpoint::str() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  const bool v6 = host.find(':') != std::string::npos;
+  return "tcp:" + (v6 ? "[" + host + "]" : host) + ":" + port;
+}
+
+bool parse_endpoint(const std::string& spec, Endpoint& out,
+                    std::string& error) {
+  if (spec.rfind("unix:", 0) == 0) {
+    out.kind = Endpoint::Kind::kUnix;
+    out.path = spec.substr(5);
+    if (out.path.empty()) {
+      error = "unix endpoint needs a path (unix:<path>)";
+      return false;
+    }
+    return true;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    out.kind = Endpoint::Kind::kTcp;
+    std::string rest = spec.substr(4);
+    if (!rest.empty() && rest.front() == '[') {
+      // Bracketed IPv6 literal: tcp:[::1]:4455.
+      const std::size_t close = rest.find(']');
+      if (close == std::string::npos || close + 1 >= rest.size() ||
+          rest[close + 1] != ':') {
+        error = "malformed tcp endpoint '" + spec +
+                "' (expected tcp:[v6addr]:port)";
+        return false;
+      }
+      out.host = rest.substr(1, close - 1);
+      out.port = rest.substr(close + 2);
+    } else {
+      const std::size_t colon = rest.rfind(':');
+      if (colon == std::string::npos) {
+        error = "tcp endpoint needs a port (tcp:<host>:<port>)";
+        return false;
+      }
+      out.host = rest.substr(0, colon);
+      out.port = rest.substr(colon + 1);
+    }
+    if (out.host.empty() || !valid_port(out.port)) {
+      error = "malformed tcp endpoint '" + spec +
+              "' (expected tcp:<host>:<port>, port 0-65535)";
+      return false;
+    }
+    return true;
+  }
+  if (spec.empty()) {
+    error = "empty endpoint spec";
+    return false;
+  }
+  if (spec.find(':') != std::string::npos &&
+      spec.find('/') == std::string::npos) {
+    // "host:4455" or "udp:..." -- almost certainly a scheme typo, not a
+    // relative unix path with a colon in it.
+    error = "unknown endpoint scheme in '" + spec +
+            "' (use unix:<path> or tcp:<host>:<port>)";
+    return false;
+  }
+  out.kind = Endpoint::Kind::kUnix;  // bare path, the historical --socket
+  out.path = spec;
+  return true;
+}
+
+int connect_endpoint(const Endpoint& ep, std::string& error) {
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr{};
+    if (!fill_unix_addr(ep, addr, error)) {
+      errno = EINVAL;
+      return -1;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      error = "cannot create socket: " + std::string(std::strerror(errno));
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const int err = errno;
+      ::close(fd);
+      error = "cannot connect to " + ep.str() + ": " + std::strerror(err);
+      errno = err;
+      return -1;
+    }
+    return fd;
+  }
+
+  addrinfo* addrs = resolve_tcp(ep, /*passive=*/false, error);
+  if (addrs == nullptr) return -1;
+  int last_errno = ECONNREFUSED;
+  for (const addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      // One request line is one packet-worth of latency budget; never
+      // let Nagle hold a submit behind a previous response's ACK.
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      ::freeaddrinfo(addrs);
+      return fd;
+    }
+    last_errno = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(addrs);
+  error = "cannot connect to " + ep.str() + ": " +
+          std::strerror(last_errno);
+  errno = last_errno;
+  return -1;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool server_alive_at(const Endpoint& ep) {
+  std::string error;
+  const int fd = connect_endpoint(ep, error);
+  if (fd < 0) return false;  // nobody listening (or a stale unix file)
+  const char ping[] = "{\"method\":\"ping\"}\n";
+  bool alive = false;
+  if (::send(fd, ping, sizeof(ping) - 1, MSG_NOSIGNAL) ==
+      static_cast<ssize_t>(sizeof(ping) - 1)) {
+    pollfd p{fd, POLLIN, 0};
+    alive = ::poll(&p, 1, /*timeout_ms=*/500) > 0 && (p.revents & POLLIN) != 0;
+  }
+  ::close(fd);
+  return alive;
+}
+
+bool Listener::open(const Endpoint& ep, std::string& error) {
+  close();
+  bound_ = ep;
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr{};
+    if (!fill_unix_addr(ep, addr, error)) return false;
+    // A socket file may be a *live* server, not leftovers: probe it
+    // before unlinking, or a second daemon would silently hijack the
+    // first one's socket (clients would reconnect here while the old
+    // server still holds every job they submitted).
+    if (server_alive_at(ep)) {
+      error = "a server is already answering ping on " + ep.str() +
+              "; refusing to start";
+      return false;
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      error = "socket: " + std::string(std::strerror(errno));
+      return false;
+    }
+    ::unlink(ep.path.c_str());  // stale socket from a past run
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      error = "bind " + ep.str() + ": " + std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+  } else {
+    addrinfo* addrs = resolve_tcp(ep, /*passive=*/true, error);
+    if (addrs == nullptr) return false;
+    int last_errno = EADDRNOTAVAIL;
+    for (const addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+      fd_ = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd_ < 0) {
+        last_errno = errno;
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      if (::bind(fd_, ai->ai_addr, ai->ai_addrlen) == 0) break;
+      last_errno = errno;
+      ::close(fd_);
+      fd_ = -1;
+    }
+    ::freeaddrinfo(addrs);
+    if (fd_ < 0) {
+      error = "bind " + ep.str() + ": " + std::strerror(last_errno);
+      return false;
+    }
+    // Read back the kernel-assigned port so `tcp:host:0` reports a
+    // connectable endpoint.
+    sockaddr_storage ss{};
+    socklen_t len = sizeof(ss);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&ss), &len) == 0) {
+      std::uint16_t port = 0;
+      if (ss.ss_family == AF_INET) {
+        port = ntohs(reinterpret_cast<const sockaddr_in&>(ss).sin_port);
+      } else if (ss.ss_family == AF_INET6) {
+        port = ntohs(reinterpret_cast<const sockaddr_in6&>(ss).sin6_port);
+      }
+      if (port != 0) bound_.port = std::to_string(port);
+    }
+  }
+  if (::listen(fd_, 64) != 0 || !set_nonblocking(fd_)) {
+    error = "listen " + ep.str() + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+void Listener::close() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+  if (bound_.kind == Endpoint::Kind::kUnix) ::unlink(bound_.path.c_str());
+}
+
+std::string load_auth_token(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot read auth token file: " + path);
+  }
+  std::string token;
+  std::getline(in, token);
+  while (!token.empty() &&
+         (token.back() == '\r' || token.back() == ' ' ||
+          token.back() == '\t')) {
+    token.pop_back();
+  }
+  if (token.empty()) {
+    throw std::runtime_error("auth token file is empty: " + path);
+  }
+  return token;
+}
+
+bool tokens_equal(std::string_view secret, std::string_view candidate) {
+  // Fold the length difference into the accumulator instead of early-
+  // returning: the loop always walks the full candidate, so timing
+  // reveals nothing about where a guess diverged from the secret.
+  unsigned diff = secret.size() == candidate.size() ? 0u : 1u;
+  for (std::size_t i = 0; i < candidate.size(); ++i) {
+    const char s = secret.empty() ? '\0' : secret[i % secret.size()];
+    diff |= static_cast<unsigned>(static_cast<unsigned char>(s) ^
+                                  static_cast<unsigned char>(candidate[i]));
+  }
+  return diff == 0;
+}
+
+}  // namespace netalign::server

@@ -1,0 +1,96 @@
+// Stream transports for the alignment daemon and its clients.
+//
+// One endpoint grammar serves both sides of the wire:
+//
+//   unix:<path>            AF_UNIX stream socket (the historical default;
+//                          a spec with no scheme is treated as a bare path)
+//   tcp:<host>:<port>      TCP over IPv4 or IPv6; bracket a literal v6
+//                          address (tcp:[::1]:4455); port 0 asks the
+//                          kernel for an ephemeral port, and the bound
+//                          endpoint reports the real one.
+//
+// The transport layer knows nothing about the protocol above it beyond
+// the one fact the unix liveness probe needs (a live daemon answers
+// `ping`); framing, parsing, and the error taxonomy all stay in
+// server/protocol.*. The Server's poll loop and the ServerClient both
+// sit on these primitives, which is what makes `--listen` / `--connect`
+// symmetric.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace netalign::server {
+
+/// A parsed `--listen` / `--connect` spec.
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  ///< kUnix: filesystem path
+  std::string host;  ///< kTcp: numeric address or name
+  std::string port;  ///< kTcp: decimal port ("0" = kernel-assigned)
+
+  /// Canonical spec string ("unix:/run/na.sock", "tcp:[::1]:4455").
+  [[nodiscard]] std::string str() const;
+};
+
+/// Parse `spec` into `out`. A spec without a scheme is a unix path
+/// (back-compat with `--socket`). Returns false with `error` set on an
+/// empty path, a missing/garbage port, or an unknown scheme.
+bool parse_endpoint(const std::string& spec, Endpoint& out,
+                    std::string& error);
+
+/// Blocking connect to `ep`. Returns the connected fd, or -1 with
+/// `error` describing the failure and errno preserved from the failing
+/// call (so callers can classify retryable cases). Name resolution
+/// failures report with errno = 0.
+int connect_endpoint(const Endpoint& ep, std::string& error);
+
+bool set_nonblocking(int fd);
+
+/// True when a live daemon answers `ping` at `ep` within 500 ms -- the
+/// guard that keeps a second daemon from unlinking a running server's
+/// unix socket out from under it.
+bool server_alive_at(const Endpoint& ep);
+
+/// A bound, listening, nonblocking server socket for either transport.
+/// For unix endpoints, open() probes for a live incumbent before
+/// unlinking a stale socket file; close() removes the path again. For
+/// TCP, open() resolves the host (v4 or v6), sets SO_REUSEADDR, and
+/// reads back the kernel-assigned port so bound().str() names the real
+/// endpoint even after `tcp:host:0`.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { close(); }
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Bind + listen + set nonblocking. Returns false with `error` set
+  /// (and nothing left open) on any failure, including a live incumbent
+  /// on a unix path.
+  bool open(const Endpoint& ep, std::string& error);
+
+  [[nodiscard]] int fd() const { return fd_; }
+  /// The endpoint actually bound (TCP port resolved). Valid after open().
+  [[nodiscard]] const Endpoint& bound() const { return bound_; }
+
+  /// Close the socket; unlink the path for unix endpoints.
+  void close();
+
+ private:
+  int fd_ = -1;
+  Endpoint bound_;
+};
+
+/// Read an auth token from `path`: the first line, trailing whitespace
+/// stripped. Throws std::runtime_error on an unreadable file or an
+/// empty token.
+std::string load_auth_token(const std::string& path);
+
+/// Constant-time token comparison: the scan length depends only on the
+/// attacker-supplied candidate, never on how much of the secret matched.
+bool tokens_equal(std::string_view secret, std::string_view candidate);
+
+}  // namespace netalign::server

@@ -6,11 +6,14 @@
 // the content-addressed LRU cache, the job manager's lifecycle (cancel of
 // queued vs running jobs, admission control), and the tail-tolerant JSONL
 // reader both progress streaming and trace_summary ride on. A final
-// section drives a real Server over its AF_UNIX socket end to end,
-// including the request-size cap.
+// section drives a real Server end to end -- over its AF_UNIX socket and
+// over authenticated loopback TCP -- including the request-size cap,
+// per-byte frame splits, mid-frame resets, idle reaping, and the
+// connection cap.
 #include "server/protocol.hpp"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -31,6 +34,7 @@
 #include "server/client.hpp"
 #include "server/jobs.hpp"
 #include "server/server.hpp"
+#include "server/transport.hpp"
 
 namespace netalign::server {
 namespace {
@@ -109,6 +113,35 @@ TEST(Protocol, WrongFieldTypeIsBadRequest) {
             ErrorCode::kBadRequest);
   EXPECT_EQ(parse_fail(R"({"method":"progress","job":1,"cursor":1.5})"),
             ErrorCode::kBadRequest);
+}
+
+TEST(Protocol, AuthParseRules) {
+  const Request req = parse_ok(R"({"method":"auth","token":"s3cret"})");
+  EXPECT_EQ(req.method, Method::kAuth);
+  EXPECT_EQ(req.auth_token, "s3cret");
+  EXPECT_EQ(parse_fail(R"({"method":"auth"})"), ErrorCode::kBadRequest);
+  EXPECT_EQ(parse_fail(R"({"method":"auth","token":""})"),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(parse_fail(R"({"method":"auth","token":17})"),
+            ErrorCode::kBadRequest);
+  // The constant-time compare walks the whole candidate, so the parser
+  // bounds how much work one line can demand.
+  std::string oversized = R"({"method":"auth","token":")";
+  oversized.append(5000, 'a');
+  oversized += "\"}";
+  EXPECT_EQ(parse_fail(oversized), ErrorCode::kBadRequest);
+}
+
+TEST(Protocol, ErrorTaxonomyIsClosed) {
+  // Every emitted code round-trips through the taxonomy check the
+  // fuzzer relies on; strings outside it are rejected.
+  EXPECT_TRUE(known_error_code("bad_request"));
+  EXPECT_TRUE(known_error_code("too_large"));
+  EXPECT_TRUE(known_error_code("auth_required"));
+  EXPECT_TRUE(known_error_code("auth_failed"));
+  EXPECT_FALSE(known_error_code("?"));
+  EXPECT_FALSE(known_error_code(""));
+  EXPECT_FALSE(known_error_code("AUTH_FAILED"));
 }
 
 TEST(Protocol, SubmitNeedsExactlyOneProblemSource) {
@@ -876,14 +909,28 @@ class ServerSocketTest : public ::testing::Test {
   }
 
   void start_with(const ServerOptions& options) {
+    token_ = options.auth_token;
     server_ = std::make_unique<Server>(options);
     thread_ = std::thread([this] { rc_ = server_->run(); });
-    // The listener may not be bound yet; retry the connect briefly.
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    if (!options.listen.empty()) {
+      // `tcp:host:0` binds an ephemeral port; only bound_address() knows
+      // the real endpoint.
+      while (server_->bound_address().empty()) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "listener never came up";
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      target_ = server_->bound_address();
+    } else {
+      target_ = options.socket_path;
+    }
+    // The listener may not be bound yet; retry the connect briefly.
     for (;;) {
       try {
-        client_ = std::make_unique<ServerClient>(options.socket_path);
+        client_ = std::make_unique<ServerClient>(target_, RetryPolicy{},
+                                                 token_);
         break;
       } catch (const std::exception&) {
         ASSERT_LT(std::chrono::steady_clock::now(), deadline);
@@ -893,13 +940,29 @@ class ServerSocketTest : public ::testing::Test {
   }
 
   /// Shut the daemon down (fresh connection; client_ may be dead) and
-  /// join its thread.
+  /// join its thread. Under --max-conns the fresh connection itself can
+  /// be refused while a just-closed client still occupies a slot (the
+  /// accept burst runs before dead-connection reaping within one poll
+  /// cycle), so a `rejected` answer is retried rather than mistaken for
+  /// a delivered shutdown.
   void stop() {
     if (!thread_.joinable()) return;
-    try {
-      ServerClient(tmp_path("srv.sock"))
-          .call(R"({"method":"shutdown","now":true})");
-    } catch (const std::exception&) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    for (;;) {
+      try {
+        const obs::JsonValue resp =
+            ServerClient(target_, RetryPolicy{}, token_)
+                .call(R"({"method":"shutdown","now":true})");
+        if (resp.find("ok")->as_bool()) break;
+        if (resp.find("error")->find("code")->as_string() != "rejected") {
+          break;  // e.g. shutting_down: the daemon is already exiting
+        }
+      } catch (const std::exception&) {
+        break;  // connect failed: the daemon is already gone
+      }
+      if (std::chrono::steady_clock::now() > deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
     thread_.join();
     EXPECT_EQ(rc_, 0);
@@ -912,6 +975,8 @@ class ServerSocketTest : public ::testing::Test {
   std::unique_ptr<Server> server_;
   std::unique_ptr<ServerClient> client_;
   std::thread thread_;
+  std::string target_;  ///< endpoint spec the daemon is actually serving
+  std::string token_;   ///< auth token (TCP daemons), "" otherwise
   int rc_ = -1;
 };
 
@@ -1186,6 +1251,203 @@ TEST_F(ServerSocketTest, ClientThatStopsReadingIsDropped) {
         << "slow client was never dropped";
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
+}
+
+// --- transports and network hardening --------------------------------------
+
+TEST(Transport, EndpointGrammar) {
+  Endpoint ep;
+  std::string err;
+  ASSERT_TRUE(parse_endpoint("unix:/tmp/x.sock", ep, err)) << err;
+  EXPECT_EQ(ep.kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(ep.path, "/tmp/x.sock");
+  EXPECT_EQ(ep.str(), "unix:/tmp/x.sock");
+
+  // A bare path is a unix socket -- back-compat with --socket.
+  ASSERT_TRUE(parse_endpoint("/tmp/bare.sock", ep, err)) << err;
+  EXPECT_EQ(ep.kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(ep.path, "/tmp/bare.sock");
+
+  ASSERT_TRUE(parse_endpoint("tcp:127.0.0.1:4455", ep, err)) << err;
+  EXPECT_EQ(ep.kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(ep.host, "127.0.0.1");
+  EXPECT_EQ(ep.port, "4455");
+
+  // Bracketed IPv6 literal; str() reproduces the brackets.
+  ASSERT_TRUE(parse_endpoint("tcp:[::1]:0", ep, err)) << err;
+  EXPECT_EQ(ep.host, "::1");
+  EXPECT_EQ(ep.port, "0");
+  EXPECT_EQ(ep.str(), "tcp:[::1]:0");
+
+  EXPECT_FALSE(parse_endpoint("", ep, err));
+  EXPECT_FALSE(parse_endpoint("unix:", ep, err));
+  EXPECT_FALSE(parse_endpoint("tcp:nohost", ep, err));
+  EXPECT_FALSE(parse_endpoint("tcp:host:notaport", ep, err));
+  EXPECT_FALSE(parse_endpoint("tcp:host:99999", ep, err));
+  EXPECT_FALSE(parse_endpoint("tcp::4455", ep, err));
+  EXPECT_FALSE(parse_endpoint("tcp:[::1]4455", ep, err));
+  // A scheme-looking spec that is neither unix: nor tcp: is a typo, not
+  // a bare path.
+  EXPECT_FALSE(parse_endpoint("udp:127.0.0.1:4455", ep, err));
+  EXPECT_FALSE(parse_endpoint("localhost:4455", ep, err));
+}
+
+TEST(Transport, ConstantTimeTokenCompare) {
+  EXPECT_TRUE(tokens_equal("s3cret", "s3cret"));
+  EXPECT_FALSE(tokens_equal("s3cret", "s3creT"));
+  EXPECT_FALSE(tokens_equal("s3cret", "s3cre"));
+  EXPECT_FALSE(tokens_equal("s3cret", "s3crets"));
+  EXPECT_FALSE(tokens_equal("s3cret", ""));
+  EXPECT_FALSE(tokens_equal("", "guess"));
+}
+
+TEST_F(ServerSocketTest, PartialFramesAtEveryByteBoundary) {
+  start();
+  const std::string line = R"({"method":"ping","id":42})" "\n";
+  // Worst case first: the whole frame one byte at a time, with pauses so
+  // each byte is its own poll cycle server-side.
+  for (const char b : line) {
+    client_->send_raw(std::string_view(&b, 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  obs::JsonValue doc = obs::parse_json(client_->read_line());
+  EXPECT_TRUE(doc.find("ok")->as_bool());
+  EXPECT_EQ(doc.find("id")->as_number(), 42.0);
+  // Then every two-write split point of the same frame.
+  for (std::size_t cut = 1; cut + 1 < line.size(); ++cut) {
+    client_->send_raw(std::string_view(line).substr(0, cut));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    client_->send_raw(std::string_view(line).substr(cut));
+    doc = obs::parse_json(client_->read_line());
+    EXPECT_TRUE(doc.find("ok")->as_bool());
+    EXPECT_EQ(doc.find("id")->as_number(), 42.0);
+  }
+}
+
+TEST_F(ServerSocketTest, MidFrameResetIsSurvived) {
+  ServerOptions options = base_options();
+  options.listen = "tcp:127.0.0.1:0";
+  options.auth_token = "reset-test-token";
+  start_with(options);
+  // A raw connection that dies with an RST halfway through a frame: the
+  // daemon must reap the buffer and keep serving everyone else.
+  Endpoint ep;
+  std::string error;
+  ASSERT_TRUE(parse_endpoint(target_, ep, error)) << error;
+  for (int i = 0; i < 5; ++i) {
+    const int fd = connect_endpoint(ep, error);
+    ASSERT_GE(fd, 0) << error;
+    const char partial[] = R"({"method":"submit","problem":"trunc)";
+    ASSERT_GT(::send(fd, partial, sizeof(partial) - 1, MSG_NOSIGNAL), 0);
+    // linger(on, 0): close() fires an RST instead of an orderly FIN.
+    linger lg{};
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    ::close(fd);
+  }
+  // The established, authed connection is unaffected.
+  EXPECT_TRUE(client_->call(R"({"method":"ping"})").find("ok")->as_bool());
+}
+
+TEST_F(ServerSocketTest, IdleTimeoutReapsStalledConnections) {
+  ServerOptions options = base_options();
+  options.idle_timeout_ms = 300;
+  start_with(options);
+  // client_ now goes silent -- a slowloris holding a connection open.
+  // Watch the reap from fresh short-lived connections (each active, so
+  // never reaped themselves).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    ServerClient watcher(target_);
+    const obs::JsonValue stats = watcher.call(R"({"method":"stats"})");
+    if (stats.find("counters")->find("server.idle_reaped")->as_number() >=
+        1.0) {
+      break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "stalled connection was never reaped";
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // The reaper closed the longest-idle connection: ours. A zero-retry
+  // call on it must fail.
+  EXPECT_THROW(client_->call(R"({"method":"ping"})"), std::runtime_error);
+}
+
+TEST_F(ServerSocketTest, TcpEndToEndWithAuth) {
+  ServerOptions options = base_options();
+  options.listen = "tcp:127.0.0.1:0";
+  options.auth_token = "tcp-e2e-token";
+  start_with(options);
+  // The fixture client authenticated in its constructor; real work runs.
+  const obs::JsonValue accepted =
+      client_->call(submit_line(problem_text(), 5));
+  ASSERT_TRUE(accepted.find("ok")->as_bool());
+
+  // Unauthenticated connections may ping (health checks stay tokenless)
+  // but nothing else.
+  ServerClient unauthed(target_);
+  EXPECT_TRUE(unauthed.call(R"({"method":"ping"})").find("ok")->as_bool());
+  const obs::JsonValue refused = unauthed.call(R"({"method":"stats"})");
+  EXPECT_FALSE(refused.find("ok")->as_bool());
+  EXPECT_EQ(refused.find("error")->find("code")->as_string(),
+            "auth_required");
+
+  // A wrong token is rejected at the handshake -- and, unlike a lost
+  // connection, never retried.
+  EXPECT_THROW(ServerClient(target_, RetryPolicy{}, "wrong-token"),
+               std::runtime_error);
+  const obs::JsonValue stats = client_->call(R"({"method":"stats"})");
+  EXPECT_GE(
+      stats.find("counters")->find("server.auth_failures")->as_number(),
+      1.0);
+  EXPECT_EQ(stats.find("auth_required")->as_bool(), true);
+  EXPECT_EQ(stats.find("listen")->as_string(), target_);
+}
+
+TEST(ServerLifecycle, TcpWithoutTokenRefusesToStart) {
+  ServerOptions options;
+  options.listen = "tcp:127.0.0.1:0";
+  options.work_dir = tmp_path("tcp_no_token_jobs");
+  Server srv(options);
+  // Serving a tokenless TCP port would hand the daemon to anyone who can
+  // reach it; run() must refuse before binding anything.
+  EXPECT_EQ(srv.run(), 2);
+}
+
+TEST_F(ServerSocketTest, MaxConnsRefusedGracefully) {
+  ServerOptions options = base_options();
+  options.max_conns = 2;
+  start_with(options);
+  // Connection 2 of 2 (client_ holds the first).
+  ServerClient second(target_);
+  EXPECT_TRUE(second.call(R"({"method":"ping"})").find("ok")->as_bool());
+  // Connection 3 is over the cap: it gets one parseable `rejected` error
+  // line, then the daemon hangs up.
+  Endpoint ep;
+  std::string error;
+  ASSERT_TRUE(parse_endpoint(target_, ep, error)) << error;
+  const int fd = connect_endpoint(ep, error);
+  ASSERT_GE(fd, 0) << error;
+  std::string refusal;
+  char buf[512];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;  // EOF: the server closed after the refusal line
+    refusal.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  ASSERT_NE(refusal.find('\n'), std::string::npos) << refusal;
+  const obs::JsonValue doc =
+      obs::parse_json(refusal.substr(0, refusal.find('\n')));
+  EXPECT_FALSE(doc.find("ok")->as_bool());
+  EXPECT_EQ(doc.find("error")->find("code")->as_string(), "rejected");
+  // The in-cap connections are untouched, and the refusal is counted.
+  const obs::JsonValue stats = client_->call(R"({"method":"stats"})");
+  EXPECT_GE(
+      stats.find("counters")->find("server.conns_rejected")->as_number(),
+      1.0);
 }
 
 }  // namespace

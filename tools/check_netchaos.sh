@@ -1,0 +1,173 @@
+#!/usr/bin/env sh
+# Network chaos gate for the alignment daemon's TCP transport
+# (docs/SERVER.md "Transports & network hardening"):
+#
+#   1. start netalign_server on loopback TCP with auth, an idle timeout,
+#      and a connection cap;
+#   2. record a fault-free reference: submit a job straight to the
+#      daemon, save the matching;
+#   3. for each chaos seed, put tools/net_proxy between client and
+#      daemon -- byte-split writes, delays, mid-stream RSTs, and
+#      black-holed connections -- and require a retrying client to
+#      survive every fault with a matching byte-identical to the
+#      reference (idempotent request_id resubmits make the retries
+#      safe);
+#   4. fuzz the wire protocol directly (protocol_fuzz: >= 1000 mutated/
+#      truncated/oversized frames + torn-frame hangups): zero daemon
+#      crashes, only taxonomy-conformant error responses;
+#   5. require the daemon to still answer stats (with the chaos visible
+#      in its connection counters) and shut down cleanly.
+#
+#   tools/check_netchaos.sh [--build-dir DIR] [--seeds N]
+#
+# Every fault is driven by a seeded RNG: a failure reproduces from the
+# seed printed on the failing line.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD=./build
+SEEDS=3
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir) BUILD="$2"; shift 2 ;;
+    --seeds) SEEDS="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+CLI="$BUILD/tools/netalign"
+SERVER="$BUILD/tools/netalign_server"
+PROXY="$BUILD/tools/net_proxy"
+FUZZ="$BUILD/tools/protocol_fuzz"
+for BIN in "$CLI" "$SERVER" "$PROXY" "$FUZZ"; do
+  if [ ! -x "$BIN" ]; then
+    echo "FAILURE: $BIN not built (cmake --build $BUILD)" >&2
+    exit 1
+  fi
+done
+
+TMP="$(mktemp -d)"
+SERVER_PID=""
+PROXY_PID=""
+cleanup() {
+  [ -n "$PROXY_PID" ] && kill "$PROXY_PID" 2>/dev/null || true
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+wait_for_port() {
+  # wait_for_port LOGFILE PREFIX -> prints the port
+  _TRIES=0
+  until grep -q "$2tcp:127\.0\.0\.1:[0-9]" "$1" 2>/dev/null; do
+    _TRIES=$((_TRIES + 1))
+    if [ "$_TRIES" -gt 100 ]; then
+      echo "FAILURE: no TCP port in $1" >&2
+      cat "$1" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  sed -n "s/.*$2tcp:127\.0\.0\.1:\([0-9]*\).*/\1/p" "$1" | head -n 1
+}
+
+echo "== problem + daemon up =="
+"$CLI" generate --type powerlaw --n 120 --dbar 5 --seed 7 \
+  --out "$TMP/p.nap"
+echo "netchaos-secret" > "$TMP/tok"
+"$SERVER" --listen tcp:127.0.0.1:0 --auth-token-file "$TMP/tok" \
+  --workers 2 --work-dir "$TMP/jobs" --max-request-bytes 262144 \
+  --idle-timeout-ms 5000 --max-conns 64 > "$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+PORT="$(wait_for_port "$TMP/server.log" 'serving on ')"
+
+echo "== fault-free reference matching =="
+"$CLI" client submit --connect "tcp:127.0.0.1:$PORT" \
+  --auth-token-file "$TMP/tok" --problem "$TMP/p.nap" --solver bp \
+  --iters 25 --wait --save-matching "$TMP/ref.mat" > /dev/null
+
+SEED=1
+while [ "$SEED" -le "$SEEDS" ]; do
+  echo "== chaos seed $SEED: client through the fault proxy =="
+  "$PROXY" --listen tcp:127.0.0.1:0 --target "tcp:127.0.0.1:$PORT" \
+    --seed "$SEED" --split-prob 0.6 --delay-prob 0.3 --delay-ms 25 \
+    --rst-prob 0.08 --blackhole-prob 0.15 --blackhole-ms 250 \
+    > "$TMP/proxy$SEED.log" 2>&1 &
+  PROXY_PID=$!
+  PPORT="$(wait_for_port "$TMP/proxy$SEED.log" 'listening on ')"
+  rm -f "$TMP/chaos.mat"
+  if ! "$CLI" client submit --connect "tcp:127.0.0.1:$PPORT" \
+    --auth-token-file "$TMP/tok" --problem "$TMP/p.nap" --solver bp \
+    --iters 25 --retry 12 --retry-max-ms 500 --wait \
+    --save-matching "$TMP/chaos.mat" > "$TMP/chaos$SEED.out" 2>&1; then
+    echo "FAILURE: client did not survive chaos seed $SEED" >&2
+    cat "$TMP/chaos$SEED.out" >&2
+    cat "$TMP/proxy$SEED.log" >&2
+    exit 1
+  fi
+  if ! cmp -s "$TMP/ref.mat" "$TMP/chaos.mat"; then
+    echo "FAILURE: seed $SEED matching differs from the fault-free run" >&2
+    exit 1
+  fi
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAILURE: daemon died under chaos seed $SEED" >&2
+    cat "$TMP/server.log" >&2
+    exit 1
+  fi
+  kill "$PROXY_PID" 2>/dev/null || true
+  wait "$PROXY_PID" 2>/dev/null || true
+  PROXY_PID=""
+  echo "seed $SEED survived, matching byte-identical"
+  SEED=$((SEED + 1))
+done
+
+echo "== wire-protocol fuzz (direct, no proxy) =="
+if ! "$FUZZ" --frames 1000 --seed 42 --connect "tcp:127.0.0.1:$PORT" \
+  --auth-token-file "$TMP/tok" --oversized-bytes 300000 \
+  > "$TMP/fuzz.out" 2>&1; then
+  echo "FAILURE: protocol fuzz found a violation" >&2
+  cat "$TMP/fuzz.out" >&2
+  cat "$TMP/server.log" >&2
+  exit 1
+fi
+grep 'wire mode ok' "$TMP/fuzz.out"
+
+echo "== daemon still healthy =="
+if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+  echo "FAILURE: daemon died during fuzzing" >&2
+  cat "$TMP/server.log" >&2
+  exit 1
+fi
+"$CLI" client stats --connect "tcp:127.0.0.1:$PORT" \
+  --auth-token-file "$TMP/tok" > "$TMP/stats.out"
+# The chaos must be visible in the counters: connections were accepted
+# throughout, and the fuzz phase produced protocol rejections without
+# killing anything.
+if ! grep -q '"server.conns_accepted":[1-9]' "$TMP/stats.out" ||
+   ! grep -q '"server.bad_requests":[1-9]' "$TMP/stats.out"; then
+  echo "FAILURE: chaos left no trace in the server counters" >&2
+  cat "$TMP/stats.out" >&2
+  exit 1
+fi
+
+echo "== shutdown (now: fuzz-mutated submits may still be queued) =="
+"$CLI" client shutdown --connect "tcp:127.0.0.1:$PORT" \
+  --auth-token-file "$TMP/tok" --now > /dev/null
+WAITED=0
+while kill -0 "$SERVER_PID" 2>/dev/null; do
+  WAITED=$((WAITED + 1))
+  if [ "$WAITED" -gt 100 ]; then
+    echo "FAILURE: daemon still alive 10s after shutdown" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+wait "$SERVER_PID" 2>/dev/null && RC=0 || RC=$?
+if [ "$RC" -ne 0 ]; then
+  echo "FAILURE: daemon exited with rc=$RC" >&2
+  cat "$TMP/server.log" >&2
+  exit 1
+fi
+SERVER_PID=""
+
+echo "network chaos checks passed ($SEEDS seeds, 1000 fuzz frames)"

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # End-to-end smoke gate for the alignment daemon (docs/SERVER.md):
 #
-#   1. start netalign_server on a scratch AF_UNIX socket;
+#   1. start netalign_server on a scratch endpoint -- an AF_UNIX socket
+#      by default, or a loopback TCP port with auth (--transport tcp);
 #   2. submit a job through `netalign client` and require the saved
 #      matching to be byte-identical to a one-shot `netalign align` of
 #      the same problem with the same parameters -- the server must be a
@@ -12,22 +13,28 @@
 #   5. run bench_server_load's small in-process profile (per-tenant fair
 #      scheduling + bounded retention; nonzero exit if the retained-job
 #      cap is violated);
-#   6. drain-shutdown the daemon and require a clean exit and a removed
-#      socket.
+#   6. drain-shutdown the daemon and require a clean exit (and, for
+#      unix, a removed socket).
 #
-#   tools/check_server.sh [--build-dir DIR]      # default ./build
+#   tools/check_server.sh [--build-dir DIR] [--transport unix|tcp]
 #
 # Exits non-zero on any mismatch, missed cache hit, or unclean shutdown.
 set -eu
 
 cd "$(dirname "$0")/.."
 BUILD=./build
+TRANSPORT=unix
 while [ $# -gt 0 ]; do
   case "$1" in
     --build-dir) BUILD="$2"; shift 2 ;;
+    --transport) TRANSPORT="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+case "$TRANSPORT" in
+  unix|tcp) ;;
+  *) echo "unknown --transport: $TRANSPORT (unix | tcp)" >&2; exit 2 ;;
+esac
 
 CLI="$BUILD/tools/netalign"
 SERVER="$BUILD/tools/netalign_server"
@@ -55,12 +62,34 @@ echo "== one-shot reference =="
 "$CLI" align --problem "$TMP/p.nap" --method bp --iters 30 \
   --save-matching "$TMP/ref.mat" > "$TMP/ref.out"
 
-echo "== daemon up =="
-"$SERVER" --socket "$SOCK" --workers 2 --work-dir "$TMP/jobs" \
-  > "$TMP/server.log" 2>&1 &
-SERVER_PID=$!
+echo "== daemon up ($TRANSPORT) =="
+if [ "$TRANSPORT" = "tcp" ]; then
+  echo "check-server-secret" > "$TMP/tok"
+  "$SERVER" --listen tcp:127.0.0.1:0 --auth-token-file "$TMP/tok" \
+    --workers 2 --work-dir "$TMP/jobs" > "$TMP/server.log" 2>&1 &
+  SERVER_PID=$!
+  # The kernel picks the port; the daemon prints it once bound.
+  TRIES=0
+  until grep -q 'serving on tcp:' "$TMP/server.log" 2>/dev/null; do
+    TRIES=$((TRIES + 1))
+    if [ "$TRIES" -gt 100 ]; then
+      echo "FAILURE: daemon never reported its TCP port" >&2
+      cat "$TMP/server.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  PORT="$(sed -n 's/.*serving on tcp:127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$TMP/server.log" | head -n 1)"
+  CONN="--connect tcp:127.0.0.1:$PORT --auth-token-file $TMP/tok"
+else
+  "$SERVER" --socket "$SOCK" --workers 2 --work-dir "$TMP/jobs" \
+    > "$TMP/server.log" 2>&1 &
+  SERVER_PID=$!
+  CONN="--socket $SOCK"
+fi
 TRIES=0
-until "$CLI" client ping --socket "$SOCK" > /dev/null 2>&1; do
+until "$CLI" client ping $CONN > /dev/null 2>&1; do
   TRIES=$((TRIES + 1))
   if [ "$TRIES" -gt 100 ]; then
     echo "FAILURE: daemon never answered ping" >&2
@@ -71,7 +100,7 @@ until "$CLI" client ping --socket "$SOCK" > /dev/null 2>&1; do
 done
 
 echo "== submit + byte-compare against the one-shot CLI =="
-"$CLI" client submit --socket "$SOCK" --problem "$TMP/p.nap" \
+"$CLI" client submit $CONN --problem "$TMP/p.nap" \
   --solver bp --iters 30 --wait --save-matching "$TMP/srv.mat" \
   > "$TMP/submit1.out"
 if ! cmp -s "$TMP/ref.mat" "$TMP/srv.mat"; then
@@ -82,9 +111,9 @@ fi
 echo "server matching byte-identical to one-shot align"
 
 echo "== resubmit: squares cache must hit =="
-"$CLI" client submit --socket "$SOCK" --problem "$TMP/p.nap" \
+"$CLI" client submit $CONN --problem "$TMP/p.nap" \
   --solver bp --iters 30 --wait > "$TMP/submit2.out"
-"$CLI" client stats --socket "$SOCK" > "$TMP/stats.out"
+"$CLI" client stats $CONN > "$TMP/stats.out"
 if ! grep -q '"server.cache_hit":[1-9]' "$TMP/stats.out"; then
   echo "FAILURE: repeat submission did not hit the problem cache" >&2
   cat "$TMP/stats.out" >&2
@@ -93,7 +122,7 @@ fi
 echo "repeat submission served from cache"
 
 echo "== error taxonomy over the wire =="
-if "$CLI" client result --socket "$SOCK" --job 9999 > "$TMP/err.out" 2>&1
+if "$CLI" client result $CONN --job 9999 > "$TMP/err.out" 2>&1
 then
   echo "FAILURE: result for a nonexistent job did not fail" >&2
   exit 1
@@ -102,6 +131,22 @@ if ! grep -q '"not_found"' "$TMP/err.out"; then
   echo "FAILURE: expected error code not_found, got:" >&2
   cat "$TMP/err.out" >&2
   exit 1
+fi
+
+if [ "$TRANSPORT" = "tcp" ]; then
+  echo "== tcp auth: requests without the token are refused =="
+  if "$CLI" client stats --connect "tcp:127.0.0.1:$PORT" \
+    > "$TMP/noauth.out" 2>&1
+  then
+    echo "FAILURE: unauthenticated stats succeeded on tcp" >&2
+    exit 1
+  fi
+  if ! grep -q 'auth_required' "$TMP/noauth.out"; then
+    echo "FAILURE: expected auth_required, got:" >&2
+    cat "$TMP/noauth.out" >&2
+    exit 1
+  fi
+  echo "unauthenticated request refused with auth_required"
 fi
 
 echo "== multi-tenant load smoke (bench_server_load, in-process) =="
@@ -120,7 +165,7 @@ else
 fi
 
 echo "== drain shutdown =="
-"$CLI" client shutdown --socket "$SOCK" > /dev/null
+"$CLI" client shutdown $CONN > /dev/null
 WAITED=0
 while kill -0 "$SERVER_PID" 2>/dev/null; do
   WAITED=$((WAITED + 1))
@@ -137,10 +182,10 @@ if [ "$RC" -ne 0 ]; then
   exit 1
 fi
 SERVER_PID=""
-if [ -e "$SOCK" ]; then
+if [ "$TRANSPORT" = "unix" ] && [ -e "$SOCK" ]; then
   echo "FAILURE: daemon left its socket behind" >&2
   exit 1
 fi
-echo "clean shutdown, socket removed"
+echo "clean shutdown"
 
-echo "server checks passed"
+echo "server checks passed ($TRANSPORT)"

@@ -10,7 +10,8 @@
 //  3. every relative link target in the repo's Markdown files resolves to
 //     an existing file or directory, so renames cannot leave dangling
 //     references;
-//  4. every --flag the netalign CLI and netalign_server daemon register
+//  4. every --flag the netalign CLI, the netalign_server daemon, and the
+//     network-chaos tools (net_proxy, protocol_fuzz) register
 //     (add_string/add_int/add_bool/add_double calls in their sources,
 //     plus the shared observability flags in src/util/cli.cpp) appears as
 //     "--flag" somewhere in README.md or docs/*.md, so a new flag cannot
@@ -222,6 +223,8 @@ int main(int argc, char** argv) try {
     }
     for (const char* rel : {"tools/netalign_cli.cpp",
                             "tools/netalign_server.cpp",
+                            "tools/net_proxy.cpp",
+                            "tools/protocol_fuzz.cpp",
                             "src/util/cli.cpp"}) {
       const fs::path src_path = root / rel;
       if (!fs::exists(src_path)) {

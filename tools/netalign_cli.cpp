@@ -42,6 +42,7 @@
 #include "obs/trace.hpp"
 #include "server/client.hpp"
 #include "server/protocol.hpp"
+#include "server/transport.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
 #include "util/stop.hpp"
@@ -501,14 +502,22 @@ int cmd_client(int argc, char** argv) {
     std::fputs(
         "usage: netalign client "
         "<ping|submit|status|progress|result|cancel|stats|shutdown> "
-        "--socket PATH [flags...]\n",
+        "--socket PATH | --connect tcp:HOST:PORT [flags...]\n",
         stderr);
     return 1;
   }
   const std::string action = argv[1];
   CliParser cli("netalign client " + action +
                 ": talk to a running netalign_server (docs/SERVER.md).");
-  auto& socket = cli.add_string("socket", "", "server socket path (required)");
+  auto& socket = cli.add_string(
+      "socket", "", "server AF_UNIX socket path (or use --connect)");
+  auto& connect = cli.add_string(
+      "connect", "",
+      "server endpoint: unix:<path> or tcp:<host>:<port> (overrides "
+      "--socket)");
+  auto& auth_token_file = cli.add_string(
+      "auth-token-file", "",
+      "file whose first line is the auth token (required for tcp: servers)");
   auto& problem = cli.add_string(
       "problem", "", "problem file, sent inline (submit)");
   auto& solver = cli.add_string(
@@ -549,8 +558,8 @@ int cmd_client(int argc, char** argv) {
       "submit: idempotency token; a replayed submit returns the original "
       "job id (auto-generated when --retry > 0)");
   if (!cli.parse(argc - 1, argv + 1)) return 0;
-  if (socket.empty()) {
-    std::fputs("netalign client: --socket is required\n", stderr);
+  if (socket.empty() && connect.empty()) {
+    std::fputs("netalign client: --socket or --connect is required\n", stderr);
     return 1;
   }
   if (retry < 0 || retry_max_ms < 1) {
@@ -558,11 +567,17 @@ int cmd_client(int argc, char** argv) {
                stderr);
     return 1;
   }
+  const std::string target =
+      connect.empty() ? std::string(socket) : std::string(connect);
+  std::string auth_token;
+  if (!auth_token_file.empty()) {
+    auth_token = server::load_auth_token(auth_token_file);
+  }
 
   server::RetryPolicy policy;
   policy.retries = static_cast<int>(retry);
   policy.max_backoff_ms = static_cast<int>(retry_max_ms);
-  server::ServerClient client(socket, policy);
+  server::ServerClient client(target, policy, auth_token);
   std::string request;
   if (action == "ping" || action == "stats") {
     request = std::move(JsonObj{}.add("method", action)).str();

@@ -1,0 +1,428 @@
+// protocol_fuzz: seeded mutation fuzzer for the daemon's wire protocol.
+//
+// Two layers, same corpus of valid request lines:
+//
+//   parse mode (always): run every mutated frame through
+//   server::parse_request in-process. The assertion is "no crash, no
+//   hang" -- the parser must reject garbage with a taxonomy error, never
+//   throw past its boundary or walk off the line.
+//
+//   wire mode (--connect): replay the mutated frames against a live
+//   daemon. Every response line the daemon sends must be valid JSON,
+//   and every `ok:false` must carry an `error.code` from the documented
+//   taxonomy (server::known_error_code). A frame may legitimately get
+//   the connection closed (oversized -> too_large, bad token ->
+//   auth_failed); the fuzzer reconnects and keeps going. After all
+//   frames, a torn-frame pass sends every prefix-truncated request and
+//   hangs up mid-frame, then a final ping proves the daemon is still
+//   serving.
+//
+// Mutations (seeded, deterministic): bit flips, byte insert/delete,
+// truncation, span duplication, embedded NUL and non-UTF-8 bytes, deep
+// bracket nesting, and oversized padding past --oversized-bytes. The
+// corpus deliberately excludes `shutdown` -- a mutated frame must never
+// be able to stop the daemon under test.
+//
+// Exit 0 = every frame survived. Used by tools/check_netchaos.sh and the
+// `protocol_fuzz_smoke` ctest.
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "server/protocol.hpp"
+#include "server/transport.hpp"
+#include "util/cli.hpp"
+
+using namespace netalign;
+
+namespace {
+
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed ? seed : 0x2545f4914f6cdd1dULL) {}
+  std::uint64_t next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+  std::size_t below(std::size_t n) {
+    return n == 0 ? 0 : static_cast<std::size_t>(next() % n);
+  }
+};
+
+/// Valid request lines to mutate. No `shutdown` here, ever: a lucky
+/// mutation must not be able to kill the daemon under test. The submit
+/// carries a 1-second deadline so a mutation that inflates `iters` into
+/// a huge-but-valid job still dies quickly server-side.
+std::vector<std::string> base_corpus(const std::string& token) {
+  std::vector<std::string> corpus = {
+      R"({"method":"ping"})",
+      R"({"method":"stats","id":7})",
+      R"({"method":"status","job":0})",
+      R"({"method":"progress","job":1,"cursor":3})",
+      R"({"method":"result","job":2})",
+      R"({"method":"cancel","job":0,"id":"c1"})",
+      R"({"method":"submit","problem":"bad problem text","solver":"bp",)"
+      R"("matcher":"approx","iters":5,"deadline_seconds":1.0,)"
+      R"("request_id":"fuzz-1"})",
+      R"({"nonsense":true})",
+      R"([1,2,3])",
+      R"("just a string")",
+      R"(not json at all)",
+  };
+  std::string auth = R"({"method":"auth","token":)";
+  obs::append_json_string(auth, token.empty() ? "fuzz-token" : token);
+  auth += "}";
+  corpus.push_back(std::move(auth));
+  return corpus;
+}
+
+std::string mutate(const std::string& base, Rng& rng,
+                   std::size_t oversized_bytes) {
+  std::string s = base;
+  switch (rng.below(9)) {
+    case 0: {  // bit flip
+      if (!s.empty()) {
+        const std::size_t i = rng.below(s.size());
+        s[i] = static_cast<char>(s[i] ^ (1u << rng.below(8)));
+      }
+      break;
+    }
+    case 1: {  // insert a random byte (can be '\n', '{', NUL, ...)
+      const auto b = static_cast<char>(rng.next() & 0xff);
+      s.insert(rng.below(s.size() + 1), 1, b);
+      break;
+    }
+    case 2: {  // delete a byte
+      if (!s.empty()) s.erase(rng.below(s.size()), 1);
+      break;
+    }
+    case 3: {  // truncate
+      s.resize(rng.below(s.size() + 1));
+      break;
+    }
+    case 4: {  // duplicate a span
+      if (!s.empty()) {
+        const std::size_t from = rng.below(s.size());
+        const std::size_t len = 1 + rng.below(s.size() - from);
+        s.insert(rng.below(s.size() + 1), s.substr(from, len));
+      }
+      break;
+    }
+    case 5: {  // embedded NUL + invalid UTF-8
+      s.insert(rng.below(s.size() + 1), std::string("\x00\xff\xfe", 3));
+      break;
+    }
+    case 6: {  // deep nesting: recursion bombs for naive parsers
+      const std::size_t depth = 64 + rng.below(512);
+      std::string bomb(depth, '[');
+      bomb.append(depth, ']');
+      s.insert(rng.below(s.size() + 1), bomb);
+      break;
+    }
+    case 7: {  // oversized: pad past the server's request-line cap
+      const std::size_t want = oversized_bytes + rng.below(4096);
+      if (s.size() < want) s.append(want - s.size(), ' ');
+      break;
+    }
+    default: {  // stacked small mutations
+      for (int k = 0; k < 4 && !s.empty(); ++k) {
+        const std::size_t i = rng.below(s.size());
+        s[i] = static_cast<char>(rng.next() & 0xff);
+      }
+      break;
+    }
+  }
+  return s;
+}
+
+/// How many response lines a frame should produce once '\n' is
+/// appended: one per non-empty newline-separated segment (the server
+/// ignores blank lines and answers every other line exactly once).
+std::size_t expected_responses(const std::string& frame) {
+  std::size_t count = 0;
+  std::size_t start = 0;
+  while (start <= frame.size()) {
+    const std::size_t eol = frame.find('\n', start);
+    const std::size_t end = eol == std::string::npos ? frame.size() : eol;
+    if (end > start) ++count;
+    if (eol == std::string::npos) break;
+    start = eol + 1;
+  }
+  return count;
+}
+
+/// A raw blocking connection with a poll() read deadline -- the fuzzer
+/// must detect a hung daemon rather than hang with it.
+struct Wire {
+  int fd = -1;
+  std::string buffer;
+
+  ~Wire() { drop(); }
+  void drop() {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+    buffer.clear();
+  }
+  [[nodiscard]] bool connected() const { return fd >= 0; }
+
+  bool send_all(std::string_view bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        drop();
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// 0 = got a line, 1 = peer closed, -1 = timeout (daemon hung).
+  int read_line(std::string& out, int timeout_ms) {
+    for (;;) {
+      const std::size_t eol = buffer.find('\n');
+      if (eol != std::string::npos) {
+        out = buffer.substr(0, eol);
+        buffer.erase(0, eol + 1);
+        return 0;
+      }
+      pollfd p{fd, POLLIN, 0};
+      const int ready = ::poll(&p, 1, timeout_ms);
+      if (ready == 0) return -1;
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        drop();
+        return 1;
+      }
+      char chunk[65536];
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN)) {
+        drop();
+        return 1;
+      }
+      if (n > 0) buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+};
+
+constexpr int kReadTimeoutMs = 10000;
+
+struct FuzzStats {
+  std::size_t frames = 0;
+  std::size_t responses = 0;
+  std::size_t errors_seen = 0;
+  std::size_t closes = 0;
+  std::size_t violations = 0;
+};
+
+/// Validate one response line against the protocol contract. Returns
+/// false (and explains) on a taxonomy violation.
+bool check_response(const std::string& line, FuzzStats& stats) {
+  obs::JsonValue doc;
+  if (!obs::try_parse_json(line, doc) || !doc.is_object()) {
+    std::fprintf(stderr, "protocol_fuzz: non-JSON response: %.200s\n",
+                 line.c_str());
+    return false;
+  }
+  const obs::JsonValue* ok = doc.find("ok");
+  if (ok == nullptr || ok->type() != obs::JsonValue::Type::kBool) {
+    std::fprintf(stderr, "protocol_fuzz: response missing ok: %.200s\n",
+                 line.c_str());
+    return false;
+  }
+  if (!ok->as_bool()) {
+    ++stats.errors_seen;
+    const obs::JsonValue* error = doc.find("error");
+    const obs::JsonValue* code =
+        error != nullptr && error->is_object() ? error->find("code") : nullptr;
+    if (code == nullptr || !code->is_string() ||
+        !server::known_error_code(code->as_string())) {
+      std::fprintf(stderr,
+                   "protocol_fuzz: error outside the taxonomy: %.200s\n",
+                   line.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  CliParser cli(
+      "protocol_fuzz: seeded mutation fuzzing of the daemon wire protocol.\n"
+      "Parse-mode always runs; add --connect to replay frames at a live "
+      "daemon.");
+  auto& frames = cli.add_int("frames", 1000, "mutated frames to generate");
+  auto& seed = cli.add_int("seed", 42, "mutation RNG seed");
+  auto& connect_spec = cli.add_string(
+      "connect", "", "daemon endpoint for wire mode (empty = parse-only)");
+  auto& auth_token_file = cli.add_string(
+      "auth-token-file", "", "auth token file for tcp daemons (wire mode)");
+  auto& oversized_bytes = cli.add_int(
+      "oversized-bytes", 300000,
+      "size floor for oversized frames (should exceed the daemon's "
+      "--max-request-bytes)");
+  auto& torn = cli.add_bool(
+      "torn", true,
+      "wire mode: also send every prefix-truncated frame and hang up "
+      "mid-frame (--no-torn to skip)");
+  if (!cli.parse(argc, argv)) return 0;
+  if (frames < 1 || oversized_bytes < 1) {
+    std::fprintf(stderr, "protocol_fuzz: flag out of range\n");
+    return 2;
+  }
+
+  std::string token;
+  if (!auth_token_file.empty()) {
+    token = server::load_auth_token(auth_token_file);
+  }
+  const std::vector<std::string> corpus = base_corpus(token);
+  Rng rng(static_cast<std::uint64_t>(seed));
+  FuzzStats stats;
+
+  // ---- parse mode: the parser must never escape its boundary --------
+  for (std::int64_t i = 0; i < frames; ++i) {
+    const std::string frame =
+        mutate(corpus[rng.below(corpus.size())], rng,
+               static_cast<std::size_t>(oversized_bytes));
+    server::Request req;
+    server::ErrorCode code{};
+    std::string message;
+    if (!server::parse_request(frame, req, code, message)) {
+      if (!server::known_error_code(server::to_string(code)) ||
+          message.empty()) {
+        std::fprintf(stderr,
+                     "protocol_fuzz: parse rejection outside taxonomy "
+                     "(frame %lld)\n",
+                     static_cast<long long>(i));
+        ++stats.violations;
+      }
+    }
+  }
+  std::printf("protocol_fuzz: parse mode ok (%lld frames)\n",
+              static_cast<long long>(frames));
+
+  if (connect_spec.empty()) {
+    if (stats.violations != 0) return 1;
+    return 0;
+  }
+
+  // ---- wire mode ----------------------------------------------------
+  server::Endpoint ep;
+  std::string error;
+  if (!server::parse_endpoint(connect_spec, ep, error)) {
+    std::fprintf(stderr, "protocol_fuzz: %s\n", error.c_str());
+    return 2;
+  }
+  Wire wire;
+  auto reconnect = [&]() -> bool {
+    wire.drop();
+    wire.fd = server::connect_endpoint(ep, error);
+    if (wire.fd < 0) {
+      std::fprintf(stderr, "protocol_fuzz: reconnect failed: %s\n",
+                   error.c_str());
+      return false;
+    }
+    if (token.empty()) return true;
+    std::string auth = R"({"method":"auth","token":)";
+    obs::append_json_string(auth, token);
+    auth += "}\n";
+    std::string line;
+    if (!wire.send_all(auth) || wire.read_line(line, kReadTimeoutMs) != 0) {
+      return false;
+    }
+    return check_response(line, stats);
+  };
+  if (!reconnect()) return 1;
+
+  Rng wire_rng(static_cast<std::uint64_t>(seed) ^ 0xda7aba5eULL);
+  for (std::int64_t i = 0; i < frames; ++i) {
+    std::string frame =
+        mutate(corpus[wire_rng.below(corpus.size())], wire_rng,
+               static_cast<std::size_t>(oversized_bytes));
+    const std::size_t expect = expected_responses(frame);
+    frame.push_back('\n');
+    ++stats.frames;
+    if (!wire.connected() && !reconnect()) return 1;
+    if (!wire.send_all(frame)) {
+      // The daemon hung up mid-send (a prior frame earned the close and
+      // the RST landed here). Fine -- reconnect handles the next frame.
+      ++stats.closes;
+      continue;
+    }
+    for (std::size_t k = 0; k < expect; ++k) {
+      std::string line;
+      const int rc = wire.read_line(line, kReadTimeoutMs);
+      if (rc == -1) {
+        std::fprintf(stderr,
+                     "protocol_fuzz: daemon hung: no response to frame "
+                     "%lld within %d ms\n",
+                     static_cast<long long>(i), kReadTimeoutMs);
+        return 1;
+      }
+      if (rc == 1) {
+        // Closed instead of answering the rest: legal for frames that
+        // earn a disconnect (too_large, auth_failed).
+        ++stats.closes;
+        break;
+      }
+      ++stats.responses;
+      if (!check_response(line, stats)) ++stats.violations;
+    }
+  }
+
+  if (torn) {
+    Rng torn_rng(static_cast<std::uint64_t>(seed) ^ 0x70e4ULL);
+    for (const std::string& base : corpus) {
+      for (std::size_t cut = 1; cut < base.size();
+           cut += 1 + torn_rng.below(7)) {
+        Wire t;
+        t.fd = server::connect_endpoint(ep, error);
+        if (t.fd < 0) {
+          std::fprintf(stderr, "protocol_fuzz: torn connect failed: %s\n",
+                       error.c_str());
+          return 1;
+        }
+        // A prefix with no newline: the daemon is left holding a
+        // partial frame when we vanish. It must just reap the buffer.
+        t.send_all(std::string_view(base).substr(0, cut));
+        t.drop();
+      }
+    }
+    std::printf("protocol_fuzz: torn-frame pass done\n");
+  }
+
+  // The daemon must still be fully alive after everything above.
+  if (!wire.connected() && !reconnect()) return 1;
+  std::string line;
+  if (!wire.send_all("{\"method\":\"ping\"}\n") ||
+      wire.read_line(line, kReadTimeoutMs) != 0 ||
+      !check_response(line, stats)) {
+    std::fprintf(stderr, "protocol_fuzz: daemon not serving after fuzz\n");
+    return 1;
+  }
+
+  std::printf(
+      "protocol_fuzz: wire mode ok: %zu frames, %zu responses, %zu taxonomy "
+      "errors, %zu closes, %zu violations\n",
+      stats.frames, stats.responses, stats.errors_seen, stats.closes,
+      stats.violations);
+  return stats.violations == 0 ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "protocol_fuzz: error: %s\n", e.what());
+  return 1;
+}
